@@ -1,0 +1,141 @@
+//! Trajectory classification by dominant stop activity (paper Eq. 8).
+//!
+//! `trajectory_cat = argmax_{C_i} Σ_{stop.cat = C_i} (stop.time_out −
+//! stop.time_in)` — the category in which the mover spent the most stop
+//! time. Drives the "trajectory" column of Fig. 11.
+
+use semitri_core::point::StopAnnotation;
+use semitri_data::PoiCategory;
+use semitri_episodes::Episode;
+
+/// Classifies a trajectory from its annotated stops (Eq. 8). `stops` pairs
+/// each stop episode with its point annotation. Returns `None` when there
+/// are no annotated stops.
+pub fn trajectory_category(stops: &[(&Episode, &StopAnnotation)]) -> Option<PoiCategory> {
+    if stops.is_empty() {
+        return None;
+    }
+    let mut time_per_cat = [0.0f64; 5];
+    for (ep, ann) in stops {
+        time_per_cat[ann.category.ordinal()] += ep.duration();
+    }
+    let (best, _) = time_per_cat
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+    Some(PoiCategory::ALL[best])
+}
+
+/// Percentage distribution over the five categories (for the POI / stop /
+/// trajectory columns of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CategoryShares {
+    counts: [usize; 5],
+    total: usize,
+}
+
+impl CategoryShares {
+    /// Accumulates one categorized item.
+    pub fn add(&mut self, cat: PoiCategory) {
+        self.counts[cat.ordinal()] += 1;
+        self.total += 1;
+    }
+
+    /// Builds shares from raw per-category counts.
+    pub fn from_counts(counts: [usize; 5]) -> Self {
+        Self {
+            counts,
+            total: counts.iter().sum(),
+        }
+    }
+
+    /// Share in `[0, 1]` of one category.
+    pub fn share(&self, cat: PoiCategory) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[cat.ordinal()] as f64 / self.total as f64
+        }
+    }
+
+    /// Raw count of one category.
+    pub fn count(&self, cat: PoiCategory) -> usize {
+        self.counts[cat.ordinal()]
+    }
+
+    /// Total items.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_geo::{Point, Rect, TimeSpan, Timestamp};
+
+    fn stop(duration: f64) -> Episode {
+        Episode {
+            kind: semitri_episodes::EpisodeKind::Stop,
+            start: 0,
+            end: 1,
+            span: TimeSpan::new(Timestamp(0.0), Timestamp(duration)),
+            bbox: Rect::from_point(Point::ORIGIN),
+            center: Point::ORIGIN,
+        }
+    }
+
+    fn ann(cat: PoiCategory) -> StopAnnotation {
+        StopAnnotation {
+            category: cat,
+            poi: None,
+        }
+    }
+
+    #[test]
+    fn eq8_picks_longest_total_stop_time() {
+        let s1 = stop(600.0);
+        let s2 = stop(1_000.0);
+        let s3 = stop(500.0);
+        let a1 = ann(PoiCategory::Feedings);
+        let a2 = ann(PoiCategory::ItemSale);
+        let a3 = ann(PoiCategory::Feedings);
+        // Feedings total = 1100 > ItemSale 1000
+        let got = trajectory_category(&[(&s1, &a1), (&s2, &a2), (&s3, &a3)]);
+        assert_eq!(got, Some(PoiCategory::Feedings));
+    }
+
+    #[test]
+    fn eq8_empty_is_none() {
+        assert_eq!(trajectory_category(&[]), None);
+    }
+
+    #[test]
+    fn eq8_single_stop() {
+        let s = stop(60.0);
+        let a = ann(PoiCategory::Services);
+        assert_eq!(
+            trajectory_category(&[(&s, &a)]),
+            Some(PoiCategory::Services)
+        );
+    }
+
+    #[test]
+    fn shares_accumulate() {
+        let mut s = CategoryShares::default();
+        s.add(PoiCategory::ItemSale);
+        s.add(PoiCategory::ItemSale);
+        s.add(PoiCategory::Unknown);
+        assert_eq!(s.total(), 3);
+        assert!((s.share(PoiCategory::ItemSale) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.count(PoiCategory::Unknown), 1);
+        assert_eq!(s.share(PoiCategory::Services), 0.0);
+    }
+
+    #[test]
+    fn shares_from_counts() {
+        let s = CategoryShares::from_counts(PoiCategory::MILAN_COUNTS);
+        assert_eq!(s.total(), 39_772);
+        assert!((s.share(PoiCategory::PersonLife) - 15_371.0 / 39_772.0).abs() < 1e-12);
+    }
+}

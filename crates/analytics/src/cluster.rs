@@ -1,0 +1,228 @@
+//! Density-based clustering of stop centers.
+//!
+//! The Semantic Trajectory Analytics Layer of Fig. 2 lists *clustering*
+//! among its methodologies, and the paper's related work (Zhou et al.,
+//! "Discovering Personally Meaningful Places") motivates it: recurring
+//! stop locations of one mover — home, office, gym — emerge as dense
+//! clusters of stop centers across days. This module implements DBSCAN
+//! over stop centers with a grid-accelerated neighborhood query.
+
+use semitri_geo::{Point, Rect};
+use semitri_index::GridIndex;
+
+/// A discovered place: a dense cluster of stop centers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopCluster {
+    /// Cluster id (0-based, ordered by discovery).
+    pub id: usize,
+    /// Mean position of the member stops.
+    pub centroid: Point,
+    /// Indexes of the member stops in the input slice.
+    pub members: Vec<usize>,
+}
+
+impl StopCluster {
+    /// Number of member stops.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the cluster has no members (never produced by the
+    /// algorithm; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanParams {
+    /// Neighborhood radius ε in meters.
+    pub eps_m: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        Self {
+            eps_m: 100.0,
+            min_pts: 3,
+        }
+    }
+}
+
+/// Runs DBSCAN over stop centers. Returns the clusters plus, aligned with
+/// the input, each stop's cluster id (`None` = noise).
+///
+/// O(n · k) with a grid index, where `k` is the mean ε-neighborhood size.
+pub fn dbscan_stops(centers: &[Point], params: DbscanParams) -> (Vec<StopCluster>, Vec<Option<usize>>) {
+    assert!(params.eps_m > 0.0, "eps must be positive");
+    assert!(params.min_pts >= 1, "min_pts must be >= 1");
+    let n = centers.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+
+    let bounds = Rect::covering(centers.iter().copied()).inflate(params.eps_m);
+    let mut grid = GridIndex::new(bounds, params.eps_m.max(1.0));
+    for (i, &c) in centers.iter().enumerate() {
+        grid.insert(c, i);
+    }
+    let neighbors = |i: usize| -> Vec<usize> {
+        let mut out = Vec::new();
+        grid.for_each_within(centers[i], params.eps_m, |_, &j| out.push(j));
+        out
+    };
+
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut clusters: Vec<StopCluster> = Vec::new();
+
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let seed = neighbors(i);
+        if seed.len() < params.min_pts {
+            continue; // noise (may later be absorbed as a border point)
+        }
+        let cluster_id = clusters.len();
+        let mut members = Vec::new();
+        let mut queue = seed;
+        assignment[i] = Some(cluster_id);
+        members.push(i);
+        while let Some(j) = queue.pop() {
+            if assignment[j].is_none() {
+                assignment[j] = Some(cluster_id);
+                members.push(j);
+            }
+            if !visited[j] {
+                visited[j] = true;
+                let nb = neighbors(j);
+                if nb.len() >= params.min_pts {
+                    queue.extend(nb);
+                }
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        let inv = 1.0 / members.len() as f64;
+        let cx: f64 = members.iter().map(|&m| centers[m].x).sum();
+        let cy: f64 = members.iter().map(|&m| centers[m].y).sum();
+        clusters.push(StopCluster {
+            id: cluster_id,
+            centroid: Point::new(cx * inv, cy * inv),
+            members,
+        });
+    }
+    (clusters, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399; // golden-angle spiral
+                let r = spread * (i as f64 / n as f64).sqrt();
+                Point::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut pts = blob(0.0, 0.0, 20, 40.0);
+        pts.extend(blob(1_000.0, 0.0, 15, 40.0));
+        let (clusters, assignment) = dbscan_stops(&pts, DbscanParams::default());
+        assert_eq!(clusters.len(), 2);
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 35);
+        // assignments agree with membership
+        for c in &clusters {
+            for &m in &c.members {
+                assert_eq!(assignment[m], Some(c.id));
+            }
+        }
+        // centroids near the blob centers
+        assert!(clusters[0].centroid.distance(Point::new(0.0, 0.0)) < 30.0);
+        assert!(clusters[1].centroid.distance(Point::new(1_000.0, 0.0)) < 30.0);
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let mut pts = blob(0.0, 0.0, 10, 30.0);
+        pts.push(Point::new(5_000.0, 5_000.0));
+        pts.push(Point::new(-5_000.0, 3_000.0));
+        let (clusters, assignment) = dbscan_stops(&pts, DbscanParams::default());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(assignment[10], None);
+        assert_eq!(assignment[11], None);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (clusters, assignment) = dbscan_stops(&[], DbscanParams::default());
+        assert!(clusters.is_empty());
+        assert!(assignment.is_empty());
+    }
+
+    #[test]
+    fn all_same_point_is_one_cluster() {
+        let pts = vec![Point::new(5.0, 5.0); 10];
+        let (clusters, assignment) = dbscan_stops(&pts, DbscanParams::default());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 10);
+        assert!(assignment.iter().all(|a| *a == Some(0)));
+        assert_eq!(clusters[0].centroid, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn min_pts_respected() {
+        // a pair of points is noise with min_pts = 3
+        let pts = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let (clusters, _) = dbscan_stops(
+            &pts,
+            DbscanParams {
+                eps_m: 100.0,
+                min_pts: 3,
+            },
+        );
+        assert!(clusters.is_empty());
+        // but a cluster with min_pts = 2
+        let (clusters, _) = dbscan_stops(
+            &pts,
+            DbscanParams {
+                eps_m: 100.0,
+                min_pts: 2,
+            },
+        );
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn chain_connectivity_links_through_cores() {
+        // a chain of points each within eps of the next forms one cluster
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+        let (clusters, _) = dbscan_stops(
+            &pts,
+            DbscanParams {
+                eps_m: 60.0,
+                min_pts: 2,
+            },
+        );
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn rejects_bad_eps() {
+        dbscan_stops(&[], DbscanParams { eps_m: 0.0, min_pts: 1 });
+    }
+}

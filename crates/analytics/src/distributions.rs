@@ -1,0 +1,165 @@
+//! Episode and trajectory size distributions (paper Fig. 12 and Fig. 13).
+
+use semitri_episodes::{Episode, EpisodeKind};
+
+/// A log-binned distribution of "number of GPS records" — the paper plots
+/// Fig. 12 on log-log axes, so sizes are binned by powers of a base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthDistribution {
+    base: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl LengthDistribution {
+    /// Creates an empty distribution with logarithmic bins of the given
+    /// base (2.0 = octaves, 10.0 = decades).
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "log base must exceed 1");
+        Self {
+            base,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Bin index of a size (`0` holds sizes 0 and 1).
+    pub fn bin_of(&self, size: usize) -> usize {
+        if size <= 1 {
+            0
+        } else {
+            (size as f64).log(self.base).floor() as usize
+        }
+    }
+
+    /// Lower edge of a bin.
+    pub fn bin_lower(&self, bin: usize) -> usize {
+        if bin == 0 {
+            0
+        } else {
+            self.base.powi(bin as i32) as usize
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, size: usize) {
+        let b = self.bin_of(size);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Observations recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `(bin lower edge, count)` rows for plotting, skipping empty bins.
+    pub fn rows(&self) -> Vec<(usize, usize)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (self.bin_lower(b), c))
+            .collect()
+    }
+}
+
+/// Per-user counts of GPS records, trajectories, stops and moves — the
+/// bars of Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UserEpisodeCounts {
+    /// User / object identifier.
+    pub user: u64,
+    /// Total GPS records.
+    pub gps_records: usize,
+    /// Daily trajectories.
+    pub trajectories: usize,
+    /// Stop episodes.
+    pub stops: usize,
+    /// Move episodes.
+    pub moves: usize,
+}
+
+impl UserEpisodeCounts {
+    /// Accumulates one trajectory's episodes.
+    pub fn add_trajectory(&mut self, record_count: usize, episodes: &[Episode]) {
+        self.gps_records += record_count;
+        self.trajectories += 1;
+        for e in episodes {
+            match e.kind {
+                EpisodeKind::Stop => self.stops += 1,
+                EpisodeKind::Move => self.moves += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_geo::{Point, Rect, TimeSpan, Timestamp};
+
+    #[test]
+    fn binning_decades() {
+        let d = LengthDistribution::new(10.0);
+        assert_eq!(d.bin_of(0), 0);
+        assert_eq!(d.bin_of(1), 0);
+        assert_eq!(d.bin_of(9), 0);
+        assert_eq!(d.bin_of(10), 1);
+        assert_eq!(d.bin_of(99), 1);
+        assert_eq!(d.bin_of(100), 2);
+        assert_eq!(d.bin_lower(2), 100);
+    }
+
+    #[test]
+    fn add_and_rows() {
+        let mut d = LengthDistribution::new(10.0);
+        for s in [3, 5, 20, 30, 150, 200, 250] {
+            d.add(s);
+        }
+        assert_eq!(d.total(), 7);
+        assert_eq!(d.rows(), vec![(0, 2), (10, 2), (100, 3)]);
+    }
+
+    #[test]
+    fn octave_bins() {
+        let mut d = LengthDistribution::new(2.0);
+        d.add(7); // bin 2 (4..8)
+        d.add(8); // bin 3
+        assert_eq!(d.rows(), vec![(4, 1), (8, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_base_one() {
+        LengthDistribution::new(1.0);
+    }
+
+    fn episode(kind: EpisodeKind) -> Episode {
+        Episode {
+            kind,
+            start: 0,
+            end: 1,
+            span: TimeSpan::new(Timestamp(0.0), Timestamp(1.0)),
+            bbox: Rect::from_point(Point::ORIGIN),
+            center: Point::ORIGIN,
+        }
+    }
+
+    #[test]
+    fn user_counts_accumulate() {
+        let mut u = UserEpisodeCounts {
+            user: 3,
+            ..Default::default()
+        };
+        u.add_trajectory(100, &[episode(EpisodeKind::Stop), episode(EpisodeKind::Move)]);
+        u.add_trajectory(50, &[episode(EpisodeKind::Move)]);
+        assert_eq!(u.gps_records, 150);
+        assert_eq!(u.trajectories, 2);
+        assert_eq!(u.stops, 1);
+        assert_eq!(u.moves, 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Origin–destination flows between meaningful places.
+//!
+//! The paper's related work builds on Alvares et al.'s "frequent moves
+//! between stops", and its Analytics Layer computes "frequent stops,
+//! trajectory patterns". Given the stop clusters of [`crate::cluster`],
+//! this module counts the moves between them across a corpus of
+//! trajectories — the OD matrix of a mover or a fleet.
+
+use std::collections::HashMap;
+
+/// An OD matrix over place (cluster) ids, plus noise flows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OdMatrix {
+    flows: HashMap<(usize, usize), usize>,
+    total: usize,
+}
+
+impl OdMatrix {
+    /// Builds the matrix from per-trajectory stop→cluster assignments
+    /// (each inner slice is one trajectory's stops in temporal order;
+    /// `None` = noise stop, which breaks the chain).
+    pub fn from_assignments(trajectories: &[Vec<Option<usize>>]) -> Self {
+        let mut m = OdMatrix::default();
+        for stops in trajectories {
+            for w in stops.windows(2) {
+                if let (Some(a), Some(b)) = (w[0], w[1]) {
+                    m.add(a, b);
+                }
+            }
+        }
+        m
+    }
+
+    /// Records one move from cluster `from` to cluster `to`.
+    pub fn add(&mut self, from: usize, to: usize) {
+        *self.flows.entry((from, to)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count of moves from `from` to `to`.
+    pub fn count(&self, from: usize, to: usize) -> usize {
+        self.flows.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Total recorded moves.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The `k` heaviest flows, descending; ties by (from, to) for
+    /// determinism. Self-loops (re-visits of the same place) included.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, usize, usize)> {
+        let mut rows: Vec<(usize, usize, usize)> = self
+            .flows
+            .iter()
+            .map(|(&(a, b), &n)| (a, b, n))
+            .collect();
+        rows.sort_by(|x, y| y.2.cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
+        rows.truncate(k);
+        rows
+    }
+
+    /// Flows that occur at least `min_support` times — Alvares et al.'s
+    /// frequent moves.
+    pub fn frequent(&self, min_support: usize) -> Vec<(usize, usize, usize)> {
+        let mut rows: Vec<(usize, usize, usize)> = self
+            .flows
+            .iter()
+            .filter(|(_, &n)| n >= min_support)
+            .map(|(&(a, b), &n)| (a, b, n))
+            .collect();
+        rows.sort_by(|x, y| y.2.cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_assignments_and_breaks_on_noise() {
+        // two commute days home(0) → office(1) → home(0); one with a noise
+        // stop in between that breaks the chain
+        let days = vec![
+            vec![Some(0), Some(1), Some(0)],
+            vec![Some(0), None, Some(1), Some(0)],
+        ];
+        let m = OdMatrix::from_assignments(&days);
+        assert_eq!(m.count(0, 1), 1); // broken by the noise stop on day 2
+        assert_eq!(m.count(1, 0), 2);
+        assert_eq!(m.count(0, 0), 0);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn top_k_and_frequent() {
+        let mut m = OdMatrix::default();
+        for _ in 0..5 {
+            m.add(0, 1);
+        }
+        for _ in 0..3 {
+            m.add(1, 0);
+        }
+        m.add(2, 0);
+        let top = m.top_k(2);
+        assert_eq!(top, vec![(0, 1, 5), (1, 0, 3)]);
+        assert_eq!(m.frequent(3), vec![(0, 1, 5), (1, 0, 3)]);
+        assert_eq!(m.frequent(10), vec![]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = OdMatrix::from_assignments(&[]);
+        assert_eq!(m.total(), 0);
+        assert!(m.top_k(5).is_empty());
+    }
+
+    #[test]
+    fn self_loops_counted() {
+        // repeated stops at the same mall
+        let m = OdMatrix::from_assignments(&[vec![Some(3), Some(3), Some(3)]]);
+        assert_eq!(m.count(3, 3), 2);
+    }
+}

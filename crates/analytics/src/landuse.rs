@@ -1,0 +1,175 @@
+//! Landuse category distributions (paper Fig. 9 and Fig. 14).
+
+use semitri_core::RegionAnnotator;
+use semitri_data::{LanduseCategory, RawTrajectory};
+use semitri_episodes::{Episode, EpisodeKind};
+
+/// A per-category share distribution over the 17 landuse subcategories.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LanduseDistribution {
+    counts: [usize; 17],
+    total: usize,
+}
+
+impl LanduseDistribution {
+    /// Accumulates one categorized record.
+    pub fn add(&mut self, cat: LanduseCategory) {
+        self.counts[cat.ordinal()] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &LanduseDistribution) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Raw count of one category.
+    pub fn count(&self, cat: LanduseCategory) -> usize {
+        self.counts[cat.ordinal()]
+    }
+
+    /// Total categorized records.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Share of one category in `[0, 1]`; `0` when empty.
+    pub fn share(&self, cat: LanduseCategory) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[cat.ordinal()] as f64 / self.total as f64
+        }
+    }
+
+    /// The `k` most frequent categories, descending (Fig. 14's top-5
+    /// lists). Categories with zero count are omitted.
+    pub fn top_k(&self, k: usize) -> Vec<(LanduseCategory, f64)> {
+        let mut pairs: Vec<(LanduseCategory, usize)> = LanduseCategory::ALL
+            .iter()
+            .map(|&c| (c, self.counts[c.ordinal()]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs
+            .into_iter()
+            .take(k)
+            .map(|(c, n)| (c, n as f64 / self.total.max(1) as f64))
+            .collect()
+    }
+
+    /// Computes the distribution over all records of a trajectory.
+    pub fn of_trajectory(annotator: &RegionAnnotator, traj: &RawTrajectory) -> Self {
+        let mut d = Self::default();
+        for cat in annotator.categories_for(traj).into_iter().flatten() {
+            d.add(cat);
+        }
+        d
+    }
+
+    /// Computes the distribution restricted to episodes of one kind
+    /// (the move/stop columns of Fig. 9).
+    pub fn of_episodes(
+        annotator: &RegionAnnotator,
+        traj: &RawTrajectory,
+        episodes: &[Episode],
+        kind: EpisodeKind,
+    ) -> Self {
+        let cats = annotator.categories_for(traj);
+        let mut d = Self::default();
+        for e in episodes.iter().filter(|e| e.kind == kind) {
+            for cat in cats[e.start..e.end].iter().flatten() {
+                d.add(*cat);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_data::{GpsRecord, LanduseGrid};
+    use semitri_episodes::{SegmentationPolicy, VelocityPolicy};
+    use semitri_geo::{Point, Rect, Timestamp};
+
+    fn annotator() -> RegionAnnotator {
+        let grid = LanduseGrid::generate(Rect::new(0.0, 0.0, 3_000.0, 3_000.0), 100.0, 5);
+        RegionAnnotator::from_landuse(&grid)
+    }
+
+    fn traj() -> RawTrajectory {
+        // dwell in the center, then cross east
+        let mut recs = Vec::new();
+        for i in 0..30 {
+            recs.push(GpsRecord::new(
+                Point::new(1_500.0, 1_500.0),
+                Timestamp(i as f64 * 10.0),
+            ));
+        }
+        for i in 0..60 {
+            recs.push(GpsRecord::new(
+                Point::new(1_500.0 + i as f64 * 20.0, 1_500.0),
+                Timestamp(300.0 + i as f64 * 10.0),
+            ));
+        }
+        RawTrajectory::new(1, 1, recs)
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let d = LanduseDistribution::of_trajectory(&annotator(), &traj());
+        assert_eq!(d.total(), traj().len());
+        let sum: f64 = LanduseCategory::ALL.iter().map(|&c| d.share(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_and_stop_partition_the_trajectory() {
+        let ann = annotator();
+        let t = traj();
+        let eps = VelocityPolicy::default().segment(&t);
+        let all = LanduseDistribution::of_trajectory(&ann, &t);
+        let mut parts = LanduseDistribution::of_episodes(&ann, &t, &eps, EpisodeKind::Stop);
+        parts.merge(&LanduseDistribution::of_episodes(
+            &ann,
+            &t,
+            &eps,
+            EpisodeKind::Move,
+        ));
+        assert_eq!(all.total(), parts.total());
+        for c in LanduseCategory::ALL {
+            assert_eq!(all.count(c), parts.count(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_sorted_and_bounded() {
+        let d = LanduseDistribution::of_trajectory(&annotator(), &traj());
+        let top = d.top_k(5);
+        assert!(top.len() <= 5);
+        assert!(!top.is_empty());
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // settlement categories dominate a central-city walk
+        let (dominant, share) = top[0];
+        assert!(share > 0.2);
+        assert_eq!(
+            dominant.group(),
+            semitri_data::LanduseGroup::Settlement,
+            "dominant {dominant:?}"
+        );
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = LanduseDistribution::default();
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.share(LanduseCategory::Building), 0.0);
+        assert!(d.top_k(3).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Aggregation of per-layer pipeline latencies (paper Fig. 17).
+
+use semitri_core::LatencyProfile;
+
+/// Mean per-layer latencies over many trajectories, in seconds — the bars
+/// of Fig. 17 (computation/annotation side; storage latencies are summed
+/// in by the caller from `semitri-store` measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    sums: LatencyProfile,
+    /// Accumulated store-episode seconds (measured externally).
+    pub store_episode_secs: f64,
+    /// Accumulated store-match-result seconds (measured externally).
+    pub store_match_secs: f64,
+    n: usize,
+}
+
+impl LatencySummary {
+    /// Accumulates one trajectory's profile plus its storage timings.
+    pub fn add(&mut self, p: &LatencyProfile, store_episode: f64, store_match: f64) {
+        self.sums.compute_episode_secs += p.compute_episode_secs;
+        self.sums.map_match_secs += p.map_match_secs;
+        self.sums.landuse_join_secs += p.landuse_join_secs;
+        self.sums.point_secs += p.point_secs;
+        self.store_episode_secs += store_episode;
+        self.store_match_secs += store_match;
+        self.n += 1;
+    }
+
+    /// Number of trajectories accumulated.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Mean per-trajectory profile (zeros when empty).
+    pub fn means(&self) -> LatencyProfile {
+        if self.n == 0 {
+            return LatencyProfile::default();
+        }
+        let inv = 1.0 / self.n as f64;
+        LatencyProfile {
+            compute_episode_secs: self.sums.compute_episode_secs * inv,
+            map_match_secs: self.sums.map_match_secs * inv,
+            landuse_join_secs: self.sums.landuse_join_secs * inv,
+            point_secs: self.sums.point_secs * inv,
+        }
+    }
+
+    /// Mean store-episode seconds per trajectory.
+    pub fn mean_store_episode(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.store_episode_secs / self.n as f64
+        }
+    }
+
+    /// Mean store-match seconds per trajectory.
+    pub fn mean_store_match(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.store_match_secs / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_over_profiles() {
+        let mut s = LatencySummary::default();
+        s.add(
+            &LatencyProfile {
+                compute_episode_secs: 0.010,
+                map_match_secs: 0.200,
+                landuse_join_secs: 0.080,
+                point_secs: 0.020,
+            },
+            3.0,
+            0.3,
+        );
+        s.add(
+            &LatencyProfile {
+                compute_episode_secs: 0.006,
+                map_match_secs: 0.100,
+                landuse_join_secs: 0.100,
+                point_secs: 0.040,
+            },
+            5.0,
+            0.1,
+        );
+        assert_eq!(s.count(), 2);
+        let m = s.means();
+        assert!((m.compute_episode_secs - 0.008).abs() < 1e-12);
+        assert!((m.map_match_secs - 0.150).abs() < 1e-12);
+        assert!((s.mean_store_episode() - 4.0).abs() < 1e-12);
+        assert!((s.mean_store_match() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencySummary::default();
+        assert_eq!(s.means(), LatencyProfile::default());
+        assert_eq!(s.mean_store_episode(), 0.0);
+    }
+}

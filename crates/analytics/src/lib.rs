@@ -1,0 +1,40 @@
+//! # semitri-analytics — the Semantic Trajectory Analytics Layer
+//!
+//! Statistics over structured semantic trajectories (Fig. 2, top): the
+//! distributions, classifications and compression measures behind every
+//! aggregate figure of the paper's evaluation:
+//!
+//! * [`landuse`] — landuse category distributions over trajectories,
+//!   moves and stops (Fig. 9) and per-user top-k categories (Fig. 14);
+//! * [`distributions`] — episode length distributions (Fig. 12) and
+//!   per-user episode counts (Fig. 13);
+//! * [`classify`] — trajectory classification by dominant stop time,
+//!   Equation 8 (Fig. 11);
+//! * [`compression`] — storage compression of the semantic representation
+//!   (the paper's 99.7% claim);
+//! * [`latency`] — aggregation of per-layer pipeline latencies (Fig. 17).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cluster;
+pub mod compression;
+pub mod distributions;
+pub mod flows;
+pub mod landuse;
+pub mod latency;
+pub mod mobility;
+pub mod patterns;
+pub mod similarity;
+
+pub use classify::{trajectory_category, CategoryShares};
+pub use cluster::{dbscan_stops, DbscanParams, StopCluster};
+pub use mobility::{radius_of_gyration, MobilitySummary, ModeShares};
+pub use patterns::{mine_sequences, symbols_of, SequencePattern, SymbolKind};
+pub use similarity::{edit_distance, lcss_similarity, semantic_similarity};
+pub use compression::CompressionStats;
+pub use distributions::{LengthDistribution, UserEpisodeCounts};
+pub use flows::OdMatrix;
+pub use landuse::LanduseDistribution;
+pub use latency::LatencySummary;

@@ -1,0 +1,185 @@
+//! Mobility statistics over annotated trajectories.
+//!
+//! The paper's intro cites González et al.'s human-mobility work and the
+//! Analytics Layer computes "mobility analysis/statistics". This module
+//! provides the standard aggregates: radius of gyration, travel distance,
+//! and per-mode time/distance shares.
+
+use semitri_core::line::RouteEntry;
+use semitri_data::{RawTrajectory, TransportMode};
+use semitri_geo::Point;
+use std::collections::HashMap;
+
+/// Radius of gyration of a set of positions, in meters: the RMS distance
+/// from the center of mass — the classical measure of how far a mover
+/// roams. Returns `0.0` for fewer than two positions.
+pub fn radius_of_gyration(positions: &[Point]) -> f64 {
+    if positions.len() < 2 {
+        return 0.0;
+    }
+    let inv = 1.0 / positions.len() as f64;
+    let cx: f64 = positions.iter().map(|p| p.x).sum::<f64>() * inv;
+    let cy: f64 = positions.iter().map(|p| p.y).sum::<f64>() * inv;
+    let com = Point::new(cx, cy);
+    let mean_sq: f64 = positions.iter().map(|p| p.distance_sq(com)).sum::<f64>() * inv;
+    mean_sq.sqrt()
+}
+
+/// Per-mode aggregates of one or more annotated move episodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModeShares {
+    seconds: HashMap<TransportMode, f64>,
+    total_seconds: f64,
+}
+
+impl ModeShares {
+    /// Accumulates the mode legs of one move episode's route entries.
+    pub fn add_route(&mut self, entries: &[RouteEntry]) {
+        for e in entries {
+            let Some(mode) = e.mode else { continue };
+            let d = e.span.duration();
+            *self.seconds.entry(mode).or_insert(0.0) += d;
+            self.total_seconds += d;
+        }
+    }
+
+    /// Time share of a mode in `[0, 1]`.
+    pub fn share(&self, mode: TransportMode) -> f64 {
+        if self.total_seconds == 0.0 {
+            0.0
+        } else {
+            self.seconds.get(&mode).copied().unwrap_or(0.0) / self.total_seconds
+        }
+    }
+
+    /// Seconds spent in a mode.
+    pub fn seconds(&self, mode: TransportMode) -> f64 {
+        self.seconds.get(&mode).copied().unwrap_or(0.0)
+    }
+
+    /// Total annotated move seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_seconds
+    }
+
+    /// The dominant mode, if any time was recorded.
+    pub fn dominant(&self) -> Option<TransportMode> {
+        self.seconds
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(&m, _)| m)
+    }
+}
+
+/// Summary mobility statistics of one mover across days.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MobilitySummary {
+    /// All recorded positions (for the gyration radius).
+    positions: Vec<Point>,
+    /// Total traveled distance in meters.
+    pub total_distance_m: f64,
+    /// Number of trajectories accumulated.
+    pub trajectories: usize,
+}
+
+impl MobilitySummary {
+    /// Accumulates one raw trajectory.
+    pub fn add_trajectory(&mut self, traj: &RawTrajectory) {
+        self.positions.extend(traj.records().iter().map(|r| r.point));
+        self.total_distance_m += traj.path_length();
+        self.trajectories += 1;
+    }
+
+    /// Radius of gyration over every recorded position.
+    pub fn radius_of_gyration(&self) -> f64 {
+        radius_of_gyration(&self.positions)
+    }
+
+    /// Mean traveled distance per trajectory.
+    pub fn mean_distance_m(&self) -> f64 {
+        if self.trajectories == 0 {
+            0.0
+        } else {
+            self.total_distance_m / self.trajectories as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_data::GpsRecord;
+    use semitri_geo::{TimeSpan, Timestamp};
+
+    #[test]
+    fn gyration_of_symmetric_square() {
+        let pts = vec![
+            Point::new(-1.0, -1.0),
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 1.0),
+            Point::new(-1.0, 1.0),
+        ];
+        assert!((radius_of_gyration(&pts) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gyration_degenerate() {
+        assert_eq!(radius_of_gyration(&[]), 0.0);
+        assert_eq!(radius_of_gyration(&[Point::new(5.0, 5.0)]), 0.0);
+        assert_eq!(
+            radius_of_gyration(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]),
+            0.0
+        );
+    }
+
+    fn entry(mode: TransportMode, t0: f64, t1: f64) -> RouteEntry {
+        RouteEntry {
+            segment: 0,
+            span: TimeSpan::new(Timestamp(t0), Timestamp(t1)),
+            start: 0,
+            end: 1,
+            mode: Some(mode),
+        }
+    }
+
+    #[test]
+    fn mode_shares_accumulate() {
+        let mut s = ModeShares::default();
+        s.add_route(&[
+            entry(TransportMode::Walk, 0.0, 300.0),
+            entry(TransportMode::Metro, 300.0, 900.0),
+            entry(TransportMode::Walk, 900.0, 1_000.0),
+        ]);
+        assert_eq!(s.total_seconds(), 1_000.0);
+        assert!((s.share(TransportMode::Walk) - 0.4).abs() < 1e-12);
+        assert!((s.share(TransportMode::Metro) - 0.6).abs() < 1e-12);
+        assert_eq!(s.share(TransportMode::Bus), 0.0);
+        assert_eq!(s.dominant(), Some(TransportMode::Metro));
+    }
+
+    #[test]
+    fn mode_shares_empty() {
+        let s = ModeShares::default();
+        assert_eq!(s.share(TransportMode::Walk), 0.0);
+        assert_eq!(s.dominant(), None);
+    }
+
+    #[test]
+    fn mobility_summary() {
+        let mut m = MobilitySummary::default();
+        let traj = RawTrajectory::new(
+            1,
+            1,
+            vec![
+                GpsRecord::new(Point::new(0.0, 0.0), Timestamp(0.0)),
+                GpsRecord::new(Point::new(1_000.0, 0.0), Timestamp(100.0)),
+            ],
+        );
+        m.add_trajectory(&traj);
+        m.add_trajectory(&traj);
+        assert_eq!(m.trajectories, 2);
+        assert_eq!(m.total_distance_m, 2_000.0);
+        assert_eq!(m.mean_distance_m(), 1_000.0);
+        assert!((m.radius_of_gyration() - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! Sequential pattern mining over structured semantic trajectories.
+//!
+//! The Analytics Layer of Fig. 2 lists *sequential mining*: once
+//! trajectories are semantic sequences like `home → road(bus) → office`,
+//! frequent sub-sequences are behavioral patterns ("this user commutes by
+//! bus on weekdays"). This module mines frequent contiguous k-grams of
+//! episode labels across a corpus of semantic trajectories, with minimum
+//! support counting *per trajectory* (a pattern repeating within one day
+//! counts once — the standard sequence-support definition).
+
+use semitri_core::model::{AnnotationValue, StructuredSemanticTrajectory};
+use std::collections::HashMap;
+
+/// A mined sequential pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencePattern {
+    /// The label sequence (place label, optionally suffixed with mode).
+    pub labels: Vec<String>,
+    /// Number of trajectories containing the pattern.
+    pub support: usize,
+}
+
+/// How episode tuples are rendered into pattern symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// Use the place label ("Rue R4", "market district 3").
+    Place,
+    /// Use the transport mode / activity annotation when present, falling
+    /// back to the place label ("walk", "item sale").
+    Semantic,
+}
+
+/// Renders one trajectory into its symbol sequence.
+pub fn symbols_of(sst: &StructuredSemanticTrajectory, kind: SymbolKind) -> Vec<String> {
+    sst.tuples
+        .iter()
+        .map(|t| {
+            if kind == SymbolKind::Semantic {
+                for a in &t.annotations {
+                    match &a.value {
+                        AnnotationValue::Mode(m) => return format!("move({})", m.label()),
+                        AnnotationValue::Activity(c) => return format!("stop({})", c.label()),
+                        _ => {}
+                    }
+                }
+            }
+            t.place
+                .as_ref()
+                .map(|p| p.label.clone())
+                .unwrap_or_else(|| "?".to_string())
+        })
+        .collect()
+}
+
+/// Mines frequent contiguous k-grams (`k in min_len..=max_len`) with
+/// per-trajectory support ≥ `min_support`. Results are sorted by
+/// descending support, then longer patterns first, then lexicographically.
+pub fn mine_sequences(
+    ssts: &[StructuredSemanticTrajectory],
+    kind: SymbolKind,
+    min_len: usize,
+    max_len: usize,
+    min_support: usize,
+) -> Vec<SequencePattern> {
+    assert!(min_len >= 1 && max_len >= min_len, "invalid length range");
+    let mut support: HashMap<Vec<String>, usize> = HashMap::new();
+    for sst in ssts {
+        let symbols = symbols_of(sst, kind);
+        let mut seen: std::collections::HashSet<Vec<String>> = std::collections::HashSet::new();
+        for k in min_len..=max_len.min(symbols.len()) {
+            for window in symbols.windows(k) {
+                seen.insert(window.to_vec());
+            }
+        }
+        for gram in seen {
+            *support.entry(gram).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<SequencePattern> = support
+        .into_iter()
+        .filter(|&(_, s)| s >= min_support)
+        .map(|(labels, support)| SequencePattern { labels, support })
+        .collect();
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(b.labels.len().cmp(&a.labels.len()))
+            .then(a.labels.cmp(&b.labels))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_core::model::{Annotation, PlaceKind, PlaceRef, SemanticTuple};
+    use semitri_data::{PoiCategory, TransportMode};
+    use semitri_geo::{TimeSpan, Timestamp};
+
+    fn tuple(label: &str, mode: Option<TransportMode>, act: Option<PoiCategory>) -> SemanticTuple {
+        let mut annotations = Vec::new();
+        if let Some(m) = mode {
+            annotations.push(Annotation::mode(m));
+        }
+        if let Some(c) = act {
+            annotations.push(Annotation::activity(c));
+        }
+        SemanticTuple {
+            place: Some(PlaceRef::new(PlaceKind::Region, 0, label)),
+            span: TimeSpan::new(Timestamp(0.0), Timestamp(1.0)),
+            annotations,
+        }
+    }
+
+    fn day(seq: &[(&str, Option<TransportMode>, Option<PoiCategory>)]) -> StructuredSemanticTrajectory {
+        StructuredSemanticTrajectory {
+            object_id: 1,
+            trajectory_id: 0,
+            tuples: seq.iter().map(|(l, m, a)| tuple(l, *m, *a)).collect(),
+        }
+    }
+
+    fn commute_day() -> StructuredSemanticTrajectory {
+        day(&[
+            ("home", None, None),
+            ("road", Some(TransportMode::Bus), None),
+            ("office", None, Some(PoiCategory::Services)),
+            ("road", Some(TransportMode::Bus), None),
+            ("home", None, None),
+        ])
+    }
+
+    #[test]
+    fn symbols_place_and_semantic() {
+        let sst = commute_day();
+        assert_eq!(
+            symbols_of(&sst, SymbolKind::Place),
+            vec!["home", "road", "office", "road", "home"]
+        );
+        assert_eq!(
+            symbols_of(&sst, SymbolKind::Semantic),
+            vec!["home", "move(bus)", "stop(services)", "move(bus)", "home"]
+        );
+    }
+
+    #[test]
+    fn frequent_commute_pattern_found() {
+        let ssts: Vec<_> = (0..5).map(|_| commute_day()).collect();
+        let patterns = mine_sequences(&ssts, SymbolKind::Place, 2, 3, 4);
+        assert!(!patterns.is_empty());
+        // the home→road→office trigram must appear with support 5
+        let p = patterns
+            .iter()
+            .find(|p| p.labels == ["home", "road", "office"])
+            .expect("commute pattern present");
+        assert_eq!(p.support, 5);
+        // sorted by support descending
+        for w in patterns.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn support_counts_per_trajectory_not_per_occurrence() {
+        // "road" appears twice in one day but contributes support 1
+        let ssts = vec![commute_day()];
+        let patterns = mine_sequences(&ssts, SymbolKind::Place, 1, 1, 1);
+        let road = patterns.iter().find(|p| p.labels == ["road"]).unwrap();
+        assert_eq!(road.support, 1);
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let mut ssts: Vec<_> = (0..3).map(|_| commute_day()).collect();
+        ssts.push(day(&[("gym", None, Some(PoiCategory::PersonLife))]));
+        let patterns = mine_sequences(&ssts, SymbolKind::Place, 1, 2, 2);
+        assert!(patterns.iter().all(|p| p.support >= 2));
+        assert!(!patterns.iter().any(|p| p.labels == ["gym"]));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        assert!(mine_sequences(&[], SymbolKind::Place, 1, 3, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length range")]
+    fn rejects_bad_lengths() {
+        mine_sequences(&[], SymbolKind::Place, 2, 1, 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Trajectory similarity measures.
+//!
+//! The paper's introduction lists "semantic similarity" among the
+//! analytics semantic trajectories enable. Two complementary measures are
+//! provided:
+//!
+//! * [`semantic_edit_distance`] / [`semantic_similarity`] — Levenshtein
+//!   distance over the *symbol sequences* of two structured semantic
+//!   trajectories ("home → move(bus) → office" vs "home → move(metro) →
+//!   office"), capturing behavioral similarity independent of geometry;
+//! * [`lcss_similarity`] — Longest Common Subsequence over raw GPS points
+//!   with a spatial matching threshold (Vlachos et al.), capturing
+//!   geometric similarity robust to noise and different sampling rates.
+
+use crate::patterns::{symbols_of, SymbolKind};
+use semitri_core::model::StructuredSemanticTrajectory;
+use semitri_data::RawTrajectory;
+
+/// Levenshtein distance between two symbol sequences.
+pub fn edit_distance(a: &[String], b: &[String]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Edit distance over the semantic symbol sequences of two trajectories.
+pub fn semantic_edit_distance(
+    a: &StructuredSemanticTrajectory,
+    b: &StructuredSemanticTrajectory,
+    kind: SymbolKind,
+) -> usize {
+    edit_distance(&symbols_of(a, kind), &symbols_of(b, kind))
+}
+
+/// Normalized semantic similarity in `[0, 1]`: `1 - dist / max_len`.
+/// Two empty trajectories are fully similar.
+pub fn semantic_similarity(
+    a: &StructuredSemanticTrajectory,
+    b: &StructuredSemanticTrajectory,
+    kind: SymbolKind,
+) -> f64 {
+    let sa = symbols_of(a, kind);
+    let sb = symbols_of(b, kind);
+    let max = sa.len().max(sb.len());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(&sa, &sb) as f64 / max as f64
+}
+
+/// LCSS similarity between two raw trajectories: the length of the longest
+/// common subsequence under a spatial matching threshold `eps_m`,
+/// normalized by the shorter length. `1.0` = one trajectory shadows the
+/// other within `eps_m`; `0.0` = nothing matches (or either is empty).
+pub fn lcss_similarity(a: &RawTrajectory, b: &RawTrajectory, eps_m: f64) -> f64 {
+    assert!(eps_m > 0.0, "matching threshold must be positive");
+    let pa = a.records();
+    let pb = b.records();
+    let (n, m) = (pa.len(), pb.len());
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            cur[j] = if pa[i - 1].point.distance(pb[j - 1].point) <= eps_m {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] as f64 / n.min(m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_core::model::{Annotation, PlaceKind, PlaceRef, SemanticTuple};
+    use semitri_data::{GpsRecord, TransportMode};
+    use semitri_geo::{Point, TimeSpan, Timestamp};
+
+    fn sym(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance(&sym(&[]), &sym(&[])), 0);
+        assert_eq!(edit_distance(&sym(&["a"]), &sym(&[])), 1);
+        assert_eq!(edit_distance(&sym(&["a", "b", "c"]), &sym(&["a", "b", "c"])), 0);
+        assert_eq!(edit_distance(&sym(&["a", "b", "c"]), &sym(&["a", "x", "c"])), 1);
+        assert_eq!(edit_distance(&sym(&["a", "b"]), &sym(&["b", "a"])), 2);
+        // symmetry
+        assert_eq!(
+            edit_distance(&sym(&["a", "b", "c", "d"]), &sym(&["b", "c"])),
+            edit_distance(&sym(&["b", "c"]), &sym(&["a", "b", "c", "d"]))
+        );
+    }
+
+    fn day(modes: &[TransportMode]) -> StructuredSemanticTrajectory {
+        let tuples = modes
+            .iter()
+            .enumerate()
+            .map(|(i, m)| SemanticTuple {
+                place: Some(PlaceRef::new(PlaceKind::Line, i as u64, "road")),
+                span: TimeSpan::new(Timestamp(i as f64), Timestamp(i as f64 + 1.0)),
+                annotations: vec![Annotation::mode(*m)],
+            })
+            .collect();
+        StructuredSemanticTrajectory {
+            object_id: 1,
+            trajectory_id: 0,
+            tuples,
+        }
+    }
+
+    #[test]
+    fn semantic_similarity_mode_sensitive() {
+        let bus_day = day(&[TransportMode::Walk, TransportMode::Bus, TransportMode::Walk]);
+        let metro_day = day(&[TransportMode::Walk, TransportMode::Metro, TransportMode::Walk]);
+        assert_eq!(semantic_similarity(&bus_day, &bus_day, SymbolKind::Semantic), 1.0);
+        let s = semantic_similarity(&bus_day, &metro_day, SymbolKind::Semantic);
+        assert!((s - 2.0 / 3.0).abs() < 1e-12);
+        // under Place symbols they're identical ("road" everywhere)
+        assert_eq!(semantic_similarity(&bus_day, &metro_day, SymbolKind::Place), 1.0);
+    }
+
+    #[test]
+    fn semantic_similarity_empty() {
+        let empty = StructuredSemanticTrajectory::default();
+        assert_eq!(semantic_similarity(&empty, &empty, SymbolKind::Place), 1.0);
+        let one = day(&[TransportMode::Walk]);
+        assert_eq!(semantic_similarity(&empty, &one, SymbolKind::Place), 0.0);
+    }
+
+    fn traj(points: &[(f64, f64)]) -> RawTrajectory {
+        RawTrajectory::new(
+            1,
+            1,
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| GpsRecord::new(Point::new(x, y), Timestamp(i as f64)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lcss_identical_is_one() {
+        let a = traj(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        assert_eq!(lcss_similarity(&a, &a, 5.0), 1.0);
+    }
+
+    #[test]
+    fn lcss_tolerates_noise_within_eps() {
+        let a = traj(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
+        let b = traj(&[(0.0, 3.0), (10.0, -3.0), (20.0, 2.0), (30.0, -1.0)]);
+        assert_eq!(lcss_similarity(&a, &b, 5.0), 1.0);
+        assert!(lcss_similarity(&a, &b, 1.0) < 0.5);
+    }
+
+    #[test]
+    fn lcss_disjoint_is_zero() {
+        let a = traj(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = traj(&[(1_000.0, 0.0), (1_010.0, 0.0)]);
+        assert_eq!(lcss_similarity(&a, &b, 5.0), 0.0);
+    }
+
+    #[test]
+    fn lcss_handles_different_lengths_and_rates() {
+        // b samples the same path at double rate
+        let a = traj(&[(0.0, 0.0), (20.0, 0.0), (40.0, 0.0)]);
+        let b = traj(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (20.0, 0.0),
+            (30.0, 0.0),
+            (40.0, 0.0),
+        ]);
+        assert_eq!(lcss_similarity(&a, &b, 2.0), 1.0);
+    }
+
+    #[test]
+    fn lcss_empty_is_zero() {
+        let a = traj(&[(0.0, 0.0)]);
+        let empty = RawTrajectory::default();
+        assert_eq!(lcss_similarity(&a, &empty, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lcss_rejects_bad_eps() {
+        let a = traj(&[(0.0, 0.0)]);
+        lcss_similarity(&a, &a, 0.0);
+    }
+}

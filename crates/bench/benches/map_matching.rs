@@ -1,0 +1,108 @@
+//! Algorithm 2 throughput: global map matching vs the geometric
+//! baselines, across network densities.
+//!
+//! Backs the paper's claim that R\*-tree candidate selection keeps the
+//! global algorithm linear in the number of GPS points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use semitri::core::line::baseline::{BaselineMetric, NearestSegmentMatcher};
+use semitri::prelude::*;
+use std::hint::black_box;
+
+fn drive(city: &City, seed: u64) -> Vec<GpsRecord> {
+    let mut sim = TripSimulator::new(
+        &city.roads,
+        SimConfig::default(),
+        seed,
+        Point::new(1_500.0, 2_500.0),
+        Timestamp(0.0),
+    );
+    sim.travel_to(
+        Point::new(city.bounds().width() * 0.8, city.bounds().height() * 0.8),
+        TransportMode::Car,
+    );
+    sim.finish(0, 0).records
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let city = City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 8_000.0, 8_000.0),
+        block: 200.0,
+        poi_count: 100,
+        seed: 3,
+        ..CityConfig::default()
+    });
+    let records = drive(&city, 5);
+    let mut g = c.benchmark_group("map_matching");
+    g.throughput(Throughput::Elements(records.len() as u64));
+
+    let global = GlobalMapMatcher::new(&city.roads, MatchParams::default());
+    g.bench_function("global", |b| {
+        b.iter(|| black_box(global.match_records(&records)))
+    });
+
+    let local = NearestSegmentMatcher::new(&city.roads, BaselineMetric::PointSegment, 60.0);
+    g.bench_function("local_nearest", |b| {
+        b.iter(|| black_box(local.match_records(&records)))
+    });
+
+    let perp = NearestSegmentMatcher::new(&city.roads, BaselineMetric::Perpendicular, 60.0);
+    g.bench_function("perpendicular", |b| {
+        b.iter(|| black_box(perp.match_records(&records)))
+    });
+    g.finish();
+}
+
+fn bench_network_scaling(c: &mut Criterion) {
+    // per-point cost should stay ~flat as the network grows (R*-tree
+    // candidate selection), demonstrating the O(n) claim
+    let mut g = c.benchmark_group("map_matching_scaling");
+    for extent in [4_000.0f64, 8_000.0, 16_000.0] {
+        let city = City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, extent, extent),
+            block: 200.0,
+            poi_count: 100,
+            seed: 3,
+            ..CityConfig::default()
+        });
+        let records = drive(&city, 5);
+        let segs = city.roads.segments().len();
+        let matcher = GlobalMapMatcher::new(&city.roads, MatchParams::default());
+        g.throughput(Throughput::Elements(records.len() as u64));
+        g.bench_with_input(BenchmarkId::new("global", segs), &records, |b, records| {
+            b.iter(|| black_box(matcher.match_records(records)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_radius_sweep(c: &mut Criterion) {
+    // cost of growing the global-view radius (more neighbors per point)
+    let city = City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 8_000.0, 8_000.0),
+        block: 200.0,
+        poi_count: 100,
+        seed: 3,
+        ..CityConfig::default()
+    });
+    let records = drive(&city, 5);
+    let mut g = c.benchmark_group("map_matching_radius");
+    for radius in [15.0f64, 30.0, 60.0, 120.0] {
+        let matcher = GlobalMapMatcher::new(
+            &city.roads,
+            MatchParams {
+                radius_m: radius,
+                ..MatchParams::default()
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(radius as u64),
+            &records,
+            |b, records| b.iter(|| black_box(matcher.match_records(records))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_network_scaling, bench_radius_sweep);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! End-to-end pipeline throughput per daily trajectory (the computation
+//! side of Fig. 17) plus the durable-store write cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use semitri::prelude::*;
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let dataset = smartphone_users(2, 2, 9);
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+    let total: usize = raws.iter().map(|r| r.len()).sum();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(20);
+    g.bench_function("annotate_people_day", |b| {
+        b.iter(|| {
+            for raw in &raws {
+                black_box(semitri.annotate(raw));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_vehicle_pipeline(c: &mut Criterion) {
+    let dataset = lausanne_taxis(1, 9);
+    let semitri = SeMiTri::new(
+        &dataset.city,
+        PipelineConfig {
+            mode: ModeInferencer {
+                allow_car: true,
+                ..ModeInferencer::default()
+            },
+            policy: Box::new(VelocityPolicy::vehicles()),
+            ..PipelineConfig::default()
+        },
+    );
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+    let total: usize = raws.iter().map(|r| r.len()).sum();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(10);
+    g.bench_function("annotate_taxi_day", |b| {
+        b.iter(|| {
+            for raw in &raws {
+                black_box(semitri.annotate(raw));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_store_writes(c: &mut Criterion) {
+    let dataset = smartphone_users(1, 1, 9);
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let out = semitri.annotate(&dataset.tracks[0].to_raw());
+
+    let mut g = c.benchmark_group("store");
+    g.sample_size(20);
+
+    g.bench_function("in_memory_put", |b| {
+        b.iter(|| {
+            let store = SemanticTrajectoryStore::in_memory();
+            store
+                .put_trajectory(TrajectoryMeta {
+                    trajectory_id: out.sst.trajectory_id,
+                    object_id: out.sst.object_id,
+                    record_count: out.cleaned.len() as u64,
+                })
+                .unwrap();
+            store.put_episodes(out.sst.trajectory_id, &out.episodes).unwrap();
+            store.put_sst(&out.sst).unwrap();
+            black_box(store.counts())
+        })
+    });
+
+    let path = std::env::temp_dir().join(format!("semitri_bench_{}.stlog", std::process::id()));
+    g.bench_function("durable_put_synced", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&path);
+            let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+            store
+                .put_trajectory(TrajectoryMeta {
+                    trajectory_id: out.sst.trajectory_id,
+                    object_id: out.sst.object_id,
+                    record_count: out.cleaned.len() as u64,
+                })
+                .unwrap();
+            store.put_episodes(out.sst.trajectory_id, &out.episodes).unwrap();
+            store.put_sst(&out.sst).unwrap();
+            black_box(store.counts())
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_vehicle_pipeline,
+    bench_store_writes
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Trajectory Computation Layer throughput: cleaning and the stop/move
+//! computing policies of Fig. 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use semitri::episodes::clean::{gaussian_smooth, median_filter, remove_speed_outliers};
+use semitri::prelude::*;
+use std::hint::black_box;
+
+fn synthetic_day(records: usize) -> RawTrajectory {
+    // alternating dwell / drive pattern, 5 s sampling
+    let mut recs = Vec::with_capacity(records);
+    let mut x = 0.0;
+    for i in 0..records {
+        let phase = (i / 200) % 2;
+        if phase == 1 {
+            x += 50.0; // moving at 10 m/s
+        }
+        let jitter = ((i * 2_654_435_761) % 17) as f64 - 8.0;
+        recs.push(GpsRecord::new(
+            Point::new(x + jitter, jitter * 0.7),
+            Timestamp(i as f64 * 5.0),
+        ));
+    }
+    RawTrajectory::new(1, 1, recs)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segmentation");
+    for n in [1_000usize, 10_000, 100_000] {
+        let traj = synthetic_day(n);
+        g.throughput(Throughput::Elements(n as u64));
+        let velocity = VelocityPolicy::default();
+        g.bench_with_input(BenchmarkId::new("velocity", n), &traj, |b, traj| {
+            b.iter(|| black_box(velocity.segment(traj)))
+        });
+        let density = DensityPolicy::default();
+        g.bench_with_input(BenchmarkId::new("density", n), &traj, |b, traj| {
+            b.iter(|| black_box(density.segment(traj)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cleaning(c: &mut Criterion) {
+    let traj = synthetic_day(50_000);
+    let mut g = c.benchmark_group("cleaning");
+    g.throughput(Throughput::Elements(traj.len() as u64));
+    g.bench_function("speed_outliers", |b| {
+        b.iter(|| black_box(remove_speed_outliers(traj.records(), 70.0)))
+    });
+    g.bench_function("gaussian_smooth", |b| {
+        b.iter(|| black_box(gaussian_smooth(traj.records(), 10.0)))
+    });
+    g.bench_function("median_filter", |b| {
+        b.iter(|| black_box(median_filter(traj.records(), 2)))
+    });
+    g.finish();
+}
+
+fn bench_identification(c: &mut Criterion) {
+    let traj = synthetic_day(50_000);
+    let ident = TrajectoryIdentifier::default();
+    c.bench_function("identify_50k", |b| {
+        b.iter(|| black_box(ident.identify(1, 0, traj.records())))
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_cleaning, bench_identification);
+criterion_main!(benches);

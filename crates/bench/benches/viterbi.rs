@@ -1,0 +1,98 @@
+//! Algorithm 3 throughput: HMM stop annotation.
+//!
+//! Measures Viterbi decoding vs stop-sequence length and the ablation the
+//! paper motivates in §4.3: precomputed discretized observation rows vs
+//! exact per-stop Gaussian sums.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use semitri::core::point::hmm::Hmm;
+use semitri::core::point::observation::PoiObservationModel;
+use semitri::core::point::{PointAnnotator, PointParams};
+use semitri::prelude::*;
+use std::hint::black_box;
+
+fn poi_scene(count: usize) -> (PoiSet, Rect) {
+    let bounds = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+    (PoiSet::generate(bounds, count, 8, 11), bounds)
+}
+
+fn stop_centers(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.618;
+            Point::new(
+                2_500.0 + 5_000.0 * (t.sin() * 0.5 + 0.5),
+                2_500.0 + 5_000.0 * ((t * 1.3).cos() * 0.5 + 0.5),
+            )
+        })
+        .collect()
+}
+
+fn bench_viterbi_length(c: &mut Criterion) {
+    // pure decoder cost vs sequence length (5 states, like the taxonomy)
+    let pi = vec![0.2; 5];
+    let a = Hmm::default_transitions(5);
+    let hmm = Hmm::new(&pi, &a).unwrap();
+    let mut g = c.benchmark_group("viterbi_decode");
+    for len in [10usize, 100, 1_000, 10_000] {
+        let b_rows: Vec<Vec<f64>> = (0..len)
+            .map(|i| (0..5).map(|j| 0.1 + ((i * 7 + j * 3) % 13) as f64 / 13.0).collect())
+            .collect();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &b_rows, |b, rows| {
+            b.iter(|| black_box(hmm.viterbi(rows).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_observation_models(c: &mut Criterion) {
+    let (pois, bounds) = poi_scene(5_000);
+    let model = PoiObservationModel::new(&pois, bounds, 30.0, 75.0);
+    let centers = stop_centers(200);
+    let mut g = c.benchmark_group("observation_model");
+    g.throughput(Throughput::Elements(centers.len() as u64));
+    g.bench_function("discretized", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &p in &centers {
+                acc += model.observe_discretized(p)[0];
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &p in &centers {
+                acc += model.observe_exact(p)[0];
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_annotation(c: &mut Criterion) {
+    // end-to-end point layer vs POI density
+    let mut g = c.benchmark_group("point_annotation");
+    for poi_count in [1_000usize, 5_000, 20_000] {
+        let (pois, bounds) = poi_scene(poi_count);
+        let annotator = PointAnnotator::new(&pois, bounds, PointParams::default()).unwrap();
+        let centers = stop_centers(50);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(poi_count),
+            &centers,
+            |b, centers| b.iter(|| black_box(annotator.annotate_stops(centers))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_viterbi_length,
+    bench_observation_models,
+    bench_full_annotation
+);
+criterion_main!(benches);

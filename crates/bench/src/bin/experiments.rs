@@ -1,0 +1,74 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <table1|table2|fig9|...|fig17|ablations|throughput|all> [--scale N]
+//! ```
+
+use semitri_bench::{
+    ablations, fig10, fig11, fig12_13, fig14, fig15_16, fig17, fig9, tables, throughput, Scale,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|table2|fig9|...|fig17|ablations|throughput|all> [--scale N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale(1);
+    let mut which: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    usage();
+                };
+                scale = Scale(v.max(1));
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        usage();
+    }
+
+    for w in which {
+        match w.as_str() {
+            "table1" => tables::table1(scale),
+            "table2" => tables::table2(scale),
+            "fig9" => fig9::run(scale),
+            "fig10" => fig10::run(scale),
+            "fig11" => fig11::run(scale),
+            "fig12" => fig12_13::fig12(scale),
+            "fig13" => fig12_13::fig13(scale),
+            "fig14" => fig14::run(scale),
+            "fig15" => fig15_16::fig15(scale),
+            "fig16" => fig15_16::fig16(scale),
+            "fig17" => fig17::run(scale),
+            "ablations" => ablations::run(scale),
+            "throughput" => throughput::run(scale),
+            "all" => {
+                tables::table1(scale);
+                tables::table2(scale);
+                fig9::run(scale);
+                fig10::run(scale);
+                fig11::run(scale);
+                fig12_13::fig12(scale);
+                fig12_13::fig13(scale);
+                fig14::run(scale);
+                fig15_16::fig15(scale);
+                fig15_16::fig16(scale);
+                fig17::run(scale);
+                ablations::run(scale);
+                throughput::run(scale);
+            }
+            _ => usage(),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 9: landuse category distribution of taxi trajectories, split into
+//! trajectory / move / stop columns, plus the §5.2 compression numbers.
+//!
+//! Paper shape to reproduce: building areas (1.2) and transportation
+//! areas (1.3) together cover ~83% of taxi GPS records; moves dominate
+//! the landuse coverage; the semantic representation compresses storage
+//! by ~99.7% (distinct cells vs raw records).
+
+use crate::util::{header, pct, Table};
+use crate::Scale;
+use semitri::core::pipeline::compression_ratio;
+use semitri::prelude::*;
+
+/// Runs the Fig. 9 experiment.
+pub fn run(scale: Scale) {
+    header("Fig. 9 — landuse distribution over taxi data (trajectory / move / stop)");
+    let dataset = lausanne_taxis(scale.apply(4), 42);
+    println!(
+        "  dataset: {} daily trajectories, {} GPS records (seed 42)",
+        dataset.tracks.len(),
+        dataset.total_records()
+    );
+
+    let semitri = SeMiTri::new(
+        &dataset.city,
+        PipelineConfig {
+            mode: ModeInferencer {
+                allow_car: true,
+                ..ModeInferencer::default()
+            },
+            policy: Box::new(VelocityPolicy::vehicles()),
+            ..PipelineConfig::default()
+        },
+    );
+
+    let mut all = LanduseDistribution::default();
+    let mut stops = LanduseDistribution::default();
+    let mut moves = LanduseDistribution::default();
+    let mut n_stops = 0usize;
+    let mut n_moves = 0usize;
+    let mut records = 0usize;
+    let mut tuples = 0usize;
+    let mut distinct_cells: Vec<u64> = Vec::new();
+
+    for track in &dataset.tracks {
+        let out = semitri.annotate(&track.to_raw());
+        let ann = semitri.region_annotator();
+        all.merge(&LanduseDistribution::of_trajectory(ann, &out.cleaned));
+        stops.merge(&LanduseDistribution::of_episodes(
+            ann,
+            &out.cleaned,
+            &out.episodes,
+            EpisodeKind::Stop,
+        ));
+        moves.merge(&LanduseDistribution::of_episodes(
+            ann,
+            &out.cleaned,
+            &out.episodes,
+            EpisodeKind::Move,
+        ));
+        let st = EpisodeStats::of(&out.episodes);
+        n_stops += st.stops;
+        n_moves += st.moves;
+        records += out.cleaned.len();
+        tuples += out.region_tuples.len();
+        distinct_cells.extend(out.region_tuples.iter().map(|t| t.place.id));
+    }
+    distinct_cells.sort_unstable();
+    distinct_cells.dedup();
+
+    println!(
+        "  episodes: {} trajectories, {} moves, {} stops (paper: 172 / 1,824 / 1,786)",
+        dataset.tracks.len(),
+        n_moves,
+        n_stops
+    );
+
+    let mut t = Table::new(&["landuse", "label", "trajectory", "move", "stop"]);
+    for cat in LanduseCategory::ALL {
+        if all.count(cat) == 0 && moves.count(cat) == 0 && stops.count(cat) == 0 {
+            continue;
+        }
+        t.row(&[
+            cat.code().to_string(),
+            cat.label().chars().take(34).collect(),
+            pct(all.share(cat)),
+            pct(moves.share(cat)),
+            pct(stops.share(cat)),
+        ]);
+    }
+    t.print();
+
+    let building_transport =
+        all.share(LanduseCategory::Building) + all.share(LanduseCategory::Transportation);
+    println!(
+        "\n  building (1.2) + transportation (1.3): {} of records (paper: ~83%, 46.6% + 36.1%)",
+        pct(building_transport)
+    );
+    let move_share = moves.total() as f64 / all.total().max(1) as f64;
+    println!(
+        "  move records cover {} of the landuse area, stops {} (paper: 79.25% / 20.75%)",
+        pct(move_share),
+        pct(1.0 - move_share)
+    );
+    println!(
+        "  storage compression: {} raw records → {} region tuples ({}), {} distinct cells ({}) — paper: 99.7%",
+        records,
+        tuples,
+        pct(compression_ratio(records, tuples)),
+        distinct_cells.len(),
+        pct(compression_ratio(records, distinct_cells.len()))
+    );
+}

@@ -1,0 +1,82 @@
+//! Small output helpers shared by the experiment modules.
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// A fixed-width text table printer.
+pub struct Table {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with header cells.
+    pub fn new(headers: &[&str]) -> Self {
+        let mut t = Table {
+            widths: headers.iter().map(|h| h.len()).collect(),
+            rows: Vec::new(),
+        };
+        t.push_row(headers.iter().map(|s| s.to_string()).collect());
+        t
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.widths.len(), "row arity mismatch");
+        self.push_row(cells.to_vec());
+    }
+
+    fn push_row(&mut self, cells: Vec<String>) {
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn print(&self) {
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            println!("  {}", line.join("  "));
+            if i == 0 {
+                let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+                println!("  {}", sep.join("  "));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panic() {
+        let mut t = Table::new(&["a", "long header"]);
+        t.row(&["x".to_string(), "y".to_string()]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_checks_arity() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.4266), "42.66%");
+    }
+}

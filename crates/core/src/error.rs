@@ -1,0 +1,65 @@
+//! Error type of the annotation framework.
+
+use std::fmt;
+
+/// Errors surfaced by the SeMiTri annotation layers.
+///
+/// The layers are tolerant by design — unmatched points and unannotated
+/// episodes are represented as `None`/empty results, not errors — so this
+/// enum only covers genuine misuse or missing substrate data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemitriError {
+    /// An operation that needs at least one GPS record got an empty
+    /// trajectory.
+    EmptyTrajectory,
+    /// The line annotation layer was invoked without any road data.
+    NoRoadData,
+    /// The point annotation layer was invoked without any POI data.
+    NoPoiData,
+    /// HMM dimensions are inconsistent (π, A, B sizes disagree).
+    HmmDimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SemitriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemitriError::EmptyTrajectory => write!(f, "trajectory has no GPS records"),
+            SemitriError::NoRoadData => write!(f, "no road network data available"),
+            SemitriError::NoPoiData => write!(f, "no POI data available"),
+            SemitriError::HmmDimensionMismatch { expected, got } => {
+                write!(f, "HMM dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemitriError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SemitriError::EmptyTrajectory.to_string(),
+            "trajectory has no GPS records"
+        );
+        let e = SemitriError::HmmDimensionMismatch {
+            expected: 5,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(SemitriError::NoRoadData);
+    }
+}

@@ -1,0 +1,48 @@
+//! # semitri-core — the SeMiTri semantic annotation framework
+//!
+//! Implementation of the paper's primary contribution: the three semantic
+//! annotation layers that progressively turn raw trajectories into
+//! *structured semantic trajectories* (Definition 4), plus the pipeline
+//! orchestrating them (Fig. 2):
+//!
+//! * [`model`] — semantic places, annotations, semantic episodes and the
+//!   structured semantic trajectory (Definitions 2–4);
+//! * [`region`] — Semantic Region Annotation Layer: R\*-tree spatial join
+//!   of trajectories against ROIs (Algorithm 1);
+//! * [`mod@line`] — Semantic Line Annotation Layer: global map matching with
+//!   the point–segment distance (Eq. 1), local/global scores (Eqs. 2–4)
+//!   and transport-mode inference (Algorithm 2), with geometric baselines
+//!   for the ablation benchmarks;
+//! * [`point`] — Semantic Point Annotation Layer: HMM over POI categories
+//!   with the Gaussian/discretized observation model of §4.3 and log-space
+//!   Viterbi decoding (Algorithm 3), plus a nearest-POI baseline;
+//! * [`pipeline`] — the `SeMiTri` orchestrator wiring cleaning, episode
+//!   computation and the three layers together, with per-layer latency
+//!   instrumentation (Fig. 17);
+//! * [`streaming`] — the real-time annotator (§1.2: "annotation data is
+//!   even required in real-time"): incremental stop/move detection with
+//!   immediate per-episode annotation and causal forward-filtered stop
+//!   activities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod line;
+pub mod model;
+pub mod pipeline;
+pub mod point;
+pub mod region;
+pub mod streaming;
+
+pub use error::SemitriError;
+pub use line::matcher::{GlobalMapMatcher, MatchParams, MatchedPoint};
+pub use line::mode::ModeInferencer;
+pub use model::{
+    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple,
+    StructuredSemanticTrajectory,
+};
+pub use pipeline::{LatencyProfile, PipelineConfig, PipelineOutput, SeMiTri};
+pub use point::PointAnnotator;
+pub use region::{RegionAnnotator, RegionTuple};
+pub use streaming::{StreamEvent, StreamingAnnotator};

@@ -1,0 +1,123 @@
+//! Semantic Line Annotation Layer (paper §4.2, Algorithm 2).
+//!
+//! Two stages: (1) global map matching mapping the move episodes of a
+//! trajectory onto road segments using the point–segment distance
+//! (Eq. 1), local scores (Eq. 2) and kernel-smoothed global scores
+//! (Eqs. 3–4); (2) transport-mode inference over the matched segment
+//! sequence.
+//!
+//! [`baseline`] hosts the geometric matchers the ablation benchmarks
+//! compare against.
+
+pub mod baseline;
+pub mod incremental;
+pub mod matcher;
+pub mod mode;
+
+use crate::model::{Annotation, PlaceKind, PlaceRef};
+use semitri_data::{GpsRecord, RoadNetwork, TransportMode};
+use semitri_data::road::SegmentId;
+use semitri_geo::TimeSpan;
+
+/// One entry of the matched route: a maximal run of records mapped to the
+/// same road segment, with its inferred transportation mode — the paper's
+/// `⟨r_i, mode_i⟩` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteEntry {
+    /// The matched road segment.
+    pub segment: SegmentId,
+    /// Entering/leaving times on the segment.
+    pub span: TimeSpan,
+    /// First matched record index (inclusive, within the matched slice).
+    pub start: usize,
+    /// Last matched record index (exclusive).
+    pub end: usize,
+    /// Inferred transport mode for this run.
+    pub mode: Option<TransportMode>,
+}
+
+impl RouteEntry {
+    /// Converts to a line place reference against `net`.
+    pub fn place_ref(&self, net: &RoadNetwork) -> PlaceRef {
+        let seg = net.segment(self.segment);
+        PlaceRef::new(PlaceKind::Line, seg.id as u64, seg.name.clone())
+    }
+
+    /// Mode annotation, when a mode was inferred.
+    pub fn mode_annotation(&self) -> Option<Annotation> {
+        self.mode.map(Annotation::mode)
+    }
+}
+
+/// Groups per-record matches into maximal same-segment [`RouteEntry`] runs
+/// (Algorithm 2 lines 19–24: a new trajectory tuple whenever the matched
+/// segment changes). Unmatched records break runs.
+pub fn group_matches(
+    records: &[GpsRecord],
+    matches: &[Option<matcher::MatchedPoint>],
+) -> Vec<RouteEntry> {
+    assert_eq!(records.len(), matches.len(), "records/matches length mismatch");
+    let mut out: Vec<RouteEntry> = Vec::new();
+    for (i, m) in matches.iter().enumerate() {
+        let Some(m) = m else { continue };
+        if let Some(last) = out.last_mut() {
+            if last.segment == m.segment && last.end == i {
+                last.end = i + 1;
+                last.span = TimeSpan::new(last.span.start, records[i].t);
+                continue;
+            }
+        }
+        out.push(RouteEntry {
+            segment: m.segment,
+            span: TimeSpan::new(records[i].t, records[i].t),
+            start: i,
+            end: i + 1,
+            mode: None,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::matcher::MatchedPoint;
+    use super::*;
+    use semitri_geo::{Point, Timestamp};
+
+    fn rec(t: f64) -> GpsRecord {
+        GpsRecord::new(Point::new(t, 0.0), Timestamp(t))
+    }
+
+    fn mp(seg: SegmentId) -> Option<MatchedPoint> {
+        Some(MatchedPoint {
+            segment: seg,
+            snapped: Point::new(0.0, 0.0),
+            score: 1.0,
+        })
+    }
+
+    #[test]
+    fn grouping_merges_runs_and_breaks_on_gaps() {
+        let records: Vec<GpsRecord> = (0..6).map(|i| rec(i as f64)).collect();
+        let matches = vec![mp(1), mp(1), None, mp(1), mp(2), mp(2)];
+        let entries = group_matches(&records, &matches);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].segment, 1);
+        assert_eq!((entries[0].start, entries[0].end), (0, 2));
+        assert_eq!(entries[1].segment, 1); // gap broke the run
+        assert_eq!((entries[1].start, entries[1].end), (3, 4));
+        assert_eq!(entries[2].segment, 2);
+        assert_eq!(entries[2].span.duration(), 1.0);
+    }
+
+    #[test]
+    fn grouping_empty() {
+        assert!(group_matches(&[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn grouping_checks_lengths() {
+        group_matches(&[rec(0.0)], &[]);
+    }
+}

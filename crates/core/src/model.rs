@@ -1,0 +1,344 @@
+//! The semantic trajectory model (paper Definitions 2–4).
+//!
+//! A *semantic place* is a meaningful geographic object of one of three
+//! spatial kinds — region, line or point (Definition 2). A *structured
+//! semantic trajectory* is a sequence of episode tuples
+//! `(place, time_in, time_out, annotations)` (Definition 4). Annotations
+//! split into *geographic reference* annotations (links to places) and
+//! *additional value* annotations (transport mode, activity, …).
+
+use semitri_data::{PoiCategory, TransportMode};
+use semitri_geo::TimeSpan;
+use std::fmt;
+
+/// The spatial kind of a semantic place (Definition 2 partitions `P` into
+/// `P_region ∪ P_line ∪ P_point`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaceKind {
+    /// A region of interest (landuse cell, campus, park).
+    Region,
+    /// A line of interest (road segment, metro line).
+    Line,
+    /// A point of interest (shop, restaurant).
+    Point,
+}
+
+impl PlaceKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlaceKind::Region => "region",
+            PlaceKind::Line => "line",
+            PlaceKind::Point => "point",
+        }
+    }
+}
+
+/// A geographic-reference annotation: a link to a semantic place in some
+/// third-party source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceRef {
+    /// Spatial kind of the referenced place.
+    pub kind: PlaceKind,
+    /// Identifier within its source (cell id, segment id, POI id).
+    pub id: u64,
+    /// Human-readable label ("building areas", "Rue R4", "feedings #12").
+    pub label: String,
+}
+
+impl PlaceRef {
+    /// Creates a reference.
+    pub fn new(kind: PlaceKind, id: u64, label: impl Into<String>) -> Self {
+        Self {
+            kind,
+            id,
+            label: label.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlaceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}({})", self.kind.label(), self.id, self.label)
+    }
+}
+
+/// An additional-value annotation attached to an episode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnotationValue {
+    /// Inferred transportation mode (line layer).
+    Mode(TransportMode),
+    /// Inferred stop activity category (point layer).
+    Activity(PoiCategory),
+    /// Free-text value.
+    Text(String),
+    /// Numeric value (average speed, confidence, …).
+    Number(f64),
+}
+
+/// A keyed annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Annotation attribute name ("mode", "activity", "avg_speed", …).
+    pub key: String,
+    /// The value.
+    pub value: AnnotationValue,
+}
+
+impl Annotation {
+    /// Creates an annotation.
+    pub fn new(key: impl Into<String>, value: AnnotationValue) -> Self {
+        Self {
+            key: key.into(),
+            value,
+        }
+    }
+
+    /// Convenience constructor for a transport-mode annotation.
+    pub fn mode(mode: TransportMode) -> Self {
+        Self::new("mode", AnnotationValue::Mode(mode))
+    }
+
+    /// Convenience constructor for an activity annotation.
+    pub fn activity(cat: PoiCategory) -> Self {
+        Self::new("activity", AnnotationValue::Activity(cat))
+    }
+
+    /// The transport mode, if this is a mode annotation.
+    pub fn as_mode(&self) -> Option<TransportMode> {
+        match self.value {
+            AnnotationValue::Mode(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The activity category, if this is an activity annotation.
+    pub fn as_activity(&self) -> Option<PoiCategory> {
+        match self.value {
+            AnnotationValue::Activity(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// One episode tuple of a structured semantic trajectory:
+/// `ep = (sp, time_in, time_out, A)` (Definition 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticTuple {
+    /// The linked semantic place; `None` when no source covered the episode
+    /// (the paper's partial annotations, §5.1).
+    pub place: Option<PlaceRef>,
+    /// Entering/leaving times.
+    pub span: TimeSpan,
+    /// Additional value annotations.
+    pub annotations: Vec<Annotation>,
+}
+
+impl SemanticTuple {
+    /// First annotation with the given key.
+    pub fn annotation(&self, key: &str) -> Option<&Annotation> {
+        self.annotations.iter().find(|a| a.key == key)
+    }
+}
+
+/// A structured semantic trajectory (Definition 4): the final output of
+/// the annotation pipeline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StructuredSemanticTrajectory {
+    /// Moving-object id.
+    pub object_id: u64,
+    /// Trajectory id.
+    pub trajectory_id: u64,
+    /// The episode tuples, time-ordered.
+    pub tuples: Vec<SemanticTuple>,
+}
+
+impl StructuredSemanticTrajectory {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// An *interpretation* of the trajectory by one annotation attribute
+    /// (§3.1: "each annotation attribute may define its list of episodes
+    /// e.g. by cutting the trajectory each time the value of the
+    /// annotation attribute changes"). Consecutive tuples with the same
+    /// value of `key` merge into one `(value, span)` episode; tuples
+    /// without the attribute carry `None`.
+    pub fn interpretation(&self, key: &str) -> Vec<(Option<AnnotationValue>, TimeSpan)> {
+        let mut out: Vec<(Option<AnnotationValue>, TimeSpan)> = Vec::new();
+        for t in &self.tuples {
+            let value = t.annotation(key).map(|a| a.value.clone());
+            match out.last_mut() {
+                Some((last, span)) if *last == value => {
+                    *span = span.union(&t.span);
+                }
+                _ => out.push((value, t.span)),
+            }
+        }
+        out
+    }
+
+    /// Renders the trajectory as the paper's triple notation, e.g.
+    /// `(home, d0 08:00:00-d0 09:00:00, -) → (road, …, on-bus) → …`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" → ");
+            }
+            let place = t
+                .place
+                .as_ref()
+                .map(|p| p.label.clone())
+                .unwrap_or_else(|| "?".to_string());
+            let extra = t
+                .annotations
+                .iter()
+                .filter_map(|a| match &a.value {
+                    AnnotationValue::Mode(m) => Some(format!("on-{}", m.label())),
+                    AnnotationValue::Activity(c) => Some(c.label().to_string()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let extra = if extra.is_empty() { "-".to_string() } else { extra };
+            out.push_str(&format!(
+                "({place}, {}-{}, {extra})",
+                t.span.start, t.span.end
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_geo::Timestamp;
+
+    fn span(a: f64, b: f64) -> TimeSpan {
+        TimeSpan::new(Timestamp(a), Timestamp(b))
+    }
+
+    #[test]
+    fn place_ref_display() {
+        let p = PlaceRef::new(PlaceKind::Region, 42, "building areas");
+        assert_eq!(p.to_string(), "region:42(building areas)");
+    }
+
+    #[test]
+    fn annotation_accessors() {
+        let m = Annotation::mode(TransportMode::Metro);
+        assert_eq!(m.as_mode(), Some(TransportMode::Metro));
+        assert_eq!(m.as_activity(), None);
+        let a = Annotation::activity(PoiCategory::Feedings);
+        assert_eq!(a.as_activity(), Some(PoiCategory::Feedings));
+        assert_eq!(a.as_mode(), None);
+        assert_eq!(a.key, "activity");
+    }
+
+    #[test]
+    fn tuple_annotation_lookup() {
+        let t = SemanticTuple {
+            place: None,
+            span: span(0.0, 10.0),
+            annotations: vec![
+                Annotation::new("avg_speed", AnnotationValue::Number(3.2)),
+                Annotation::mode(TransportMode::Walk),
+            ],
+        };
+        assert!(t.annotation("mode").is_some());
+        assert!(t.annotation("nope").is_none());
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let sst = StructuredSemanticTrajectory {
+            object_id: 1,
+            trajectory_id: 1,
+            tuples: vec![
+                SemanticTuple {
+                    place: Some(PlaceRef::new(PlaceKind::Region, 1, "home")),
+                    span: span(0.0, 3_600.0),
+                    annotations: vec![],
+                },
+                SemanticTuple {
+                    place: Some(PlaceRef::new(PlaceKind::Line, 9, "road")),
+                    span: span(3_600.0, 5_400.0),
+                    annotations: vec![Annotation::mode(TransportMode::Bus)],
+                },
+                SemanticTuple {
+                    place: Some(PlaceRef::new(PlaceKind::Point, 3, "market")),
+                    span: span(5_400.0, 7_200.0),
+                    annotations: vec![Annotation::activity(PoiCategory::ItemSale)],
+                },
+            ],
+        };
+        let s = sst.render();
+        assert!(s.contains("(home, d0 00:00:00-d0 01:00:00, -)"));
+        assert!(s.contains("→ (road,"));
+        assert!(s.contains("on-bus"));
+        assert!(s.contains("item sale"));
+    }
+
+    #[test]
+    fn interpretation_cuts_on_value_change() {
+        let sst = StructuredSemanticTrajectory {
+            object_id: 1,
+            trajectory_id: 1,
+            tuples: vec![
+                SemanticTuple {
+                    place: None,
+                    span: span(0.0, 10.0),
+                    annotations: vec![Annotation::mode(TransportMode::Walk)],
+                },
+                SemanticTuple {
+                    place: None,
+                    span: span(10.0, 20.0),
+                    annotations: vec![Annotation::mode(TransportMode::Walk)],
+                },
+                SemanticTuple {
+                    place: None,
+                    span: span(20.0, 30.0),
+                    annotations: vec![Annotation::mode(TransportMode::Metro)],
+                },
+                SemanticTuple {
+                    place: None,
+                    span: span(30.0, 40.0),
+                    annotations: vec![],
+                },
+            ],
+        };
+        let interp = sst.interpretation("mode");
+        assert_eq!(interp.len(), 3);
+        assert_eq!(
+            interp[0],
+            (
+                Some(AnnotationValue::Mode(TransportMode::Walk)),
+                span(0.0, 20.0)
+            )
+        );
+        assert_eq!(
+            interp[1].0,
+            Some(AnnotationValue::Mode(TransportMode::Metro))
+        );
+        assert_eq!(interp[2], (None, span(30.0, 40.0)));
+        // a different attribute yields a different interpretation
+        let by_activity = sst.interpretation("activity");
+        assert_eq!(by_activity.len(), 1);
+        assert_eq!(by_activity[0].0, None);
+    }
+
+    #[test]
+    fn empty_sst() {
+        let sst = StructuredSemanticTrajectory::default();
+        assert!(sst.is_empty());
+        assert_eq!(sst.render(), "");
+    }
+}

@@ -1,0 +1,540 @@
+//! The SeMiTri pipeline: Fig. 2 end to end.
+//!
+//! Wires the Trajectory Computation Layer (cleaning + stop/move
+//! segmentation) to the three annotation layers and assembles the final
+//! structured semantic trajectory, measuring per-layer latency as the
+//! paper does in Fig. 17.
+
+use crate::line::matcher::{GlobalMapMatcher, MatchParams};
+use crate::line::mode::ModeInferencer;
+use crate::line::{group_matches, RouteEntry};
+use crate::model::{
+    Annotation, AnnotationValue, SemanticTuple,
+    StructuredSemanticTrajectory,
+};
+use crate::point::{PointAnnotator, PointParams, StopAnnotation};
+use crate::region::{RegionAnnotator, RegionTuple};
+use semitri_data::{City, RawTrajectory};
+use semitri_episodes::clean::{gaussian_smooth, remove_speed_outliers};
+use semitri_episodes::{Episode, EpisodeKind, SegmentationPolicy, VelocityPolicy};
+use std::time::Instant;
+
+/// Cleaning parameters of the Trajectory Computation Layer.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanConfig {
+    /// Fixes implying a faster speed are dropped as outliers.
+    pub max_speed_mps: f64,
+    /// Optional Gaussian smoothing bandwidth (seconds).
+    pub smooth_sigma_secs: Option<f64>,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        Self {
+            max_speed_mps: 70.0,
+            smooth_sigma_secs: None,
+        }
+    }
+}
+
+/// Pipeline configuration.
+pub struct PipelineConfig {
+    /// Cleaning parameters.
+    pub clean: CleanConfig,
+    /// Stop/move computing policy.
+    pub policy: Box<dyn SegmentationPolicy + Send + Sync>,
+    /// Global map-matching parameters.
+    pub match_params: MatchParams,
+    /// Transport-mode inference parameters.
+    pub mode: ModeInferencer,
+    /// Point-layer parameters.
+    pub point_params: PointParams,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            clean: CleanConfig::default(),
+            policy: Box::new(VelocityPolicy::default()),
+            match_params: MatchParams::default(),
+            mode: ModeInferencer::default(),
+            point_params: PointParams::default(),
+        }
+    }
+}
+
+/// Wall-clock seconds spent in each stage for one trajectory (Fig. 17's
+/// computation/annotation latencies; storage latency is measured by
+/// `semitri-store`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyProfile {
+    /// Cleaning + episode computation.
+    pub compute_episode_secs: f64,
+    /// Map matching + mode inference over the move episodes.
+    pub map_match_secs: f64,
+    /// Landuse / region spatial join.
+    pub landuse_join_secs: f64,
+    /// HMM stop annotation.
+    pub point_secs: f64,
+}
+
+/// Everything the pipeline produced for one trajectory.
+pub struct PipelineOutput {
+    /// The cleaned trajectory the episode indexes refer to.
+    pub cleaned: RawTrajectory,
+    /// Stop/move episodes over `cleaned`.
+    pub episodes: Vec<Episode>,
+    /// Algorithm 1 region tuples over `cleaned`.
+    pub region_tuples: Vec<RegionTuple>,
+    /// Per-move-episode matched routes: `(episode index, entries)`. Entry
+    /// record ranges are relative to the episode's record slice.
+    pub move_routes: Vec<(usize, Vec<RouteEntry>)>,
+    /// Per-stop-episode annotations: `(episode index, annotation)`.
+    pub stop_annotations: Vec<(usize, StopAnnotation)>,
+    /// The assembled structured semantic trajectory.
+    pub sst: StructuredSemanticTrajectory,
+    /// Per-layer latencies.
+    pub latency: LatencyProfile,
+}
+
+/// The SeMiTri middleware bound to one city's geographic sources.
+pub struct SeMiTri<'c> {
+    city: &'c City,
+    region: RegionAnnotator,
+    named: RegionAnnotator,
+    matcher: GlobalMapMatcher<'c>,
+    point: Option<PointAnnotator>,
+    config: PipelineConfig,
+}
+
+impl<'c> SeMiTri<'c> {
+    /// Builds the middleware: indexes the landuse grid, the road network
+    /// and the POIs of `city`. The point layer is skipped when the city
+    /// has no POIs (the paper's sparse-Lausanne situation, §5.3).
+    pub fn new(city: &'c City, config: PipelineConfig) -> Self {
+        let region = RegionAnnotator::from_landuse(&city.landuse);
+        let named = RegionAnnotator::from_named_regions(&city.regions);
+        let matcher = GlobalMapMatcher::new(&city.roads, config.match_params);
+        let point = PointAnnotator::new(&city.pois, city.bounds(), config.point_params).ok();
+        Self {
+            city,
+            region,
+            named,
+            matcher,
+            point,
+            config,
+        }
+    }
+
+    /// The landuse region annotator (exposed for analytics).
+    pub fn region_annotator(&self) -> &RegionAnnotator {
+        &self.region
+    }
+
+    /// The free-form named-region annotator (campus, recreation areas).
+    pub fn named_region_annotator(&self) -> &RegionAnnotator {
+        &self.named
+    }
+
+    /// The map matcher (exposed for benchmarks).
+    pub fn matcher(&self) -> &GlobalMapMatcher<'c> {
+        &self.matcher
+    }
+
+    /// The point annotator, when POI data is available.
+    pub fn point_annotator(&self) -> Option<&PointAnnotator> {
+        self.point.as_ref()
+    }
+
+    /// Runs the full pipeline on one raw trajectory.
+    pub fn annotate(&self, traj: &RawTrajectory) -> PipelineOutput {
+        let mut latency = LatencyProfile::default();
+
+        // --- Trajectory Computation Layer ---
+        let t0 = Instant::now();
+        let mut records = remove_speed_outliers(traj.records(), self.config.clean.max_speed_mps);
+        if let Some(sigma) = self.config.clean.smooth_sigma_secs {
+            records = gaussian_smooth(&records, sigma);
+        }
+        let cleaned = RawTrajectory::new(traj.object_id, traj.trajectory_id, records);
+        let episodes = self.config.policy.segment(&cleaned);
+        latency.compute_episode_secs = t0.elapsed().as_secs_f64();
+
+        // --- Semantic Region Annotation Layer (Algorithm 1) ---
+        let t0 = Instant::now();
+        let region_tuples = self.region.annotate_trajectory(&cleaned);
+        latency.landuse_join_secs = t0.elapsed().as_secs_f64();
+
+        // --- Semantic Line Annotation Layer (Algorithm 2) ---
+        let t0 = Instant::now();
+        let mut move_routes = Vec::new();
+        for (idx, ep) in episodes.iter().enumerate() {
+            if ep.kind != EpisodeKind::Move {
+                continue;
+            }
+            let slice = &cleaned.records()[ep.start..ep.end];
+            let matches = self.matcher.match_records(slice);
+            let mut entries = group_matches(slice, &matches);
+            self.config.mode.annotate(&self.city.roads, slice, &mut entries);
+            move_routes.push((idx, entries));
+        }
+        latency.map_match_secs = t0.elapsed().as_secs_f64();
+
+        // --- Semantic Point Annotation Layer (Algorithm 3) ---
+        let t0 = Instant::now();
+        let mut stop_annotations = Vec::new();
+        if let Some(point) = &self.point {
+            let stop_indexes: Vec<usize> = episodes
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.kind == EpisodeKind::Stop)
+                .map(|(i, _)| i)
+                .collect();
+            let centers: Vec<_> = stop_indexes.iter().map(|&i| episodes[i].center).collect();
+            let anns = point.annotate_stops(&centers);
+            stop_annotations = stop_indexes.into_iter().zip(anns).collect();
+        }
+        latency.point_secs = t0.elapsed().as_secs_f64();
+
+        let sst = self.assemble_sst(&cleaned, &episodes, &move_routes, &stop_annotations);
+
+        PipelineOutput {
+            cleaned,
+            episodes,
+            region_tuples,
+            move_routes,
+            stop_annotations,
+            sst,
+            latency,
+        }
+    }
+
+    /// Assembles the structured semantic trajectory: stops become
+    /// `(place, t_in, t_out, activity)` tuples; moves become one tuple per
+    /// transport-mode leg, as in the paper's §1.1 example.
+    fn assemble_sst(
+        &self,
+        cleaned: &RawTrajectory,
+        episodes: &[Episode],
+        move_routes: &[(usize, Vec<RouteEntry>)],
+        stop_annotations: &[(usize, StopAnnotation)],
+    ) -> StructuredSemanticTrajectory {
+        let mut tuples = Vec::new();
+        for (idx, ep) in episodes.iter().enumerate() {
+            match ep.kind {
+                EpisodeKind::Stop => {
+                    let ann = stop_annotations
+                        .iter()
+                        .find(|(i, _)| *i == idx)
+                        .map(|(_, a)| a);
+                    // place preference (most to least specific): the exact
+                    // POI, a named free-form region (campus, recreation
+                    // area — the paper's Fig. 3 examples), then the landuse
+                    // cell under the stop center
+                    let place = ann
+                        .and_then(|a| a.poi.clone())
+                        .or_else(|| self.named.region_at(ep.center))
+                        .or_else(|| self.region.region_at(ep.center));
+                    let mut annotations = Vec::new();
+                    if let Some(a) = ann {
+                        annotations.push(Annotation::activity(a.category));
+                    }
+                    tuples.push(SemanticTuple {
+                        place,
+                        span: ep.span,
+                        annotations,
+                    });
+                }
+                EpisodeKind::Move => {
+                    let entries = move_routes
+                        .iter()
+                        .find(|(i, _)| *i == idx)
+                        .map(|(_, e)| e.as_slice())
+                        .unwrap_or(&[]);
+                    if entries.is_empty() {
+                        // unmatched move: keep an unannotated tuple so the
+                        // SST still covers the whole trajectory
+                        tuples.push(SemanticTuple {
+                            place: None,
+                            span: ep.span,
+                            annotations: vec![Annotation::new(
+                                "avg_speed",
+                                AnnotationValue::Number(mean_speed(cleaned, ep)),
+                            )],
+                        });
+                        continue;
+                    }
+                    // group consecutive entries by mode into legs
+                    struct Leg {
+                        start: usize, // entry range within `entries`
+                        end: usize,
+                        span: semitri_geo::TimeSpan,
+                        mode: Option<semitri_data::TransportMode>,
+                    }
+                    let mut legs: Vec<Leg> = Vec::new();
+                    let mut leg_start = 0usize;
+                    for i in 1..=entries.len() {
+                        if i < entries.len() && entries[i].mode == entries[leg_start].mode {
+                            continue;
+                        }
+                        legs.push(Leg {
+                            start: leg_start,
+                            end: i,
+                            span: semitri_geo::TimeSpan::new(
+                                entries[leg_start].span.start,
+                                entries[i - 1].span.end,
+                            ),
+                            mode: entries[leg_start].mode,
+                        });
+                        leg_start = i;
+                    }
+                    // absorb flickers: a leg shorter than a minute between
+                    // two legs is mode noise (mis-matched collinear
+                    // segments); merge it into the longer neighbor
+                    const MIN_LEG_SECS: f64 = 60.0;
+                    let mut i = 0usize;
+                    while legs.len() > 1 && i < legs.len() {
+                        if legs[i].span.duration() >= MIN_LEG_SECS {
+                            i += 1;
+                            continue;
+                        }
+                        let into_prev = if i == 0 {
+                            false
+                        } else if i + 1 == legs.len() {
+                            true
+                        } else {
+                            legs[i - 1].span.duration() >= legs[i + 1].span.duration()
+                        };
+                        if into_prev {
+                            legs[i - 1].end = legs[i].end;
+                            legs[i - 1].span = legs[i - 1].span.union(&legs[i].span);
+                            legs.remove(i);
+                        } else {
+                            legs[i + 1].start = legs[i].start;
+                            legs[i + 1].span = legs[i + 1].span.union(&legs[i].span);
+                            legs.remove(i);
+                        }
+                    }
+                    // re-merge adjacent legs that ended up with equal modes
+                    let mut merged: Vec<Leg> = Vec::new();
+                    for leg in legs {
+                        match merged.last_mut() {
+                            Some(last) if last.mode == leg.mode => {
+                                last.end = leg.end;
+                                last.span = last.span.union(&leg.span);
+                            }
+                            _ => merged.push(leg),
+                        }
+                    }
+
+                    for leg in merged {
+                        let longest = entries[leg.start..leg.end]
+                            .iter()
+                            .max_by_key(|e| e.end - e.start)
+                            .expect("leg nonempty");
+                        let place = Some(longest.place_ref(&self.city.roads));
+                        let mut annotations = Vec::new();
+                        if let Some(m) = leg.mode {
+                            annotations.push(Annotation::mode(m));
+                        }
+                        tuples.push(SemanticTuple {
+                            place,
+                            span: leg.span,
+                            annotations,
+                        });
+                    }
+                }
+            }
+        }
+        StructuredSemanticTrajectory {
+            object_id: cleaned.object_id,
+            trajectory_id: cleaned.trajectory_id,
+            tuples,
+        }
+    }
+}
+
+fn mean_speed(traj: &RawTrajectory, ep: &Episode) -> f64 {
+    let slice = &traj.records()[ep.start..ep.end];
+    if slice.len() < 2 {
+        return 0.0;
+    }
+    let speeds: Vec<f64> = slice.windows(2).map(|w| w[0].speed_to(&w[1])).collect();
+    speeds.iter().sum::<f64>() / speeds.len() as f64
+}
+
+/// Ratio of semantic tuples to raw GPS records — the paper's storage
+/// compression measure ("3M GPS records can be annotated with only 8,385
+/// cells", 99.7%).
+pub fn compression_ratio(raw_records: usize, semantic_tuples: usize) -> f64 {
+    if raw_records == 0 {
+        return 0.0;
+    }
+    1.0 - semantic_tuples as f64 / raw_records as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_data::sim::{SimConfig, TripSimulator};
+    use semitri_data::{CityConfig, PoiCategory, TransportMode};
+    use semitri_geo::{Point, Rect, Timestamp};
+
+    fn small_city() -> City {
+        City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, 5_000.0, 5_000.0),
+            poi_count: 400,
+            region_count: 4,
+            seed: 77,
+            ..CityConfig::default()
+        })
+    }
+
+    fn daily_trip(city: &City) -> semitri_data::sim::SimulatedTrack {
+        let mut sim = TripSimulator::new(
+            &city.roads,
+            SimConfig {
+                sampling_interval: 5.0,
+                ..SimConfig::default()
+            },
+            9,
+            Point::new(1_200.0, 1_500.0),
+            Timestamp(8.0 * 3_600.0),
+        );
+        sim.dwell(900.0, true, None);
+        sim.travel_to(Point::new(3_800.0, 3_600.0), TransportMode::Car);
+        sim.dwell(1_800.0, false, Some((3, PoiCategory::ItemSale)));
+        sim.travel_to(Point::new(1_200.0, 1_500.0), TransportMode::Car);
+        sim.dwell(900.0, true, None);
+        sim.finish(1, 1)
+    }
+
+    #[test]
+    fn full_pipeline_produces_consistent_output() {
+        let city = small_city();
+        let semitri = SeMiTri::new(
+            &city,
+            PipelineConfig {
+                mode: ModeInferencer {
+                    allow_car: true,
+                    ..ModeInferencer::default()
+                },
+                ..PipelineConfig::default()
+            },
+        );
+        let track = daily_trip(&city);
+        let out = semitri.annotate(&track.to_raw());
+
+        // episodes partition the cleaned trajectory
+        assert!(!out.episodes.is_empty());
+        assert_eq!(out.episodes[0].start, 0);
+        assert_eq!(out.episodes.last().unwrap().end, out.cleaned.len());
+        for w in out.episodes.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+
+        // region tuples cover the whole trajectory (landuse covers bounds)
+        let covered: usize = out.region_tuples.iter().map(|t| t.record_count()).sum();
+        assert_eq!(covered, out.cleaned.len());
+
+        // there is at least one stop and one move
+        let stops = out
+            .episodes
+            .iter()
+            .filter(|e| e.kind == EpisodeKind::Stop)
+            .count();
+        let moves = out.episodes.len() - stops;
+        assert!(stops >= 2, "stops {stops}");
+        assert!(moves >= 1, "moves {moves}");
+
+        // every move episode got a route
+        assert_eq!(out.move_routes.len(), moves);
+        for (_, entries) in &out.move_routes {
+            assert!(!entries.is_empty());
+            for e in entries {
+                assert!(e.mode.is_some());
+            }
+        }
+
+        // every stop got a point annotation
+        assert_eq!(out.stop_annotations.len(), stops);
+
+        // the SST has a tuple per stop plus >= 1 per move, time-ordered
+        assert!(out.sst.len() >= out.episodes.len());
+        for w in out.sst.tuples.windows(2) {
+            assert!(w[0].span.start.0 <= w[1].span.start.0);
+        }
+
+        // latencies were measured
+        assert!(out.latency.compute_episode_secs >= 0.0);
+        assert!(out.latency.map_match_secs > 0.0);
+    }
+
+    #[test]
+    fn car_modes_inferred_for_vehicle_config() {
+        let city = small_city();
+        let semitri = SeMiTri::new(
+            &city,
+            PipelineConfig {
+                mode: ModeInferencer {
+                    allow_car: true,
+                    ..ModeInferencer::default()
+                },
+                ..PipelineConfig::default()
+            },
+        );
+        let track = daily_trip(&city);
+        let out = semitri.annotate(&track.to_raw());
+        let modes: Vec<TransportMode> = out
+            .move_routes
+            .iter()
+            .flat_map(|(_, es)| es.iter().filter_map(|e| e.mode))
+            .collect();
+        assert!(
+            modes.contains(&TransportMode::Car),
+            "modes {modes:?}"
+        );
+    }
+
+    #[test]
+    fn sst_render_is_nonempty_and_sequential() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let track = daily_trip(&city);
+        let out = semitri.annotate(&track.to_raw());
+        let rendered = out.sst.render();
+        assert!(rendered.contains("→"));
+    }
+
+    #[test]
+    fn empty_trajectory_is_handled() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let out = semitri.annotate(&RawTrajectory::default());
+        assert!(out.episodes.is_empty());
+        assert!(out.sst.is_empty());
+        assert!(out.region_tuples.is_empty());
+    }
+
+    #[test]
+    fn compression_ratio_measure() {
+        assert_eq!(compression_ratio(0, 0), 0.0);
+        assert!((compression_ratio(1_000, 3) - 0.997).abs() < 1e-12);
+        assert_eq!(compression_ratio(10, 10), 0.0);
+    }
+
+    #[test]
+    fn stop_annotation_resolves_plausible_category() {
+        // the dwell in daily_trip happens at an ItemSale POI of the city;
+        // the HMM should pick a category with local support (the exact one
+        // depends on the neighborhood mix)
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let track = daily_trip(&city);
+        let out = semitri.annotate(&track.to_raw());
+        assert!(!out.stop_annotations.is_empty());
+        for (_, ann) in &out.stop_annotations {
+            assert!(PoiCategory::ALL.contains(&ann.category));
+        }
+    }
+}

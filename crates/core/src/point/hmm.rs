@@ -1,0 +1,379 @@
+//! Hidden Markov model with log-space Viterbi decoding (paper §4.3,
+//! Algorithm 3).
+//!
+//! The model is dimension-generic (the Milan taxonomy has 5 categories,
+//! but nothing below depends on that) and works entirely in log space:
+//! the paper's recursion `δ_{t+1}(j) = max_i{δ_t(i) A_ij} · B_j(o_{t+1})`
+//! underflows after a few dozen stops in linear space.
+
+use crate::error::SemitriError;
+
+/// A discrete HMM `λ = (π, A, B)` with `n` hidden states. `B` is supplied
+/// per observation as a row of (unnormalized) likelihoods, so any
+/// observation model plugs in.
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    log_pi: Vec<f64>,
+    log_a: Vec<f64>, // n × n, row-major: log Pr(j | i)
+    n: usize,
+}
+
+/// Floor applied to zero probabilities before taking logs, so impossible
+/// transitions stay effectively impossible without producing `-inf - -inf`
+/// arithmetic.
+const LOG_FLOOR: f64 = -1e12;
+
+fn safe_ln(p: f64) -> f64 {
+    if p > 0.0 {
+        p.ln()
+    } else {
+        LOG_FLOOR
+    }
+}
+
+impl Hmm {
+    /// Builds a model from linear-space `π` and `A` (rows of `A` are
+    /// per-state transition distributions).
+    ///
+    /// # Errors
+    /// Returns [`SemitriError::HmmDimensionMismatch`] when `A` is not
+    /// `n × n` for `n = π.len()`, or `n == 0`.
+    pub fn new(pi: &[f64], a: &[Vec<f64>]) -> Result<Self, SemitriError> {
+        let n = pi.len();
+        if n == 0 {
+            return Err(SemitriError::HmmDimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        if a.len() != n || a.iter().any(|row| row.len() != n) {
+            return Err(SemitriError::HmmDimensionMismatch {
+                expected: n,
+                got: a.len(),
+            });
+        }
+        let log_pi = pi.iter().map(|&p| safe_ln(p)).collect();
+        let mut log_a = Vec::with_capacity(n * n);
+        for row in a {
+            for &p in row {
+                log_a.push(safe_ln(p));
+            }
+        }
+        Ok(Self { log_pi, log_a, n })
+    }
+
+    /// Number of hidden states.
+    pub fn state_count(&self) -> usize {
+        self.n
+    }
+
+    /// The paper's Fig. 6 default transition matrix generalized to `n`
+    /// states: strong self-transition (0.8) with the remainder spread
+    /// uniformly, and a weakly-sticky last state (the "unknown" category:
+    /// 0.15 toward every named state, 0.4 self).
+    #[allow(clippy::needless_range_loop)]
+    pub fn default_transitions(n: usize) -> Vec<Vec<f64>> {
+        assert!(n >= 2, "need at least two states");
+        let mut a = vec![vec![0.0; n]; n];
+        let off = 0.2 / (n - 1) as f64;
+        for (i, row) in a.iter_mut().enumerate().take(n - 1) {
+            for (j, p) in row.iter_mut().enumerate() {
+                *p = if i == j { 0.8 } else { off };
+            }
+        }
+        // last state = unknown: likely to leave
+        let leave = 0.6 / (n - 1) as f64;
+        for j in 0..n {
+            a[n - 1][j] = if j == n - 1 { 0.4 } else { leave };
+        }
+        a
+    }
+
+    /// Viterbi decoding (Algorithm 3): the most probable hidden-state
+    /// sequence for an observation sequence given as per-step likelihood
+    /// rows `b[t][i] = Pr(o_t | state i)` (linear space, unnormalized
+    /// allowed). Returns the state indexes, plus the log-probability of the
+    /// best path.
+    ///
+    /// # Errors
+    /// Returns [`SemitriError::HmmDimensionMismatch`] if any row's length
+    /// differs from the state count. An empty observation sequence yields
+    /// an empty path with probability 0 (log 0.0).
+    pub fn viterbi(&self, b: &[Vec<f64>]) -> Result<(Vec<usize>, f64), SemitriError> {
+        for row in b {
+            if row.len() != self.n {
+                return Err(SemitriError::HmmDimensionMismatch {
+                    expected: self.n,
+                    got: row.len(),
+                });
+            }
+        }
+        let t_len = b.len();
+        if t_len == 0 {
+            return Ok((Vec::new(), 0.0));
+        }
+        let n = self.n;
+        // initialization: δ_1(i) = π_i B_i(o_1); ψ_1(i) = 0
+        let mut delta: Vec<f64> = (0..n)
+            .map(|i| self.log_pi[i] + safe_ln(b[0][i]))
+            .collect();
+        let mut psi = vec![vec![0usize; n]; t_len];
+        let mut next = vec![0.0f64; n];
+        // recursion: δ_t(j) = max_i[δ_{t-1}(i) A_ij] · B_j(o_t)
+        // (explicit i/j indices mirror the paper's A_ij notation)
+        #[allow(clippy::needless_range_loop)]
+        for t in 1..t_len {
+            for j in 0..n {
+                let mut best_i = 0;
+                let mut best = f64::NEG_INFINITY;
+                for i in 0..n {
+                    let v = delta[i] + self.log_a[i * n + j];
+                    if v > best {
+                        best = v;
+                        best_i = i;
+                    }
+                }
+                next[j] = best + safe_ln(b[t][j]);
+                psi[t][j] = best_i;
+            }
+            std::mem::swap(&mut delta, &mut next);
+        }
+        // termination + backtracking
+        let (mut q, &p_star) = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("n >= 1");
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = q;
+        for t in (1..t_len).rev() {
+            q = psi[t][q];
+            path[t - 1] = q;
+        }
+        Ok((path, p_star))
+    }
+
+    /// Forward-filtering initialization: `α_1(i) = π_i B_i(o_1)` in log
+    /// space. Used by the streaming annotator for causal (online) stop
+    /// annotation.
+    ///
+    /// # Errors
+    /// Returns [`SemitriError::HmmDimensionMismatch`] on a wrong-size row.
+    pub fn forward_init(&self, b_row: &[f64]) -> Result<Vec<f64>, SemitriError> {
+        if b_row.len() != self.n {
+            return Err(SemitriError::HmmDimensionMismatch {
+                expected: self.n,
+                got: b_row.len(),
+            });
+        }
+        Ok((0..self.n)
+            .map(|i| self.log_pi[i] + safe_ln(b_row[i]))
+            .collect())
+    }
+
+    /// One forward-filtering step:
+    /// `α_{t+1}(j) = [Σ_i α_t(i) A_ij] · B_j(o_{t+1})`, computed with
+    /// log-sum-exp for stability.
+    ///
+    /// # Errors
+    /// Returns [`SemitriError::HmmDimensionMismatch`] on wrong-size inputs.
+    #[allow(clippy::needless_range_loop)] // explicit i/j mirror α_t(i) A_ij
+    pub fn forward_step(&self, prev: &[f64], b_row: &[f64]) -> Result<Vec<f64>, SemitriError> {
+        if prev.len() != self.n || b_row.len() != self.n {
+            return Err(SemitriError::HmmDimensionMismatch {
+                expected: self.n,
+                got: prev.len().min(b_row.len()),
+            });
+        }
+        let n = self.n;
+        let mut out = Vec::with_capacity(n);
+        for j in 0..n {
+            // log-sum-exp over i of prev[i] + log A_ij
+            let mut max = f64::NEG_INFINITY;
+            for i in 0..n {
+                max = max.max(prev[i] + self.log_a[i * n + j]);
+            }
+            let sum: f64 = (0..n)
+                .map(|i| (prev[i] + self.log_a[i * n + j] - max).exp())
+                .sum();
+            out.push(max + sum.ln() + safe_ln(b_row[j]));
+        }
+        Ok(out)
+    }
+
+    /// Brute-force most-probable path by enumerating every state sequence.
+    /// Exponential; only for cross-checking Viterbi in tests.
+    #[doc(hidden)]
+    pub fn brute_force(&self, b: &[Vec<f64>]) -> Option<(Vec<usize>, f64)> {
+        let t_len = b.len();
+        if t_len == 0 {
+            return Some((Vec::new(), 0.0));
+        }
+        let n = self.n;
+        let total = n.checked_pow(t_len as u32)?;
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for code in 0..total {
+            let mut seq = Vec::with_capacity(t_len);
+            let mut c = code;
+            for _ in 0..t_len {
+                seq.push(c % n);
+                c /= n;
+            }
+            let mut lp = self.log_pi[seq[0]] + safe_ln(b[0][seq[0]]);
+            for t in 1..t_len {
+                lp += self.log_a[seq[t - 1] * n + seq[t]] + safe_ln(b[t][seq[t]]);
+            }
+            if best.as_ref().is_none_or(|(_, bp)| lp > *bp) {
+                best = Some((seq, lp));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Hmm {
+        // classic weather model
+        Hmm::new(
+            &[0.6, 0.4],
+            &[vec![0.7, 0.3], vec![0.4, 0.6]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_validated() {
+        assert!(Hmm::new(&[], &[]).is_err());
+        assert!(Hmm::new(&[1.0], &[vec![1.0, 0.0]]).is_err());
+        assert!(Hmm::new(&[0.5, 0.5], &[vec![1.0, 0.0]]).is_err());
+        assert!(two_state().viterbi(&[vec![0.5]]).is_err());
+    }
+
+    #[test]
+    fn empty_observation_sequence() {
+        let (path, lp) = two_state().viterbi(&[]).unwrap();
+        assert!(path.is_empty());
+        assert_eq!(lp, 0.0);
+    }
+
+    #[test]
+    fn single_observation_picks_map_state() {
+        let hmm = two_state();
+        // observation strongly favors state 1
+        let (path, _) = hmm.viterbi(&[vec![0.1, 0.9]]).unwrap();
+        assert_eq!(path, vec![1]);
+        // but a strong prior can override a weak likelihood
+        let (path, _) = hmm.viterbi(&[vec![0.5, 0.51]]).unwrap();
+        assert_eq!(path, vec![0]); // π favors state 0 (0.6 · 0.5 > 0.4 · 0.51)
+    }
+
+    #[test]
+    fn sticky_transitions_bridge_weak_evidence() {
+        // state 0 sticky; a single weak contrary observation in the middle
+        // should not flip the path
+        let hmm = Hmm::new(
+            &[0.5, 0.5],
+            &[vec![0.95, 0.05], vec![0.05, 0.95]],
+        )
+        .unwrap();
+        let b = vec![
+            vec![0.9, 0.1],
+            vec![0.45, 0.55], // slightly favors 1
+            vec![0.9, 0.1],
+        ];
+        let (path, _) = hmm.viterbi(&b).unwrap();
+        assert_eq!(path, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force_on_random_instances() {
+        // deterministic LCG random instances, 3 states, lengths 1..=6
+        let mut state = 0xfeed_f00du64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / u32::MAX as f64).max(1e-3)
+        };
+        for trial in 0..30 {
+            let n = 3;
+            let pi: Vec<f64> = (0..n).map(|_| next()).collect();
+            let a: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let hmm = Hmm::new(&pi, &a).unwrap();
+            let t_len = 1 + trial % 6;
+            let b: Vec<Vec<f64>> = (0..t_len)
+                .map(|_| (0..n).map(|_| next()).collect())
+                .collect();
+            let (vp, vlp) = hmm.viterbi(&b).unwrap();
+            let (bp, blp) = hmm.brute_force(&b).unwrap();
+            assert!(
+                (vlp - blp).abs() < 1e-9,
+                "trial {trial}: viterbi {vlp} vs brute {blp}"
+            );
+            assert_eq!(vp, bp, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn impossible_transition_is_never_taken() {
+        // state 1 unreachable from state 0 and vice versa; observations
+        // alternate preference, but the path must stay in one state
+        let hmm = Hmm::new(
+            &[0.5, 0.5],
+            &[vec![1.0, 0.0], vec![0.0, 1.0]],
+        )
+        .unwrap();
+        let b = vec![vec![0.9, 0.1], vec![0.1, 0.9], vec![0.9, 0.1]];
+        let (path, _) = hmm.viterbi(&b).unwrap();
+        assert!(path == vec![0, 0, 0] || path == vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn long_sequence_does_not_underflow() {
+        let hmm = two_state();
+        let b: Vec<Vec<f64>> = (0..10_000).map(|_| vec![1e-30, 2e-30]).collect();
+        let (path, lp) = hmm.viterbi(&b).unwrap();
+        assert_eq!(path.len(), 10_000);
+        assert!(lp.is_finite());
+        assert!(path.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn forward_filtering_tracks_strong_evidence() {
+        let hmm = two_state();
+        let a1 = hmm.forward_init(&[0.9, 0.1]).unwrap();
+        assert!(a1[0] > a1[1]);
+        // strong contrary evidence flips the filtered state
+        let a2 = hmm.forward_step(&a1, &[0.01, 0.99]).unwrap();
+        assert!(a2[1] > a2[0]);
+        // forward probabilities decrease monotonically (they are joint
+        // probabilities of a growing observation prefix)
+        assert!(a2.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            <= a1.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn forward_dimension_checks() {
+        let hmm = two_state();
+        assert!(hmm.forward_init(&[0.5]).is_err());
+        assert!(hmm.forward_step(&[0.0, 0.0], &[0.5]).is_err());
+        assert!(hmm.forward_step(&[0.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn default_transitions_shape() {
+        let a = Hmm::default_transitions(5);
+        assert_eq!(a.len(), 5);
+        for (i, row) in a.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+        }
+        assert_eq!(a[0][0], 0.8);
+        assert_eq!(a[4][4], 0.4);
+        assert_eq!(a[4][0], 0.15);
+        assert_eq!(a[0][1], 0.05);
+    }
+}

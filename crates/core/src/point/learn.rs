@@ -1,0 +1,172 @@
+//! Learning the HMM transition matrix from observed activity sequences.
+//!
+//! The paper initializes the state transition matrix from nomenclature
+//! (Fig. 6) and notes that "learning dynamic and personalized transition
+//! matrix A is interesting but not the focus of this paper". This module
+//! implements that extension: maximum-likelihood transition estimation
+//! with Laplace (add-α) smoothing from labeled stop-category sequences —
+//! e.g. a user's confirmed history, or region-transition logs.
+
+use semitri_data::PoiCategory;
+
+/// Counts category-to-category transitions across sequences and returns a
+/// row-stochastic 5×5 matrix with add-`alpha` smoothing.
+///
+/// Rows with no observations fall back to the uniform distribution (they
+/// would otherwise be all-smoothing anyway). `alpha = 1.0` is classic
+/// Laplace smoothing; smaller values trust the data more.
+///
+/// # Panics
+/// Panics if `alpha` is negative.
+pub fn learn_transitions(sequences: &[Vec<PoiCategory>], alpha: f64) -> Vec<Vec<f64>> {
+    assert!(alpha >= 0.0, "smoothing alpha must be non-negative");
+    let n = PoiCategory::ALL.len();
+    let mut counts = vec![vec![0.0f64; n]; n];
+    for seq in sequences {
+        for w in seq.windows(2) {
+            counts[w[0].ordinal()][w[1].ordinal()] += 1.0;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|row| {
+            let total: f64 = row.iter().sum();
+            if total == 0.0 && alpha == 0.0 {
+                return vec![1.0 / n as f64; n];
+            }
+            let denom = total + alpha * n as f64;
+            row.into_iter().map(|c| (c + alpha) / denom).collect()
+        })
+        .collect()
+}
+
+/// Evaluates how well a transition matrix explains held-out sequences:
+/// mean log-likelihood per transition (higher is better). Returns `None`
+/// when the sequences contain no transitions.
+pub fn transition_log_likelihood(
+    a: &[Vec<f64>],
+    sequences: &[Vec<PoiCategory>],
+) -> Option<f64> {
+    let mut ll = 0.0f64;
+    let mut n = 0usize;
+    for seq in sequences {
+        for w in seq.windows(2) {
+            let p = a[w[0].ordinal()][w[1].ordinal()].max(1e-300);
+            ll += p.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(ll / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::hmm::Hmm;
+    use PoiCategory::*;
+
+    #[test]
+    fn rows_are_stochastic() {
+        let seqs = vec![
+            vec![Services, Feedings, ItemSale, PersonLife],
+            vec![Feedings, Feedings, ItemSale],
+        ];
+        let a = learn_transitions(&seqs, 1.0);
+        assert_eq!(a.len(), 5);
+        for row in &a {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row sums to {sum}");
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn learned_matrix_reflects_observed_transitions() {
+        // heavily repeated ItemSale → PersonLife
+        let seqs = vec![vec![ItemSale, PersonLife]; 50];
+        let a = learn_transitions(&seqs, 0.1);
+        let row = &a[ItemSale.ordinal()];
+        assert!(row[PersonLife.ordinal()] > 0.9);
+        assert!(row[Services.ordinal()] < 0.05);
+    }
+
+    #[test]
+    fn unobserved_rows_uniform_without_smoothing() {
+        let seqs = vec![vec![ItemSale, ItemSale]];
+        let a = learn_transitions(&seqs, 0.0);
+        let row = &a[Feedings.ordinal()];
+        assert!(row.iter().all(|&p| (p - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_input_gives_uniform_or_smoothed() {
+        let a = learn_transitions(&[], 1.0);
+        for row in &a {
+            assert!(row.iter().all(|&p| (p - 0.2).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn learned_matrix_beats_default_on_matching_data() {
+        // synthetic behavior: strong ItemSale self-loop with occasional
+        // Feedings breaks — very different from the Fig. 6 default
+        let mut seqs = Vec::new();
+        for k in 0..20 {
+            let mut s = vec![ItemSale; 8];
+            if k % 3 == 0 {
+                s[4] = Feedings;
+            }
+            seqs.push(s);
+        }
+        let learned = learn_transitions(&seqs[..15], 0.5);
+        let default = Hmm::default_transitions(5);
+        let ll_learned = transition_log_likelihood(&learned, &seqs[15..]).unwrap();
+        let ll_default = transition_log_likelihood(&default, &seqs[15..]).unwrap();
+        assert!(
+            ll_learned > ll_default,
+            "learned {ll_learned} vs default {ll_default}"
+        );
+    }
+
+    #[test]
+    fn learned_matrix_plugs_into_the_annotator() {
+        use crate::point::{PointAnnotator, PointParams};
+        use semitri_data::{Poi, PoiSet};
+        use semitri_geo::{Point, Rect};
+
+        let pois = PoiSet::new(
+            (0..10)
+                .map(|i| Poi {
+                    id: i,
+                    point: Point::new(100.0 + i as f64, 100.0),
+                    category: ItemSale,
+                    name: format!("shop {i}"),
+                })
+                .collect(),
+        );
+        let a = learn_transitions(&[vec![ItemSale, ItemSale, ItemSale]], 1.0);
+        let ann = PointAnnotator::new(&pois, Rect::new(0.0, 0.0, 500.0, 500.0), PointParams::default())
+            .unwrap()
+            .with_transitions(&a)
+            .unwrap();
+        let out = ann.annotate_stops(&[Point::new(101.0, 100.0), Point::new(104.0, 101.0)]);
+        assert!(out.iter().all(|s| s.category == ItemSale));
+    }
+
+    #[test]
+    fn log_likelihood_none_without_transitions() {
+        let a = Hmm::default_transitions(5);
+        assert!(transition_log_likelihood(&a, &[]).is_none());
+        assert!(transition_log_likelihood(&a, &[vec![ItemSale]]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_alpha() {
+        learn_transitions(&[], -0.1);
+    }
+}

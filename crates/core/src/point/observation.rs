@@ -1,0 +1,265 @@
+//! The POI observation model (paper §4.3, Lemma 1).
+//!
+//! `Pr(o | C_i)` — the probability of seeing a stop `o` given the mover's
+//! interest in category `C_i` — is, by Lemma 1, proportional to the sum of
+//! the per-POI probabilities of that category, each POI modeled as a 2-D
+//! isotropic Gaussian centered at its position with category-specific
+//! spread σ_c.
+//!
+//! Two evaluation paths are provided, matching the paper's efficiency
+//! discussion:
+//!
+//! * **exact** — sum the Gaussians of the POIs neighboring the stop
+//!   center;
+//! * **discretized** — the area is divided into grid cells and
+//!   `Pr(grid_jk | C_i)` is precomputed per cell; a stop reads the row of
+//!   its center's cell. Orders of magnitude faster for repeated queries,
+//!   at a quantization cost measured by the ablation bench.
+
+use semitri_data::{Poi, PoiCategory, PoiSet};
+use semitri_geo::{Point, Rect};
+use semitri_index::GridIndex;
+
+/// Number of POI categories (the Milan taxonomy of Fig. 5).
+pub const CATEGORY_COUNT: usize = 5;
+
+/// The observation model over a POI source.
+#[derive(Debug, Clone)]
+pub struct PoiObservationModel {
+    grid: GridIndex<(u64, PoiCategory)>,
+    /// Precomputed `Pr(grid_jk | C_i)` rows, one per grid cell
+    /// (unnormalized likelihoods; Viterbi only needs proportionality).
+    cell_rows: Vec<[f64; CATEGORY_COUNT]>,
+    /// Radius within which neighboring POIs contribute to a stop.
+    neighbor_radius: f64,
+}
+
+/// Likelihood floor so a category with no nearby POI stays possible but
+/// maximally unlikely (keeps Viterbi paths finite even in POI deserts).
+const FLOOR: f64 = 1e-12;
+
+impl PoiObservationModel {
+    /// Builds the model: indexes the POIs into a grid of `cell_size` meters
+    /// and precomputes the discretized per-cell likelihood rows using the
+    /// POIs within `neighbor_radius` of each cell center (the paper's
+    /// "only neighboring POIs in that box").
+    ///
+    /// # Panics
+    /// Panics if `pois` is empty or the parameters are non-positive.
+    pub fn new(pois: &PoiSet, bounds: Rect, cell_size: f64, neighbor_radius: f64) -> Self {
+        assert!(!pois.is_empty(), "observation model needs at least one POI");
+        assert!(cell_size > 0.0 && neighbor_radius > 0.0, "parameters must be positive");
+        let mut grid = GridIndex::new(bounds, cell_size);
+        for p in pois.pois() {
+            grid.insert(p.point, (p.id, p.category));
+        }
+        let mut cell_rows = vec![[FLOOR; CATEGORY_COUNT]; grid.nx() * grid.ny()];
+        for row in 0..grid.ny() {
+            for col in 0..grid.nx() {
+                let center = grid.cell_center(col, row);
+                let idx = grid.cell_index(col, row);
+                cell_rows[idx] = Self::gaussian_row(&grid, center, neighbor_radius);
+            }
+        }
+        Self {
+            grid,
+            cell_rows,
+            neighbor_radius,
+        }
+    }
+
+    /// Lemma 1: per-category Gaussian sums at `p` over neighboring POIs.
+    fn gaussian_row(
+        grid: &GridIndex<(u64, PoiCategory)>,
+        p: Point,
+        radius: f64,
+    ) -> [f64; CATEGORY_COUNT] {
+        let mut row = [FLOOR; CATEGORY_COUNT];
+        grid.for_each_within(p, radius, |q, &(_, cat)| {
+            let sigma = cat.sigma();
+            let d_sq = p.distance_sq(q);
+            // 2-D isotropic Gaussian density (the 1/2πσ² normalization
+            // matters across categories because σ_c differs per category)
+            let dens = (-d_sq / (2.0 * sigma * sigma)).exp()
+                / (std::f64::consts::TAU * sigma * sigma);
+            row[cat.ordinal()] += dens;
+        });
+        row
+    }
+
+    /// Exact observation row for a stop centered at `p`
+    /// (`Pr(center_xy | C_i)`, unnormalized).
+    pub fn observe_exact(&self, p: Point) -> [f64; CATEGORY_COUNT] {
+        Self::gaussian_row(&self.grid, p, self.neighbor_radius)
+    }
+
+    /// Discretized observation row: the precomputed row of the grid cell
+    /// containing `p` (`Pr(grid_jk | C_i)`).
+    pub fn observe_discretized(&self, p: Point) -> [f64; CATEGORY_COUNT] {
+        let (col, row) = self.grid.cell_of(p);
+        self.cell_rows[self.grid.cell_index(col, row)]
+    }
+
+    /// The nearest POI of a given category within the neighbor radius of
+    /// `p` — used to resolve "the exact shop the person stopped for" once
+    /// the HMM picked the category.
+    pub fn nearest_of_category<'p>(
+        &self,
+        pois: &'p PoiSet,
+        p: Point,
+        cat: PoiCategory,
+    ) -> Option<&'p Poi> {
+        let mut best: Option<(f64, u64)> = None;
+        self.grid
+            .for_each_within(p, self.neighbor_radius, |q, &(id, c)| {
+                if c == cat {
+                    let d = p.distance_sq(q);
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, id));
+                    }
+                }
+            });
+        let (_, id) = best?;
+        pois.pois().iter().find(|poi| poi.id == id)
+    }
+
+    /// Number of grid cells of the discretization.
+    pub fn cell_count(&self) -> usize {
+        self.cell_rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny controlled POI set: a Feedings cluster west, an ItemSale
+    /// cluster east.
+    fn two_cluster_set() -> (PoiSet, Rect) {
+        let bounds = Rect::new(0.0, 0.0, 1_000.0, 1_000.0);
+        let mut pois = Vec::new();
+        for i in 0..10 {
+            pois.push(Poi {
+                id: i,
+                point: Point::new(200.0 + (i % 3) as f64 * 10.0, 500.0 + (i / 3) as f64 * 10.0),
+                category: PoiCategory::Feedings,
+                name: format!("cafe {i}"),
+            });
+        }
+        for i in 10..20 {
+            pois.push(Poi {
+                id: i,
+                point: Point::new(
+                    800.0 + (i % 3) as f64 * 10.0,
+                    500.0 + ((i - 10) / 3) as f64 * 10.0,
+                ),
+                category: PoiCategory::ItemSale,
+                name: format!("shop {i}"),
+            });
+        }
+        (PoiSet::new(pois), bounds)
+    }
+
+    fn model() -> (PoiObservationModel, PoiSet) {
+        let (pois, bounds) = two_cluster_set();
+        let m = PoiObservationModel::new(&pois, bounds, 50.0, 150.0);
+        (m, pois)
+    }
+
+    #[test]
+    fn exact_row_peaks_at_the_right_category() {
+        let (m, _) = model();
+        let west = m.observe_exact(Point::new(210.0, 510.0));
+        assert!(
+            west[PoiCategory::Feedings.ordinal()] > west[PoiCategory::ItemSale.ordinal()] * 100.0
+        );
+        let east = m.observe_exact(Point::new(810.0, 510.0));
+        assert!(
+            east[PoiCategory::ItemSale.ordinal()] > east[PoiCategory::Feedings.ordinal()] * 100.0
+        );
+    }
+
+    #[test]
+    fn desert_row_is_floor() {
+        let (m, _) = model();
+        let row = m.observe_exact(Point::new(500.0, 50.0));
+        assert!(row.iter().all(|&v| v == FLOOR));
+    }
+
+    #[test]
+    fn discretized_approximates_exact() {
+        let (m, _) = model();
+        let p = Point::new(215.0, 505.0);
+        let exact = m.observe_exact(p);
+        let disc = m.observe_discretized(p);
+        // the argmax category must agree even if magnitudes differ
+        let arg = |row: &[f64; 5]| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_eq!(arg(&exact), arg(&disc));
+    }
+
+    #[test]
+    fn more_pois_raise_the_likelihood() {
+        // Lemma 1: the row value grows with the number of same-category
+        // POIs in the neighborhood
+        let bounds = Rect::new(0.0, 0.0, 500.0, 500.0);
+        let few = PoiSet::new(vec![Poi {
+            id: 0,
+            point: Point::new(250.0, 250.0),
+            category: PoiCategory::Services,
+            name: "a".to_string(),
+        }]);
+        let many = PoiSet::new(
+            (0..5)
+                .map(|i| Poi {
+                    id: i,
+                    point: Point::new(250.0 + i as f64 * 5.0, 250.0),
+                    category: PoiCategory::Services,
+                    name: format!("b{i}"),
+                })
+                .collect(),
+        );
+        let m_few = PoiObservationModel::new(&few, bounds, 50.0, 100.0);
+        let m_many = PoiObservationModel::new(&many, bounds, 50.0, 100.0);
+        let p = Point::new(250.0, 250.0);
+        assert!(
+            m_many.observe_exact(p)[PoiCategory::Services.ordinal()]
+                > m_few.observe_exact(p)[PoiCategory::Services.ordinal()]
+        );
+    }
+
+    #[test]
+    fn nearest_of_category_resolves_exact_poi() {
+        let (m, pois) = model();
+        let got = m
+            .nearest_of_category(&pois, Point::new(203.0, 503.0), PoiCategory::Feedings)
+            .expect("found");
+        assert_eq!(got.id, 0);
+        // no ItemSale near the west cluster
+        assert!(m
+            .nearest_of_category(&pois, Point::new(203.0, 503.0), PoiCategory::ItemSale)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one POI")]
+    fn rejects_empty_poi_set() {
+        PoiObservationModel::new(
+            &PoiSet::default(),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            1.0,
+            1.0,
+        );
+    }
+
+    #[test]
+    fn cell_count_matches_grid() {
+        let (m, _) = model();
+        assert_eq!(m.cell_count(), 20 * 20);
+    }
+}

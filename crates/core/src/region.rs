@@ -1,0 +1,381 @@
+//! Semantic Region Annotation Layer (paper §4.1, Algorithm 1).
+//!
+//! Annotates trajectories with regions of interest via a spatial join
+//! between the GPS records (or episode extents) and an R\*-tree over the
+//! region source. Continuous runs of records falling in the same region
+//! are grouped into tuples `(region, t_in, t_out, regtype)` and consecutive
+//! same-type tuples are merged — exactly Algorithm 1.
+
+use crate::model::{PlaceKind, PlaceRef};
+use semitri_data::{LanduseCategory, LanduseGrid, NamedRegion, RawTrajectory};
+use semitri_episodes::Episode;
+use semitri_geo::{Point, Polygon, Rect, TimeSpan};
+use semitri_index::RStarTree;
+
+/// A region entry in the annotator's source: rectangular (landuse cells)
+/// or polygonal (free-form OSM-style regions).
+#[derive(Debug, Clone)]
+struct RegionEntry {
+    id: u64,
+    label: String,
+    category: Option<LanduseCategory>,
+    polygon: Option<Polygon>,
+    rect: Rect,
+}
+
+impl RegionEntry {
+    fn contains(&self, p: Point) -> bool {
+        match &self.polygon {
+            Some(poly) => poly.contains_point(p),
+            None => self.rect.contains_point(p),
+        }
+    }
+
+    fn intersects(&self, r: &Rect) -> bool {
+        match &self.polygon {
+            Some(poly) => poly.intersects_rect(r),
+            None => self.rect.intersects(r),
+        }
+    }
+
+    fn area(&self) -> f64 {
+        match &self.polygon {
+            Some(poly) => poly.area(),
+            None => self.rect.area(),
+        }
+    }
+}
+
+/// One output tuple of Algorithm 1: a maximal run of records inside the
+/// same region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionTuple {
+    /// The region as a place reference.
+    pub place: PlaceRef,
+    /// Landuse category when the region is a landuse cell.
+    pub category: Option<LanduseCategory>,
+    /// Approximated entering/leaving times.
+    pub span: TimeSpan,
+    /// First covered record index (inclusive).
+    pub start: usize,
+    /// Last covered record index (exclusive).
+    pub end: usize,
+}
+
+impl RegionTuple {
+    /// Number of GPS records aggregated into this tuple.
+    pub fn record_count(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// The Semantic Region Annotation Layer.
+///
+/// Build it from one or more sources, then annotate raw trajectories
+/// (Algorithm 1) or individual episodes (stop-center / move-bbox joins).
+///
+/// ```
+/// use semitri_core::RegionAnnotator;
+/// use semitri_data::{GpsRecord, LanduseGrid, RawTrajectory};
+/// use semitri_geo::{Point, Rect, Timestamp};
+///
+/// let grid = LanduseGrid::generate(Rect::new(0.0, 0.0, 2_000.0, 2_000.0), 100.0, 1);
+/// let annotator = RegionAnnotator::from_landuse(&grid);
+/// let records = (0..50)
+///     .map(|i| GpsRecord::new(Point::new(100.0 + i as f64 * 30.0, 1_000.0), Timestamp(i as f64)))
+///     .collect();
+/// let tuples = annotator.annotate_trajectory(&RawTrajectory::new(1, 1, records));
+/// assert!(!tuples.is_empty());
+/// // Algorithm 1 merges consecutive same-category cells into tuples
+/// assert!(tuples.len() < 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionAnnotator {
+    tree: RStarTree<RegionEntry>,
+}
+
+impl RegionAnnotator {
+    fn from_entries(entries: Vec<RegionEntry>) -> Self {
+        let items = entries.into_iter().map(|e| (e.rect, e)).collect();
+        Self {
+            tree: RStarTree::bulk_load(items),
+        }
+    }
+
+    /// Builds the layer over a landuse grid (bulk-loaded R\*-tree over all
+    /// cells, as in the paper's Swisstopo experiments).
+    pub fn from_landuse(grid: &LanduseGrid) -> Self {
+        let entries = grid
+            .cells()
+            .map(|c| RegionEntry {
+                id: c.id,
+                label: format!("{} [{}]", c.category.label(), c.category.code()),
+                category: Some(c.category),
+                polygon: None,
+                rect: c.rect,
+            })
+            .collect();
+        Self::from_entries(entries)
+    }
+
+    /// Builds the layer over free-form named regions (campus, recreation
+    /// areas — the paper's OpenStreetMap examples).
+    pub fn from_named_regions(regions: &[NamedRegion]) -> Self {
+        let entries = regions
+            .iter()
+            .map(|r| RegionEntry {
+                id: r.id,
+                label: r.name.clone(),
+                category: None,
+                polygon: Some(r.polygon.clone()),
+                rect: r.bbox(),
+            })
+            .collect();
+        Self::from_entries(entries)
+    }
+
+    /// Number of indexed regions.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when no regions are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The most specific (smallest-area) region containing `p`.
+    pub fn region_at(&self, p: Point) -> Option<PlaceRef> {
+        self.entry_at(p)
+            .map(|e| PlaceRef::new(PlaceKind::Region, e.id, e.label.clone()))
+    }
+
+    fn entry_at(&self, p: Point) -> Option<&RegionEntry> {
+        let probe = Rect::from_point(p);
+        let mut best: Option<&RegionEntry> = None;
+        self.tree.for_each_in(&probe, |_, e| {
+            if e.contains(p) && best.is_none_or(|b| e.area() < b.area()) {
+                best = Some(e);
+            }
+        });
+        best
+    }
+
+    /// Algorithm 1: spatial join of the raw trajectory against the region
+    /// source, grouping continuous records per region and merging
+    /// consecutive tuples of the same region type.
+    ///
+    /// Records covered by no region produce gaps (no tuple), matching the
+    /// paper's partial annotations.
+    pub fn annotate_trajectory(&self, traj: &RawTrajectory) -> Vec<RegionTuple> {
+        let records = traj.records();
+        let mut out: Vec<RegionTuple> = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            let Some(entry) = self.entry_at(r.point) else {
+                continue;
+            };
+            // merge into the previous tuple when it references the same
+            // region and is contiguous (Algorithm 1 lines 10–11: same
+            // regtype ⇒ single tuple)
+            if let Some(last) = out.last_mut() {
+                let same_region = last.place.id == entry.id;
+                let same_type = match (last.category, entry.category) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => same_region,
+                };
+                if last.end == i && same_type {
+                    // extend; when crossing into a sibling cell of the same
+                    // category keep the first region's identity
+                    last.end = i + 1;
+                    last.span = TimeSpan::new(last.span.start, r.t);
+                    continue;
+                }
+            }
+            out.push(RegionTuple {
+                place: PlaceRef::new(PlaceKind::Region, entry.id, entry.label.clone()),
+                category: entry.category,
+                span: TimeSpan::new(r.t, r.t),
+                start: i,
+                end: i + 1,
+            });
+        }
+        out
+    }
+
+    /// Episode-scoped join (§4.1): a *stop* is joined by its center point
+    /// (spatial subsumption), a *move* by its bounding rectangle
+    /// (intersection). Returns the matching regions for the episode.
+    pub fn annotate_episode(&self, traj: &RawTrajectory, episode: &Episode) -> Vec<PlaceRef> {
+        match episode.kind {
+            semitri_episodes::EpisodeKind::Stop => self
+                .region_at(episode.center)
+                .into_iter()
+                .collect(),
+            semitri_episodes::EpisodeKind::Move => {
+                let _ = traj;
+                let mut out = Vec::new();
+                self.tree.for_each_in(&episode.bbox, |_, e| {
+                    if e.intersects(&episode.bbox) {
+                        out.push(PlaceRef::new(PlaceKind::Region, e.id, e.label.clone()));
+                    }
+                });
+                out.sort_by_key(|p| p.id);
+                out
+            }
+        }
+    }
+
+    /// Per-record landuse categories (used by the analytics layer for the
+    /// Fig. 9 / Fig. 14 distributions). `None` for uncovered records.
+    pub fn categories_for(&self, traj: &RawTrajectory) -> Vec<Option<LanduseCategory>> {
+        traj.records()
+            .iter()
+            .map(|r| self.entry_at(r.point).and_then(|e| e.category))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_data::GpsRecord;
+    use semitri_episodes::{SegmentationPolicy, VelocityPolicy};
+    use semitri_geo::Timestamp;
+
+    fn grid() -> LanduseGrid {
+        LanduseGrid::generate(Rect::new(0.0, 0.0, 3_000.0, 3_000.0), 100.0, 5)
+    }
+
+    fn walk_traj() -> RawTrajectory {
+        // straight east-west walk across the middle of the grid
+        let recs: Vec<GpsRecord> = (0..200)
+            .map(|i| {
+                GpsRecord::new(
+                    Point::new(100.0 + i as f64 * 14.0, 1_550.0),
+                    Timestamp(i as f64 * 10.0),
+                )
+            })
+            .collect();
+        RawTrajectory::new(1, 1, recs)
+    }
+
+    #[test]
+    fn landuse_annotator_covers_everything() {
+        let ann = RegionAnnotator::from_landuse(&grid());
+        assert_eq!(ann.len(), 900);
+        // every in-bounds point resolves to its containing cell
+        let p = Point::new(1_234.0, 987.0);
+        let r = ann.region_at(p).expect("covered");
+        assert_eq!(r.kind, PlaceKind::Region);
+        let g = grid();
+        assert_eq!(r.id, g.cell_at(p).id);
+    }
+
+    #[test]
+    fn alg1_produces_contiguous_merged_tuples() {
+        let ann = RegionAnnotator::from_landuse(&grid());
+        let traj = walk_traj();
+        let tuples = ann.annotate_trajectory(&traj);
+        assert!(!tuples.is_empty());
+        // tuples are ordered, non-overlapping, and cover every record
+        // (landuse covers the full bounds)
+        let covered: usize = tuples.iter().map(|t| t.record_count()).sum();
+        assert_eq!(covered, traj.len());
+        for w in tuples.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            // adjacent tuples differ in category (else they'd be merged)
+            assert_ne!(w[0].category, w[1].category);
+        }
+        // compression: far fewer tuples than records
+        assert!(tuples.len() * 3 < traj.len());
+    }
+
+    #[test]
+    fn alg1_spans_are_monotone() {
+        let ann = RegionAnnotator::from_landuse(&grid());
+        let tuples = ann.annotate_trajectory(&walk_traj());
+        for w in tuples.windows(2) {
+            assert!(w[0].span.end.0 <= w[1].span.start.0);
+        }
+    }
+
+    #[test]
+    fn named_region_annotation() {
+        let regions = vec![NamedRegion {
+            id: 7,
+            name: "campus".to_string(),
+            kind: semitri_data::region::RegionKind::Campus,
+            polygon: Polygon::from_rect(&Rect::new(500.0, 500.0, 900.0, 900.0)),
+        }];
+        let ann = RegionAnnotator::from_named_regions(&regions);
+        assert_eq!(ann.len(), 1);
+        let inside = ann.region_at(Point::new(700.0, 700.0)).expect("inside");
+        assert_eq!(inside.label, "campus");
+        assert!(ann.region_at(Point::new(100.0, 100.0)).is_none());
+    }
+
+    #[test]
+    fn smallest_region_wins_on_overlap() {
+        let regions = vec![
+            NamedRegion {
+                id: 1,
+                name: "big".to_string(),
+                kind: semitri_data::region::RegionKind::Residential,
+                polygon: Polygon::from_rect(&Rect::new(0.0, 0.0, 1_000.0, 1_000.0)),
+            },
+            NamedRegion {
+                id: 2,
+                name: "small".to_string(),
+                kind: semitri_data::region::RegionKind::Market,
+                polygon: Polygon::from_rect(&Rect::new(400.0, 400.0, 600.0, 600.0)),
+            },
+        ];
+        let ann = RegionAnnotator::from_named_regions(&regions);
+        assert_eq!(ann.region_at(Point::new(500.0, 500.0)).unwrap().label, "small");
+        assert_eq!(ann.region_at(Point::new(100.0, 100.0)).unwrap().label, "big");
+    }
+
+    #[test]
+    fn episode_join_stop_center_and_move_bbox() {
+        let ann = RegionAnnotator::from_landuse(&grid());
+        let traj = walk_traj();
+        let eps = VelocityPolicy::default().segment(&traj);
+        assert!(!eps.is_empty());
+        for e in &eps {
+            let places = ann.annotate_episode(&traj, e);
+            match e.kind {
+                semitri_episodes::EpisodeKind::Stop => assert!(places.len() <= 1),
+                semitri_episodes::EpisodeKind::Move => {
+                    // a long move crosses many cells
+                    assert!(places.len() > 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn categories_for_full_coverage() {
+        let ann = RegionAnnotator::from_landuse(&grid());
+        let traj = walk_traj();
+        let cats = ann.categories_for(&traj);
+        assert_eq!(cats.len(), traj.len());
+        assert!(cats.iter().all(|c| c.is_some()));
+    }
+
+    #[test]
+    fn uncovered_records_produce_gaps() {
+        let regions = vec![NamedRegion {
+            id: 1,
+            name: "island".to_string(),
+            kind: semitri_data::region::RegionKind::Recreation,
+            polygon: Polygon::from_rect(&Rect::new(1_000.0, 1_500.0, 1_300.0, 1_700.0)),
+        }];
+        let ann = RegionAnnotator::from_named_regions(&regions);
+        let traj = walk_traj();
+        let tuples = ann.annotate_trajectory(&traj);
+        assert_eq!(tuples.len(), 1);
+        let covered: usize = tuples.iter().map(|t| t.record_count()).sum();
+        assert!(covered < traj.len());
+        assert_eq!(tuples[0].place.label, "island");
+    }
+}

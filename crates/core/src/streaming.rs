@@ -1,0 +1,426 @@
+//! Real-time (streaming) annotation.
+//!
+//! The paper's challenge list demands that "annotation data is even
+//! required in real-time" (§1.2). The batch pipeline needs the whole
+//! trajectory; this module annotates a live GPS feed incrementally:
+//!
+//! * an **online segmenter** maintains the current stop/move hypothesis
+//!   with the velocity predicate and closes an episode as soon as the
+//!   motion state flips durably;
+//! * each closed **move** is map-matched and mode-annotated immediately
+//!   (Algorithm 2 operates per move episode, so this is exact);
+//! * each closed **stop** is annotated with the *filtering* distribution
+//!   of the HMM — the forward-probability argmax given the stops seen so
+//!   far. Unlike offline Viterbi, a streaming annotator cannot see future
+//!   stops; the forward argmax is the optimal causal estimate, and
+//!   [`StreamingAnnotator::finalize`] re-decodes the full day with
+//!   Viterbi for the store (matching the batch pipeline's output quality).
+
+use crate::line::matcher::GlobalMapMatcher;
+use crate::line::mode::ModeInferencer;
+use crate::line::{group_matches, RouteEntry};
+use crate::point::{PointAnnotator, StopAnnotation};
+use crate::region::RegionAnnotator;
+use semitri_data::{City, GpsRecord, PoiCategory};
+use semitri_episodes::{Episode, EpisodeKind, VelocityPolicy};
+use semitri_geo::{Point, Rect, TimeSpan};
+
+/// An annotated episode emitted by the streaming annotator.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A move episode closed: its matched route with modes.
+    Move {
+        /// The episode (indexes refer to the records fed so far).
+        episode: Episode,
+        /// Matched route entries (ranges relative to the episode slice).
+        route: Vec<RouteEntry>,
+    },
+    /// A stop episode closed: its causal (forward-filtered) annotation.
+    Stop {
+        /// The episode.
+        episode: Episode,
+        /// Online activity estimate.
+        annotation: StopAnnotation,
+        /// Landuse / named region under the stop, when covered.
+        region: Option<crate::model::PlaceRef>,
+    },
+}
+
+/// Seconds of sustained movement needed to confirm a stop → move
+/// transition (GPS wander inside a building shouldn't end the stop).
+const MOVE_CONFIRM_SECS: f64 = 30.0;
+
+/// Incremental stop/move/annotate engine over a live GPS feed.
+pub struct StreamingAnnotator<'c> {
+    city: &'c City,
+    region: RegionAnnotator,
+    matcher: GlobalMapMatcher<'c>,
+    point: Option<PointAnnotator>,
+    mode: ModeInferencer,
+    policy: VelocityPolicy,
+
+    /// All records fed so far (episode indexes refer into this).
+    records: Vec<GpsRecord>,
+    /// Index where the currently-open episode starts.
+    open_start: usize,
+    /// Current motion hypothesis of the open episode.
+    open_kind: Option<EpisodeKind>,
+    /// Record index where a contrary-motion run began (hysteresis state).
+    contrary_since: Option<usize>,
+    /// Forward (filtering) log-probabilities over POI categories
+    /// (`None` until the first stop closes).
+    forward: Option<Vec<f64>>,
+    /// Stops closed so far (centers), for the final Viterbi pass.
+    stop_centers: Vec<Point>,
+}
+
+impl<'c> StreamingAnnotator<'c> {
+    /// Builds a streaming annotator over a city's sources.
+    pub fn new(
+        city: &'c City,
+        policy: VelocityPolicy,
+        match_params: crate::line::matcher::MatchParams,
+        mode: ModeInferencer,
+        point_params: crate::point::PointParams,
+    ) -> Self {
+        let point = PointAnnotator::new(&city.pois, city.bounds(), point_params).ok();
+        Self {
+            city,
+            region: RegionAnnotator::from_landuse(&city.landuse),
+            matcher: GlobalMapMatcher::new(&city.roads, match_params),
+            point,
+            mode,
+            policy,
+            records: Vec::new(),
+            open_start: 0,
+            open_kind: None,
+            contrary_since: None,
+            forward: None,
+            stop_centers: Vec::new(),
+        }
+    }
+
+    /// Number of records consumed.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Feeds one GPS record; returns the episodes that closed as a result
+    /// (usually none, occasionally one).
+    pub fn push(&mut self, record: GpsRecord) -> Vec<StreamEvent> {
+        self.records.push(record);
+        let n = self.records.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        // instantaneous smoothed speed over the policy's window
+        let k = self.policy.smoothing_half_width.max(1);
+        let lo = n.saturating_sub(k + 1);
+        let window = &self.records[lo..n];
+        let dt = window[window.len() - 1].t.since(window[0].t);
+        let dist: f64 = window.windows(2).map(|w| w[0].point.distance(w[1].point)).sum();
+        let speed = if dt > 0.0 { dist / dt } else { 0.0 };
+        let kind = if speed < self.policy.speed_threshold_mps {
+            EpisodeKind::Stop
+        } else {
+            EpisodeKind::Move
+        };
+
+        match self.open_kind {
+            None => {
+                self.open_kind = Some(kind);
+                Vec::new()
+            }
+            Some(open) if open == kind => {
+                // contrary evidence evaporated: it was a dip/blip inside
+                // the open episode, not a transition
+                self.contrary_since = None;
+                Vec::new()
+            }
+            Some(open) => {
+                // hysteresis: an emitted episode cannot be retracted, so a
+                // transition is only committed once the contrary motion
+                // state has persisted — a stop must last min_stop_secs
+                // (brief halts stay inside the move, like the batch
+                // policy's demotion), a move needs a short confirmation
+                let flip_start = *self.contrary_since.get_or_insert(n - 1);
+                let contrary_secs = self.records[n - 1].t.since(self.records[flip_start].t);
+                let confirm_after = match open {
+                    EpisodeKind::Move => self.policy.min_stop_secs,
+                    EpisodeKind::Stop => MOVE_CONFIRM_SECS,
+                };
+                if contrary_secs < confirm_after {
+                    return Vec::new();
+                }
+                let closed = self.close_episode(open, self.open_start, flip_start + 1);
+                self.open_start = flip_start;
+                self.open_kind = Some(kind);
+                self.contrary_since = None;
+                closed.into_iter().collect()
+            }
+        }
+    }
+
+    /// Closes the currently open episode (end of feed) and returns any
+    /// final event.
+    pub fn flush(&mut self) -> Vec<StreamEvent> {
+        let n = self.records.len();
+        let Some(kind) = self.open_kind.take() else {
+            return Vec::new();
+        };
+        if self.open_start >= n {
+            return Vec::new();
+        }
+        self.close_episode(kind, self.open_start, n)
+            .into_iter()
+            .collect()
+    }
+
+    fn episode(&self, kind: EpisodeKind, start: usize, end: usize) -> Episode {
+        let records = &self.records[start..end];
+        let bbox = Rect::covering(records.iter().map(|r| r.point));
+        let inv = 1.0 / records.len() as f64;
+        let cx: f64 = records.iter().map(|r| r.point.x).sum::<f64>() * inv;
+        let cy: f64 = records.iter().map(|r| r.point.y).sum::<f64>() * inv;
+        Episode {
+            kind,
+            start,
+            end,
+            span: TimeSpan::new(records[0].t, records[records.len() - 1].t),
+            bbox,
+            center: Point::new(cx, cy),
+        }
+    }
+
+    fn close_episode(&mut self, kind: EpisodeKind, start: usize, end: usize) -> Option<StreamEvent> {
+        if end <= start {
+            return None;
+        }
+        let episode = self.episode(kind, start, end);
+        // enforce the minimum stop duration: a too-short stop is noise
+        // inside a move and is silently merged (the online equivalent of
+        // the batch policy's demotion; the move context continues)
+        if kind == EpisodeKind::Stop && episode.duration() < self.policy.min_stop_secs {
+            return None;
+        }
+        match kind {
+            EpisodeKind::Move => {
+                let slice = &self.records[start..end];
+                let matches = self.matcher.match_records(slice);
+                let mut route = group_matches(slice, &matches);
+                self.mode.annotate(&self.city.roads, slice, &mut route);
+                Some(StreamEvent::Move { episode, route })
+            }
+            EpisodeKind::Stop => {
+                let region = self.region.region_at(episode.center);
+                let annotation = match &self.point {
+                    Some(point) => {
+                        let (ann, forward) =
+                            point.annotate_stop_online(episode.center, self.forward.as_deref());
+                        self.forward = Some(forward);
+                        ann
+                    }
+                    None => StopAnnotation {
+                        category: PoiCategory::Unknown,
+                        poi: None,
+                    },
+                };
+                self.stop_centers.push(episode.center);
+                Some(StreamEvent::Stop {
+                    episode,
+                    annotation,
+                    region,
+                })
+            }
+        }
+    }
+
+    /// End-of-day re-decode: runs offline Viterbi over every stop seen,
+    /// returning the smoothed annotations (what the batch pipeline would
+    /// have produced). The online estimates are causal; these are not.
+    pub fn finalize(&self) -> Vec<StopAnnotation> {
+        match &self.point {
+            Some(point) => point.annotate_stops(&self.stop_centers),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Offline/online agreement measure used in tests and ablations: fraction
+/// of stops where the causal estimate matches the Viterbi decode.
+pub fn online_offline_agreement(online: &[StopAnnotation], offline: &[StopAnnotation]) -> f64 {
+    if online.is_empty() || online.len() != offline.len() {
+        return 0.0;
+    }
+    let same = online
+        .iter()
+        .zip(offline)
+        .filter(|(a, b)| a.category == b.category)
+        .count();
+    same as f64 / online.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::matcher::MatchParams;
+    use crate::point::PointParams;
+    use semitri_data::sim::{SimConfig, TripSimulator};
+    use semitri_data::{CityConfig, TransportMode};
+    use semitri_geo::Timestamp;
+
+    fn city() -> City {
+        City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, 5_000.0, 5_000.0),
+            poi_count: 400,
+            region_count: 4,
+            seed: 77,
+            ..CityConfig::default()
+        })
+    }
+
+    fn annotator(city: &City) -> StreamingAnnotator<'_> {
+        StreamingAnnotator::new(
+            city,
+            VelocityPolicy::default(),
+            MatchParams::default(),
+            ModeInferencer::default(),
+            PointParams::default(),
+        )
+    }
+
+    fn day_track(city: &City) -> semitri_data::sim::SimulatedTrack {
+        let mut sim = TripSimulator::new(
+            &city.roads,
+            SimConfig {
+                sampling_interval: 8.0,
+                ..SimConfig::default()
+            },
+            5,
+            Point::new(1_200.0, 1_400.0),
+            Timestamp(8.0 * 3_600.0),
+        );
+        sim.dwell(900.0, true, Some((1, PoiCategory::Feedings)));
+        sim.travel_to(Point::new(3_900.0, 3_700.0), TransportMode::Walk);
+        sim.dwell(1_200.0, false, Some((2, PoiCategory::ItemSale)));
+        sim.travel_to(Point::new(1_200.0, 1_400.0), TransportMode::Walk);
+        sim.dwell(900.0, true, None);
+        sim.finish(1, 1)
+    }
+
+    #[test]
+    fn streaming_emits_alternating_episodes() {
+        let city = city();
+        let track = day_track(&city);
+        let mut stream = annotator(&city);
+        let mut events = Vec::new();
+        for &r in &track.records {
+            events.extend(stream.push(r));
+        }
+        events.extend(stream.flush());
+
+        let stops = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Stop { .. }))
+            .count();
+        let moves = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Move { .. }))
+            .count();
+        assert!(stops >= 2, "stops {stops}");
+        assert!(moves >= 2, "moves {moves}");
+
+        // episodes are ordered and non-overlapping over the fed records
+        let mut last_end = 0usize;
+        for e in &events {
+            let ep = match e {
+                StreamEvent::Move { episode, .. } | StreamEvent::Stop { episode, .. } => episode,
+            };
+            assert!(ep.start >= last_end.saturating_sub(1), "overlap at {}", ep.start);
+            assert!(ep.end > ep.start);
+            last_end = ep.end;
+        }
+    }
+
+    #[test]
+    fn streaming_moves_carry_modes_and_routes() {
+        let city = city();
+        let track = day_track(&city);
+        let mut stream = annotator(&city);
+        let mut events = Vec::new();
+        for &r in &track.records {
+            events.extend(stream.push(r));
+        }
+        events.extend(stream.flush());
+        let mut saw_route = false;
+        for e in &events {
+            if let StreamEvent::Move { route, .. } = e {
+                if !route.is_empty() {
+                    saw_route = true;
+                    assert!(route.iter().all(|en| en.mode.is_some()));
+                }
+            }
+        }
+        assert!(saw_route);
+    }
+
+    #[test]
+    fn streaming_stops_have_regions_and_categories() {
+        let city = city();
+        let track = day_track(&city);
+        let mut stream = annotator(&city);
+        let mut events = Vec::new();
+        for &r in &track.records {
+            events.extend(stream.push(r));
+        }
+        events.extend(stream.flush());
+        for e in &events {
+            if let StreamEvent::Stop {
+                annotation, region, ..
+            } = e
+            {
+                assert!(PoiCategory::ALL.contains(&annotation.category));
+                assert!(region.is_some(), "landuse covers the whole city");
+            }
+        }
+    }
+
+    #[test]
+    fn online_estimates_mostly_agree_with_offline_viterbi() {
+        let city = city();
+        let track = day_track(&city);
+        let mut stream = annotator(&city);
+        let mut online = Vec::new();
+        for &r in &track.records {
+            for e in stream.push(r) {
+                if let StreamEvent::Stop { annotation, .. } = e {
+                    online.push(annotation);
+                }
+            }
+        }
+        for e in stream.flush() {
+            if let StreamEvent::Stop { annotation, .. } = e {
+                online.push(annotation);
+            }
+        }
+        let offline = stream.finalize();
+        assert_eq!(online.len(), offline.len());
+        let agreement = online_offline_agreement(&online, &offline);
+        assert!(agreement >= 0.5, "agreement {agreement}");
+    }
+
+    #[test]
+    fn empty_and_single_record_feeds() {
+        let city = city();
+        let mut stream = annotator(&city);
+        assert!(stream.flush().is_empty());
+        let mut stream = annotator(&city);
+        assert!(stream
+            .push(GpsRecord::new(Point::new(1.0, 1.0), Timestamp(0.0)))
+            .is_empty());
+        // one record: open episode exists but a single-point "episode" only
+        // materializes on flush as a (too short) stop, which is dropped
+        let events = stream.flush();
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the annotation layers' invariants.
+
+use proptest::prelude::*;
+use semitri_core::line::baseline::{BaselineMetric, NearestSegmentMatcher};
+use semitri_core::point::hmm::Hmm;
+use semitri_core::{GlobalMapMatcher, MatchParams};
+use semitri_data::road::RoadClass;
+use semitri_data::{GpsRecord, RoadNetwork};
+use semitri_geo::{Point, Timestamp};
+
+/// A small random road network: a chain plus random chords (always
+/// connected, no zero-length edges).
+fn network_strategy() -> impl Strategy<Value = RoadNetwork> {
+    (
+        proptest::collection::vec((0.0..1_000.0f64, 0.0..1_000.0f64), 3..15),
+        proptest::collection::vec((0usize..14, 0usize..14), 0..8),
+    )
+        .prop_map(|(mut nodes_xy, chords)| {
+            // spread nodes so no two coincide
+            for (i, p) in nodes_xy.iter_mut().enumerate() {
+                p.0 += i as f64 * 37.0;
+            }
+            let nodes: Vec<Point> = nodes_xy.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let n = nodes.len();
+            let mut edges = Vec::new();
+            for i in 0..n - 1 {
+                edges.push((
+                    i as u32,
+                    (i + 1) as u32,
+                    RoadClass::Street,
+                    false,
+                    format!("chain {i}"),
+                ));
+            }
+            for (a, b) in chords {
+                let (a, b) = (a % n, b % n);
+                if a != b && nodes[a].distance(nodes[b]) > 1.0 {
+                    edges.push((
+                        a as u32,
+                        b as u32,
+                        RoadClass::Street,
+                        false,
+                        "chord".to_string(),
+                    ));
+                }
+            }
+            RoadNetwork::new(nodes, edges)
+        })
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<GpsRecord>> {
+    proptest::collection::vec((0.0..1_600.0f64, 0.0..1_000.0f64), 1..40).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| GpsRecord::new(Point::new(x, y), Timestamp(i as f64 * 5.0)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn global_matcher_output_invariants(net in network_strategy(), recs in records_strategy()) {
+        let matcher = GlobalMapMatcher::new(&net, MatchParams::default());
+        let matches = matcher.match_records(&recs);
+        prop_assert_eq!(matches.len(), recs.len());
+        for (r, m) in recs.iter().zip(&matches) {
+            if let Some(m) = m {
+                // matched segment exists and the snap lies on it
+                let seg = &net.segment(m.segment).geometry;
+                prop_assert!(seg.distance_to_point(m.snapped) < 1e-6);
+                // the match respects the candidate radius
+                let d = seg.distance_to_point(r.point);
+                prop_assert!(d <= matcher.params().candidate_radius_m + 1e-6);
+                // scores are normalized weighted means of local scores ≤ 1
+                prop_assert!(m.score.is_finite());
+                prop_assert!(m.score <= 1.0 + 1e-9);
+                prop_assert!(m.score >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn local_baseline_picks_the_true_nearest(net in network_strategy(), recs in records_strategy()) {
+        let matcher = NearestSegmentMatcher::new(&net, BaselineMetric::PointSegment, 200.0);
+        let matches = matcher.match_records(&recs);
+        for (r, m) in recs.iter().zip(&matches) {
+            // brute-force nearest within the radius
+            let best = net
+                .segments()
+                .iter()
+                .map(|s| (s.id, s.geometry.distance_to_point(r.point)))
+                .filter(|&(_, d)| d <= 200.0)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            match (m, best) {
+                (Some(m), Some((_, best_d))) => {
+                    let got_d = net.segment(m.segment).geometry.distance_to_point(r.point);
+                    prop_assert!((got_d - best_d).abs() < 1e-9);
+                }
+                (None, None) => {}
+                (got, want) => prop_assert!(false, "mismatch: got {got:?}, want {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn viterbi_path_is_optimal_on_random_models(
+        pi in proptest::collection::vec(0.01..1.0f64, 3),
+        a_flat in proptest::collection::vec(0.01..1.0f64, 9),
+        b_flat in proptest::collection::vec(0.01..1.0f64, 3..18),
+    ) {
+        let a: Vec<Vec<f64>> = a_flat.chunks(3).map(|c| c.to_vec()).collect();
+        let hmm = Hmm::new(&pi, &a).unwrap();
+        let b: Vec<Vec<f64>> = b_flat.chunks(3).filter(|c| c.len() == 3).map(|c| c.to_vec()).collect();
+        prop_assume!(!b.is_empty());
+        let (path, lp) = hmm.viterbi(&b).unwrap();
+        let (bpath, blp) = hmm.brute_force(&b).unwrap();
+        prop_assert!((lp - blp).abs() < 1e-9);
+        prop_assert_eq!(path, bpath);
+    }
+}

@@ -1,0 +1,125 @@
+//! A generated city bundling every geographic source SeMiTri consumes.
+
+use crate::landuse::LanduseGrid;
+use crate::poi::PoiSet;
+use crate::region::{generate_regions, NamedRegion};
+use crate::road::RoadNetwork;
+use semitri_geo::Rect;
+
+/// Parameters of a generated city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Planar extent of the city in meters.
+    pub bounds: Rect,
+    /// Landuse cell side (the paper's Swisstopo grid uses 100 m).
+    pub landuse_cell: f64,
+    /// Street-grid block size in meters.
+    pub block: f64,
+    /// Total POIs to generate.
+    pub poi_count: usize,
+    /// Number of POI clusters (density hot-spots).
+    pub poi_clusters: usize,
+    /// Number of free-form named regions.
+    pub region_count: usize,
+    /// Master seed; all sub-generators derive from it.
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        Self {
+            bounds: Rect::new(0.0, 0.0, 10_000.0, 10_000.0),
+            landuse_cell: 100.0,
+            block: 250.0,
+            poi_count: 4_000,
+            poi_clusters: 8,
+            region_count: 10,
+            seed: 0xC17C17,
+        }
+    }
+}
+
+/// All third-party geographic sources of one deployment area: the landuse
+/// grid, the road network, the POI set and the free-form named regions.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Generation parameters.
+    pub config: CityConfig,
+    /// Swisstopo-style landuse cells.
+    pub landuse: LanduseGrid,
+    /// Routable road network.
+    pub roads: RoadNetwork,
+    /// Clustered POIs.
+    pub pois: PoiSet,
+    /// Free-form regions (campus, recreation, …).
+    pub regions: Vec<NamedRegion>,
+}
+
+impl City {
+    /// Generates a complete city from the config. Deterministic.
+    pub fn generate(config: CityConfig) -> Self {
+        let landuse = LanduseGrid::generate(config.bounds, config.landuse_cell, config.seed);
+        let roads = RoadNetwork::generate_grid(config.bounds, config.block, config.seed);
+        // POIs only open on habitable land: reject water, ice and bare rock
+        let pois = PoiSet::generate_masked(
+            config.bounds,
+            config.poi_count,
+            config.poi_clusters,
+            config.seed,
+            |p| {
+                use crate::landuse::LanduseCategory::*;
+                !matches!(
+                    landuse.cell_at(p).category,
+                    Lake | River | Glacier | BareLand
+                )
+            },
+        );
+        let regions = generate_regions(config.bounds, config.region_count, config.seed);
+        Self {
+            config,
+            landuse,
+            roads,
+            pois,
+            regions,
+        }
+    }
+
+    /// City extent.
+    pub fn bounds(&self) -> Rect {
+        self.config.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_city_generates_all_sources() {
+        let city = City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, 4_000.0, 4_000.0),
+            poi_count: 500,
+            region_count: 5,
+            ..CityConfig::default()
+        });
+        assert!(city.landuse.len() > 1_000);
+        assert!(!city.roads.segments().is_empty());
+        assert_eq!(city.pois.len(), 500);
+        assert_eq!(city.regions.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CityConfig {
+            bounds: Rect::new(0.0, 0.0, 3_000.0, 3_000.0),
+            poi_count: 100,
+            seed: 99,
+            ..CityConfig::default()
+        };
+        let a = City::generate(cfg.clone());
+        let b = City::generate(cfg);
+        assert_eq!(a.pois.pois()[50], b.pois.pois()[50]);
+        assert_eq!(a.roads.segments().len(), b.roads.segments().len());
+        assert_eq!(a.landuse.category_histogram(), b.landuse.category_histogram());
+    }
+}

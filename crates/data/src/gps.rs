@@ -1,0 +1,193 @@
+//! Raw GPS records and raw trajectories (paper Definition 1).
+
+use semitri_geo::{Point, Rect, TimeSpan, Timestamp};
+
+/// One GPS fix: the paper's `(x, y, t)` triple, already projected to local
+/// meters (datasets in lon/lat are projected by
+/// [`semitri_geo::LocalProjection`] at load time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsRecord {
+    /// Position in local meters.
+    pub point: Point,
+    /// Fix time.
+    pub t: Timestamp,
+}
+
+impl GpsRecord {
+    /// Creates a record.
+    #[inline]
+    pub const fn new(point: Point, t: Timestamp) -> Self {
+        Self { point, t }
+    }
+
+    /// Instantaneous speed from `self` to `next` in m/s; `0.0` when the
+    /// records share a timestamp (degenerate fix pairs do occur in real
+    /// feeds and must not produce infinities downstream).
+    #[inline]
+    pub fn speed_to(&self, next: &GpsRecord) -> f64 {
+        let dt = next.t.since(self.t);
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.point.distance(next.point) / dt
+        }
+    }
+}
+
+/// A raw trajectory `T = {Q1, …, Qm}` — Definition 1: a finite,
+/// time-ordered sequence of GPS records belonging to one moving object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RawTrajectory {
+    /// Identifier of the moving object (taxi, car, phone user).
+    pub object_id: u64,
+    /// Identifier of this trajectory within the dataset.
+    pub trajectory_id: u64,
+    records: Vec<GpsRecord>,
+}
+
+impl RawTrajectory {
+    /// Creates a trajectory from time-ordered records.
+    ///
+    /// # Panics
+    /// Panics if the records are not non-decreasing in time — trajectory
+    /// identification upstream must have sorted the feed.
+    pub fn new(object_id: u64, trajectory_id: u64, records: Vec<GpsRecord>) -> Self {
+        assert!(
+            records.windows(2).all(|w| w[1].t.0 >= w[0].t.0),
+            "raw trajectory records must be time-ordered"
+        );
+        Self {
+            object_id,
+            trajectory_id,
+            records,
+        }
+    }
+
+    /// The records.
+    #[inline]
+    pub fn records(&self) -> &[GpsRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trajectory has no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Time span from the first to the last record; `None` when empty.
+    pub fn time_span(&self) -> Option<TimeSpan> {
+        Some(TimeSpan::new(
+            self.records.first()?.t,
+            self.records.last()?.t,
+        ))
+    }
+
+    /// Bounding rectangle of all fixes.
+    pub fn bbox(&self) -> Rect {
+        Rect::covering(self.records.iter().map(|r| r.point))
+    }
+
+    /// Total path length in meters (sum of consecutive fix distances).
+    pub fn path_length(&self) -> f64 {
+        self.records
+            .windows(2)
+            .map(|w| w[0].point.distance(w[1].point))
+            .sum()
+    }
+
+    /// Average sampling interval in seconds; `None` with fewer than two
+    /// records.
+    pub fn mean_sampling_interval(&self) -> Option<f64> {
+        if self.records.len() < 2 {
+            return None;
+        }
+        let span = self.time_span()?.duration();
+        Some(span / (self.records.len() - 1) as f64)
+    }
+
+    /// Speed sequence between consecutive fixes (length `len - 1`).
+    pub fn speeds(&self) -> Vec<f64> {
+        self.records
+            .windows(2)
+            .map(|w| w[0].speed_to(&w[1]))
+            .collect()
+    }
+
+    /// A sub-trajectory view over record indexes `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> &[GpsRecord] {
+        &self.records[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(x: f64, y: f64, t: f64) -> GpsRecord {
+        GpsRecord::new(Point::new(x, y), Timestamp(t))
+    }
+
+    #[test]
+    fn speed_between_records() {
+        let a = rec(0.0, 0.0, 0.0);
+        let b = rec(30.0, 40.0, 10.0);
+        assert_eq!(a.speed_to(&b), 5.0);
+    }
+
+    #[test]
+    fn speed_zero_dt_is_zero() {
+        let a = rec(0.0, 0.0, 5.0);
+        let b = rec(100.0, 0.0, 5.0);
+        assert_eq!(a.speed_to(&b), 0.0);
+    }
+
+    #[test]
+    fn trajectory_stats() {
+        let t = RawTrajectory::new(
+            1,
+            7,
+            vec![rec(0.0, 0.0, 0.0), rec(3.0, 4.0, 5.0), rec(3.0, 10.0, 10.0)],
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.path_length(), 11.0);
+        assert_eq!(t.time_span().unwrap().duration(), 10.0);
+        assert_eq!(t.mean_sampling_interval(), Some(5.0));
+        assert_eq!(t.speeds(), vec![1.0, 1.2]);
+        assert_eq!(t.bbox(), Rect::new(0.0, 0.0, 3.0, 10.0));
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let t = RawTrajectory::default();
+        assert!(t.is_empty());
+        assert_eq!(t.time_span(), None);
+        assert_eq!(t.mean_sampling_interval(), None);
+        assert!(t.bbox().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_unsorted_records() {
+        RawTrajectory::new(1, 1, vec![rec(0.0, 0.0, 10.0), rec(1.0, 0.0, 5.0)]);
+    }
+
+    #[test]
+    fn slice_returns_window() {
+        let t = RawTrajectory::new(
+            1,
+            1,
+            vec![rec(0.0, 0.0, 0.0), rec(1.0, 0.0, 1.0), rec(2.0, 0.0, 2.0)],
+        );
+        assert_eq!(t.slice(1, 3).len(), 2);
+    }
+}

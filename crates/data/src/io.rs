@@ -1,0 +1,186 @@
+//! Plain-text GPS I/O: loading real datasets into SeMiTri.
+//!
+//! The library is evaluated on synthetic data, but a downstream user has
+//! real feeds. This module reads and writes the simplest interchange
+//! format GPS corpora come in — CSV lines of `lon,lat,unix_seconds` (the
+//! paper's raw `(x, y, t)` triples) — projecting into the local metric
+//! plane on load. No CSV crate: the grammar is three floats a line, with
+//! `#` comments and blank lines skipped.
+
+use crate::gps::GpsRecord;
+use semitri_geo::{GeoPoint, LocalProjection, Point, Timestamp};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line was not `lon,lat,t`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Malformed { line, reason } => {
+                write!(f, "malformed GPS CSV at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads `lon,lat,unix_seconds` records from a reader, projecting them to
+/// local meters with `projection`. Records must already be time-ordered
+/// (use [`crate::gps::RawTrajectory`]'s constructor or a sort downstream
+/// if not guaranteed); this function does not reorder.
+///
+/// # Errors
+/// Fails on I/O errors, non-numeric fields, wrong field counts, or
+/// out-of-range coordinates.
+pub fn read_gps_csv(
+    reader: impl BufRead,
+    projection: &LocalProjection,
+) -> Result<Vec<GpsRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',').map(str::trim);
+        let mut next_f64 = |name: &str| -> Result<f64, CsvError> {
+            let raw = fields.next().ok_or_else(|| CsvError::Malformed {
+                line: line_no,
+                reason: format!("missing {name}"),
+            })?;
+            raw.parse::<f64>().map_err(|_| CsvError::Malformed {
+                line: line_no,
+                reason: format!("{name} is not a number: {raw:?}"),
+            })
+        };
+        let lon = next_f64("longitude")?;
+        let lat = next_f64("latitude")?;
+        let t = next_f64("timestamp")?;
+        if fields.next().is_some() {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                reason: "more than three fields".to_string(),
+            });
+        }
+        let g = GeoPoint::new(lon, lat);
+        if !g.is_valid() {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                reason: format!("coordinates out of range: {lon},{lat}"),
+            });
+        }
+        if !t.is_finite() {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                reason: "non-finite timestamp".to_string(),
+            });
+        }
+        out.push(GpsRecord::new(projection.to_local(g), Timestamp(t)));
+    }
+    Ok(out)
+}
+
+/// Writes records as `lon,lat,unix_seconds` lines (inverse projection).
+///
+/// # Errors
+/// Fails on I/O errors.
+pub fn write_gps_csv(
+    mut writer: impl Write,
+    projection: &LocalProjection,
+    records: &[GpsRecord],
+) -> io::Result<()> {
+    writeln!(writer, "# lon,lat,unix_seconds")?;
+    for r in records {
+        let g = projection.to_geo(Point::new(r.point.x, r.point.y));
+        writeln!(writer, "{:.7},{:.7},{:.3}", g.lon, g.lat, r.t.0)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn projection() -> LocalProjection {
+        LocalProjection::new(GeoPoint::new(6.6323, 46.5197))
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let proj = projection();
+        let records: Vec<GpsRecord> = (0..50)
+            .map(|i| {
+                GpsRecord::new(
+                    Point::new(i as f64 * 13.5, -(i as f64) * 7.25),
+                    Timestamp(1_000.0 + i as f64),
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_gps_csv(&mut buf, &proj, &records).unwrap();
+        let parsed = read_gps_csv(buf.as_slice(), &proj).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (a, b) in parsed.iter().zip(&records) {
+            assert!(a.point.distance(b.point) < 0.01, "{a:?} vs {b:?}");
+            assert!((a.t.0 - b.t.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let csv = "# header\n\n6.6323, 46.5197, 100\n   \n6.6330,46.5200,110\n";
+        let parsed = read_gps_csv(csv.as_bytes(), &projection()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].point.norm() < 1.0); // the origin point
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let proj = projection();
+        let err = read_gps_csv("6.6,46.5,1\nnot-a-number,46.5,2\n".as_bytes(), &proj).unwrap_err();
+        match err {
+            CsvError::Malformed { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("longitude"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let err = read_gps_csv("6.6,46.5\n".as_bytes(), &proj).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 1, .. }));
+
+        let err = read_gps_csv("6.6,46.5,1,9\n".as_bytes(), &proj).unwrap_err();
+        assert!(err.to_string().contains("three fields"));
+
+        let err = read_gps_csv("200.0,46.5,1\n".as_bytes(), &proj).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_gps_csv("".as_bytes(), &projection()).unwrap().is_empty());
+    }
+}

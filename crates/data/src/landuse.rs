@@ -1,0 +1,411 @@
+//! Swisstopo-style landuse grid: the paper's semantic-region source.
+//!
+//! Fig. 4 of the paper lists the Swisstopo ontology: 4 top groups and 17
+//! subcategories annotating 1 936 439 cells of 100 m × 100 m covering
+//! Switzerland. [`LanduseGrid::generate`] produces the synthetic analogue: a
+//! zoned city (urban core, residential ring, recreation pockets, farmland,
+//! forest, a lake) whose category mix drives the Fig. 9 / Fig. 14
+//! distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semitri_geo::{Point, Rect};
+
+/// The four top-level landuse groups of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LanduseGroup {
+    /// L1 — settlement and urban areas.
+    Settlement,
+    /// L2 — agricultural areas.
+    Agriculture,
+    /// L3 — wooded areas.
+    Wooded,
+    /// L4 — unproductive areas.
+    Unproductive,
+}
+
+/// The 17 landuse subcategories of Fig. 4, numbered exactly like the paper
+/// (`1.1` … `4.17`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant meaning given by `label`
+pub enum LanduseCategory {
+    IndustrialCommercial, // 1.1
+    Building,             // 1.2
+    Transportation,       // 1.3
+    SpecialUrban,         // 1.4
+    Recreational,         // 1.5
+    Orchard,              // 2.6
+    ArableLand,           // 2.7
+    Meadow,               // 2.8
+    AlpineAgriculture,    // 2.9
+    Forest,               // 3.10
+    BrushForest,          // 3.11
+    Woods,                // 3.12
+    Lake,                 // 4.13
+    River,                // 4.14
+    UnproductiveVegetation, // 4.15
+    BareLand,             // 4.16
+    Glacier,              // 4.17
+}
+
+impl LanduseCategory {
+    /// All 17 subcategories in Fig. 4 order.
+    pub const ALL: [LanduseCategory; 17] = [
+        LanduseCategory::IndustrialCommercial,
+        LanduseCategory::Building,
+        LanduseCategory::Transportation,
+        LanduseCategory::SpecialUrban,
+        LanduseCategory::Recreational,
+        LanduseCategory::Orchard,
+        LanduseCategory::ArableLand,
+        LanduseCategory::Meadow,
+        LanduseCategory::AlpineAgriculture,
+        LanduseCategory::Forest,
+        LanduseCategory::BrushForest,
+        LanduseCategory::Woods,
+        LanduseCategory::Lake,
+        LanduseCategory::River,
+        LanduseCategory::UnproductiveVegetation,
+        LanduseCategory::BareLand,
+        LanduseCategory::Glacier,
+    ];
+
+    /// The paper's numeric code, e.g. `"1.2"` for building areas.
+    pub fn code(&self) -> &'static str {
+        match self {
+            LanduseCategory::IndustrialCommercial => "1.1",
+            LanduseCategory::Building => "1.2",
+            LanduseCategory::Transportation => "1.3",
+            LanduseCategory::SpecialUrban => "1.4",
+            LanduseCategory::Recreational => "1.5",
+            LanduseCategory::Orchard => "2.6",
+            LanduseCategory::ArableLand => "2.7",
+            LanduseCategory::Meadow => "2.8",
+            LanduseCategory::AlpineAgriculture => "2.9",
+            LanduseCategory::Forest => "3.10",
+            LanduseCategory::BrushForest => "3.11",
+            LanduseCategory::Woods => "3.12",
+            LanduseCategory::Lake => "4.13",
+            LanduseCategory::River => "4.14",
+            LanduseCategory::UnproductiveVegetation => "4.15",
+            LanduseCategory::BareLand => "4.16",
+            LanduseCategory::Glacier => "4.17",
+        }
+    }
+
+    /// Human-readable label from Fig. 4.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LanduseCategory::IndustrialCommercial => "industrial and commercial area",
+            LanduseCategory::Building => "building areas",
+            LanduseCategory::Transportation => "transportation areas",
+            LanduseCategory::SpecialUrban => "special urban areas",
+            LanduseCategory::Recreational => "recreational areas and cemeteries",
+            LanduseCategory::Orchard => "orchard, vineyard and horticulture areas",
+            LanduseCategory::ArableLand => "arable land",
+            LanduseCategory::Meadow => "meadows, farm pastures",
+            LanduseCategory::AlpineAgriculture => "alpine agricultural areas",
+            LanduseCategory::Forest => "forest (except brush forest)",
+            LanduseCategory::BrushForest => "brush forest",
+            LanduseCategory::Woods => "woods",
+            LanduseCategory::Lake => "lakes",
+            LanduseCategory::River => "rivers",
+            LanduseCategory::UnproductiveVegetation => "unproductive vegetation",
+            LanduseCategory::BareLand => "bare land",
+            LanduseCategory::Glacier => "glaciers, perpetual snow",
+        }
+    }
+
+    /// The top-level group (L1–L4).
+    pub fn group(&self) -> LanduseGroup {
+        use LanduseCategory::*;
+        match self {
+            IndustrialCommercial | Building | Transportation | SpecialUrban | Recreational => {
+                LanduseGroup::Settlement
+            }
+            Orchard | ArableLand | Meadow | AlpineAgriculture => LanduseGroup::Agriculture,
+            Forest | BrushForest | Woods => LanduseGroup::Wooded,
+            Lake | River | UnproductiveVegetation | BareLand | Glacier => {
+                LanduseGroup::Unproductive
+            }
+        }
+    }
+
+    /// Position in [`LanduseCategory::ALL`]; stable across runs, used as a
+    /// compact array key by the analytics layer.
+    pub fn ordinal(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("in ALL")
+    }
+}
+
+/// One landuse cell: a square extent and its category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LanduseCell {
+    /// Stable cell identifier (row-major).
+    pub id: u64,
+    /// Square extent in local meters.
+    pub rect: Rect,
+    /// Landuse subcategory.
+    pub category: LanduseCategory,
+}
+
+/// A regular grid of landuse cells covering a rectangular area.
+#[derive(Debug, Clone)]
+pub struct LanduseGrid {
+    bounds: Rect,
+    cell_size: f64,
+    nx: usize,
+    ny: usize,
+    categories: Vec<LanduseCategory>, // row-major, nx * ny
+}
+
+impl LanduseGrid {
+    /// Generates a zoned landuse layout over `bounds` with square cells of
+    /// `cell_size` meters (the paper uses 100 m):
+    ///
+    /// * a lake strip along the southern edge;
+    /// * an urban core in the middle (industrial/commercial + building +
+    ///   transport corridors + special urban pockets);
+    /// * a residential ring around the core (building + recreation);
+    /// * farmland (arable/meadow/orchard) beyond the ring;
+    /// * forest in the outer corners, bare land / brush scattered.
+    ///
+    /// The mix is randomized per cell within its zone, seeded by `seed`.
+    pub fn generate(bounds: Rect, cell_size: f64, seed: u64) -> Self {
+        assert!(!bounds.is_empty(), "landuse bounds must be non-empty");
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let nx = (bounds.width() / cell_size).ceil().max(1.0) as usize;
+        let ny = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6c61_6e64);
+        let center = bounds.center();
+        let half_diag = (bounds.width().min(bounds.height())) * 0.5;
+        let lake_rows = (ny as f64 * 0.08).ceil() as usize;
+
+        let mut categories = Vec::with_capacity(nx * ny);
+        for row in 0..ny {
+            for col in 0..nx {
+                let cx = bounds.min_x + (col as f64 + 0.5) * cell_size;
+                let cy = bounds.min_y + (row as f64 + 0.5) * cell_size;
+                let d = Point::new(cx, cy).distance(center) / half_diag;
+                let cat = if row < lake_rows {
+                    // southern lake strip with a river mouth
+                    if rng.gen_bool(0.06) {
+                        LanduseCategory::River
+                    } else {
+                        LanduseCategory::Lake
+                    }
+                } else if d < 0.25 {
+                    // urban core
+                    match rng.gen_range(0..100) {
+                        0..=39 => LanduseCategory::Building,
+                        40..=71 => LanduseCategory::Transportation,
+                        72..=87 => LanduseCategory::IndustrialCommercial,
+                        88..=93 => LanduseCategory::SpecialUrban,
+                        _ => LanduseCategory::Recreational,
+                    }
+                } else if d < 0.55 {
+                    // residential ring
+                    match rng.gen_range(0..100) {
+                        0..=49 => LanduseCategory::Building,
+                        50..=74 => LanduseCategory::Transportation,
+                        75..=86 => LanduseCategory::Recreational,
+                        87..=93 => LanduseCategory::Meadow,
+                        _ => LanduseCategory::Orchard,
+                    }
+                } else if d < 0.85 {
+                    // farmland belt
+                    match rng.gen_range(0..100) {
+                        0..=34 => LanduseCategory::ArableLand,
+                        35..=64 => LanduseCategory::Meadow,
+                        65..=74 => LanduseCategory::Orchard,
+                        75..=84 => LanduseCategory::Building,
+                        85..=92 => LanduseCategory::Transportation,
+                        _ => LanduseCategory::Woods,
+                    }
+                } else {
+                    // outer wilds
+                    match rng.gen_range(0..100) {
+                        0..=44 => LanduseCategory::Forest,
+                        45..=59 => LanduseCategory::BrushForest,
+                        60..=69 => LanduseCategory::Woods,
+                        70..=79 => LanduseCategory::AlpineAgriculture,
+                        80..=88 => LanduseCategory::UnproductiveVegetation,
+                        89..=95 => LanduseCategory::BareLand,
+                        _ => LanduseCategory::Glacier,
+                    }
+                };
+                categories.push(cat);
+            }
+        }
+        Self {
+            bounds,
+            cell_size,
+            nx,
+            ny,
+            categories,
+        }
+    }
+
+    /// Grid bounds.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Cell side in meters.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// `true` when the grid has no cells (never happens for generated
+    /// grids; kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Cell by row-major id.
+    pub fn cell(&self, id: u64) -> Option<LanduseCell> {
+        let idx = id as usize;
+        let cat = *self.categories.get(idx)?;
+        let row = idx / self.nx;
+        let col = idx % self.nx;
+        let x0 = self.bounds.min_x + col as f64 * self.cell_size;
+        let y0 = self.bounds.min_y + row as f64 * self.cell_size;
+        Some(LanduseCell {
+            id,
+            rect: Rect::new(x0, y0, x0 + self.cell_size, y0 + self.cell_size),
+            category: cat,
+        })
+    }
+
+    /// The cell containing `p` (clamped to the border cells for points just
+    /// outside the bounds, mirroring how a national grid is queried).
+    pub fn cell_at(&self, p: Point) -> LanduseCell {
+        let col = (((p.x - self.bounds.min_x) / self.cell_size).floor().max(0.0) as usize)
+            .min(self.nx - 1);
+        let row = (((p.y - self.bounds.min_y) / self.cell_size).floor().max(0.0) as usize)
+            .min(self.ny - 1);
+        self.cell((row * self.nx + col) as u64).expect("in range")
+    }
+
+    /// Iterates over all cells.
+    pub fn cells(&self) -> impl Iterator<Item = LanduseCell> + '_ {
+        (0..self.categories.len() as u64).map(move |id| self.cell(id).expect("in range"))
+    }
+
+    /// Per-category cell counts, indexed by [`LanduseCategory::ordinal`].
+    pub fn category_histogram(&self) -> [usize; 17] {
+        let mut h = [0usize; 17];
+        for c in &self.categories {
+            h[c.ordinal()] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> LanduseGrid {
+        LanduseGrid::generate(Rect::new(0.0, 0.0, 5_000.0, 5_000.0), 100.0, 42)
+    }
+
+    #[test]
+    fn ontology_has_17_categories_in_4_groups() {
+        assert_eq!(LanduseCategory::ALL.len(), 17);
+        let settlement = LanduseCategory::ALL
+            .iter()
+            .filter(|c| c.group() == LanduseGroup::Settlement)
+            .count();
+        assert_eq!(settlement, 5);
+        assert_eq!(LanduseCategory::Building.code(), "1.2");
+        assert_eq!(LanduseCategory::Glacier.code(), "4.17");
+        assert_eq!(LanduseCategory::Transportation.ordinal(), 2);
+    }
+
+    #[test]
+    fn ordinals_are_dense_and_unique() {
+        let mut seen = [false; 17];
+        for c in LanduseCategory::ALL {
+            assert!(!seen[c.ordinal()]);
+            seen[c.ordinal()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn grid_dimensions_and_count() {
+        let g = small_grid();
+        assert_eq!(g.len(), 50 * 50);
+        assert_eq!(g.cell_size(), 100.0);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn cell_lookup_roundtrip() {
+        let g = small_grid();
+        let c = g.cell_at(Point::new(2_550.0, 2_550.0));
+        assert!(c.rect.contains_point(Point::new(2_550.0, 2_550.0)));
+        assert_eq!(g.cell(c.id).unwrap().category, c.category);
+        // out-of-bounds clamps
+        let border = g.cell_at(Point::new(-10.0, 1e9));
+        assert_eq!(border.id, ((50 - 1) * 50) as u64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_grid();
+        let b = small_grid();
+        assert_eq!(a.category_histogram(), b.category_histogram());
+        assert_eq!(a.cell(1234).unwrap().category, b.cell(1234).unwrap().category);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_grid();
+        let b = LanduseGrid::generate(Rect::new(0.0, 0.0, 5_000.0, 5_000.0), 100.0, 43);
+        assert_ne!(a.category_histogram(), b.category_histogram());
+    }
+
+    #[test]
+    fn zoning_shape_is_plausible() {
+        let g = small_grid();
+        // center cell should be urban
+        let center = g.cell_at(Point::new(2_500.0, 2_500.0));
+        assert_eq!(center.category.group(), LanduseGroup::Settlement);
+        // southern strip is lake/river
+        let south = g.cell_at(Point::new(2_500.0, 50.0));
+        assert_eq!(south.category.group(), LanduseGroup::Unproductive);
+        // settlement group dominated by building + transportation
+        let h = g.category_histogram();
+        let building = h[LanduseCategory::Building.ordinal()];
+        let transport = h[LanduseCategory::Transportation.ordinal()];
+        assert!(building > 0 && transport > 0);
+        assert!(building + transport > h[LanduseCategory::Glacier.ordinal()]);
+    }
+
+    #[test]
+    fn histogram_sums_to_len() {
+        let g = small_grid();
+        let total: usize = g.category_histogram().iter().sum();
+        assert_eq!(total, g.len());
+    }
+
+    #[test]
+    fn cells_iterator_covers_all() {
+        let g = LanduseGrid::generate(Rect::new(0.0, 0.0, 300.0, 200.0), 100.0, 1);
+        let cells: Vec<_> = g.cells().collect();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].rect, Rect::new(0.0, 0.0, 100.0, 100.0));
+        assert_eq!(cells[5].rect, Rect::new(200.0, 100.0, 300.0, 200.0));
+    }
+}

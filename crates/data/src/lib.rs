@@ -1,0 +1,48 @@
+//! # semitri-data — geographic sources and GPS datasets for SeMiTri
+//!
+//! The paper evaluates SeMiTri on proprietary GPS corpora (Swisscom Lausanne
+//! taxis, GeoPKDD Milan private cars, Krumm's Seattle benchmark, the Nokia
+//! Lausanne smartphone campaign) joined against third-party geographic
+//! sources (Swisstopo landuse, Milan POIs, OpenStreetMap roads/regions).
+//! None of those artifacts are redistributable, so this crate provides
+//! faithful synthetic substitutes that exercise the same code paths *and*
+//! retain ground truth, which the originals lack for everything except the
+//! Seattle drive:
+//!
+//! * [`gps`] — raw GPS records and raw trajectories (Definition 1);
+//! * [`landuse`] — the Swisstopo-style landuse grid with the paper's
+//!   17-subcategory ontology (Fig. 4);
+//! * [`road`] — multi-class road networks (highway/street/path/metro/bus)
+//!   with mode-restricted shortest-path routing;
+//! * [`poi`] — clustered points of interest with the five Milan
+//!   top-categories (Fig. 5);
+//! * [`region`] — free-form named regions (campus, recreation area) in the
+//!   style of the paper's OpenStreetMap examples;
+//! * [`city`] — a generated city bundling all sources;
+//! * [`sim`] — the trip simulator producing GPS tracks with per-point
+//!   ground truth (true road segment, true transport mode, true stop
+//!   category);
+//! * [`presets`] — dataset presets mirroring the paper's Tables 1 and 2.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod city;
+pub mod gps;
+pub mod io;
+pub mod landuse;
+pub mod poi;
+pub mod presets;
+pub mod region;
+pub mod road;
+pub mod sim;
+
+pub use city::{City, CityConfig};
+pub use gps::{GpsRecord, RawTrajectory};
+pub use landuse::{LanduseCategory, LanduseCell, LanduseGrid, LanduseGroup};
+pub use poi::{Poi, PoiCategory, PoiSet};
+pub use region::NamedRegion;
+pub use road::{RoadClass, RoadNetwork, RoadSegment, TransportMode};
+pub use sim::{SimulatedTrack, TruthPoint};

@@ -1,0 +1,297 @@
+//! Points of interest with the Milan five-category taxonomy.
+//!
+//! The paper's Milan source has 39 772 POIs in five top categories —
+//! services (4 339), feedings (7 036), item sale (12 510), person life
+//! (15 371) and unknown (516) — with "largely varying density" (Fig. 5).
+//! [`PoiSet::generate`] reproduces the shape: the same category mix by
+//! default, clustered spatially so dense urban blocks carry many candidate
+//! POIs per stop (the exact situation the HMM layer is designed for).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semitri_geo::{Point, Rect};
+
+/// Milan-style POI top categories (Fig. 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PoiCategory {
+    /// Services (banks, offices, administration).
+    Services,
+    /// Feedings (restaurants, bars, cafés).
+    Feedings,
+    /// Item sale (shops, groceries, malls).
+    ItemSale,
+    /// Person life (sport, health, culture, leisure).
+    PersonLife,
+    /// Unknown / unclassified.
+    Unknown,
+}
+
+impl PoiCategory {
+    /// All categories in the paper's order.
+    pub const ALL: [PoiCategory; 5] = [
+        PoiCategory::Services,
+        PoiCategory::Feedings,
+        PoiCategory::ItemSale,
+        PoiCategory::PersonLife,
+        PoiCategory::Unknown,
+    ];
+
+    /// Paper's Milan counts, used as the default category mix
+    /// (and as the HMM initial distribution π in §4.3).
+    pub const MILAN_COUNTS: [usize; 5] = [4_339, 7_036, 12_510, 15_371, 516];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PoiCategory::Services => "services",
+            PoiCategory::Feedings => "feedings",
+            PoiCategory::ItemSale => "item sale",
+            PoiCategory::PersonLife => "person life",
+            PoiCategory::Unknown => "unknown",
+        }
+    }
+
+    /// Dense index in `0..5`.
+    pub fn ordinal(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("in ALL")
+    }
+
+    /// Category-specific Gaussian influence radius σ_c in meters (§4.3
+    /// models each POI as a 2-D Gaussian with category-specific variance):
+    /// big-footprint categories (malls, sport centers) spread wider than
+    /// small shops.
+    pub fn sigma(&self) -> f64 {
+        match self {
+            PoiCategory::Services => 30.0,
+            PoiCategory::Feedings => 20.0,
+            PoiCategory::ItemSale => 35.0,
+            PoiCategory::PersonLife => 50.0,
+            PoiCategory::Unknown => 25.0,
+        }
+    }
+}
+
+/// One point of interest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poi {
+    /// Stable identifier.
+    pub id: u64,
+    /// Position in local meters.
+    pub point: Point,
+    /// Top category.
+    pub category: PoiCategory,
+    /// Display name.
+    pub name: String,
+}
+
+/// A collection of POIs over an area.
+#[derive(Debug, Clone, Default)]
+pub struct PoiSet {
+    pois: Vec<Poi>,
+}
+
+impl PoiSet {
+    /// Wraps an explicit POI list.
+    pub fn new(pois: Vec<Poi>) -> Self {
+        Self { pois }
+    }
+
+    /// Generates `total` POIs over `bounds` with the Milan category mix.
+    ///
+    /// Spatial layout: a configurable number of urban clusters (2-D
+    /// Gaussians with varying spread) plus a uniform background, so POI
+    /// density varies by orders of magnitude across the area — the paper's
+    /// motivating condition for probabilistic stop annotation.
+    pub fn generate(bounds: Rect, total: usize, clusters: usize, seed: u64) -> Self {
+        Self::generate_masked(bounds, total, clusters, seed, |_| true)
+    }
+
+    /// [`PoiSet::generate`] with a placement mask: positions where
+    /// `allowed` returns `false` are resampled (shops don't open in lakes
+    /// or on glaciers). Falls back to the last sample after 32 rejections
+    /// so pathological masks can't loop forever.
+    pub fn generate_masked(
+        bounds: Rect,
+        total: usize,
+        clusters: usize,
+        seed: u64,
+        allowed: impl Fn(Point) -> bool,
+    ) -> Self {
+        assert!(!bounds.is_empty(), "POI bounds must be non-empty");
+        assert!(clusters >= 1, "need at least one cluster");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0070_6f69);
+        let total_milan: usize = PoiCategory::MILAN_COUNTS.iter().sum();
+
+        // cluster centers biased toward the urban middle of the map
+        let centers: Vec<(Point, f64)> = (0..clusters)
+            .map(|_| {
+                let cx = bounds.min_x + bounds.width() * rng.gen_range(0.25..0.75);
+                let cy = bounds.min_y + bounds.height() * rng.gen_range(0.25..0.75);
+                let spread = bounds.width().min(bounds.height()) * rng.gen_range(0.02..0.08);
+                (Point::new(cx, cy), spread)
+            })
+            .collect();
+
+        let mut pois = Vec::with_capacity(total);
+        for id in 0..total {
+            // category by the Milan mix
+            let mut pick = rng.gen_range(0..total_milan);
+            let mut category = PoiCategory::Unknown;
+            for (c, &n) in PoiCategory::ALL.iter().zip(&PoiCategory::MILAN_COUNTS) {
+                if pick < n {
+                    category = *c;
+                    break;
+                }
+                pick -= n;
+            }
+            // position: 85% clustered, 15% uniform background, rejecting
+            // masked-out locations
+            let mut point = Point::ORIGIN;
+            for _attempt in 0..32 {
+                point = if rng.gen_bool(0.85) {
+                    let (c, spread) = centers[rng.gen_range(0..centers.len())];
+                    // Box-Muller normal around the cluster center
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let r = spread * (-2.0 * u1.ln()).sqrt();
+                    Point::new(
+                        (c.x + r * u2.cos()).clamp(bounds.min_x, bounds.max_x),
+                        (c.y + r * u2.sin()).clamp(bounds.min_y, bounds.max_y),
+                    )
+                } else {
+                    Point::new(
+                        rng.gen_range(bounds.min_x..bounds.max_x),
+                        rng.gen_range(bounds.min_y..bounds.max_y),
+                    )
+                };
+                if allowed(point) {
+                    break;
+                }
+            }
+            pois.push(Poi {
+                id: id as u64,
+                point,
+                category,
+                name: format!("{} #{id}", category.label()),
+            });
+        }
+        Self { pois }
+    }
+
+    /// The POIs.
+    #[inline]
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Number of POIs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// `true` when there are no POIs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// Per-category counts, indexed by [`PoiCategory::ordinal`].
+    pub fn category_histogram(&self) -> [usize; 5] {
+        let mut h = [0usize; 5];
+        for p in &self.pois {
+            h[p.category.ordinal()] += 1;
+        }
+        h
+    }
+
+    /// POIs of one category.
+    pub fn of_category(&self, cat: PoiCategory) -> impl Iterator<Item = &Poi> {
+        self.pois.iter().filter(move |p| p.category == cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> PoiSet {
+        PoiSet::generate(Rect::new(0.0, 0.0, 10_000.0, 10_000.0), 5_000, 8, 11)
+    }
+
+    #[test]
+    fn milan_counts_sum() {
+        assert_eq!(PoiCategory::MILAN_COUNTS.iter().sum::<usize>(), 39_772);
+    }
+
+    #[test]
+    fn generated_count_and_bounds() {
+        let s = set();
+        assert_eq!(s.len(), 5_000);
+        let b = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+        assert!(s.pois().iter().all(|p| b.contains_point(p.point)));
+    }
+
+    #[test]
+    fn category_mix_tracks_milan_shares() {
+        let s = set();
+        let h = s.category_histogram();
+        assert_eq!(h.iter().sum::<usize>(), 5_000);
+        // person life (38.6%) must dominate; unknown (1.3%) must be rare
+        assert!(h[PoiCategory::PersonLife.ordinal()] > h[PoiCategory::Services.ordinal()]);
+        assert!(h[PoiCategory::ItemSale.ordinal()] > h[PoiCategory::Feedings.ordinal()]);
+        let unknown_share =
+            h[PoiCategory::Unknown.ordinal()] as f64 / 5_000.0;
+        assert!(unknown_share < 0.05, "unknown share {unknown_share}");
+    }
+
+    #[test]
+    fn density_varies_clustered_vs_background() {
+        let s = set();
+        // count POIs in 200x200 windows; max should dwarf the median
+        let mut counts = Vec::new();
+        for i in 0..50 {
+            for j in 0..50 {
+                let w = Rect::new(
+                    i as f64 * 200.0,
+                    j as f64 * 200.0,
+                    (i + 1) as f64 * 200.0,
+                    (j + 1) as f64 * 200.0,
+                );
+                counts.push(s.pois().iter().filter(|p| w.contains_point(p.point)).count());
+            }
+        }
+        counts.sort_unstable();
+        let max = *counts.last().unwrap();
+        let median = counts[counts.len() / 2];
+        assert!(max >= 10 * (median.max(1)), "max {max}, median {median}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = set();
+        let b = set();
+        assert_eq!(a.pois()[17], b.pois()[17]);
+        assert_eq!(a.category_histogram(), b.category_histogram());
+    }
+
+    #[test]
+    fn of_category_filters() {
+        let s = set();
+        let n: usize = PoiCategory::ALL
+            .iter()
+            .map(|&c| s.of_category(c).count())
+            .sum();
+        assert_eq!(n, s.len());
+        assert!(s
+            .of_category(PoiCategory::Feedings)
+            .all(|p| p.category == PoiCategory::Feedings));
+    }
+
+    #[test]
+    fn sigma_positive_for_all() {
+        for c in PoiCategory::ALL {
+            assert!(c.sigma() > 0.0);
+        }
+    }
+}

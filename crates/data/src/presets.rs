@@ -1,0 +1,580 @@
+//! Dataset presets mirroring the paper's Tables 1 and 2.
+//!
+//! Each preset generates a [`City`] plus a set of daily GPS tracks with
+//! ground truth. Sizes are scaled down from the paper's multi-month corpora
+//! by the `days` / `n_*` parameters so the default experiments run on a
+//! laptop; the benchmark harness passes larger values when sweeping.
+//!
+//! | preset | paper dataset | sampling | character |
+//! |---|---|---|---|
+//! | [`lausanne_taxis`] | Swisscom taxis (3.06 M pts, 5 months) | 1 s | continuous urban driving, short passenger stops |
+//! | [`milan_cars`] | GeoPKDD private cars (2.07 M pts, 17 241 cars) | ~40 s | few trips/day ending at shopping/leisure POIs |
+//! | [`seattle_drive`] | Krumm map-matching benchmark (7 531 pts) | 1 s | one long drive with ground-truth path |
+//! | [`smartphone_users`] | Nokia campaign (7.3 M pts, 185 users) | ~10 s, gappy | multi-modal daily life, indoor losses |
+
+use crate::city::{City, CityConfig};
+use crate::poi::{Poi, PoiCategory};
+use crate::road::TransportMode;
+use crate::sim::{SimConfig, SimulatedTrack, TripSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semitri_geo::{Point, Rect, Timestamp};
+
+/// A generated dataset: the city sources plus daily tracks.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name ("lausanne-taxis", …).
+    pub name: String,
+    /// The geographic sources movement was synthesized on.
+    pub city: City,
+    /// One entry per daily trajectory.
+    pub tracks: Vec<SimulatedTrack>,
+}
+
+impl Dataset {
+    /// Total GPS records over all tracks.
+    pub fn total_records(&self) -> usize {
+        self.tracks.iter().map(|t| t.len()).sum()
+    }
+
+    /// Number of distinct moving objects.
+    pub fn object_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.tracks.iter().map(|t| t.object_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Mean sampling interval over all tracks, in seconds.
+    pub fn mean_sampling_interval(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for t in &self.tracks {
+            let raw = t.to_raw();
+            if let Some(dt) = raw.mean_sampling_interval() {
+                total += dt * (raw.len() - 1) as f64;
+                n += raw.len() - 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+fn nearest_poi(city: &City, p: Point, cat: PoiCategory) -> Option<&Poi> {
+    city.pois
+        .of_category(cat)
+        .min_by(|a, b| {
+            a.point
+                .distance_sq(p)
+                .partial_cmp(&b.point.distance_sq(p))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+fn random_poi<'c>(city: &'c City, rng: &mut StdRng) -> &'c Poi {
+    let pois = city.pois.pois();
+    &pois[rng.gen_range(0..pois.len())]
+}
+
+/// A dwell anchor near (not exactly at) a POI: people park and enter from
+/// tens of meters away, and the receiver sits indoors — the positional
+/// ambiguity that motivates the probabilistic stop annotation (§4.3).
+fn parking_spot(rng: &mut StdRng, poi: Point) -> Point {
+    let r = rng.gen_range(10.0..45.0);
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    poi.offset(r * theta.cos(), r * theta.sin())
+}
+
+/// Swisscom-style taxi dataset: 2 taxis, 1 s sampling, continuous driving
+/// between passenger destinations with short pickup/drop-off dwells.
+/// Produces `2 × days` daily trajectories.
+pub fn lausanne_taxis(days: usize, seed: u64) -> Dataset {
+    let city = City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 8_000.0, 8_000.0),
+        poi_count: 2_000,
+        poi_clusters: 6,
+        seed,
+        ..CityConfig::default()
+    });
+    let cfg = SimConfig {
+        sampling_interval: 1.0,
+        sampling_jitter: 0.02,
+        noise_sigma: 4.0,
+        dropout: 0.005,
+        indoor_keep: 0.9, // taxis stay outdoors
+    };
+    let mut tracks = Vec::new();
+    let mut trajectory_id = 0u64;
+    for taxi in 0..2u64 {
+        for day in 0..days {
+            let mut rng = StdRng::seed_from_u64(seed ^ (taxi << 32) ^ day as u64);
+            let depot = Point::new(
+                city.bounds().width() * rng.gen_range(0.3..0.7),
+                city.bounds().height() * rng.gen_range(0.3..0.7),
+            );
+            let start = Timestamp(day as f64 * 86_400.0 + 7.0 * 3_600.0);
+            let mut sim = TripSimulator::new(
+                &city.roads,
+                cfg,
+                seed ^ (taxi << 40) ^ (day as u64) << 8,
+                depot,
+                start,
+            );
+            // a shift of passenger rides: drive to a POI, brief dwell
+            let rides = rng.gen_range(5..9);
+            for _ in 0..rides {
+                let dest = random_poi(&city, &mut rng);
+                let spot = parking_spot(&mut rng, dest.point);
+                if !sim.travel_to(spot, TransportMode::Car) {
+                    continue;
+                }
+                let dwell = rng.gen_range(60.0..240.0);
+                sim.dwell(dwell, false, Some((dest.id, dest.category)));
+            }
+            let track = sim.finish(taxi, trajectory_id);
+            trajectory_id += 1;
+            if !track.is_empty() {
+                tracks.push(track);
+            }
+        }
+    }
+    Dataset {
+        name: "lausanne-taxis".to_string(),
+        city,
+        tracks,
+    }
+}
+
+/// GeoPKDD-style private cars: many cars, ~40 s sampling, one or two trips
+/// per day ending at shopping/leisure destinations with long dwells —
+/// the workload of the HMM stop-annotation experiment (Fig. 11).
+pub fn milan_cars(n_cars: usize, days: usize, seed: u64) -> Dataset {
+    milan_cars_with_pois(n_cars, days, 6_000, seed)
+}
+
+/// [`milan_cars`] with an explicit POI count — used by the POI-density
+/// ablation (the HMM's advantage over one-to-one matching is a function of
+/// density, §4.3).
+pub fn milan_cars_with_pois(n_cars: usize, days: usize, poi_count: usize, seed: u64) -> Dataset {
+    let city = City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 10_000.0, 10_000.0),
+        poi_count,
+        poi_clusters: 10,
+        seed: seed ^ 0x4d69,
+        ..CityConfig::default()
+    });
+    let cfg = SimConfig {
+        sampling_interval: 40.0,
+        sampling_jitter: 0.25,
+        noise_sigma: 8.0,
+        dropout: 0.02,
+        indoor_keep: 0.85, // parked outdoors near the POI
+    };
+    let mut tracks = Vec::new();
+    let mut trajectory_id = 0u64;
+    for car in 0..n_cars as u64 {
+        for day in 0..days {
+            let mut rng = StdRng::seed_from_u64(seed ^ (car << 20) ^ (day as u64) << 4);
+            let home = Point::new(
+                city.bounds().width() * rng.gen_range(0.15..0.85),
+                city.bounds().height() * rng.gen_range(0.2..0.85),
+            );
+            let start = Timestamp(day as f64 * 86_400.0 + rng.gen_range(8.0..11.0) * 3_600.0);
+            let mut sim = TripSimulator::new(
+                &city.roads,
+                cfg,
+                seed ^ (car << 24) ^ (day as u64),
+                home,
+                start,
+            );
+            let trips = rng.gen_range(1..=3);
+            for _ in 0..trips {
+                // destination purpose biased like Fig. 11: mostly item sale
+                // and person life
+                let cat = match rng.gen_range(0..100) {
+                    0..=49 => PoiCategory::ItemSale,
+                    50..=74 => PoiCategory::PersonLife,
+                    75..=87 => PoiCategory::Feedings,
+                    88..=97 => PoiCategory::Services,
+                    _ => PoiCategory::Unknown,
+                };
+                let target = Point::new(
+                    city.bounds().width() * rng.gen_range(0.2..0.8),
+                    city.bounds().height() * rng.gen_range(0.2..0.8),
+                );
+                let Some(dest) = nearest_poi(&city, target, cat) else {
+                    continue;
+                };
+                let (dest_point, dest_id, dest_cat) = (dest.point, dest.id, dest.category);
+                let spot = parking_spot(&mut rng, dest_point);
+                if !sim.travel_to(spot, TransportMode::Car) {
+                    continue;
+                }
+                sim.dwell(rng.gen_range(1_800.0..5_400.0), false, Some((dest_id, dest_cat)));
+            }
+            sim.travel_to(home, TransportMode::Car);
+            let track = sim.finish(car, trajectory_id);
+            trajectory_id += 1;
+            if track.len() >= 5 {
+                tracks.push(track);
+            }
+        }
+    }
+    Dataset {
+        name: "milan-cars".to_string(),
+        city,
+        tracks,
+    }
+}
+
+/// Krumm-style map-matching benchmark: one continuous two-hour drive over a
+/// dense network at 1 s sampling, with the true traversed segment retained
+/// for every fix — the input of the Fig. 10 sensitivity sweep.
+pub fn seattle_drive(seed: u64) -> Dataset {
+    let city = City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 12_000.0, 12_000.0),
+        block: 200.0, // dense network: many parallel candidates
+        poi_count: 500,
+        seed: seed ^ 0x5ea7,
+        ..CityConfig::default()
+    });
+    let cfg = SimConfig {
+        sampling_interval: 1.0,
+        sampling_jitter: 0.02,
+        noise_sigma: 6.0,
+        dropout: 0.01,
+        indoor_keep: 0.9,
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd21e);
+    let start_pos = Point::new(1_500.0, 2_500.0);
+    let mut sim = TripSimulator::new(&city.roads, cfg, seed, start_pos, Timestamp(10.0 * 3_600.0));
+    // chain waypoints until ~2 simulated hours elapse
+    let t_end = 12.0 * 3_600.0;
+    while sim.time().0 < t_end {
+        let wp = Point::new(
+            city.bounds().width() * rng.gen_range(0.1..0.9),
+            city.bounds().height() * rng.gen_range(0.15..0.9),
+        );
+        if !sim.travel_to(wp, TransportMode::Car) {
+            break;
+        }
+    }
+    let track = sim.finish(0, 0);
+    Dataset {
+        name: "seattle-drive".to_string(),
+        city,
+        tracks: vec![track],
+    }
+}
+
+/// Per-user personality controlling the Fig. 14 quirks.
+#[derive(Debug, Clone, Copy)]
+struct Personality {
+    home: Point,
+    office: Point,
+    commute: TransportMode,
+    weekend: Weekend,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Weekend {
+    /// Hiking in the wooded outskirts (paper's user2).
+    Hiking,
+    /// Swimming / lakeside leisure (paper's user3 lives near the lake).
+    Lakeside,
+    /// Shopping downtown.
+    Shopping,
+    /// Stays home.
+    Homebody,
+}
+
+/// Resamples a home candidate until it lands on a building cell (up to 40
+/// tries): people live in buildings, which anchors the Fig. 14 landuse
+/// distributions the way the paper describes.
+fn snap_to_building(city: &City, rng: &mut StdRng, sample: impl Fn(&mut StdRng) -> Point) -> Point {
+    let mut p = sample(rng);
+    for _ in 0..40 {
+        if city.landuse.cell_at(p).category == crate::landuse::LanduseCategory::Building {
+            return p;
+        }
+        p = sample(rng);
+    }
+    p
+}
+
+fn personality(city: &City, user: u64, seed: u64) -> Personality {
+    let mut rng = StdRng::seed_from_u64(seed ^ user.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let b = city.bounds();
+    let (home, weekend) = match user % 4 {
+        // lakeside resident: home just above the southern lake strip
+        2 => (
+            snap_to_building(city, &mut rng, |rng| {
+                Point::new(
+                    b.width() * rng.gen_range(0.3..0.7),
+                    b.height() * rng.gen_range(0.11..0.16),
+                )
+            }),
+            Weekend::Lakeside,
+        ),
+        // hiker living in the suburbs
+        1 => (
+            snap_to_building(city, &mut rng, |rng| {
+                Point::new(
+                    b.width() * rng.gen_range(0.15..0.3),
+                    b.height() * rng.gen_range(0.6..0.8),
+                )
+            }),
+            Weekend::Hiking,
+        ),
+        // downtown dweller in the commercial core
+        3 => (
+            snap_to_building(city, &mut rng, |rng| {
+                Point::new(
+                    b.width() * rng.gen_range(0.45..0.55),
+                    b.height() * rng.gen_range(0.45..0.55),
+                )
+            }),
+            Weekend::Shopping,
+        ),
+        // ordinary suburbanite
+        _ => (
+            snap_to_building(city, &mut rng, |rng| {
+                Point::new(
+                    b.width() * rng.gen_range(0.6..0.8),
+                    b.height() * rng.gen_range(0.55..0.75),
+                )
+            }),
+            Weekend::Homebody,
+        ),
+    };
+    // office: the campus region if present, else city center
+    let office = city
+        .regions
+        .first()
+        .map(|r| r.polygon.centroid())
+        .unwrap_or_else(|| b.center());
+    let commute = match user % 4 {
+        0 => TransportMode::Metro,
+        1 => TransportMode::Bicycle,
+        2 => TransportMode::Bus,
+        _ => TransportMode::Walk,
+    };
+    Personality {
+        home,
+        office,
+        commute,
+        weekend,
+    }
+}
+
+/// Nokia-campaign-style smartphone dataset: `n_users` people tracked for
+/// `days` days each, ~10 s irregular sampling, heavy indoor signal loss,
+/// multi-modal commutes and user-specific weekend behaviour.
+pub fn smartphone_users(n_users: usize, days: usize, seed: u64) -> Dataset {
+    let city = City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 9_000.0, 9_000.0),
+        poi_count: 3_000,
+        poi_clusters: 7,
+        seed: seed ^ 0x4e6f,
+        ..CityConfig::default()
+    });
+    let cfg = SimConfig {
+        sampling_interval: 10.0,
+        sampling_jitter: 0.5,
+        noise_sigma: 9.0,
+        dropout: 0.05,
+        indoor_keep: 0.08,
+    };
+    let mut tracks = Vec::new();
+    let mut trajectory_id = 0u64;
+    for user in 0..n_users as u64 {
+        let person = personality(&city, user, seed);
+        for day in 0..days {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ user.wrapping_mul(31) ^ (day as u64) << 16);
+            let weekday = day % 7 < 5;
+            let day_base = day as f64 * 86_400.0;
+            let mut sim = TripSimulator::new(
+                &city.roads,
+                cfg,
+                seed ^ (user << 16) ^ day as u64,
+                person.home,
+                Timestamp(day_base + 6.0 * 3_600.0),
+            );
+            // at home until morning
+            sim.dwell(rng.gen_range(1.0..2.5) * 3_600.0, true, None);
+
+            if weekday {
+                // commute, with occasional mode deviation
+                let mode = if rng.gen_bool(0.8) {
+                    person.commute
+                } else {
+                    [TransportMode::Walk, TransportMode::Bus, TransportMode::Metro]
+                        [rng.gen_range(0..3)]
+                };
+                sim.travel_to(person.office, mode);
+                // morning at the office
+                sim.dwell(rng.gen_range(2.5..3.5) * 3_600.0, true, None);
+                // lunch nearby
+                if let Some(lunch) = nearest_poi(&city, person.office, PoiCategory::Feedings) {
+                    let (p, id, cat) = (lunch.point, lunch.id, lunch.category);
+                    let p = parking_spot(&mut rng, p);
+                    sim.travel_to(p, TransportMode::Walk);
+                    sim.dwell(rng.gen_range(1_800.0..3_600.0), true, Some((id, cat)));
+                    sim.travel_to(person.office, TransportMode::Walk);
+                }
+                // afternoon at the office
+                sim.dwell(rng.gen_range(3.0..4.0) * 3_600.0, true, None);
+                // evening errand
+                match rng.gen_range(0..10) {
+                    0..=2 => {
+                        if let Some(market) =
+                            nearest_poi(&city, person.home, PoiCategory::ItemSale)
+                        {
+                            let (p, id, cat) = (market.point, market.id, market.category);
+                            let p = parking_spot(&mut rng, p);
+                            sim.travel_to(p, person.commute);
+                            sim.dwell(rng.gen_range(1_200.0..2_400.0), true, Some((id, cat)));
+                        }
+                    }
+                    3..=4 => {
+                        if let Some(gym) =
+                            nearest_poi(&city, person.office, PoiCategory::PersonLife)
+                        {
+                            let (p, id, cat) = (gym.point, gym.id, gym.category);
+                            let p = parking_spot(&mut rng, p);
+                            sim.travel_to(p, TransportMode::Walk);
+                            sim.dwell(rng.gen_range(2_400.0..4_800.0), true, Some((id, cat)));
+                        }
+                    }
+                    _ => {}
+                }
+                sim.travel_to(person.home, person.commute);
+            } else {
+                // weekend behaviour per personality
+                match person.weekend {
+                    Weekend::Hiking => {
+                        // out to the wooded outskirts on foot/bike
+                        let b = city.bounds();
+                        let trail_head = Point::new(b.width() * 0.08, b.height() * 0.9);
+                        sim.travel_to(trail_head, TransportMode::Bicycle);
+                        sim.dwell(rng.gen_range(2.0..4.0) * 3_600.0, false, None);
+                        sim.travel_to(person.home, TransportMode::Bicycle);
+                    }
+                    Weekend::Lakeside => {
+                        let b = city.bounds();
+                        let beach = Point::new(b.width() * 0.5, b.height() * 0.06); // on the shore
+                        sim.travel_to(beach, TransportMode::Walk);
+                        sim.dwell(rng.gen_range(1.5..3.0) * 3_600.0, false, None);
+                        sim.travel_to(person.home, TransportMode::Walk);
+                    }
+                    Weekend::Shopping => {
+                        if let Some(mall) =
+                            nearest_poi(&city, city.bounds().center(), PoiCategory::ItemSale)
+                        {
+                            let (p, id, cat) = (mall.point, mall.id, mall.category);
+                            let p = parking_spot(&mut rng, p);
+                            sim.travel_to(p, person.commute);
+                            sim.dwell(rng.gen_range(1.0..2.5) * 3_600.0, true, Some((id, cat)));
+                            sim.travel_to(person.home, person.commute);
+                        }
+                    }
+                    Weekend::Homebody => {
+                        sim.dwell(rng.gen_range(2.0..5.0) * 3_600.0, true, None);
+                    }
+                }
+            }
+            // home for the night
+            sim.dwell(rng.gen_range(1.0..2.0) * 3_600.0, true, None);
+            let track = sim.finish(user, trajectory_id);
+            trajectory_id += 1;
+            if track.len() >= 10 {
+                tracks.push(track);
+            }
+        }
+    }
+    Dataset {
+        name: "smartphone-users".to_string(),
+        city,
+        tracks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxis_dense_sampling_many_records() {
+        let d = lausanne_taxis(1, 7);
+        assert_eq!(d.object_count(), 2);
+        assert_eq!(d.tracks.len(), 2);
+        assert!(d.total_records() > 2_000, "{}", d.total_records());
+        let dt = d.mean_sampling_interval();
+        assert!((0.8..1.5).contains(&dt), "mean dt {dt}");
+    }
+
+    #[test]
+    fn milan_sparse_sampling() {
+        let d = milan_cars(3, 1, 11);
+        assert!(d.object_count() >= 2);
+        let dt = d.mean_sampling_interval();
+        assert!((25.0..60.0).contains(&dt), "mean dt {dt}");
+        // ground truth stop categories are present
+        let has_stop_truth = d
+            .tracks
+            .iter()
+            .flat_map(|t| &t.truth)
+            .any(|tp| tp.stop_category.is_some());
+        assert!(has_stop_truth);
+    }
+
+    #[test]
+    fn seattle_is_one_long_drive_with_truth() {
+        let d = seattle_drive(5);
+        assert_eq!(d.tracks.len(), 1);
+        let t = &d.tracks[0];
+        assert!(t.len() > 3_000, "{}", t.len());
+        let with_seg = t.truth.iter().filter(|tp| tp.segment.is_some()).count();
+        assert!(with_seg as f64 > t.len() as f64 * 0.5);
+        // spans roughly two hours
+        let span = t.records.last().unwrap().t.since(t.records[0].t);
+        assert!(span > 3_600.0, "span {span}");
+    }
+
+    #[test]
+    fn smartphone_users_are_multimodal_and_gappy() {
+        let d = smartphone_users(4, 2, 21);
+        assert_eq!(d.object_count(), 4);
+        assert_eq!(d.tracks.len(), 8);
+        // multiple transport modes appear across users
+        let mut modes = std::collections::HashSet::new();
+        for t in &d.tracks {
+            for tp in &t.truth {
+                if let Some(m) = tp.mode {
+                    modes.insert(m.label());
+                }
+            }
+        }
+        assert!(modes.len() >= 3, "modes {modes:?}");
+        // indoor gaps: maximum inter-fix interval far exceeds the nominal dt
+        let max_gap = d
+            .tracks
+            .iter()
+            .flat_map(|t| t.records.windows(2).map(|w| w[1].t.since(w[0].t)))
+            .fold(0.0f64, f64::max);
+        assert!(max_gap > 60.0, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = milan_cars(2, 1, 3);
+        let b = milan_cars(2, 1, 3);
+        assert_eq!(a.total_records(), b.total_records());
+        assert_eq!(a.tracks[0].records, b.tracks[0].records);
+    }
+}

@@ -1,0 +1,147 @@
+//! Free-form named regions — the paper's OpenStreetMap-style semantic
+//! regions (EPFL campus, a recreation facility with a swimming pool, §4.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semitri_geo::{Point, Polygon, Rect};
+
+/// Kinds of free-form regions the generator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A university/company campus.
+    Campus,
+    /// A park or recreation facility.
+    Recreation,
+    /// A shopping/market district.
+    Market,
+    /// A residential neighbourhood.
+    Residential,
+}
+
+impl RegionKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RegionKind::Campus => "campus",
+            RegionKind::Recreation => "recreation",
+            RegionKind::Market => "market",
+            RegionKind::Residential => "residential",
+        }
+    }
+}
+
+/// A named free-form region with polygonal extent.
+#[derive(Debug, Clone)]
+pub struct NamedRegion {
+    /// Stable identifier.
+    pub id: u64,
+    /// Display name ("EPFL campus").
+    pub name: String,
+    /// Kind of place.
+    pub kind: RegionKind,
+    /// Polygonal extent.
+    pub polygon: Polygon,
+}
+
+impl NamedRegion {
+    /// Bounding rectangle of the extent.
+    pub fn bbox(&self) -> Rect {
+        self.polygon.bbox()
+    }
+}
+
+/// Generates a handful of named regions scattered over the city: one
+/// campus, a few recreation areas, markets and residential quarters.
+/// Deterministic given `seed`.
+pub fn generate_regions(bounds: Rect, count: usize, seed: u64) -> Vec<NamedRegion> {
+    assert!(!bounds.is_empty(), "region bounds must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7265_6769);
+    let mut out = Vec::with_capacity(count);
+    for id in 0..count {
+        let kind = match id {
+            0 => RegionKind::Campus,
+            _ => match rng.gen_range(0..3) {
+                0 => RegionKind::Recreation,
+                1 => RegionKind::Market,
+                _ => RegionKind::Residential,
+            },
+        };
+        let radius = match kind {
+            RegionKind::Campus => bounds.width() * 0.05,
+            RegionKind::Recreation => bounds.width() * rng.gen_range(0.015..0.035),
+            RegionKind::Market => bounds.width() * rng.gen_range(0.01..0.02),
+            RegionKind::Residential => bounds.width() * rng.gen_range(0.03..0.05),
+        };
+        let cx = bounds.min_x + bounds.width() * rng.gen_range(0.15..0.85);
+        let cy = bounds.min_y + bounds.height() * rng.gen_range(0.2..0.85);
+        // irregular convex-ish blob: regular polygon with radial jitter
+        let n = rng.gen_range(6..12);
+        let ring: Vec<Point> = (0..n)
+            .map(|k| {
+                let theta = std::f64::consts::TAU * (k as f64) / (n as f64);
+                let r = radius * rng.gen_range(0.75..1.25);
+                Point::new(cx + r * theta.cos(), cy + r * theta.sin())
+            })
+            .collect();
+        let name = match kind {
+            RegionKind::Campus => "EPFL-like campus".to_string(),
+            RegionKind::Recreation => format!("recreation area {id}"),
+            RegionKind::Market => format!("market district {id}"),
+            RegionKind::Residential => format!("residential quarter {id}"),
+        };
+        out.push(NamedRegion {
+            id: id as u64,
+            name,
+            kind,
+            polygon: Polygon::new(ring),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions() -> Vec<NamedRegion> {
+        generate_regions(Rect::new(0.0, 0.0, 10_000.0, 10_000.0), 12, 3)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        assert_eq!(regions().len(), 12);
+    }
+
+    #[test]
+    fn first_region_is_campus() {
+        let r = regions();
+        assert_eq!(r[0].kind, RegionKind::Campus);
+        assert!(r[0].name.contains("campus"));
+    }
+
+    #[test]
+    fn polygons_are_valid_and_inside_ish() {
+        let outer = Rect::new(0.0, 0.0, 10_000.0, 10_000.0).inflate(1_000.0);
+        for r in regions() {
+            assert!(r.polygon.area() > 0.0);
+            assert!(outer.contains_rect(&r.bbox()));
+            // centroid inside its own polygon (blobs are near-convex)
+            assert!(r.polygon.contains_point(r.polygon.centroid()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = regions();
+        let b = regions();
+        assert_eq!(a[5].polygon.ring(), b[5].polygon.ring());
+        assert_eq!(a[5].name, b[5].name);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        for (i, r) in regions().iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+}

@@ -1,0 +1,654 @@
+//! Multi-class road networks with mode-restricted routing.
+//!
+//! The line-annotation layer (Algorithm 2) needs a road network of
+//! heterogeneous classes — the paper's people trajectories mix roads, metro
+//! lines and walk-ways. This module provides the network model, a
+//! deterministic city-grid generator and Dijkstra routing restricted to a
+//! [`TransportMode`], which the trip simulator uses to synthesize realistic
+//! multi-modal movement with per-point ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semitri_geo::{Point, Polyline, Rect, Segment};
+use std::collections::BinaryHeap;
+
+/// Identifier of a road segment within its [`RoadNetwork`].
+pub type SegmentId = u32;
+/// Identifier of a network node (crossing / station).
+pub type NodeId = u32;
+
+/// Functional class of a road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoadClass {
+    /// High-speed arterial; cars only.
+    Highway,
+    /// Regular city street; cars, bikes, pedestrians, buses (when flagged).
+    Street,
+    /// Pedestrian/bicycle path (park walkway, campus path).
+    Path,
+    /// Metro rail; metro trains only.
+    Rail,
+}
+
+impl RoadClass {
+    /// Short display label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoadClass::Highway => "highway",
+            RoadClass::Street => "street",
+            RoadClass::Path => "path_way",
+            RoadClass::Rail => "rail",
+        }
+    }
+}
+
+/// Transportation modes the paper infers (§4.2: walking, bicycle, bus,
+/// metro) plus `Car` for the vehicle datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportMode {
+    /// On foot.
+    Walk,
+    /// Bicycle.
+    Bicycle,
+    /// Public bus (only on bus-flagged streets).
+    Bus,
+    /// Metro (only on rail).
+    Metro,
+    /// Private car / taxi.
+    Car,
+}
+
+impl TransportMode {
+    /// All modes, in a stable order.
+    pub const ALL: [TransportMode; 5] = [
+        TransportMode::Walk,
+        TransportMode::Bicycle,
+        TransportMode::Bus,
+        TransportMode::Metro,
+        TransportMode::Car,
+    ];
+
+    /// Typical cruise speed in m/s; the simulator jitters around this and
+    /// the mode-inference classifier thresholds against it.
+    pub fn cruise_speed(&self) -> f64 {
+        match self {
+            TransportMode::Walk => 1.4,
+            TransportMode::Bicycle => 4.2,
+            TransportMode::Bus => 7.0,
+            TransportMode::Metro => 16.0,
+            TransportMode::Car => 12.0,
+        }
+    }
+
+    /// Speed of this mode on the given segment, or `None` when the segment
+    /// cannot be used by the mode.
+    pub fn speed_on(&self, seg: &RoadSegment) -> Option<f64> {
+        match (self, seg.class) {
+            (TransportMode::Walk, RoadClass::Street | RoadClass::Path) => Some(1.4),
+            (TransportMode::Bicycle, RoadClass::Street | RoadClass::Path) => Some(4.2),
+            (TransportMode::Bus, RoadClass::Street) if seg.bus_route => Some(7.0),
+            (TransportMode::Metro, RoadClass::Rail) => Some(16.0),
+            (TransportMode::Car, RoadClass::Street) => Some(12.0),
+            (TransportMode::Car, RoadClass::Highway) => Some(25.0),
+            _ => None,
+        }
+    }
+
+    /// Display label ("walk", "metro", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportMode::Walk => "walk",
+            TransportMode::Bicycle => "bicycle",
+            TransportMode::Bus => "bus",
+            TransportMode::Metro => "metro",
+            TransportMode::Car => "car",
+        }
+    }
+}
+
+/// One road segment: an edge of the network with geometry and metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadSegment {
+    /// Identifier (index into [`RoadNetwork::segments`]).
+    pub id: SegmentId,
+    /// Start node.
+    pub from: NodeId,
+    /// End node.
+    pub to: NodeId,
+    /// Geometry (straight segment between the two crossings).
+    pub geometry: Segment,
+    /// Functional class.
+    pub class: RoadClass,
+    /// `true` when a bus line runs on this street.
+    pub bus_route: bool,
+    /// Street name (grid lines share names, like real streets).
+    pub name: String,
+}
+
+impl RoadSegment {
+    /// Segment length in meters.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.geometry.length()
+    }
+}
+
+/// A routable road network.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    segments: Vec<RoadSegment>,
+    /// adjacency\[node\] = list of (segment id, neighbor node)
+    adjacency: Vec<Vec<(SegmentId, NodeId)>>,
+}
+
+/// A route through the network: an ordered list of segment ids plus the
+/// traversal geometry.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Traversed segments in order.
+    pub segments: Vec<SegmentId>,
+    /// Node sequence (`segments.len() + 1` nodes).
+    pub nodes: Vec<NodeId>,
+    /// Geometry through the node points.
+    pub polyline: Polyline,
+    /// Cumulative distance at the *end* of each segment.
+    cum: Vec<f64>,
+}
+
+impl Route {
+    /// Total route length in meters.
+    pub fn length(&self) -> f64 {
+        self.cum.last().copied().unwrap_or(0.0)
+    }
+
+    /// The segment being traversed at curvilinear distance `d` from the
+    /// start (clamped to the route ends). `None` for an empty route.
+    pub fn segment_at_distance(&self, d: f64) -> Option<SegmentId> {
+        if self.segments.is_empty() {
+            return None;
+        }
+        let idx = self.cum.partition_point(|&c| c < d);
+        Some(self.segments[idx.min(self.segments.len() - 1)])
+    }
+}
+
+impl RoadNetwork {
+    /// Builds a network from nodes and segment descriptors
+    /// `(from, to, class, bus_route, name)`.
+    ///
+    /// # Panics
+    /// Panics on dangling node references or zero-length edges.
+    pub fn new(nodes: Vec<Point>, edges: Vec<(NodeId, NodeId, RoadClass, bool, String)>) -> Self {
+        let mut segments = Vec::with_capacity(edges.len());
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        for (i, (from, to, class, bus_route, name)) in edges.into_iter().enumerate() {
+            let (f, t) = (from as usize, to as usize);
+            assert!(f < nodes.len() && t < nodes.len(), "dangling node id");
+            assert_ne!(f, t, "self-loop edge");
+            let geometry = Segment::new(nodes[f], nodes[t]);
+            assert!(geometry.length() > 0.0, "zero-length edge");
+            let id = i as SegmentId;
+            segments.push(RoadSegment {
+                id,
+                from,
+                to,
+                geometry,
+                class,
+                bus_route,
+                name,
+            });
+            adjacency[f].push((id, to));
+            adjacency[t].push((id, from));
+        }
+        Self {
+            nodes,
+            segments,
+            adjacency,
+        }
+    }
+
+    /// All nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[Point] {
+        &self.nodes
+    }
+
+    /// All segments.
+    #[inline]
+    pub fn segments(&self) -> &[RoadSegment] {
+        &self.segments
+    }
+
+    /// Segment by id.
+    #[inline]
+    pub fn segment(&self, id: SegmentId) -> &RoadSegment {
+        &self.segments[id as usize]
+    }
+
+    /// Node position by id.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Point {
+        self.nodes[id as usize]
+    }
+
+    /// Nodes reachable by `mode` (incident to at least one usable segment).
+    /// For [`TransportMode::Metro`] these are exactly the stations.
+    pub fn access_nodes(&self, mode: TransportMode) -> Vec<NodeId> {
+        (0..self.nodes.len() as NodeId)
+            .filter(|&n| {
+                self.adjacency[n as usize]
+                    .iter()
+                    .any(|&(s, _)| mode.speed_on(self.segment(s)).is_some())
+            })
+            .collect()
+    }
+
+    /// The access node of `mode` nearest to `p` (linear scan; the generator
+    /// networks are small enough and trip planning is off the hot path).
+    pub fn nearest_access_node(&self, p: Point, mode: TransportMode) -> Option<NodeId> {
+        self.access_nodes(mode)
+            .into_iter()
+            .min_by(|&a, &b| {
+                let da = self.node(a).distance_sq(p);
+                let db = self.node(b).distance_sq(p);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Shortest route (by travel time for `mode`) between two nodes, or
+    /// `None` when unreachable.
+    pub fn route(&self, from: NodeId, to: NodeId, mode: TransportMode) -> Option<Route> {
+        #[derive(PartialEq)]
+        struct State {
+            cost: f64,
+            node: NodeId,
+        }
+        impl Eq for State {}
+        impl Ord for State {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        impl PartialOrd for State {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(NodeId, SegmentId)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from as usize] = 0.0;
+        heap.push(State {
+            cost: 0.0,
+            node: from,
+        });
+        while let Some(State { cost, node }) = heap.pop() {
+            if node == to {
+                break;
+            }
+            if cost > dist[node as usize] {
+                continue;
+            }
+            for &(seg_id, next) in &self.adjacency[node as usize] {
+                let seg = self.segment(seg_id);
+                let Some(speed) = mode.speed_on(seg) else {
+                    continue;
+                };
+                let next_cost = cost + seg.length() / speed;
+                if next_cost < dist[next as usize] {
+                    dist[next as usize] = next_cost;
+                    prev[next as usize] = Some((node, seg_id));
+                    heap.push(State {
+                        cost: next_cost,
+                        node: next,
+                    });
+                }
+            }
+        }
+        if from != to && prev[to as usize].is_none() {
+            return None;
+        }
+
+        // reconstruct
+        let mut seg_ids = Vec::new();
+        let mut node_ids = vec![to];
+        let mut cur = to;
+        while cur != from {
+            let (p, s) = prev[cur as usize].expect("path recorded");
+            seg_ids.push(s);
+            node_ids.push(p);
+            cur = p;
+        }
+        seg_ids.reverse();
+        node_ids.reverse();
+        let polyline: Polyline = node_ids.iter().map(|&nid| self.node(nid)).collect();
+        let mut cum = Vec::with_capacity(seg_ids.len());
+        let mut acc = 0.0;
+        for &s in &seg_ids {
+            acc += self.segment(s).length();
+            cum.push(acc);
+        }
+        Some(Route {
+            segments: seg_ids,
+            nodes: node_ids,
+            polyline,
+            cum,
+        })
+    }
+
+    /// Generates a deterministic city grid network over `bounds`:
+    ///
+    /// * streets every `block` meters in both directions (named per grid
+    ///   line), with small node jitter for realism;
+    /// * two highway arterials crossing mid-city;
+    /// * a metro line along the central east–west and north–south streets
+    ///   with stations every other crossing;
+    /// * diagonal park paths in the outer ring;
+    /// * every third north–south street carries a bus route.
+    ///
+    /// The layout stays clear of the southern lake strip produced by
+    /// [`crate::landuse::LanduseGrid::generate`].
+    pub fn generate_grid(bounds: Rect, block: f64, seed: u64) -> Self {
+        assert!(block > 0.0, "block size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x726f_6164);
+        let margin = block; // stay inside bounds
+        let lake = bounds.height() * 0.10; // keep out of the lake strip
+        let x0 = bounds.min_x + margin;
+        let y0 = bounds.min_y + lake + margin;
+        let nx = (((bounds.max_x - margin) - x0) / block).floor() as usize + 1;
+        let ny = (((bounds.max_y - margin) - y0) / block).floor() as usize + 1;
+        assert!(nx >= 3 && ny >= 3, "bounds too small for a city grid");
+
+        let jitter = block * 0.06;
+        let mut nodes = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                // border nodes stay exact so arterials stay straight
+                let (jx, jy) = if i == 0 || j == 0 || i == nx - 1 || j == ny - 1 {
+                    (0.0, 0.0)
+                } else {
+                    (
+                        rng.gen_range(-jitter..jitter),
+                        rng.gen_range(-jitter..jitter),
+                    )
+                };
+                nodes.push(Point::new(
+                    x0 + i as f64 * block + jx,
+                    y0 + j as f64 * block + jy,
+                ));
+            }
+        }
+        let node_id = |i: usize, j: usize| (j * nx + i) as NodeId;
+
+        let mid_i = nx / 2;
+        let mid_j = ny / 2;
+        let mut edges: Vec<(NodeId, NodeId, RoadClass, bool, String)> = Vec::new();
+
+        // streets + highways
+        for j in 0..ny {
+            for i in 0..nx {
+                if i + 1 < nx {
+                    let class = if j == mid_j {
+                        RoadClass::Highway
+                    } else {
+                        RoadClass::Street
+                    };
+                    let bus = j % 3 == 2 && class == RoadClass::Street;
+                    let name = if j == mid_j {
+                        "Highway E-W".to_string()
+                    } else {
+                        format!("Avenue A{j}")
+                    };
+                    edges.push((node_id(i, j), node_id(i + 1, j), class, bus, name));
+                }
+                if j + 1 < ny {
+                    let class = if i == mid_i {
+                        RoadClass::Highway
+                    } else {
+                        RoadClass::Street
+                    };
+                    let bus = i % 3 == 1 && class == RoadClass::Street;
+                    let name = if i == mid_i {
+                        "Highway N-S".to_string()
+                    } else {
+                        format!("Rue R{i}")
+                    };
+                    edges.push((node_id(i, j), node_id(i, j + 1), class, bus, name));
+                }
+            }
+        }
+
+        // metro lines: one row and one column offset from the highways,
+        // stations at every other crossing (edges span two blocks)
+        // station indices are even, so rounding both line offsets to even
+        // guarantees a shared transfer station at (metro_i, metro_j)
+        let metro_j = ((mid_j + 2) & !1).min(ny - 1);
+        let mut i = 0;
+        while i + 2 < nx {
+            edges.push((
+                node_id(i, metro_j),
+                node_id(i + 2, metro_j),
+                RoadClass::Rail,
+                false,
+                "M1".to_string(),
+            ));
+            i += 2;
+        }
+        let metro_i = ((mid_i + 2) & !1).min(nx - 1);
+        let mut j = 0;
+        while j + 2 < ny {
+            edges.push((
+                node_id(metro_i, j),
+                node_id(metro_i, j + 2),
+                RoadClass::Rail,
+                false,
+                "M2".to_string(),
+            ));
+            j += 2;
+        }
+
+        // park paths: diagonals in the outer ring
+        for j in 0..ny - 1 {
+            for i in 0..nx - 1 {
+                let on_ring = i < 2 || j < 2 || i >= nx - 3 || j >= ny - 3;
+                if on_ring && rng.gen_bool(0.35) {
+                    edges.push((
+                        node_id(i, j),
+                        node_id(i + 1, j + 1),
+                        RoadClass::Path,
+                        false,
+                        format!("Path P{i}-{j}"),
+                    ));
+                }
+            }
+        }
+
+        Self::new(nodes, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network() -> RoadNetwork {
+        RoadNetwork::generate_grid(Rect::new(0.0, 0.0, 4_000.0, 4_000.0), 250.0, 7)
+    }
+
+    #[test]
+    fn grid_has_all_classes() {
+        let net = network();
+        assert!(!net.segments().is_empty());
+        for class in [
+            RoadClass::Highway,
+            RoadClass::Street,
+            RoadClass::Path,
+            RoadClass::Rail,
+        ] {
+            assert!(
+                net.segments().iter().any(|s| s.class == class),
+                "missing {class:?}"
+            );
+        }
+        assert!(net.segments().iter().any(|s| s.bus_route));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = network();
+        let b = network();
+        assert_eq!(a.segments().len(), b.segments().len());
+        assert_eq!(a.node(17), b.node(17));
+        assert_eq!(a.segment(33).name, b.segment(33).name);
+    }
+
+    #[test]
+    fn mode_permissions() {
+        let net = network();
+        let highway = net
+            .segments()
+            .iter()
+            .find(|s| s.class == RoadClass::Highway)
+            .unwrap();
+        assert!(TransportMode::Car.speed_on(highway).is_some());
+        assert!(TransportMode::Walk.speed_on(highway).is_none());
+        assert!(TransportMode::Metro.speed_on(highway).is_none());
+
+        let rail = net
+            .segments()
+            .iter()
+            .find(|s| s.class == RoadClass::Rail)
+            .unwrap();
+        assert!(TransportMode::Metro.speed_on(rail).is_some());
+        assert!(TransportMode::Car.speed_on(rail).is_none());
+
+        let bus_street = net.segments().iter().find(|s| s.bus_route).unwrap();
+        assert!(TransportMode::Bus.speed_on(bus_street).is_some());
+        let plain_street = net
+            .segments()
+            .iter()
+            .find(|s| s.class == RoadClass::Street && !s.bus_route)
+            .unwrap();
+        assert!(TransportMode::Bus.speed_on(plain_street).is_none());
+    }
+
+    #[test]
+    fn car_route_connects_corners() {
+        let net = network();
+        let from = net.nearest_access_node(Point::new(300.0, 700.0), TransportMode::Car).unwrap();
+        let to = net
+            .nearest_access_node(Point::new(3_700.0, 3_700.0), TransportMode::Car)
+            .unwrap();
+        let route = net.route(from, to, TransportMode::Car).expect("reachable");
+        assert!(!route.segments.is_empty());
+        assert_eq!(route.nodes.len(), route.segments.len() + 1);
+        assert!(route.length() > 3_000.0);
+        // every traversed segment is usable by car
+        for &s in &route.segments {
+            assert!(TransportMode::Car.speed_on(net.segment(s)).is_some());
+        }
+        // endpoints match
+        assert_eq!(route.nodes[0], from);
+        assert_eq!(*route.nodes.last().unwrap(), to);
+    }
+
+    #[test]
+    fn metro_route_uses_only_rail() {
+        let net = network();
+        let stations = net.access_nodes(TransportMode::Metro);
+        assert!(stations.len() >= 4);
+        let route = net
+            .route(stations[0], *stations.last().unwrap(), TransportMode::Metro);
+        // stations on different lines may be unreachable without transfer
+        // nodes, but same-line stations must connect:
+        let line: Vec<NodeId> = stations
+            .iter()
+            .copied()
+            .filter(|&s| {
+                net.adjacency[s as usize]
+                    .iter()
+                    .any(|&(e, _)| net.segment(e).name == "M1")
+            })
+            .collect();
+        let r = net
+            .route(line[0], *line.last().unwrap(), TransportMode::Metro)
+            .expect("same line reachable");
+        for &s in &r.segments {
+            assert_eq!(net.segment(s).class, RoadClass::Rail);
+        }
+        drop(route);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let net = network();
+        let r = net.route(5, 5, TransportMode::Walk).expect("trivial route");
+        assert!(r.segments.is_empty());
+        assert_eq!(r.length(), 0.0);
+        assert_eq!(r.segment_at_distance(0.0), None);
+    }
+
+    #[test]
+    fn segment_at_distance_walks_route() {
+        let net = network();
+        let from = net.nearest_access_node(Point::new(300.0, 700.0), TransportMode::Walk).unwrap();
+        let to = net
+            .nearest_access_node(Point::new(2_000.0, 2_000.0), TransportMode::Walk)
+            .unwrap();
+        let r = net.route(from, to, TransportMode::Walk).expect("reachable");
+        assert_eq!(r.segment_at_distance(0.0), Some(r.segments[0]));
+        assert_eq!(
+            r.segment_at_distance(r.length() + 100.0),
+            Some(*r.segments.last().unwrap())
+        );
+        // distances are monotone over segments
+        let first_len = net.segment(r.segments[0]).length();
+        assert_eq!(
+            r.segment_at_distance(first_len + 0.1),
+            Some(r.segments[1.min(r.segments.len() - 1)])
+        );
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // two isolated nodes with one street between node 0 and 1 only
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(110.0, 100.0),
+        ];
+        let edges = vec![
+            (0, 1, RoadClass::Street, false, "a".to_string()),
+            (2, 3, RoadClass::Rail, false, "m".to_string()),
+        ];
+        let net = RoadNetwork::new(nodes, edges);
+        assert!(net.route(0, 2, TransportMode::Car).is_none());
+        // walk cannot use rail
+        assert!(net.route(2, 3, TransportMode::Walk).is_none());
+        assert!(net.route(2, 3, TransportMode::Metro).is_some());
+    }
+
+    #[test]
+    fn access_nodes_for_metro_are_station_subset() {
+        let net = network();
+        let stations = net.access_nodes(TransportMode::Metro);
+        let walkers = net.access_nodes(TransportMode::Walk);
+        assert!(stations.len() < walkers.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn new_rejects_dangling_edges() {
+        RoadNetwork::new(
+            vec![Point::new(0.0, 0.0)],
+            vec![(0, 5, RoadClass::Street, false, "x".to_string())],
+        );
+    }
+}

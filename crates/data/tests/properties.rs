@@ -1,0 +1,146 @@
+//! Property-based tests for the data substrate: routing optimality and
+//! simulator ground-truth consistency.
+
+use proptest::prelude::*;
+use semitri_data::road::{NodeId, RoadClass, RoadNetwork};
+use semitri_data::sim::{SimConfig, TripSimulator};
+use semitri_data::{City, CityConfig, TransportMode};
+use semitri_geo::{Point, Rect, Timestamp};
+
+/// Random connected street network: a chain plus chords.
+fn network_strategy() -> impl Strategy<Value = RoadNetwork> {
+    (
+        proptest::collection::vec((0.0..2_000.0f64, 0.0..2_000.0f64), 4..10),
+        proptest::collection::vec((0usize..10, 0usize..10), 0..10),
+    )
+        .prop_map(|(mut xy, chords)| {
+            for (i, p) in xy.iter_mut().enumerate() {
+                p.0 += i as f64 * 101.0; // de-duplicate positions
+            }
+            let nodes: Vec<Point> = xy.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let n = nodes.len();
+            let mut edges = Vec::new();
+            for i in 0..n - 1 {
+                edges.push((
+                    i as u32,
+                    (i + 1) as u32,
+                    RoadClass::Street,
+                    false,
+                    format!("e{i}"),
+                ));
+            }
+            for (a, b) in chords {
+                let (a, b) = (a % n, b % n);
+                if a != b && nodes[a].distance(nodes[b]) > 1.0 {
+                    edges.push((a as u32, b as u32, RoadClass::Street, false, "c".to_string()));
+                }
+            }
+            RoadNetwork::new(nodes, edges)
+        })
+}
+
+/// Brute-force shortest travel time by Bellman-Ford over all edges.
+fn brute_force_cost(net: &RoadNetwork, from: NodeId, to: NodeId, mode: TransportMode) -> Option<f64> {
+    let n = net.nodes().len();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[from as usize] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for seg in net.segments() {
+            let Some(speed) = mode.speed_on(seg) else { continue };
+            let w = seg.length() / speed;
+            let (a, b) = (seg.from as usize, seg.to as usize);
+            if dist[a] + w < dist[b] {
+                dist[b] = dist[a] + w;
+                changed = true;
+            }
+            if dist[b] + w < dist[a] {
+                dist[a] = dist[b] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist[to as usize].is_finite().then_some(dist[to as usize])
+}
+
+fn route_cost(net: &RoadNetwork, segments: &[u32], mode: TransportMode) -> f64 {
+    segments
+        .iter()
+        .map(|&s| {
+            let seg = net.segment(s);
+            seg.length() / mode.speed_on(seg).expect("route uses legal segments")
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_route_is_optimal(net in network_strategy(), from in 0usize..10, to in 0usize..10) {
+        let n = net.nodes().len();
+        let (from, to) = ((from % n) as NodeId, (to % n) as NodeId);
+        let mode = TransportMode::Car;
+        let route = net.route(from, to, mode);
+        let brute = brute_force_cost(&net, from, to, mode);
+        match (route, brute) {
+            (Some(r), Some(best)) => {
+                let cost = route_cost(&net, &r.segments, mode);
+                prop_assert!((cost - best).abs() < 1e-6, "dijkstra {cost} vs brute {best}");
+                // route is a connected walk from `from` to `to`
+                prop_assert_eq!(r.nodes[0], from);
+                prop_assert_eq!(*r.nodes.last().unwrap(), to);
+                for w in r.nodes.windows(2) {
+                    let hop_exists = net.segments().iter().any(|s| {
+                        (s.from == w[0] && s.to == w[1]) || (s.from == w[1] && s.to == w[0])
+                    });
+                    prop_assert!(hop_exists, "missing hop {:?}", w);
+                }
+            }
+            (None, None) => {}
+            (r, b) => prop_assert!(false, "reachability mismatch: route {:?} vs brute {:?}", r.map(|r| r.segments.len()), b),
+        }
+    }
+
+    #[test]
+    fn simulator_truth_segments_are_mode_legal(seed in 0u64..50) {
+        let city = City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, 4_000.0, 4_000.0),
+            poi_count: 100,
+            region_count: 3,
+            seed: 9,
+            ..CityConfig::default()
+        });
+        let mut sim = TripSimulator::new(
+            &city.roads,
+            SimConfig::default(),
+            seed,
+            Point::new(800.0, 900.0),
+            Timestamp(0.0),
+        );
+        sim.travel_to(Point::new(3_200.0, 3_100.0), TransportMode::Bicycle);
+        sim.dwell(200.0, false, None);
+        let track = sim.finish(0, 0);
+        prop_assert_eq!(track.records.len(), track.truth.len());
+        for (r, t) in track.records.iter().zip(&track.truth) {
+            prop_assert!(r.point.is_finite());
+            if let (Some(seg), Some(mode)) = (t.segment, t.mode) {
+                // the declared segment must be usable by the declared mode
+                prop_assert!(
+                    mode.speed_on(city.roads.segment(seg)).is_some(),
+                    "mode {mode:?} cannot use segment {seg}"
+                );
+                // and the true position is near that segment (noise-bounded)
+                let d = city.roads.segment(seg).geometry.distance_to_point(r.point);
+                prop_assert!(d < 120.0, "fix {d} m from its true segment");
+            }
+        }
+        // timestamps strictly advance on emissions
+        for w in track.records.windows(2) {
+            prop_assert!(w[1].t.0 >= w[0].t.0);
+        }
+    }
+}

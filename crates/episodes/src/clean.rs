@@ -1,0 +1,199 @@
+//! Data cleansing: outlier removal and noise smoothing.
+//!
+//! GPS feeds contain teleporting fixes (multipath reflections) and
+//! high-frequency jitter. The Trajectory Computation Layer removes the
+//! former with a physical speed bound and attenuates the latter with a
+//! temporal Gaussian kernel, before any episode computation.
+
+use semitri_data::GpsRecord;
+use semitri_geo::Point;
+
+/// Removes records that imply a physically impossible speed.
+///
+/// A record is an outlier when the speed from the previous *kept* record
+/// exceeds `max_speed_mps`. The first record is always kept. This is the
+/// standard forward-pass filter: a single teleporting fix is dropped, and
+/// the track resumes from the next plausible fix.
+pub fn remove_speed_outliers(records: &[GpsRecord], max_speed_mps: f64) -> Vec<GpsRecord> {
+    assert!(max_speed_mps > 0.0, "speed bound must be positive");
+    let mut out: Vec<GpsRecord> = Vec::with_capacity(records.len());
+    for &r in records {
+        match out.last() {
+            None => out.push(r),
+            Some(prev) => {
+                let dt = r.t.since(prev.t);
+                if dt <= 0.0 {
+                    // duplicate timestamp: keep only if co-located
+                    if prev.point.distance(r.point) < 1.0 {
+                        continue;
+                    }
+                    // conflicting fix at same instant — drop it
+                    continue;
+                }
+                if prev.point.distance(r.point) / dt <= max_speed_mps {
+                    out.push(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Smooths positions with a temporal Gaussian kernel of bandwidth
+/// `sigma_secs`: each position becomes the weighted mean of its neighbors
+/// within ±3σ in time. Timestamps are unchanged.
+///
+/// This is the same kernel shape the line-annotation layer uses for its
+/// global score (Equation 4), applied here to positions instead of scores.
+pub fn gaussian_smooth(records: &[GpsRecord], sigma_secs: f64) -> Vec<GpsRecord> {
+    assert!(sigma_secs > 0.0, "sigma must be positive");
+    let window = 3.0 * sigma_secs;
+    let inv_two_sigma_sq = 1.0 / (2.0 * sigma_secs * sigma_secs);
+    let n = records.len();
+    let mut out = Vec::with_capacity(n);
+    let mut lo = 0usize;
+    for i in 0..n {
+        let t_i = records[i].t;
+        while records[lo].t.0 < t_i.0 - window {
+            lo += 1;
+        }
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sw = 0.0;
+        for r in &records[lo..] {
+            let dt = r.t.since(t_i);
+            if dt > window {
+                break;
+            }
+            let w = (-dt * dt * inv_two_sigma_sq).exp();
+            sx += r.point.x * w;
+            sy += r.point.y * w;
+            sw += w;
+        }
+        out.push(GpsRecord::new(Point::new(sx / sw, sy / sw), t_i));
+    }
+    out
+}
+
+/// Median filter over a centered window of `2k + 1` records (per
+/// coordinate). More robust than the Gaussian kernel against isolated
+/// spikes; used by the taxi preprocessing where sampling is dense.
+pub fn median_filter(records: &[GpsRecord], k: usize) -> Vec<GpsRecord> {
+    if records.is_empty() || k == 0 {
+        return records.to_vec();
+    }
+    let n = records.len();
+    let mut out = Vec::with_capacity(n);
+    let mut xs: Vec<f64> = Vec::with_capacity(2 * k + 1);
+    let mut ys: Vec<f64> = Vec::with_capacity(2 * k + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k + 1).min(n);
+        xs.clear();
+        ys.clear();
+        xs.extend(records[lo..hi].iter().map(|r| r.point.x));
+        ys.extend(records[lo..hi].iter().map(|r| r.point.y));
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        let mid = xs.len() / 2;
+        out.push(GpsRecord::new(Point::new(xs[mid], ys[mid]), records[i].t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_geo::Timestamp;
+
+    fn rec(x: f64, y: f64, t: f64) -> GpsRecord {
+        GpsRecord::new(Point::new(x, y), Timestamp(t))
+    }
+
+    #[test]
+    fn outlier_filter_drops_teleport() {
+        let recs = vec![
+            rec(0.0, 0.0, 0.0),
+            rec(10.0, 0.0, 1.0),
+            rec(5_000.0, 0.0, 2.0), // teleport
+            rec(20.0, 0.0, 3.0),
+            rec(30.0, 0.0, 4.0),
+        ];
+        let clean = remove_speed_outliers(&recs, 50.0);
+        assert_eq!(clean.len(), 4);
+        assert!(clean.iter().all(|r| r.point.x < 100.0));
+    }
+
+    #[test]
+    fn outlier_filter_keeps_clean_track() {
+        let recs: Vec<GpsRecord> = (0..50).map(|i| rec(i as f64 * 10.0, 0.0, i as f64)).collect();
+        assert_eq!(remove_speed_outliers(&recs, 15.0).len(), 50);
+    }
+
+    #[test]
+    fn outlier_filter_duplicate_timestamps() {
+        let recs = vec![rec(0.0, 0.0, 0.0), rec(0.3, 0.0, 0.0), rec(500.0, 0.0, 0.0)];
+        let clean = remove_speed_outliers(&recs, 50.0);
+        assert_eq!(clean.len(), 1);
+    }
+
+    #[test]
+    fn outlier_filter_empty() {
+        assert!(remove_speed_outliers(&[], 10.0).is_empty());
+    }
+
+    #[test]
+    fn gaussian_smooth_attenuates_jitter() {
+        // zig-zag around y = 0: smoothed amplitude must shrink
+        let recs: Vec<GpsRecord> = (0..100)
+            .map(|i| rec(i as f64, if i % 2 == 0 { 5.0 } else { -5.0 }, i as f64))
+            .collect();
+        let sm = gaussian_smooth(&recs, 2.0);
+        assert_eq!(sm.len(), 100);
+        let max_amp = sm[10..90]
+            .iter()
+            .map(|r| r.point.y.abs())
+            .fold(0.0, f64::max);
+        assert!(max_amp < 1.0, "max amplitude {max_amp}");
+        // timestamps preserved
+        assert_eq!(sm[17].t, recs[17].t);
+    }
+
+    #[test]
+    fn gaussian_smooth_preserves_straight_line() {
+        let recs: Vec<GpsRecord> = (0..50).map(|i| rec(i as f64 * 3.0, 7.0, i as f64)).collect();
+        let sm = gaussian_smooth(&recs, 2.0);
+        for (s, r) in sm[5..45].iter().zip(&recs[5..45]) {
+            assert!((s.point.x - r.point.x).abs() < 0.5);
+            assert!((s.point.y - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaussian_smooth_single_record() {
+        let recs = vec![rec(3.0, 4.0, 0.0)];
+        let sm = gaussian_smooth(&recs, 1.0);
+        assert_eq!(sm, recs);
+    }
+
+    #[test]
+    fn median_filter_removes_spike() {
+        let mut recs: Vec<GpsRecord> = (0..21).map(|i| rec(i as f64, 0.0, i as f64)).collect();
+        recs[10] = rec(10.0, 900.0, 10.0); // spike in y
+        let f = median_filter(&recs, 2);
+        assert_eq!(f.len(), 21);
+        assert_eq!(f[10].point.y, 0.0);
+    }
+
+    #[test]
+    fn median_filter_identity_when_k_zero() {
+        let recs = vec![rec(1.0, 2.0, 0.0), rec(3.0, 4.0, 1.0)];
+        assert_eq!(median_filter(&recs, 0), recs);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn smooth_rejects_bad_sigma() {
+        gaussian_smooth(&[], 0.0);
+    }
+}

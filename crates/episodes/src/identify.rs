@@ -1,0 +1,174 @@
+//! Trajectory identification: splitting an object's fix stream into raw
+//! trajectories (the step of \[30\] the paper builds on, §3.1).
+
+use semitri_data::{GpsRecord, RawTrajectory};
+
+/// Policy for cutting a GPS stream into raw trajectories.
+///
+/// A cut is made between consecutive records when any enabled criterion
+/// triggers: the temporal gap exceeds `max_time_gap_secs`, the spatial jump
+/// exceeds `max_spatial_gap_m`, or (with `split_daily`) a midnight boundary
+/// is crossed — the paper's experiments all use *daily* trajectories.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryIdentifier {
+    /// Maximum tolerated gap between fixes in seconds.
+    pub max_time_gap_secs: f64,
+    /// Maximum tolerated jump between fixes in meters.
+    pub max_spatial_gap_m: f64,
+    /// Also split at day boundaries.
+    pub split_daily: bool,
+    /// Trajectories with fewer records are discarded (GPS flickers).
+    pub min_records: usize,
+}
+
+impl Default for TrajectoryIdentifier {
+    fn default() -> Self {
+        Self {
+            max_time_gap_secs: 2.0 * 3_600.0,
+            max_spatial_gap_m: 5_000.0,
+            split_daily: true,
+            min_records: 5,
+        }
+    }
+}
+
+impl TrajectoryIdentifier {
+    /// Splits `records` (time-ordered fixes of one object) into raw
+    /// trajectories. Trajectory ids are assigned sequentially starting from
+    /// `first_trajectory_id`.
+    ///
+    /// # Panics
+    /// Panics if the records are not time-ordered.
+    pub fn identify(
+        &self,
+        object_id: u64,
+        first_trajectory_id: u64,
+        records: &[GpsRecord],
+    ) -> Vec<RawTrajectory> {
+        assert!(
+            records.windows(2).all(|w| w[1].t.0 >= w[0].t.0),
+            "records must be time-ordered"
+        );
+        let mut out = Vec::new();
+        let mut current: Vec<GpsRecord> = Vec::new();
+        let mut next_id = first_trajectory_id;
+
+        let flush = |buf: &mut Vec<GpsRecord>, next_id: &mut u64, out: &mut Vec<RawTrajectory>| {
+            if buf.len() >= self.min_records {
+                out.push(RawTrajectory::new(object_id, *next_id, std::mem::take(buf)));
+                *next_id += 1;
+            } else {
+                buf.clear();
+            }
+        };
+
+        for &r in records {
+            if let Some(prev) = current.last() {
+                let dt = r.t.since(prev.t);
+                let dd = r.point.distance(prev.point);
+                let day_cut = self.split_daily && r.t.day() != prev.t.day();
+                if dt > self.max_time_gap_secs || dd > self.max_spatial_gap_m || day_cut {
+                    flush(&mut current, &mut next_id, &mut out);
+                }
+            }
+            current.push(r);
+        }
+        flush(&mut current, &mut next_id, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_geo::{Point, Timestamp};
+
+    fn rec(x: f64, t: f64) -> GpsRecord {
+        GpsRecord::new(Point::new(x, 0.0), Timestamp(t))
+    }
+
+    fn ident() -> TrajectoryIdentifier {
+        TrajectoryIdentifier {
+            max_time_gap_secs: 600.0,
+            max_spatial_gap_m: 1_000.0,
+            split_daily: false,
+            min_records: 2,
+        }
+    }
+
+    #[test]
+    fn continuous_stream_is_one_trajectory() {
+        let recs: Vec<GpsRecord> = (0..20).map(|i| rec(i as f64 * 5.0, i as f64 * 10.0)).collect();
+        let trajs = ident().identify(1, 0, &recs);
+        assert_eq!(trajs.len(), 1);
+        assert_eq!(trajs[0].len(), 20);
+        assert_eq!(trajs[0].object_id, 1);
+        assert_eq!(trajs[0].trajectory_id, 0);
+    }
+
+    #[test]
+    fn temporal_gap_splits() {
+        let mut recs: Vec<GpsRecord> = (0..10).map(|i| rec(i as f64, i as f64 * 10.0)).collect();
+        recs.extend((0..10).map(|i| rec(100.0 + i as f64, 5_000.0 + i as f64 * 10.0)));
+        let trajs = ident().identify(1, 0, &recs);
+        assert_eq!(trajs.len(), 2);
+        assert_eq!(trajs[0].trajectory_id, 0);
+        assert_eq!(trajs[1].trajectory_id, 1);
+    }
+
+    #[test]
+    fn spatial_jump_splits() {
+        let mut recs: Vec<GpsRecord> = (0..10).map(|i| rec(i as f64, i as f64)).collect();
+        recs.push(rec(9_999.0, 10.0)); // huge jump, small dt
+        recs.extend((1..10).map(|i| rec(9_999.0 + i as f64, 10.0 + i as f64)));
+        let trajs = ident().identify(1, 0, &recs);
+        assert_eq!(trajs.len(), 2);
+    }
+
+    #[test]
+    fn daily_split() {
+        let ident = TrajectoryIdentifier {
+            split_daily: true,
+            max_time_gap_secs: f64::INFINITY,
+            max_spatial_gap_m: f64::INFINITY,
+            min_records: 1,
+        };
+        let recs = vec![
+            rec(0.0, 86_000.0),
+            rec(1.0, 86_200.0),
+            rec(2.0, 86_500.0), // next day
+            rec(3.0, 86_700.0),
+        ];
+        let trajs = ident.identify(1, 0, &recs);
+        assert_eq!(trajs.len(), 2);
+        assert_eq!(trajs[0].len(), 2);
+        assert_eq!(trajs[1].len(), 2);
+    }
+
+    #[test]
+    fn short_fragments_discarded() {
+        let ident = TrajectoryIdentifier {
+            min_records: 5,
+            ..self::ident()
+        };
+        // 3 records, gap, 6 records
+        let mut recs: Vec<GpsRecord> = (0..3).map(|i| rec(i as f64, i as f64 * 10.0)).collect();
+        recs.extend((0..6).map(|i| rec(i as f64, 10_000.0 + i as f64 * 10.0)));
+        let trajs = ident.identify(2, 0, &recs);
+        assert_eq!(trajs.len(), 1);
+        assert_eq!(trajs[0].len(), 6);
+        assert_eq!(trajs[0].trajectory_id, 0); // ids stay dense
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(ident().identify(1, 0, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_unsorted() {
+        let recs = vec![rec(0.0, 10.0), rec(1.0, 5.0)];
+        ident().identify(1, 0, &recs);
+    }
+}

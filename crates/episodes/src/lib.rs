@@ -1,0 +1,29 @@
+//! # semitri-episodes — the Trajectory Computation Layer
+//!
+//! First stage of the SeMiTri architecture (Fig. 2): raw GPS records are
+//! (1) cleansed of outliers and smoothed, (2) split into raw trajectories,
+//! and (3) segmented into *stop* and *move* episodes that express the
+//! latent motion context the annotation layers exploit.
+//!
+//! * [`clean`] — speed-based outlier removal, Gaussian kernel smoothing and
+//!   median filtering ("remove GPS outliers and smooth the random errors",
+//!   §3.3);
+//! * [`identify`] — trajectory identification: splitting an object's fix
+//!   stream into application-meaningful raw trajectories on temporal gaps,
+//!   spatial jumps and day boundaries (the paper's daily trajectories);
+//! * [`segment`] — stop/move segmentation with pluggable computing
+//!   policies (velocity threshold, spatial density) as listed in Fig. 2's
+//!   "Trajectory Computing Policies" box.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clean;
+pub mod identify;
+pub mod segment;
+
+pub use identify::TrajectoryIdentifier;
+pub use segment::{
+    CompositePolicy, DensityPolicy, Episode, EpisodeKind, EpisodeStats, SegmentationPolicy,
+    VelocityPolicy,
+};

@@ -1,0 +1,597 @@
+//! Stop/move episode segmentation.
+//!
+//! An *episode* is a maximal sub-sequence of a trajectory whose
+//! spatio-temporal positions comply with a predicate (paper §3.1). The
+//! experiments use two-type stop/move interpretations produced by the
+//! "Trajectory Computing Policies" of Fig. 2; this module implements the
+//! velocity-threshold and spatial-density policies and the episode model
+//! the annotation layers consume.
+
+use semitri_data::RawTrajectory;
+use semitri_geo::{Point, Rect, TimeSpan};
+
+/// Kind of a stop/move episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EpisodeKind {
+    /// The object is stationary (speed below threshold / spatially dense).
+    Stop,
+    /// The object is moving.
+    Move,
+}
+
+impl EpisodeKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EpisodeKind::Stop => "stop",
+            EpisodeKind::Move => "move",
+        }
+    }
+}
+
+/// A stop or move episode over a record index range of its parent raw
+/// trajectory (no point data is copied; layers slice the parent on demand).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// Stop or move.
+    pub kind: EpisodeKind,
+    /// First record index (inclusive).
+    pub start: usize,
+    /// Last record index (exclusive).
+    pub end: usize,
+    /// Entering/leaving times.
+    pub span: TimeSpan,
+    /// Bounding rectangle of the covered records.
+    pub bbox: Rect,
+    /// Mean position of the covered records (the "center" used for stop
+    /// spatial joins, §4.1).
+    pub center: Point,
+}
+
+impl Episode {
+    /// Number of GPS records covered.
+    pub fn record_count(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Episode duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.span.duration()
+    }
+
+    fn from_range(traj: &RawTrajectory, kind: EpisodeKind, start: usize, end: usize) -> Episode {
+        debug_assert!(start < end && end <= traj.len());
+        let records = &traj.records()[start..end];
+        let bbox = Rect::covering(records.iter().map(|r| r.point));
+        let n = records.len() as f64;
+        let cx = records.iter().map(|r| r.point.x).sum::<f64>() / n;
+        let cy = records.iter().map(|r| r.point.y).sum::<f64>() / n;
+        Episode {
+            kind,
+            start,
+            end,
+            span: TimeSpan::new(records[0].t, records[records.len() - 1].t),
+            bbox,
+            center: Point::new(cx, cy),
+        }
+    }
+}
+
+/// A stop/move computing policy: labels each record, after which maximal
+/// same-label runs become episodes.
+pub trait SegmentationPolicy {
+    /// Returns one [`EpisodeKind`] label per record of `traj`.
+    fn label(&self, traj: &RawTrajectory) -> Vec<EpisodeKind>;
+
+    /// Segments `traj` into a partition of maximal episodes, enforcing the
+    /// policy's minimum stop duration: stop runs shorter than
+    /// [`SegmentationPolicy::min_stop_secs`] are relabeled as moves, then
+    /// adjacent same-kind episodes are merged.
+    fn segment(&self, traj: &RawTrajectory) -> Vec<Episode> {
+        if traj.is_empty() {
+            return Vec::new();
+        }
+        let mut labels = self.label(traj);
+        debug_assert_eq!(labels.len(), traj.len());
+
+        // demote too-short stop runs to moves
+        let min_stop = self.min_stop_secs();
+        let records = traj.records();
+        let mut i = 0;
+        while i < labels.len() {
+            let j = run_end(&labels, i);
+            if labels[i] == EpisodeKind::Stop {
+                let dur = records[j - 1].t.since(records[i].t);
+                if dur < min_stop {
+                    labels[i..j].fill(EpisodeKind::Move);
+                }
+            }
+            i = j;
+        }
+
+        // merge runs into episodes
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < labels.len() {
+            let j = run_end(&labels, i);
+            out.push(Episode::from_range(traj, labels[i], i, j));
+            i = j;
+        }
+        out
+    }
+
+    /// Stops shorter than this (seconds) are treated as pauses within a
+    /// move (traffic lights, bus halts) and demoted.
+    fn min_stop_secs(&self) -> f64;
+}
+
+fn run_end(labels: &[EpisodeKind], start: usize) -> usize {
+    let mut j = start + 1;
+    while j < labels.len() && labels[j] == labels[start] {
+        j += 1;
+    }
+    j
+}
+
+/// Velocity-threshold policy: a record is part of a stop when its smoothed
+/// speed falls below `speed_threshold_mps` (the paper's example predicate:
+/// stop ⇔ speed < δ).
+#[derive(Debug, Clone, Copy)]
+pub struct VelocityPolicy {
+    /// Speed threshold δ in m/s.
+    pub speed_threshold_mps: f64,
+    /// Half-width of the speed-smoothing window (records).
+    pub smoothing_half_width: usize,
+    /// Minimum duration for a stop episode in seconds.
+    pub min_stop_secs: f64,
+}
+
+impl Default for VelocityPolicy {
+    fn default() -> Self {
+        Self {
+            speed_threshold_mps: 1.0,
+            smoothing_half_width: 2,
+            min_stop_secs: 120.0,
+        }
+    }
+}
+
+impl VelocityPolicy {
+    /// Tuning for vehicle feeds (dense 1 Hz sampling, cruise ≫ noise):
+    /// the threshold sits above the apparent speed GPS noise induces while
+    /// parked, far below driving speed.
+    pub fn vehicles() -> Self {
+        Self {
+            speed_threshold_mps: 2.5,
+            smoothing_half_width: 3,
+            min_stop_secs: 120.0,
+        }
+    }
+
+    /// Tuning for pedestrian/phone feeds (sparse sampling, walking at
+    /// ~1.4 m/s must stay a move).
+    pub fn pedestrians() -> Self {
+        Self {
+            speed_threshold_mps: 1.0,
+            smoothing_half_width: 2,
+            min_stop_secs: 180.0,
+        }
+    }
+}
+
+impl SegmentationPolicy for VelocityPolicy {
+    fn label(&self, traj: &RawTrajectory) -> Vec<EpisodeKind> {
+        let n = traj.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![EpisodeKind::Stop];
+        }
+        // per-record speed: mean of adjacent inter-record speeds
+        let speeds = traj.speeds();
+        let mut per_record = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = match i {
+                0 => speeds[0],
+                _ if i == n - 1 => speeds[n - 2],
+                _ => (speeds[i - 1] + speeds[i]) * 0.5,
+            };
+            per_record.push(s);
+        }
+        // moving-average smoothing
+        let k = self.smoothing_half_width;
+        let smoothed: Vec<f64> = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(k);
+                let hi = (i + k + 1).min(n);
+                per_record[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect();
+        smoothed
+            .iter()
+            .map(|&s| {
+                if s < self.speed_threshold_mps {
+                    EpisodeKind::Stop
+                } else {
+                    EpisodeKind::Move
+                }
+            })
+            .collect()
+    }
+
+    fn min_stop_secs(&self) -> f64 {
+        self.min_stop_secs
+    }
+}
+
+/// Spatial-density policy: a record belongs to a stop when the trajectory
+/// stays within an `eps`-radius disc around it for at least
+/// `min_duration_secs` (the "density threshold" policy of Fig. 2; robust on
+/// sparse, noisy phone data where instantaneous speed is unreliable).
+#[derive(Debug, Clone, Copy)]
+pub struct DensityPolicy {
+    /// Spatial radius ε in meters.
+    pub eps_m: f64,
+    /// Minimum dwell duration in seconds.
+    pub min_duration_secs: f64,
+}
+
+impl Default for DensityPolicy {
+    fn default() -> Self {
+        Self {
+            eps_m: 50.0,
+            min_duration_secs: 180.0,
+        }
+    }
+}
+
+impl SegmentationPolicy for DensityPolicy {
+    fn label(&self, traj: &RawTrajectory) -> Vec<EpisodeKind> {
+        let records = traj.records();
+        let n = records.len();
+        let mut labels = vec![EpisodeKind::Move; n];
+        let mut i = 0;
+        while i < n {
+            // grow the window while every point stays within eps of the
+            // window's anchor
+            let anchor = records[i].point;
+            let mut j = i + 1;
+            while j < n && records[j].point.distance(anchor) <= self.eps_m {
+                j += 1;
+            }
+            let dur = records[j - 1].t.since(records[i].t);
+            if dur >= self.min_duration_secs {
+                labels[i..j].fill(EpisodeKind::Stop);
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        labels
+    }
+
+    fn min_stop_secs(&self) -> f64 {
+        self.min_duration_secs
+    }
+}
+
+/// Convenience statistics over a segmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpisodeStats {
+    /// Number of stop episodes.
+    pub stops: usize,
+    /// Number of move episodes.
+    pub moves: usize,
+    /// Total records in stops.
+    pub stop_records: usize,
+    /// Total records in moves.
+    pub move_records: usize,
+}
+
+impl EpisodeStats {
+    /// Computes counts over a slice of episodes.
+    pub fn of(episodes: &[Episode]) -> Self {
+        let mut s = EpisodeStats::default();
+        for e in episodes {
+            match e.kind {
+                EpisodeKind::Stop => {
+                    s.stops += 1;
+                    s.stop_records += e.record_count();
+                }
+                EpisodeKind::Move => {
+                    s.moves += 1;
+                    s.move_records += e.record_count();
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_data::GpsRecord;
+    use semitri_geo::Timestamp;
+
+    /// Builds a trajectory that dwells at x=0 for `stop1` seconds, moves at
+    /// 10 m/s for `move1` seconds, then dwells again.
+    fn stop_move_stop(stop1: usize, mv: usize, stop2: usize) -> RawTrajectory {
+        let mut recs = Vec::new();
+        let mut t = 0.0;
+        let mut x = 0.0;
+        for _ in 0..stop1 {
+            recs.push(GpsRecord::new(Point::new(x, 0.0), Timestamp(t)));
+            t += 10.0;
+        }
+        for _ in 0..mv {
+            x += 100.0; // 10 m/s at 10 s sampling
+            recs.push(GpsRecord::new(Point::new(x, 0.0), Timestamp(t)));
+            t += 10.0;
+        }
+        for _ in 0..stop2 {
+            recs.push(GpsRecord::new(Point::new(x, 0.0), Timestamp(t)));
+            t += 10.0;
+        }
+        RawTrajectory::new(1, 1, recs)
+    }
+
+    #[test]
+    fn velocity_policy_finds_stop_move_stop() {
+        let traj = stop_move_stop(30, 30, 30);
+        let eps = VelocityPolicy::default().segment(&traj);
+        let kinds: Vec<EpisodeKind> = eps.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EpisodeKind::Stop, EpisodeKind::Move, EpisodeKind::Stop]
+        );
+        // partition covers all records without overlap
+        assert_eq!(eps[0].start, 0);
+        assert_eq!(eps.last().unwrap().end, traj.len());
+        for w in eps.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn density_policy_finds_stop_move_stop() {
+        let traj = stop_move_stop(30, 30, 30);
+        let eps = DensityPolicy::default().segment(&traj);
+        let kinds: Vec<EpisodeKind> = eps.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EpisodeKind::Stop, EpisodeKind::Move, EpisodeKind::Stop]
+        );
+    }
+
+    #[test]
+    fn short_stop_is_demoted_to_move() {
+        // 30 s pause at a traffic light inside a long move
+        let traj = stop_move_stop(0, 20, 0);
+        let mut recs = traj.records().to_vec();
+        // inject a 3-sample pause
+        let t0 = recs.last().unwrap().t.0;
+        let x0 = recs.last().unwrap().point.x;
+        for k in 0..3 {
+            recs.push(GpsRecord::new(
+                Point::new(x0, 0.0),
+                Timestamp(t0 + 10.0 * (k + 1) as f64),
+            ));
+        }
+        for k in 0..20 {
+            recs.push(GpsRecord::new(
+                Point::new(x0 + 100.0 * (k + 1) as f64, 0.0),
+                Timestamp(t0 + 30.0 + 10.0 * (k + 1) as f64),
+            ));
+        }
+        let traj = RawTrajectory::new(1, 2, recs);
+        let policy = VelocityPolicy {
+            min_stop_secs: 120.0,
+            ..VelocityPolicy::default()
+        };
+        let eps = policy.segment(&traj);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Move);
+    }
+
+    #[test]
+    fn pure_stop_trajectory() {
+        let traj = stop_move_stop(50, 0, 0);
+        let eps = VelocityPolicy::default().segment(&traj);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Stop);
+        assert_eq!(eps[0].record_count(), 50);
+        assert!(eps[0].bbox.area() < 1.0);
+    }
+
+    #[test]
+    fn pure_move_trajectory() {
+        let traj = stop_move_stop(0, 50, 0);
+        let eps = VelocityPolicy::default().segment(&traj);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Move);
+    }
+
+    #[test]
+    fn empty_trajectory_yields_no_episodes() {
+        let traj = RawTrajectory::default();
+        assert!(VelocityPolicy::default().segment(&traj).is_empty());
+        assert!(DensityPolicy::default().segment(&traj).is_empty());
+    }
+
+    #[test]
+    fn single_record_is_one_stop() {
+        let traj = RawTrajectory::new(
+            1,
+            1,
+            vec![GpsRecord::new(Point::new(0.0, 0.0), Timestamp(0.0))],
+        );
+        let eps = VelocityPolicy {
+            min_stop_secs: 0.0,
+            ..VelocityPolicy::default()
+        }
+        .segment(&traj);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Stop);
+    }
+
+    #[test]
+    fn density_policy_tolerates_noise_within_eps() {
+        // noisy dwell: points jitter ±20 m around the anchor
+        let mut recs = Vec::new();
+        for i in 0..40 {
+            let dx = if i % 2 == 0 { 20.0 } else { -20.0 };
+            recs.push(GpsRecord::new(
+                Point::new(dx, 0.0),
+                Timestamp(i as f64 * 10.0),
+            ));
+        }
+        let traj = RawTrajectory::new(1, 1, recs);
+        let eps = DensityPolicy {
+            eps_m: 50.0,
+            min_duration_secs: 120.0,
+        }
+        .segment(&traj);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Stop);
+    }
+
+    #[test]
+    fn episode_geometry_fields() {
+        let traj = stop_move_stop(10, 10, 0);
+        let eps = VelocityPolicy {
+            min_stop_secs: 0.0,
+            ..VelocityPolicy::default()
+        }
+        .segment(&traj);
+        let stop = &eps[0];
+        assert!(stop.bbox.contains_point(stop.center));
+        assert!(stop.duration() > 0.0);
+        assert_eq!(stop.span.start, traj.records()[stop.start].t);
+        assert_eq!(stop.span.end, traj.records()[stop.end - 1].t);
+    }
+
+    #[test]
+    fn stats_count_episodes_and_records() {
+        let traj = stop_move_stop(30, 30, 30);
+        let eps = VelocityPolicy::default().segment(&traj);
+        let st = EpisodeStats::of(&eps);
+        assert_eq!(st.stops, 2);
+        assert_eq!(st.moves, 1);
+        assert_eq!(st.stop_records + st.move_records, traj.len());
+    }
+}
+
+/// Conjunction of two policies: a record is a stop only when **both**
+/// policies label it a stop. Fig. 2 lists several computing policies
+/// (velocity, density, separations); combining a velocity threshold with a
+/// spatial-density test suppresses false stops from slow-moving congestion
+/// while keeping noisy-but-stationary dwells.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositePolicy<A, B> {
+    /// First policy.
+    pub a: A,
+    /// Second policy.
+    pub b: B,
+}
+
+impl<A: SegmentationPolicy, B: SegmentationPolicy> SegmentationPolicy for CompositePolicy<A, B> {
+    fn label(&self, traj: &RawTrajectory) -> Vec<EpisodeKind> {
+        let la = self.a.label(traj);
+        let lb = self.b.label(traj);
+        la.into_iter()
+            .zip(lb)
+            .map(|(x, y)| {
+                if x == EpisodeKind::Stop && y == EpisodeKind::Stop {
+                    EpisodeKind::Stop
+                } else {
+                    EpisodeKind::Move
+                }
+            })
+            .collect()
+    }
+
+    fn min_stop_secs(&self) -> f64 {
+        self.a.min_stop_secs().max(self.b.min_stop_secs())
+    }
+}
+
+#[cfg(test)]
+mod composite_tests {
+    use super::*;
+    use semitri_data::GpsRecord;
+    use semitri_geo::Timestamp;
+
+    /// Slow creep: velocity says stop (0.5 m/s < 1.0) but density says
+    /// move (drifts out of eps within the window).
+    fn creeping() -> RawTrajectory {
+        let recs = (0..100)
+            .map(|i| {
+                GpsRecord::new(
+                    Point::new(i as f64 * 5.0, 0.0), // 0.5 m/s at 10 s dt
+                    Timestamp(i as f64 * 10.0),
+                )
+            })
+            .collect();
+        RawTrajectory::new(1, 1, recs)
+    }
+
+    #[test]
+    fn composite_requires_both_policies() {
+        let traj = creeping();
+        let velocity = VelocityPolicy {
+            speed_threshold_mps: 1.0,
+            smoothing_half_width: 1,
+            min_stop_secs: 60.0,
+        };
+        let density = DensityPolicy {
+            eps_m: 20.0,
+            min_duration_secs: 60.0,
+        };
+        // velocity alone calls the creep a stop
+        assert!(velocity
+            .label(&traj).contains(&EpisodeKind::Stop));
+        // density alone calls it a move
+        assert!(density.label(&traj).iter().all(|&k| k == EpisodeKind::Move));
+        // the conjunction follows density
+        let composite = CompositePolicy {
+            a: velocity,
+            b: density,
+        };
+        let eps = composite.segment(&traj);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Move);
+    }
+
+    #[test]
+    fn composite_agrees_when_both_agree() {
+        // true dwell: both policies say stop
+        let recs = (0..50)
+            .map(|i| GpsRecord::new(Point::new(1.0, 2.0), Timestamp(i as f64 * 10.0)))
+            .collect();
+        let traj = RawTrajectory::new(1, 1, recs);
+        let composite = CompositePolicy {
+            a: VelocityPolicy::default(),
+            b: DensityPolicy::default(),
+        };
+        let eps = composite.segment(&traj);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Stop);
+    }
+
+    #[test]
+    fn composite_min_stop_is_max_of_parts() {
+        let c = CompositePolicy {
+            a: VelocityPolicy {
+                min_stop_secs: 60.0,
+                ..VelocityPolicy::default()
+            },
+            b: DensityPolicy {
+                min_duration_secs: 240.0,
+                ..DensityPolicy::default()
+            },
+        };
+        assert_eq!(c.min_stop_secs(), 240.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests: segmentation and cleaning invariants.
+
+use proptest::prelude::*;
+use semitri_data::{GpsRecord, RawTrajectory};
+use semitri_episodes::clean::{gaussian_smooth, median_filter, remove_speed_outliers};
+use semitri_episodes::{
+    CompositePolicy, DensityPolicy, EpisodeKind, SegmentationPolicy, VelocityPolicy,
+};
+use semitri_geo::{Point, Timestamp};
+
+/// Random trajectory: alternating dwell/move phases with noise.
+fn trajectory_strategy() -> impl Strategy<Value = RawTrajectory> {
+    (
+        proptest::collection::vec((0.0..20.0f64, -5.0..5.0f64), 1..200),
+        1.0..30.0f64,
+    )
+        .prop_map(|(deltas, dt)| {
+            let mut x = 0.0;
+            let mut t = 0.0;
+            let recs = deltas
+                .into_iter()
+                .map(|(dx, noise)| {
+                    x += dx;
+                    t += dt;
+                    GpsRecord::new(Point::new(x + noise, noise * 0.5), Timestamp(t))
+                })
+                .collect();
+            RawTrajectory::new(1, 1, recs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn velocity_segmentation_partitions_records(traj in trajectory_strategy()) {
+        let eps = VelocityPolicy::default().segment(&traj);
+        // episodes cover every record exactly once, in order
+        prop_assert_eq!(eps.first().map(|e| e.start), Some(0));
+        prop_assert_eq!(eps.last().map(|e| e.end), Some(traj.len()));
+        for w in eps.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+            // adjacent episodes differ in kind (maximality)
+            prop_assert_ne!(w[0].kind, w[1].kind);
+        }
+        // spans and bboxes consistent with the covered records
+        for e in &eps {
+            let records = &traj.records()[e.start..e.end];
+            prop_assert_eq!(e.span.start, records[0].t);
+            prop_assert_eq!(e.span.end, records[records.len() - 1].t);
+            for r in records {
+                prop_assert!(e.bbox.contains_point(r.point));
+            }
+            prop_assert!(e.bbox.inflate(1e-9).contains_point(e.center));
+        }
+    }
+
+    #[test]
+    fn density_segmentation_partitions_records(traj in trajectory_strategy()) {
+        let eps = DensityPolicy::default().segment(&traj);
+        prop_assert_eq!(eps.first().map(|e| e.start), Some(0));
+        prop_assert_eq!(eps.last().map(|e| e.end), Some(traj.len()));
+        for w in eps.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn composite_stops_subset_of_each_policy(traj in trajectory_strategy()) {
+        let v = VelocityPolicy::default();
+        let d = DensityPolicy::default();
+        let c = CompositePolicy { a: v, b: d };
+        let lv = v.label(&traj);
+        let ld = d.label(&traj);
+        let lc = c.label(&traj);
+        for i in 0..traj.len() {
+            if lc[i] == EpisodeKind::Stop {
+                prop_assert_eq!(lv[i], EpisodeKind::Stop);
+                prop_assert_eq!(ld[i], EpisodeKind::Stop);
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_filter_output_respects_speed_bound(
+        traj in trajectory_strategy(), bound in 0.5..10.0f64
+    ) {
+        let cleaned = remove_speed_outliers(traj.records(), bound);
+        prop_assert!(cleaned.len() <= traj.len());
+        for w in cleaned.windows(2) {
+            let dt = w[1].t.since(w[0].t);
+            prop_assert!(dt > 0.0);
+            prop_assert!(w[0].point.distance(w[1].point) / dt <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_length_and_times(traj in trajectory_strategy(), sigma in 1.0..60.0f64) {
+        let sm = gaussian_smooth(traj.records(), sigma);
+        prop_assert_eq!(sm.len(), traj.len());
+        for (a, b) in sm.iter().zip(traj.records()) {
+            prop_assert_eq!(a.t, b.t);
+            prop_assert!(a.point.is_finite());
+        }
+    }
+
+    #[test]
+    fn median_filter_stays_within_coordinate_range(traj in trajectory_strategy(), k in 0usize..4) {
+        let f = median_filter(traj.records(), k);
+        prop_assert_eq!(f.len(), traj.len());
+        let min_x = traj.records().iter().map(|r| r.point.x).fold(f64::INFINITY, f64::min);
+        let max_x = traj.records().iter().map(|r| r.point.x).fold(f64::NEG_INFINITY, f64::max);
+        for r in &f {
+            prop_assert!(r.point.x >= min_x - 1e-9 && r.point.x <= max_x + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Positions in the local metric plane ([`Point`]) and on the WGS-84
+//! ellipsoid ([`GeoPoint`]).
+
+use crate::EARTH_RADIUS_M;
+
+/// A position in a local planar coordinate system, in meters.
+///
+/// All SeMiTri annotation algorithms operate on planar points; lon/lat data
+/// is projected first (see [`crate::proj::LocalProjection`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from easting/northing meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other` in meters.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`; cheaper than [`Point::distance`]
+    /// when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise addition.
+    #[inline]
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    ///
+    /// `t` is not clamped; values outside `[0, 1]` extrapolate.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Dot product of the position vectors.
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the 2-D cross product `self × other`.
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Vector from `self` to `other`, as a point.
+    #[inline]
+    pub fn vector_to(&self, other: Point) -> Point {
+        Point::new(other.x - self.x, other.y - self.y)
+    }
+
+    /// Euclidean norm of the position vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(*self).sqrt()
+    }
+
+    /// Heading from `self` to `other` in radians, measured counter-clockwise
+    /// from the positive x axis, in `(-π, π]`. Returns `0.0` for coincident
+    /// points.
+    #[inline]
+    pub fn heading_to(&self, other: Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+
+    /// `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+/// A WGS-84 position: longitude and latitude in decimal degrees.
+///
+/// Matches the paper's raw GPS triple `(x = longitude, y = latitude, t)`
+/// minus the timestamp (which lives on the GPS record type in
+/// `semitri-data`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Longitude in decimal degrees, east positive.
+    pub lon: f64,
+    /// Latitude in decimal degrees, north positive.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a geographic point from lon/lat degrees.
+    #[inline]
+    pub const fn new(lon: f64, lat: f64) -> Self {
+        Self { lon, lat }
+    }
+
+    /// `true` if the coordinates fall inside the valid lon/lat ranges.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lon.is_finite()
+            && self.lat.is_finite()
+            && (-180.0..=180.0).contains(&self.lon)
+            && (-90.0..=90.0).contains(&self.lat)
+    }
+}
+
+/// Great-circle (haversine) distance between two WGS-84 points in meters.
+///
+/// Used to validate the local projection error and by trajectory
+/// identification when the data is still in lon/lat.
+pub fn haversine_m(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lat2) = (a.lat.to_radians(), b.lat.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = (b.lon - a.lon).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(-17.25, 42.0);
+        assert_eq!(p.distance(p), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, -10.0));
+        assert_eq!(a.midpoint(b), Point::new(5.0, -10.0));
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let e1 = Point::new(1.0, 0.0);
+        let e2 = Point::new(0.0, 1.0);
+        assert!(e1.cross(e2) > 0.0);
+        assert!(e2.cross(e1) < 0.0);
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn heading_quadrants() {
+        let o = Point::ORIGIN;
+        assert!((o.heading_to(Point::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.heading_to(Point::new(0.0, 1.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((o.heading_to(Point::new(-1.0, 0.0)) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Lausanne (6.6323, 46.5197) to Geneva (6.1432, 46.2044): ~51 km.
+        let lausanne = GeoPoint::new(6.6323, 46.5197);
+        let geneva = GeoPoint::new(6.1432, 46.2044);
+        let d = haversine_m(lausanne, geneva);
+        assert!((49_000.0..54_000.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = GeoPoint::new(6.6323, 46.5197);
+        assert_eq!(haversine_m(p, p), 0.0);
+    }
+
+    #[test]
+    fn geopoint_validity() {
+        assert!(GeoPoint::new(0.0, 0.0).is_valid());
+        assert!(GeoPoint::new(-180.0, 90.0).is_valid());
+        assert!(!GeoPoint::new(181.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, -91.0).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+    }
+}

@@ -1,0 +1,285 @@
+//! Simple polygons used as free-form semantic regions (campus, park,
+//! recreation facility — the paper's OpenStreetMap-sourced regions, §4.1).
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+
+/// A simple polygon defined by one outer ring of vertices.
+///
+/// The ring is stored *unclosed* (first vertex is not repeated at the end);
+/// the closing edge is implicit. Vertex order may be clockwise or
+/// counter-clockwise; [`Polygon::area`] is always non-negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+    bbox: Rect,
+}
+
+impl Polygon {
+    /// Creates a polygon from its outer ring.
+    ///
+    /// # Panics
+    /// Panics if fewer than 3 vertices are supplied — smaller extents should
+    /// use [`Rect`] or [`Point`].
+    pub fn new(ring: Vec<Point>) -> Self {
+        assert!(ring.len() >= 3, "polygon needs at least 3 vertices");
+        let bbox = Rect::covering(ring.iter().copied());
+        Self { ring, bbox }
+    }
+
+    /// An axis-aligned rectangle as a polygon (convenience for tests and
+    /// landuse cells that need polygon semantics).
+    pub fn from_rect(r: &Rect) -> Self {
+        Polygon::new(vec![
+            Point::new(r.min_x, r.min_y),
+            Point::new(r.max_x, r.min_y),
+            Point::new(r.max_x, r.max_y),
+            Point::new(r.min_x, r.max_y),
+        ])
+    }
+
+    /// A regular `n`-gon approximating a disc — handy for circular regions
+    /// such as a recreation facility.
+    pub fn regular(center: Point, radius: f64, n: usize) -> Self {
+        assert!(n >= 3, "regular polygon needs n >= 3");
+        assert!(radius > 0.0, "radius must be positive");
+        let ring = (0..n)
+            .map(|i| {
+                let theta = std::f64::consts::TAU * (i as f64) / (n as f64);
+                Point::new(
+                    center.x + radius * theta.cos(),
+                    center.y + radius * theta.sin(),
+                )
+            })
+            .collect();
+        Polygon::new(ring)
+    }
+
+    /// The outer ring (unclosed).
+    #[inline]
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Cached bounding rectangle.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Iterator over the ring edges, including the implicit closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| Segment::new(self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    /// Unsigned area by the shoelace formula.
+    pub fn area(&self) -> f64 {
+        let n = self.ring.len();
+        let mut twice = 0.0;
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            twice += p.cross(q);
+        }
+        twice.abs() * 0.5
+    }
+
+    /// Perimeter length including the closing edge.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Centroid of the polygon (area-weighted). Falls back to the vertex
+    /// mean for degenerate (zero-area) rings.
+    pub fn centroid(&self) -> Point {
+        let n = self.ring.len();
+        let mut twice_area = 0.0;
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            let w = p.cross(q);
+            twice_area += w;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        if twice_area.abs() < f64::EPSILON {
+            let inv = 1.0 / n as f64;
+            let sx: f64 = self.ring.iter().map(|p| p.x).sum();
+            let sy: f64 = self.ring.iter().map(|p| p.y).sum();
+            return Point::new(sx * inv, sy * inv);
+        }
+        let scale = 1.0 / (3.0 * twice_area);
+        Point::new(cx * scale, cy * scale)
+    }
+
+    /// Point-in-polygon test (ray crossing), with boundary points counted as
+    /// inside. This implements the *spatial subsumption* predicate the paper
+    /// identifies as the most used one for stop episodes (§4.1).
+    pub fn contains_point(&self, q: Point) -> bool {
+        if !self.bbox.contains_point(q) {
+            return false;
+        }
+        // boundary check first so edge-lying points are deterministic
+        for e in self.edges() {
+            if e.distance_to_point(q) < 1e-9 {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.ring.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let pi = self.ring[i];
+            let pj = self.ring[j];
+            if (pi.y > q.y) != (pj.y > q.y) {
+                let x_int = pj.x + (pi.x - pj.x) * (q.y - pj.y) / (pi.y - pj.y);
+                if q.x < x_int {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// `true` if the polygon and the rectangle share at least one point.
+    ///
+    /// Exact for simple polygons: checks bbox overlap, then corner/vertex
+    /// containment, then edge crossings.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        if !self.bbox.intersects(r) {
+            return false;
+        }
+        // any polygon vertex inside the rect?
+        if self.ring.iter().any(|&v| r.contains_point(v)) {
+            return true;
+        }
+        // any rect corner inside the polygon?
+        let corners = [
+            Point::new(r.min_x, r.min_y),
+            Point::new(r.max_x, r.min_y),
+            Point::new(r.max_x, r.max_y),
+            Point::new(r.min_x, r.max_y),
+        ];
+        if corners.iter().any(|&c| self.contains_point(c)) {
+            return true;
+        }
+        // any edge crossing?
+        let rect_edges = [
+            Segment::new(corners[0], corners[1]),
+            Segment::new(corners[1], corners[2]),
+            Segment::new(corners[2], corners[3]),
+            Segment::new(corners[3], corners[0]),
+        ];
+        self.edges()
+            .any(|pe| rect_edges.iter().any(|re| pe.intersects(re)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::from_rect(&Rect::new(0.0, 0.0, 10.0, 10.0))
+    }
+
+    fn concave_l() -> Polygon {
+        // L-shape: 10x10 square minus its top-right 5x5 quadrant
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_degenerate_ring() {
+        Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn area_square_and_l() {
+        assert_eq!(square().area(), 100.0);
+        assert_eq!(concave_l().area(), 75.0);
+    }
+
+    #[test]
+    fn area_is_orientation_independent() {
+        let mut ring: Vec<Point> = square().ring().to_vec();
+        ring.reverse();
+        assert_eq!(Polygon::new(ring).area(), 100.0);
+    }
+
+    #[test]
+    fn perimeter_square() {
+        assert_eq!(square().perimeter(), 40.0);
+    }
+
+    #[test]
+    fn centroid_square() {
+        let c = square().centroid();
+        assert!((c.x - 5.0).abs() < 1e-12 && (c.y - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_point_convex() {
+        let sq = square();
+        assert!(sq.contains_point(Point::new(5.0, 5.0)));
+        assert!(!sq.contains_point(Point::new(-1.0, 5.0)));
+        assert!(!sq.contains_point(Point::new(5.0, 10.5)));
+        // boundary counts as inside
+        assert!(sq.contains_point(Point::new(0.0, 5.0)));
+        assert!(sq.contains_point(Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn contains_point_concave() {
+        let l = concave_l();
+        assert!(l.contains_point(Point::new(2.0, 2.0)));
+        assert!(l.contains_point(Point::new(2.0, 8.0)));
+        assert!(l.contains_point(Point::new(8.0, 2.0)));
+        // the notch is outside
+        assert!(!l.contains_point(Point::new(8.0, 8.0)));
+    }
+
+    #[test]
+    fn regular_polygon_approximates_disc() {
+        let c = Point::new(100.0, 50.0);
+        let p = Polygon::regular(c, 10.0, 64);
+        let expected = std::f64::consts::PI * 100.0;
+        assert!((p.area() - expected).abs() / expected < 0.01);
+        assert!(p.contains_point(c));
+        assert!(!p.contains_point(c.offset(10.5, 0.0)));
+    }
+
+    #[test]
+    fn intersects_rect_cases() {
+        let l = concave_l();
+        // fully inside the polygon's solid part
+        assert!(l.intersects_rect(&Rect::new(1.0, 1.0, 2.0, 2.0)));
+        // rect containing the whole polygon
+        assert!(l.intersects_rect(&Rect::new(-5.0, -5.0, 20.0, 20.0)));
+        // rect entirely within the notch (outside the polygon)
+        assert!(!l.intersects_rect(&Rect::new(7.0, 7.0, 9.0, 9.0)));
+        // rect crossing an edge
+        assert!(l.intersects_rect(&Rect::new(9.0, 4.0, 12.0, 6.0)));
+        // disjoint
+        assert!(!l.intersects_rect(&Rect::new(20.0, 20.0, 30.0, 30.0)));
+    }
+
+    #[test]
+    fn edges_include_closing_edge() {
+        let sq = square();
+        assert_eq!(sq.edges().count(), 4);
+        let total: f64 = sq.edges().map(|e| e.length()).sum();
+        assert_eq!(total, 40.0);
+    }
+}

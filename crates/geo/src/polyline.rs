@@ -1,0 +1,378 @@
+//! Polylines: road center-lines and raw GPS tracks.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+
+/// A sequence of at least one vertex forming a chain of segments.
+///
+/// Used for road center-lines (before they are split into individual
+/// [`Segment`]s for matching) and for geometric views of raw tracks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+}
+
+impl Polyline {
+    /// Creates a polyline from vertices (may be empty).
+    pub fn new(vertices: Vec<Point>) -> Self {
+        Self { vertices }
+    }
+
+    /// The vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when there are no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Appends a vertex.
+    pub fn push(&mut self, p: Point) {
+        self.vertices.push(p);
+    }
+
+    /// Iterator over the consecutive segments of the chain.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Total chain length in meters.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|s| s.length()).sum()
+    }
+
+    /// Bounding rectangle of all vertices.
+    pub fn bbox(&self) -> Rect {
+        Rect::covering(self.vertices.iter().copied())
+    }
+
+    /// Minimum Equation-(1) distance from `q` to any segment of the chain.
+    /// Returns `f64::INFINITY` for an empty polyline and the point distance
+    /// for a single-vertex polyline.
+    pub fn distance_to_point(&self, q: Point) -> f64 {
+        match self.vertices.len() {
+            0 => f64::INFINITY,
+            1 => self.vertices[0].distance(q),
+            _ => self
+                .segments()
+                .map(|s| s.distance_to_point(q))
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// The point at curvilinear distance `d` from the start, clamped to the
+    /// chain ends. Returns `None` for an empty polyline.
+    pub fn point_at_distance(&self, d: f64) -> Option<Point> {
+        let first = *self.vertices.first()?;
+        if d <= 0.0 || self.vertices.len() == 1 {
+            return Some(if d <= 0.0 {
+                first
+            } else {
+                *self.vertices.last().expect("nonempty")
+            });
+        }
+        let mut remaining = d;
+        for seg in self.segments() {
+            let len = seg.length();
+            if remaining <= len {
+                let t = if len == 0.0 { 0.0 } else { remaining / len };
+                return Some(seg.point_at(t));
+            }
+            remaining -= len;
+        }
+        Some(*self.vertices.last().expect("nonempty"))
+    }
+
+    /// Resamples the chain at (approximately) even spacing `step`, always
+    /// keeping the first and last vertex. Used by the trip simulator to turn
+    /// routes into GPS samples.
+    pub fn resample(&self, step: f64) -> Polyline {
+        assert!(step > 0.0, "resample step must be positive");
+        if self.vertices.len() < 2 {
+            return self.clone();
+        }
+        let total = self.length();
+        if total == 0.0 {
+            return Polyline::new(vec![self.vertices[0], *self.vertices.last().expect("len>=2")]);
+        }
+        let n = (total / step).ceil() as usize;
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let d = total * (i as f64) / (n as f64);
+            out.push(self.point_at_distance(d).expect("nonempty"));
+        }
+        // pin the final vertex exactly (cumulative-length rounding would
+        // otherwise land point_at_distance(total) epsilon short of it)
+        out.push(*self.vertices.last().expect("len>=2"));
+        Polyline::new(out)
+    }
+
+    /// Discrete Fréchet distance to `other` (Eiter–Mannila coupling
+    /// distance). This is the classical curve-to-curve metric of geometric
+    /// map matching, used here by baseline matchers and tests.
+    ///
+    /// Returns `f64::INFINITY` if either chain is empty. O(n·m) time,
+    /// O(m) space.
+    pub fn frechet_distance(&self, other: &Polyline) -> f64 {
+        let p = &self.vertices;
+        let q = &other.vertices;
+        if p.is_empty() || q.is_empty() {
+            return f64::INFINITY;
+        }
+        let m = q.len();
+        let mut prev = vec![0.0f64; m];
+        let mut cur = vec![0.0f64; m];
+        for (i, &pi) in p.iter().enumerate() {
+            for (j, &qj) in q.iter().enumerate() {
+                let d = pi.distance(qj);
+                cur[j] = if i == 0 && j == 0 {
+                    d
+                } else if i == 0 {
+                    d.max(cur[j - 1])
+                } else if j == 0 {
+                    d.max(prev[0])
+                } else {
+                    d.max(prev[j].min(prev[j - 1]).min(cur[j - 1]))
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[m - 1]
+    }
+
+    /// Douglas–Peucker simplification: the minimal vertex subset whose
+    /// chain stays within `epsilon` meters of the original (Eq. 1
+    /// point–segment distance). Keeps endpoints; used to condense stored
+    /// move geometry (the paper's "condensed representation" concern).
+    pub fn simplify(&self, epsilon: f64) -> Polyline {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        if self.vertices.len() < 3 {
+            return self.clone();
+        }
+        let mut keep = vec![false; self.vertices.len()];
+        keep[0] = true;
+        *keep.last_mut().expect("nonempty") = true;
+        let mut stack = vec![(0usize, self.vertices.len() - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if hi <= lo + 1 {
+                continue;
+            }
+            let chord = Segment::new(self.vertices[lo], self.vertices[hi]);
+            let (mut worst, mut worst_d) = (lo, -1.0f64);
+            for i in lo + 1..hi {
+                let d = chord.distance_to_point(self.vertices[i]);
+                if d > worst_d {
+                    worst = i;
+                    worst_d = d;
+                }
+            }
+            if worst_d > epsilon {
+                keep[worst] = true;
+                stack.push((lo, worst));
+                stack.push((worst, hi));
+            }
+        }
+        Polyline::new(
+            self.vertices
+                .iter()
+                .zip(&keep)
+                .filter(|&(_, &k)| k)
+                .map(|(&v, _)| v)
+                .collect(),
+        )
+    }
+
+    /// Directed Hausdorff distance from `self`'s vertices to the `other`
+    /// chain (max over vertices of min distance to the chain).
+    pub fn hausdorff_to(&self, other: &Polyline) -> f64 {
+        self.vertices
+            .iter()
+            .map(|&v| other.distance_to_point(v))
+            .fold(0.0, f64::max)
+    }
+
+    /// Symmetric Hausdorff distance.
+    pub fn hausdorff_distance(&self, other: &Polyline) -> f64 {
+        self.hausdorff_to(other).max(other.hausdorff_to(self))
+    }
+}
+
+impl FromIterator<Point> for Polyline {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        Polyline::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ])
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        assert_eq!(l_shape().length(), 20.0);
+        assert_eq!(Polyline::default().length(), 0.0);
+        assert_eq!(Polyline::new(vec![Point::ORIGIN]).length(), 0.0);
+    }
+
+    #[test]
+    fn bbox_covers_vertices() {
+        assert_eq!(l_shape().bbox(), Rect::new(0.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn distance_picks_nearest_segment() {
+        let pl = l_shape();
+        assert_eq!(pl.distance_to_point(Point::new(5.0, 2.0)), 2.0);
+        assert_eq!(pl.distance_to_point(Point::new(12.0, 5.0)), 2.0);
+        // corner region: nearest is the shared vertex
+        let d = pl.distance_to_point(Point::new(13.0, -4.0));
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn distance_for_empty_and_single() {
+        assert_eq!(
+            Polyline::default().distance_to_point(Point::ORIGIN),
+            f64::INFINITY
+        );
+        let single = Polyline::new(vec![Point::new(3.0, 4.0)]);
+        assert_eq!(single.distance_to_point(Point::ORIGIN), 5.0);
+    }
+
+    #[test]
+    fn point_at_distance_walks_chain() {
+        let pl = l_shape();
+        assert_eq!(pl.point_at_distance(0.0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(pl.point_at_distance(5.0), Some(Point::new(5.0, 0.0)));
+        assert_eq!(pl.point_at_distance(15.0), Some(Point::new(10.0, 5.0)));
+        assert_eq!(pl.point_at_distance(999.0), Some(Point::new(10.0, 10.0)));
+        assert_eq!(pl.point_at_distance(-1.0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(Polyline::default().point_at_distance(3.0), None);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_length() {
+        let pl = l_shape();
+        let rs = pl.resample(3.0);
+        assert_eq!(rs.vertices().first(), pl.vertices().first());
+        assert_eq!(rs.vertices().last(), pl.vertices().last());
+        // resampled chain length can only shrink (corners get cut)
+        assert!(rs.length() <= pl.length() + 1e-9);
+        assert!(rs.len() >= 7);
+        // spacing roughly even
+        for s in rs.segments() {
+            assert!(s.length() <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn resample_rejects_nonpositive_step() {
+        l_shape().resample(0.0);
+    }
+
+    #[test]
+    fn frechet_identical_is_zero() {
+        let pl = l_shape();
+        assert_eq!(pl.frechet_distance(&pl), 0.0);
+    }
+
+    #[test]
+    fn frechet_parallel_offset() {
+        let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(0.0, 3.0), Point::new(10.0, 3.0)]);
+        assert_eq!(a.frechet_distance(&b), 3.0);
+        assert_eq!(b.frechet_distance(&a), 3.0);
+    }
+
+    #[test]
+    fn frechet_at_least_hausdorff() {
+        let a = l_shape();
+        let b = Polyline::new(vec![
+            Point::new(0.0, 1.0),
+            Point::new(9.0, 1.0),
+            Point::new(9.0, 11.0),
+        ]);
+        assert!(a.frechet_distance(&b) + 1e-12 >= a.hausdorff_distance(&b));
+    }
+
+    #[test]
+    fn frechet_empty_is_infinite() {
+        assert_eq!(
+            Polyline::default().frechet_distance(&l_shape()),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn simplify_collinear_chain_to_endpoints() {
+        let pl = Polyline::new((0..20).map(|i| Point::new(i as f64, 0.0)).collect());
+        let s = pl.simplify(0.1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.vertices()[0], Point::new(0.0, 0.0));
+        assert_eq!(s.vertices()[1], Point::new(19.0, 0.0));
+    }
+
+    #[test]
+    fn simplify_keeps_significant_corners() {
+        let pl = l_shape();
+        let s = pl.simplify(0.5);
+        assert_eq!(s.len(), 3); // the corner survives
+        // result stays within epsilon of the original
+        assert!(pl.hausdorff_distance(&s) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn simplify_error_bound_holds() {
+        // wavy chain: simplified chain must stay within epsilon
+        let pl = Polyline::new(
+            (0..50)
+                .map(|i| Point::new(i as f64 * 4.0, ((i as f64) * 0.7).sin() * 3.0))
+                .collect(),
+        );
+        for eps in [0.5, 1.0, 2.0, 5.0] {
+            let s = pl.simplify(eps);
+            assert!(s.len() <= pl.len());
+            // every original vertex within eps of the simplified chain
+            for &v in pl.vertices() {
+                assert!(s.distance_to_point(v) <= eps + 1e-9, "eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_degenerate_inputs() {
+        assert_eq!(Polyline::default().simplify(1.0).len(), 0);
+        let two = Polyline::new(vec![Point::ORIGIN, Point::new(1.0, 1.0)]);
+        assert_eq!(two.simplify(1.0), two);
+    }
+
+    #[test]
+    fn hausdorff_symmetric_wrapper() {
+        let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(20.0, 0.0)]);
+        // every vertex of a lies on b, but b's far end is 10 away from a
+        assert_eq!(a.hausdorff_to(&b), 0.0);
+        assert_eq!(b.hausdorff_to(&a), 10.0);
+        assert_eq!(a.hausdorff_distance(&b), 10.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! WGS-84 ↔ local planar projection.
+//!
+//! SeMiTri's algorithms (spatial joins, point–segment distances, kernel
+//! radii) are expressed in meters. Real datasets arrive in lon/lat, so each
+//! deployment area gets a [`LocalProjection`] centered on the area of
+//! interest. An equirectangular projection is accurate to well under 0.1%
+//! for city-scale extents (tens of kilometers), which is far below GPS noise.
+
+use crate::point::{GeoPoint, Point};
+use crate::EARTH_RADIUS_M;
+
+/// An equirectangular projection anchored at a reference geographic point.
+///
+/// `x = R · Δlon · cos(lat₀)`, `y = R · Δlat` — the standard local
+/// east-north-up approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    cos_lat0: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection anchored at `origin` (maps to planar `(0, 0)`).
+    ///
+    /// # Panics
+    /// Panics if `origin` is not a valid WGS-84 coordinate or lies at a pole
+    /// (where the east–west scale degenerates).
+    pub fn new(origin: GeoPoint) -> Self {
+        assert!(origin.is_valid(), "projection origin must be valid lon/lat");
+        let cos_lat0 = origin.lat.to_radians().cos();
+        assert!(
+            cos_lat0 > 1e-6,
+            "projection origin too close to a pole: lat = {}",
+            origin.lat
+        );
+        Self { origin, cos_lat0 }
+    }
+
+    /// The anchoring geographic point.
+    #[inline]
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects lon/lat to local meters.
+    #[inline]
+    pub fn to_local(&self, g: GeoPoint) -> Point {
+        let dlon = (g.lon - self.origin.lon).to_radians();
+        let dlat = (g.lat - self.origin.lat).to_radians();
+        Point::new(EARTH_RADIUS_M * dlon * self.cos_lat0, EARTH_RADIUS_M * dlat)
+    }
+
+    /// Inverse projection: local meters back to lon/lat.
+    #[inline]
+    pub fn to_geo(&self, p: Point) -> GeoPoint {
+        let dlon = p.x / (EARTH_RADIUS_M * self.cos_lat0);
+        let dlat = p.y / EARTH_RADIUS_M;
+        GeoPoint::new(
+            self.origin.lon + dlon.to_degrees(),
+            self.origin.lat + dlat.to_degrees(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::haversine_m;
+
+    const LAUSANNE: GeoPoint = GeoPoint::new(6.6323, 46.5197);
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let proj = LocalProjection::new(LAUSANNE);
+        let p = proj.to_local(LAUSANNE);
+        assert!(p.x.abs() < 1e-9 && p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let proj = LocalProjection::new(LAUSANNE);
+        let g = GeoPoint::new(6.70, 46.48);
+        let back = proj.to_geo(proj.to_local(g));
+        assert!((back.lon - g.lon).abs() < 1e-12);
+        assert!((back.lat - g.lat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planar_distance_matches_haversine_city_scale() {
+        let proj = LocalProjection::new(LAUSANNE);
+        let a = GeoPoint::new(6.60, 46.50);
+        let b = GeoPoint::new(6.68, 46.55);
+        let planar = proj.to_local(a).distance(proj.to_local(b));
+        let sphere = haversine_m(a, b);
+        let rel_err = (planar - sphere).abs() / sphere;
+        assert!(rel_err < 1e-3, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn north_is_positive_y_east_is_positive_x() {
+        let proj = LocalProjection::new(LAUSANNE);
+        let north = proj.to_local(GeoPoint::new(LAUSANNE.lon, LAUSANNE.lat + 0.01));
+        assert!(north.y > 0.0 && north.x.abs() < 1e-9);
+        let east = proj.to_local(GeoPoint::new(LAUSANNE.lon + 0.01, LAUSANNE.lat));
+        assert!(east.x > 0.0 && east.y.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn rejects_polar_origin() {
+        LocalProjection::new(GeoPoint::new(0.0, 90.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid lon/lat")]
+    fn rejects_invalid_origin() {
+        LocalProjection::new(GeoPoint::new(999.0, 0.0));
+    }
+}

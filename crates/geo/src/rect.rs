@@ -1,0 +1,313 @@
+//! Axis-aligned bounding rectangles.
+//!
+//! [`Rect`] is the spatial extent exchanged with the R\*-tree in
+//! `semitri-index` and the extent the region annotation layer joins against
+//! (the paper uses "the spatial bounding rectangle of the episode" for
+//! move/stop joins, §4.1).
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]` in meters.
+///
+/// A rectangle with `min > max` on either axis is *empty*; [`Rect::EMPTY`]
+/// is the identity for [`Rect::union`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner x.
+    pub min_x: f64,
+    /// Lower-left corner y.
+    pub min_y: f64,
+    /// Upper-right corner x.
+    pub max_x: f64,
+    /// Upper-right corner y.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// The empty rectangle: identity element for [`Rect::union`].
+    pub const EMPTY: Rect = Rect {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    /// Creates a rectangle from corner coordinates. Corners are normalized so
+    /// the result always has `min <= max` per axis.
+    #[inline]
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
+        Rect {
+            min_x: x1.min(x2),
+            min_y: y1.min(y2),
+            max_x: x1.max(x2),
+            max_y: y1.max(y2),
+        }
+    }
+
+    /// A degenerate rectangle covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
+    }
+
+    /// The smallest rectangle containing both endpoints.
+    #[inline]
+    pub fn from_points(a: Point, b: Point) -> Self {
+        Rect::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// Smallest rectangle covering every point of the iterator, or
+    /// [`Rect::EMPTY`] for an empty iterator.
+    pub fn covering<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut r = Rect::EMPTY;
+        for p in points {
+            r.expand_to(p);
+        }
+        r
+    }
+
+    /// `true` when no point lies inside (i.e. `min > max` on some axis).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Width along x; `0.0` when empty.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Height along y; `0.0` when empty.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Area in square meters; `0.0` when empty.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter (the R\*-tree "margin" criterion).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Center point. Meaningless for empty rectangles.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// `true` if `other` lies entirely inside `self` (boundary touching
+    /// allowed). An empty `other` is contained in everything.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.min_x >= self.min_x
+                && other.max_x <= self.max_x
+                && other.min_y >= self.min_y
+                && other.max_y <= self.max_y)
+    }
+
+    /// `true` if the rectangles share at least one point (closed-set
+    /// semantics: touching edges intersect).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Area of the intersection; `0.0` when disjoint.
+    #[inline]
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = self.max_x.min(other.max_x) - self.min_x.max(other.min_x);
+        let h = self.max_y.min(other.max_y) - self.min_y.max(other.min_y);
+        if w <= 0.0 || h <= 0.0 {
+            0.0
+        } else {
+            w * h
+        }
+    }
+
+    /// Smallest rectangle containing both operands.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows `self` in place to cover `p`.
+    #[inline]
+    pub fn expand_to(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Returns a copy grown by `margin` meters on every side.
+    ///
+    /// Used by the map-matching layer to turn a point plus global-view radius
+    /// `R` into a candidate-segment window.
+    #[inline]
+    pub fn inflate(&self, margin: f64) -> Rect {
+        Rect {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Increase in area needed for `self` to also cover `other`
+    /// (the R\*-tree ChooseSubtree criterion).
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Minimum Euclidean distance from `p` to the rectangle; `0.0` when `p`
+    /// is inside. Used for kNN pruning.
+    #[inline]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(5.0, 7.0, 1.0, 2.0);
+        assert_eq!(r, Rect::new(1.0, 2.0, 5.0, 7.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 5.0);
+    }
+
+    #[test]
+    fn empty_rect_properties() {
+        let e = Rect::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.width(), 0.0);
+        assert!(!e.intersects(&unit()));
+        assert!(!unit().intersects(&e));
+        assert!(unit().contains_rect(&e));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let r = unit();
+        assert_eq!(r.union(&Rect::EMPTY), r);
+        assert_eq!(Rect::EMPTY.union(&r), r);
+    }
+
+    #[test]
+    fn covering_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.5),
+            Point::new(3.0, 2.0),
+        ];
+        let r = Rect::covering(pts);
+        assert_eq!(r, Rect::new(-2.0, 0.5, 3.0, 5.0));
+        assert!(Rect::covering(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn touching_edges_intersect() {
+        let a = unit();
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_area(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = unit();
+        let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert!(!b.intersects(&a));
+    }
+
+    #[test]
+    fn containment() {
+        let big = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let small = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert!(big.contains_rect(&small));
+        assert!(!small.contains_rect(&big));
+        assert!(big.contains_rect(&big));
+        assert!(big.contains_point(Point::new(0.0, 0.0)));
+        assert!(!big.contains_point(Point::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn intersection_area_overlapping() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+        assert_eq!(a.intersection_area(&b), 4.0);
+        assert_eq!(b.intersection_area(&a), 4.0);
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let big = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let small = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(big.enlargement(&small), 0.0);
+        assert!(small.enlargement(&big) > 0.0);
+    }
+
+    #[test]
+    fn distance_to_point_inside_and_outside() {
+        let r = unit();
+        assert_eq!(r.distance_to_point(Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(r.distance_to_point(Point::new(2.0, 0.5)), 1.0);
+        let d = r.distance_to_point(Point::new(4.0, 5.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflate_grows_all_sides() {
+        let r = unit().inflate(2.0);
+        assert_eq!(r, Rect::new(-2.0, -2.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn margin_is_half_perimeter() {
+        assert_eq!(Rect::new(0.0, 0.0, 3.0, 4.0).margin(), 7.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Line segments and the paper's point–segment distance (Equation 1).
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A directed line segment between two crossings `a` and `b`.
+///
+/// Road segments in the map-matching layer are `Segment`s; the direction is
+/// the digitization order and carries no traffic-flow meaning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start crossing.
+    pub a: Point,
+    /// End crossing.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from two endpoints.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length in meters.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Bounding rectangle of the segment.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        Rect::from_points(self.a, self.b)
+    }
+
+    /// Parameter `t ∈ ℝ` of the orthogonal projection of `q` onto the
+    /// *infinite line* through the segment, with `t = 0` at `a` and `t = 1`
+    /// at `b`. Degenerate (zero-length) segments yield `t = 0`.
+    #[inline]
+    pub fn project_param(&self, q: Point) -> f64 {
+        let ab = self.a.vector_to(self.b);
+        let len_sq = ab.dot(ab);
+        if len_sq == 0.0 {
+            return 0.0;
+        }
+        self.a.vector_to(q).dot(ab) / len_sq
+    }
+
+    /// The point on the infinite line at parameter `t`.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Closest point *on the segment* to `q` (projection clamped to the
+    /// segment extent).
+    #[inline]
+    pub fn closest_point(&self, q: Point) -> Point {
+        self.point_at(self.project_param(q).clamp(0.0, 1.0))
+    }
+
+    /// The paper's point–segment distance, Equation (1):
+    ///
+    /// ```text
+    /// d(Q, AiAj) = d(Q, Q')                     if Q' ∈ AiAj
+    ///            = min{ d(Q, Ai), d(Q, Aj) }    otherwise
+    /// ```
+    ///
+    /// where `Q'` is the perpendicular projection of `Q` onto the line
+    /// through the segment. Unlike the pure perpendicular distance, this is
+    /// well behaved on dense networks, parallel roads and arbitrary
+    /// crossings, because projections falling outside the segment fall back
+    /// to the endpoint distance.
+    #[inline]
+    pub fn distance_to_point(&self, q: Point) -> f64 {
+        q.distance(self.closest_point(q))
+    }
+
+    /// Pure perpendicular distance from `q` to the *infinite line* through
+    /// the segment. This is the classical map-matching metric the paper
+    /// argues against (§4.2); kept for the ablation benchmark.
+    #[inline]
+    pub fn perpendicular_distance(&self, q: Point) -> f64 {
+        let len = self.length();
+        if len == 0.0 {
+            return self.a.distance(q);
+        }
+        (self.a.vector_to(self.b).cross(self.a.vector_to(q))).abs() / len
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Heading of the segment in radians (`a` → `b`).
+    #[inline]
+    pub fn heading(&self) -> f64 {
+        self.a.heading_to(self.b)
+    }
+
+    /// `true` if the two *closed* segments share at least one point.
+    ///
+    /// Uses orientation tests with collinear special-casing; robust for the
+    /// axis-aligned and diagonal road geometry produced by the generators.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        fn orient(a: Point, b: Point, c: Point) -> f64 {
+            a.vector_to(b).cross(a.vector_to(c))
+        }
+        fn on_segment(s: &Segment, p: Point) -> bool {
+            p.x >= s.a.x.min(s.b.x)
+                && p.x <= s.a.x.max(s.b.x)
+                && p.y >= s.a.y.min(s.b.y)
+                && p.y <= s.a.y.max(s.b.y)
+        }
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1 == 0.0 && on_segment(other, self.a))
+            || (d2 == 0.0 && on_segment(other, self.b))
+            || (d3 == 0.0 && on_segment(self, other.a))
+            || (d4 == 0.0 && on_segment(self, other.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horiz() -> Segment {
+        Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn eq1_projection_inside_uses_perpendicular() {
+        // Q projects inside the segment: Eq. 1 == perpendicular distance.
+        let q = Point::new(5.0, 3.0);
+        assert_eq!(horiz().distance_to_point(q), 3.0);
+        assert_eq!(horiz().perpendicular_distance(q), 3.0);
+    }
+
+    #[test]
+    fn eq1_projection_outside_uses_endpoint() {
+        // Q projects beyond endpoint b: Eq. 1 falls back to d(Q, b),
+        // while the perpendicular distance misleadingly stays small.
+        let q = Point::new(14.0, 3.0);
+        let d = horiz().distance_to_point(q);
+        assert_eq!(d, 5.0); // sqrt(4^2 + 3^2)
+        assert_eq!(horiz().perpendicular_distance(q), 3.0);
+        assert!(d > horiz().perpendicular_distance(q));
+    }
+
+    #[test]
+    fn eq1_before_start_uses_start_endpoint() {
+        let q = Point::new(-4.0, 3.0);
+        assert_eq!(horiz().distance_to_point(q), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(s.distance_to_point(Point::new(4.0, 5.0)), 5.0);
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.project_param(Point::new(9.0, 9.0)), 0.0);
+    }
+
+    #[test]
+    fn closest_point_clamps() {
+        let s = horiz();
+        assert_eq!(s.closest_point(Point::new(-5.0, 1.0)), s.a);
+        assert_eq!(s.closest_point(Point::new(25.0, 1.0)), s.b);
+        assert_eq!(s.closest_point(Point::new(5.0, 1.0)), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn project_param_linearity() {
+        let s = horiz();
+        assert_eq!(s.project_param(Point::new(0.0, 7.0)), 0.0);
+        assert_eq!(s.project_param(Point::new(10.0, -2.0)), 1.0);
+        assert_eq!(s.project_param(Point::new(2.5, 3.0)), 0.25);
+        assert_eq!(s.project_param(Point::new(-10.0, 0.0)), -1.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let b = Segment::new(Point::new(0.0, 10.0), Point::new(10.0, 0.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let a = horiz();
+        let b = Segment::new(Point::new(0.0, 1.0), Point::new(10.0, 1.0));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_endpoint_intersects() {
+        let a = horiz();
+        let b = Segment::new(Point::new(10.0, 0.0), Point::new(20.0, 5.0));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_overlapping_intersects() {
+        let a = horiz();
+        let b = Segment::new(Point::new(5.0, 0.0), Point::new(15.0, 0.0));
+        assert!(a.intersects(&b));
+        let c = Segment::new(Point::new(11.0, 0.0), Point::new(15.0, 0.0));
+        assert!(!a.intersects(&c));
+    }
+}

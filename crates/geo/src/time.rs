@@ -1,0 +1,164 @@
+//! Temporal positions and intervals of GPS records and episodes.
+
+use std::fmt;
+
+/// A timestamp in seconds since an arbitrary epoch (datasets use the Unix
+/// epoch; synthetic generators use seconds since dataset start).
+///
+/// Stored as `f64` seconds: GPS devices report sub-second fixes and every
+/// algorithm in the paper (speed, acceleration, kernel weights) consumes
+/// time as a real number.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Timestamp(pub f64);
+
+impl Timestamp {
+    /// Seconds since the epoch.
+    #[inline]
+    pub fn secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Signed difference `self - earlier` in seconds.
+    #[inline]
+    pub fn since(&self, earlier: Timestamp) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// Returns this timestamp advanced by `secs` seconds.
+    #[inline]
+    pub fn plus(&self, secs: f64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Time of day in seconds within a 24-hour cycle (`0..86400`).
+    /// Negative timestamps wrap correctly.
+    #[inline]
+    pub fn time_of_day(&self) -> f64 {
+        self.0.rem_euclid(86_400.0)
+    }
+
+    /// Day index since the epoch (floor of days).
+    #[inline]
+    pub fn day(&self) -> i64 {
+        (self.0 / 86_400.0).floor() as i64
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tod = self.time_of_day();
+        let h = (tod / 3600.0) as u32;
+        let m = ((tod % 3600.0) / 60.0) as u32;
+        let s = (tod % 60.0) as u32;
+        write!(f, "d{} {:02}:{:02}:{:02}", self.day(), h, m, s)
+    }
+}
+
+/// A closed time interval `[start, end]` — the `(time_in, time_out)` pair of
+/// a structured-semantic-trajectory episode (Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSpan {
+    /// Entering time.
+    pub start: Timestamp,
+    /// Leaving time.
+    pub end: Timestamp,
+}
+
+impl TimeSpan {
+    /// Creates a span.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    #[inline]
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(end.0 >= start.0, "TimeSpan end precedes start");
+        Self { start, end }
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end.0 - self.start.0
+    }
+
+    /// `true` if `t` lies inside the closed interval.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t.0 >= self.start.0 && t.0 <= self.end.0
+    }
+
+    /// `true` if the two closed intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeSpan) -> bool {
+        self.start.0 <= other.end.0 && other.start.0 <= self.end.0
+    }
+
+    /// The smallest span covering both operands.
+    #[inline]
+    pub fn union(&self, other: &TimeSpan) -> TimeSpan {
+        TimeSpan {
+            start: Timestamp(self.start.0.min(other.start.0)),
+            end: Timestamp(self.end.0.max(other.end.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_and_plus() {
+        let t0 = Timestamp(100.0);
+        let t1 = t0.plus(42.5);
+        assert_eq!(t1.since(t0), 42.5);
+        assert_eq!(t0.since(t1), -42.5);
+    }
+
+    #[test]
+    fn time_of_day_wraps() {
+        assert_eq!(Timestamp(0.0).time_of_day(), 0.0);
+        assert_eq!(Timestamp(86_400.0 + 3_600.0).time_of_day(), 3_600.0);
+        assert_eq!(Timestamp(-3_600.0).time_of_day(), 82_800.0);
+    }
+
+    #[test]
+    fn day_index() {
+        assert_eq!(Timestamp(0.0).day(), 0);
+        assert_eq!(Timestamp(86_399.0).day(), 0);
+        assert_eq!(Timestamp(86_400.0).day(), 1);
+        assert_eq!(Timestamp(-1.0).day(), -1);
+    }
+
+    #[test]
+    fn display_formats_day_and_tod() {
+        let t = Timestamp(86_400.0 + 9.0 * 3600.0 + 5.0 * 60.0 + 7.0);
+        assert_eq!(t.to_string(), "d1 09:05:07");
+    }
+
+    #[test]
+    fn span_duration_contains_overlaps() {
+        let s = TimeSpan::new(Timestamp(10.0), Timestamp(20.0));
+        assert_eq!(s.duration(), 10.0);
+        assert!(s.contains(Timestamp(10.0)));
+        assert!(s.contains(Timestamp(20.0)));
+        assert!(!s.contains(Timestamp(20.1)));
+        let t = TimeSpan::new(Timestamp(20.0), Timestamp(30.0));
+        assert!(s.overlaps(&t)); // closed intervals touch
+        let u = TimeSpan::new(Timestamp(21.0), Timestamp(30.0));
+        assert!(!s.overlaps(&u));
+    }
+
+    #[test]
+    fn span_union() {
+        let s = TimeSpan::new(Timestamp(10.0), Timestamp(20.0));
+        let t = TimeSpan::new(Timestamp(15.0), Timestamp(40.0));
+        assert_eq!(s.union(&t), TimeSpan::new(Timestamp(10.0), Timestamp(40.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn span_rejects_reversed() {
+        TimeSpan::new(Timestamp(2.0), Timestamp(1.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the geometry kernel invariants.
+
+use proptest::prelude::*;
+use semitri_geo::{Point, Polygon, Polyline, Rect, Segment};
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in pt(), b in pt()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in pt(), b in pt(), c in pt()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
+    }
+
+    #[test]
+    fn rect_union_contains_both(
+        a1 in pt(), a2 in pt(), b1 in pt(), b2 in pt()
+    ) {
+        let a = Rect::from_points(a1, a2);
+        let b = Rect::from_points(b1, b2);
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn rect_intersection_area_bounded(
+        a1 in pt(), a2 in pt(), b1 in pt(), b2 in pt()
+    ) {
+        let a = Rect::from_points(a1, a2);
+        let b = Rect::from_points(b1, b2);
+        let i = a.intersection_area(&b);
+        prop_assert!(i >= 0.0);
+        prop_assert!(i <= a.area() + 1e-6);
+        prop_assert!(i <= b.area() + 1e-6);
+        // intersects() consistent with a positive intersection area
+        if i > 0.0 {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn rect_enlargement_nonnegative(
+        a1 in pt(), a2 in pt(), b1 in pt(), b2 in pt()
+    ) {
+        let a = Rect::from_points(a1, a2);
+        let b = Rect::from_points(b1, b2);
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+    }
+
+    #[test]
+    fn eq1_distance_at_most_endpoint_distances(q in pt(), a in pt(), b in pt()) {
+        let s = Segment::new(a, b);
+        let d = s.distance_to_point(q);
+        prop_assert!(d <= q.distance(a) + 1e-9);
+        prop_assert!(d <= q.distance(b) + 1e-9);
+        // Eq. 1 distance dominates the perpendicular distance
+        prop_assert!(d + 1e-9 >= s.perpendicular_distance(q) - 1e-6);
+    }
+
+    #[test]
+    fn eq1_closest_point_is_on_segment_bbox(q in pt(), a in pt(), b in pt()) {
+        let s = Segment::new(a, b);
+        let c = s.closest_point(q);
+        prop_assert!(s.bbox().inflate(1e-9).contains_point(c));
+    }
+
+    #[test]
+    fn segment_intersects_is_symmetric(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    #[test]
+    fn polyline_length_at_least_endpoint_distance(
+        pts in proptest::collection::vec(pt(), 2..12)
+    ) {
+        let first = pts[0];
+        let last = *pts.last().unwrap();
+        let pl = Polyline::new(pts);
+        prop_assert!(pl.length() + 1e-9 >= first.distance(last));
+    }
+
+    #[test]
+    fn frechet_symmetric_and_nonnegative(
+        a in proptest::collection::vec(pt(), 1..8),
+        b in proptest::collection::vec(pt(), 1..8)
+    ) {
+        let pa = Polyline::new(a);
+        let pb = Polyline::new(b);
+        let dab = pa.frechet_distance(&pb);
+        let dba = pb.frechet_distance(&pa);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(dab >= 0.0);
+        // Fréchet dominates Hausdorff
+        prop_assert!(dab + 1e-9 >= pa.hausdorff_distance(&pb));
+    }
+
+    #[test]
+    fn polygon_contains_its_centroid_when_convex(
+        cx in -1e3..1e3f64, cy in -1e3..1e3f64, r in 1.0..500.0f64, n in 3usize..16
+    ) {
+        let p = Polygon::regular(Point::new(cx, cy), r, n);
+        prop_assert!(p.contains_point(p.centroid()));
+        prop_assert!(p.bbox().contains_point(p.centroid()));
+    }
+
+    #[test]
+    fn polygon_area_le_bbox_area(
+        cx in -1e3..1e3f64, cy in -1e3..1e3f64, r in 1.0..500.0f64, n in 3usize..16
+    ) {
+        let p = Polygon::regular(Point::new(cx, cy), r, n);
+        prop_assert!(p.area() <= p.bbox().area() + 1e-6);
+    }
+
+    #[test]
+    fn resample_endpoints_fixed(
+        pts in proptest::collection::vec(pt(), 2..10), step in 0.5..100.0f64
+    ) {
+        let pl = Polyline::new(pts);
+        let rs = pl.resample(step);
+        prop_assert_eq!(rs.vertices().first(), pl.vertices().first());
+        prop_assert_eq!(rs.vertices().last(), pl.vertices().last());
+    }
+}

@@ -1,0 +1,263 @@
+//! A flat uniform grid over point items.
+//!
+//! The point-annotation layer (§4.3) discretizes the POI area into grid
+//! cells and, for each cell, considers "only neighboring POIs in that box"
+//! when precomputing the observation model `Pr(grid_jk | C_i)`. This grid
+//! provides exactly that: O(1) cell lookup and radius queries that touch
+//! only the covered cells.
+
+use semitri_geo::{Point, Rect};
+
+/// A uniform grid index over items with a point position.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    bounds: Rect,
+    cell_size: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an empty grid covering `bounds` with square cells of side
+    /// `cell_size` meters.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or `cell_size` is not positive.
+    pub fn new(bounds: Rect, cell_size: f64) -> Self {
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive"
+        );
+        let nx = (bounds.width() / cell_size).ceil().max(1.0) as usize;
+        let ny = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+        let cells = (0..nx * ny).map(|_| Vec::new()).collect();
+        Self {
+            bounds,
+            cell_size,
+            nx,
+            ny,
+            cells,
+            len: 0,
+        }
+    }
+
+    /// Grid columns.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid rows.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Cell side length in meters.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of stored items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no items are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `(col, row)` cell coordinates of `p`, clamped to the grid — points
+    /// outside the bounds land in the nearest border cell, so every valid
+    /// query maps somewhere deterministic.
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.bounds.min_x) / self.cell_size).floor();
+        let cy = ((p.y - self.bounds.min_y) / self.cell_size).floor();
+        let cx = (cx.max(0.0) as usize).min(self.nx - 1);
+        let cy = (cy.max(0.0) as usize).min(self.ny - 1);
+        (cx, cy)
+    }
+
+    /// Flat index of a cell; used as the discretization key of the HMM
+    /// observation model.
+    #[inline]
+    pub fn cell_index(&self, col: usize, row: usize) -> usize {
+        debug_assert!(col < self.nx && row < self.ny);
+        row * self.nx + col
+    }
+
+    /// Center point of a cell.
+    pub fn cell_center(&self, col: usize, row: usize) -> Point {
+        Point::new(
+            self.bounds.min_x + (col as f64 + 0.5) * self.cell_size,
+            self.bounds.min_y + (row as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// Inserts an item at `p`.
+    pub fn insert(&mut self, p: Point, item: T) {
+        assert!(p.is_finite(), "cannot index a non-finite point");
+        let (cx, cy) = self.cell_of(p);
+        let idx = self.cell_index(cx, cy);
+        self.cells[idx].push((p, item));
+        self.len += 1;
+    }
+
+    /// Items stored in the cell containing `p`.
+    pub fn in_cell(&self, p: Point) -> &[(Point, T)] {
+        let (cx, cy) = self.cell_of(p);
+        &self.cells[self.cell_index(cx, cy)]
+    }
+
+    /// Visits every item within `radius` meters of `p` (exact point
+    /// distance; only the covered cells are scanned).
+    pub fn for_each_within<'a>(&'a self, p: Point, radius: f64, mut f: impl FnMut(Point, &'a T)) {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let (c0x, c0y) = self.cell_of(Point::new(p.x - radius, p.y - radius));
+        let (c1x, c1y) = self.cell_of(Point::new(p.x + radius, p.y + radius));
+        let r_sq = radius * radius;
+        for row in c0y..=c1y {
+            for col in c0x..=c1x {
+                for (q, item) in &self.cells[self.cell_index(col, row)] {
+                    if q.distance_sq(p) <= r_sq {
+                        f(*q, item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects every item within `radius` meters of `p`.
+    pub fn within(&self, p: Point, radius: f64) -> Vec<(Point, &T)> {
+        let mut out = Vec::new();
+        self.for_each_within(p, radius, |q, t| out.push((q, t)));
+        out
+    }
+
+    /// Iterates over all `(cell_index, items)` pairs with at least one item.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = (usize, &[(Point, T)])> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (i, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridIndex<u32> {
+        GridIndex::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0)
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid();
+        assert_eq!(g.nx(), 10);
+        assert_eq!(g.ny(), 10);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn non_divisible_bounds_round_up() {
+        let g: GridIndex<()> = GridIndex::new(Rect::new(0.0, 0.0, 95.0, 41.0), 10.0);
+        assert_eq!(g.nx(), 10);
+        assert_eq!(g.ny(), 5);
+    }
+
+    #[test]
+    fn cell_of_maps_interior_and_clamps_exterior() {
+        let g = grid();
+        assert_eq!(g.cell_of(Point::new(5.0, 5.0)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(95.0, 15.0)), (9, 1));
+        // boundary: max corner clamps into the last cell
+        assert_eq!(g.cell_of(Point::new(100.0, 100.0)), (9, 9));
+        // outside: clamped
+        assert_eq!(g.cell_of(Point::new(-50.0, 500.0)), (0, 9));
+    }
+
+    #[test]
+    fn insert_and_in_cell() {
+        let mut g = grid();
+        g.insert(Point::new(12.0, 13.0), 1);
+        g.insert(Point::new(17.0, 18.0), 2);
+        g.insert(Point::new(55.0, 55.0), 3);
+        assert_eq!(g.len(), 3);
+        let cell = g.in_cell(Point::new(15.0, 15.0));
+        let mut ids: Vec<u32> = cell.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn within_exact_radius() {
+        let mut g = grid();
+        for i in 0..10 {
+            g.insert(Point::new(i as f64 * 10.0 + 5.0, 5.0), i);
+        }
+        let hits = g.within(Point::new(35.0, 5.0), 12.0);
+        let mut ids: Vec<u32> = hits.iter().map(|&(_, &id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3, 4]); // x = 25, 35, 45
+    }
+
+    #[test]
+    fn within_radius_zero_finds_exact_point() {
+        let mut g = grid();
+        g.insert(Point::new(50.0, 50.0), 9);
+        let hits = g.within(Point::new(50.0, 50.0), 0.0);
+        assert_eq!(hits.len(), 1);
+        assert!(g.within(Point::new(50.1, 50.0), 0.0).is_empty());
+    }
+
+    #[test]
+    fn within_spanning_outside_bounds() {
+        let mut g = grid();
+        g.insert(Point::new(2.0, 2.0), 1);
+        // probe outside the grid still finds the border item
+        let hits = g.within(Point::new(-5.0, 2.0), 8.0);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn occupied_cells_skips_empty() {
+        let mut g = grid();
+        g.insert(Point::new(5.0, 5.0), 1);
+        g.insert(Point::new(6.0, 6.0), 2);
+        g.insert(Point::new(95.0, 95.0), 3);
+        let occ: Vec<_> = g.occupied_cells().collect();
+        assert_eq!(occ.len(), 2);
+        let total: usize = occ.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn cell_center_roundtrip() {
+        let g = grid();
+        let c = g.cell_center(3, 7);
+        assert_eq!(g.cell_of(c), (3, 7));
+        assert_eq!(c, Point::new(35.0, 75.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_cell_size() {
+        let _: GridIndex<()> = GridIndex::new(Rect::new(0.0, 0.0, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_bounds() {
+        let _: GridIndex<()> = GridIndex::new(Rect::EMPTY, 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # semitri-index — spatial indexes for SeMiTri
+//!
+//! The paper leans on two access methods:
+//!
+//! * an **R\*-tree** (Beckmann et al., SIGMOD 1990 — the paper's reference
+//!   \[2\]) indexing semantic regions for the spatial-join region annotation
+//!   (Algorithm 1) and road segments for candidate selection in global map
+//!   matching (Algorithm 2);
+//! * a **uniform grid** used by the point-annotation layer to discretize the
+//!   POI observation model (`Pr(grid_jk | C_i)`, §4.3) and to fetch the
+//!   neighboring POIs of a stop.
+//!
+//! Both are implemented here from scratch:
+//!
+//! * [`RStarTree`] — insertion with ChooseSubtree, R\* split
+//!   (axis/index choice by margin and overlap), forced reinsertion at the
+//!   leaf level, range queries, and best-first k-nearest-neighbor search
+//!   with exact user-supplied distances; plus Sort-Tile-Recursive bulk
+//!   loading for the million-cell landuse grids.
+//! * [`GridIndex`] — a flat uniform grid over point items with
+//!   radius/cell queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod rstar;
+
+pub use grid::GridIndex;
+pub use rstar::{RStarParams, RStarTree};

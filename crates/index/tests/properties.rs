@@ -1,0 +1,134 @@
+//! Property-based tests: the R*-tree and grid must agree with brute force.
+
+use proptest::prelude::*;
+use semitri_geo::{Point, Rect};
+use semitri_index::{GridIndex, RStarParams, RStarTree};
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (
+        -1000.0..1000.0f64,
+        -1000.0..1000.0f64,
+        0.0..50.0f64,
+        0.0..50.0f64,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_query_agrees_with_brute_force(
+        rects in proptest::collection::vec(rect_strategy(), 1..200),
+        query in rect_strategy(),
+    ) {
+        let mut tree = RStarTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        tree.check_invariants();
+
+        let mut expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        let mut got: Vec<usize> = tree.query(&query).iter().map(|&(_, &i)| i).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn rtree_bulk_load_agrees_with_incremental(
+        rects in proptest::collection::vec(rect_strategy(), 1..300),
+        query in rect_strategy(),
+    ) {
+        let bulk = RStarTree::bulk_load(rects.iter().cloned().enumerate().map(|(i, r)| (r, i)).collect());
+        bulk.check_invariants();
+        prop_assert_eq!(bulk.len(), rects.len());
+
+        let mut expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        let mut got: Vec<usize> = bulk.query(&query).iter().map(|&(_, &i)| i).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn rtree_small_nodes_still_correct(
+        rects in proptest::collection::vec(rect_strategy(), 1..150),
+        query in rect_strategy(),
+    ) {
+        // tiny fan-out stresses splits and reinserts hard
+        let params = RStarParams { max_entries: 4, min_entries: 2, reinsert_count: 1 };
+        let mut tree = RStarTree::with_params(params);
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), rects.len());
+        let mut expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        let mut got: Vec<usize> = tree.query(&query).iter().map(|&(_, &i)| i).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn rtree_nearest_matches_brute_force(
+        pts in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 1..150),
+        probe in (-600.0..600.0f64, -600.0..600.0f64),
+        k in 1usize..8,
+    ) {
+        let probe = Point::new(probe.0, probe.1);
+        let mut tree = RStarTree::new();
+        for &(x, y) in &pts {
+            let p = Point::new(x, y);
+            tree.insert(Rect::from_point(p), p);
+        }
+        let got = tree.nearest_by(probe, k, |q| q.distance(probe));
+        let mut dists: Vec<f64> = pts.iter().map(|&(x, y)| Point::new(x, y).distance(probe)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = dists.into_iter().take(k).collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert!((g.0 - e).abs() < 1e-9, "got {} expected {}", g.0, e);
+        }
+    }
+
+    #[test]
+    fn grid_within_agrees_with_brute_force(
+        pts in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 0..200),
+        probe in (0.0..1000.0f64, 0.0..1000.0f64),
+        radius in 0.0..300.0f64,
+        cell in 5.0..200.0f64,
+    ) {
+        let probe = Point::new(probe.0, probe.1);
+        let mut grid = GridIndex::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), cell);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            grid.insert(Point::new(x, y), i);
+        }
+        let mut got: Vec<usize> = grid.within(probe, radius).iter().map(|&(_, &i)| i).collect();
+        let mut expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| Point::new(x, y).distance(probe) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,239 @@
+//! `semitri-cli` — the Application Interface of the SeMiTri architecture.
+//!
+//! The paper exposes its Semantic Trajectory Store through a web interface
+//! for "trajectory querying and visualization" \[31\]. This CLI is the
+//! library equivalent: it builds an annotated store from a dataset preset
+//! and answers queries against it.
+//!
+//! ```text
+//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days]
+//! semitri-cli info <store.stlog>
+//! semitri-cli objects <store.stlog>
+//! semitri-cli show <store.stlog> <trajectory_id>
+//! semitri-cli query-mode <store.stlog> <walk|bicycle|bus|metro|car>
+//! semitri-cli query-activity <store.stlog> <services|feedings|item-sale|person-life|unknown>
+//! semitri-cli stats <store.stlog>
+//! semitri-cli export-kml <store.stlog> <trajectory_id> <out.kml>
+//! semitri-cli compact <store.stlog>
+//! ```
+
+use semitri::prelude::*;
+use semitri::store::export::{kml_document, sst_kml};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days]\n  \
+         semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
+         semitri-cli show <store.stlog> <trajectory_id>\n  \
+         semitri-cli query-mode <store.stlog> <mode>\n  \
+         semitri-cli query-activity <store.stlog> <category>\n  \
+         semitri-cli stats <store.stlog>\n  \
+         semitri-cli export-kml <store.stlog> <trajectory_id> <out.kml>\n  \
+         semitri-cli compact <store.stlog>"
+    );
+    ExitCode::from(2)
+}
+
+fn open(path: &str) -> Result<SemanticTrajectoryStore, ExitCode> {
+    SemanticTrajectoryStore::open_durable(path).map_err(|e| {
+        eprintln!("cannot open store {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn parse_mode(s: &str) -> Option<TransportMode> {
+    TransportMode::ALL.into_iter().find(|m| m.label() == s)
+}
+
+fn parse_category(s: &str) -> Option<PoiCategory> {
+    let norm = s.replace('-', " ");
+    PoiCategory::ALL.into_iter().find(|c| c.label() == norm)
+}
+
+fn generate(preset: &str, path: &str, seed: u64, days: usize) -> Result<(), ExitCode> {
+    let (dataset, vehicle) = match preset {
+        "taxis" => (lausanne_taxis(days, seed), true),
+        "milan" => (milan_cars(20, days, seed), true),
+        "phones" => (smartphone_users(6, days, seed), false),
+        _ => {
+            eprintln!("unknown preset {preset:?} (taxis|milan|phones)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    println!(
+        "generated '{}': {} trajectories, {} GPS records",
+        dataset.name,
+        dataset.tracks.len(),
+        dataset.total_records()
+    );
+    let config = if vehicle {
+        PipelineConfig {
+            mode: ModeInferencer {
+                allow_car: true,
+                ..ModeInferencer::default()
+            },
+            policy: Box::new(VelocityPolicy::vehicles()),
+            ..PipelineConfig::default()
+        }
+    } else {
+        PipelineConfig::default()
+    };
+    let semitri = SeMiTri::new(&dataset.city, config);
+    let store = open(path)?;
+    for track in &dataset.tracks {
+        let out = semitri.annotate(&track.to_raw());
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: track.trajectory_id,
+                object_id: track.object_id,
+                record_count: out.cleaned.len() as u64,
+            })
+            .and_then(|_| store.put_episodes(track.trajectory_id, &out.episodes))
+            .and_then(|_| store.put_sst(&out.sst))
+            .map_err(|e| {
+                eprintln!("store write failed: {e}");
+                ExitCode::FAILURE
+            })?;
+    }
+    let (t, e, s) = store.counts();
+    println!("stored {t} trajectories, {e} episodes, {s} semantic trajectories → {path}");
+    Ok(())
+}
+
+fn run() -> Result<(), ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("generate") => {
+            let (Some(preset), Some(path)) = (it.next(), it.next()) else {
+                return Err(usage());
+            };
+            let seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+            let days = it.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+            generate(preset, path, seed, days)
+        }
+        Some("info") => {
+            let Some(path) = it.next() else { return Err(usage()) };
+            let store = open(path)?;
+            let (t, e, s) = store.counts();
+            println!("store {path}");
+            println!("  trajectories: {t}");
+            println!("  episodes:     {e}");
+            println!("  semantic trajectories: {s}");
+            if let Some(size) = store.log_size() {
+                println!("  log size: {size} bytes");
+            }
+            Ok(())
+        }
+        Some("objects") => {
+            let Some(path) = it.next() else { return Err(usage()) };
+            let store = open(path)?;
+            let mut seen = std::collections::BTreeMap::new();
+            for meta in store.trajectory_metas() {
+                *seen.entry(meta.object_id).or_insert(0usize) += 1;
+            }
+            for (object, count) in seen {
+                println!("object {object}: {count} trajectories");
+            }
+            Ok(())
+        }
+        Some("show") => {
+            let (Some(path), Some(id)) = (it.next(), it.next()) else {
+                return Err(usage());
+            };
+            let id: u64 = id.parse().map_err(|_| usage())?;
+            let store = open(path)?;
+            match store.get_sst(id) {
+                Some(sst) => {
+                    println!("{}", sst.render());
+                    Ok(())
+                }
+                None => {
+                    eprintln!("no semantic trajectory {id}");
+                    Err(ExitCode::FAILURE)
+                }
+            }
+        }
+        Some("query-mode") => {
+            let (Some(path), Some(mode)) = (it.next(), it.next()) else {
+                return Err(usage());
+            };
+            let Some(mode) = parse_mode(mode) else {
+                eprintln!("unknown mode");
+                return Err(ExitCode::from(2));
+            };
+            let store = open(path)?;
+            for id in store.ssts_with_mode(mode) {
+                println!("{id}");
+            }
+            Ok(())
+        }
+        Some("query-activity") => {
+            let (Some(path), Some(cat)) = (it.next(), it.next()) else {
+                return Err(usage());
+            };
+            let Some(cat) = parse_category(cat) else {
+                eprintln!("unknown category");
+                return Err(ExitCode::from(2));
+            };
+            let store = open(path)?;
+            for id in store.ssts_with_activity(cat) {
+                println!("{id}");
+            }
+            Ok(())
+        }
+        Some("stats") => {
+            let Some(path) = it.next() else { return Err(usage()) };
+            let store = open(path)?;
+            let stats = store.annotation_statistics();
+            println!("mode tuples:");
+            for m in TransportMode::ALL {
+                println!("  {:<8} {}", m.label(), stats.mode(m));
+            }
+            println!("activity tuples:");
+            for c in PoiCategory::ALL {
+                println!("  {:<12} {}", c.label(), stats.activity(c));
+            }
+            Ok(())
+        }
+        Some("export-kml") => {
+            let (Some(path), Some(id), Some(out)) = (it.next(), it.next(), it.next()) else {
+                return Err(usage());
+            };
+            let id: u64 = id.parse().map_err(|_| usage())?;
+            let store = open(path)?;
+            let Some(sst) = store.get_sst(id) else {
+                eprintln!("no semantic trajectory {id}");
+                return Err(ExitCode::FAILURE);
+            };
+            let doc = kml_document(&format!("semitri trajectory {id}"), &[sst_kml(&sst)]);
+            std::fs::write(out, doc).map_err(|e| {
+                eprintln!("cannot write {out}: {e}");
+                ExitCode::FAILURE
+            })?;
+            println!("wrote {out}");
+            Ok(())
+        }
+        Some("compact") => {
+            let Some(path) = it.next() else { return Err(usage()) };
+            let store = open(path)?;
+            let before = store.log_size().unwrap_or(0);
+            store.compact().map_err(|e| {
+                eprintln!("compaction failed: {e}");
+                ExitCode::FAILURE
+            })?;
+            let after = store.log_size().unwrap_or(0);
+            println!("compacted: {before} → {after} bytes");
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}

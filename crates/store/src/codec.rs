@@ -1,0 +1,215 @@
+//! A minimal length-prefixed binary codec.
+//!
+//! Hand-rolled rather than pulling `serde` + a format crate: the store's
+//! row set is small and fixed, the wire format stays inspectable and
+//! versioned by us, and the crate keeps zero serialization dependencies.
+//! All integers are little-endian; strings and sequences carry a `u32`
+//! length prefix.
+
+use std::io::{self, Read, Write};
+
+/// Writes primitive values to any [`Write`] sink.
+pub struct Encoder<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> Encoder<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        Self { sink }
+    }
+
+    /// Consumes the encoder, returning the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.sink.write_all(&[v])
+    }
+
+    /// Writes a `u32` (LE).
+    pub fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.sink.write_all(&v.to_le_bytes())
+    }
+
+    /// Writes a `u64` (LE).
+    pub fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.sink.write_all(&v.to_le_bytes())
+    }
+
+    /// Writes an `f64` (LE bit pattern).
+    pub fn f64(&mut self, v: f64) -> io::Result<()> {
+        self.sink.write_all(&v.to_le_bytes())
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// Fails with [`io::ErrorKind::InvalidInput`] for strings longer than
+    /// `u32::MAX` bytes.
+    pub fn string(&mut self, v: &str) -> io::Result<()> {
+        let len: u32 = v
+            .len()
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "string too long"))?;
+        self.u32(len)?;
+        self.sink.write_all(v.as_bytes())
+    }
+
+    /// Writes a sequence length prefix.
+    pub fn seq_len(&mut self, len: usize) -> io::Result<()> {
+        let len: u32 = len
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "sequence too long"))?;
+        self.u32(len)
+    }
+}
+
+/// Reads primitive values from any [`Read`] source.
+pub struct Decoder<R: Read> {
+    source: R,
+}
+
+/// Upper bound accepted for any decoded length prefix; guards against
+/// allocating gigabytes on a corrupt file.
+const MAX_LEN: u32 = 256 * 1024 * 1024;
+
+impl<R: Read> Decoder<R> {
+    /// Wraps a source.
+    pub fn new(source: R) -> Self {
+        Self { source }
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.source.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.source.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.source.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.source.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// Fails with [`io::ErrorKind::InvalidData`] on oversized prefixes or
+    /// invalid UTF-8.
+    pub fn string(&mut self) -> io::Result<String> {
+        let len = self.u32()?;
+        if len > MAX_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "string length prefix too large",
+            ));
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.source.read_exact(&mut buf)?;
+        String::from_utf8(buf)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8"))
+    }
+
+    /// Reads a sequence length prefix.
+    ///
+    /// # Errors
+    /// Fails with [`io::ErrorKind::InvalidData`] on oversized prefixes.
+    pub fn seq_len(&mut self) -> io::Result<usize> {
+        let len = self.u32()?;
+        if len > MAX_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sequence length prefix too large",
+            ));
+        }
+        Ok(len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u8(7).unwrap();
+        enc.u32(0xdead_beef).unwrap();
+        enc.u64(u64::MAX).unwrap();
+        enc.f64(-13.25).unwrap();
+        enc.f64(f64::INFINITY).unwrap();
+        enc.string("héllo").unwrap();
+        enc.string("").unwrap();
+        enc.seq_len(42).unwrap();
+        let bytes = enc.into_inner();
+
+        let mut dec = Decoder::new(bytes.as_slice());
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        assert_eq!(dec.f64().unwrap(), -13.25);
+        assert_eq!(dec.f64().unwrap(), f64::INFINITY);
+        assert_eq!(dec.string().unwrap(), "héllo");
+        assert_eq!(dec.string().unwrap(), "");
+        assert_eq!(dec.seq_len().unwrap(), 42);
+        // exhausted
+        assert!(dec.u8().is_err());
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.f64(f64::NAN).unwrap();
+        let bytes = enc.into_inner();
+        let mut dec = Decoder::new(bytes.as_slice());
+        assert!(dec.f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.string("hello world").unwrap();
+        let bytes = enc.into_inner();
+        let mut dec = Decoder::new(&bytes[..bytes.len() - 3]);
+        assert!(dec.string().is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u32(u32::MAX).unwrap(); // absurd string length
+        let bytes = enc.into_inner();
+        let mut dec = Decoder::new(bytes.as_slice());
+        let err = dec.string().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u32(2).unwrap();
+        let mut bytes = enc.into_inner();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut dec = Decoder::new(bytes.as_slice());
+        assert!(dec.string().is_err());
+    }
+}

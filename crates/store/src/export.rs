@@ -1,0 +1,135 @@
+//! KML export of annotated trajectories.
+//!
+//! Stands in for the paper's web interface \[31\]: the experiments there
+//! render trajectories and their annotations as KML in Google Earth
+//! (Figs. 15–16). This module writes the same information as plain KML
+//! text so any geo viewer can display the results.
+
+use semitri_core::model::{AnnotationValue, StructuredSemanticTrajectory};
+use semitri_data::RawTrajectory;
+use semitri_geo::{GeoPoint, LocalProjection};
+use std::fmt::Write as _;
+
+/// Escapes the five XML special characters.
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&apos;")
+}
+
+/// Renders a raw trajectory as a KML `LineString` placemark. `projection`
+/// converts the local planar coordinates back to WGS-84.
+pub fn raw_trajectory_kml(traj: &RawTrajectory, projection: &LocalProjection) -> String {
+    let mut coords = String::new();
+    for r in traj.records() {
+        let g: GeoPoint = projection.to_geo(r.point);
+        let _ = write!(coords, "{:.6},{:.6},0 ", g.lon, g.lat);
+    }
+    format!(
+        "<Placemark>\n  <name>trajectory {} (object {})</name>\n  <LineString><coordinates>{}</coordinates></LineString>\n</Placemark>",
+        traj.trajectory_id,
+        traj.object_id,
+        coords.trim_end()
+    )
+}
+
+/// Renders a structured semantic trajectory as a KML folder: one placemark
+/// per episode tuple with its place label and annotations in the
+/// description — the textual equivalent of the paper's Fig. 15(d) table.
+pub fn sst_kml(sst: &StructuredSemanticTrajectory) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<Folder>\n  <name>semantic trajectory {} (object {})</name>",
+        sst.trajectory_id, sst.object_id
+    );
+    for (i, t) in sst.tuples.iter().enumerate() {
+        let place = t
+            .place
+            .as_ref()
+            .map(|p| xml_escape(&p.label))
+            .unwrap_or_else(|| "?".to_string());
+        let mut desc = format!("{} – {}", t.span.start, t.span.end);
+        for a in &t.annotations {
+            let v = match &a.value {
+                AnnotationValue::Mode(m) => m.label().to_string(),
+                AnnotationValue::Activity(c) => c.label().to_string(),
+                AnnotationValue::Text(s) => xml_escape(s),
+                AnnotationValue::Number(n) => format!("{n:.3}"),
+            };
+            let _ = write!(desc, "; {}={}", xml_escape(&a.key), v);
+        }
+        let _ = writeln!(
+            out,
+            "  <Placemark>\n    <name>{i}: {place}</name>\n    <description>{desc}</description>\n  </Placemark>"
+        );
+    }
+    out.push_str("</Folder>");
+    out
+}
+
+/// Wraps placemark fragments into a complete KML document.
+pub fn kml_document(name: &str, fragments: &[String]) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<kml xmlns=\"http://www.opengis.net/kml/2.2\">\n<Document>\n");
+    let _ = writeln!(out, "  <name>{}</name>", xml_escape(name));
+    for f in fragments {
+        out.push_str(f);
+        out.push('\n');
+    }
+    out.push_str("</Document>\n</kml>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_core::model::{Annotation, PlaceKind, PlaceRef, SemanticTuple};
+    use semitri_data::{GpsRecord, TransportMode};
+    use semitri_geo::{Point, TimeSpan, Timestamp};
+
+    #[test]
+    fn raw_kml_contains_coordinates() {
+        let proj = LocalProjection::new(GeoPoint::new(6.63, 46.52));
+        let traj = RawTrajectory::new(
+            3,
+            5,
+            vec![
+                GpsRecord::new(Point::new(0.0, 0.0), Timestamp(0.0)),
+                GpsRecord::new(Point::new(1_000.0, 0.0), Timestamp(10.0)),
+            ],
+        );
+        let kml = raw_trajectory_kml(&traj, &proj);
+        assert!(kml.contains("<LineString>"));
+        assert!(kml.contains("6.630000,46.520000,0"));
+        assert!(kml.contains("trajectory 5 (object 3)"));
+    }
+
+    #[test]
+    fn sst_kml_lists_tuples_with_annotations() {
+        let sst = StructuredSemanticTrajectory {
+            object_id: 1,
+            trajectory_id: 2,
+            tuples: vec![SemanticTuple {
+                place: Some(PlaceRef::new(PlaceKind::Line, 9, "M1 <metro>")),
+                span: TimeSpan::new(Timestamp(0.0), Timestamp(60.0)),
+                annotations: vec![Annotation::mode(TransportMode::Metro)],
+            }],
+        };
+        let kml = sst_kml(&sst);
+        assert!(kml.contains("M1 &lt;metro&gt;"));
+        assert!(kml.contains("mode=metro"));
+        assert!(!kml.contains("<metro>"));
+    }
+
+    #[test]
+    fn document_wraps_fragments() {
+        let doc = kml_document("test & demo", &["<Placemark/>".to_string()]);
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("test &amp; demo"));
+        assert!(doc.contains("<Placemark/>"));
+        assert!(doc.ends_with("</kml>\n"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # semitri-store — the Semantic Trajectory Store
+//!
+//! The paper persists SeMiTri's outputs in PostgreSQL/PostGIS with
+//! "dedicated tables for GPS records, trajectories, stops/moves, and
+//! annotations" (§5.1). This crate is the embedded Rust equivalent:
+//!
+//! * [`codec`] — a dependency-free, length-prefixed binary codec for the
+//!   store's row types;
+//! * [`store`] — the [`SemanticTrajectoryStore`]: tables for trajectory
+//!   metadata, episodes and structured semantic trajectories, with
+//!   time-range and spatial queries, an in-memory mode, and a *durable*
+//!   mode that appends every write to a synced log file — the realistic
+//!   write cost behind the storage bars of Fig. 17;
+//! * [`export`] — KML export of annotated trajectories, standing in for
+//!   the paper's Google-Earth web interface (Figs. 15–16).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod export;
+pub mod store;
+
+pub use store::{
+    AnnotationStats, SemanticTrajectoryStore, StoreError, StoredEpisode, TrajectoryMeta,
+};

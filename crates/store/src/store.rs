@@ -1,0 +1,982 @@
+//! The Semantic Trajectory Store.
+//!
+//! Tables mirror the paper's PostGIS schema (§5.1): trajectory metadata,
+//! stop/move episodes and the final structured semantic trajectories,
+//! queryable by object, time range and space (an R\*-tree over episode
+//! bounding boxes plays the role of the GiST index).
+//!
+//! Two write modes:
+//!
+//! * **in-memory** — everything lives in the process;
+//! * **durable** — every write batch is also appended to a log file and
+//!   flushed with `sync_data`, reproducing the realistic "storing
+//!   dominates computing" latency profile of Fig. 17.
+
+use crate::codec::{Decoder, Encoder};
+use parking_lot::Mutex;
+use semitri_core::model::{
+    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple,
+    StructuredSemanticTrajectory,
+};
+use semitri_data::{PoiCategory, TransportMode};
+use semitri_episodes::{Episode, EpisodeKind};
+use semitri_geo::{Rect, TimeSpan, Timestamp};
+use semitri_index::RStarTree;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Store errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failure.
+    Io(io::Error),
+    /// The log file is corrupt or from an incompatible version.
+    Corrupt(String),
+    /// A write referenced a trajectory that was never registered.
+    UnknownTrajectory(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt store log: {m}"),
+            StoreError::UnknownTrajectory(id) => {
+                write!(f, "unknown trajectory id {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Trajectory metadata row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryMeta {
+    /// Trajectory id (primary key).
+    pub trajectory_id: u64,
+    /// Moving object id.
+    pub object_id: u64,
+    /// Number of raw GPS records the trajectory had.
+    pub record_count: u64,
+}
+
+/// Episode row: a stop/move episode of a stored trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEpisode {
+    /// Owning trajectory.
+    pub trajectory_id: u64,
+    /// Position within the trajectory's episode list.
+    pub index: u32,
+    /// Stop or move.
+    pub kind: EpisodeKind,
+    /// Entering/leaving times.
+    pub span: TimeSpan,
+    /// Spatial extent.
+    pub bbox: Rect,
+}
+
+const MAGIC: u32 = 0x5357_5254; // "SWRT"
+const VERSION: u8 = 1;
+
+const REC_META: u8 = 1;
+const REC_EPISODE: u8 = 2;
+const REC_SST: u8 = 3;
+
+#[derive(Default)]
+struct Inner {
+    metas: HashMap<u64, TrajectoryMeta>,
+    episodes: Vec<StoredEpisode>,
+    /// spatial index over episode bboxes → index into `episodes`
+    spatial: RStarTree<usize>,
+    ssts: HashMap<u64, StructuredSemanticTrajectory>,
+}
+
+/// The embedded semantic trajectory store.
+///
+/// ```
+/// use semitri_store::{SemanticTrajectoryStore, TrajectoryMeta};
+///
+/// let store = SemanticTrajectoryStore::in_memory();
+/// store.put_trajectory(TrajectoryMeta {
+///     trajectory_id: 1,
+///     object_id: 9,
+///     record_count: 1_000,
+/// }).unwrap();
+/// assert_eq!(store.trajectories_of(9), vec![1]);
+/// assert_eq!(store.counts(), (1, 0, 0));
+/// ```
+pub struct SemanticTrajectoryStore {
+    inner: Mutex<Inner>,
+    log: Option<Mutex<BufWriter<File>>>,
+    path: Option<PathBuf>,
+}
+
+impl SemanticTrajectoryStore {
+    /// Creates an empty in-memory store.
+    pub fn in_memory() -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            log: None,
+            path: None,
+        }
+    }
+
+    /// Opens (or creates) a durable store backed by a synced log file.
+    /// Existing contents are replayed into memory.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a corrupt log.
+    pub fn open_durable(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut inner = Inner::default();
+        if path.exists() {
+            replay(&path, &mut inner)?;
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if file.metadata()?.len() == 0 {
+            let mut enc = Encoder::new(&mut file);
+            enc.u32(MAGIC)?;
+            enc.u8(VERSION)?;
+            file.sync_data()?;
+        }
+        Ok(Self {
+            inner: Mutex::new(inner),
+            log: Some(Mutex::new(BufWriter::new(file))),
+            path: Some(path),
+        })
+    }
+
+    /// The backing file path, when durable.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    fn append(&self, write: impl FnOnce(&mut Encoder<&mut BufWriter<File>>) -> io::Result<()>) -> Result<(), StoreError> {
+        if let Some(log) = &self.log {
+            let mut guard = log.lock();
+            {
+                let mut enc = Encoder::new(&mut *guard);
+                write(&mut enc)?;
+            }
+            guard.flush()?;
+            guard.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Registers a trajectory's metadata.
+    ///
+    /// # Errors
+    /// Fails only on durable-log I/O errors.
+    pub fn put_trajectory(&self, meta: TrajectoryMeta) -> Result<(), StoreError> {
+        self.append(|enc| {
+            enc.u8(REC_META)?;
+            enc.u64(meta.trajectory_id)?;
+            enc.u64(meta.object_id)?;
+            enc.u64(meta.record_count)
+        })?;
+        self.inner.lock().metas.insert(meta.trajectory_id, meta);
+        Ok(())
+    }
+
+    /// Stores the stop/move episodes of a registered trajectory.
+    ///
+    /// # Errors
+    /// Fails when the trajectory is unknown or on log I/O errors.
+    pub fn put_episodes(&self, trajectory_id: u64, episodes: &[Episode]) -> Result<(), StoreError> {
+        {
+            let inner = self.inner.lock();
+            if !inner.metas.contains_key(&trajectory_id) {
+                return Err(StoreError::UnknownTrajectory(trajectory_id));
+            }
+        }
+        self.append(|enc| {
+            for (i, e) in episodes.iter().enumerate() {
+                enc.u8(REC_EPISODE)?;
+                enc.u64(trajectory_id)?;
+                enc.u32(i as u32)?;
+                enc.u8(match e.kind {
+                    EpisodeKind::Stop => 0,
+                    EpisodeKind::Move => 1,
+                })?;
+                enc.f64(e.span.start.0)?;
+                enc.f64(e.span.end.0)?;
+                enc.f64(e.bbox.min_x)?;
+                enc.f64(e.bbox.min_y)?;
+                enc.f64(e.bbox.max_x)?;
+                enc.f64(e.bbox.max_y)?;
+            }
+            Ok(())
+        })?;
+        let mut inner = self.inner.lock();
+        for (i, e) in episodes.iter().enumerate() {
+            let row = StoredEpisode {
+                trajectory_id,
+                index: i as u32,
+                kind: e.kind,
+                span: e.span,
+                bbox: e.bbox,
+            };
+            let idx = inner.episodes.len();
+            if !row.bbox.is_empty() {
+                inner.spatial.insert(row.bbox, idx);
+            }
+            inner.episodes.push(row);
+        }
+        Ok(())
+    }
+
+    /// Stores a structured semantic trajectory (replacing any previous one
+    /// for the same id).
+    ///
+    /// # Errors
+    /// Fails when the trajectory is unknown or on log I/O errors.
+    pub fn put_sst(&self, sst: &StructuredSemanticTrajectory) -> Result<(), StoreError> {
+        {
+            let inner = self.inner.lock();
+            if !inner.metas.contains_key(&sst.trajectory_id) {
+                return Err(StoreError::UnknownTrajectory(sst.trajectory_id));
+            }
+        }
+        self.append(|enc| encode_sst(enc, sst))?;
+        self.inner.lock().ssts.insert(sst.trajectory_id, sst.clone());
+        Ok(())
+    }
+
+    /// Fetches trajectory metadata.
+    pub fn get_trajectory(&self, trajectory_id: u64) -> Option<TrajectoryMeta> {
+        self.inner.lock().metas.get(&trajectory_id).cloned()
+    }
+
+    /// All trajectory metadata rows, sorted by trajectory id.
+    pub fn trajectory_metas(&self) -> Vec<TrajectoryMeta> {
+        let inner = self.inner.lock();
+        let mut out: Vec<TrajectoryMeta> = inner.metas.values().cloned().collect();
+        out.sort_by_key(|m| m.trajectory_id);
+        out
+    }
+
+    /// Fetches a stored structured semantic trajectory.
+    pub fn get_sst(&self, trajectory_id: u64) -> Option<StructuredSemanticTrajectory> {
+        self.inner.lock().ssts.get(&trajectory_id).cloned()
+    }
+
+    /// All trajectory ids of one moving object, sorted.
+    pub fn trajectories_of(&self, object_id: u64) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut ids: Vec<u64> = inner
+            .metas
+            .values()
+            .filter(|m| m.object_id == object_id)
+            .map(|m| m.trajectory_id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Episodes overlapping a time window.
+    pub fn episodes_in_time(&self, window: TimeSpan) -> Vec<StoredEpisode> {
+        let inner = self.inner.lock();
+        inner
+            .episodes
+            .iter()
+            .filter(|e| e.span.overlaps(&window))
+            .cloned()
+            .collect()
+    }
+
+    /// Episodes whose bounding box intersects a spatial window (served by
+    /// the R\*-tree).
+    pub fn episodes_in_rect(&self, window: &Rect) -> Vec<StoredEpisode> {
+        let inner = self.inner.lock();
+        let mut out: Vec<StoredEpisode> = inner
+            .spatial
+            .query(window)
+            .into_iter()
+            .map(|(_, &idx)| inner.episodes[idx].clone())
+            .collect();
+        out.sort_by_key(|e| (e.trajectory_id, e.index));
+        out
+    }
+
+    /// Counts: `(trajectories, episodes, ssts)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock();
+        (inner.metas.len(), inner.episodes.len(), inner.ssts.len())
+    }
+
+    /// Trajectory ids whose semantic trajectory contains at least one
+    /// tuple annotated with the given transport mode, sorted.
+    pub fn ssts_with_mode(&self, mode: TransportMode) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut ids: Vec<u64> = inner
+            .ssts
+            .values()
+            .filter(|sst| {
+                sst.tuples.iter().any(|t| {
+                    t.annotations
+                        .iter()
+                        .any(|a| matches!(a.value, AnnotationValue::Mode(m) if m == mode))
+                })
+            })
+            .map(|sst| sst.trajectory_id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Trajectory ids whose semantic trajectory contains at least one stop
+    /// annotated with the given activity category, sorted.
+    pub fn ssts_with_activity(&self, cat: PoiCategory) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut ids: Vec<u64> = inner
+            .ssts
+            .values()
+            .filter(|sst| {
+                sst.tuples.iter().any(|t| {
+                    t.annotations
+                        .iter()
+                        .any(|a| matches!(a.value, AnnotationValue::Activity(c) if c == cat))
+                })
+            })
+            .map(|sst| sst.trajectory_id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Aggregate annotation statistics over all stored semantic
+    /// trajectories: tuple counts per transport mode and per activity
+    /// category — the "aggregative information" the paper's Analytics
+    /// Layer persists in the store.
+    pub fn annotation_statistics(&self) -> AnnotationStats {
+        let inner = self.inner.lock();
+        let mut stats = AnnotationStats::default();
+        for sst in inner.ssts.values() {
+            for t in &sst.tuples {
+                for a in &t.annotations {
+                    match a.value {
+                        AnnotationValue::Mode(m) => {
+                            stats.mode_tuples[mode_code(m) as usize] += 1;
+                        }
+                        AnnotationValue::Activity(c) => {
+                            stats.activity_tuples[c.ordinal()] += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl SemanticTrajectoryStore {
+    /// Rewrites the durable log to contain exactly the current state
+    /// (dropping superseded SST versions), atomically replacing the file.
+    /// No-op for in-memory stores.
+    ///
+    /// # Errors
+    /// Fails on I/O errors; the original log is left untouched on failure.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let Some(log) = &self.log else {
+            return Ok(());
+        };
+        let tmp = path.with_extension("stlog.tmp");
+        {
+            let file = File::create(&tmp)?;
+            let mut writer = BufWriter::new(file);
+            let inner = self.inner.lock();
+            {
+                let mut enc = Encoder::new(&mut writer);
+                enc.u32(MAGIC)?;
+                enc.u8(VERSION)?;
+                for m in inner.metas.values() {
+                    enc.u8(REC_META)?;
+                    enc.u64(m.trajectory_id)?;
+                    enc.u64(m.object_id)?;
+                    enc.u64(m.record_count)?;
+                }
+                for e in &inner.episodes {
+                    enc.u8(REC_EPISODE)?;
+                    enc.u64(e.trajectory_id)?;
+                    enc.u32(e.index)?;
+                    enc.u8(match e.kind {
+                        EpisodeKind::Stop => 0,
+                        EpisodeKind::Move => 1,
+                    })?;
+                    enc.f64(e.span.start.0)?;
+                    enc.f64(e.span.end.0)?;
+                    enc.f64(e.bbox.min_x)?;
+                    enc.f64(e.bbox.min_y)?;
+                    enc.f64(e.bbox.max_x)?;
+                    enc.f64(e.bbox.max_y)?;
+                }
+                for sst in inner.ssts.values() {
+                    encode_sst(&mut enc, sst)?;
+                }
+            }
+            writer.flush()?;
+            writer.get_ref().sync_data()?;
+        }
+        // swap in the compacted log under the writer lock so concurrent
+        // appends cannot interleave with the rename
+        let mut guard = log.lock();
+        guard.flush()?;
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        *guard = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Size of the durable log in bytes (`None` for in-memory stores).
+    pub fn log_size(&self) -> Option<u64> {
+        let path = self.path.as_ref()?;
+        std::fs::metadata(path).ok().map(|m| m.len())
+    }
+}
+
+/// Aggregate tuple counts per annotation value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnnotationStats {
+    /// Tuple counts per transport mode, indexed like [`TransportMode::ALL`].
+    pub mode_tuples: [usize; 5],
+    /// Tuple counts per activity category, indexed like
+    /// [`PoiCategory::ALL`].
+    pub activity_tuples: [usize; 5],
+}
+
+impl AnnotationStats {
+    /// Tuple count of a transport mode.
+    pub fn mode(&self, m: TransportMode) -> usize {
+        self.mode_tuples[mode_code(m) as usize]
+    }
+
+    /// Tuple count of an activity category.
+    pub fn activity(&self, c: PoiCategory) -> usize {
+        self.activity_tuples[c.ordinal()]
+    }
+}
+
+fn encode_sst(
+    enc: &mut Encoder<impl Write>,
+    sst: &StructuredSemanticTrajectory,
+) -> io::Result<()> {
+    enc.u8(REC_SST)?;
+    enc.u64(sst.trajectory_id)?;
+    enc.u64(sst.object_id)?;
+    enc.seq_len(sst.tuples.len())?;
+    for t in &sst.tuples {
+        match &t.place {
+            None => enc.u8(0)?,
+            Some(p) => {
+                enc.u8(1)?;
+                enc.u8(match p.kind {
+                    PlaceKind::Region => 0,
+                    PlaceKind::Line => 1,
+                    PlaceKind::Point => 2,
+                })?;
+                enc.u64(p.id)?;
+                enc.string(&p.label)?;
+            }
+        }
+        enc.f64(t.span.start.0)?;
+        enc.f64(t.span.end.0)?;
+        enc.seq_len(t.annotations.len())?;
+        for a in &t.annotations {
+            enc.string(&a.key)?;
+            match &a.value {
+                AnnotationValue::Mode(m) => {
+                    enc.u8(0)?;
+                    enc.u8(mode_code(*m))?;
+                }
+                AnnotationValue::Activity(c) => {
+                    enc.u8(1)?;
+                    enc.u8(c.ordinal() as u8)?;
+                }
+                AnnotationValue::Text(s) => {
+                    enc.u8(2)?;
+                    enc.string(s)?;
+                }
+                AnnotationValue::Number(n) => {
+                    enc.u8(3)?;
+                    enc.f64(*n)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn mode_code(m: TransportMode) -> u8 {
+    TransportMode::ALL
+        .iter()
+        .position(|&x| x == m)
+        .expect("mode in ALL") as u8
+}
+
+fn mode_from(code: u8) -> Result<TransportMode, StoreError> {
+    TransportMode::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| StoreError::Corrupt(format!("bad mode code {code}")))
+}
+
+fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
+    let file = File::open(path)?;
+    let mut dec = Decoder::new(BufReader::new(file));
+    let magic = dec.u32().map_err(|_| StoreError::Corrupt("missing header".to_string()))?;
+    if magic != MAGIC {
+        return Err(StoreError::Corrupt("bad magic".to_string()));
+    }
+    let version = dec.u8()?;
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!("unsupported version {version}")));
+    }
+    loop {
+        let tag = match dec.u8() {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        };
+        match tag {
+            REC_META => {
+                let trajectory_id = dec.u64()?;
+                let object_id = dec.u64()?;
+                let record_count = dec.u64()?;
+                inner.metas.insert(
+                    trajectory_id,
+                    TrajectoryMeta {
+                        trajectory_id,
+                        object_id,
+                        record_count,
+                    },
+                );
+            }
+            REC_EPISODE => {
+                let trajectory_id = dec.u64()?;
+                let index = dec.u32()?;
+                let kind = match dec.u8()? {
+                    0 => EpisodeKind::Stop,
+                    1 => EpisodeKind::Move,
+                    k => return Err(StoreError::Corrupt(format!("bad episode kind {k}"))),
+                };
+                let start = dec.f64()?;
+                let end = dec.f64()?;
+                if end < start {
+                    return Err(StoreError::Corrupt("episode span reversed".to_string()));
+                }
+                let bbox = Rect {
+                    min_x: dec.f64()?,
+                    min_y: dec.f64()?,
+                    max_x: dec.f64()?,
+                    max_y: dec.f64()?,
+                };
+                let row = StoredEpisode {
+                    trajectory_id,
+                    index,
+                    kind,
+                    span: TimeSpan::new(Timestamp(start), Timestamp(end)),
+                    bbox,
+                };
+                let idx = inner.episodes.len();
+                if !row.bbox.is_empty() {
+                    inner.spatial.insert(row.bbox, idx);
+                }
+                inner.episodes.push(row);
+            }
+            REC_SST => {
+                let trajectory_id = dec.u64()?;
+                let object_id = dec.u64()?;
+                let n = dec.seq_len()?;
+                let mut tuples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let place = match dec.u8()? {
+                        0 => None,
+                        1 => {
+                            let kind = match dec.u8()? {
+                                0 => PlaceKind::Region,
+                                1 => PlaceKind::Line,
+                                2 => PlaceKind::Point,
+                                k => {
+                                    return Err(StoreError::Corrupt(format!(
+                                        "bad place kind {k}"
+                                    )))
+                                }
+                            };
+                            let id = dec.u64()?;
+                            let label = dec.string()?;
+                            Some(PlaceRef::new(kind, id, label))
+                        }
+                        k => return Err(StoreError::Corrupt(format!("bad place tag {k}"))),
+                    };
+                    let start = dec.f64()?;
+                    let end = dec.f64()?;
+                    if end < start {
+                        return Err(StoreError::Corrupt("tuple span reversed".to_string()));
+                    }
+                    let n_ann = dec.seq_len()?;
+                    let mut annotations = Vec::with_capacity(n_ann);
+                    for _ in 0..n_ann {
+                        let key = dec.string()?;
+                        let value = match dec.u8()? {
+                            0 => AnnotationValue::Mode(mode_from(dec.u8()?)?),
+                            1 => {
+                                let ord = dec.u8()? as usize;
+                                let cat = PoiCategory::ALL.get(ord).copied().ok_or_else(|| {
+                                    StoreError::Corrupt(format!("bad category {ord}"))
+                                })?;
+                                AnnotationValue::Activity(cat)
+                            }
+                            2 => AnnotationValue::Text(dec.string()?),
+                            3 => AnnotationValue::Number(dec.f64()?),
+                            k => {
+                                return Err(StoreError::Corrupt(format!(
+                                    "bad annotation tag {k}"
+                                )))
+                            }
+                        };
+                        annotations.push(Annotation::new(key, value));
+                    }
+                    tuples.push(SemanticTuple {
+                        place,
+                        span: TimeSpan::new(Timestamp(start), Timestamp(end)),
+                        annotations,
+                    });
+                }
+                inner.ssts.insert(
+                    trajectory_id,
+                    StructuredSemanticTrajectory {
+                        object_id,
+                        trajectory_id,
+                        tuples,
+                    },
+                );
+            }
+            t => return Err(StoreError::Corrupt(format!("unknown record tag {t}"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_geo::Point;
+
+    fn episode(kind: EpisodeKind, t0: f64, t1: f64, x: f64) -> Episode {
+        Episode {
+            kind,
+            start: 0,
+            end: 1,
+            span: TimeSpan::new(Timestamp(t0), Timestamp(t1)),
+            bbox: Rect::new(x, 0.0, x + 10.0, 10.0),
+            center: Point::new(x + 5.0, 5.0),
+        }
+    }
+
+    fn sample_sst(id: u64) -> StructuredSemanticTrajectory {
+        StructuredSemanticTrajectory {
+            object_id: 9,
+            trajectory_id: id,
+            tuples: vec![
+                SemanticTuple {
+                    place: Some(PlaceRef::new(PlaceKind::Region, 4, "home")),
+                    span: TimeSpan::new(Timestamp(0.0), Timestamp(100.0)),
+                    annotations: vec![Annotation::activity(PoiCategory::PersonLife)],
+                },
+                SemanticTuple {
+                    place: Some(PlaceRef::new(PlaceKind::Line, 11, "Rue R4")),
+                    span: TimeSpan::new(Timestamp(100.0), Timestamp(200.0)),
+                    annotations: vec![
+                        Annotation::mode(TransportMode::Metro),
+                        Annotation::new("avg_speed", AnnotationValue::Number(15.5)),
+                        Annotation::new("note", AnnotationValue::Text("rush hour".to_string())),
+                    ],
+                },
+                SemanticTuple {
+                    place: None,
+                    span: TimeSpan::new(Timestamp(200.0), Timestamp(300.0)),
+                    annotations: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn in_memory_crud() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 9,
+                record_count: 500,
+            })
+            .unwrap();
+        store
+            .put_episodes(1, &[episode(EpisodeKind::Stop, 0.0, 100.0, 0.0)])
+            .unwrap();
+        store.put_sst(&sample_sst(1)).unwrap();
+
+        assert_eq!(store.counts(), (1, 1, 1));
+        assert_eq!(store.get_trajectory(1).unwrap().record_count, 500);
+        assert_eq!(store.get_sst(1).unwrap(), sample_sst(1));
+        assert_eq!(store.trajectories_of(9), vec![1]);
+        assert!(store.trajectories_of(404).is_empty());
+    }
+
+    #[test]
+    fn unknown_trajectory_rejected() {
+        let store = SemanticTrajectoryStore::in_memory();
+        let err = store
+            .put_episodes(99, &[episode(EpisodeKind::Stop, 0.0, 1.0, 0.0)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::UnknownTrajectory(99)));
+        assert!(store.put_sst(&sample_sst(99)).is_err());
+    }
+
+    #[test]
+    fn time_and_space_queries() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 10,
+            })
+            .unwrap();
+        store
+            .put_episodes(
+                1,
+                &[
+                    episode(EpisodeKind::Stop, 0.0, 100.0, 0.0),
+                    episode(EpisodeKind::Move, 100.0, 200.0, 500.0),
+                    episode(EpisodeKind::Stop, 200.0, 300.0, 1_000.0),
+                ],
+            )
+            .unwrap();
+
+        let in_time = store.episodes_in_time(TimeSpan::new(Timestamp(150.0), Timestamp(250.0)));
+        assert_eq!(in_time.len(), 2);
+
+        let in_space = store.episodes_in_rect(&Rect::new(400.0, 0.0, 600.0, 10.0));
+        assert_eq!(in_space.len(), 1);
+        assert_eq!(in_space[0].kind, EpisodeKind::Move);
+    }
+
+    #[test]
+    fn durable_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("semitri-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t1.stlog");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+            store
+                .put_trajectory(TrajectoryMeta {
+                    trajectory_id: 7,
+                    object_id: 2,
+                    record_count: 42,
+                })
+                .unwrap();
+            store
+                .put_episodes(
+                    7,
+                    &[
+                        episode(EpisodeKind::Stop, 0.0, 60.0, 0.0),
+                        episode(EpisodeKind::Move, 60.0, 120.0, 100.0),
+                    ],
+                )
+                .unwrap();
+            store.put_sst(&sample_sst(7)).unwrap();
+        }
+
+        // reopen and verify replay
+        let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        assert_eq!(store.counts(), (1, 2, 1));
+        assert_eq!(store.get_sst(7).unwrap(), sample_sst(7));
+        assert_eq!(store.get_trajectory(7).unwrap().record_count, 42);
+        let eps = store.episodes_in_time(TimeSpan::new(Timestamp(0.0), Timestamp(30.0)));
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].kind, EpisodeKind::Stop);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_log_detected() {
+        let dir = std::env::temp_dir().join(format!("semitri-store-c-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.stlog");
+        std::fs::write(&path, b"not a store log at all").unwrap();
+        let err = SemanticTrajectoryStore::open_durable(&path).err().expect("corrupt");
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sst_overwrite_replaces() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 1,
+            })
+            .unwrap();
+        store.put_sst(&sample_sst(1)).unwrap();
+        let mut v2 = sample_sst(1);
+        v2.tuples.truncate(1);
+        store.put_sst(&v2).unwrap();
+        assert_eq!(store.get_sst(1).unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+    use semitri_geo::Point;
+
+    fn sample_sst(id: u64, tuples: usize) -> StructuredSemanticTrajectory {
+        StructuredSemanticTrajectory {
+            object_id: 1,
+            trajectory_id: id,
+            tuples: (0..tuples)
+                .map(|i| SemanticTuple {
+                    place: Some(PlaceRef::new(PlaceKind::Region, i as u64, "cell")),
+                    span: TimeSpan::new(Timestamp(i as f64), Timestamp(i as f64 + 1.0)),
+                    annotations: vec![Annotation::mode(TransportMode::Walk)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_state() {
+        let dir = std::env::temp_dir().join(format!("semitri-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.stlog");
+        let _ = std::fs::remove_file(&path);
+
+        let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 100,
+            })
+            .unwrap();
+        // overwrite the same SST many times: the log accumulates versions
+        for k in 1..=20 {
+            store.put_sst(&sample_sst(1, k)).unwrap();
+        }
+        let before = store.log_size().unwrap();
+        store.compact().unwrap();
+        let after = store.log_size().unwrap();
+        assert!(after < before, "compaction {before} -> {after}");
+
+        // state survives compaction and subsequent appends
+        store.put_sst(&sample_sst(1, 3)).unwrap();
+        drop(store);
+        let reopened = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        assert_eq!(reopened.get_sst(1).unwrap().len(), 3);
+        assert_eq!(reopened.counts().0, 1);
+
+        let _ = Point::ORIGIN;
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_in_memory_is_noop() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store.compact().unwrap();
+        assert_eq!(store.log_size(), None);
+    }
+}
+
+#[cfg(test)]
+mod annotation_query_tests {
+    use super::*;
+    use semitri_geo::Point;
+
+    fn sst(id: u64, mode: TransportMode, act: PoiCategory) -> StructuredSemanticTrajectory {
+        StructuredSemanticTrajectory {
+            object_id: 1,
+            trajectory_id: id,
+            tuples: vec![
+                SemanticTuple {
+                    place: None,
+                    span: TimeSpan::new(Timestamp(0.0), Timestamp(10.0)),
+                    annotations: vec![Annotation::mode(mode)],
+                },
+                SemanticTuple {
+                    place: Some(PlaceRef::new(PlaceKind::Point, 3, "poi")),
+                    span: TimeSpan::new(Timestamp(10.0), Timestamp(20.0)),
+                    annotations: vec![Annotation::activity(act)],
+                },
+            ],
+        }
+    }
+
+    fn store_with(ssts: &[StructuredSemanticTrajectory]) -> SemanticTrajectoryStore {
+        let store = SemanticTrajectoryStore::in_memory();
+        for s in ssts {
+            store
+                .put_trajectory(TrajectoryMeta {
+                    trajectory_id: s.trajectory_id,
+                    object_id: s.object_id,
+                    record_count: 10,
+                })
+                .unwrap();
+            store.put_sst(s).unwrap();
+        }
+        let _ = Point::ORIGIN;
+        store
+    }
+
+    #[test]
+    fn query_by_mode_and_activity() {
+        let store = store_with(&[
+            sst(1, TransportMode::Metro, PoiCategory::Feedings),
+            sst(2, TransportMode::Walk, PoiCategory::ItemSale),
+            sst(3, TransportMode::Metro, PoiCategory::ItemSale),
+        ]);
+        assert_eq!(store.ssts_with_mode(TransportMode::Metro), vec![1, 3]);
+        assert_eq!(store.ssts_with_mode(TransportMode::Bus), Vec::<u64>::new());
+        assert_eq!(store.ssts_with_activity(PoiCategory::ItemSale), vec![2, 3]);
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let store = store_with(&[
+            sst(1, TransportMode::Metro, PoiCategory::Feedings),
+            sst(2, TransportMode::Metro, PoiCategory::ItemSale),
+        ]);
+        let stats = store.annotation_statistics();
+        assert_eq!(stats.mode(TransportMode::Metro), 2);
+        assert_eq!(stats.mode(TransportMode::Walk), 0);
+        assert_eq!(stats.activity(PoiCategory::Feedings), 1);
+        assert_eq!(stats.activity(PoiCategory::ItemSale), 1);
+    }
+
+    #[test]
+    fn statistics_empty_store() {
+        let store = SemanticTrajectoryStore::in_memory();
+        let stats = store.annotation_statistics();
+        assert_eq!(stats, AnnotationStats::default());
+    }
+}

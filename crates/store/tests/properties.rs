@@ -1,0 +1,106 @@
+//! Property-based tests: the store's binary codec and durable replay must
+//! round-trip arbitrary structured semantic trajectories.
+
+use proptest::prelude::*;
+use semitri_core::model::{
+    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple,
+    StructuredSemanticTrajectory,
+};
+use semitri_data::{PoiCategory, TransportMode};
+use semitri_geo::{TimeSpan, Timestamp};
+use semitri_store::{SemanticTrajectoryStore, TrajectoryMeta};
+
+fn annotation_strategy() -> impl Strategy<Value = Annotation> {
+    let value = prop_oneof![
+        (0usize..5).prop_map(|i| AnnotationValue::Mode(TransportMode::ALL[i])),
+        (0usize..5).prop_map(|i| AnnotationValue::Activity(PoiCategory::ALL[i])),
+        "[a-zA-Z0-9 àéü]{0,30}".prop_map(AnnotationValue::Text),
+        (-1e9..1e9f64).prop_map(AnnotationValue::Number),
+    ];
+    ("[a-z_]{1,12}", value).prop_map(|(k, v)| Annotation::new(k, v))
+}
+
+fn place_strategy() -> impl Strategy<Value = Option<PlaceRef>> {
+    proptest::option::of(
+        (
+            prop_oneof![
+                Just(PlaceKind::Region),
+                Just(PlaceKind::Line),
+                Just(PlaceKind::Point)
+            ],
+            0u64..1_000_000,
+            "[\\PC]{0,40}", // printable unicode labels
+        )
+            .prop_map(|(kind, id, label)| PlaceRef::new(kind, id, label)),
+    )
+}
+
+fn tuple_strategy() -> impl Strategy<Value = SemanticTuple> {
+    (
+        place_strategy(),
+        0.0..1e6f64,
+        0.0..1e4f64,
+        proptest::collection::vec(annotation_strategy(), 0..4),
+    )
+        .prop_map(|(place, start, dur, annotations)| SemanticTuple {
+            place,
+            span: TimeSpan::new(Timestamp(start), Timestamp(start + dur)),
+            annotations,
+        })
+}
+
+fn sst_strategy() -> impl Strategy<Value = StructuredSemanticTrajectory> {
+    (
+        0u64..1_000,
+        0u64..1_000,
+        proptest::collection::vec(tuple_strategy(), 0..10),
+    )
+        .prop_map(|(object_id, trajectory_id, tuples)| StructuredSemanticTrajectory {
+            object_id,
+            trajectory_id,
+            tuples,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn durable_store_roundtrips_arbitrary_ssts(ssts in proptest::collection::vec(sst_strategy(), 1..6)) {
+        let dir = std::env::temp_dir().join(format!("semitri-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // unique file per case to avoid cross-case contamination
+        let path = dir.join(format!(
+            "case-{}-{}.stlog",
+            ssts.len(),
+            ssts.first().map(|s| s.trajectory_id).unwrap_or(0)
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // deduplicate trajectory ids (the store keys SSTs by id)
+        let mut by_id = std::collections::HashMap::new();
+        {
+            let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+            for sst in &ssts {
+                store
+                    .put_trajectory(TrajectoryMeta {
+                        trajectory_id: sst.trajectory_id,
+                        object_id: sst.object_id,
+                        record_count: sst.tuples.len() as u64,
+                    })
+                    .unwrap();
+                store.put_sst(sst).unwrap();
+                by_id.insert(sst.trajectory_id, sst.clone());
+            }
+        }
+        let reopened = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        for (id, expected) in &by_id {
+            let got = reopened.get_sst(*id).expect("sst replayed");
+            prop_assert_eq!(&got, expected);
+        }
+        let (metas, _, n_ssts) = reopened.counts();
+        prop_assert_eq!(metas, by_id.len());
+        prop_assert_eq!(n_ssts, by_id.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

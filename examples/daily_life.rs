@@ -1,0 +1,96 @@
+//! Daily life: multi-modal people trajectories with activity inference —
+//! the paper's §5.3 scenario (Figs. 14–16).
+//!
+//! Annotates a week of smartphone traces for a few users, printing each
+//! user's inferred transport-mode mix, stop activities and top landuse
+//! categories.
+//!
+//! Run with: `cargo run --release -p semitri --example daily_life`
+
+use semitri::prelude::*;
+use std::collections::HashMap;
+
+/// Per-user aggregation state.
+type UserAgg = (
+    LanduseDistribution,
+    HashMap<&'static str, usize>,
+    CategoryShares,
+    UserEpisodeCounts,
+);
+
+fn main() {
+    let dataset = smartphone_users(4, 7, 2024);
+    println!(
+        "dataset '{}': {} users, {} daily trajectories, {} GPS records",
+        dataset.name,
+        dataset.object_count(),
+        dataset.tracks.len(),
+        dataset.total_records()
+    );
+
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+
+    // per-user aggregation
+    let mut per_user: HashMap<u64, UserAgg> = HashMap::new();
+
+    for track in &dataset.tracks {
+        let out = semitri.annotate(&track.to_raw());
+        let entry = per_user.entry(track.object_id).or_insert_with(|| {
+            (
+                LanduseDistribution::default(),
+                HashMap::new(),
+                CategoryShares::default(),
+                UserEpisodeCounts {
+                    user: track.object_id,
+                    ..Default::default()
+                },
+            )
+        });
+        entry
+            .0
+            .merge(&LanduseDistribution::of_trajectory(
+                semitri.region_annotator(),
+                &out.cleaned,
+            ));
+        for (_, entries) in &out.move_routes {
+            for e in entries {
+                if let Some(m) = e.mode {
+                    *entry.1.entry(m.label()).or_insert(0) += e.end - e.start;
+                }
+            }
+        }
+        for (_, ann) in &out.stop_annotations {
+            entry.2.add(ann.category);
+        }
+        entry.3.add_trajectory(out.cleaned.len(), &out.episodes);
+    }
+
+    let mut users: Vec<u64> = per_user.keys().copied().collect();
+    users.sort_unstable();
+    for user in users {
+        let (landuse, modes, activities, counts) = &per_user[&user];
+        println!(
+            "\nuser {user}: {} trajectories, {} stops, {} moves, {} records",
+            counts.trajectories, counts.stops, counts.moves, counts.gps_records
+        );
+        let mut mode_list: Vec<(&str, usize)> = modes.iter().map(|(&k, &v)| (k, v)).collect();
+        mode_list.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let mode_str: Vec<String> = mode_list
+            .iter()
+            .map(|(m, n)| format!("{m}:{n}"))
+            .collect();
+        println!("  transport (matched records per mode): {}", mode_str.join(", "));
+        let act_str: Vec<String> = PoiCategory::ALL
+            .iter()
+            .filter(|c| activities.count(**c) > 0)
+            .map(|c| format!("{} {:.0}%", c.label(), activities.share(*c) * 100.0))
+            .collect();
+        println!("  stop activities: {}", act_str.join(", "));
+        let top: Vec<String> = landuse
+            .top_k(5)
+            .iter()
+            .map(|(c, s)| format!("{} {:.1}%", c.code(), s * 100.0))
+            .collect();
+        println!("  top-5 landuse: {}", top.join(", "));
+    }
+}

@@ -1,0 +1,75 @@
+//! Map matching on the Seattle-style benchmark: global algorithm vs the
+//! geometric baselines, against ground truth (the paper's Fig. 10 setup).
+//!
+//! Run with: `cargo run --release -p semitri --example map_matching`
+
+use semitri::core::line::baseline::{BaselineMetric, NearestSegmentMatcher};
+use semitri::prelude::*;
+
+fn main() {
+    let dataset = seattle_drive(7);
+    let track = &dataset.tracks[0];
+    let records = &track.records;
+    let truth: Vec<Option<u32>> = track.truth.iter().map(|t| t.segment).collect();
+    println!(
+        "benchmark drive: {} GPS records over {} road segments",
+        records.len(),
+        dataset.city.roads.segments().len()
+    );
+
+    // the paper's global matcher at its tuned operating point
+    let spacing = {
+        let raw = track.to_raw();
+        raw.mean_sampling_interval().unwrap_or(1.0) * 12.0 // ~metres between fixes
+    };
+    let global = GlobalMapMatcher::new(
+        &dataset.city.roads,
+        MatchParams {
+            radius_m: 2.0 * spacing, // the paper's R = 2 (in point spacings)
+            sigma_factor: 0.5,       // σ = 0.5 R
+            ..MatchParams::default()
+        },
+    );
+    let matches = global.match_records(records);
+    let acc = GlobalMapMatcher::accuracy(&matches, &truth);
+    println!("global matcher (R=2 spacings, σ=0.5R): {:.2}% accuracy", acc * 100.0);
+
+    // baseline 1: local nearest segment with the Eq. 1 distance
+    let nearest = NearestSegmentMatcher::new(
+        &dataset.city.roads,
+        BaselineMetric::PointSegment,
+        60.0,
+    );
+    let m = nearest.match_records(records);
+    println!(
+        "local nearest (point-segment dist): {:.2}% accuracy",
+        GlobalMapMatcher::accuracy(&m, &truth) * 100.0
+    );
+
+    // baseline 2: classical perpendicular-distance matching
+    let perp = NearestSegmentMatcher::new(
+        &dataset.city.roads,
+        BaselineMetric::Perpendicular,
+        60.0,
+    );
+    let m = perp.match_records(records);
+    println!(
+        "local nearest (perpendicular dist): {:.2}% accuracy",
+        GlobalMapMatcher::accuracy(&m, &truth) * 100.0
+    );
+
+    // mini sensitivity sweep (full sweep: `experiments fig10`)
+    println!("\nsensitivity (accuracy % by R in point spacings, σ = 0.5R):");
+    for r in [1.0, 2.0, 3.0, 4.0, 5.0] {
+        let matcher = GlobalMapMatcher::new(
+            &dataset.city.roads,
+            MatchParams {
+                radius_m: r * spacing,
+                sigma_factor: 0.5,
+                ..MatchParams::default()
+            },
+        );
+        let m = matcher.match_records(records);
+        println!("  R={r}: {:.2}%", GlobalMapMatcher::accuracy(&m, &truth) * 100.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Real-time annotation: feed a GPS stream record by record and receive
+//! annotated episodes the moment they close — the paper's §1.2
+//! requirement that "annotation data is even required in real-time".
+//!
+//! Compares the causal (online) stop activities with the end-of-day
+//! Viterbi re-decode.
+//!
+//! Run with: `cargo run --release -p semitri --example realtime`
+
+use semitri::core::streaming::{StreamEvent, StreamingAnnotator};
+use semitri::core::line::matcher::MatchParams;
+use semitri::core::point::PointParams;
+use semitri::prelude::*;
+
+fn main() {
+    let dataset = smartphone_users(1, 1, 99);
+    let city = &dataset.city;
+    let track = &dataset.tracks[0];
+    println!("live feed: {} GPS records incoming...", track.len());
+
+    let mut stream = StreamingAnnotator::new(
+        city,
+        VelocityPolicy::default(),
+        MatchParams::default(),
+        ModeInferencer::default(),
+        PointParams::default(),
+    );
+
+    let mut online_stops = Vec::new();
+    let mut handle = |event: StreamEvent| match event {
+        StreamEvent::Move { episode, route } => {
+            let modes: std::collections::BTreeSet<&str> = route
+                .iter()
+                .filter_map(|e| e.mode.map(|m| m.label()))
+                .collect();
+            println!(
+                "  [{}] MOVE closed: {} records, {} segment runs, modes {:?}",
+                episode.span.end,
+                episode.record_count(),
+                route.len(),
+                modes
+            );
+        }
+        StreamEvent::Stop {
+            episode,
+            annotation,
+            region,
+        } => {
+            println!(
+                "  [{}] STOP closed: {:.0} min at {} — activity {} (online estimate)",
+                episode.span.end,
+                episode.duration() / 60.0,
+                region.map(|r| r.label).unwrap_or_else(|| "?".to_string()),
+                annotation.category.label()
+            );
+            online_stops.push(annotation);
+        }
+    };
+
+    for &record in &track.records {
+        for event in stream.push(record) {
+            handle(event);
+        }
+    }
+    for event in stream.flush() {
+        handle(event);
+    }
+
+    // end of day: re-decode with full context
+    let offline = stream.finalize();
+    let agreement =
+        semitri::core::streaming::online_offline_agreement(&online_stops, &offline);
+    println!(
+        "\nend-of-day Viterbi re-decode: {} stops, online/offline agreement {:.0}%",
+        offline.len(),
+        agreement * 100.0
+    );
+}

@@ -1,0 +1,122 @@
+//! Semantic analytics: the full Analytics Layer over a week of annotated
+//! people trajectories — meaningful places (clustering), behavioral
+//! patterns (sequential mining), mobility statistics, and store-backed
+//! aggregate queries.
+//!
+//! Run with: `cargo run --release -p semitri --example semantic_analytics`
+
+use semitri::analytics::cluster::{dbscan_stops, DbscanParams};
+use semitri::analytics::flows::OdMatrix;
+use semitri::analytics::patterns::{mine_sequences, SymbolKind};
+use semitri::prelude::*;
+
+fn main() {
+    let dataset = smartphone_users(3, 7, 7);
+    println!(
+        "dataset: {} users × 7 days, {} GPS records",
+        dataset.object_count(),
+        dataset.total_records()
+    );
+
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let store = SemanticTrajectoryStore::in_memory();
+
+    let mut all_ssts = Vec::new();
+    let mut stop_centers = Vec::new();
+    let mut stops_per_traj: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut mobility = MobilitySummary::default();
+    let mut modes = ModeShares::default();
+
+    for track in &dataset.tracks {
+        let out = semitri.annotate(&track.to_raw());
+        mobility.add_trajectory(&out.cleaned);
+        let first = stop_centers.len();
+        for (i, _) in &out.stop_annotations {
+            stop_centers.push(out.episodes[*i].center);
+        }
+        stops_per_traj.push(first..stop_centers.len());
+        for (_, entries) in &out.move_routes {
+            modes.add_route(entries);
+        }
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: track.trajectory_id,
+                object_id: track.object_id,
+                record_count: out.cleaned.len() as u64,
+            })
+            .expect("meta");
+        store.put_sst(&out.sst).expect("sst");
+        all_ssts.push(out.sst);
+    }
+
+    // --- meaningful places ---
+    let (clusters, _) = dbscan_stops(&stop_centers, DbscanParams::default());
+    println!(
+        "\nmeaningful places: {} clusters from {} stops",
+        clusters.len(),
+        stop_centers.len()
+    );
+    let mut sorted = clusters.clone();
+    sorted.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    for c in sorted.iter().take(5) {
+        println!(
+            "  place at ({:.0}, {:.0}) visited by {} stops",
+            c.centroid.x,
+            c.centroid.y,
+            c.len()
+        );
+    }
+
+    // --- frequent moves between places (OD matrix) ---
+    let (_, assignment) = dbscan_stops(&stop_centers, DbscanParams::default());
+    let per_traj: Vec<Vec<Option<usize>>> = stops_per_traj
+        .iter()
+        .map(|r| assignment[r.clone()].to_vec())
+        .collect();
+    let od = OdMatrix::from_assignments(&per_traj);
+    println!("\nfrequent moves between places:");
+    for (from, to, n) in od.top_k(5) {
+        println!("  place {from} → place {to}: {n} moves");
+    }
+
+    // --- behavioral patterns ---
+    let patterns = mine_sequences(&all_ssts, SymbolKind::Semantic, 2, 4, 6);
+    println!("\nfrequent behavioral patterns (support ≥ 6 trajectories):");
+    for p in patterns.iter().take(8) {
+        println!("  [{}] × {}", p.labels.join(" → "), p.support);
+    }
+
+    // --- mobility statistics ---
+    println!(
+        "\nmobility: radius of gyration {:.0} m, mean daily distance {:.1} km over {} days",
+        mobility.radius_of_gyration(),
+        mobility.mean_distance_m() / 1_000.0,
+        mobility.trajectories
+    );
+    println!("  dominant transport mode: {:?}", modes.dominant().map(|m| m.label()));
+    for mode in TransportMode::ALL {
+        let share = modes.share(mode);
+        if share > 0.0 {
+            println!("    {:<8} {:>5.1}% of annotated move time", mode.label(), share * 100.0);
+        }
+    }
+
+    // --- store-backed aggregate queries ---
+    let stats = store.annotation_statistics();
+    println!("\nstore aggregates over {} semantic trajectories:", all_ssts.len());
+    println!(
+        "  trajectories with a metro leg: {}",
+        store.ssts_with_mode(TransportMode::Metro).len()
+    );
+    println!(
+        "  trajectories with an item-sale stop: {}",
+        store.ssts_with_activity(PoiCategory::ItemSale).len()
+    );
+    println!(
+        "  mode tuples: walk {}, bus {}, metro {}, bicycle {}",
+        stats.mode(TransportMode::Walk),
+        stats.mode(TransportMode::Bus),
+        stats.mode(TransportMode::Metro),
+        stats.mode(TransportMode::Bicycle),
+    );
+}

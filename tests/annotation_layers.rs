@@ -1,0 +1,187 @@
+//! Cross-crate tests of the three annotation layers against simulator
+//! ground truth.
+
+use semitri::core::line::baseline::{BaselineMetric, NearestSegmentMatcher};
+use semitri::prelude::*;
+
+#[test]
+fn map_matching_beats_90_percent_on_clean_drive() {
+    let dataset = seattle_drive(3);
+    let track = &dataset.tracks[0];
+    let truth: Vec<Option<u32>> = track.truth.iter().map(|t| t.segment).collect();
+
+    let matcher = GlobalMapMatcher::new(
+        &dataset.city.roads,
+        MatchParams {
+            radius_m: 25.0,
+            sigma_factor: 0.5,
+            ..MatchParams::default()
+        },
+    );
+    let matches = matcher.match_records(&track.records);
+    let acc = GlobalMapMatcher::accuracy(&matches, &truth);
+    assert!(acc > 0.9, "accuracy {acc}");
+}
+
+#[test]
+fn global_matcher_at_least_as_good_as_local_baseline() {
+    let dataset = seattle_drive(11);
+    let track = &dataset.tracks[0];
+    let truth: Vec<Option<u32>> = track.truth.iter().map(|t| t.segment).collect();
+
+    let global = GlobalMapMatcher::new(
+        &dataset.city.roads,
+        MatchParams {
+            radius_m: 25.0,
+            sigma_factor: 0.5,
+            ..MatchParams::default()
+        },
+    );
+    let g_acc = GlobalMapMatcher::accuracy(&global.match_records(&track.records), &truth);
+
+    let local = NearestSegmentMatcher::new(&dataset.city.roads, BaselineMetric::PointSegment, 60.0);
+    let l_acc = GlobalMapMatcher::accuracy(&local.match_records(&track.records), &truth);
+
+    let perp = NearestSegmentMatcher::new(&dataset.city.roads, BaselineMetric::Perpendicular, 60.0);
+    let p_acc = GlobalMapMatcher::accuracy(&perp.match_records(&track.records), &truth);
+
+    assert!(
+        g_acc + 0.02 >= l_acc,
+        "global {g_acc} should not trail local {l_acc}"
+    );
+    assert!(
+        g_acc > p_acc,
+        "global {g_acc} must beat perpendicular {p_acc}"
+    );
+}
+
+#[test]
+fn region_layer_annotates_both_landuse_and_named_regions() {
+    let city = City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 5_000.0, 5_000.0),
+        poi_count: 300,
+        region_count: 6,
+        seed: 5,
+        ..CityConfig::default()
+    });
+    let landuse = RegionAnnotator::from_landuse(&city.landuse);
+    let named = RegionAnnotator::from_named_regions(&city.regions);
+
+    // walk through the campus region (regions[0])
+    let campus_center = city.regions[0].polygon.centroid();
+    let recs: Vec<GpsRecord> = (0..20)
+        .map(|i| GpsRecord::new(campus_center.offset(i as f64, 0.0), Timestamp(i as f64 * 10.0)))
+        .collect();
+    let traj = RawTrajectory::new(1, 1, recs);
+
+    let landuse_tuples = landuse.annotate_trajectory(&traj);
+    assert!(!landuse_tuples.is_empty());
+    assert!(landuse_tuples.iter().all(|t| t.category.is_some()));
+
+    let named_tuples = named.annotate_trajectory(&traj);
+    assert!(!named_tuples.is_empty());
+    assert!(named_tuples[0].place.label.contains("campus"));
+}
+
+#[test]
+fn hmm_beats_nearest_poi_baseline_in_dense_areas() {
+    use semitri::core::point::baseline::NearestPoiAnnotator;
+    use semitri::core::point::{PointAnnotator as PA, PointParams};
+
+    // dense mixed scene: target category POIs slightly outnumbered locally
+    // by a noisy mix, so the nearest POI is often the wrong category while
+    // density favors the truth
+    let bounds = Rect::new(0.0, 0.0, 2_000.0, 2_000.0);
+    let mut pois = Vec::new();
+    let mut id = 0u64;
+    // a shopping street: many ItemSale POIs + scattered distractors
+    for i in 0..30 {
+        pois.push(Poi {
+            id,
+            point: Point::new(500.0 + (i % 10) as f64 * 15.0, 500.0 + (i / 10) as f64 * 15.0),
+            category: PoiCategory::ItemSale,
+            name: format!("shop {id}"),
+        });
+        id += 1;
+    }
+    for i in 0..6 {
+        pois.push(Poi {
+            id,
+            point: Point::new(505.0 + i as f64 * 25.0, 498.0),
+            category: PoiCategory::Services,
+            name: format!("atm {id}"),
+        });
+        id += 1;
+    }
+    let set = PoiSet::new(pois);
+
+    let hmm = PA::new(&set, bounds, PointParams::default()).unwrap();
+    let baseline = NearestPoiAnnotator::new(&set, bounds, 50.0, 150.0);
+
+    // stops along the shopping street whose nearest POI is an ATM
+    let stops: Vec<Point> = (0..5).map(|i| Point::new(506.0 + i as f64 * 25.0, 497.0)).collect();
+    let hmm_out = hmm.annotate_stops(&stops);
+    let base_out = baseline.annotate_stops(&stops);
+
+    let hmm_correct = hmm_out
+        .iter()
+        .filter(|a| a.category == PoiCategory::ItemSale)
+        .count();
+    let base_correct = base_out
+        .iter()
+        .filter(|a| **a == Some(PoiCategory::ItemSale))
+        .count();
+    assert!(
+        hmm_correct > base_correct,
+        "hmm {hmm_correct}/5 vs baseline {base_correct}/5"
+    );
+    assert_eq!(hmm_correct, 5);
+}
+
+#[test]
+fn stop_activity_matches_simulated_truth_majority() {
+    let dataset = milan_cars(4, 1, 17);
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for track in &dataset.tracks {
+        let out = semitri.annotate(&track.to_raw());
+        // truth: stop category by time lookup
+        let mut truth_by_time: std::collections::HashMap<u64, PoiCategory> =
+            std::collections::HashMap::new();
+        for (r, t) in track.records.iter().zip(&track.truth) {
+            if let Some(c) = t.stop_category {
+                truth_by_time.insert(r.t.0.to_bits(), c);
+            }
+        }
+        for (ep_idx, ann) in &out.stop_annotations {
+            let ep = &out.episodes[*ep_idx];
+            // majority truth category over the episode's records
+            let mut counts = [0usize; 5];
+            for r in &out.cleaned.records()[ep.start..ep.end] {
+                if let Some(&c) = truth_by_time.get(&r.t.0.to_bits()) {
+                    counts[c.ordinal()] += 1;
+                }
+            }
+            let Some((best, &n)) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &n)| n)
+                .filter(|&(_, &n)| n > 0)
+            else {
+                continue;
+            };
+            let _ = n;
+            total += 1;
+            if PoiCategory::ALL[best] == ann.category {
+                agree += 1;
+            }
+        }
+    }
+    assert!(total >= 4, "too few truth-labeled stops: {total}");
+    let rate = agree as f64 / total as f64;
+    // dense synthetic POIs make this hard; the HMM should still beat the
+    // 20% random-guess floor by a wide margin
+    assert!(rate > 0.4, "stop category agreement {rate:.2} over {total}");
+}

@@ -1,0 +1,97 @@
+//! Integration test of the `semitri-cli` binary end to end.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_semitri-cli"))
+}
+
+fn temp_store(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("semitri-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn generate_then_query_roundtrip() {
+    let store = temp_store("roundtrip.stlog");
+    let store_s = store.to_str().unwrap();
+
+    // generate a small phone dataset into a durable store
+    let out = cli()
+        .args(["generate", "phones", store_s, "7", "1"])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stored"), "{stdout}");
+
+    // info
+    let out = cli().args(["info", store_s]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trajectories: 6"), "{stdout}");
+
+    // objects: six users, one trajectory each
+    let out = cli().args(["objects", store_s]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 6, "{stdout}");
+
+    // show a trajectory renders the paper's triple notation
+    let out = cli().args(["show", store_s, "0"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("→"), "{stdout}");
+
+    // stats table lists every mode and category
+    let out = cli().args(["stats", store_s]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("walk"));
+    assert!(stdout.contains("item sale"));
+
+    // query-mode returns ids parseable as u64
+    let out = cli().args(["query-mode", store_s, "walk"]).output().unwrap();
+    assert!(out.status.success());
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        line.parse::<u64>().expect("trajectory id");
+    }
+
+    // export a KML document
+    let kml = temp_store("t0.kml");
+    let out = cli()
+        .args(["export-kml", store_s, "0", kml.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = std::fs::read_to_string(&kml).unwrap();
+    assert!(doc.starts_with("<?xml"));
+    assert!(doc.contains("semantic trajectory"));
+
+    // compact leaves state intact
+    let out = cli().args(["compact", store_s]).output().unwrap();
+    assert!(out.status.success());
+    let out = cli().args(["show", store_s, "0"]).output().unwrap();
+    assert!(out.status.success());
+
+    let _ = std::fs::remove_file(&store);
+    let _ = std::fs::remove_file(&kml);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = cli().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = cli().args(["generate", "nope", "/tmp/x.stlog"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let store = temp_store("missing-query.stlog");
+    let out = cli()
+        .args(["show", store.to_str().unwrap(), "999"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_file(&store);
+}

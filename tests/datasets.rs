@@ -1,0 +1,99 @@
+//! Dataset-preset integration tests: the synthetic stand-ins must exhibit
+//! the qualitative properties the paper reports for the real corpora.
+
+use semitri::prelude::*;
+
+#[test]
+fn table1_shape_taxis_vs_milan() {
+    let taxis = lausanne_taxis(1, 1);
+    let milan = milan_cars(5, 1, 1);
+    // sampling frequency: taxis ~1 s, Milan ~40 s (Table 1)
+    assert!(taxis.mean_sampling_interval() < 2.0);
+    assert!(milan.mean_sampling_interval() > 20.0);
+    // Milan has many more objects
+    assert!(milan.object_count() > taxis.object_count());
+}
+
+#[test]
+fn seattle_has_dense_network_and_truth_path() {
+    let d = seattle_drive(2);
+    // Krumm's benchmark: a large road network relative to the track
+    assert!(d.city.roads.segments().len() > 2_000);
+    let track = &d.tracks[0];
+    // continuous drive: no multi-minute gaps
+    let max_gap = track
+        .records
+        .windows(2)
+        .map(|w| w[1].t.since(w[0].t))
+        .fold(0.0f64, f64::max);
+    assert!(max_gap < 120.0, "max gap {max_gap}");
+    // ground truth covers most records
+    let with_truth = track.truth.iter().filter(|t| t.segment.is_some()).count();
+    assert!(with_truth * 2 > track.len());
+}
+
+#[test]
+fn people_trajectories_are_heterogeneous() {
+    let d = smartphone_users(4, 7, 4);
+    // users differ in their weekend movement (personality quirks):
+    // compare per-user bounding boxes — at least two users must roam
+    // clearly different areas
+    let mut extents: Vec<(u64, Rect)> = Vec::new();
+    for t in &d.tracks {
+        let bbox = t.to_raw().bbox();
+        match extents.iter_mut().find(|(u, _)| *u == t.object_id) {
+            Some((_, r)) => *r = r.union(&bbox),
+            None => extents.push((t.object_id, bbox)),
+        }
+    }
+    assert_eq!(extents.len(), 4);
+    let centers: Vec<Point> = extents.iter().map(|(_, r)| r.center()).collect();
+    let mut max_sep = 0.0f64;
+    for i in 0..centers.len() {
+        for j in i + 1..centers.len() {
+            max_sep = max_sep.max(centers[i].distance(centers[j]));
+        }
+    }
+    assert!(max_sep > 500.0, "users too similar: {max_sep}");
+}
+
+#[test]
+fn episode_computation_scales_on_presets() {
+    // the §5.3 numbers: stops and moves in the same order of magnitude,
+    // both far fewer than GPS records
+    let d = smartphone_users(3, 3, 8);
+    let policy = VelocityPolicy::default();
+    let mut stops = 0usize;
+    let mut moves = 0usize;
+    let mut records = 0usize;
+    for t in &d.tracks {
+        let eps = policy.segment(&t.to_raw());
+        let st = EpisodeStats::of(&eps);
+        stops += st.stops;
+        moves += st.moves;
+        records += t.len();
+    }
+    assert!(stops > 0 && moves > 0);
+    assert!(stops + moves < records / 10);
+    let ratio = stops as f64 / moves as f64;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "stop/move ratio {ratio} out of range"
+    );
+}
+
+#[test]
+fn cleaning_preserves_good_data_and_drops_teleports() {
+    use semitri::episodes::clean::{gaussian_smooth, remove_speed_outliers};
+    let d = lausanne_taxis(1, 21);
+    let raw = d.tracks[0].to_raw();
+    let cleaned = remove_speed_outliers(raw.records(), 70.0);
+    // almost everything survives on simulated data
+    assert!(cleaned.len() * 100 >= raw.len() * 95);
+    let smoothed = gaussian_smooth(&cleaned, 3.0);
+    assert_eq!(smoothed.len(), cleaned.len());
+    // smoothing shrinks the path length (noise removal)
+    let len_before = RawTrajectory::new(0, 0, cleaned.clone()).path_length();
+    let len_after = RawTrajectory::new(0, 0, smoothed).path_length();
+    assert!(len_after < len_before);
+}

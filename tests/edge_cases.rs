@@ -1,0 +1,172 @@
+//! Robustness integration tests: degraded inputs the paper's
+//! heterogeneous-data discussion warns about.
+
+use semitri::prelude::*;
+
+fn small_city(poi_count: usize) -> City {
+    City::generate(CityConfig {
+        bounds: Rect::new(0.0, 0.0, 4_000.0, 4_000.0),
+        poi_count,
+        region_count: 3,
+        seed: 3,
+        ..CityConfig::default()
+    })
+}
+
+#[test]
+fn off_network_trajectory_yields_partial_annotation() {
+    // a hike far from any road: the line layer matches nothing, but the
+    // region layer still annotates and the SST still covers the movement
+    let city = small_city(200);
+    let semitri = SeMiTri::new(&city, PipelineConfig::default());
+    let recs: Vec<GpsRecord> = (0..120)
+        .map(|i| {
+            GpsRecord::new(
+                // the far corner, off the street grid's margin
+                Point::new(30.0 + i as f64 * 1.1, 3_980.0),
+                Timestamp(i as f64 * 10.0),
+            )
+        })
+        .collect();
+    let out = semitri.annotate(&RawTrajectory::new(1, 1, recs));
+    assert!(!out.episodes.is_empty());
+    // region tuples cover everything (landuse covers the bounds)
+    let covered: usize = out.region_tuples.iter().map(|t| t.record_count()).sum();
+    assert_eq!(covered, out.cleaned.len());
+    // SST still produced, spanning the whole time range
+    assert!(!out.sst.is_empty());
+}
+
+#[test]
+fn city_without_pois_skips_point_layer_gracefully() {
+    let city = small_city(0);
+    assert!(city.pois.is_empty());
+    let semitri = SeMiTri::new(&city, PipelineConfig::default());
+    assert!(semitri.point_annotator().is_none());
+    // a trajectory with a long dwell still annotates (stop places fall
+    // back to landuse regions)
+    let mut recs: Vec<GpsRecord> = (0..60)
+        .map(|i| GpsRecord::new(Point::new(2_000.0, 2_000.0), Timestamp(i as f64 * 10.0)))
+        .collect();
+    recs.extend((0..60).map(|i| {
+        GpsRecord::new(
+            Point::new(2_000.0 + i as f64 * 30.0, 2_000.0),
+            Timestamp(600.0 + i as f64 * 10.0),
+        )
+    }));
+    let out = semitri.annotate(&RawTrajectory::new(1, 1, recs));
+    assert!(out.stop_annotations.is_empty());
+    let stop_tuple = out
+        .sst
+        .tuples
+        .iter()
+        .find(|t| t.annotation("mode").is_none())
+        .expect("a stop tuple");
+    assert!(stop_tuple.place.is_some(), "stop falls back to a region place");
+}
+
+#[test]
+fn dirty_feed_with_teleports_and_duplicates_is_cleaned() {
+    let city = small_city(100);
+    let semitri = SeMiTri::new(&city, PipelineConfig::default());
+    let mut recs = Vec::new();
+    for i in 0..100 {
+        recs.push(GpsRecord::new(
+            Point::new(1_000.0 + i as f64 * 12.0, 1_500.0),
+            Timestamp(i as f64 * 10.0),
+        ));
+        if i % 17 == 0 {
+            // teleporting outlier at a duplicate timestamp
+            recs.push(GpsRecord::new(
+                Point::new(100_000.0, -50_000.0),
+                Timestamp(i as f64 * 10.0),
+            ));
+        }
+    }
+    let out = semitri.annotate(&RawTrajectory::new(1, 1, recs));
+    // every outlier dropped
+    assert!(out
+        .cleaned
+        .records()
+        .iter()
+        .all(|r| r.point.x < 10_000.0 && r.point.y > 0.0));
+    assert_eq!(out.cleaned.len(), 100);
+}
+
+#[test]
+fn single_record_and_empty_trajectories() {
+    let city = small_city(100);
+    let semitri = SeMiTri::new(&city, PipelineConfig::default());
+
+    let out = semitri.annotate(&RawTrajectory::default());
+    assert!(out.sst.is_empty());
+
+    let one = RawTrajectory::new(
+        1,
+        1,
+        vec![GpsRecord::new(Point::new(500.0, 500.0), Timestamp(0.0))],
+    );
+    let out = semitri.annotate(&one);
+    // one record: at most one (stop) episode, never a panic
+    assert!(out.episodes.len() <= 1);
+}
+
+#[test]
+fn zero_duration_dwell_and_monotone_sst() {
+    // bursts of identical timestamps at episode boundaries must not panic
+    // or produce reversed spans
+    let city = small_city(100);
+    let semitri = SeMiTri::new(&city, PipelineConfig::default());
+    let mut recs = Vec::new();
+    let mut t = 0.0;
+    for i in 0..200 {
+        recs.push(GpsRecord::new(
+            Point::new(800.0 + (i / 2) as f64 * 15.0, 900.0),
+            Timestamp(t),
+        ));
+        if i % 2 == 1 {
+            t += 10.0;
+        }
+    }
+    let out = semitri.annotate(&RawTrajectory::new(1, 1, recs));
+    for t in &out.sst.tuples {
+        assert!(t.span.duration() >= 0.0);
+    }
+    for w in out.sst.tuples.windows(2) {
+        assert!(w[0].span.start.0 <= w[1].span.start.0);
+    }
+}
+
+#[test]
+fn streaming_handles_out_of_coverage_feed() {
+    use semitri::core::line::matcher::MatchParams;
+    use semitri::core::point::PointParams;
+    use semitri::core::streaming::StreamingAnnotator;
+
+    let city = small_city(100);
+    let mut stream = StreamingAnnotator::new(
+        &city,
+        VelocityPolicy::default(),
+        MatchParams::default(),
+        ModeInferencer::default(),
+        PointParams::default(),
+    );
+    // feed far outside the city: no roads, no POIs nearby
+    let mut events = Vec::new();
+    for i in 0..300 {
+        let moving = (100..200).contains(&i);
+        let x = if moving { 50_000.0 + (i - 100) as f64 * 20.0 } else if i < 100 { 50_000.0 } else { 52_000.0 };
+        events.extend(stream.push(GpsRecord::new(
+            Point::new(x, 50_000.0),
+            Timestamp(i as f64 * 10.0),
+        )));
+    }
+    events.extend(stream.flush());
+    // it must emit episodes without panicking, with empty routes off-map
+    assert!(!events.is_empty());
+    for e in events {
+        if let semitri::core::streaming::StreamEvent::Move { route, .. } = e {
+            assert!(route.is_empty(), "no roads exist out there");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration: pipeline output persisted through the durable store and
+//! replayed.
+
+use semitri::prelude::*;
+use semitri::store::export::{kml_document, raw_trajectory_kml, sst_kml};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("semitri-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn pipeline_to_durable_store_and_back() {
+    let dataset = lausanne_taxis(1, 7);
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let path = temp_path("pipeline.stlog");
+    let _ = std::fs::remove_file(&path);
+
+    let mut expected = Vec::new();
+    {
+        let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        for track in &dataset.tracks {
+            let out = semitri.annotate(&track.to_raw());
+            store
+                .put_trajectory(TrajectoryMeta {
+                    trajectory_id: track.trajectory_id,
+                    object_id: track.object_id,
+                    record_count: out.cleaned.len() as u64,
+                })
+                .unwrap();
+            store.put_episodes(track.trajectory_id, &out.episodes).unwrap();
+            store.put_sst(&out.sst).unwrap();
+            expected.push((track.trajectory_id, out.sst.clone(), out.episodes.len()));
+        }
+    }
+
+    // reopen: everything replays identically
+    let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+    let (n_traj, n_eps, n_sst) = store.counts();
+    assert_eq!(n_traj, dataset.tracks.len());
+    assert_eq!(n_sst, dataset.tracks.len());
+    assert_eq!(n_eps, expected.iter().map(|(_, _, n)| n).sum::<usize>());
+    for (id, sst, _) in &expected {
+        assert_eq!(&store.get_sst(*id).unwrap(), sst);
+    }
+
+    // spatial query returns episodes within the city bounds
+    let hits = store.episodes_in_rect(&dataset.city.bounds());
+    assert_eq!(hits.len(), n_eps);
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn store_queries_by_object_and_time() {
+    let dataset = milan_cars(2, 1, 3);
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let store = SemanticTrajectoryStore::in_memory();
+
+    for track in &dataset.tracks {
+        let out = semitri.annotate(&track.to_raw());
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: track.trajectory_id,
+                object_id: track.object_id,
+                record_count: out.cleaned.len() as u64,
+            })
+            .unwrap();
+        store.put_episodes(track.trajectory_id, &out.episodes).unwrap();
+    }
+
+    // per-object lookup
+    for track in &dataset.tracks {
+        let ids = store.trajectories_of(track.object_id);
+        assert!(ids.contains(&track.trajectory_id));
+    }
+
+    // time-range query: a window covering everything returns all episodes
+    let all = store.episodes_in_time(TimeSpan::new(Timestamp(0.0), Timestamp(10.0 * 86_400.0)));
+    let (_, n_eps, _) = store.counts();
+    assert_eq!(all.len(), n_eps);
+
+    // an empty window before the data returns nothing
+    let none = store.episodes_in_time(TimeSpan::new(Timestamp(-100.0), Timestamp(-1.0)));
+    assert!(none.is_empty());
+}
+
+#[test]
+fn kml_export_of_annotated_day() {
+    let dataset = smartphone_users(1, 1, 9);
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let track = &dataset.tracks[0];
+    let out = semitri.annotate(&track.to_raw());
+
+    let projection = LocalProjection::new(GeoPoint::new(6.6323, 46.5197));
+    let doc = kml_document(
+        "semitri export",
+        &[
+            raw_trajectory_kml(&out.cleaned, &projection),
+            sst_kml(&out.sst),
+        ],
+    );
+    assert!(doc.starts_with("<?xml"));
+    assert!(doc.contains("<LineString>"));
+    assert!(doc.contains("semantic trajectory"));
+    // modes from the line layer appear in descriptions
+    assert!(doc.contains("mode="), "no mode annotations in:\n{doc}");
+}
