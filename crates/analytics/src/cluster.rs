@@ -57,7 +57,10 @@ impl Default for DbscanParams {
 /// the input, each stop's cluster id (`None` = noise).
 ///
 /// O(n · k) with a grid index, where `k` is the mean ε-neighborhood size.
-pub fn dbscan_stops(centers: &[Point], params: DbscanParams) -> (Vec<StopCluster>, Vec<Option<usize>>) {
+pub fn dbscan_stops(
+    centers: &[Point],
+    params: DbscanParams,
+) -> (Vec<StopCluster>, Vec<Option<usize>>) {
     assert!(params.eps_m > 0.0, "eps must be positive");
     assert!(params.min_pts >= 1, "min_pts must be >= 1");
     let n = centers.len();
@@ -223,6 +226,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "eps")]
     fn rejects_bad_eps() {
-        dbscan_stops(&[], DbscanParams { eps_m: 0.0, min_pts: 1 });
+        dbscan_stops(
+            &[],
+            DbscanParams {
+                eps_m: 0.0,
+                min_pts: 1,
+            },
+        );
     }
 }

@@ -155,7 +155,10 @@ mod tests {
             user: 3,
             ..Default::default()
         };
-        u.add_trajectory(100, &[episode(EpisodeKind::Stop), episode(EpisodeKind::Move)]);
+        u.add_trajectory(
+            100,
+            &[episode(EpisodeKind::Stop), episode(EpisodeKind::Move)],
+        );
         u.add_trajectory(50, &[episode(EpisodeKind::Move)]);
         assert_eq!(u.gps_records, 150);
         assert_eq!(u.trajectories, 2);

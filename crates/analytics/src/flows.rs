@@ -50,11 +50,8 @@ impl OdMatrix {
     /// The `k` heaviest flows, descending; ties by (from, to) for
     /// determinism. Self-loops (re-visits of the same place) included.
     pub fn top_k(&self, k: usize) -> Vec<(usize, usize, usize)> {
-        let mut rows: Vec<(usize, usize, usize)> = self
-            .flows
-            .iter()
-            .map(|(&(a, b), &n)| (a, b, n))
-            .collect();
+        let mut rows: Vec<(usize, usize, usize)> =
+            self.flows.iter().map(|(&(a, b), &n)| (a, b, n)).collect();
         rows.sort_by(|x, y| y.2.cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
         rows.truncate(k);
         rows

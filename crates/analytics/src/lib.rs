@@ -30,11 +30,11 @@ pub mod similarity;
 
 pub use classify::{trajectory_category, CategoryShares};
 pub use cluster::{dbscan_stops, DbscanParams, StopCluster};
-pub use mobility::{radius_of_gyration, MobilitySummary, ModeShares};
-pub use patterns::{mine_sequences, symbols_of, SequencePattern, SymbolKind};
-pub use similarity::{edit_distance, lcss_similarity, semantic_similarity};
 pub use compression::CompressionStats;
 pub use distributions::{LengthDistribution, UserEpisodeCounts};
 pub use flows::OdMatrix;
 pub use landuse::LanduseDistribution;
 pub use latency::LatencySummary;
+pub use mobility::{radius_of_gyration, MobilitySummary, ModeShares};
+pub use patterns::{mine_sequences, symbols_of, SequencePattern, SymbolKind};
+pub use similarity::{edit_distance, lcss_similarity, semantic_similarity};

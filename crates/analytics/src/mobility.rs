@@ -85,7 +85,8 @@ pub struct MobilitySummary {
 impl MobilitySummary {
     /// Accumulates one raw trajectory.
     pub fn add_trajectory(&mut self, traj: &RawTrajectory) {
-        self.positions.extend(traj.records().iter().map(|r| r.point));
+        self.positions
+            .extend(traj.records().iter().map(|r| r.point));
         self.total_distance_m += traj.path_length();
         self.trajectories += 1;
     }

@@ -112,7 +112,9 @@ mod tests {
         }
     }
 
-    fn day(seq: &[(&str, Option<TransportMode>, Option<PoiCategory>)]) -> StructuredSemanticTrajectory {
+    fn day(
+        seq: &[(&str, Option<TransportMode>, Option<PoiCategory>)],
+    ) -> StructuredSemanticTrajectory {
         StructuredSemanticTrajectory {
             object_id: 1,
             trajectory_id: 0,

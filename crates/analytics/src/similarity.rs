@@ -105,8 +105,14 @@ mod tests {
     fn edit_distance_basics() {
         assert_eq!(edit_distance(&sym(&[]), &sym(&[])), 0);
         assert_eq!(edit_distance(&sym(&["a"]), &sym(&[])), 1);
-        assert_eq!(edit_distance(&sym(&["a", "b", "c"]), &sym(&["a", "b", "c"])), 0);
-        assert_eq!(edit_distance(&sym(&["a", "b", "c"]), &sym(&["a", "x", "c"])), 1);
+        assert_eq!(
+            edit_distance(&sym(&["a", "b", "c"]), &sym(&["a", "b", "c"])),
+            0
+        );
+        assert_eq!(
+            edit_distance(&sym(&["a", "b", "c"]), &sym(&["a", "x", "c"])),
+            1
+        );
         assert_eq!(edit_distance(&sym(&["a", "b"]), &sym(&["b", "a"])), 2);
         // symmetry
         assert_eq!(
@@ -135,12 +141,22 @@ mod tests {
     #[test]
     fn semantic_similarity_mode_sensitive() {
         let bus_day = day(&[TransportMode::Walk, TransportMode::Bus, TransportMode::Walk]);
-        let metro_day = day(&[TransportMode::Walk, TransportMode::Metro, TransportMode::Walk]);
-        assert_eq!(semantic_similarity(&bus_day, &bus_day, SymbolKind::Semantic), 1.0);
+        let metro_day = day(&[
+            TransportMode::Walk,
+            TransportMode::Metro,
+            TransportMode::Walk,
+        ]);
+        assert_eq!(
+            semantic_similarity(&bus_day, &bus_day, SymbolKind::Semantic),
+            1.0
+        );
         let s = semantic_similarity(&bus_day, &metro_day, SymbolKind::Semantic);
         assert!((s - 2.0 / 3.0).abs() < 1e-12);
         // under Place symbols they're identical ("road" everywhere)
-        assert_eq!(semantic_similarity(&bus_day, &metro_day, SymbolKind::Place), 1.0);
+        assert_eq!(
+            semantic_similarity(&bus_day, &metro_day, SymbolKind::Place),
+            1.0
+        );
     }
 
     #[test]

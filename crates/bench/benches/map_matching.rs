@@ -104,5 +104,10 @@ fn bench_radius_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matchers, bench_network_scaling, bench_radius_sweep);
+criterion_group!(
+    benches,
+    bench_matchers,
+    bench_network_scaling,
+    bench_radius_sweep
+);
 criterion_main!(benches);

@@ -71,7 +71,9 @@ fn bench_store_writes(c: &mut Criterion) {
                     record_count: out.cleaned.len() as u64,
                 })
                 .unwrap();
-            store.put_episodes(out.sst.trajectory_id, &out.episodes).unwrap();
+            store
+                .put_episodes(out.sst.trajectory_id, &out.episodes)
+                .unwrap();
             store.put_sst(&out.sst).unwrap();
             black_box(store.counts())
         })
@@ -89,7 +91,9 @@ fn bench_store_writes(c: &mut Criterion) {
                     record_count: out.cleaned.len() as u64,
                 })
                 .unwrap();
-            store.put_episodes(out.sst.trajectory_id, &out.episodes).unwrap();
+            store
+                .put_episodes(out.sst.trajectory_id, &out.episodes)
+                .unwrap();
             store.put_sst(&out.sst).unwrap();
             black_box(store.counts())
         })

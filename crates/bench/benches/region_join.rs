@@ -14,7 +14,10 @@ fn walk(records: usize, extent: f64) -> RawTrajectory {
         .map(|i| {
             let t = i as f64 / records as f64;
             GpsRecord::new(
-                Point::new(100.0 + t * (extent - 200.0), extent / 2.0 + (i % 7) as f64 * 10.0),
+                Point::new(
+                    100.0 + t * (extent - 200.0),
+                    extent / 2.0 + (i % 7) as f64 * 10.0,
+                ),
                 Timestamp(i as f64 * 5.0),
             )
         })

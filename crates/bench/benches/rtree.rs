@@ -12,7 +12,10 @@ fn grid_items(n_side: usize) -> Vec<(Rect, u32)> {
         for i in 0..n_side {
             let x = i as f64 * 100.0;
             let y = j as f64 * 100.0;
-            items.push((Rect::new(x, y, x + 100.0, y + 100.0), (j * n_side + i) as u32));
+            items.push((
+                Rect::new(x, y, x + 100.0, y + 100.0),
+                (j * n_side + i) as u32,
+            ));
         }
     }
     items

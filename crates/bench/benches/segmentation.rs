@@ -65,5 +65,10 @@ fn bench_identification(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_policies, bench_cleaning, bench_identification);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_cleaning,
+    bench_identification
+);
 criterion_main!(benches);

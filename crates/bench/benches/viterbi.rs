@@ -36,7 +36,11 @@ fn bench_viterbi_length(c: &mut Criterion) {
     let mut g = c.benchmark_group("viterbi_decode");
     for len in [10usize, 100, 1_000, 10_000] {
         let b_rows: Vec<Vec<f64>> = (0..len)
-            .map(|i| (0..5).map(|j| 0.1 + ((i * 7 + j * 3) % 13) as f64 / 13.0).collect())
+            .map(|i| {
+                (0..5)
+                    .map(|j| 0.1 + ((i * 7 + j * 3) % 13) as f64 / 13.0)
+                    .collect()
+            })
             .collect();
         g.throughput(Throughput::Elements(len as u64));
         g.bench_with_input(BenchmarkId::from_parameter(len), &b_rows, |b, rows| {

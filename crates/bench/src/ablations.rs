@@ -51,7 +51,9 @@ fn matching_ablation() {
     };
 
     let global = GlobalMapMatcher::new(roads, MatchParams::default());
-    run("global (Eqs. 2-4)", &|| global.match_records(&track.records));
+    run("global (Eqs. 2-4)", &|| {
+        global.match_records(&track.records)
+    });
 
     let incremental = IncrementalMatcher::new(roads, IncrementalParams::default());
     run("incremental topological", &|| {
@@ -74,7 +76,12 @@ fn matching_ablation() {
 /// Ablation 3: HMM vs nearest-POI across POI densities.
 fn point_ablation(scale: Scale) {
     header("Ablation — HMM/Viterbi vs nearest-POI stop annotation, by POI density");
-    let mut t = Table::new(&["POIs", "labeled stops", "HMM accuracy", "nearest-POI accuracy"]);
+    let mut t = Table::new(&[
+        "POIs",
+        "labeled stops",
+        "HMM accuracy",
+        "nearest-POI accuracy",
+    ]);
     for poi_count in [1_500usize, 6_000, 20_000] {
         let dataset = milan_cars_with_density(scale.apply(30), poi_count);
         let bounds = dataset.city.bounds();
@@ -133,13 +140,16 @@ fn point_ablation(scale: Scale) {
         ]);
     }
     t.print();
-    println!("  dense POIs hurt both annotators; the sequence prior pays off under position error:");
+    println!(
+        "  dense POIs hurt both annotators; the sequence prior pays off under position error:"
+    );
 
     // second axis: stop-center uncertainty (sparse sampling / indoor
     // losses blur the stop position — the paper's stated hard case)
     let dataset = milan_cars_with_density(scale.apply(30), 6_000);
     let bounds = dataset.city.bounds();
-    let hmm = PointAnnotator::new(&dataset.city.pois, bounds, PointParams::default()).expect("POIs");
+    let hmm =
+        PointAnnotator::new(&dataset.city.pois, bounds, PointParams::default()).expect("POIs");
     let baseline = NearestPoiAnnotator::new(&dataset.city.pois, bounds, 30.0, 150.0);
     let policy = VelocityPolicy::vehicles();
     let mut t2 = Table::new(&["center error σ", "HMM accuracy", "nearest-POI accuracy"]);
@@ -150,9 +160,13 @@ fn point_ablation(scale: Scale) {
         let mut rng_state = 0x5eed_5eedu64;
         let mut gauss = move || {
             // deterministic Box–Muller from an LCG
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u1 = ((rng_state >> 33) as f64 / u32::MAX as f64).max(1e-12);
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u2 = (rng_state >> 33) as f64 / u32::MAX as f64 * std::f64::consts::TAU;
             (-2.0 * u1.ln()).sqrt() * u2.cos()
         };

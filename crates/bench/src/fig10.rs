@@ -54,8 +54,14 @@ pub fn run(_scale: Scale) {
     println!("\n  baselines on the same drive:");
     let mut b = Table::new(&["matcher", "accuracy"]);
     for (name, metric) in [
-        ("local nearest (Eq. 1 point-segment)", BaselineMetric::PointSegment),
-        ("local nearest (perpendicular)", BaselineMetric::Perpendicular),
+        (
+            "local nearest (Eq. 1 point-segment)",
+            BaselineMetric::PointSegment,
+        ),
+        (
+            "local nearest (perpendicular)",
+            BaselineMetric::Perpendicular,
+        ),
     ] {
         let m = NearestSegmentMatcher::new(&dataset.city.roads, metric, 60.0);
         let acc = GlobalMapMatcher::accuracy(&m.match_records(&track.records), &truth);

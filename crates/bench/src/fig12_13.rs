@@ -60,7 +60,9 @@ pub fn fig12(scale: Scale) {
         lo = if lo == 0 { 2 } else { lo * 2 };
     }
     t.print();
-    println!("\n  paper: moves/trajectories extend to >10^3 records; stops concentrate in 10..500.");
+    println!(
+        "\n  paper: moves/trajectories extend to >10^3 records; stops concentrate in 10..500."
+    );
 }
 
 /// Runs Fig. 13: per-user counts for six users.
@@ -92,5 +94,7 @@ pub fn fig13(scale: Scale) {
         ]);
     }
     t.print();
-    println!("\n  paper: 7.3M records → 46,958 moves + 52,497 stops over 23,188 daily trajectories.");
+    println!(
+        "\n  paper: 7.3M records → 46,958 moves + 52,497 stops over 23,188 daily trajectories."
+    );
 }

@@ -23,8 +23,10 @@ pub fn run(scale: Scale) {
     let mut per_user: Vec<LanduseDistribution> =
         (0..6).map(|_| LanduseDistribution::default()).collect();
     for track in &dataset.tracks {
-        per_user[track.object_id as usize]
-            .merge(&LanduseDistribution::of_trajectory(&annotator, &track.to_raw()));
+        per_user[track.object_id as usize].merge(&LanduseDistribution::of_trajectory(
+            &annotator,
+            &track.to_raw(),
+        ));
     }
 
     // full distribution table
@@ -55,8 +57,8 @@ pub fn run(scale: Scale) {
     for d in &per_user {
         combined.merge(d);
     }
-    let bt = combined.share(LanduseCategory::Building)
-        + combined.share(LanduseCategory::Transportation);
+    let bt =
+        combined.share(LanduseCategory::Building) + combined.share(LanduseCategory::Transportation);
     println!(
         "\n  building + transportation across users: {} (paper: ~61% for people vs ~83% for taxis)",
         pct(bt)

@@ -11,10 +11,7 @@ use semitri::prelude::*;
 use semitri::store::export::{kml_document, raw_trajectory_kml, sst_kml};
 
 fn commute_track(city: &City, mode: TransportMode, seed: u64) -> SimulatedTrack {
-    let home = Point::new(
-        city.bounds().width() * 0.25,
-        city.bounds().height() * 0.30,
-    );
+    let home = Point::new(city.bounds().width() * 0.25, city.bounds().height() * 0.30);
     let office = city.regions[0].polygon.centroid();
     let mut sim = TripSimulator::new(
         &city.roads,

@@ -90,7 +90,9 @@ pub fn run(scale: Scale) {
         all.mean_store_match() * 1e3,
         m.landuse_join_secs * 1e3
     );
-    println!("  paper means: 0.008 / 3.959 / 0.162 / 0.292 / 0.088 s — storing dominates computing.");
+    println!(
+        "  paper means: 0.008 / 3.959 / 0.162 / 0.292 / 0.088 s — storing dominates computing."
+    );
 
     let _ = std::fs::remove_file(&path);
 }

@@ -44,14 +44,26 @@ pub fn table1(scale: Scale) {
     let milan = milan_cars(scale.apply(40), 2, 42);
     let seattle = seattle_drive(42);
 
-    let mut t = Table::new(&["dataset", "#objects", "#GPS records", "tracking", "sampling"]);
+    let mut t = Table::new(&[
+        "dataset",
+        "#objects",
+        "#GPS records",
+        "tracking",
+        "sampling",
+    ]);
     dataset_row(&mut t, &taxis);
     dataset_row(&mut t, &milan);
     dataset_row(&mut t, &seattle);
     t.print();
 
     println!("\n  semantic place sources:");
-    let mut s = Table::new(&["dataset", "landuse cells", "POIs", "road segments", "regions"]);
+    let mut s = Table::new(&[
+        "dataset",
+        "landuse cells",
+        "POIs",
+        "road segments",
+        "regions",
+    ]);
     for d in [&taxis, &milan, &seattle] {
         s.row(&[
             d.name.clone(),

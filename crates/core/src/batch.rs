@@ -1,0 +1,514 @@
+//! Parallel batch annotation.
+//!
+//! The paper's evaluation annotates whole fleets (§5: "3M GPS records" of
+//! Milan trajectories); annotating them one-by-one on a single core
+//! leaves the machine idle. [`BatchAnnotator`] fans a batch of raw
+//! trajectories across a pool of worker threads that *share* one
+//! read-only [`SeMiTri`] — the R\*-tree, road and POI indexes are built
+//! once and borrowed by every worker, never cloned.
+//!
+//! Guarantees:
+//!
+//! * **Order preservation** — `results[i]` always corresponds to
+//!   `trajectories[i]`, regardless of which worker annotated it or when
+//!   it finished.
+//! * **Determinism** — annotation is a pure function of the input, so the
+//!   outputs are identical for every pool size (only the
+//!   [`LatencyProfile`]s differ).
+//! * **Panic isolation** — a panic while annotating one trajectory is
+//!   caught and surfaced as that slot's [`PipelineError`]; the worker and
+//!   the rest of the batch continue unaffected.
+
+use crate::pipeline::{PipelineOutput, SeMiTri};
+use semitri_data::RawTrajectory;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Failure of one trajectory inside a batch: the annotation panicked.
+///
+/// Carries enough identity to requeue or report the trajectory without
+/// holding onto the input batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// Position of the failed trajectory in the input batch.
+    pub index: usize,
+    /// Moving-object identifier of the failed trajectory.
+    pub object_id: u64,
+    /// Trajectory identifier of the failed trajectory.
+    pub trajectory_id: u64,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "annotation of trajectory {} (object {}, batch index {}) panicked: {}",
+            self.trajectory_id, self.object_id, self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Distribution of one pipeline stage's per-trajectory latency (seconds)
+/// across a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageSummary {
+    /// Fastest trajectory.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Slowest trajectory.
+    pub max: f64,
+}
+
+impl StageSummary {
+    fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let n = samples.len();
+        let rank = ((n as f64 * 0.95).ceil() as usize).clamp(1, n);
+        Self {
+            min: samples[0],
+            mean: samples.iter().sum::<f64>() / n as f64,
+            p95: samples[rank - 1],
+            max: samples[n - 1],
+        }
+    }
+}
+
+/// Pool-wide aggregation of a batch run: throughput, per-stage latency
+/// distributions (the batch analogue of Fig. 17) and worker utilization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchSummary {
+    /// Worker threads the pool actually ran.
+    pub threads: usize,
+    /// Trajectories in the batch.
+    pub trajectories: usize,
+    /// Trajectories whose annotation panicked.
+    pub failures: usize,
+    /// GPS records annotated (cleaned records of successful outputs).
+    pub records: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_secs: f64,
+    /// `records / wall_secs`.
+    pub records_per_sec: f64,
+    /// Cleaning + episode computation latency distribution.
+    pub compute_episode: StageSummary,
+    /// Map matching + mode inference latency distribution.
+    pub map_match: StageSummary,
+    /// Landuse spatial-join latency distribution.
+    pub landuse_join: StageSummary,
+    /// HMM stop-annotation latency distribution.
+    pub point: StageSummary,
+    /// Seconds each worker spent annotating (index = worker).
+    pub worker_busy_secs: Vec<f64>,
+    /// Trajectories each worker processed (index = worker).
+    pub worker_trajectories: Vec<usize>,
+}
+
+impl BatchSummary {
+    /// Fraction of the batch's wall-clock each worker spent annotating.
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        if self.wall_secs <= 0.0 {
+            return vec![0.0; self.worker_busy_secs.len()];
+        }
+        self.worker_busy_secs
+            .iter()
+            .map(|b| b / self.wall_secs)
+            .collect()
+    }
+}
+
+/// Results of a batch run: one slot per input trajectory, in input order,
+/// plus the pool-wide [`BatchSummary`].
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// `results[i]` is trajectory `i`'s output, or the panic that stopped
+    /// it.
+    pub results: Vec<Result<PipelineOutput, PipelineError>>,
+    /// Aggregated throughput / latency / utilization statistics.
+    pub summary: BatchSummary,
+}
+
+impl BatchOutput {
+    /// The successful outputs, in input order.
+    pub fn outputs(&self) -> impl Iterator<Item = &PipelineOutput> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// The failed slots, in input order.
+    pub fn errors(&self) -> impl Iterator<Item = &PipelineError> {
+        self.results.iter().filter_map(|r| r.as_ref().err())
+    }
+}
+
+/// A worker pool annotating batches of trajectories over one shared
+/// [`SeMiTri`].
+///
+/// ```no_run
+/// # use semitri_core::{BatchAnnotator, SeMiTri, PipelineConfig};
+/// # use semitri_data::{City, CityConfig, RawTrajectory};
+/// # let city = City::generate(CityConfig::default());
+/// # let batch: Vec<RawTrajectory> = Vec::new();
+/// let semitri = SeMiTri::new(&city, PipelineConfig::default());
+/// let out = BatchAnnotator::new(&semitri).with_threads(4).annotate_all(&batch);
+/// println!("{:.0} records/s", out.summary.records_per_sec);
+/// ```
+pub struct BatchAnnotator<'s, 'c> {
+    semitri: &'s SeMiTri<'c>,
+    threads: usize,
+}
+
+impl<'s, 'c> BatchAnnotator<'s, 'c> {
+    /// Builds a pool over `semitri` sized to the machine's parallelism.
+    pub fn new(semitri: &'s SeMiTri<'c>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { semitri, threads }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Annotates every trajectory of `batch`, fanning the work across the
+    /// pool. Workers pull indexes from a shared channel (natural work
+    /// stealing: a worker stuck on a long trajectory doesn't block the
+    /// others), so the output is reassembled by index afterwards.
+    pub fn annotate_all(&self, batch: &[RawTrajectory]) -> BatchOutput {
+        let started = Instant::now();
+        // never spin up more workers than there is work for
+        let threads = self.threads.min(batch.len()).max(1);
+
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+        let (result_tx, result_rx) =
+            crossbeam::channel::unbounded::<(usize, Result<PipelineOutput, PipelineError>)>();
+        for index in 0..batch.len() {
+            job_tx.send(index).expect("job receiver alive");
+        }
+        drop(job_tx);
+
+        let semitri = self.semitri;
+        let worker_stats: Vec<(f64, usize)> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let jobs = job_rx.clone();
+                    let results = result_tx.clone();
+                    scope.spawn(move |_| {
+                        let mut busy_secs = 0.0;
+                        let mut annotated = 0usize;
+                        while let Ok(index) = jobs.recv() {
+                            let traj = &batch[index];
+                            let t0 = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| semitri.annotate(traj)))
+                                .map_err(|payload| PipelineError {
+                                    index,
+                                    object_id: traj.object_id,
+                                    trajectory_id: traj.trajectory_id,
+                                    message: panic_message(payload.as_ref()),
+                                });
+                            busy_secs += t0.elapsed().as_secs_f64();
+                            annotated += 1;
+                            if results.send((index, outcome)).is_err() {
+                                break;
+                            }
+                        }
+                        (busy_secs, annotated)
+                    })
+                })
+                .collect();
+            // close this scope's spare handles so the result drain below
+            // sees disconnection once every worker is done
+            drop(result_tx);
+            drop(job_rx);
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or((0.0, 0)))
+                .collect()
+        })
+        .expect("workers never propagate panics");
+
+        // reassemble in input order
+        let mut slots: Vec<Option<Result<PipelineOutput, PipelineError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        while let Ok((index, outcome)) = result_rx.try_recv() {
+            slots[index] = Some(outcome);
+        }
+        let results: Vec<Result<PipelineOutput, PipelineError>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(PipelineError {
+                        index,
+                        object_id: batch[index].object_id,
+                        trajectory_id: batch[index].trajectory_id,
+                        message: "worker produced no result".into(),
+                    })
+                })
+            })
+            .collect();
+        let wall_secs = started.elapsed().as_secs_f64();
+
+        let mut records = 0usize;
+        let mut failures = 0usize;
+        let mut compute = Vec::new();
+        let mut map_match = Vec::new();
+        let mut landuse = Vec::new();
+        let mut point = Vec::new();
+        for result in &results {
+            match result {
+                Ok(output) => {
+                    records += output.cleaned.len();
+                    compute.push(output.latency.compute_episode_secs);
+                    map_match.push(output.latency.map_match_secs);
+                    landuse.push(output.latency.landuse_join_secs);
+                    point.push(output.latency.point_secs);
+                }
+                Err(_) => failures += 1,
+            }
+        }
+
+        let summary = BatchSummary {
+            threads,
+            trajectories: batch.len(),
+            failures,
+            records,
+            wall_secs,
+            records_per_sec: if wall_secs > 0.0 {
+                records as f64 / wall_secs
+            } else {
+                0.0
+            },
+            compute_episode: StageSummary::from_samples(compute),
+            map_match: StageSummary::from_samples(map_match),
+            landuse_join: StageSummary::from_samples(landuse),
+            point: StageSummary::from_samples(point),
+            worker_busy_secs: worker_stats.iter().map(|(busy, _)| *busy).collect(),
+            worker_trajectories: worker_stats.iter().map(|(_, n)| *n).collect(),
+        };
+
+        BatchOutput { results, summary }
+    }
+}
+
+impl<'c> SeMiTri<'c> {
+    /// Annotates a batch of trajectories over `threads` shared workers.
+    /// Convenience for [`BatchAnnotator`] with an explicit pool size.
+    pub fn annotate_batch(&self, batch: &[RawTrajectory], threads: usize) -> BatchOutput {
+        BatchAnnotator::new(self)
+            .with_threads(threads)
+            .annotate_all(batch)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use semitri_data::sim::{SimConfig, TripSimulator};
+    use semitri_data::{City, CityConfig, PoiCategory, TransportMode};
+    use semitri_episodes::{EpisodeKind, SegmentationPolicy, VelocityPolicy};
+    use semitri_geo::{Point, Rect, Timestamp};
+
+    fn small_city() -> City {
+        City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, 5_000.0, 5_000.0),
+            poi_count: 400,
+            region_count: 4,
+            seed: 77,
+            ..CityConfig::default()
+        })
+    }
+
+    fn fleet(city: &City, trips: u64) -> Vec<RawTrajectory> {
+        (0..trips)
+            .map(|k| {
+                let origin = Point::new(900.0 + 350.0 * k as f64, 1_300.0 + 250.0 * k as f64);
+                let dest = Point::new(4_000.0 - 300.0 * k as f64, 3_800.0 - 200.0 * k as f64);
+                let mut sim = TripSimulator::new(
+                    &city.roads,
+                    SimConfig {
+                        sampling_interval: 6.0,
+                        ..SimConfig::default()
+                    },
+                    11 + k,
+                    origin,
+                    Timestamp(7.0 * 3_600.0 + 600.0 * k as f64),
+                );
+                sim.dwell(900.0, true, None);
+                sim.travel_to(dest, TransportMode::Walk);
+                sim.dwell(1_500.0, false, Some((k + 1, PoiCategory::ItemSale)));
+                sim.travel_to(origin, TransportMode::Walk);
+                sim.dwell(900.0, true, None);
+                sim.finish(k + 1, 100 + k).to_raw()
+            })
+            .collect()
+    }
+
+    /// Asserts the semantic (non-timing) parts of two outputs are equal.
+    fn assert_same_output(a: &PipelineOutput, b: &PipelineOutput) {
+        assert_eq!(a.cleaned.records(), b.cleaned.records());
+        assert_eq!(a.episodes, b.episodes);
+        assert_eq!(a.region_tuples, b.region_tuples);
+        assert_eq!(a.move_routes, b.move_routes);
+        assert_eq!(a.stop_annotations, b.stop_annotations);
+        assert_eq!(a.sst, b.sst);
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let batch = fleet(&city, 5);
+        let out = BatchAnnotator::new(&semitri)
+            .with_threads(3)
+            .annotate_all(&batch);
+        assert_eq!(out.results.len(), batch.len());
+        for (i, result) in out.results.iter().enumerate() {
+            let output = result.as_ref().expect("no failures in this batch");
+            assert_eq!(output.sst.object_id, batch[i].object_id);
+            assert_eq!(output.sst.trajectory_id, batch[i].trajectory_id);
+        }
+    }
+
+    #[test]
+    fn multi_thread_output_is_identical_to_single_thread() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let batch = fleet(&city, 6);
+        let single = semitri.annotate_batch(&batch, 1);
+        let pooled = semitri.annotate_batch(&batch, 4);
+        assert_eq!(single.results.len(), pooled.results.len());
+        for (a, b) in single.results.iter().zip(&pooled.results) {
+            assert_same_output(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // and both agree with the sequential single-trajectory API
+        for (traj, result) in batch.iter().zip(&pooled.results) {
+            assert_same_output(&semitri.annotate(traj), result.as_ref().unwrap());
+        }
+    }
+
+    /// Policy that panics on one marked trajectory — exercises panic
+    /// isolation without poisoning the pool.
+    struct PanickingPolicy {
+        inner: VelocityPolicy,
+        poison_trajectory_id: u64,
+    }
+
+    impl SegmentationPolicy for PanickingPolicy {
+        fn label(&self, traj: &RawTrajectory) -> Vec<EpisodeKind> {
+            assert_ne!(
+                traj.trajectory_id, self.poison_trajectory_id,
+                "injected batch failure"
+            );
+            self.inner.label(traj)
+        }
+
+        fn min_stop_secs(&self) -> f64 {
+            self.inner.min_stop_secs()
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_to_its_trajectory() {
+        let city = small_city();
+        let batch = fleet(&city, 5);
+        let poisoned = SeMiTri::new(
+            &city,
+            PipelineConfig {
+                policy: Box::new(PanickingPolicy {
+                    inner: VelocityPolicy::default(),
+                    poison_trajectory_id: batch[2].trajectory_id,
+                }),
+                ..PipelineConfig::default()
+            },
+        );
+        let clean = SeMiTri::new(&city, PipelineConfig::default());
+
+        let out = poisoned.annotate_batch(&batch, 3);
+        assert_eq!(out.summary.failures, 1);
+        assert_eq!(out.errors().count(), 1);
+        let err = out.results[2].as_ref().unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.object_id, batch[2].object_id);
+        assert_eq!(err.trajectory_id, batch[2].trajectory_id);
+        assert!(err.message.contains("injected batch failure"), "{err}");
+
+        // every other slot still annotated, identically to a clean run
+        for (i, result) in out.results.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            assert_same_output(result.as_ref().unwrap(), &clean.annotate(&batch[i]));
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_stages_and_workers() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let batch = fleet(&city, 4);
+        let out = semitri.annotate_batch(&batch, 2);
+        let s = &out.summary;
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.trajectories, 4);
+        assert_eq!(s.failures, 0);
+        assert!(s.records > 0);
+        assert!(s.wall_secs > 0.0);
+        assert!(s.records_per_sec > 0.0);
+        for stage in [&s.compute_episode, &s.map_match, &s.landuse_join, &s.point] {
+            assert!(stage.min <= stage.mean && stage.mean <= stage.max);
+            assert!(stage.min <= stage.p95 && stage.p95 <= stage.max);
+        }
+        assert_eq!(s.worker_busy_secs.len(), 2);
+        assert_eq!(s.worker_trajectories.len(), 2);
+        assert_eq!(s.worker_trajectories.iter().sum::<usize>(), 4);
+        for u in s.worker_utilization() {
+            assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn oversized_pool_and_empty_batch_are_safe() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+
+        let empty = semitri.annotate_batch(&[], 8);
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.summary.records, 0);
+        assert_eq!(empty.summary.records_per_sec, 0.0);
+
+        let batch = fleet(&city, 2);
+        let out = semitri.annotate_batch(&batch, 16);
+        // the pool never spawns more workers than trajectories
+        assert_eq!(out.summary.threads, 2);
+        assert!(out.results.iter().all(|r| r.is_ok()));
+    }
+}

@@ -22,11 +22,15 @@
 //! * [`streaming`] — the real-time annotator (§1.2: "annotation data is
 //!   even required in real-time"): incremental stop/move detection with
 //!   immediate per-episode annotation and causal forward-filtered stop
-//!   activities.
+//!   activities;
+//! * [`batch`] — the multi-threaded batch engine: a worker pool fanning a
+//!   fleet of trajectories over one shared `SeMiTri`, with order-
+//!   preserving, panic-isolated results and pool-wide latency summaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod error;
 pub mod line;
 pub mod model;
@@ -35,12 +39,12 @@ pub mod point;
 pub mod region;
 pub mod streaming;
 
+pub use batch::{BatchAnnotator, BatchOutput, BatchSummary, PipelineError, StageSummary};
 pub use error::SemitriError;
 pub use line::matcher::{GlobalMapMatcher, MatchParams, MatchedPoint};
 pub use line::mode::ModeInferencer;
 pub use model::{
-    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple,
-    StructuredSemanticTrajectory,
+    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple, StructuredSemanticTrajectory,
 };
 pub use pipeline::{LatencyProfile, PipelineConfig, PipelineOutput, SeMiTri};
 pub use point::PointAnnotator;

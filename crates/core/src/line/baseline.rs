@@ -35,7 +35,10 @@ pub struct NearestSegmentMatcher<'n> {
 impl<'n> NearestSegmentMatcher<'n> {
     /// Builds the baseline matcher.
     pub fn new(net: &'n RoadNetwork, metric: BaselineMetric, candidate_radius_m: f64) -> Self {
-        assert!(candidate_radius_m > 0.0, "candidate radius must be positive");
+        assert!(
+            candidate_radius_m > 0.0,
+            "candidate radius must be positive"
+        );
         let items = net
             .segments()
             .iter()

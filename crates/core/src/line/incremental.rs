@@ -174,10 +174,7 @@ mod tests {
         assert!(matches[1].is_none());
         // context was reset: third point matches nearest (north), not the
         // previously-connected south
-        assert_eq!(
-            net.segment(matches[2].unwrap().segment).name,
-            "north"
-        );
+        assert_eq!(net.segment(matches[2].unwrap().segment).name, "north");
     }
 
     #[test]

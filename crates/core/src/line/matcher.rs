@@ -152,10 +152,8 @@ impl<'n> GlobalMapMatcher<'n> {
     pub fn match_records(&self, records: &[GpsRecord]) -> Vec<Option<MatchedPoint>> {
         let n = records.len();
         // per-point candidate local scores (Algorithm 2 lines 5–9)
-        let local: Vec<Vec<(SegmentId, f64)>> = records
-            .iter()
-            .map(|r| self.local_scores(r.point))
-            .collect();
+        let local: Vec<Vec<(SegmentId, f64)>> =
+            records.iter().map(|r| self.local_scores(r.point)).collect();
 
         let radius = self.params.radius_m;
         let sigma = self.params.sigma_factor * radius;
@@ -231,10 +229,7 @@ impl<'n> GlobalMapMatcher<'n> {
     /// or without a match are excluded from the denominator only when the
     /// truth itself is absent — a missed match on a true segment counts as
     /// an error (the paper's accuracy definition on the Seattle benchmark).
-    pub fn accuracy(
-        matches: &[Option<MatchedPoint>],
-        truth: &[Option<SegmentId>],
-    ) -> f64 {
+    pub fn accuracy(matches: &[Option<MatchedPoint>], truth: &[Option<SegmentId>]) -> f64 {
         assert_eq!(matches.len(), truth.len(), "matches/truth length mismatch");
         let mut correct = 0usize;
         let mut total = 0usize;

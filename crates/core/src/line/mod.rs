@@ -15,8 +15,8 @@ pub mod matcher;
 pub mod mode;
 
 use crate::model::{Annotation, PlaceKind, PlaceRef};
-use semitri_data::{GpsRecord, RoadNetwork, TransportMode};
 use semitri_data::road::SegmentId;
+use semitri_data::{GpsRecord, RoadNetwork, TransportMode};
 use semitri_geo::TimeSpan;
 
 /// One entry of the matched route: a maximal run of records mapped to the
@@ -56,7 +56,11 @@ pub fn group_matches(
     records: &[GpsRecord],
     matches: &[Option<matcher::MatchedPoint>],
 ) -> Vec<RouteEntry> {
-    assert_eq!(records.len(), matches.len(), "records/matches length mismatch");
+    assert_eq!(
+        records.len(),
+        matches.len(),
+        "records/matches length mismatch"
+    );
     let mut out: Vec<RouteEntry> = Vec::new();
     for (i, m) in matches.iter().enumerate() {
         let Some(m) = m else { continue };

@@ -75,7 +75,12 @@ impl Default for ModeInferencer {
 
 impl ModeInferencer {
     /// Classifies one run from its features and matched road segment.
-    pub fn classify(&self, features: MotionFeatures, class: RoadClass, bus_route: bool) -> TransportMode {
+    pub fn classify(
+        &self,
+        features: MotionFeatures,
+        class: RoadClass,
+        bus_route: bool,
+    ) -> TransportMode {
         // hard road-type evidence dominates — but only for the people
         // palette AND at rail-plausible speed; vehicles can't ride rails,
         // and a slow "rail" match is a map-matching artifact of collinear
@@ -269,7 +274,15 @@ mod tests {
         // network: 5 consecutive street segments
         let nodes: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
         let edges = (0..5)
-            .map(|i| (i as u32, i as u32 + 1, RoadClass::Street, true, format!("s{i}")))
+            .map(|i| {
+                (
+                    i as u32,
+                    i as u32 + 1,
+                    RoadClass::Street,
+                    true,
+                    format!("s{i}"),
+                )
+            })
             .collect();
         let net = RoadNetwork::new(nodes, edges);
 
@@ -293,7 +306,8 @@ mod tests {
             .collect();
         ModeInferencer::default().annotate(&net, &records, &mut entries);
         // the dip entry is outvoted by its bus neighbors
-        assert!(entries.iter().all(|e| e.mode == Some(TransportMode::Bus)),
+        assert!(
+            entries.iter().all(|e| e.mode == Some(TransportMode::Bus)),
             "modes: {:?}",
             entries.iter().map(|e| e.mode).collect::<Vec<_>>()
         );

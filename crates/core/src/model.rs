@@ -207,7 +207,11 @@ impl StructuredSemanticTrajectory {
                 })
                 .collect::<Vec<_>>()
                 .join(",");
-            let extra = if extra.is_empty() { "-".to_string() } else { extra };
+            let extra = if extra.is_empty() {
+                "-".to_string()
+            } else {
+                extra
+            };
             out.push_str(&format!(
                 "({place}, {}-{}, {extra})",
                 t.span.start, t.span.end

@@ -8,10 +8,7 @@
 use crate::line::matcher::{GlobalMapMatcher, MatchParams};
 use crate::line::mode::ModeInferencer;
 use crate::line::{group_matches, RouteEntry};
-use crate::model::{
-    Annotation, AnnotationValue, SemanticTuple,
-    StructuredSemanticTrajectory,
-};
+use crate::model::{Annotation, AnnotationValue, SemanticTuple, StructuredSemanticTrajectory};
 use crate::point::{PointAnnotator, PointParams, StopAnnotation};
 use crate::region::{RegionAnnotator, RegionTuple};
 use semitri_data::{City, RawTrajectory};
@@ -79,6 +76,7 @@ pub struct LatencyProfile {
 }
 
 /// Everything the pipeline produced for one trajectory.
+#[derive(Debug)]
 pub struct PipelineOutput {
     /// The cleaned trajectory the episode indexes refer to.
     pub cleaned: RawTrajectory,
@@ -175,7 +173,9 @@ impl<'c> SeMiTri<'c> {
             let slice = &cleaned.records()[ep.start..ep.end];
             let matches = self.matcher.match_records(slice);
             let mut entries = group_matches(slice, &matches);
-            self.config.mode.annotate(&self.city.roads, slice, &mut entries);
+            self.config
+                .mode
+                .annotate(&self.city.roads, slice, &mut entries);
             move_routes.push((idx, entries));
         }
         latency.map_match_secs = t0.elapsed().as_secs_f64();
@@ -490,10 +490,7 @@ mod tests {
             .iter()
             .flat_map(|(_, es)| es.iter().filter_map(|e| e.mode))
             .collect();
-        assert!(
-            modes.contains(&TransportMode::Car),
-            "modes {modes:?}"
-        );
+        assert!(modes.contains(&TransportMode::Car), "modes {modes:?}");
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl NearestPoiAnnotator {
     /// Panics on an empty POI set or non-positive parameters.
     pub fn new(pois: &PoiSet, bounds: Rect, cell_size: f64, search_radius: f64) -> Self {
         assert!(!pois.is_empty(), "baseline needs at least one POI");
-        assert!(cell_size > 0.0 && search_radius > 0.0, "parameters must be positive");
+        assert!(
+            cell_size > 0.0 && search_radius > 0.0,
+            "parameters must be positive"
+        );
         let mut grid = GridIndex::new(bounds, cell_size);
         for p in pois.pois() {
             grid.insert(p.point, p.category);
@@ -82,8 +85,14 @@ mod tests {
     fn picks_nearest() {
         let (pois, bounds) = set();
         let ann = NearestPoiAnnotator::new(&pois, bounds, 50.0, 200.0);
-        assert_eq!(ann.annotate(Point::new(95.0, 100.0)), Some(PoiCategory::Feedings));
-        assert_eq!(ann.annotate(Point::new(130.0, 100.0)), Some(PoiCategory::ItemSale));
+        assert_eq!(
+            ann.annotate(Point::new(95.0, 100.0)),
+            Some(PoiCategory::Feedings)
+        );
+        assert_eq!(
+            ann.annotate(Point::new(130.0, 100.0)),
+            Some(PoiCategory::ItemSale)
+        );
     }
 
     #[test]

@@ -114,9 +114,7 @@ impl Hmm {
         }
         let n = self.n;
         // initialization: δ_1(i) = π_i B_i(o_1); ψ_1(i) = 0
-        let mut delta: Vec<f64> = (0..n)
-            .map(|i| self.log_pi[i] + safe_ln(b[0][i]))
-            .collect();
+        let mut delta: Vec<f64> = (0..n).map(|i| self.log_pi[i] + safe_ln(b[0][i])).collect();
         let mut psi = vec![vec![0usize; n]; t_len];
         let mut next = vec![0.0f64; n];
         // recursion: δ_t(j) = max_i[δ_{t-1}(i) A_ij] · B_j(o_t)
@@ -237,11 +235,7 @@ mod tests {
 
     fn two_state() -> Hmm {
         // classic weather model
-        Hmm::new(
-            &[0.6, 0.4],
-            &[vec![0.7, 0.3], vec![0.4, 0.6]],
-        )
-        .unwrap()
+        Hmm::new(&[0.6, 0.4], &[vec![0.7, 0.3], vec![0.4, 0.6]]).unwrap()
     }
 
     #[test]
@@ -274,11 +268,7 @@ mod tests {
     fn sticky_transitions_bridge_weak_evidence() {
         // state 0 sticky; a single weak contrary observation in the middle
         // should not flip the path
-        let hmm = Hmm::new(
-            &[0.5, 0.5],
-            &[vec![0.95, 0.05], vec![0.05, 0.95]],
-        )
-        .unwrap();
+        let hmm = Hmm::new(&[0.5, 0.5], &[vec![0.95, 0.05], vec![0.05, 0.95]]).unwrap();
         let b = vec![
             vec![0.9, 0.1],
             vec![0.45, 0.55], // slightly favors 1
@@ -321,11 +311,7 @@ mod tests {
     fn impossible_transition_is_never_taken() {
         // state 1 unreachable from state 0 and vice versa; observations
         // alternate preference, but the path must stay in one state
-        let hmm = Hmm::new(
-            &[0.5, 0.5],
-            &[vec![1.0, 0.0], vec![0.0, 1.0]],
-        )
-        .unwrap();
+        let hmm = Hmm::new(&[0.5, 0.5], &[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         let b = vec![vec![0.9, 0.1], vec![0.1, 0.9], vec![0.9, 0.1]];
         let (path, _) = hmm.viterbi(&b).unwrap();
         assert!(path == vec![0, 0, 0] || path == vec![1, 1, 1]);
@@ -351,8 +337,10 @@ mod tests {
         assert!(a2[1] > a2[0]);
         // forward probabilities decrease monotonically (they are joint
         // probabilities of a growing observation prefix)
-        assert!(a2.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            <= a1.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        assert!(
+            a2.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                <= a1.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
     }
 
     #[test]

@@ -43,10 +43,7 @@ pub fn learn_transitions(sequences: &[Vec<PoiCategory>], alpha: f64) -> Vec<Vec<
 /// Evaluates how well a transition matrix explains held-out sequences:
 /// mean log-likelihood per transition (higher is better). Returns `None`
 /// when the sequences contain no transitions.
-pub fn transition_log_likelihood(
-    a: &[Vec<f64>],
-    sequences: &[Vec<PoiCategory>],
-) -> Option<f64> {
+pub fn transition_log_likelihood(a: &[Vec<f64>], sequences: &[Vec<PoiCategory>]) -> Option<f64> {
     let mut ll = 0.0f64;
     let mut n = 0usize;
     for seq in sequences {
@@ -149,10 +146,14 @@ mod tests {
                 .collect(),
         );
         let a = learn_transitions(&[vec![ItemSale, ItemSale, ItemSale]], 1.0);
-        let ann = PointAnnotator::new(&pois, Rect::new(0.0, 0.0, 500.0, 500.0), PointParams::default())
-            .unwrap()
-            .with_transitions(&a)
-            .unwrap();
+        let ann = PointAnnotator::new(
+            &pois,
+            Rect::new(0.0, 0.0, 500.0, 500.0),
+            PointParams::default(),
+        )
+        .unwrap()
+        .with_transitions(&a)
+        .unwrap();
         let out = ann.annotate_stops(&[Point::new(101.0, 100.0), Point::new(104.0, 101.0)]);
         assert!(out.iter().all(|s| s.category == ItemSale));
     }

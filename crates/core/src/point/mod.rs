@@ -217,7 +217,10 @@ mod tests {
         for i in 12..24 {
             pois.push(Poi {
                 id: i,
-                point: Point::new(800.0 + (i % 4) as f64 * 8.0, 500.0 + ((i - 12) / 4) as f64 * 8.0),
+                point: Point::new(
+                    800.0 + (i % 4) as f64 * 8.0,
+                    500.0 + ((i - 12) / 4) as f64 * 8.0,
+                ),
                 category: PoiCategory::ItemSale,
                 name: format!("shop {i}"),
             });

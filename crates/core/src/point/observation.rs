@@ -48,7 +48,10 @@ impl PoiObservationModel {
     /// Panics if `pois` is empty or the parameters are non-positive.
     pub fn new(pois: &PoiSet, bounds: Rect, cell_size: f64, neighbor_radius: f64) -> Self {
         assert!(!pois.is_empty(), "observation model needs at least one POI");
-        assert!(cell_size > 0.0 && neighbor_radius > 0.0, "parameters must be positive");
+        assert!(
+            cell_size > 0.0 && neighbor_radius > 0.0,
+            "parameters must be positive"
+        );
         let mut grid = GridIndex::new(bounds, cell_size);
         for p in pois.pois() {
             grid.insert(p.point, (p.id, p.category));
@@ -80,8 +83,8 @@ impl PoiObservationModel {
             let d_sq = p.distance_sq(q);
             // 2-D isotropic Gaussian density (the 1/2πσ² normalization
             // matters across categories because σ_c differs per category)
-            let dens = (-d_sq / (2.0 * sigma * sigma)).exp()
-                / (std::f64::consts::TAU * sigma * sigma);
+            let dens =
+                (-d_sq / (2.0 * sigma * sigma)).exp() / (std::f64::consts::TAU * sigma * sigma);
             row[cat.ordinal()] += dens;
         });
         row
@@ -249,12 +252,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one POI")]
     fn rejects_empty_poi_set() {
-        PoiObservationModel::new(
-            &PoiSet::default(),
-            Rect::new(0.0, 0.0, 1.0, 1.0),
-            1.0,
-            1.0,
-        );
+        PoiObservationModel::new(&PoiSet::default(), Rect::new(0.0, 0.0, 1.0, 1.0), 1.0, 1.0);
     }
 
     #[test]

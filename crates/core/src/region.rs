@@ -207,10 +207,9 @@ impl RegionAnnotator {
     /// (intersection). Returns the matching regions for the episode.
     pub fn annotate_episode(&self, traj: &RawTrajectory, episode: &Episode) -> Vec<PlaceRef> {
         match episode.kind {
-            semitri_episodes::EpisodeKind::Stop => self
-                .region_at(episode.center)
-                .into_iter()
-                .collect(),
+            semitri_episodes::EpisodeKind::Stop => {
+                self.region_at(episode.center).into_iter().collect()
+            }
             semitri_episodes::EpisodeKind::Move => {
                 let _ = traj;
                 let mut out = Vec::new();
@@ -331,8 +330,14 @@ mod tests {
             },
         ];
         let ann = RegionAnnotator::from_named_regions(&regions);
-        assert_eq!(ann.region_at(Point::new(500.0, 500.0)).unwrap().label, "small");
-        assert_eq!(ann.region_at(Point::new(100.0, 100.0)).unwrap().label, "big");
+        assert_eq!(
+            ann.region_at(Point::new(500.0, 500.0)).unwrap().label,
+            "small"
+        );
+        assert_eq!(
+            ann.region_at(Point::new(100.0, 100.0)).unwrap().label,
+            "big"
+        );
     }
 
     #[test]

@@ -118,7 +118,10 @@ impl<'c> StreamingAnnotator<'c> {
         let lo = n.saturating_sub(k + 1);
         let window = &self.records[lo..n];
         let dt = window[window.len() - 1].t.since(window[0].t);
-        let dist: f64 = window.windows(2).map(|w| w[0].point.distance(w[1].point)).sum();
+        let dist: f64 = window
+            .windows(2)
+            .map(|w| w[0].point.distance(w[1].point))
+            .sum();
         let speed = if dt > 0.0 { dist / dt } else { 0.0 };
         let kind = if speed < self.policy.speed_threshold_mps {
             EpisodeKind::Stop
@@ -152,7 +155,24 @@ impl<'c> StreamingAnnotator<'c> {
                 if contrary_secs < confirm_after {
                     return Vec::new();
                 }
-                let closed = self.close_episode(open, self.open_start, flip_start + 1);
+                // a stop that never reached min_stop_secs is noise, not an
+                // episode: merge its records into the move that now
+                // continues (the online equivalent of the batch policy's
+                // demotion) rather than emitting or dropping them
+                if open == EpisodeKind::Stop {
+                    let open_secs = self.records[flip_start - 1]
+                        .t
+                        .since(self.records[self.open_start].t);
+                    if open_secs < self.policy.min_stop_secs {
+                        self.open_kind = Some(kind);
+                        self.contrary_since = None;
+                        return Vec::new();
+                    }
+                }
+                // the contrary run's first record belongs to the *new*
+                // episode: close [open_start, flip_start) and reopen at
+                // flip_start, so consecutive episodes share no record
+                let closed = self.close_episode(open, self.open_start, flip_start);
                 self.open_start = flip_start;
                 self.open_kind = Some(kind);
                 self.contrary_since = None;
@@ -171,6 +191,16 @@ impl<'c> StreamingAnnotator<'c> {
         if self.open_start >= n {
             return Vec::new();
         }
+        // a final stop shorter than the minimum is demoted to a move, as
+        // the batch policy does; the trailing records are never dropped
+        let kind = if kind == EpisodeKind::Stop
+            && self.records[n - 1].t.since(self.records[self.open_start].t)
+                < self.policy.min_stop_secs
+        {
+            EpisodeKind::Move
+        } else {
+            kind
+        };
         self.close_episode(kind, self.open_start, n)
             .into_iter()
             .collect()
@@ -192,17 +222,16 @@ impl<'c> StreamingAnnotator<'c> {
         }
     }
 
-    fn close_episode(&mut self, kind: EpisodeKind, start: usize, end: usize) -> Option<StreamEvent> {
+    fn close_episode(
+        &mut self,
+        kind: EpisodeKind,
+        start: usize,
+        end: usize,
+    ) -> Option<StreamEvent> {
         if end <= start {
             return None;
         }
         let episode = self.episode(kind, start, end);
-        // enforce the minimum stop duration: a too-short stop is noise
-        // inside a move and is silently merged (the online equivalent of
-        // the batch policy's demotion; the move context continues)
-        if kind == EpisodeKind::Stop && episode.duration() < self.policy.min_stop_secs {
-            return None;
-        }
         match kind {
             EpisodeKind::Move => {
                 let slice = &self.records[start..end];
@@ -330,16 +359,85 @@ mod tests {
         assert!(stops >= 2, "stops {stops}");
         assert!(moves >= 2, "moves {moves}");
 
-        // episodes are ordered and non-overlapping over the fed records
+        // episodes exactly partition the fed records: each one starts
+        // where the previous ended, and the last ends at the feed's end
         let mut last_end = 0usize;
         for e in &events {
             let ep = match e {
                 StreamEvent::Move { episode, .. } | StreamEvent::Stop { episode, .. } => episode,
             };
-            assert!(ep.start >= last_end.saturating_sub(1), "overlap at {}", ep.start);
+            assert_eq!(ep.start, last_end, "gap or overlap at {}", ep.start);
             assert!(ep.end > ep.start);
             last_end = ep.end;
         }
+        assert_eq!(last_end, stream.record_count());
+    }
+
+    #[test]
+    fn streaming_episodes_cover_every_record_exactly_once() {
+        let city = city();
+        let track = day_track(&city);
+        let mut stream = annotator(&city);
+        let mut events = Vec::new();
+        for &r in &track.records {
+            events.extend(stream.push(r));
+        }
+        events.extend(stream.flush());
+
+        let mut coverage = vec![0usize; stream.record_count()];
+        for e in &events {
+            let ep = match e {
+                StreamEvent::Move { episode, .. } | StreamEvent::Stop { episode, .. } => episode,
+            };
+            for slot in &mut coverage[ep.start..ep.end] {
+                *slot += 1;
+            }
+        }
+        for (i, count) in coverage.iter().enumerate() {
+            assert_eq!(*count, 1, "record {i} is in {count} episodes");
+        }
+    }
+
+    #[test]
+    fn short_initial_stop_merges_into_move_without_record_loss() {
+        let city = city();
+        // a dwell shorter than min_stop_secs, then a walk: the dwell must
+        // be demoted into the move, not silently dropped
+        let mut sim = TripSimulator::new(
+            &city.roads,
+            SimConfig {
+                sampling_interval: 8.0,
+                ..SimConfig::default()
+            },
+            5,
+            Point::new(1_200.0, 1_400.0),
+            Timestamp(8.0 * 3_600.0),
+        );
+        sim.dwell(60.0, true, None);
+        sim.travel_to(Point::new(3_900.0, 3_700.0), TransportMode::Walk);
+        let track = sim.finish(1, 1);
+
+        let mut stream = annotator(&city);
+        let mut events = Vec::new();
+        for &r in &track.records {
+            events.extend(stream.push(r));
+        }
+        events.extend(stream.flush());
+
+        assert!(!events.is_empty());
+        let mut last_end = 0usize;
+        for e in &events {
+            let ep = match e {
+                StreamEvent::Move { episode, .. } | StreamEvent::Stop { episode, .. } => episode,
+            };
+            assert!(
+                matches!(e, StreamEvent::Move { .. }),
+                "sub-minimum dwell must not surface as a stop"
+            );
+            assert_eq!(ep.start, last_end);
+            last_end = ep.end;
+        }
+        assert_eq!(last_end, stream.record_count());
     }
 
     #[test]
@@ -418,8 +516,8 @@ mod tests {
         assert!(stream
             .push(GpsRecord::new(Point::new(1.0, 1.0), Timestamp(0.0)))
             .is_empty());
-        // one record: open episode exists but a single-point "episode" only
-        // materializes on flush as a (too short) stop, which is dropped
+        // one record: no motion hypothesis ever forms (classification
+        // needs two records), so flush has nothing to close
         let events = stream.flush();
         assert!(events.is_empty());
     }

@@ -120,6 +120,9 @@ mod tests {
         let b = City::generate(cfg);
         assert_eq!(a.pois.pois()[50], b.pois.pois()[50]);
         assert_eq!(a.roads.segments().len(), b.roads.segments().len());
-        assert_eq!(a.landuse.category_histogram(), b.landuse.category_histogram());
+        assert_eq!(
+            a.landuse.category_histogram(),
+            b.landuse.category_histogram()
+        );
     }
 }

@@ -181,6 +181,8 @@ mod tests {
 
     #[test]
     fn empty_input_is_empty() {
-        assert!(read_gps_csv("".as_bytes(), &projection()).unwrap().is_empty());
+        assert!(read_gps_csv("".as_bytes(), &projection())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -29,23 +29,23 @@ pub enum LanduseGroup {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // variant meaning given by `label`
 pub enum LanduseCategory {
-    IndustrialCommercial, // 1.1
-    Building,             // 1.2
-    Transportation,       // 1.3
-    SpecialUrban,         // 1.4
-    Recreational,         // 1.5
-    Orchard,              // 2.6
-    ArableLand,           // 2.7
-    Meadow,               // 2.8
-    AlpineAgriculture,    // 2.9
-    Forest,               // 3.10
-    BrushForest,          // 3.11
-    Woods,                // 3.12
-    Lake,                 // 4.13
-    River,                // 4.14
+    IndustrialCommercial,   // 1.1
+    Building,               // 1.2
+    Transportation,         // 1.3
+    SpecialUrban,           // 1.4
+    Recreational,           // 1.5
+    Orchard,                // 2.6
+    ArableLand,             // 2.7
+    Meadow,                 // 2.8
+    AlpineAgriculture,      // 2.9
+    Forest,                 // 3.10
+    BrushForest,            // 3.11
+    Woods,                  // 3.12
+    Lake,                   // 4.13
+    River,                  // 4.14
     UnproductiveVegetation, // 4.15
-    BareLand,             // 4.16
-    Glacier,              // 4.17
+    BareLand,               // 4.16
+    Glacier,                // 4.17
 }
 
 impl LanduseCategory {
@@ -289,9 +289,13 @@ impl LanduseGrid {
     /// The cell containing `p` (clamped to the border cells for points just
     /// outside the bounds, mirroring how a national grid is queried).
     pub fn cell_at(&self, p: Point) -> LanduseCell {
-        let col = (((p.x - self.bounds.min_x) / self.cell_size).floor().max(0.0) as usize)
+        let col = (((p.x - self.bounds.min_x) / self.cell_size)
+            .floor()
+            .max(0.0) as usize)
             .min(self.nx - 1);
-        let row = (((p.y - self.bounds.min_y) / self.cell_size).floor().max(0.0) as usize)
+        let row = (((p.y - self.bounds.min_y) / self.cell_size)
+            .floor()
+            .max(0.0) as usize)
             .min(self.ny - 1);
         self.cell((row * self.nx + col) as u64).expect("in range")
     }
@@ -366,7 +370,10 @@ mod tests {
         let a = small_grid();
         let b = small_grid();
         assert_eq!(a.category_histogram(), b.category_histogram());
-        assert_eq!(a.cell(1234).unwrap().category, b.cell(1234).unwrap().category);
+        assert_eq!(
+            a.cell(1234).unwrap().category,
+            b.cell(1234).unwrap().category
+        );
     }
 
     #[test]

@@ -240,8 +240,7 @@ mod tests {
         // person life (38.6%) must dominate; unknown (1.3%) must be rare
         assert!(h[PoiCategory::PersonLife.ordinal()] > h[PoiCategory::Services.ordinal()]);
         assert!(h[PoiCategory::ItemSale.ordinal()] > h[PoiCategory::Feedings.ordinal()]);
-        let unknown_share =
-            h[PoiCategory::Unknown.ordinal()] as f64 / 5_000.0;
+        let unknown_share = h[PoiCategory::Unknown.ordinal()] as f64 / 5_000.0;
         assert!(unknown_share < 0.05, "unknown share {unknown_share}");
     }
 
@@ -258,7 +257,12 @@ mod tests {
                     (i + 1) as f64 * 200.0,
                     (j + 1) as f64 * 200.0,
                 );
-                counts.push(s.pois().iter().filter(|p| w.contains_point(p.point)).count());
+                counts.push(
+                    s.pois()
+                        .iter()
+                        .filter(|p| w.contains_point(p.point))
+                        .count(),
+                );
             }
         }
         counts.sort_unstable();

@@ -65,14 +65,12 @@ impl Dataset {
 }
 
 fn nearest_poi(city: &City, p: Point, cat: PoiCategory) -> Option<&Poi> {
-    city.pois
-        .of_category(cat)
-        .min_by(|a, b| {
-            a.point
-                .distance_sq(p)
-                .partial_cmp(&b.point.distance_sq(p))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+    city.pois.of_category(cat).min_by(|a, b| {
+        a.point
+            .distance_sq(p)
+            .partial_cmp(&b.point.distance_sq(p))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 fn random_poi<'c>(city: &'c City, rng: &mut StdRng) -> &'c Poi {
@@ -214,7 +212,11 @@ pub fn milan_cars_with_pois(n_cars: usize, days: usize, poi_count: usize, seed: 
                 if !sim.travel_to(spot, TransportMode::Car) {
                     continue;
                 }
-                sim.dwell(rng.gen_range(1_800.0..5_400.0), false, Some((dest_id, dest_cat)));
+                sim.dwell(
+                    rng.gen_range(1_800.0..5_400.0),
+                    false,
+                    Some((dest_id, dest_cat)),
+                );
             }
             sim.travel_to(home, TransportMode::Car);
             let track = sim.finish(car, trajectory_id);
@@ -394,8 +396,7 @@ pub fn smartphone_users(n_users: usize, days: usize, seed: u64) -> Dataset {
     for user in 0..n_users as u64 {
         let person = personality(&city, user, seed);
         for day in 0..days {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ user.wrapping_mul(31) ^ (day as u64) << 16);
+            let mut rng = StdRng::seed_from_u64(seed ^ user.wrapping_mul(31) ^ (day as u64) << 16);
             let weekday = day % 7 < 5;
             let day_base = day as f64 * 86_400.0;
             let mut sim = TripSimulator::new(
@@ -413,8 +414,11 @@ pub fn smartphone_users(n_users: usize, days: usize, seed: u64) -> Dataset {
                 let mode = if rng.gen_bool(0.8) {
                     person.commute
                 } else {
-                    [TransportMode::Walk, TransportMode::Bus, TransportMode::Metro]
-                        [rng.gen_range(0..3)]
+                    [
+                        TransportMode::Walk,
+                        TransportMode::Bus,
+                        TransportMode::Metro,
+                    ][rng.gen_range(0..3usize)]
                 };
                 sim.travel_to(person.office, mode);
                 // morning at the office
@@ -432,8 +436,7 @@ pub fn smartphone_users(n_users: usize, days: usize, seed: u64) -> Dataset {
                 // evening errand
                 match rng.gen_range(0..10) {
                     0..=2 => {
-                        if let Some(market) =
-                            nearest_poi(&city, person.home, PoiCategory::ItemSale)
+                        if let Some(market) = nearest_poi(&city, person.home, PoiCategory::ItemSale)
                         {
                             let (p, id, cat) = (market.point, market.id, market.category);
                             let p = parking_spot(&mut rng, p);

@@ -247,13 +247,11 @@ impl RoadNetwork {
     /// The access node of `mode` nearest to `p` (linear scan; the generator
     /// networks are small enough and trip planning is off the hot path).
     pub fn nearest_access_node(&self, p: Point, mode: TransportMode) -> Option<NodeId> {
-        self.access_nodes(mode)
-            .into_iter()
-            .min_by(|&a, &b| {
-                let da = self.node(a).distance_sq(p);
-                let db = self.node(b).distance_sq(p);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.access_nodes(mode).into_iter().min_by(|&a, &b| {
+            let da = self.node(a).distance_sq(p);
+            let db = self.node(b).distance_sq(p);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Shortest route (by travel time for `mode`) between two nodes, or
@@ -541,7 +539,9 @@ mod tests {
     #[test]
     fn car_route_connects_corners() {
         let net = network();
-        let from = net.nearest_access_node(Point::new(300.0, 700.0), TransportMode::Car).unwrap();
+        let from = net
+            .nearest_access_node(Point::new(300.0, 700.0), TransportMode::Car)
+            .unwrap();
         let to = net
             .nearest_access_node(Point::new(3_700.0, 3_700.0), TransportMode::Car)
             .unwrap();
@@ -563,8 +563,7 @@ mod tests {
         let net = network();
         let stations = net.access_nodes(TransportMode::Metro);
         assert!(stations.len() >= 4);
-        let route = net
-            .route(stations[0], *stations.last().unwrap(), TransportMode::Metro);
+        let route = net.route(stations[0], *stations.last().unwrap(), TransportMode::Metro);
         // stations on different lines may be unreachable without transfer
         // nodes, but same-line stations must connect:
         let line: Vec<NodeId> = stations
@@ -597,7 +596,9 @@ mod tests {
     #[test]
     fn segment_at_distance_walks_route() {
         let net = network();
-        let from = net.nearest_access_node(Point::new(300.0, 700.0), TransportMode::Walk).unwrap();
+        let from = net
+            .nearest_access_node(Point::new(300.0, 700.0), TransportMode::Walk)
+            .unwrap();
         let to = net
             .nearest_access_node(Point::new(2_000.0, 2_000.0), TransportMode::Walk)
             .unwrap();

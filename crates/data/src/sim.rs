@@ -173,7 +173,10 @@ impl<'a> TripSimulator<'a> {
         pos: Point,
         start: Timestamp,
     ) -> Self {
-        assert!(cfg.sampling_interval > 0.0, "sampling interval must be positive");
+        assert!(
+            cfg.sampling_interval > 0.0,
+            "sampling interval must be positive"
+        );
         Self {
             net,
             cfg,
@@ -210,7 +213,10 @@ impl<'a> TripSimulator<'a> {
         // advance the Gauss–Markov error state to the current time:
         // n(t+dt) = ρ n(t) + σ √(1-ρ²) ε, ρ = exp(-dt/τ) — stationary with
         // marginal σ = noise_sigma and correlation time τ
-        let dt = self.noise_t.map(|t| self.now.0 - t).unwrap_or(f64::INFINITY);
+        let dt = self
+            .noise_t
+            .map(|t| self.now.0 - t)
+            .unwrap_or(f64::INFINITY);
         let rho = if dt.is_finite() {
             (-dt / NOISE_TAU_SECS).exp()
         } else {
@@ -336,11 +342,7 @@ impl<'a> TripSimulator<'a> {
             traveled = (traveled + v * dt).min(dist);
             self.now = self.now.plus(dt);
             let p = start.lerp(dest, traveled / dist);
-            self.emit(
-                p,
-                TruthPoint::moving(None, mode),
-                1.0 - self.cfg.dropout,
-            );
+            self.emit(p, TruthPoint::moving(None, mode), 1.0 - self.cfg.dropout);
         }
         self.pos = dest;
     }
@@ -372,10 +374,7 @@ impl<'a> TripSimulator<'a> {
             d = (d + v * dt).min(length);
             since_halt += v * dt;
             self.now = self.now.plus(dt);
-            let p = route
-                .polyline
-                .point_at_distance(d)
-                .expect("route nonempty");
+            let p = route.polyline.point_at_distance(d).expect("route nonempty");
             let seg = route.segment_at_distance(d);
             self.emit(p, TruthPoint::moving(seg, mode), keep);
 
@@ -445,12 +444,12 @@ mod tests {
         let raw = track.to_raw();
         assert_eq!(raw.len(), track.len());
         // most moving truth points carry a segment
-        let with_seg = track
-            .truth
-            .iter()
-            .filter(|t| t.segment.is_some())
-            .count();
-        assert!(with_seg * 10 > track.len() * 5, "{with_seg}/{}", track.len());
+        let with_seg = track.truth.iter().filter(|t| t.segment.is_some()).count();
+        assert!(
+            with_seg * 10 > track.len() * 5,
+            "{with_seg}/{}",
+            track.len()
+        );
         // every declared segment is drivable
         for t in &track.truth {
             if let Some(seg) = t.segment {
@@ -469,7 +468,10 @@ mod tests {
         let indoor_count = s.records.len();
         s.dwell(600.0, false, None);
         let outdoor_count = s.records.len() - indoor_count;
-        assert!(indoor_count * 3 < outdoor_count, "{indoor_count} vs {outdoor_count}");
+        assert!(
+            indoor_count * 3 < outdoor_count,
+            "{indoor_count} vs {outdoor_count}"
+        );
         // truth for dwell records flags a stop
         assert!(s.truth[..indoor_count].iter().all(|t| t.is_stop()));
         assert_eq!(s.truth[0].stop_category, Some(PoiCategory::Feedings));
@@ -489,10 +491,7 @@ mod tests {
         for t in &track.truth {
             if t.mode == Some(TransportMode::Metro) {
                 if let Some(seg) = t.segment {
-                    assert_eq!(
-                        city.roads.segment(seg).class,
-                        crate::road::RoadClass::Rail
-                    );
+                    assert_eq!(city.roads.segment(seg).class, crate::road::RoadClass::Rail);
                 }
             }
         }
@@ -557,9 +556,9 @@ mod tests {
         assert!(!track.is_empty());
         // either a bus leg exists or everything degraded to walk (both are
         // legal outcomes depending on the bus topology near the endpoints)
-        assert!(track
-            .truth
-            .iter()
-            .all(|t| matches!(t.mode, Some(TransportMode::Bus) | Some(TransportMode::Walk) | None)));
+        assert!(track.truth.iter().all(|t| matches!(
+            t.mode,
+            Some(TransportMode::Bus) | Some(TransportMode::Walk) | None
+        )));
     }
 }

@@ -32,7 +32,13 @@ fn network_strategy() -> impl Strategy<Value = RoadNetwork> {
             for (a, b) in chords {
                 let (a, b) = (a % n, b % n);
                 if a != b && nodes[a].distance(nodes[b]) > 1.0 {
-                    edges.push((a as u32, b as u32, RoadClass::Street, false, "c".to_string()));
+                    edges.push((
+                        a as u32,
+                        b as u32,
+                        RoadClass::Street,
+                        false,
+                        "c".to_string(),
+                    ));
                 }
             }
             RoadNetwork::new(nodes, edges)
@@ -40,14 +46,21 @@ fn network_strategy() -> impl Strategy<Value = RoadNetwork> {
 }
 
 /// Brute-force shortest travel time by Bellman-Ford over all edges.
-fn brute_force_cost(net: &RoadNetwork, from: NodeId, to: NodeId, mode: TransportMode) -> Option<f64> {
+fn brute_force_cost(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    mode: TransportMode,
+) -> Option<f64> {
     let n = net.nodes().len();
     let mut dist = vec![f64::INFINITY; n];
     dist[from as usize] = 0.0;
     for _ in 0..n {
         let mut changed = false;
         for seg in net.segments() {
-            let Some(speed) = mode.speed_on(seg) else { continue };
+            let Some(speed) = mode.speed_on(seg) else {
+                continue;
+            };
             let w = seg.length() / speed;
             let (a, b) = (seg.from as usize, seg.to as usize);
             if dist[a] + w < dist[b] {

@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn outlier_filter_keeps_clean_track() {
-        let recs: Vec<GpsRecord> = (0..50).map(|i| rec(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let recs: Vec<GpsRecord> = (0..50)
+            .map(|i| rec(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         assert_eq!(remove_speed_outliers(&recs, 15.0).len(), 50);
     }
 
@@ -161,7 +163,9 @@ mod tests {
 
     #[test]
     fn gaussian_smooth_preserves_straight_line() {
-        let recs: Vec<GpsRecord> = (0..50).map(|i| rec(i as f64 * 3.0, 7.0, i as f64)).collect();
+        let recs: Vec<GpsRecord> = (0..50)
+            .map(|i| rec(i as f64 * 3.0, 7.0, i as f64))
+            .collect();
         let sm = gaussian_smooth(&recs, 2.0);
         for (s, r) in sm[5..45].iter().zip(&recs[5..45]) {
             assert!((s.point.x - r.point.x).abs() < 0.5);

@@ -98,7 +98,9 @@ mod tests {
 
     #[test]
     fn continuous_stream_is_one_trajectory() {
-        let recs: Vec<GpsRecord> = (0..20).map(|i| rec(i as f64 * 5.0, i as f64 * 10.0)).collect();
+        let recs: Vec<GpsRecord> = (0..20)
+            .map(|i| rec(i as f64 * 5.0, i as f64 * 10.0))
+            .collect();
         let trajs = ident().identify(1, 0, &recs);
         assert_eq!(trajs.len(), 1);
         assert_eq!(trajs[0].len(), 20);

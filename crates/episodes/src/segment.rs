@@ -550,8 +550,7 @@ mod composite_tests {
             min_duration_secs: 60.0,
         };
         // velocity alone calls the creep a stop
-        assert!(velocity
-            .label(&traj).contains(&EpisodeKind::Stop));
+        assert!(velocity.label(&traj).contains(&EpisodeKind::Stop));
         // density alone calls it a move
         assert!(density.label(&traj).iter().all(|&k| k == EpisodeKind::Move));
         // the conjunction follows density

@@ -104,7 +104,10 @@ impl Polyline {
         }
         let total = self.length();
         if total == 0.0 {
-            return Polyline::new(vec![self.vertices[0], *self.vertices.last().expect("len>=2")]);
+            return Polyline::new(vec![
+                self.vertices[0],
+                *self.vertices.last().expect("len>=2"),
+            ]);
         }
         let n = (total / step).ceil() as usize;
         let mut out = Vec::with_capacity(n + 1);
@@ -337,7 +340,7 @@ mod tests {
         let pl = l_shape();
         let s = pl.simplify(0.5);
         assert_eq!(s.len(), 3); // the corner survives
-        // result stays within epsilon of the original
+                                // result stays within epsilon of the original
         assert!(pl.hausdorff_distance(&s) <= 0.5 + 1e-9);
     }
 

@@ -42,7 +42,7 @@ impl Default for RStarParams {
         // the tree shallow for the million-cell landuse source.
         Self {
             max_entries: 32,
-            min_entries: 13, // 40% of M
+            min_entries: 13,    // 40% of M
             reinsert_count: 10, // 30% of M
         }
     }
@@ -83,15 +83,10 @@ enum Node<T> {
 impl<T> Node<T> {
     fn bbox(&self) -> Rect {
         match self {
-            Node::Leaf(es) => es
-                .iter()
-                .fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
-            Node::Internal(cs) => cs
-                .iter()
-                .fold(Rect::EMPTY, |acc, c| acc.union(&c.rect)),
+            Node::Leaf(es) => es.iter().fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
+            Node::Internal(cs) => cs.iter().fold(Rect::EMPTY, |acc, c| acc.union(&c.rect)),
         }
     }
-
 }
 
 enum InsertOutcome<T> {
@@ -613,7 +608,13 @@ impl<T> RStarTree<T> {
     /// uniform leaf depth). Used by tests; O(n).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        fn rec<T>(node: &Node<T>, depth: usize, leaf_depth: &mut Option<usize>, root: bool, max: usize) {
+        fn rec<T>(
+            node: &Node<T>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            root: bool,
+            max: usize,
+        ) {
             match node {
                 Node::Leaf(es) => {
                     match *leaf_depth {
@@ -694,7 +695,11 @@ fn choose_subtree<T>(children: &[Child<T>], rect: &Rect) -> usize {
 }
 
 /// Generic R\* split over anything with a rectangle. Returns the two groups.
-fn rstar_split<E>(mut items: Vec<E>, rect_of: impl Fn(&E) -> Rect, params: &RStarParams) -> (Vec<E>, Vec<E>) {
+fn rstar_split<E>(
+    mut items: Vec<E>,
+    rect_of: impl Fn(&E) -> Rect,
+    params: &RStarParams,
+) -> (Vec<E>, Vec<E>) {
     let m = params.min_entries;
     let total = items.len();
     debug_assert!(total > params.max_entries);
@@ -792,11 +797,17 @@ fn rstar_split<E>(mut items: Vec<E>, rect_of: impl Fn(&E) -> Rect, params: &RSta
     (items, right)
 }
 
-fn split_entries<T>(entries: Vec<Entry<T>>, params: &RStarParams) -> (Vec<Entry<T>>, Vec<Entry<T>>) {
+fn split_entries<T>(
+    entries: Vec<Entry<T>>,
+    params: &RStarParams,
+) -> (Vec<Entry<T>>, Vec<Entry<T>>) {
     rstar_split(entries, |e| e.rect, params)
 }
 
-fn split_children<T>(children: Vec<Child<T>>, params: &RStarParams) -> (Vec<Child<T>>, Vec<Child<T>>) {
+fn split_children<T>(
+    children: Vec<Child<T>>,
+    params: &RStarParams,
+) -> (Vec<Child<T>>, Vec<Child<T>>) {
     rstar_split(children, |c| c.rect, params)
 }
 
@@ -852,7 +863,9 @@ mod tests {
         // deterministic pseudo-random rects via an LCG, no rand dependency
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let mut items = Vec::new();
@@ -1058,7 +1071,9 @@ mod tests {
     fn remove_then_query_matches_brute_force() {
         let mut state = 0x3333u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let mut items: Vec<(Rect, usize)> = (0..300)

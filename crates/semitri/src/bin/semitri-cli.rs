@@ -6,7 +6,7 @@
 //! and answers queries against it.
 //!
 //! ```text
-//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days]
+//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N]
 //! semitri-cli info <store.stlog>
 //! semitri-cli objects <store.stlog>
 //! semitri-cli show <store.stlog> <trajectory_id>
@@ -23,7 +23,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days]\n  \
+        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N]\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
          semitri-cli show <store.stlog> <trajectory_id>\n  \
          semitri-cli query-mode <store.stlog> <mode>\n  \
@@ -51,7 +51,13 @@ fn parse_category(s: &str) -> Option<PoiCategory> {
     PoiCategory::ALL.into_iter().find(|c| c.label() == norm)
 }
 
-fn generate(preset: &str, path: &str, seed: u64, days: usize) -> Result<(), ExitCode> {
+fn generate(
+    preset: &str,
+    path: &str,
+    seed: u64,
+    days: usize,
+    threads: Option<usize>,
+) -> Result<(), ExitCode> {
     let (dataset, vehicle) = match preset {
         "taxis" => (lausanne_taxis(days, seed), true),
         "milan" => (milan_cars(20, days, seed), true),
@@ -81,8 +87,27 @@ fn generate(preset: &str, path: &str, seed: u64, days: usize) -> Result<(), Exit
     };
     let semitri = SeMiTri::new(&dataset.city, config);
     let store = open(path)?;
-    for track in &dataset.tracks {
-        let out = semitri.annotate(&track.to_raw());
+
+    // annotate the whole fleet over a shared worker pool
+    let mut annotator = BatchAnnotator::new(&semitri);
+    if let Some(n) = threads {
+        annotator = annotator.with_threads(n);
+    }
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+    let batch = annotator.annotate_all(&raws);
+    println!(
+        "annotated with {} worker(s): {} records in {:.2}s ({:.0} records/s)",
+        batch.summary.threads,
+        batch.summary.records,
+        batch.summary.wall_secs,
+        batch.summary.records_per_sec
+    );
+    for err in batch.errors() {
+        eprintln!("warning: {err}");
+    }
+
+    for (track, result) in dataset.tracks.iter().zip(&batch.results) {
+        let Ok(out) = result else { continue };
         store
             .put_trajectory(TrajectoryMeta {
                 trajectory_id: track.trajectory_id,
@@ -109,12 +134,37 @@ fn run() -> Result<(), ExitCode> {
             let (Some(preset), Some(path)) = (it.next(), it.next()) else {
                 return Err(usage());
             };
-            let seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
-            let days = it.next().and_then(|s| s.parse().ok()).unwrap_or(2);
-            generate(preset, path, seed, days)
+            // remaining args: optional positional [seed] [days] plus an
+            // optional --threads N anywhere among them
+            let mut threads = None;
+            let mut positional = Vec::new();
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                if arg == "--threads" {
+                    let Some(n) = rest.next().and_then(|s| s.parse::<usize>().ok()) else {
+                        eprintln!("--threads needs a positive integer");
+                        return Err(ExitCode::from(2));
+                    };
+                    if n == 0 {
+                        eprintln!("--threads needs a positive integer");
+                        return Err(ExitCode::from(2));
+                    }
+                    threads = Some(n);
+                } else {
+                    positional.push(arg);
+                }
+            }
+            let seed = positional
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            let days = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+            generate(preset, path, seed, days, threads)
         }
         Some("info") => {
-            let Some(path) = it.next() else { return Err(usage()) };
+            let Some(path) = it.next() else {
+                return Err(usage());
+            };
             let store = open(path)?;
             let (t, e, s) = store.counts();
             println!("store {path}");
@@ -127,7 +177,9 @@ fn run() -> Result<(), ExitCode> {
             Ok(())
         }
         Some("objects") => {
-            let Some(path) = it.next() else { return Err(usage()) };
+            let Some(path) = it.next() else {
+                return Err(usage());
+            };
             let store = open(path)?;
             let mut seen = std::collections::BTreeMap::new();
             for meta in store.trajectory_metas() {
@@ -184,7 +236,9 @@ fn run() -> Result<(), ExitCode> {
             Ok(())
         }
         Some("stats") => {
-            let Some(path) = it.next() else { return Err(usage()) };
+            let Some(path) = it.next() else {
+                return Err(usage());
+            };
             let store = open(path)?;
             let stats = store.annotation_statistics();
             println!("mode tuples:");
@@ -216,7 +270,9 @@ fn run() -> Result<(), ExitCode> {
             Ok(())
         }
         Some("compact") => {
-            let Some(path) = it.next() else { return Err(usage()) };
+            let Some(path) = it.next() else {
+                return Err(usage());
+            };
             let store = open(path)?;
             let before = store.log_size().unwrap_or(0);
             store.compact().map_err(|e| {

@@ -58,22 +58,22 @@ pub mod prelude {
     pub use semitri_analytics::{
         dbscan_stops, mine_sequences, radius_of_gyration, symbols_of, trajectory_category,
         CategoryShares, CompressionStats, DbscanParams, LanduseDistribution, LatencySummary,
-        LengthDistribution, MobilitySummary, ModeShares, SequencePattern, StopCluster,
-        SymbolKind, UserEpisodeCounts,
+        LengthDistribution, MobilitySummary, ModeShares, SequencePattern, StopCluster, SymbolKind,
+        UserEpisodeCounts,
     };
     pub use semitri_core::{
-        Annotation, AnnotationValue, GlobalMapMatcher, LatencyProfile, MatchParams,
-        ModeInferencer, PipelineConfig, PipelineOutput, PlaceKind, PlaceRef, PointAnnotator,
-        RegionAnnotator, SeMiTri, SemanticTuple, SemitriError, StructuredSemanticTrajectory,
+        Annotation, AnnotationValue, BatchAnnotator, BatchOutput, BatchSummary, GlobalMapMatcher,
+        LatencyProfile, MatchParams, ModeInferencer, PipelineConfig, PipelineError, PipelineOutput,
+        PlaceKind, PlaceRef, PointAnnotator, RegionAnnotator, SeMiTri, SemanticTuple, SemitriError,
+        StageSummary, StructuredSemanticTrajectory,
     };
     pub use semitri_data::presets::{
         lausanne_taxis, milan_cars, milan_cars_with_pois, seattle_drive, smartphone_users, Dataset,
     };
     pub use semitri_data::sim::{SimConfig, SimulatedTrack, TripSimulator, TruthPoint};
     pub use semitri_data::{
-        City, CityConfig, GpsRecord, LanduseCategory, LanduseGrid, LanduseGroup, NamedRegion,
-        Poi, PoiCategory, PoiSet, RawTrajectory, RoadClass, RoadNetwork, RoadSegment,
-        TransportMode,
+        City, CityConfig, GpsRecord, LanduseCategory, LanduseGrid, LanduseGroup, NamedRegion, Poi,
+        PoiCategory, PoiSet, RawTrajectory, RoadClass, RoadNetwork, RoadSegment, TransportMode,
     };
     pub use semitri_episodes::{
         DensityPolicy, Episode, EpisodeKind, EpisodeStats, SegmentationPolicy,

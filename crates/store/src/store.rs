@@ -15,8 +15,7 @@
 use crate::codec::{Decoder, Encoder};
 use parking_lot::Mutex;
 use semitri_core::model::{
-    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple,
-    StructuredSemanticTrajectory,
+    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple, StructuredSemanticTrajectory,
 };
 use semitri_data::{PoiCategory, TransportMode};
 use semitri_episodes::{Episode, EpisodeKind};
@@ -161,7 +160,10 @@ impl SemanticTrajectoryStore {
         self.path.as_deref()
     }
 
-    fn append(&self, write: impl FnOnce(&mut Encoder<&mut BufWriter<File>>) -> io::Result<()>) -> Result<(), StoreError> {
+    fn append(
+        &self,
+        write: impl FnOnce(&mut Encoder<&mut BufWriter<File>>) -> io::Result<()>,
+    ) -> Result<(), StoreError> {
         if let Some(log) = &self.log {
             let mut guard = log.lock();
             {
@@ -249,7 +251,10 @@ impl SemanticTrajectoryStore {
             }
         }
         self.append(|enc| encode_sst(enc, sst))?;
-        self.inner.lock().ssts.insert(sst.trajectory_id, sst.clone());
+        self.inner
+            .lock()
+            .ssts
+            .insert(sst.trajectory_id, sst.clone());
         Ok(())
     }
 
@@ -471,10 +476,7 @@ impl AnnotationStats {
     }
 }
 
-fn encode_sst(
-    enc: &mut Encoder<impl Write>,
-    sst: &StructuredSemanticTrajectory,
-) -> io::Result<()> {
+fn encode_sst(enc: &mut Encoder<impl Write>, sst: &StructuredSemanticTrajectory) -> io::Result<()> {
     enc.u8(REC_SST)?;
     enc.u64(sst.trajectory_id)?;
     enc.u64(sst.object_id)?;
@@ -538,13 +540,17 @@ fn mode_from(code: u8) -> Result<TransportMode, StoreError> {
 fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
     let file = File::open(path)?;
     let mut dec = Decoder::new(BufReader::new(file));
-    let magic = dec.u32().map_err(|_| StoreError::Corrupt("missing header".to_string()))?;
+    let magic = dec
+        .u32()
+        .map_err(|_| StoreError::Corrupt("missing header".to_string()))?;
     if magic != MAGIC {
         return Err(StoreError::Corrupt("bad magic".to_string()));
     }
     let version = dec.u8()?;
     if version != VERSION {
-        return Err(StoreError::Corrupt(format!("unsupported version {version}")));
+        return Err(StoreError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     loop {
         let tag = match dec.u8() {
@@ -612,9 +618,7 @@ fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
                                 1 => PlaceKind::Line,
                                 2 => PlaceKind::Point,
                                 k => {
-                                    return Err(StoreError::Corrupt(format!(
-                                        "bad place kind {k}"
-                                    )))
+                                    return Err(StoreError::Corrupt(format!("bad place kind {k}")))
                                 }
                             };
                             let id = dec.u64()?;
@@ -644,9 +648,7 @@ fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
                             2 => AnnotationValue::Text(dec.string()?),
                             3 => AnnotationValue::Number(dec.f64()?),
                             k => {
-                                return Err(StoreError::Corrupt(format!(
-                                    "bad annotation tag {k}"
-                                )))
+                                return Err(StoreError::Corrupt(format!("bad annotation tag {k}")))
                             }
                         };
                         annotations.push(Annotation::new(key, value));
@@ -823,7 +825,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.stlog");
         std::fs::write(&path, b"not a store log at all").unwrap();
-        let err = SemanticTrajectoryStore::open_durable(&path).err().expect("corrupt");
+        let err = SemanticTrajectoryStore::open_durable(&path)
+            .err()
+            .expect("corrupt");
         assert!(matches!(err, StoreError::Corrupt(_)));
         std::fs::remove_file(&path).unwrap();
     }

@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use semitri_core::model::{
-    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple,
-    StructuredSemanticTrajectory,
+    Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple, StructuredSemanticTrajectory,
 };
 use semitri_data::{PoiCategory, TransportMode};
 use semitri_geo::{TimeSpan, Timestamp};
@@ -55,11 +54,13 @@ fn sst_strategy() -> impl Strategy<Value = StructuredSemanticTrajectory> {
         0u64..1_000,
         proptest::collection::vec(tuple_strategy(), 0..10),
     )
-        .prop_map(|(object_id, trajectory_id, tuples)| StructuredSemanticTrajectory {
-            object_id,
-            trajectory_id,
-            tuples,
-        })
+        .prop_map(
+            |(object_id, trajectory_id, tuples)| StructuredSemanticTrajectory {
+                object_id,
+                trajectory_id,
+                tuples,
+            },
+        )
 }
 
 proptest! {

@@ -46,12 +46,10 @@ fn main() {
                 },
             )
         });
-        entry
-            .0
-            .merge(&LanduseDistribution::of_trajectory(
-                semitri.region_annotator(),
-                &out.cleaned,
-            ));
+        entry.0.merge(&LanduseDistribution::of_trajectory(
+            semitri.region_annotator(),
+            &out.cleaned,
+        ));
         for (_, entries) in &out.move_routes {
             for e in entries {
                 if let Some(m) = e.mode {
@@ -75,11 +73,11 @@ fn main() {
         );
         let mut mode_list: Vec<(&str, usize)> = modes.iter().map(|(&k, &v)| (k, v)).collect();
         mode_list.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-        let mode_str: Vec<String> = mode_list
-            .iter()
-            .map(|(m, n)| format!("{m}:{n}"))
-            .collect();
-        println!("  transport (matched records per mode): {}", mode_str.join(", "));
+        let mode_str: Vec<String> = mode_list.iter().map(|(m, n)| format!("{m}:{n}")).collect();
+        println!(
+            "  transport (matched records per mode): {}",
+            mode_str.join(", ")
+        );
         let act_str: Vec<String> = PoiCategory::ALL
             .iter()
             .filter(|c| activities.count(**c) > 0)

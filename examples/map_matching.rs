@@ -32,14 +32,14 @@ fn main() {
     );
     let matches = global.match_records(records);
     let acc = GlobalMapMatcher::accuracy(&matches, &truth);
-    println!("global matcher (R=2 spacings, σ=0.5R): {:.2}% accuracy", acc * 100.0);
+    println!(
+        "global matcher (R=2 spacings, σ=0.5R): {:.2}% accuracy",
+        acc * 100.0
+    );
 
     // baseline 1: local nearest segment with the Eq. 1 distance
-    let nearest = NearestSegmentMatcher::new(
-        &dataset.city.roads,
-        BaselineMetric::PointSegment,
-        60.0,
-    );
+    let nearest =
+        NearestSegmentMatcher::new(&dataset.city.roads, BaselineMetric::PointSegment, 60.0);
     let m = nearest.match_records(records);
     println!(
         "local nearest (point-segment dist): {:.2}% accuracy",
@@ -47,11 +47,7 @@ fn main() {
     );
 
     // baseline 2: classical perpendicular-distance matching
-    let perp = NearestSegmentMatcher::new(
-        &dataset.city.roads,
-        BaselineMetric::Perpendicular,
-        60.0,
-    );
+    let perp = NearestSegmentMatcher::new(&dataset.city.roads, BaselineMetric::Perpendicular, 60.0);
     let m = perp.match_records(records);
     println!(
         "local nearest (perpendicular dist): {:.2}% accuracy",
@@ -70,6 +66,9 @@ fn main() {
             },
         );
         let m = matcher.match_records(records);
-        println!("  R={r}: {:.2}%", GlobalMapMatcher::accuracy(&m, &truth) * 100.0);
+        println!(
+            "  R={r}: {:.2}%",
+            GlobalMapMatcher::accuracy(&m, &truth) * 100.0
+        );
     }
 }

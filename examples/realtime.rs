@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release -p semitri --example realtime`
 
-use semitri::core::streaming::{StreamEvent, StreamingAnnotator};
 use semitri::core::line::matcher::MatchParams;
 use semitri::core::point::PointParams;
+use semitri::core::streaming::{StreamEvent, StreamingAnnotator};
 use semitri::prelude::*;
 
 fn main() {
@@ -68,8 +68,7 @@ fn main() {
 
     // end of day: re-decode with full context
     let offline = stream.finalize();
-    let agreement =
-        semitri::core::streaming::online_offline_agreement(&online_stops, &offline);
+    let agreement = semitri::core::streaming::online_offline_agreement(&online_stops, &offline);
     println!(
         "\nend-of-day Viterbi re-decode: {} stops, online/offline agreement {:.0}%",
         offline.len(),

@@ -93,17 +93,27 @@ fn main() {
         mobility.mean_distance_m() / 1_000.0,
         mobility.trajectories
     );
-    println!("  dominant transport mode: {:?}", modes.dominant().map(|m| m.label()));
+    println!(
+        "  dominant transport mode: {:?}",
+        modes.dominant().map(|m| m.label())
+    );
     for mode in TransportMode::ALL {
         let share = modes.share(mode);
         if share > 0.0 {
-            println!("    {:<8} {:>5.1}% of annotated move time", mode.label(), share * 100.0);
+            println!(
+                "    {:<8} {:>5.1}% of annotated move time",
+                mode.label(),
+                share * 100.0
+            );
         }
     }
 
     // --- store-backed aggregate queries ---
     let stats = store.annotation_statistics();
-    println!("\nstore aggregates over {} semantic trajectories:", all_ssts.len());
+    println!(
+        "\nstore aggregates over {} semantic trajectories:",
+        all_ssts.len()
+    );
     println!(
         "  trajectories with a metro leg: {}",
         store.ssts_with_mode(TransportMode::Metro).len()

@@ -70,7 +70,12 @@ fn region_layer_annotates_both_landuse_and_named_regions() {
     // walk through the campus region (regions[0])
     let campus_center = city.regions[0].polygon.centroid();
     let recs: Vec<GpsRecord> = (0..20)
-        .map(|i| GpsRecord::new(campus_center.offset(i as f64, 0.0), Timestamp(i as f64 * 10.0)))
+        .map(|i| {
+            GpsRecord::new(
+                campus_center.offset(i as f64, 0.0),
+                Timestamp(i as f64 * 10.0),
+            )
+        })
         .collect();
     let traj = RawTrajectory::new(1, 1, recs);
 
@@ -98,7 +103,10 @@ fn hmm_beats_nearest_poi_baseline_in_dense_areas() {
     for i in 0..30 {
         pois.push(Poi {
             id,
-            point: Point::new(500.0 + (i % 10) as f64 * 15.0, 500.0 + (i / 10) as f64 * 15.0),
+            point: Point::new(
+                500.0 + (i % 10) as f64 * 15.0,
+                500.0 + (i / 10) as f64 * 15.0,
+            ),
             category: PoiCategory::ItemSale,
             name: format!("shop {id}"),
         });
@@ -119,7 +127,9 @@ fn hmm_beats_nearest_poi_baseline_in_dense_areas() {
     let baseline = NearestPoiAnnotator::new(&set, bounds, 50.0, 150.0);
 
     // stops along the shopping street whose nearest POI is an ATM
-    let stops: Vec<Point> = (0..5).map(|i| Point::new(506.0 + i as f64 * 25.0, 497.0)).collect();
+    let stops: Vec<Point> = (0..5)
+        .map(|i| Point::new(506.0 + i as f64 * 25.0, 497.0))
+        .collect();
     let hmm_out = hmm.annotate_stops(&stops);
     let base_out = baseline.annotate_stops(&stops);
 

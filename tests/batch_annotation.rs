@@ -1,0 +1,81 @@
+//! Integration test of the multi-threaded batch annotation engine
+//! through the public `semitri` facade, including the CLI's `--threads`
+//! flag.
+
+use semitri::prelude::*;
+use std::process::Command;
+
+fn small_dataset() -> semitri::data::presets::Dataset {
+    smartphone_users(4, 1, 7)
+}
+
+#[test]
+fn pooled_batch_matches_sequential_annotation() {
+    let dataset = small_dataset();
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+
+    let sequential: Vec<PipelineOutput> = raws.iter().map(|r| semitri.annotate(r)).collect();
+    let pooled = BatchAnnotator::new(&semitri)
+        .with_threads(4)
+        .annotate_all(&raws);
+
+    assert_eq!(pooled.results.len(), sequential.len());
+    assert_eq!(pooled.summary.failures, 0);
+    for (seq, batch) in sequential.iter().zip(&pooled.results) {
+        let batch = batch.as_ref().expect("no failures");
+        assert_eq!(seq.episodes, batch.episodes);
+        assert_eq!(seq.region_tuples, batch.region_tuples);
+        assert_eq!(seq.move_routes, batch.move_routes);
+        assert_eq!(seq.stop_annotations, batch.stop_annotations);
+        assert_eq!(seq.sst, batch.sst);
+    }
+}
+
+#[test]
+fn batch_summary_reports_throughput_and_stage_latencies() {
+    let dataset = small_dataset();
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+    let out = semitri.annotate_batch(&raws, 2);
+    let s = &out.summary;
+    assert_eq!(s.trajectories, raws.len());
+    assert_eq!(
+        s.records,
+        out.outputs().map(|o| o.cleaned.len()).sum::<usize>()
+    );
+    assert!(s.records_per_sec > 0.0);
+    assert!(s.map_match.p95 >= s.map_match.min);
+    assert_eq!(s.worker_trajectories.iter().sum::<usize>(), raws.len());
+}
+
+#[test]
+fn cli_generate_accepts_threads_flag() {
+    let dir = std::env::temp_dir().join(format!("semitri-batch-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("threads.stlog");
+    let _ = std::fs::remove_file(&store);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_semitri-cli"))
+        .args([
+            "generate",
+            "phones",
+            store.to_str().unwrap(),
+            "7",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("annotated with 2 worker(s)"), "{stdout}");
+    assert!(stdout.contains("records/s"), "{stdout}");
+    assert!(stdout.contains("stored"), "{stdout}");
+    let _ = std::fs::remove_file(&store);
+}

@@ -24,7 +24,11 @@ fn generate_then_query_roundtrip() {
         .args(["generate", "phones", store_s, "7", "1"])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("stored"), "{stdout}");
 
@@ -52,7 +56,10 @@ fn generate_then_query_roundtrip() {
     assert!(stdout.contains("item sale"));
 
     // query-mode returns ids parseable as u64
-    let out = cli().args(["query-mode", store_s, "walk"]).output().unwrap();
+    let out = cli()
+        .args(["query-mode", store_s, "walk"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     for line in String::from_utf8_lossy(&out.stdout).lines() {
         line.parse::<u64>().expect("trajectory id");
@@ -84,7 +91,10 @@ fn bad_usage_exits_nonzero() {
     let out = cli().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 
-    let out = cli().args(["generate", "nope", "/tmp/x.stlog"]).output().unwrap();
+    let out = cli()
+        .args(["generate", "nope", "/tmp/x.stlog"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 
     let store = temp_store("missing-query.stlog");

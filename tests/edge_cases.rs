@@ -62,7 +62,10 @@ fn city_without_pois_skips_point_layer_gracefully() {
         .iter()
         .find(|t| t.annotation("mode").is_none())
         .expect("a stop tuple");
-    assert!(stop_tuple.place.is_some(), "stop falls back to a region place");
+    assert!(
+        stop_tuple.place.is_some(),
+        "stop falls back to a region place"
+    );
 }
 
 #[test]
@@ -155,7 +158,13 @@ fn streaming_handles_out_of_coverage_feed() {
     let mut events = Vec::new();
     for i in 0..300 {
         let moving = (100..200).contains(&i);
-        let x = if moving { 50_000.0 + (i - 100) as f64 * 20.0 } else if i < 100 { 50_000.0 } else { 52_000.0 };
+        let x = if moving {
+            50_000.0 + (i - 100) as f64 * 20.0
+        } else if i < 100 {
+            50_000.0
+        } else {
+            52_000.0
+        };
         events.extend(stream.push(GpsRecord::new(
             Point::new(x, 50_000.0),
             Timestamp(i as f64 * 10.0),

@@ -23,10 +23,7 @@ fn taxi_day_end_to_end() {
         let out = semitri.annotate(&track.to_raw());
         // episodes partition the cleaned records
         assert_eq!(out.episodes.first().map(|e| e.start), Some(0));
-        assert_eq!(
-            out.episodes.last().map(|e| e.end),
-            Some(out.cleaned.len())
-        );
+        assert_eq!(out.episodes.last().map(|e| e.end), Some(out.cleaned.len()));
         // landuse covers the whole city: every record annotated
         let covered: usize = out.region_tuples.iter().map(|t| t.record_count()).sum();
         assert_eq!(covered, out.cleaned.len());
@@ -122,10 +119,7 @@ fn mode_inference_recovers_ground_truth_majority() {
     }
     assert!(total > 100, "too few matched records: {total}");
     let rate = agree as f64 / total as f64;
-    assert!(
-        rate > 0.5,
-        "mode agreement {rate:.2} over {total} records"
-    );
+    assert!(rate > 0.5, "mode agreement {rate:.2} over {total} records");
 }
 
 #[test]
@@ -140,7 +134,11 @@ fn trajectory_identification_splits_dataset_stream() {
     all.sort_by(|a, b| a.t.0.partial_cmp(&b.t.0).unwrap());
     let identifier = TrajectoryIdentifier::default();
     let trajs = identifier.identify(0, 0, &all);
-    assert!(trajs.len() >= 2, "expected daily split, got {}", trajs.len());
+    assert!(
+        trajs.len() >= 2,
+        "expected daily split, got {}",
+        trajs.len()
+    );
     for t in &trajs {
         assert!(t.len() >= identifier.min_records);
     }

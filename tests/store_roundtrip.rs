@@ -29,7 +29,9 @@ fn pipeline_to_durable_store_and_back() {
                     record_count: out.cleaned.len() as u64,
                 })
                 .unwrap();
-            store.put_episodes(track.trajectory_id, &out.episodes).unwrap();
+            store
+                .put_episodes(track.trajectory_id, &out.episodes)
+                .unwrap();
             store.put_sst(&out.sst).unwrap();
             expected.push((track.trajectory_id, out.sst.clone(), out.episodes.len()));
         }
@@ -67,7 +69,9 @@ fn store_queries_by_object_and_time() {
                 record_count: out.cleaned.len() as u64,
             })
             .unwrap();
-        store.put_episodes(track.trajectory_id, &out.episodes).unwrap();
+        store
+            .put_episodes(track.trajectory_id, &out.episodes)
+            .unwrap();
     }
 
     // per-object lookup

@@ -1,0 +1,13 @@
+//! Offline drop-in subset of the `crossbeam` API.
+//!
+//! Provides the two pieces this workspace uses on top of the standard
+//! library: crossbeam-style scoped threads whose panics are collected
+//! into a `Result` instead of aborting the scope, and a blocking MPMC
+//! channel for fan-out work distribution.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

@@ -1,0 +1,133 @@
+//! Scoped threads with crossbeam's error-reporting semantics.
+//!
+//! Built on `std::thread::scope`; every spawned closure is wrapped in
+//! `catch_unwind` so a panicking worker ends the scope with an `Err`
+//! carrying the (first) panic payload, exactly like
+//! `crossbeam::thread::scope`, instead of propagating the panic.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// Scope handle passed to [`scope`]'s closure; spawns threads that may
+/// borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    panics: Arc<Mutex<Vec<Payload>>>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        Scope {
+            std: self.std,
+            panics: Arc::clone(&self.panics),
+        }
+    }
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Payload> {
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            // the payload was stashed in the scope's panic list; report a
+            // generic payload here (crossbeam reports the original)
+            Ok(None) => Err(Box::new("scoped thread panicked")),
+            Err(p) => Err(p),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives the scope
+    /// itself, allowing nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let capture = self.clone();
+        let inner = self.std.spawn(
+            move || match catch_unwind(AssertUnwindSafe(|| f(&capture))) {
+                Ok(v) => Some(v),
+                Err(payload) => {
+                    capture
+                        .panics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(payload);
+                    None
+                }
+            },
+        );
+        ScopedJoinHandle { inner }
+    }
+}
+
+/// Creates a scope for spawning borrowing threads. All spawned threads
+/// are joined before this returns; if any panicked, the first payload is
+/// returned as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics = Arc::new(Mutex::new(Vec::new()));
+    let result = std::thread::scope(|s| {
+        let scope = Scope {
+            std: s,
+            panics: Arc::clone(&panics),
+        };
+        f(&scope)
+    });
+    let mut collected = panics.lock().unwrap_or_else(|e| e.into_inner());
+    match collected.pop() {
+        Some(payload) => Err(payload),
+        None => Ok(result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        let payload = r.expect_err("panic must be reported");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let v = scope(|s| {
+            let h = s.spawn(|_| 41 + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,43 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates `Some` values from `inner` most of the time and `None`
+/// occasionally.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.8) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = of(0u8..10);
+        let values: Vec<_> = (0..100).map(|_| s.new_value(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+    }
+}

@@ -1,0 +1,188 @@
+//! String generation from simple regex patterns.
+//!
+//! A `&'static str` is a strategy generating strings matching the
+//! pattern, as in upstream proptest. Only the subset this workspace uses
+//! is parsed: concatenations of character classes with optional `{m,n}`
+//! quantifiers, e.g. `"[a-z_]{1,12}"` or `"[\\PC]{0,40}"`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        let parts = parse_pattern(self);
+        let mut out = String::new();
+        for part in &parts {
+            let n = rng.gen_range(part.min..part.max + 1);
+            for _ in 0..n {
+                let i = rng.gen_range(0..part.chars.len());
+                out.push(part.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Part {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Printable sample alphabet standing in for the `\PC` ("anything but
+/// control/unassigned") regex class: ASCII printables plus a few
+/// multi-byte code points so codecs see non-trivial UTF-8.
+fn printable_alphabet() -> Vec<char> {
+    let mut set: Vec<char> = (' '..='~').collect();
+    set.extend("àéüßñ€αβ移動軌跡".chars());
+    set
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Part> {
+    let mut chars = pattern.chars().peekable();
+    let mut parts = Vec::new();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => {
+                let esc = chars.next().expect("dangling escape");
+                escape_alphabet(esc, &mut chars)
+            }
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        parts.push(Part {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    parts
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => return set,
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in class");
+                set.extend(escape_alphabet(esc, chars));
+            }
+            c => {
+                // range like `a-z` (a trailing `-` is a literal)
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // consume `-`
+                    match ahead.peek() {
+                        Some(&hi) if hi != ']' => {
+                            chars.next();
+                            chars.next();
+                            set.extend(c..=hi);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                set.push(c);
+            }
+        }
+    }
+    panic!("unterminated character class");
+}
+
+fn escape_alphabet(esc: char, chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    match esc {
+        // `\PC` / `\P{C}`: any non-control character — approximated by a
+        // fixed printable alphabet
+        'P' | 'p' => {
+            match chars.peek() {
+                Some('{') => {
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+                _ => {
+                    chars.next();
+                }
+            }
+            printable_alphabet()
+        }
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(['_'])
+            .collect(),
+        'n' => vec!['\n'],
+        't' => vec!['\t'],
+        other => vec![other],
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad quantifier"),
+            hi.trim().parse().expect("bad quantifier"),
+        ),
+        None => {
+            let n = spec.trim().parse().expect("bad quantifier");
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_ranges_and_quantifier() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = "[a-z_]{1,12}".new_value(&mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn unicode_literals_in_class() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9 àéü]{0,30}".new_value(&mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " àéü".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let s = "[\\PC]{0,40}".new_value(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The generated inputs did not satisfy a `prop_assume!` precondition;
+    /// the case is retried with a fresh seed and does not count.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A property violation with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` until `config.cases` cases pass, panicking on the first
+/// failing case with its deterministic seed.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = config.cases as u64 * 16 + 256;
+    while passed < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!("{name}: too many rejected cases ({attempts} attempts for {passed} passes)");
+        }
+        let seed = base ^ attempts.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {passed} failed (rng seed {seed:#x})\n{msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_passing_cases() {
+        let mut calls = 0u32;
+        run_cases(ProptestConfig::with_cases(10), "counts", |_| {
+            calls += 1;
+            if calls & 1 == 0 {
+                Err(TestCaseError::reject())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(calls, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run_cases(ProptestConfig::with_cases(5), "fails", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
