@@ -21,8 +21,12 @@
 
 use crate::pipeline::{PipelineOutput, SeMiTri};
 use semitri_data::RawTrajectory;
+use semitri_obs::{
+    HistogramSnapshot, MetricsObserver, MetricsRegistry, MetricsSnapshot, PipelineObserver, Stage,
+};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Failure of one trajectory inside a batch: the annotation panicked.
@@ -54,32 +58,54 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {}
 
 /// Distribution of one pipeline stage's per-trajectory latency (seconds)
-/// across a batch.
+/// across a batch, backed by the `semitri-obs` log-bucketed histograms —
+/// sequential, streaming and batched runs all report this same schema.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageSummary {
-    /// Fastest trajectory.
+    /// Trajectories that went through the stage.
+    pub count: u64,
+    /// GPS records (or stops, for the point stage) the stage processed.
+    pub records: u64,
+    /// Fastest trajectory (exact).
     pub min: f64,
-    /// Arithmetic mean.
+    /// Arithmetic mean (exact).
     pub mean: f64,
-    /// 95th percentile (nearest-rank).
+    /// Median (bucket-resolved).
+    pub p50: f64,
+    /// 95th percentile (bucket-resolved).
     pub p95: f64,
-    /// Slowest trajectory.
+    /// 99th percentile (bucket-resolved).
+    pub p99: f64,
+    /// Slowest trajectory (exact).
     pub max: f64,
 }
 
 impl StageSummary {
-    fn from_samples(mut samples: Vec<f64>) -> Self {
-        if samples.is_empty() {
-            return Self::default();
-        }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let n = samples.len();
-        let rank = ((n as f64 * 0.95).ceil() as usize).clamp(1, n);
+    /// Builds a summary from a histogram snapshot plus the stage's
+    /// processed-record counter.
+    pub fn from_histogram(h: &HistogramSnapshot, records: u64) -> Self {
         Self {
-            min: samples[0],
-            mean: samples.iter().sum::<f64>() / n as f64,
-            p95: samples[rank - 1],
-            max: samples[n - 1],
+            count: h.count,
+            records,
+            min: h.min,
+            mean: h.mean(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            max: h.max,
+        }
+    }
+
+    /// Reads one stage's summary out of a metrics snapshot using the
+    /// canonical `stage.<id>.{secs,records}` schema.
+    pub fn from_metrics(snapshot: &MetricsSnapshot, stage: Stage) -> Self {
+        let records = snapshot.counter(stage.records_metric());
+        match snapshot.histogram(stage.secs_metric()) {
+            Some(h) => Self::from_histogram(h, records),
+            None => Self {
+                records,
+                ..Self::default()
+            },
         }
     }
 }
@@ -112,6 +138,9 @@ pub struct BatchSummary {
     pub worker_busy_secs: Vec<f64>,
     /// Trajectories each worker processed (index = worker).
     pub worker_trajectories: Vec<usize>,
+    /// Full metrics snapshot of the run (per-stage histograms, record
+    /// counters, pool gauges) in the canonical `semitri-obs` schema.
+    pub metrics: MetricsSnapshot,
 }
 
 impl BatchSummary {
@@ -124,6 +153,27 @@ impl BatchSummary {
             .iter()
             .map(|b| b / self.wall_secs)
             .collect()
+    }
+
+    /// The per-layer breakdown in pipeline order — the batch analogue of
+    /// the paper's Fig. 17 rows.
+    pub fn stages(&self) -> [(Stage, &StageSummary); 4] {
+        [
+            (Stage::Episode, &self.compute_episode),
+            (Stage::Region, &self.landuse_join),
+            (Stage::Line, &self.map_match),
+            (Stage::Point, &self.point),
+        ]
+    }
+
+    /// Looks up one stage's summary.
+    pub fn stage(&self, stage: Stage) -> &StageSummary {
+        match stage {
+            Stage::Episode => &self.compute_episode,
+            Stage::Region => &self.landuse_join,
+            Stage::Line => &self.map_match,
+            Stage::Point => &self.point,
+        }
     }
 }
 
@@ -165,6 +215,7 @@ impl BatchOutput {
 pub struct BatchAnnotator<'s, 'c> {
     semitri: &'s SeMiTri<'c>,
     threads: usize,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'s, 'c> BatchAnnotator<'s, 'c> {
@@ -173,12 +224,26 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self { semitri, threads }
+        Self {
+            semitri,
+            threads,
+            registry: None,
+        }
     }
 
     /// Sets the worker count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Records the run's metrics into an external registry instead of a
+    /// fresh per-run one (e.g. a process-wide registry scraped by an
+    /// exporter). When reused across runs the counters and histograms
+    /// accumulate; the per-run [`BatchSummary`] then summarizes the
+    /// registry's whole history, not just the last batch.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -196,6 +261,21 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
         // never spin up more workers than there is work for
         let threads = self.threads.min(batch.len()).max(1);
 
+        // per-run metrics: every worker reports stage spans through the
+        // same observer the sequential pipeline uses, so the summary's
+        // schema is identical to a sequential run's registry
+        let registry = self
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let stage_observer = MetricsObserver::new(registry.clone());
+        let trajectory_secs = registry.histogram("batch.trajectory.secs");
+        registry.gauge("batch.threads").set(threads as i64);
+        registry
+            .counter("batch.trajectories")
+            .add(batch.len() as u64);
+        let failure_counter = registry.counter("batch.failures");
+
         let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
         let (result_tx, result_rx) =
             crossbeam::channel::unbounded::<(usize, Result<PipelineOutput, PipelineError>)>();
@@ -210,6 +290,9 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
                 .map(|_| {
                     let jobs = job_rx.clone();
                     let results = result_tx.clone();
+                    let stage_observer = &stage_observer;
+                    let trajectory_secs = &trajectory_secs;
+                    let failure_counter = &failure_counter;
                     scope.spawn(move |_| {
                         let mut busy_secs = 0.0;
                         let mut annotated = 0usize;
@@ -223,8 +306,23 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
                                     trajectory_id: traj.trajectory_id,
                                     message: panic_message(payload.as_ref()),
                                 });
-                            busy_secs += t0.elapsed().as_secs_f64();
+                            let elapsed = t0.elapsed().as_secs_f64();
+                            busy_secs += elapsed;
                             annotated += 1;
+                            match &outcome {
+                                Ok(out) => {
+                                    trajectory_secs.record(elapsed);
+                                    for stage in Stage::ALL {
+                                        stage_observer.on_stage_end(
+                                            stage,
+                                            traj.trajectory_id,
+                                            out.stage_records(stage),
+                                            out.latency.stage_secs(stage),
+                                        );
+                                    }
+                                }
+                                Err(_) => failure_counter.inc(),
+                            }
                             if results.send((index, outcome)).is_err() {
                                 break;
                             }
@@ -268,23 +366,15 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
 
         let mut records = 0usize;
         let mut failures = 0usize;
-        let mut compute = Vec::new();
-        let mut map_match = Vec::new();
-        let mut landuse = Vec::new();
-        let mut point = Vec::new();
         for result in &results {
             match result {
-                Ok(output) => {
-                    records += output.cleaned.len();
-                    compute.push(output.latency.compute_episode_secs);
-                    map_match.push(output.latency.map_match_secs);
-                    landuse.push(output.latency.landuse_join_secs);
-                    point.push(output.latency.point_secs);
-                }
+                Ok(output) => records += output.cleaned.len(),
                 Err(_) => failures += 1,
             }
         }
+        registry.counter("batch.records").add(records as u64);
 
+        let metrics = registry.snapshot();
         let summary = BatchSummary {
             threads,
             trajectories: batch.len(),
@@ -296,12 +386,13 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
             } else {
                 0.0
             },
-            compute_episode: StageSummary::from_samples(compute),
-            map_match: StageSummary::from_samples(map_match),
-            landuse_join: StageSummary::from_samples(landuse),
-            point: StageSummary::from_samples(point),
+            compute_episode: StageSummary::from_metrics(&metrics, Stage::Episode),
+            map_match: StageSummary::from_metrics(&metrics, Stage::Line),
+            landuse_join: StageSummary::from_metrics(&metrics, Stage::Region),
+            point: StageSummary::from_metrics(&metrics, Stage::Point),
             worker_busy_secs: worker_stats.iter().map(|(busy, _)| *busy).collect(),
             worker_trajectories: worker_stats.iter().map(|(_, n)| *n).collect(),
+            metrics,
         };
 
         BatchOutput { results, summary }

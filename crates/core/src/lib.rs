@@ -26,6 +26,11 @@
 //! * [`batch`] — the multi-threaded batch engine: a worker pool fanning a
 //!   fleet of trajectories over one shared `SeMiTri`, with order-
 //!   preserving, panic-isolated results and pool-wide latency summaries.
+//!
+//! Every annotation path (sequential, streaming, batch) reports per-layer
+//! spans through the `semitri-obs` [`PipelineObserver`] hooks under one
+//! metric schema (`stage.<layer>.{secs,records,calls}`), mirroring the
+//! paper's per-layer evaluation (Fig. 17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,4 +54,8 @@ pub use model::{
 pub use pipeline::{LatencyProfile, PipelineConfig, PipelineOutput, SeMiTri};
 pub use point::PointAnnotator;
 pub use region::{RegionAnnotator, RegionTuple};
+pub use semitri_obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
+    MetricsSnapshot, NullObserver, PipelineObserver, Stage,
+};
 pub use streaming::{StreamEvent, StreamingAnnotator};

@@ -14,6 +14,8 @@ use crate::region::{RegionAnnotator, RegionTuple};
 use semitri_data::{City, RawTrajectory};
 use semitri_episodes::clean::{gaussian_smooth, remove_speed_outliers};
 use semitri_episodes::{Episode, EpisodeKind, SegmentationPolicy, VelocityPolicy};
+use semitri_obs::{PipelineObserver, Stage};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cleaning parameters of the Trajectory Computation Layer.
@@ -75,6 +77,18 @@ pub struct LatencyProfile {
     pub point_secs: f64,
 }
 
+impl LatencyProfile {
+    /// Seconds spent in `stage` (the [`Stage`]-keyed view of the fields).
+    pub fn stage_secs(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::Episode => self.compute_episode_secs,
+            Stage::Region => self.landuse_join_secs,
+            Stage::Line => self.map_match_secs,
+            Stage::Point => self.point_secs,
+        }
+    }
+}
+
 /// Everything the pipeline produced for one trajectory.
 #[derive(Debug)]
 pub struct PipelineOutput {
@@ -95,6 +109,27 @@ pub struct PipelineOutput {
     pub latency: LatencyProfile,
 }
 
+impl PipelineOutput {
+    /// Records processed by `stage` — exactly the counts the pipeline
+    /// reports through [`PipelineObserver::on_stage_end`], recomputed from
+    /// the output so batch aggregation and observers agree:
+    /// episode/region count cleaned GPS records, line counts move-episode
+    /// records, point counts annotated stops.
+    pub fn stage_records(&self, stage: Stage) -> usize {
+        match stage {
+            Stage::Episode => self.cleaned.len(),
+            Stage::Region => self.region_tuples.iter().map(|t| t.record_count()).sum(),
+            Stage::Line => self
+                .episodes
+                .iter()
+                .filter(|e| e.kind == EpisodeKind::Move)
+                .map(|e| e.end - e.start)
+                .sum(),
+            Stage::Point => self.stop_annotations.len(),
+        }
+    }
+}
+
 /// The SeMiTri middleware bound to one city's geographic sources.
 pub struct SeMiTri<'c> {
     city: &'c City,
@@ -103,6 +138,7 @@ pub struct SeMiTri<'c> {
     matcher: GlobalMapMatcher<'c>,
     point: Option<PointAnnotator>,
     config: PipelineConfig,
+    observer: Option<Arc<dyn PipelineObserver>>,
 }
 
 impl<'c> SeMiTri<'c> {
@@ -121,6 +157,37 @@ impl<'c> SeMiTri<'c> {
             matcher,
             point,
             config,
+            observer: None,
+        }
+    }
+
+    /// Installs a stage observer; every subsequent [`SeMiTri::annotate`]
+    /// call (including ones issued by the batch pool) fires its hooks
+    /// around each annotation layer.
+    pub fn with_observer(mut self, observer: Arc<dyn PipelineObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Installs or removes the stage observer in place.
+    pub fn set_observer(&mut self, observer: Option<Arc<dyn PipelineObserver>>) {
+        self.observer = observer;
+    }
+
+    /// The installed stage observer, if any.
+    pub fn observer(&self) -> Option<&Arc<dyn PipelineObserver>> {
+        self.observer.as_ref()
+    }
+
+    fn stage_start(&self, stage: Stage, trajectory_id: u64) {
+        if let Some(obs) = &self.observer {
+            obs.on_stage_start(stage, trajectory_id);
+        }
+    }
+
+    fn stage_end(&self, stage: Stage, trajectory_id: u64, records: usize, secs: f64) {
+        if let Some(obs) = &self.observer {
+            obs.on_stage_end(stage, trajectory_id, records, secs);
         }
     }
 
@@ -147,8 +214,10 @@ impl<'c> SeMiTri<'c> {
     /// Runs the full pipeline on one raw trajectory.
     pub fn annotate(&self, traj: &RawTrajectory) -> PipelineOutput {
         let mut latency = LatencyProfile::default();
+        let tid = traj.trajectory_id;
 
         // --- Trajectory Computation Layer ---
+        self.stage_start(Stage::Episode, tid);
         let t0 = Instant::now();
         let mut records = remove_speed_outliers(traj.records(), self.config.clean.max_speed_mps);
         if let Some(sigma) = self.config.clean.smooth_sigma_secs {
@@ -157,20 +226,36 @@ impl<'c> SeMiTri<'c> {
         let cleaned = RawTrajectory::new(traj.object_id, traj.trajectory_id, records);
         let episodes = self.config.policy.segment(&cleaned);
         latency.compute_episode_secs = t0.elapsed().as_secs_f64();
+        self.stage_end(
+            Stage::Episode,
+            tid,
+            cleaned.len(),
+            latency.compute_episode_secs,
+        );
 
         // --- Semantic Region Annotation Layer (Algorithm 1) ---
+        self.stage_start(Stage::Region, tid);
         let t0 = Instant::now();
         let region_tuples = self.region.annotate_trajectory(&cleaned);
         latency.landuse_join_secs = t0.elapsed().as_secs_f64();
+        self.stage_end(
+            Stage::Region,
+            tid,
+            region_tuples.iter().map(|t| t.record_count()).sum(),
+            latency.landuse_join_secs,
+        );
 
         // --- Semantic Line Annotation Layer (Algorithm 2) ---
+        self.stage_start(Stage::Line, tid);
         let t0 = Instant::now();
         let mut move_routes = Vec::new();
+        let mut move_records = 0usize;
         for (idx, ep) in episodes.iter().enumerate() {
             if ep.kind != EpisodeKind::Move {
                 continue;
             }
             let slice = &cleaned.records()[ep.start..ep.end];
+            move_records += slice.len();
             let matches = self.matcher.match_records(slice);
             let mut entries = group_matches(slice, &matches);
             self.config
@@ -179,8 +264,10 @@ impl<'c> SeMiTri<'c> {
             move_routes.push((idx, entries));
         }
         latency.map_match_secs = t0.elapsed().as_secs_f64();
+        self.stage_end(Stage::Line, tid, move_records, latency.map_match_secs);
 
         // --- Semantic Point Annotation Layer (Algorithm 3) ---
+        self.stage_start(Stage::Point, tid);
         let t0 = Instant::now();
         let mut stop_annotations = Vec::new();
         if let Some(point) = &self.point {
@@ -195,6 +282,12 @@ impl<'c> SeMiTri<'c> {
             stop_annotations = stop_indexes.into_iter().zip(anns).collect();
         }
         latency.point_secs = t0.elapsed().as_secs_f64();
+        self.stage_end(
+            Stage::Point,
+            tid,
+            stop_annotations.len(),
+            latency.point_secs,
+        );
 
         let sst = self.assemble_sst(&cleaned, &episodes, &move_routes, &stop_annotations);
 

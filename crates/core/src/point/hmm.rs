@@ -191,6 +191,14 @@ impl Hmm {
             for i in 0..n {
                 max = max.max(prev[i] + self.log_a[i * n + j]);
             }
+            if max == f64::NEG_INFINITY {
+                // every predecessor is impossible (callers may mask dead
+                // states with -inf): the state stays impossible. Without
+                // this short-circuit the normalization below evaluates
+                // `-inf - -inf = NaN`, poisoning every later step.
+                out.push(f64::NEG_INFINITY);
+                continue;
+            }
             let sum: f64 = (0..n)
                 .map(|i| (prev[i] + self.log_a[i * n + j] - max).exp())
                 .sum();
@@ -341,6 +349,37 @@ mod tests {
             a2.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
                 <= a1.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         );
+    }
+
+    #[test]
+    fn forward_step_with_all_impossible_predecessors_stays_impossible() {
+        // absorbing-state chain: each state only transitions to itself, so
+        // a forward vector whose states are all masked to -inf (the
+        // standard "impossible prefix" encoding) has no live predecessor
+        // for any successor state. Pre-fix, max stayed NEG_INFINITY and
+        // `-inf - -inf` produced NaN, which then poisoned every later step.
+        let hmm = Hmm::new(&[0.5, 0.5], &[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let dead = vec![f64::NEG_INFINITY, f64::NEG_INFINITY];
+        let a1 = hmm.forward_step(&dead, &[0.9, 0.1]).unwrap();
+        assert!(a1.iter().all(|v| !v.is_nan()), "NaN leaked: {a1:?}");
+        assert!(a1.iter().all(|&v| v == f64::NEG_INFINITY), "{a1:?}");
+        // and the impossibility propagates cleanly instead of as NaN
+        let a2 = hmm.forward_step(&a1, &[0.5, 0.5]).unwrap();
+        assert!(a2.iter().all(|&v| v == f64::NEG_INFINITY), "{a2:?}");
+    }
+
+    #[test]
+    fn forward_step_with_one_live_predecessor_is_unaffected() {
+        // masking only one state must keep the other's filtering exact
+        let hmm = Hmm::new(&[0.5, 0.5], &[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let prev = vec![(0.5f64).ln(), f64::NEG_INFINITY];
+        let next = hmm.forward_step(&prev, &[0.8, 0.2]).unwrap();
+        assert!(next.iter().all(|v| !v.is_nan()), "{next:?}");
+        // state 0: alpha = 0.5 * 1.0 * 0.8
+        assert!((next[0] - (0.5f64 * 0.8).ln()).abs() < 1e-9, "{next:?}");
+        // state 1 is only reachable from the masked state (up to the log
+        // floor on the zero transition), so it stays effectively impossible
+        assert!(next[1] < -1e11, "{next:?}");
     }
 
     #[test]

@@ -24,6 +24,9 @@ use crate::region::RegionAnnotator;
 use semitri_data::{City, GpsRecord, PoiCategory};
 use semitri_episodes::{Episode, EpisodeKind, VelocityPolicy};
 use semitri_geo::{Point, Rect, TimeSpan};
+use semitri_obs::{PipelineObserver, Stage};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// An annotated episode emitted by the streaming annotator.
 #[derive(Debug, Clone)]
@@ -72,6 +75,9 @@ pub struct StreamingAnnotator<'c> {
     forward: Option<Vec<f64>>,
     /// Stops closed so far (centers), for the final Viterbi pass.
     stop_centers: Vec<Point>,
+    /// Stage observer fired as episodes close (same schema as the batch
+    /// pipeline's, so live and offline runs report identically).
+    observer: Option<Arc<dyn PipelineObserver>>,
 }
 
 impl<'c> StreamingAnnotator<'c> {
@@ -97,12 +103,34 @@ impl<'c> StreamingAnnotator<'c> {
             contrary_since: None,
             forward: None,
             stop_centers: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Installs a stage observer fired around the per-episode annotation
+    /// work as episodes close.
+    pub fn with_observer(mut self, observer: Arc<dyn PipelineObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Installs or removes the stage observer in place.
+    pub fn set_observer(&mut self, observer: Option<Arc<dyn PipelineObserver>>) {
+        self.observer = observer;
     }
 
     /// Number of records consumed.
     pub fn record_count(&self) -> usize {
         self.records.len()
+    }
+
+    fn observe(&self, stage: Stage, records: usize, secs: f64) {
+        if let Some(obs) = &self.observer {
+            // the streaming annotator has no trajectory id until the feed
+            // is bound to one; report the object-neutral id 0
+            obs.on_stage_start(stage, 0);
+            obs.on_stage_end(stage, 0, records, secs);
+        }
     }
 
     /// Feeds one GPS record; returns the episodes that closed as a result
@@ -231,17 +259,25 @@ impl<'c> StreamingAnnotator<'c> {
         if end <= start {
             return None;
         }
+        let n_records = end - start;
+        let t0 = Instant::now();
         let episode = self.episode(kind, start, end);
+        self.observe(Stage::Episode, n_records, t0.elapsed().as_secs_f64());
         match kind {
             EpisodeKind::Move => {
+                let t0 = Instant::now();
                 let slice = &self.records[start..end];
                 let matches = self.matcher.match_records(slice);
                 let mut route = group_matches(slice, &matches);
                 self.mode.annotate(&self.city.roads, slice, &mut route);
+                self.observe(Stage::Line, n_records, t0.elapsed().as_secs_f64());
                 Some(StreamEvent::Move { episode, route })
             }
             EpisodeKind::Stop => {
+                let t0 = Instant::now();
                 let region = self.region.region_at(episode.center);
+                self.observe(Stage::Region, n_records, t0.elapsed().as_secs_f64());
+                let t0 = Instant::now();
                 let annotation = match &self.point {
                     Some(point) => {
                         let (ann, forward) =
@@ -254,6 +290,7 @@ impl<'c> StreamingAnnotator<'c> {
                         poi: None,
                     },
                 };
+                self.observe(Stage::Point, 1, t0.elapsed().as_secs_f64());
                 self.stop_centers.push(episode.center);
                 Some(StreamEvent::Stop {
                     episode,

@@ -5,6 +5,10 @@ use crate::point::Point;
 use crate::rect::Rect;
 use crate::segment::Segment;
 
+/// Distance within which a point counts as lying on the polygon boundary
+/// (and therefore inside, per the subsumption predicate).
+const BOUNDARY_EPS: f64 = 1e-9;
+
 /// A simple polygon defined by one outer ring of vertices.
 ///
 /// The ring is stored *unclosed* (first vertex is not repeated at the end);
@@ -119,12 +123,17 @@ impl Polygon {
     /// inside. This implements the *spatial subsumption* predicate the paper
     /// identifies as the most used one for stop episodes (§4.1).
     pub fn contains_point(&self, q: Point) -> bool {
-        if !self.bbox.contains_point(q) {
+        // the bbox short-circuit must be inflated by the boundary
+        // tolerance: a point within tolerance of an edge that coincides
+        // with the bbox lies (numerically) just outside the bbox, and an
+        // uninflated test would reject it before the boundary check that
+        // would have accepted it
+        if !self.bbox.inflate(BOUNDARY_EPS).contains_point(q) {
             return false;
         }
         // boundary check first so edge-lying points are deterministic
         for e in self.edges() {
-            if e.distance_to_point(q) < 1e-9 {
+            if e.distance_to_point(q) < BOUNDARY_EPS {
                 return true;
             }
         }
@@ -248,6 +257,25 @@ mod tests {
         assert!(l.contains_point(Point::new(8.0, 2.0)));
         // the notch is outside
         assert!(!l.contains_point(Point::new(8.0, 8.0)));
+    }
+
+    #[test]
+    fn boundary_tolerance_consistent_across_bbox_edges() {
+        // edges of a rect-polygon coincide with its bbox: points within
+        // the boundary tolerance but numerically *outside* the bbox used
+        // to be rejected by the bbox short-circuit while the same offset
+        // on an interior-facing side was accepted — the predicate was
+        // inconsistent on the boundary
+        let sq = square();
+        // just outside the left edge, well within tolerance
+        assert!(sq.contains_point(Point::new(-1e-10, 5.0)));
+        // just outside the top-right corner vertex (diagonal offset)
+        assert!(sq.contains_point(Point::new(10.0 + 6e-10, 10.0 + 6e-10)));
+        // just inside keeps working
+        assert!(sq.contains_point(Point::new(1e-10, 5.0)));
+        // beyond the tolerance stays outside
+        assert!(!sq.contains_point(Point::new(-1e-8, 5.0)));
+        assert!(!sq.contains_point(Point::new(10.0 + 1e-8, 10.0 + 1e-8)));
     }
 
     #[test]

@@ -557,7 +557,9 @@ impl<T> RStarTree<T> {
                 let mut result: Option<(T, Vec<Entry<T>>)> = None;
                 let mut prune_idx: Option<usize> = None;
                 for (ci, child) in children.iter_mut().enumerate() {
-                    if !child.rect.contains_rect(rect) && !child.rect.intersects(rect) {
+                    // intersection is the full descent test: containment
+                    // implies intersection, so checking both was redundant
+                    if !child.rect.intersects(rect) {
                         continue;
                     }
                     if let Some((item, mut orphans)) =

@@ -131,4 +131,44 @@ proptest! {
         expected.sort_unstable();
         prop_assert_eq!(got, expected);
     }
+
+    #[test]
+    fn rtree_interleaved_inserts_and_removes_preserve_invariants(
+        rects in proptest::collection::vec(rect_strategy(), 8..120),
+        extra in proptest::collection::vec(rect_strategy(), 1..40),
+    ) {
+        // tiny fan-out so removals condense nodes (and eventually shrink
+        // the root) after only a handful of operations
+        let params = RStarParams { max_entries: 4, min_entries: 2, reinsert_count: 1 };
+        let mut tree = RStarTree::with_params(params);
+        let mut live: Vec<(Rect, usize)> = Vec::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+            live.push((*r, i));
+        }
+        tree.check_invariants();
+
+        // interleave: remove two present items, insert one new, repeat
+        let mut next_id = rects.len();
+        let mut extras = extra.iter();
+        while !live.is_empty() {
+            for _ in 0..2 {
+                let Some((r, id)) = live.pop() else { break };
+                prop_assert_eq!(tree.remove_one(&r, |&v| v == id), Some(id), "item {} missing", id);
+                tree.check_invariants();
+            }
+            if let Some(&r) = extras.next() {
+                tree.insert(r, next_id);
+                live.push((r, next_id));
+                next_id += 1;
+                tree.check_invariants();
+            }
+        }
+
+        // drained through every condense/root-shrink on the way down
+        prop_assert!(tree.is_empty(), "tree still holds {} items", tree.len());
+        tree.check_invariants();
+        // removing from the empty tree is a clean miss
+        prop_assert_eq!(tree.remove_one(&rects[0], |_| true), None);
+    }
 }

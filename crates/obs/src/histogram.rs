@@ -1,0 +1,282 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`Histogram`] spreads samples over geometrically-spaced buckets
+//! (16 per decade from 1 ns to 1000 s) and additionally tracks the exact
+//! count, sum, minimum and maximum with atomic operations, so `min`,
+//! `mean` and `max` are exact while quantiles are resolved to bucket
+//! precision (≤ ~15% relative error) and clamped into `[min, max]`.
+//! Recording is wait-free per bucket and safe from any number of threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per decade of the geometric grid.
+const PER_DECADE: usize = 16;
+/// Decades covered: 1e-9 s (1 ns) .. 1e3 s.
+const DECADES: usize = 12;
+/// Smallest bucket upper bound, in seconds.
+const MIN_BOUND: f64 = 1e-9;
+/// Bucket count, including the underflow (`<= MIN_BOUND`) and overflow
+/// (`> 1e3`) buckets.
+pub(crate) const BUCKETS: usize = PER_DECADE * DECADES + 2;
+
+/// Upper bound of bucket `i` (the underflow bucket is `MIN_BOUND`, the
+/// overflow bucket is unbounded and reports `f64::INFINITY`).
+fn bucket_upper_bound(i: usize) -> f64 {
+    if i >= BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    MIN_BOUND * 10f64.powf(i as f64 / PER_DECADE as f64)
+}
+
+/// Bucket index for a (non-negative, finite) sample.
+fn bucket_index(v: f64) -> usize {
+    if v <= MIN_BOUND {
+        return 0;
+    }
+    // bucket i (i >= 1) covers (ub(i-1), ub(i)]
+    let z = ((v / MIN_BOUND).log10() * PER_DECADE as f64).ceil();
+    if z >= (BUCKETS - 1) as f64 {
+        BUCKETS - 1
+    } else {
+        (z as usize).max(1)
+    }
+}
+
+/// A concurrent log-bucketed histogram of non-negative `f64` samples
+/// (seconds, by convention).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Exact sum, stored as `f64` bits and updated with a CAS loop.
+    sum_bits: AtomicU64,
+    /// Exact minimum, `f64::INFINITY` bits when empty.
+    min_bits: AtomicU64,
+    /// Exact maximum, `f64::NEG_INFINITY` bits when empty.
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one sample. Negative samples are clamped to zero; NaN is
+    /// ignored (a poisoned upstream computation must not poison the
+    /// telemetry).
+    pub fn record(&self, sample: f64) {
+        if sample.is_nan() {
+            return;
+        }
+        let v = sample.max(0.0);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fetch_update_f64(&self.sum_bits, |s| s + v);
+        fetch_update_f64(&self.min_bits, |m| m.min(v));
+        fetch_update_f64(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: if count == 0 { 0.0 } else { min },
+            max: if count == 0 { 0.0 } else { max },
+            buckets,
+        }
+    }
+}
+
+/// CAS-loop atomic update of an `f64` stored as bits.
+fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: f64,
+    /// Exact minimum (`0.0` when empty).
+    pub min: f64,
+    /// Exact maximum (`0.0` when empty).
+    pub max: f64,
+    /// Per-bucket sample counts (log-spaced; see module docs).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Exact arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the nearest-rank sample, clamped into `[min, max]` — so
+    /// quantiles are monotone in `q` and never leave the observed range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p50(), 0.0);
+    }
+
+    #[test]
+    fn exact_stats_and_bounded_quantiles() {
+        let h = Histogram::new();
+        let samples = [0.001, 0.002, 0.004, 0.010, 0.100];
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 0.001);
+        assert_eq!(s.max, 0.100);
+        let mean = samples.iter().sum::<f64>() / 5.0;
+        assert!((s.mean() - mean).abs() < 1e-15);
+        // quantiles bucket-accurate: within ~15% above the true value
+        let p50 = s.p50();
+        assert!((0.004..=0.0047).contains(&p50), "p50 {p50}");
+        assert!(s.min <= p50 && p50 <= s.p95() && s.p95() <= s.p99() && s.p99() <= s.max);
+    }
+
+    #[test]
+    fn nan_ignored_negative_clamped() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        h.record(-1.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn overflow_and_underflow_buckets() {
+        let h = Histogram::new();
+        h.record(0.0); // underflow bucket
+        h.record(1e9); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+        // quantiles stay clamped to the observed range despite the
+        // unbounded overflow bucket
+        assert_eq!(s.p99(), 1e9);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        for i in 1..BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1));
+        }
+        // each sample lands in a bucket whose bound covers it
+        for &v in &[1e-9, 2e-9, 1e-6, 3.3e-4, 0.5, 12.0, 999.0] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "{v} vs bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "{v} vs bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        h.record(1e-6 * (t * 1_000 + i) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4_000);
+        assert_eq!(s.max, 1e-6 * 3_999.0);
+    }
+}

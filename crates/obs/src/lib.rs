@@ -1,0 +1,214 @@
+//! # semitri-obs — the SeMiTri observability substrate
+//!
+//! The paper evaluates SeMiTri *per layer*: Fig. 17 reports separate
+//! latencies for episode computation, the region (landuse) join, line
+//! (map-matching) annotation and point (HMM) annotation. This crate is
+//! the production counterpart of that methodology — a dependency-free
+//! metrics substrate every annotation path reports through:
+//!
+//! * [`Counter`] / [`Gauge`] — atomic scalars;
+//! * [`Histogram`] — concurrent log-bucketed latency histograms with
+//!   exact min/mean/max and bucket-resolved p50/p95/p99;
+//! * [`MetricsRegistry`] — named metrics with snapshot / table / JSON-line
+//!   reporting;
+//! * [`Stage`] + [`PipelineObserver`] — span-style stage hooks fired by
+//!   the sequential pipeline, the streaming annotator and the batch pool,
+//!   so all three report the *same* per-layer schema;
+//! * [`MetricsObserver`] — the canonical observer routing stage spans
+//!   into a registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+
+use std::sync::Arc;
+
+/// The annotation layers of the pipeline (the paper's per-layer
+/// evaluation axes), in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Trajectory Computation Layer: cleaning + stop/move segmentation.
+    Episode,
+    /// Semantic Region Annotation Layer: landuse spatial join.
+    Region,
+    /// Semantic Line Annotation Layer: map matching + mode inference.
+    Line,
+    /// Semantic Point Annotation Layer: HMM stop annotation.
+    Point,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 4] = [Stage::Episode, Stage::Region, Stage::Line, Stage::Point];
+
+    /// Stable lowercase identifier used in metric names and reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Stage::Episode => "episode",
+            Stage::Region => "region",
+            Stage::Line => "line",
+            Stage::Point => "point",
+        }
+    }
+
+    /// Dense index (`Stage::ALL[stage.index()] == stage`).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Episode => 0,
+            Stage::Region => 1,
+            Stage::Line => 2,
+            Stage::Point => 3,
+        }
+    }
+
+    /// Name of the latency histogram for this stage.
+    pub fn secs_metric(self) -> &'static str {
+        match self {
+            Stage::Episode => "stage.episode.secs",
+            Stage::Region => "stage.region.secs",
+            Stage::Line => "stage.line.secs",
+            Stage::Point => "stage.point.secs",
+        }
+    }
+
+    /// Name of the processed-record counter for this stage.
+    pub fn records_metric(self) -> &'static str {
+        match self {
+            Stage::Episode => "stage.episode.records",
+            Stage::Region => "stage.region.records",
+            Stage::Line => "stage.line.records",
+            Stage::Point => "stage.point.records",
+        }
+    }
+
+    /// Name of the span counter for this stage.
+    pub fn calls_metric(self) -> &'static str {
+        match self {
+            Stage::Episode => "stage.episode.calls",
+            Stage::Region => "stage.region.calls",
+            Stage::Line => "stage.line.calls",
+            Stage::Point => "stage.point.calls",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Span-style hooks fired around each pipeline stage. Implementations
+/// must be cheap and thread-safe: the batch pool fires them from every
+/// worker concurrently.
+pub trait PipelineObserver: Send + Sync {
+    /// A stage began for trajectory `trajectory_id`.
+    fn on_stage_start(&self, stage: Stage, trajectory_id: u64) {
+        let _ = (stage, trajectory_id);
+    }
+
+    /// A stage finished: it processed `records` records in
+    /// `elapsed_secs` wall-clock seconds.
+    fn on_stage_end(&self, stage: Stage, trajectory_id: u64, records: usize, elapsed_secs: f64);
+}
+
+/// An observer that discards every event (useful as a default and in
+/// benchmarks isolating observer overhead).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl PipelineObserver for NullObserver {
+    fn on_stage_end(&self, _: Stage, _: u64, _: usize, _: f64) {}
+}
+
+/// Per-stage metric handles, resolved once.
+struct StageMetrics {
+    secs: Arc<Histogram>,
+    records: Arc<Counter>,
+    calls: Arc<Counter>,
+}
+
+/// The canonical [`PipelineObserver`]: routes every stage span into a
+/// [`MetricsRegistry`] under the `stage.<id>.{secs,records,calls}`
+/// schema. Handles are pre-resolved, so the hot path is three atomic
+/// operations with no allocation or locking.
+pub struct MetricsObserver {
+    registry: Arc<MetricsRegistry>,
+    stages: [StageMetrics; 4],
+}
+
+impl MetricsObserver {
+    /// Builds an observer over `registry`, registering every stage metric
+    /// up front (so the schema is visible even before any trajectory runs).
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let stages = Stage::ALL.map(|s| StageMetrics {
+            secs: registry.histogram(s.secs_metric()),
+            records: registry.counter(s.records_metric()),
+            calls: registry.counter(s.calls_metric()),
+        });
+        Self { registry, stages }
+    }
+
+    /// The registry this observer reports into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+impl PipelineObserver for MetricsObserver {
+    fn on_stage_end(&self, stage: Stage, _trajectory_id: u64, records: usize, elapsed_secs: f64) {
+        let m = &self.stages[stage.index()];
+        m.secs.record(elapsed_secs);
+        m.records.add(records as u64);
+        m.calls.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_ids_and_indexes_are_dense_and_stable() {
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Stage::ALL[s.index()], s);
+            assert!(s.secs_metric().contains(s.id()));
+            assert!(s.records_metric().contains(s.id()));
+            assert!(s.calls_metric().contains(s.id()));
+            assert_eq!(format!("{s}"), s.id());
+        }
+    }
+
+    #[test]
+    fn metrics_observer_registers_schema_up_front() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = MetricsObserver::new(registry.clone());
+        // schema visible before any span fires
+        let snap = registry.snapshot();
+        for s in Stage::ALL {
+            assert!(snap.histogram(s.secs_metric()).is_some(), "{s}");
+            assert_eq!(snap.counter(s.records_metric()), 0);
+        }
+        obs.on_stage_end(Stage::Line, 7, 120, 0.004);
+        obs.on_stage_end(Stage::Line, 8, 80, 0.006);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(Stage::Line.records_metric()), 200);
+        assert_eq!(snap.counter(Stage::Line.calls_metric()), 2);
+        let h = snap.histogram(Stage::Line.secs_metric()).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 0.004);
+        assert_eq!(h.max, 0.006);
+    }
+
+    #[test]
+    fn null_observer_is_a_no_op() {
+        NullObserver.on_stage_start(Stage::Episode, 1);
+        NullObserver.on_stage_end(Stage::Episode, 1, 10, 0.1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the metrics substrate: histogram statistics must be
+//! ordered and exact-where-promised on arbitrary sample sets.
+
+use proptest::prelude::*;
+use semitri_obs::{Histogram, MetricsObserver, MetricsRegistry, PipelineObserver, Stage};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded(
+        samples in proptest::collection::vec(0.0..100.0f64, 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+
+        // exact statistics
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        prop_assert!((s.mean() - mean).abs() <= 1e-9 * mean.abs().max(1.0));
+
+        // ordered quantiles: min ≤ p50 ≤ p95 ≤ p99 ≤ max
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        prop_assert!(s.min <= p50, "min {} p50 {}", s.min, p50);
+        prop_assert!(p50 <= p95, "p50 {} p95 {}", p50, p95);
+        prop_assert!(p95 <= p99, "p95 {} p99 {}", p95, p99);
+        prop_assert!(p99 <= s.max, "p99 {} max {}", p99, s.max);
+        // mean inside the observed range
+        prop_assert!(s.min <= s.mean() + 1e-12 && s.mean() <= s.max + 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in proptest::collection::vec(1e-9..10.0f64, 1..200),
+        qs in proptest::collection::vec(0.0..1.0f64, 2..20),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<f64> = qs.iter().map(|&q| s.quantile(q)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {} > {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn observer_records_and_counts_match_spans(
+        spans in proptest::collection::vec((0usize..10_000, 0.0..1.0f64), 1..100),
+    ) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = MetricsObserver::new(registry.clone());
+        let mut records = 0u64;
+        for (i, &(n, secs)) in spans.iter().enumerate() {
+            obs.on_stage_end(Stage::Region, i as u64, n, secs);
+            records += n as u64;
+        }
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counter(Stage::Region.records_metric()), records);
+        prop_assert_eq!(snap.counter(Stage::Region.calls_metric()), spans.len() as u64);
+        let h = snap.histogram(Stage::Region.secs_metric()).unwrap();
+        prop_assert_eq!(h.count, spans.len() as u64);
+    }
+}

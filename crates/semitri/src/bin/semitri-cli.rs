@@ -6,7 +6,7 @@
 //! and answers queries against it.
 //!
 //! ```text
-//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N]
+//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics]
 //! semitri-cli info <store.stlog>
 //! semitri-cli objects <store.stlog>
 //! semitri-cli show <store.stlog> <trajectory_id>
@@ -23,7 +23,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N]\n  \
+        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics]\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
          semitri-cli show <store.stlog> <trajectory_id>\n  \
          semitri-cli query-mode <store.stlog> <mode>\n  \
@@ -51,12 +51,39 @@ fn parse_category(s: &str) -> Option<PoiCategory> {
     PoiCategory::ALL.into_iter().find(|c| c.label() == norm)
 }
 
+/// Prints the per-layer latency/count breakdown (paper Fig. 17) followed by
+/// the raw metric snapshot as JSON lines.
+fn print_metrics(summary: &BatchSummary) {
+    println!("per-layer breakdown (latencies in ms):");
+    println!(
+        "  {:<10} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "layer", "calls", "records", "min", "mean", "p50", "p95", "p99", "max"
+    );
+    for (stage, s) in summary.stages() {
+        println!(
+            "  {:<10} {:>7} {:>10} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            stage.id(),
+            s.count,
+            s.records,
+            s.min * 1e3,
+            s.mean * 1e3,
+            s.p50 * 1e3,
+            s.p95 * 1e3,
+            s.p99 * 1e3,
+            s.max * 1e3,
+        );
+    }
+    println!("metrics (json lines):");
+    print!("{}", summary.metrics.to_json_lines());
+}
+
 fn generate(
     preset: &str,
     path: &str,
     seed: u64,
     days: usize,
     threads: Option<usize>,
+    metrics: bool,
 ) -> Result<(), ExitCode> {
     let (dataset, vehicle) = match preset {
         "taxis" => (lausanne_taxis(days, seed), true),
@@ -105,6 +132,9 @@ fn generate(
     for err in batch.errors() {
         eprintln!("warning: {err}");
     }
+    if metrics {
+        print_metrics(&batch.summary);
+    }
 
     for (track, result) in dataset.tracks.iter().zip(&batch.results) {
         let Ok(out) = result else { continue };
@@ -134,13 +164,16 @@ fn run() -> Result<(), ExitCode> {
             let (Some(preset), Some(path)) = (it.next(), it.next()) else {
                 return Err(usage());
             };
-            // remaining args: optional positional [seed] [days] plus an
-            // optional --threads N anywhere among them
+            // remaining args: optional positional [seed] [days] plus
+            // optional --threads N / --metrics flags anywhere among them
             let mut threads = None;
+            let mut metrics = false;
             let mut positional = Vec::new();
             let mut rest = it;
             while let Some(arg) = rest.next() {
-                if arg == "--threads" {
+                if arg == "--metrics" {
+                    metrics = true;
+                } else if arg == "--threads" {
                     let Some(n) = rest.next().and_then(|s| s.parse::<usize>().ok()) else {
                         eprintln!("--threads needs a positive integer");
                         return Err(ExitCode::from(2));
@@ -159,7 +192,7 @@ fn run() -> Result<(), ExitCode> {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(42);
             let days = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-            generate(preset, path, seed, days, threads)
+            generate(preset, path, seed, days, threads, metrics)
         }
         Some("info") => {
             let Some(path) = it.next() else {

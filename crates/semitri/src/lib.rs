@@ -39,6 +39,9 @@
 //!   segmentation;
 //! * [`core`] — the three annotation layers (regions / lines / points)
 //!   and the pipeline;
+//! * [`obs`] — dependency-free observability substrate: metrics registry,
+//!   latency histograms and the [`PipelineObserver`](obs::PipelineObserver)
+//!   stage-tracing hooks shared by every annotation path;
 //! * [`analytics`] — the Semantic Trajectory Analytics Layer;
 //! * [`store`] — the embedded Semantic Trajectory Store and KML export.
 
@@ -51,6 +54,7 @@ pub use semitri_data as data;
 pub use semitri_episodes as episodes;
 pub use semitri_geo as geo;
 pub use semitri_index as index;
+pub use semitri_obs as obs;
 pub use semitri_store as store;
 
 /// One-stop imports for typical use of the framework.
@@ -67,6 +71,11 @@ pub mod prelude {
         PlaceKind, PlaceRef, PointAnnotator, RegionAnnotator, SeMiTri, SemanticTuple, SemitriError,
         StageSummary, StructuredSemanticTrajectory,
     };
+    pub use semitri_obs::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
+        MetricsSnapshot, NullObserver, PipelineObserver, Stage,
+    };
+
     pub use semitri_data::presets::{
         lausanne_taxis, milan_cars, milan_cars_with_pois, seattle_drive, smartphone_users, Dataset,
     };

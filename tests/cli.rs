@@ -87,6 +87,69 @@ fn generate_then_query_roundtrip() {
 }
 
 #[test]
+fn generate_with_metrics_prints_per_layer_breakdown() {
+    let store = temp_store("metrics.stlog");
+    let store_s = store.to_str().unwrap();
+
+    let out = cli()
+        .args([
+            "generate",
+            "phones",
+            store_s,
+            "7",
+            "1",
+            "--threads",
+            "2",
+            "--metrics",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // the per-layer table lists every annotation layer
+    assert!(stdout.contains("per-layer breakdown"), "{stdout}");
+    for layer in ["episode", "region", "line", "point"] {
+        assert!(
+            stdout.lines().any(|l| l.trim_start().starts_with(layer)),
+            "missing {layer} row in:\n{stdout}"
+        );
+    }
+
+    // the JSON-lines dump carries the canonical schema
+    let json_start = stdout
+        .find("metrics (json lines):")
+        .expect("json section present");
+    let json = &stdout[json_start..];
+    for metric in [
+        "stage.episode.secs",
+        "stage.region.secs",
+        "stage.line.secs",
+        "stage.point.secs",
+        "batch.trajectories",
+    ] {
+        assert!(json.contains(metric), "missing {metric} in:\n{json}");
+    }
+    // the json section is a run of one-object lines (later store output
+    // follows it)
+    let json_lines: Vec<&str> = json
+        .lines()
+        .skip(1)
+        .take_while(|l| l.starts_with('{'))
+        .collect();
+    assert!(json_lines.len() >= 12, "too few json lines:\n{json}");
+    for line in &json_lines {
+        assert!(line.ends_with('}'), "not a json object line: {line}");
+    }
+
+    let _ = std::fs::remove_file(&store);
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = cli().output().unwrap();
     assert_eq!(out.status.code(), Some(2));

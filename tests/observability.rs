@@ -1,0 +1,144 @@
+//! Cross-path observability: the sequential pipeline, the streaming
+//! annotator and the batch pool must report per-layer spans under one
+//! metric schema (`stage.<layer>.{secs,records,calls}`), with record
+//! counts that agree wherever the paths process the same work.
+
+use semitri::core::line::matcher::MatchParams;
+use semitri::core::point::PointParams;
+use semitri::core::streaming::StreamingAnnotator;
+use semitri::prelude::*;
+use std::sync::Arc;
+
+/// The `stage.*` histogram names present in a snapshot.
+fn stage_histograms(snapshot: &MetricsSnapshot) -> Vec<String> {
+    snapshot
+        .histograms
+        .keys()
+        .filter(|k| k.starts_with("stage."))
+        .cloned()
+        .collect()
+}
+
+/// Every histogram in the snapshot must have ordered quantiles bracketed
+/// by its exact extremes.
+fn assert_quantiles_ordered(snapshot: &MetricsSnapshot) {
+    for (name, h) in &snapshot.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let qs = [h.min, h.p50(), h.p95(), h.p99(), h.max];
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "{name}: quantiles out of order {qs:?}");
+        }
+        assert!(
+            h.min <= h.mean() && h.mean() <= h.max,
+            "{name}: mean outside [min,max]"
+        );
+    }
+}
+
+#[test]
+fn sequential_and_batch_report_identical_schema_and_counts() {
+    let dataset = smartphone_users(3, 1, 11);
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+
+    // sequential path with a MetricsObserver installed
+    let registry = Arc::new(MetricsRegistry::new());
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default())
+        .with_observer(Arc::new(MetricsObserver::new(registry.clone())));
+    let mut seq_records = [0u64; 4];
+    for raw in &raws {
+        let out = semitri.annotate(raw);
+        for stage in Stage::ALL {
+            seq_records[stage.index()] += out.stage_records(stage) as u64;
+        }
+    }
+    let seq = registry.snapshot();
+
+    // batch path over the same fleet (its own per-run registry, observer-free
+    // pipeline so the two snapshots stay independent)
+    let plain = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let batch = BatchAnnotator::new(&plain)
+        .with_threads(2)
+        .annotate_all(&raws);
+    let bm = &batch.summary.metrics;
+
+    // identical per-stage schema
+    assert_eq!(stage_histograms(&seq), stage_histograms(bm));
+    for stage in Stage::ALL {
+        // every trajectory contributes exactly one span per stage, on
+        // both paths
+        let n = raws.len() as u64;
+        assert_eq!(seq.histogram(stage.secs_metric()).unwrap().count, n);
+        assert_eq!(bm.histogram(stage.secs_metric()).unwrap().count, n);
+        assert_eq!(seq.counter(stage.calls_metric()), n);
+        assert_eq!(bm.counter(stage.calls_metric()), n);
+
+        // the pipeline is deterministic: record counts agree exactly
+        // between the observer, the snapshot counters and the summary
+        let expected = seq_records[stage.index()];
+        assert_eq!(seq.counter(stage.records_metric()), expected, "{stage}");
+        assert_eq!(bm.counter(stage.records_metric()), expected, "{stage}");
+        assert_eq!(batch.summary.stage(stage).records, expected, "{stage}");
+        assert_eq!(batch.summary.stage(stage).count, n, "{stage}");
+    }
+
+    // batch-only bookkeeping
+    assert_eq!(bm.counter("batch.trajectories"), raws.len() as u64);
+    assert_eq!(bm.counter("batch.failures"), 0);
+    assert_eq!(
+        bm.histogram("batch.trajectory.secs").unwrap().count,
+        raws.len() as u64
+    );
+
+    assert_quantiles_ordered(&seq);
+    assert_quantiles_ordered(bm);
+}
+
+#[test]
+fn streaming_reports_the_same_stage_schema() {
+    let dataset = smartphone_users(1, 1, 99);
+    let track = &dataset.tracks[0];
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut stream = StreamingAnnotator::new(
+        &dataset.city,
+        VelocityPolicy::default(),
+        MatchParams::default(),
+        ModeInferencer::default(),
+        PointParams::default(),
+    )
+    .with_observer(Arc::new(MetricsObserver::new(registry.clone())));
+
+    for &record in &track.records {
+        stream.push(record);
+    }
+    stream.flush();
+    let snap = registry.snapshot();
+
+    // same stage names as the offline paths — the MetricsObserver schema
+    // is canonical regardless of which annotator drives it
+    let expected: Vec<String> = Stage::ALL.map(|s| s.secs_metric().to_string()).into();
+    let mut got = stage_histograms(&snap);
+    got.retain(|k| k.ends_with(".secs"));
+    assert_eq!(got, {
+        let mut e = expected.clone();
+        e.sort();
+        e
+    });
+
+    for stage in Stage::ALL {
+        let h = snap.histogram(stage.secs_metric()).unwrap();
+        // a day with dwells and trips exercises every layer at least once
+        assert!(h.count > 0, "{stage} never fired");
+        // one span per histogram sample
+        assert_eq!(snap.counter(stage.calls_metric()), h.count, "{stage}");
+    }
+
+    // episode spans cover at most the records fed (cleaning may drop some,
+    // and the tail segment may still be open at flush)
+    assert!(snap.counter(Stage::Episode.records_metric()) <= track.records.len() as u64);
+    assert!(snap.counter(Stage::Episode.records_metric()) > 0);
+
+    assert_quantiles_ordered(&snap);
+}
