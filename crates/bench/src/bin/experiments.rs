@@ -5,12 +5,13 @@
 //! ```
 
 use semitri_bench::{
-    ablations, fig10, fig11, fig12_13, fig14, fig15_16, fig17, fig9, tables, throughput, Scale,
+    ablations, faults, fig10, fig11, fig12_13, fig14, fig15_16, fig17, fig9, tables, throughput,
+    Scale,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|fig9|...|fig17|ablations|throughput|all> [--scale N]"
+        "usage: experiments <table1|table2|fig9|...|fig17|ablations|throughput|faults|all> [--scale N]"
     );
     std::process::exit(2);
 }
@@ -53,6 +54,7 @@ fn main() {
             "fig17" => fig17::run(scale),
             "ablations" => ablations::run(scale),
             "throughput" => throughput::run(scale),
+            "faults" => faults::run(scale),
             "all" => {
                 tables::table1(scale);
                 tables::table2(scale);
@@ -67,6 +69,7 @@ fn main() {
                 fig17::run(scale);
                 ablations::run(scale);
                 throughput::run(scale);
+                faults::run(scale);
             }
             _ => usage(),
         }

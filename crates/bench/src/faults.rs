@@ -1,0 +1,141 @@
+//! Annotation robustness vs feed degradation rate.
+//!
+//! The paper assumes reasonably clean GPS feeds; real receivers deliver
+//! dropout gaps, duplicate and conflicting timestamps, out-of-order
+//! uplinks, stuck clocks and outright NaN fixes. This experiment sweeps a
+//! composite degradation rate over a smartphone dataset, runs every feed
+//! through the fallible batch path, and reports what the preprocessing
+//! stage absorbed and how much of the semantic result survives: episode
+//! and stop counts, plus per-stop activity agreement against the clean
+//! reference run.
+
+use crate::util::{header, pct, Table};
+use crate::Scale;
+use semitri::prelude::*;
+
+/// Composite degradation rates swept (fraction of fixes affected).
+const RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// A representative fault stack scaled by one knob: at rate `r`, roughly
+/// `r` of the fixes drop out, `r/2` duplicate or arrive out of order, and
+/// smaller shares carry conflicting timestamps, stuck clocks, noise
+/// bursts or non-finite values.
+fn injector_for(rate: f64, seed: u64) -> FaultInjector {
+    if rate == 0.0 {
+        return FaultInjector::new(seed);
+    }
+    FaultInjector::new(seed)
+        .with(Fault::Dropout { rate })
+        .with(Fault::Noise { sigma: 15.0, rate })
+        .with(Fault::Duplicate { rate: rate / 2.0 })
+        .with(Fault::Conflict {
+            rate: rate / 4.0,
+            offset_m: 150.0,
+        })
+        .with(Fault::OutOfOrder { rate: rate / 2.0 })
+        .with(Fault::StuckClock { rate: rate / 4.0 })
+        .with(Fault::NonFinite { rate: rate / 5.0 })
+}
+
+/// Positional stop-activity agreement between a degraded and a clean run
+/// of the same trajectory: matching categories over the zipped prefix,
+/// normalized by the longer stop list (missing/extra stops count against).
+fn stop_agreement(degraded: &PipelineOutput, clean: &PipelineOutput) -> (usize, usize) {
+    let cats = |out: &PipelineOutput| -> Vec<_> {
+        out.stop_annotations
+            .iter()
+            .map(|(_, a)| a.category)
+            .collect()
+    };
+    let (d, c) = (cats(degraded), cats(clean));
+    let matched = d.iter().zip(&c).filter(|(a, b)| a == b).count();
+    (matched, d.len().max(c.len()))
+}
+
+/// Runs the fault-rate sweep.
+pub fn run(scale: Scale) {
+    header("Faults — semantic survival vs GPS feed degradation rate");
+    let dataset = smartphone_users(4, scale.apply(2), 4242);
+    println!(
+        "  dataset: {} daily trajectories, {} GPS records (seed 4242)",
+        dataset.tracks.len(),
+        dataset.total_records()
+    );
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let batch = BatchAnnotator::new(&semitri).with_threads(2);
+
+    // clean reference: the trusted path, no degradation
+    let clean: Vec<PipelineOutput> = dataset
+        .tracks
+        .iter()
+        .map(|t| semitri.annotate(&t.to_raw()))
+        .collect();
+
+    let mut t = Table::new(&[
+        "fault rate",
+        "fixes in",
+        "kept",
+        "dropped",
+        "reordered",
+        "deduped",
+        "episodes",
+        "stops",
+        "stop agreement",
+    ]);
+    for &rate in &RATES {
+        let injector = injector_for(rate, 0xfeed ^ (rate * 1_000.0) as u64);
+        let feeds: Vec<GpsFeed> = dataset
+            .tracks
+            .iter()
+            .map(|track| {
+                GpsFeed::new(
+                    track.object_id,
+                    track.trajectory_id,
+                    injector.apply_stream(track.trajectory_id, &track.records),
+                )
+            })
+            .collect();
+        let out = batch.annotate_feeds(&feeds);
+
+        let mut report = CleaningReport::default();
+        let (mut episodes, mut stops) = (0usize, 0usize);
+        let (mut matched, mut total_stops) = (0usize, 0usize);
+        for (slot, reference) in out.results.iter().zip(&clean) {
+            let Ok(out) = slot else {
+                continue; // a fully corrupt feed fails its slot; none at these rates
+            };
+            report.merge(&out.cleaning);
+            episodes += out.episodes.len();
+            stops += out.stop_annotations.len();
+            let (m, n) = stop_agreement(out, reference);
+            matched += m;
+            total_stops += n;
+        }
+        let failed = out.errors().count();
+        t.row(&[
+            pct(rate),
+            report.input.to_string(),
+            report.kept.to_string(),
+            report.dropped().to_string(),
+            report.reordered.to_string(),
+            report.deduped.to_string(),
+            episodes.to_string(),
+            stops.to_string(),
+            if total_stops == 0 {
+                "n/a".to_string()
+            } else {
+                pct(matched as f64 / total_stops as f64)
+            },
+        ]);
+        if failed > 0 {
+            println!(
+                "  note: {failed} feed(s) irrecoverable at rate {}",
+                pct(rate)
+            );
+        }
+    }
+    t.print();
+    println!("  degraded feeds flow through the same batch path; the preprocessing stage");
+    println!("  repairs ordering, drops corrupt fixes, and the annotation layers degrade");
+    println!("  gracefully instead of panicking.");
+}

@@ -9,6 +9,7 @@
 //! the datasets toward paper scale.
 
 pub mod ablations;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12_13;

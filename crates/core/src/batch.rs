@@ -18,9 +18,13 @@
 //! * **Panic isolation** — a panic while annotating one trajectory is
 //!   caught and surfaced as that slot's [`PipelineError`]; the worker and
 //!   the rest of the batch continue unaffected.
+//! * **Failure isolation for degraded feeds** — [`BatchAnnotator::annotate_feeds`]
+//!   accepts untrusted [`GpsFeed`]s; a feed the preprocessing stage cannot
+//!   repair fails its slot with [`PipelineErrorKind::MalformedFeed`]
+//!   instead of panicking anywhere.
 
 use crate::pipeline::{PipelineOutput, SeMiTri};
-use semitri_data::RawTrajectory;
+use semitri_data::{FeedError, GpsFeed, RawTrajectory};
 use semitri_obs::{
     HistogramSnapshot, MetricsObserver, MetricsRegistry, MetricsSnapshot, PipelineObserver, Stage,
 };
@@ -29,7 +33,18 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Failure of one trajectory inside a batch: the annotation panicked.
+/// How one trajectory of a batch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineErrorKind {
+    /// The annotation panicked (a bug, an unexpected input); the panic
+    /// was caught and isolated to this slot.
+    Panicked,
+    /// The feed was rejected by the preprocessing stage as irrecoverable
+    /// (see [`FeedError`]) — expected operational noise, not a bug.
+    MalformedFeed,
+}
+
+/// Failure of one trajectory inside a batch.
 ///
 /// Carries enough identity to requeue or report the trajectory without
 /// holding onto the input batch.
@@ -41,15 +56,21 @@ pub struct PipelineError {
     pub object_id: u64,
     /// Trajectory identifier of the failed trajectory.
     pub trajectory_id: u64,
-    /// The panic payload, rendered as text.
+    /// Whether the slot panicked or its feed was rejected.
+    pub kind: PipelineErrorKind,
+    /// The panic payload or feed rejection, rendered as text.
     pub message: String,
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = match self.kind {
+            PipelineErrorKind::Panicked => "panicked",
+            PipelineErrorKind::MalformedFeed => "rejected",
+        };
         write!(
             f,
-            "annotation of trajectory {} (object {}, batch index {}) panicked: {}",
+            "annotation of trajectory {} (object {}, batch index {}) {verb}: {}",
             self.trajectory_id, self.object_id, self.index, self.message
         )
     }
@@ -118,7 +139,8 @@ pub struct BatchSummary {
     pub threads: usize,
     /// Trajectories in the batch.
     pub trajectories: usize,
-    /// Trajectories whose annotation panicked.
+    /// Trajectories that failed (annotation panicked or the feed was
+    /// rejected as malformed).
     pub failures: usize,
     /// GPS records annotated (cleaned records of successful outputs).
     pub records: usize,
@@ -257,6 +279,34 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
     /// stealing: a worker stuck on a long trajectory doesn't block the
     /// others), so the output is reassembled by index afterwards.
     pub fn annotate_all(&self, batch: &[RawTrajectory]) -> BatchOutput {
+        let semitri = self.semitri;
+        self.run_batch(
+            batch,
+            |t| (t.object_id, t.trajectory_id),
+            move |t| semitri.try_annotate(t),
+        )
+    }
+
+    /// Annotates every untrusted [`GpsFeed`] of `batch`: each worker runs
+    /// the preprocessing stage on its feed (sort, dedupe, drop), so
+    /// malformed feeds fail *their slot* with
+    /// [`PipelineErrorKind::MalformedFeed`] while the rest of the fleet
+    /// annotates normally.
+    pub fn annotate_feeds(&self, batch: &[GpsFeed]) -> BatchOutput {
+        let semitri = self.semitri;
+        self.run_batch(
+            batch,
+            |f| (f.object_id, f.trajectory_id),
+            move |f| semitri.try_annotate_feed(f),
+        )
+    }
+
+    fn run_batch<T, I, A>(&self, batch: &[T], ids: I, annotate: A) -> BatchOutput
+    where
+        T: Sync,
+        I: Fn(&T) -> (u64, u64) + Sync,
+        A: Fn(&T) -> Result<PipelineOutput, FeedError> + Sync,
+    {
         let started = Instant::now();
         // never spin up more workers than there is work for
         let threads = self.threads.min(batch.len()).max(1);
@@ -284,7 +334,8 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
         }
         drop(job_tx);
 
-        let semitri = self.semitri;
+        let ids = &ids;
+        let annotate = &annotate;
         let worker_stats: Vec<(f64, usize)> = crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -297,25 +348,37 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
                         let mut busy_secs = 0.0;
                         let mut annotated = 0usize;
                         while let Ok(index) = jobs.recv() {
-                            let traj = &batch[index];
+                            let item = &batch[index];
+                            let (object_id, trajectory_id) = ids(item);
                             let t0 = Instant::now();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| semitri.annotate(traj)))
-                                .map_err(|payload| PipelineError {
+                            let outcome = match catch_unwind(AssertUnwindSafe(|| annotate(item))) {
+                                Ok(Ok(out)) => Ok(out),
+                                Ok(Err(feed_err)) => Err(PipelineError {
                                     index,
-                                    object_id: traj.object_id,
-                                    trajectory_id: traj.trajectory_id,
+                                    object_id,
+                                    trajectory_id,
+                                    kind: PipelineErrorKind::MalformedFeed,
+                                    message: feed_err.to_string(),
+                                }),
+                                Err(payload) => Err(PipelineError {
+                                    index,
+                                    object_id,
+                                    trajectory_id,
+                                    kind: PipelineErrorKind::Panicked,
                                     message: panic_message(payload.as_ref()),
-                                });
+                                }),
+                            };
                             let elapsed = t0.elapsed().as_secs_f64();
                             busy_secs += elapsed;
                             annotated += 1;
                             match &outcome {
                                 Ok(out) => {
                                     trajectory_secs.record(elapsed);
+                                    stage_observer.on_preprocess(trajectory_id, &out.cleaning);
                                     for stage in Stage::ALL {
                                         stage_observer.on_stage_end(
                                             stage,
-                                            traj.trajectory_id,
+                                            trajectory_id,
                                             out.stage_records(stage),
                                             out.latency.stage_secs(stage),
                                         );
@@ -353,10 +416,12 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
             .enumerate()
             .map(|(index, slot)| {
                 slot.unwrap_or_else(|| {
+                    let (object_id, trajectory_id) = ids(&batch[index]);
                     Err(PipelineError {
                         index,
-                        object_id: batch[index].object_id,
-                        trajectory_id: batch[index].trajectory_id,
+                        object_id,
+                        trajectory_id,
+                        kind: PipelineErrorKind::Panicked,
                         message: "worker produced no result".into(),
                     })
                 })
@@ -550,7 +615,9 @@ mod tests {
         assert_eq!(err.index, 2);
         assert_eq!(err.object_id, batch[2].object_id);
         assert_eq!(err.trajectory_id, batch[2].trajectory_id);
+        assert_eq!(err.kind, PipelineErrorKind::Panicked);
         assert!(err.message.contains("injected batch failure"), "{err}");
+        assert!(err.to_string().contains("panicked"), "{err}");
 
         // every other slot still annotated, identically to a clean run
         for (i, result) in out.results.iter().enumerate() {
@@ -584,6 +651,71 @@ mod tests {
         for u in s.worker_utilization() {
             assert!((0.0..=1.0 + 1e-9).contains(&u));
         }
+    }
+
+    #[test]
+    fn malformed_feed_fails_its_slot_not_the_batch() {
+        use semitri_data::GpsRecord;
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let good = fleet(&city, 3);
+
+        // slot 1 is irrecoverable (all fixes non-finite); the others are
+        // the good trajectories, one of them scrambled out of order
+        // (adjacent swaps across distinct timestamps, so the stable
+        // re-sort restores exactly the original order, ties included)
+        let mut scrambled = good[2].records().to_vec();
+        for i in (0..scrambled.len().saturating_sub(1)).step_by(7) {
+            if scrambled[i].t != scrambled[i + 1].t {
+                scrambled.swap(i, i + 1);
+            }
+        }
+        let feeds = vec![
+            GpsFeed::new(
+                good[0].object_id,
+                good[0].trajectory_id,
+                good[0].records().to_vec(),
+            ),
+            GpsFeed::new(
+                9,
+                999,
+                vec![GpsRecord::new(
+                    Point::new(f64::NAN, f64::NAN),
+                    Timestamp(0.0),
+                )],
+            ),
+            GpsFeed::new(good[2].object_id, good[2].trajectory_id, scrambled),
+        ];
+
+        let out = BatchAnnotator::new(&semitri)
+            .with_threads(2)
+            .annotate_feeds(&feeds);
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.summary.failures, 1);
+
+        let err = out.results[1].as_ref().unwrap_err();
+        assert_eq!(err.kind, PipelineErrorKind::MalformedFeed);
+        assert_eq!(err.trajectory_id, 999);
+        assert!(err.to_string().contains("rejected"), "{err}");
+        assert!(err.message.contains("no valid records"), "{err}");
+
+        // the clean slot matches the trusted path exactly
+        assert_same_output(
+            out.results[0].as_ref().unwrap(),
+            &semitri.annotate(&good[0]),
+        );
+        // the scrambled slot was repaired back into the same trajectory
+        let repaired = out.results[2].as_ref().unwrap();
+        assert!(repaired.cleaning.reordered > 0);
+        assert_same_output(repaired, &semitri.annotate(&good[2]));
+
+        // preprocess counters flowed into the batch metrics
+        let total_input: u64 = feeds.iter().map(|f| f.records.len() as u64).sum();
+        assert_eq!(
+            out.summary.metrics.counter("stage.preprocess.records"),
+            total_input - 1 // the malformed feed never reports
+        );
+        assert!(out.summary.metrics.counter("stage.preprocess.reordered") > 0);
     }
 
     #[test]

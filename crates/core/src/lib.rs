@@ -16,6 +16,9 @@
 //! * [`point`] — Semantic Point Annotation Layer: HMM over POI categories
 //!   with the Gaussian/discretized observation model of §4.3 and log-space
 //!   Viterbi decoding (Algorithm 3), plus a nearest-POI baseline;
+//! * [`preprocess`] — the fallible preprocessing stage repairing degraded
+//!   feeds (finiteness, ordering, duplicates, speed bound) ahead of
+//!   segmentation, reporting a `CleaningReport` per trajectory;
 //! * [`pipeline`] — the `SeMiTri` orchestrator wiring cleaning, episode
 //!   computation and the three layers together, with per-layer latency
 //!   instrumentation (Fig. 17);
@@ -41,10 +44,13 @@ pub mod line;
 pub mod model;
 pub mod pipeline;
 pub mod point;
+pub mod preprocess;
 pub mod region;
 pub mod streaming;
 
-pub use batch::{BatchAnnotator, BatchOutput, BatchSummary, PipelineError, StageSummary};
+pub use batch::{
+    BatchAnnotator, BatchOutput, BatchSummary, PipelineError, PipelineErrorKind, StageSummary,
+};
 pub use error::SemitriError;
 pub use line::matcher::{GlobalMapMatcher, MatchParams, MatchedPoint};
 pub use line::mode::ModeInferencer;
@@ -53,9 +59,10 @@ pub use model::{
 };
 pub use pipeline::{LatencyProfile, PipelineConfig, PipelineOutput, SeMiTri};
 pub use point::PointAnnotator;
+pub use preprocess::Preprocessor;
 pub use region::{RegionAnnotator, RegionTuple};
 pub use semitri_obs::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
+    CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
     MetricsSnapshot, NullObserver, PipelineObserver, Stage,
 };
 pub use streaming::{StreamEvent, StreamingAnnotator};

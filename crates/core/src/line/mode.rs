@@ -34,7 +34,12 @@ pub fn motion_features(records: &[GpsRecord]) -> MotionFeatures {
     let avg_speed = speeds.iter().sum::<f64>() / speeds.len() as f64;
     let mut accels = Vec::with_capacity(speeds.len().saturating_sub(1));
     for i in 1..speeds.len() {
-        let dt = records[i + 1].t.since(records[i].t).max(1e-6);
+        // speeds[i-1] and speeds[i] are means over [i-1,i] and [i,i+1];
+        // the speed change happens between the *midpoints* of those
+        // windows, half the span records[i-1]..records[i+1] — not the
+        // single interval records[i]..records[i+1], which inflates
+        // acceleration whenever sampling is irregular
+        let dt = (records[i + 1].t.since(records[i - 1].t) / 2.0).max(1e-6);
         accels.push(((speeds[i] - speeds[i - 1]) / dt).abs());
     }
     let avg_abs_accel = if accels.is_empty() {
@@ -182,6 +187,32 @@ mod tests {
         assert!((f.avg_speed - 5.0).abs() < 1e-9);
         assert!((f.p95_speed - 5.0).abs() < 1e-9);
         assert!(f.avg_abs_accel < 1e-9);
+    }
+
+    #[test]
+    fn features_acceleration_uses_midpoint_gap_on_uneven_sampling() {
+        // 10 m/s for 1 s, then a 10 s gap at 12 m/s: the speed change
+        // straddles window midpoints 0.5 s and 6.0 s apart ⇒ dt = 5.5 s
+        let records = vec![
+            GpsRecord::new(Point::new(0.0, 0.0), Timestamp(0.0)),
+            GpsRecord::new(Point::new(10.0, 0.0), Timestamp(1.0)),
+            GpsRecord::new(Point::new(130.0, 0.0), Timestamp(11.0)),
+        ];
+        let f = motion_features(&records);
+        let expected = (12.0 - 10.0) / ((11.0 - 0.0) / 2.0);
+        assert!(
+            (f.avg_abs_accel - expected).abs() < 1e-9,
+            "avg_abs_accel = {}, expected {expected}",
+            f.avg_abs_accel
+        );
+        // regular 1 Hz sampling is unchanged: midpoint gap == sample gap
+        let regular = vec![
+            GpsRecord::new(Point::new(0.0, 0.0), Timestamp(0.0)),
+            GpsRecord::new(Point::new(10.0, 0.0), Timestamp(1.0)),
+            GpsRecord::new(Point::new(22.0, 0.0), Timestamp(2.0)),
+        ];
+        let f = motion_features(&regular);
+        assert!((f.avg_abs_accel - 2.0).abs() < 1e-9);
     }
 
     #[test]

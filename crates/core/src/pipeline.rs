@@ -10,11 +10,11 @@ use crate::line::mode::ModeInferencer;
 use crate::line::{group_matches, RouteEntry};
 use crate::model::{Annotation, AnnotationValue, SemanticTuple, StructuredSemanticTrajectory};
 use crate::point::{PointAnnotator, PointParams, StopAnnotation};
+use crate::preprocess::Preprocessor;
 use crate::region::{RegionAnnotator, RegionTuple};
-use semitri_data::{City, RawTrajectory};
-use semitri_episodes::clean::{gaussian_smooth, remove_speed_outliers};
+use semitri_data::{City, FeedError, GpsFeed, GpsRecord, RawTrajectory};
 use semitri_episodes::{Episode, EpisodeKind, SegmentationPolicy, VelocityPolicy};
-use semitri_obs::{PipelineObserver, Stage};
+use semitri_obs::{CleaningReport, PipelineObserver, Stage};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -107,6 +107,9 @@ pub struct PipelineOutput {
     pub sst: StructuredSemanticTrajectory,
     /// Per-layer latencies.
     pub latency: LatencyProfile,
+    /// What the preprocessing stage repaired or dropped on the way to
+    /// `cleaned`.
+    pub cleaning: CleaningReport,
 }
 
 impl PipelineOutput {
@@ -212,20 +215,62 @@ impl<'c> SeMiTri<'c> {
     }
 
     /// Runs the full pipeline on one raw trajectory.
+    ///
+    /// # Panics
+    /// Panics when the feed is irrecoverable (every fix non-finite) —
+    /// trusted, pre-validated inputs only. Untrusted feeds go through
+    /// [`SeMiTri::try_annotate`] / [`SeMiTri::try_annotate_feed`], which
+    /// surface [`FeedError`] instead.
     pub fn annotate(&self, traj: &RawTrajectory) -> PipelineOutput {
+        match self.try_annotate(traj) {
+            Ok(out) => out,
+            Err(e) => panic!("trajectory {} is irrecoverable: {e}", traj.trajectory_id),
+        }
+    }
+
+    /// Fallible [`SeMiTri::annotate`]: returns [`FeedError`] instead of
+    /// panicking when the feed is irrecoverable.
+    pub fn try_annotate(&self, traj: &RawTrajectory) -> Result<PipelineOutput, FeedError> {
+        self.annotate_records(traj.object_id, traj.trajectory_id, traj.records())
+    }
+
+    /// Runs the full pipeline on an untrusted [`GpsFeed`] — records with
+    /// no ordering or finiteness guarantees. The preprocessing stage
+    /// repairs what it can (sort, dedupe, drop non-finite fixes and
+    /// outliers) and reports the repairs in the output's
+    /// [`PipelineOutput::cleaning`] report; only a feed with no valid
+    /// fix at all errors.
+    pub fn try_annotate_feed(&self, feed: &GpsFeed) -> Result<PipelineOutput, FeedError> {
+        self.annotate_records(feed.object_id, feed.trajectory_id, &feed.records)
+    }
+
+    fn annotate_records(
+        &self,
+        object_id: u64,
+        trajectory_id: u64,
+        raw_records: &[GpsRecord],
+    ) -> Result<PipelineOutput, FeedError> {
         let mut latency = LatencyProfile::default();
-        let tid = traj.trajectory_id;
+        let tid = trajectory_id;
 
         // --- Trajectory Computation Layer ---
+        // preprocessing runs before the episode span opens, so an
+        // irrecoverable feed leaves no dangling stage span behind
+        let t0 = Instant::now();
+        let (records, cleaning) = Preprocessor::new(self.config.clean).run(raw_records)?;
+        let preprocess_secs = t0.elapsed().as_secs_f64();
+        if let Some(obs) = &self.observer {
+            obs.on_preprocess(tid, &cleaning);
+        }
+
         self.stage_start(Stage::Episode, tid);
         let t0 = Instant::now();
-        let mut records = remove_speed_outliers(traj.records(), self.config.clean.max_speed_mps);
-        if let Some(sigma) = self.config.clean.smooth_sigma_secs {
-            records = gaussian_smooth(&records, sigma);
-        }
-        let cleaned = RawTrajectory::new(traj.object_id, traj.trajectory_id, records);
+        // the Preprocessor guarantees strictly increasing timestamps, so
+        // this constructor's ordering assertion cannot fire
+        let cleaned = RawTrajectory::new(object_id, trajectory_id, records);
         let episodes = self.config.policy.segment(&cleaned);
-        latency.compute_episode_secs = t0.elapsed().as_secs_f64();
+        // cleaning + segmentation are one layer in the paper's Fig. 17
+        latency.compute_episode_secs = preprocess_secs + t0.elapsed().as_secs_f64();
         self.stage_end(
             Stage::Episode,
             tid,
@@ -291,7 +336,7 @@ impl<'c> SeMiTri<'c> {
 
         let sst = self.assemble_sst(&cleaned, &episodes, &move_routes, &stop_annotations);
 
-        PipelineOutput {
+        Ok(PipelineOutput {
             cleaned,
             episodes,
             region_tuples,
@@ -299,7 +344,8 @@ impl<'c> SeMiTri<'c> {
             stop_annotations,
             sst,
             latency,
-        }
+            cleaning,
+        })
     }
 
     /// Assembles the structured semantic trajectory: stops become
@@ -604,6 +650,56 @@ mod tests {
         assert!(out.episodes.is_empty());
         assert!(out.sst.is_empty());
         assert!(out.region_tuples.is_empty());
+    }
+
+    #[test]
+    fn degraded_feed_annotates_via_try_annotate_feed() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let track = daily_trip(&city);
+
+        // scramble the track: reverse a chunk, inject NaN and a duplicate
+        let mut records = track.records.clone();
+        let n = records.len();
+        records[n / 4..n / 2].reverse();
+        records.push(GpsRecord::new(Point::new(f64::NAN, 0.0), Timestamp(0.0)));
+        let dup = records[10];
+        records.insert(11, dup);
+
+        let feed = GpsFeed::new(1, 1, records);
+        let out = semitri.try_annotate_feed(&feed).unwrap();
+        assert!(out.cleaning.dropped_nonfinite >= 1);
+        assert!(out.cleaning.reordered >= 1);
+        assert!(out.cleaning.deduped >= 1);
+        assert_eq!(out.cleaning.kept as usize, out.cleaned.len());
+        // episodes still partition the cleaned range
+        assert_eq!(out.episodes.first().unwrap().start, 0);
+        assert_eq!(out.episodes.last().unwrap().end, out.cleaned.len());
+
+        // the same trajectory through the trusted path reports a clean feed
+        let trusted = semitri.try_annotate(&track.to_raw()).unwrap();
+        assert_eq!(trusted.cleaning.dropped_nonfinite, 0);
+        assert_eq!(trusted.cleaning.reordered, 0);
+        assert_eq!(trusted.cleaning.input, track.records.len() as u64);
+    }
+
+    #[test]
+    fn irrecoverable_feed_is_an_error_not_a_panic() {
+        let city = small_city();
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let feed = GpsFeed::new(
+            1,
+            9,
+            vec![GpsRecord::new(Point::new(f64::NAN, 0.0), Timestamp(0.0))],
+        );
+        assert_eq!(
+            semitri.try_annotate_feed(&feed).unwrap_err(),
+            FeedError::NoValidRecords { total: 1 }
+        );
+        // empty feeds are not an error: they annotate to nothing
+        let out = semitri.try_annotate_feed(&GpsFeed::default()).unwrap();
+        assert!(out.sst.is_empty());
+        assert_eq!(out.cleaning, CleaningReport::default());
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! The preprocessing stage: degraded feeds in, segmentable records out.
+//!
+//! SeMiTri's claim is annotating *heterogeneous* trajectories (§1) —
+//! feeds that differ in rate, noise and quality. Real feeds add faults on
+//! top: NaN sentinels, out-of-order delivery, stuck clocks, duplicated
+//! and conflicting fixes, teleports. This stage runs before stop/move
+//! segmentation and repairs what it can, drops what it can't, and counts
+//! everything it did into a [`CleaningReport`] so the
+//! `stage.preprocess.*` metrics expose feed quality per deployment.
+//!
+//! The contract it establishes for the rest of the Trajectory
+//! Computation Layer: records are finite, strictly increasing in time
+//! and free of physically impossible jumps. Only one input is
+//! irrecoverable — a non-empty feed whose every fix is non-finite —
+//! and that surfaces as [`FeedError::NoValidRecords`], never a panic.
+
+use crate::pipeline::CleanConfig;
+use semitri_data::{FeedError, GpsRecord};
+use semitri_episodes::clean::{
+    gaussian_smooth, remove_speed_outliers_counted, OutlierCounts, COLOCATED_EPS_M,
+};
+use semitri_obs::CleaningReport;
+
+/// Validates, repairs and cleans raw fixes ahead of segmentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Preprocessor {
+    /// The cleaning parameters (speed bound, optional smoothing).
+    pub clean: CleanConfig,
+}
+
+impl Preprocessor {
+    /// Builds a preprocessor around `clean`.
+    pub fn new(clean: CleanConfig) -> Self {
+        Self { clean }
+    }
+
+    /// Runs the full pass: finiteness filter → stable time sort →
+    /// same-instant dedup → speed-outlier removal → optional Gaussian
+    /// smoothing.
+    ///
+    /// The returned report satisfies
+    /// `input == kept + dropped_nonfinite + deduped + dropped_conflicts + dropped_outliers`
+    /// — every input fix is accounted for exactly once (`reordered`
+    /// counts repairs, not drops). Errors only when a non-empty feed has
+    /// no finite fix at all.
+    pub fn run(
+        &self,
+        records: &[GpsRecord],
+    ) -> Result<(Vec<GpsRecord>, CleaningReport), FeedError> {
+        let mut report = CleaningReport {
+            input: records.len() as u64,
+            ..CleaningReport::default()
+        };
+
+        // 1. drop non-finite fixes — geometry must never see NaN/∞
+        let mut valid: Vec<GpsRecord> = records
+            .iter()
+            .copied()
+            .filter(GpsRecord::is_finite)
+            .collect();
+        report.dropped_nonfinite = records.len() as u64 - valid.len() as u64;
+        if valid.is_empty() && !records.is_empty() {
+            return Err(FeedError::NoValidRecords {
+                total: records.len(),
+            });
+        }
+
+        // 2. repair ordering: count adjacent inversions (how out-of-order
+        // the feed arrived), then stable-sort so equal timestamps keep
+        // arrival order and the first-arrived fix wins the dedup below
+        report.reordered = valid.windows(2).filter(|w| w[1].t.0 < w[0].t.0).count() as u64;
+        if report.reordered > 0 {
+            valid.sort_by(|a, b| a.t.0.partial_cmp(&b.t.0).expect("finite timestamps"));
+        }
+
+        // 3 + 4. same-instant dedup and the physical speed bound, fused
+        // in the episodes-layer forward pass
+        let mut counts = OutlierCounts::default();
+        let mut cleaned =
+            remove_speed_outliers_counted(&valid, self.clean.max_speed_mps, &mut counts);
+        report.deduped = counts.deduped;
+        report.dropped_conflicts = counts.conflicting;
+        report.dropped_outliers = counts.outliers;
+
+        // 5. optional smoothing (record-count preserving)
+        if let Some(sigma) = self.clean.smooth_sigma_secs {
+            cleaned = gaussian_smooth(&cleaned, sigma);
+        }
+
+        report.kept = cleaned.len() as u64;
+        debug_assert_eq!(
+            report.input,
+            report.kept
+                + report.dropped_nonfinite
+                + report.deduped
+                + report.dropped_conflicts
+                + report.dropped_outliers,
+            "cleaning report must account for every input fix"
+        );
+        debug_assert!(
+            cleaned.windows(2).all(|w| w[1].t.0 > w[0].t.0),
+            "preprocessed records must be strictly time-increasing"
+        );
+        Ok((cleaned, report))
+    }
+}
+
+/// Re-exported so callers reasoning about the dedup threshold see one
+/// constant, not two.
+pub const COLOCATED_EPS: f64 = COLOCATED_EPS_M;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_geo::{Point, Timestamp};
+
+    fn rec(x: f64, y: f64, t: f64) -> GpsRecord {
+        GpsRecord::new(Point::new(x, y), Timestamp(t))
+    }
+
+    fn pre() -> Preprocessor {
+        Preprocessor::new(CleanConfig::default())
+    }
+
+    #[test]
+    fn clean_feed_passes_through_untouched() {
+        let recs: Vec<GpsRecord> = (0..20)
+            .map(|i| rec(i as f64 * 5.0, 0.0, i as f64))
+            .collect();
+        let (out, report) = pre().run(&recs).unwrap();
+        assert_eq!(out, recs);
+        assert_eq!(
+            report,
+            CleaningReport {
+                input: 20,
+                kept: 20,
+                ..CleaningReport::default()
+            }
+        );
+    }
+
+    #[test]
+    fn degraded_feed_is_fully_accounted_for() {
+        let recs = vec![
+            rec(10.0, 0.0, 2.0), // out of order vs next
+            rec(0.0, 0.0, 0.0),
+            rec(f64::NAN, 0.0, 1.0), // non-finite
+            rec(5.0, 0.0, 1.0),
+            rec(5.2, 0.0, 1.0),     // co-located duplicate
+            rec(900.0, 0.0, 1.0),   // conflicting same-instant fix
+            rec(9_000.0, 0.0, 3.0), // teleport
+            rec(15.0, 0.0, 4.0),
+        ];
+        let (out, report) = pre().run(&recs).unwrap();
+        assert_eq!(report.input, 8);
+        assert_eq!(report.dropped_nonfinite, 1);
+        assert!(report.reordered >= 1);
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.dropped_conflicts, 1);
+        assert_eq!(report.dropped_outliers, 1);
+        assert_eq!(report.kept, 4);
+        assert_eq!(report.kept as usize, out.len());
+        assert_eq!(
+            report.input,
+            report.kept + report.dropped() + report.deduped
+        );
+        // output is strictly increasing in time
+        assert!(out.windows(2).all(|w| w[1].t.0 > w[0].t.0));
+    }
+
+    #[test]
+    fn all_nonfinite_feed_errors_instead_of_panicking() {
+        let recs = vec![rec(f64::NAN, 0.0, 0.0), rec(0.0, f64::INFINITY, 1.0)];
+        assert_eq!(
+            pre().run(&recs).unwrap_err(),
+            FeedError::NoValidRecords { total: 2 }
+        );
+        // empty is fine
+        let (out, report) = pre().run(&[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(report, CleaningReport::default());
+    }
+
+    #[test]
+    fn smoothing_preserves_the_report_invariant() {
+        let p = Preprocessor::new(CleanConfig {
+            smooth_sigma_secs: Some(2.0),
+            ..CleanConfig::default()
+        });
+        let recs: Vec<GpsRecord> = (0..30)
+            .map(|i| {
+                rec(
+                    i as f64 * 3.0,
+                    if i % 2 == 0 { 2.0 } else { -2.0 },
+                    i as f64,
+                )
+            })
+            .collect();
+        let (out, report) = p.run(&recs).unwrap();
+        assert_eq!(out.len(), 30);
+        assert_eq!(report.kept, 30);
+        // smoothing attenuated the zig-zag
+        assert!(out[10..20].iter().all(|r| r.point.y.abs() < 1.0));
+    }
+
+    #[test]
+    fn stable_sort_keeps_first_arrival_on_ties() {
+        // the feed interleaves a tie after an out-of-order fix; the
+        // first-arrived t=5 fix must win the dedup
+        let recs = vec![
+            rec(50.0, 0.0, 9.0),
+            rec(1.0, 0.0, 5.0),
+            rec(1.3, 0.0, 5.0), // same instant, co-located → deduped
+        ];
+        let (out, report) = pre().run(&recs).unwrap();
+        assert_eq!(out[0].point.x, 1.0);
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.reordered, 1);
+    }
+}

@@ -19,12 +19,14 @@
 use crate::line::matcher::GlobalMapMatcher;
 use crate::line::mode::ModeInferencer;
 use crate::line::{group_matches, RouteEntry};
+use crate::pipeline::CleanConfig;
 use crate::point::{PointAnnotator, StopAnnotation};
 use crate::region::RegionAnnotator;
 use semitri_data::{City, GpsRecord, PoiCategory};
+use semitri_episodes::clean::COLOCATED_EPS_M;
 use semitri_episodes::{Episode, EpisodeKind, VelocityPolicy};
 use semitri_geo::{Point, Rect, TimeSpan};
-use semitri_obs::{PipelineObserver, Stage};
+use semitri_obs::{CleaningReport, PipelineObserver, Stage};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -61,8 +63,18 @@ pub struct StreamingAnnotator<'c> {
     point: Option<PointAnnotator>,
     mode: ModeInferencer,
     policy: VelocityPolicy,
+    /// Online cleaning parameters (speed bound; smoothing is offline-only
+    /// and ignored here — a causal annotator cannot smooth with future
+    /// fixes).
+    clean: CleanConfig,
+    /// Cumulative account of what the online validation gate rejected.
+    cleaning: CleaningReport,
+    /// Snapshot of `cleaning` at the last flush, so each flush reports
+    /// only its own delta through the observer.
+    cleaning_reported: CleaningReport,
 
-    /// All records fed so far (episode indexes refer into this).
+    /// All *accepted* records so far (episode indexes refer into this;
+    /// rejected fixes never enter).
     records: Vec<GpsRecord>,
     /// Index where the currently-open episode starts.
     open_start: usize,
@@ -97,6 +109,9 @@ impl<'c> StreamingAnnotator<'c> {
             point,
             mode,
             policy,
+            clean: CleanConfig::default(),
+            cleaning: CleaningReport::default(),
+            cleaning_reported: CleaningReport::default(),
             records: Vec::new(),
             open_start: 0,
             open_kind: None,
@@ -119,9 +134,25 @@ impl<'c> StreamingAnnotator<'c> {
         self.observer = observer;
     }
 
-    /// Number of records consumed.
+    /// Sets the online cleaning parameters (the speed bound; the
+    /// smoothing bandwidth is ignored — smoothing needs future fixes a
+    /// causal annotator doesn't have).
+    pub fn with_clean(mut self, clean: CleanConfig) -> Self {
+        self.clean = clean;
+        self
+    }
+
+    /// Number of records *accepted* (fed minus what the validation gate
+    /// rejected; see [`StreamingAnnotator::cleaning_report`]). Episode
+    /// indexes refer to this range.
     pub fn record_count(&self) -> usize {
         self.records.len()
+    }
+
+    /// Cumulative account of the fixes rejected or accepted since the
+    /// annotator was built.
+    pub fn cleaning_report(&self) -> &CleaningReport {
+        &self.cleaning
     }
 
     fn observe(&self, stage: Stage, records: usize, secs: f64) {
@@ -135,7 +166,40 @@ impl<'c> StreamingAnnotator<'c> {
 
     /// Feeds one GPS record; returns the episodes that closed as a result
     /// (usually none, occasionally one).
+    ///
+    /// Degraded fixes are rejected at the door — the streaming
+    /// counterpart of the batch `Preprocessor`, except a causal annotator
+    /// cannot re-sort the past, so out-of-order fixes are *dropped*
+    /// (counted as `reordered`) instead of repaired. Rejections never
+    /// panic and never corrupt the open episode.
     pub fn push(&mut self, record: GpsRecord) -> Vec<StreamEvent> {
+        self.cleaning.input += 1;
+        if !record.is_finite() {
+            self.cleaning.dropped_nonfinite += 1;
+            return Vec::new();
+        }
+        if let Some(prev) = self.records.last() {
+            let dt = record.t.since(prev.t);
+            if dt < 0.0 {
+                // time ran backwards: the emitted episodes are immutable,
+                // so the late fix can only be discarded
+                self.cleaning.reordered += 1;
+                return Vec::new();
+            }
+            if dt == 0.0 {
+                if prev.point.distance(record.point) < COLOCATED_EPS_M {
+                    self.cleaning.deduped += 1;
+                } else {
+                    self.cleaning.dropped_conflicts += 1;
+                }
+                return Vec::new();
+            }
+            if prev.point.distance(record.point) / dt > self.clean.max_speed_mps {
+                self.cleaning.dropped_outliers += 1;
+                return Vec::new();
+            }
+        }
+        self.cleaning.kept += 1;
         self.records.push(record);
         let n = self.records.len();
         if n < 2 {
@@ -210,8 +274,17 @@ impl<'c> StreamingAnnotator<'c> {
     }
 
     /// Closes the currently open episode (end of feed) and returns any
-    /// final event.
+    /// final event. Also reports the cleaning work done since the last
+    /// flush through the observer's `on_preprocess` hook (trajectory id
+    /// 0, like every streaming span).
     pub fn flush(&mut self) -> Vec<StreamEvent> {
+        if let Some(obs) = &self.observer {
+            let delta = self.cleaning.delta_since(&self.cleaning_reported);
+            if delta != CleaningReport::default() {
+                obs.on_preprocess(0, &delta);
+            }
+        }
+        self.cleaning_reported = self.cleaning;
         let n = self.records.len();
         let Some(kind) = self.open_kind.take() else {
             return Vec::new();
@@ -542,6 +615,86 @@ mod tests {
         assert_eq!(online.len(), offline.len());
         let agreement = online_offline_agreement(&online, &offline);
         assert!(agreement >= 0.5, "agreement {agreement}");
+    }
+
+    #[test]
+    fn degraded_fixes_are_rejected_at_the_door() {
+        let city = city();
+        let track = day_track(&city);
+        let mut stream = annotator(&city);
+
+        let mut events = Vec::new();
+        for (i, &r) in track.records.iter().enumerate() {
+            events.extend(stream.push(r));
+            match i % 40 {
+                // co-located duplicate of the fix just accepted
+                7 => drop(stream.push(r)),
+                // conflicting fix at the same instant, 500 m away
+                13 => drop(stream.push(GpsRecord::new(
+                    Point::new(r.point.x + 500.0, r.point.y),
+                    r.t,
+                ))),
+                // non-finite fix
+                19 => drop(stream.push(GpsRecord::new(Point::new(f64::NAN, 0.0), r.t))),
+                // stale out-of-order fix from the past
+                23 => drop(stream.push(GpsRecord::new(r.point, Timestamp(r.t.0 - 3_600.0)))),
+                // teleport (way past the speed bound)
+                31 => drop(stream.push(GpsRecord::new(
+                    Point::new(r.point.x + 90_000.0, r.point.y),
+                    Timestamp(r.t.0 + 0.5),
+                ))),
+                _ => {}
+            }
+        }
+        events.extend(stream.flush());
+
+        let report = *stream.cleaning_report();
+        assert!(report.deduped > 0);
+        assert!(report.dropped_conflicts > 0);
+        assert!(report.dropped_nonfinite > 0);
+        assert!(report.reordered > 0);
+        assert!(report.dropped_outliers > 0);
+        assert_eq!(report.kept as usize, stream.record_count());
+        assert_eq!(
+            report.input,
+            report.kept + report.dropped() + report.deduped + report.reordered
+        );
+        // only clean fixes entered: the record range is still exactly
+        // partitioned by the emitted episodes
+        let mut last_end = 0usize;
+        for e in &events {
+            let ep = match e {
+                StreamEvent::Move { episode, .. } | StreamEvent::Stop { episode, .. } => episode,
+            };
+            assert_eq!(ep.start, last_end);
+            last_end = ep.end;
+        }
+        assert_eq!(last_end, stream.record_count());
+        // accepted records are strictly time-ordered despite the garbage
+        assert!(stream.records.windows(2).all(|w| w[1].t.0 > w[0].t.0));
+    }
+
+    #[test]
+    fn flush_reports_cleaning_delta_through_observer() {
+        use semitri_obs::{MetricsObserver, MetricsRegistry};
+        let city = city();
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut stream =
+            annotator(&city).with_observer(Arc::new(MetricsObserver::new(registry.clone())));
+        stream.push(GpsRecord::new(Point::new(10.0, 10.0), Timestamp(0.0)));
+        stream.push(GpsRecord::new(Point::new(f64::NAN, 10.0), Timestamp(1.0)));
+        stream.push(GpsRecord::new(Point::new(11.0, 10.0), Timestamp(2.0)));
+        stream.flush();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stage.preprocess.records"), 3);
+        assert_eq!(snap.counter("stage.preprocess.kept"), 2);
+        assert_eq!(snap.counter("stage.preprocess.dropped"), 1);
+        assert_eq!(snap.counter("stage.preprocess.calls"), 1);
+        // a second flush with no new fixes reports nothing further
+        stream.flush();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stage.preprocess.records"), 3);
+        assert_eq!(snap.counter("stage.preprocess.calls"), 1);
     }
 
     #[test]

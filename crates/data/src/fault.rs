@@ -1,0 +1,528 @@
+//! Seeded fault injection for degraded GPS feeds.
+//!
+//! The paper's framework claims *heterogeneous* trajectories — feeds that
+//! differ wildly in sampling rate, noise and quality (§1; §5 evaluates
+//! 1 Hz taxis, ~40 s fleet cars and irregular phones). Real corpora add
+//! a second axis of heterogeneity the simulator's clean output lacks:
+//! receiver and logger *faults*. [`FaultInjector`] reproduces that axis on
+//! top of any record stream — dropout gaps, noise bursts, teleporting
+//! fixes, duplicated and conflicting fixes, out-of-order and stuck
+//! timestamps, non-finite coordinates and arbitrary resampling — so the
+//! ingestion path can be exercised against the full degradation matrix
+//! deterministically.
+//!
+//! Faults compose: the injector applies its fault list in order, each
+//! fault drawing from its own seed-derived random stream, so adding a
+//! fault never perturbs the randomness of the ones before it.
+
+use crate::gps::GpsRecord;
+use crate::sim::randn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semitri_geo::{Point, Timestamp};
+
+/// One way a GPS feed degrades in the wild.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Loses each fix independently with probability `rate` — urban-canyon
+    /// and indoor dropout gaps.
+    Dropout {
+        /// Per-record loss probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Adds i.i.d. Gaussian position error of `sigma` meters to each fix
+    /// independently with probability `rate` — multipath noise bursts.
+    Noise {
+        /// Standard deviation of the burst error in meters.
+        sigma: f64,
+        /// Per-record burst probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Displaces `count` randomly chosen fixes by `distance` meters in a
+    /// random direction — hard multipath reflections ("teleports").
+    Teleport {
+        /// Number of fixes to displace.
+        count: usize,
+        /// Displacement magnitude in meters.
+        distance: f64,
+    },
+    /// Re-emits each fix in place with probability `rate` — logger
+    /// retransmissions producing co-located duplicate timestamps.
+    Duplicate {
+        /// Per-record duplication probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Emits a *conflicting* second fix (same timestamp, position displaced
+    /// by `offset_m` meters) with probability `rate` — two receivers
+    /// multiplexed onto one feed, or a buggy logger interleaving stale
+    /// positions.
+    Conflict {
+        /// Per-record conflict probability in `[0, 1]`.
+        rate: f64,
+        /// How far the conflicting fix sits from the true one, meters.
+        offset_m: f64,
+    },
+    /// Swaps adjacent records with probability `rate` — out-of-order
+    /// delivery from buffered uplinks.
+    OutOfOrder {
+        /// Per-boundary swap probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// A stuck clock: with probability `rate` a fix repeats the previous
+    /// fix's timestamp instead of its own (runs of equal timestamps under
+    /// continuing movement).
+    StuckClock {
+        /// Per-record sticking probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Replaces a coordinate or the timestamp with a non-finite value
+    /// (NaN / ±∞) with probability `rate` — uninitialized registers and
+    /// sentinel values leaking into the feed.
+    NonFinite {
+        /// Per-record corruption probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Decimates the feed to at most one fix per `interval` seconds —
+    /// resampling a 1 Hz feed down to the paper's ~40 s fleet rate (a
+    /// no-op when the feed is already slower).
+    Resample {
+        /// Minimum spacing between kept fixes, seconds.
+        interval: f64,
+    },
+}
+
+impl Fault {
+    /// Short stable key used by the [`Fault::parse_spec`] grammar.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Fault::Dropout { .. } => "dropout",
+            Fault::Noise { .. } => "noise",
+            Fault::Teleport { .. } => "teleport",
+            Fault::Duplicate { .. } => "dup",
+            Fault::Conflict { .. } => "conflict",
+            Fault::OutOfOrder { .. } => "swap",
+            Fault::StuckClock { .. } => "stuck",
+            Fault::NonFinite { .. } => "nan",
+            Fault::Resample { .. } => "resample",
+        }
+    }
+
+    /// Parses a comma-separated fault spec, e.g.
+    /// `"dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5"`.
+    ///
+    /// Each entry is `key=value`; secondary parameters take documented
+    /// defaults (`noise` bursts at rate 0.15, `teleport` displaces 2 km,
+    /// `conflict` offsets 150 m). Unknown keys and unparsable values are
+    /// reported, not ignored.
+    pub fn parse_spec(spec: &str) -> Result<Vec<Fault>, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry {entry:?} is not key=value"))?;
+            let v: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault {key:?} has non-numeric value {value:?}"))?;
+            let rate_for = |key: &str| -> Result<f64, String> {
+                if (0.0..=1.0).contains(&v) {
+                    Ok(v)
+                } else {
+                    Err(format!("fault {key:?} rate {v} outside [0, 1]"))
+                }
+            };
+            faults.push(match key.trim() {
+                "dropout" => Fault::Dropout {
+                    rate: rate_for("dropout")?,
+                },
+                "noise" => Fault::Noise {
+                    sigma: v.abs(),
+                    rate: 0.15,
+                },
+                "teleport" => Fault::Teleport {
+                    count: v.max(0.0) as usize,
+                    distance: 2_000.0,
+                },
+                "dup" => Fault::Duplicate {
+                    rate: rate_for("dup")?,
+                },
+                "conflict" => Fault::Conflict {
+                    rate: rate_for("conflict")?,
+                    offset_m: 150.0,
+                },
+                "swap" => Fault::OutOfOrder {
+                    rate: rate_for("swap")?,
+                },
+                "stuck" => Fault::StuckClock {
+                    rate: rate_for("stuck")?,
+                },
+                "nan" => Fault::NonFinite {
+                    rate: rate_for("nan")?,
+                },
+                "resample" => Fault::Resample { interval: v.abs() },
+                other => return Err(format!("unknown fault kind {other:?}")),
+            });
+        }
+        Ok(faults)
+    }
+
+    /// Applies this fault to `records` using `rng`.
+    fn apply(&self, rng: &mut StdRng, records: Vec<GpsRecord>) -> Vec<GpsRecord> {
+        match *self {
+            Fault::Dropout { rate } => records
+                .into_iter()
+                .filter(|_| !rng.gen_bool(rate.clamp(0.0, 1.0)))
+                .collect(),
+            Fault::Noise { sigma, rate } => records
+                .into_iter()
+                .map(|mut r| {
+                    if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                        r.point = Point::new(
+                            r.point.x + randn(rng) * sigma,
+                            r.point.y + randn(rng) * sigma,
+                        );
+                    }
+                    r
+                })
+                .collect(),
+            Fault::Teleport { count, distance } => {
+                let mut records = records;
+                if records.is_empty() {
+                    return records;
+                }
+                for _ in 0..count {
+                    let i = rng.gen_range(0..records.len());
+                    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let p = records[i].point;
+                    records[i].point =
+                        Point::new(p.x + distance * angle.cos(), p.y + distance * angle.sin());
+                }
+                records
+            }
+            Fault::Duplicate { rate } => {
+                let mut out = Vec::with_capacity(records.len());
+                for r in records {
+                    out.push(r);
+                    if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                        out.push(r);
+                    }
+                }
+                out
+            }
+            Fault::Conflict { rate, offset_m } => {
+                let mut out = Vec::with_capacity(records.len());
+                for r in records {
+                    out.push(r);
+                    if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                        out.push(GpsRecord::new(
+                            Point::new(
+                                r.point.x + offset_m * angle.cos(),
+                                r.point.y + offset_m * angle.sin(),
+                            ),
+                            r.t,
+                        ));
+                    }
+                }
+                out
+            }
+            Fault::OutOfOrder { rate } => {
+                let mut records = records;
+                for i in 1..records.len() {
+                    if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                        records.swap(i - 1, i);
+                    }
+                }
+                records
+            }
+            Fault::StuckClock { rate } => {
+                let mut records = records;
+                for i in 1..records.len() {
+                    if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                        records[i].t = records[i - 1].t;
+                    }
+                }
+                records
+            }
+            Fault::NonFinite { rate } => records
+                .into_iter()
+                .map(|mut r| {
+                    if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                        match rng.gen_range(0..4u32) {
+                            0 => r.point = Point::new(f64::NAN, r.point.y),
+                            1 => r.point = Point::new(r.point.x, f64::INFINITY),
+                            2 => r.t = Timestamp(f64::NAN),
+                            _ => r.point = Point::new(f64::NEG_INFINITY, f64::NAN),
+                        }
+                    }
+                    r
+                })
+                .collect(),
+            Fault::Resample { interval } => {
+                let mut out: Vec<GpsRecord> = Vec::new();
+                for r in records {
+                    match out.last() {
+                        Some(prev) if r.t.since(prev.t) < interval => {}
+                        _ => out.push(r),
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A seeded, composable corruptor of GPS record streams.
+///
+/// ```
+/// use semitri_data::fault::{Fault, FaultInjector};
+/// use semitri_data::GpsRecord;
+/// use semitri_geo::{Point, Timestamp};
+///
+/// let feed: Vec<GpsRecord> = (0..100)
+///     .map(|i| GpsRecord::new(Point::new(i as f64, 0.0), Timestamp(i as f64)))
+///     .collect();
+/// let injector = FaultInjector::new(42)
+///     .with(Fault::Dropout { rate: 0.2 })
+///     .with(Fault::StuckClock { rate: 0.1 });
+/// let degraded = injector.apply(&feed);
+/// assert_eq!(degraded, injector.apply(&feed)); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no faults; corrupt nothing until
+    /// [`FaultInjector::with`] adds fault kinds.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builds an injector directly from a parsed spec (see
+    /// [`Fault::parse_spec`]).
+    pub fn from_spec(seed: u64, spec: &str) -> Result<Self, String> {
+        Ok(Self {
+            seed,
+            faults: Fault::parse_spec(spec)?,
+        })
+    }
+
+    /// Appends a fault to the composition (applied in insertion order).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The composed faults, in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Corrupts `records`, deterministically in `(seed, faults, input)`.
+    pub fn apply(&self, records: &[GpsRecord]) -> Vec<GpsRecord> {
+        self.apply_stream(0, records)
+    }
+
+    /// Corrupts one stream of a fleet: `stream` (e.g. the trajectory id)
+    /// decorrelates the random draws between streams while keeping the
+    /// whole fleet reproducible from one seed.
+    pub fn apply_stream(&self, stream: u64, records: &[GpsRecord]) -> Vec<GpsRecord> {
+        let mut out = records.to_vec();
+        for (i, fault) in self.faults.iter().enumerate() {
+            // per-fault, per-stream random stream: appending a fault never
+            // re-rolls the draws of the faults before it
+            let salt = (i as u64 + 1)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(stream.wrapping_mul(0xd134_2543_de82_ef95));
+            let mut rng = StdRng::seed_from_u64(self.seed ^ salt);
+            out = fault.apply(&mut rng, out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(n: usize) -> Vec<GpsRecord> {
+        (0..n)
+            .map(|i| GpsRecord::new(Point::new(i as f64 * 10.0, 0.0), Timestamp(i as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed_and_stream() {
+        let f = feed(200);
+        let inj = FaultInjector::new(7)
+            .with(Fault::Dropout { rate: 0.3 })
+            .with(Fault::Noise {
+                sigma: 20.0,
+                rate: 0.2,
+            })
+            .with(Fault::OutOfOrder { rate: 0.1 });
+        assert_eq!(inj.apply(&f), inj.apply(&f));
+        assert_eq!(inj.apply_stream(3, &f), inj.apply_stream(3, &f));
+        assert_ne!(inj.apply_stream(3, &f), inj.apply_stream(4, &f));
+        let other = FaultInjector::new(8)
+            .with(Fault::Dropout { rate: 0.3 })
+            .with(Fault::Noise {
+                sigma: 20.0,
+                rate: 0.2,
+            })
+            .with(Fault::OutOfOrder { rate: 0.1 });
+        assert_ne!(inj.apply(&f), other.apply(&f));
+    }
+
+    #[test]
+    fn composition_is_prefix_stable() {
+        // adding a fault must not re-roll the draws of earlier faults
+        let f = feed(300);
+        let base = FaultInjector::new(5).with(Fault::Dropout { rate: 0.2 });
+        let extended = base.clone().with(Fault::StuckClock { rate: 0.0 });
+        // rate-0 second fault: output identical to the prefix
+        assert_eq!(base.apply(&f), extended.apply(&f));
+    }
+
+    #[test]
+    fn dropout_removes_records() {
+        let f = feed(1_000);
+        let out = FaultInjector::new(1)
+            .with(Fault::Dropout { rate: 0.5 })
+            .apply(&f);
+        assert!(out.len() < 700 && out.len() > 300, "{}", out.len());
+        // dropout alone never reorders or mutates surviving fixes
+        assert!(out.windows(2).all(|w| w[1].t.0 > w[0].t.0));
+    }
+
+    #[test]
+    fn duplicate_and_conflict_create_equal_timestamps() {
+        let f = feed(500);
+        let out = FaultInjector::new(2)
+            .with(Fault::Duplicate { rate: 0.2 })
+            .apply(&f);
+        assert!(out.len() > f.len());
+        let dups = out.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(dups > 50, "{dups}");
+
+        let out = FaultInjector::new(2)
+            .with(Fault::Conflict {
+                rate: 0.2,
+                offset_m: 150.0,
+            })
+            .apply(&f);
+        let conflicts = out
+            .windows(2)
+            .filter(|w| w[0].t == w[1].t && w[0].point.distance(w[1].point) > 1.0)
+            .count();
+        assert!(conflicts > 50, "{conflicts}");
+    }
+
+    #[test]
+    fn out_of_order_and_stuck_clock_break_monotonicity() {
+        let f = feed(500);
+        let out = FaultInjector::new(3)
+            .with(Fault::OutOfOrder { rate: 0.2 })
+            .apply(&f);
+        assert_eq!(out.len(), f.len());
+        assert!(out.windows(2).any(|w| w[1].t.0 < w[0].t.0));
+
+        let out = FaultInjector::new(3)
+            .with(Fault::StuckClock { rate: 0.2 })
+            .apply(&f);
+        let stuck = out.windows(2).filter(|w| w[1].t.0 == w[0].t.0).count();
+        assert!(stuck > 30, "{stuck}");
+    }
+
+    #[test]
+    fn non_finite_poisons_some_records() {
+        let f = feed(500);
+        let out = FaultInjector::new(4)
+            .with(Fault::NonFinite { rate: 0.1 })
+            .apply(&f);
+        let bad = out
+            .iter()
+            .filter(|r| !(r.point.x.is_finite() && r.point.y.is_finite() && r.t.0.is_finite()))
+            .count();
+        assert!(bad > 10, "{bad}");
+    }
+
+    #[test]
+    fn teleport_displaces_exactly_requested_magnitude() {
+        let f = feed(100);
+        let out = FaultInjector::new(5)
+            .with(Fault::Teleport {
+                count: 3,
+                distance: 2_000.0,
+            })
+            .apply(&f);
+        let moved = out
+            .iter()
+            .zip(&f)
+            .filter(|(a, b)| (a.point.distance(b.point) - 2_000.0).abs() < 1e-6)
+            .count();
+        // teleports can land on the same index twice; at least one moved
+        assert!((1..=3).contains(&moved), "{moved}");
+    }
+
+    #[test]
+    fn resample_decimates_to_requested_rate() {
+        let f = feed(100); // 1 Hz
+        let out = FaultInjector::new(6)
+            .with(Fault::Resample { interval: 5.0 })
+            .apply(&f);
+        assert!(out.len() <= 21, "{}", out.len());
+        assert!(out.windows(2).all(|w| w[1].t.since(w[0].t) >= 5.0));
+        // already-slower feeds pass through
+        let slow: Vec<GpsRecord> = (0..10)
+            .map(|i| GpsRecord::new(Point::new(0.0, 0.0), Timestamp(i as f64 * 30.0)))
+            .collect();
+        let kept = FaultInjector::new(6)
+            .with(Fault::Resample { interval: 5.0 })
+            .apply(&slow);
+        assert_eq!(kept, slow);
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_keys() {
+        let faults = Fault::parse_spec(
+            "dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5",
+        )
+        .unwrap();
+        assert_eq!(faults.len(), 9);
+        let keys: Vec<&str> = faults.iter().map(|f| f.key()).collect();
+        assert_eq!(
+            keys,
+            [
+                "dropout", "noise", "teleport", "dup", "conflict", "swap", "stuck", "nan",
+                "resample"
+            ]
+        );
+        assert_eq!(faults[0], Fault::Dropout { rate: 0.1 });
+        assert_eq!(faults[8], Fault::Resample { interval: 5.0 });
+
+        assert!(Fault::parse_spec("bogus=1").is_err());
+        assert!(Fault::parse_spec("dropout").is_err());
+        assert!(Fault::parse_spec("dropout=x").is_err());
+        assert!(Fault::parse_spec("dropout=1.5").is_err());
+        assert!(Fault::parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_feed_survives_every_fault() {
+        let inj = FaultInjector::new(9)
+            .with(Fault::Dropout { rate: 0.5 })
+            .with(Fault::Teleport {
+                count: 5,
+                distance: 100.0,
+            })
+            .with(Fault::Resample { interval: 10.0 });
+        assert!(inj.apply(&[]).is_empty());
+    }
+}

@@ -20,6 +20,15 @@ impl GpsRecord {
         Self { point, t }
     }
 
+    /// `true` when both coordinates and the timestamp are finite. Real
+    /// feeds leak NaN/∞ sentinels from uninitialized receiver registers;
+    /// every ingestion path must reject such fixes before geometry runs
+    /// on them.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.point.x.is_finite() && self.point.y.is_finite() && self.t.0.is_finite()
+    }
+
     /// Instantaneous speed from `self` to `next` in m/s; `0.0` when the
     /// records share a timestamp (degenerate fix pairs do occur in real
     /// feeds and must not produce infinities downstream).
@@ -30,6 +39,63 @@ impl GpsRecord {
             0.0
         } else {
             self.point.distance(next.point) / dt
+        }
+    }
+}
+
+/// Why a feed could not be turned into a usable [`RawTrajectory`].
+///
+/// This is the *recoverable* counterpart to the panicking
+/// [`RawTrajectory::new`] contract: ingestion paths facing untrusted
+/// feeds use [`RawTrajectory::from_unsorted`] (or the pipeline's
+/// `try_annotate_feed`) and surface this error instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedError {
+    /// Every fix in a non-empty feed was non-finite — nothing is left to
+    /// annotate and no time span can even be established.
+    NoValidRecords {
+        /// How many (all invalid) fixes the feed contained.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::NoValidRecords { total } => {
+                write!(
+                    f,
+                    "feed has no valid records ({total} fixes, all non-finite)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// An untrusted GPS feed: identified records straight off a receiver or
+/// logger, with **no ordering or finiteness guarantees**. The pipeline's
+/// preprocessing stage turns feeds into clean [`RawTrajectory`]s,
+/// reporting what it had to repair.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GpsFeed {
+    /// Identifier of the moving object (taxi, car, phone user).
+    pub object_id: u64,
+    /// Identifier of this trajectory within the dataset.
+    pub trajectory_id: u64,
+    /// The fixes, in arrival order — possibly out of order, duplicated
+    /// or non-finite.
+    pub records: Vec<GpsRecord>,
+}
+
+impl GpsFeed {
+    /// Creates a feed.
+    pub fn new(object_id: u64, trajectory_id: u64, records: Vec<GpsRecord>) -> Self {
+        Self {
+            object_id,
+            trajectory_id,
+            records,
         }
     }
 }
@@ -61,6 +127,33 @@ impl RawTrajectory {
             trajectory_id,
             records,
         }
+    }
+
+    /// Creates a trajectory from an untrusted feed: drops non-finite
+    /// fixes and stably sorts by timestamp (equal-timestamp fixes keep
+    /// their arrival order, so downstream dedup sees the first-arrived
+    /// fix first).
+    ///
+    /// Returns [`FeedError::NoValidRecords`] when a non-empty feed has
+    /// *no* finite fix at all; an empty feed yields an empty trajectory
+    /// (vacuously ordered, annotates to nothing).
+    pub fn from_unsorted(
+        object_id: u64,
+        trajectory_id: u64,
+        records: Vec<GpsRecord>,
+    ) -> Result<Self, FeedError> {
+        let total = records.len();
+        let mut valid: Vec<GpsRecord> = records.into_iter().filter(GpsRecord::is_finite).collect();
+        if valid.is_empty() && total > 0 {
+            return Err(FeedError::NoValidRecords { total });
+        }
+        // all timestamps are finite here, so the comparison is total
+        valid.sort_by(|a, b| a.t.0.partial_cmp(&b.t.0).expect("finite timestamps"));
+        Ok(Self {
+            object_id,
+            trajectory_id,
+            records: valid,
+        })
     }
 
     /// The records.
@@ -179,6 +272,58 @@ mod tests {
     #[should_panic(expected = "time-ordered")]
     fn rejects_unsorted_records() {
         RawTrajectory::new(1, 1, vec![rec(0.0, 0.0, 10.0), rec(1.0, 0.0, 5.0)]);
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_drops_nonfinite() {
+        let t = RawTrajectory::from_unsorted(
+            1,
+            2,
+            vec![
+                rec(0.0, 0.0, 10.0),
+                rec(f64::NAN, 0.0, 11.0),
+                rec(1.0, 0.0, 5.0),
+                GpsRecord::new(Point::new(2.0, 0.0), Timestamp(f64::INFINITY)),
+                rec(3.0, 0.0, 7.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.object_id, 1);
+        assert_eq!(t.trajectory_id, 2);
+        let ts: Vec<f64> = t.records().iter().map(|r| r.t.0).collect();
+        assert_eq!(ts, vec![5.0, 7.0, 10.0]);
+    }
+
+    #[test]
+    fn from_unsorted_is_stable_on_equal_timestamps() {
+        let t = RawTrajectory::from_unsorted(
+            1,
+            1,
+            vec![rec(9.0, 0.0, 8.0), rec(1.0, 0.0, 3.0), rec(2.0, 0.0, 3.0)],
+        )
+        .unwrap();
+        let xs: Vec<f64> = t.records().iter().map(|r| r.point.x).collect();
+        // the two t=3 fixes keep arrival order
+        assert_eq!(xs, vec![1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn from_unsorted_rejects_all_invalid_feed() {
+        let err = RawTrajectory::from_unsorted(1, 1, vec![rec(f64::NAN, 0.0, 0.0)]).unwrap_err();
+        assert_eq!(err, FeedError::NoValidRecords { total: 1 });
+        assert!(err.to_string().contains("no valid records"));
+        // empty feeds are fine: nothing to annotate, nothing invalid
+        assert!(RawTrajectory::from_unsorted(1, 1, vec![])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn record_finiteness() {
+        assert!(rec(0.0, 0.0, 0.0).is_finite());
+        assert!(!rec(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!rec(0.0, f64::NEG_INFINITY, 0.0).is_finite());
+        assert!(!rec(0.0, 0.0, f64::NAN).is_finite());
     }
 
     #[test]

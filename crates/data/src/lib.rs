@@ -10,6 +10,8 @@
 //! Seattle drive:
 //!
 //! * [`gps`] — raw GPS records and raw trajectories (Definition 1);
+//! * [`fault`] — a seeded fault injector degrading simulator output the
+//!   way real receivers and loggers do (dropout, noise, stuck clocks …);
 //! * [`landuse`] — the Swisstopo-style landuse grid with the paper's
 //!   17-subcategory ontology (Fig. 4);
 //! * [`road`] — multi-class road networks (highway/street/path/metro/bus)
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod city;
+pub mod fault;
 pub mod gps;
 pub mod io;
 pub mod landuse;
@@ -40,7 +43,8 @@ pub mod road;
 pub mod sim;
 
 pub use city::{City, CityConfig};
-pub use gps::{GpsRecord, RawTrajectory};
+pub use fault::{Fault, FaultInjector};
+pub use gps::{FeedError, GpsFeed, GpsRecord, RawTrajectory};
 pub use landuse::{LanduseCategory, LanduseCell, LanduseGrid, LanduseGroup};
 pub use poi::{Poi, PoiCategory, PoiSet};
 pub use region::NamedRegion;

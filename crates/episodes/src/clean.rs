@@ -8,13 +8,49 @@
 use semitri_data::GpsRecord;
 use semitri_geo::Point;
 
+/// Two fixes closer than this are "the same place" for duplicate
+/// detection: a re-emitted fix, not a conflicting one.
+pub const COLOCATED_EPS_M: f64 = 1.0;
+
+/// What [`remove_speed_outliers_counted`] skipped, by reason. Feeds into
+/// the preprocessing stage's `CleaningReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutlierCounts {
+    /// Co-located duplicate fixes (same instant, < [`COLOCATED_EPS_M`]
+    /// apart) collapsed onto the kept fix.
+    pub deduped: u64,
+    /// Conflicting fixes (same instant, far apart) dropped in favor of
+    /// the first-kept fix.
+    pub conflicting: u64,
+    /// Fixes dropped by the physical speed bound.
+    pub outliers: u64,
+}
+
 /// Removes records that imply a physically impossible speed.
 ///
 /// A record is an outlier when the speed from the previous *kept* record
 /// exceeds `max_speed_mps`. The first record is always kept. This is the
 /// standard forward-pass filter: a single teleporting fix is dropped, and
 /// the track resumes from the next plausible fix.
+///
+/// Same-instant fixes never survive alongside the kept fix: a co-located
+/// duplicate (< [`COLOCATED_EPS_M`]) is *deduplicated* — the kept fix
+/// already represents it — while a conflicting fix at the same instant is
+/// *dropped* as untrustworthy (two receivers disagreeing about one
+/// moment). The output is identical either way; the distinction is
+/// observable through [`remove_speed_outliers_counted`], which reports
+/// the two cases separately.
 pub fn remove_speed_outliers(records: &[GpsRecord], max_speed_mps: f64) -> Vec<GpsRecord> {
+    remove_speed_outliers_counted(records, max_speed_mps, &mut OutlierCounts::default())
+}
+
+/// [`remove_speed_outliers`], accumulating into `counts` how many fixes
+/// were skipped and why (duplicate vs. conflict vs. speed outlier).
+pub fn remove_speed_outliers_counted(
+    records: &[GpsRecord],
+    max_speed_mps: f64,
+    counts: &mut OutlierCounts,
+) -> Vec<GpsRecord> {
     assert!(max_speed_mps > 0.0, "speed bound must be positive");
     let mut out: Vec<GpsRecord> = Vec::with_capacity(records.len());
     for &r in records {
@@ -23,15 +59,19 @@ pub fn remove_speed_outliers(records: &[GpsRecord], max_speed_mps: f64) -> Vec<G
             Some(prev) => {
                 let dt = r.t.since(prev.t);
                 if dt <= 0.0 {
-                    // duplicate timestamp: keep only if co-located
-                    if prev.point.distance(r.point) < 1.0 {
-                        continue;
+                    // same-instant fix: dedupe if co-located, drop the
+                    // conflict otherwise — the first kept fix wins
+                    if prev.point.distance(r.point) < COLOCATED_EPS_M {
+                        counts.deduped += 1;
+                    } else {
+                        counts.conflicting += 1;
                     }
-                    // conflicting fix at same instant — drop it
                     continue;
                 }
                 if prev.point.distance(r.point) / dt <= max_speed_mps {
                     out.push(r);
+                } else {
+                    counts.outliers += 1;
                 }
             }
         }
@@ -45,6 +85,14 @@ pub fn remove_speed_outliers(records: &[GpsRecord], max_speed_mps: f64) -> Vec<G
 ///
 /// This is the same kernel shape the line-annotation layer uses for its
 /// global score (Equation 4), applied here to positions instead of scores.
+///
+/// # Sortedness contract
+/// Records must be non-decreasing in time — the `Preprocessor` stage
+/// guarantees this before any cleaning pass runs. The sliding window is
+/// nevertheless *bounded* (`lo` never advances past the current record),
+/// so a non-monotonic feed degrades to a possibly-miscentered window
+/// that always contains record `i` — never an out-of-bounds scan, an
+/// empty window, or a `0/0 = NaN` position.
 pub fn gaussian_smooth(records: &[GpsRecord], sigma_secs: f64) -> Vec<GpsRecord> {
     assert!(sigma_secs > 0.0, "sigma must be positive");
     let window = 3.0 * sigma_secs;
@@ -54,22 +102,29 @@ pub fn gaussian_smooth(records: &[GpsRecord], sigma_secs: f64) -> Vec<GpsRecord>
     let mut lo = 0usize;
     for i in 0..n {
         let t_i = records[i].t;
-        while records[lo].t.0 < t_i.0 - window {
+        while lo < i && records[lo].t.0 < t_i.0 - window {
             lo += 1;
         }
         let mut sx = 0.0;
         let mut sy = 0.0;
         let mut sw = 0.0;
-        for r in &records[lo..] {
+        for (j, r) in records.iter().enumerate().skip(lo) {
             let dt = r.t.since(t_i);
-            if dt > window {
+            // only trust "past the window ⇒ done" once the scan has
+            // covered record i itself; on sorted input this breaks at the
+            // same place the unbounded scan did
+            if dt > window && j > i {
                 break;
+            }
+            if dt.abs() > window {
+                continue; // out-of-window straggler in a non-monotonic feed
             }
             let w = (-dt * dt * inv_two_sigma_sq).exp();
             sx += r.point.x * w;
             sy += r.point.y * w;
             sw += w;
         }
+        // record i contributes weight 1 to its own window, so sw >= 1
         out.push(GpsRecord::new(Point::new(sx / sw, sy / sw), t_i));
     }
     out
@@ -145,6 +200,37 @@ mod tests {
     }
 
     #[test]
+    fn outlier_filter_distinguishes_dup_conflict_and_teleport() {
+        let recs = vec![
+            rec(0.0, 0.0, 0.0),
+            rec(0.3, 0.0, 0.0),     // co-located duplicate → deduped
+            rec(500.0, 0.0, 0.0),   // conflicting same-instant fix → dropped
+            rec(10.0, 0.0, 1.0),    // plausible move → kept
+            rec(5_000.0, 0.0, 2.0), // teleport → speed outlier
+            rec(20.0, 0.0, 3.0),    // resumes → kept
+        ];
+        let mut counts = OutlierCounts::default();
+        let clean = remove_speed_outliers_counted(&recs, 50.0, &mut counts);
+        assert_eq!(
+            counts,
+            OutlierCounts {
+                deduped: 1,
+                conflicting: 1,
+                outliers: 1,
+            }
+        );
+        // the first kept fix wins every same-instant contest
+        let xs: Vec<f64> = clean.iter().map(|r| r.point.x).collect();
+        assert_eq!(xs, vec![0.0, 10.0, 20.0]);
+        // the counted and plain variants agree on output
+        assert_eq!(clean, remove_speed_outliers(&recs, 50.0));
+        assert_eq!(
+            clean.len() + (counts.deduped + counts.conflicting + counts.outliers) as usize,
+            recs.len()
+        );
+    }
+
+    #[test]
     fn gaussian_smooth_attenuates_jitter() {
         // zig-zag around y = 0: smoothed amplitude must shrink
         let recs: Vec<GpsRecord> = (0..100)
@@ -171,6 +257,35 @@ mod tests {
             assert!((s.point.x - r.point.x).abs() < 0.5);
             assert!((s.point.y - 7.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn gaussian_smooth_survives_non_monotonic_timestamps() {
+        // regression: a backwards time jump used to leave the window
+        // cursor stranded past the current record (empty window → NaN)
+        let recs = vec![
+            rec(0.0, 0.0, 0.0),
+            rec(1.0, 0.0, 1.0),
+            rec(2.0, 0.0, 100.0), // forward jump pulls lo ahead …
+            rec(3.0, 0.0, 2.0),   // … then time runs backwards
+            rec(4.0, 0.0, 101.0),
+            rec(5.0, 0.0, 3.0),
+        ];
+        let sm = gaussian_smooth(&recs, 2.0);
+        assert_eq!(sm.len(), recs.len());
+        for (s, r) in sm.iter().zip(&recs) {
+            assert!(
+                s.point.x.is_finite() && s.point.y.is_finite(),
+                "non-finite smoothed position for input t={}",
+                r.t.0
+            );
+            assert_eq!(s.t, r.t);
+        }
+        // the degenerate 2-record case that used to produce 0/0 directly:
+        // a lone fix far in the past followed by the current fix
+        let sm = gaussian_smooth(&[rec(0.0, 0.0, 100.0), rec(7.0, 0.0, 0.0)], 2.0);
+        assert!(sm[1].point.x.is_finite());
+        assert_eq!(sm[1].point.x, 7.0);
     }
 
     #[test]

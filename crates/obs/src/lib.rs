@@ -103,6 +103,87 @@ impl std::fmt::Display for Stage {
     }
 }
 
+/// What the preprocessing stage had to repair before a feed could be
+/// segmented. Counts are per-trajectory (the pipeline) or cumulative
+/// (the streaming annotator). Offline, reordered fixes are *repaired*
+/// (sorted back into place, counted but kept), so
+/// `input == kept + dropped_nonfinite + deduped + dropped_conflicts + dropped_outliers`;
+/// the streaming annotator cannot rewrite the past and drops them, so
+/// there `reordered` joins the right-hand side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleaningReport {
+    /// Fixes seen on input.
+    pub input: u64,
+    /// Fixes that survived preprocessing (what segmentation runs on).
+    pub kept: u64,
+    /// Fixes dropped for a NaN/∞ coordinate or timestamp.
+    pub dropped_nonfinite: u64,
+    /// Fixes that arrived out of timestamp order and were re-sorted
+    /// (offline paths) or dropped (streaming, which cannot rewrite the
+    /// past).
+    pub reordered: u64,
+    /// Co-located duplicate fixes (same timestamp, < 1 m apart) collapsed
+    /// to the first arrival.
+    pub deduped: u64,
+    /// Conflicting same-instant fixes (same timestamp, far apart) dropped
+    /// in favor of the first arrival.
+    pub dropped_conflicts: u64,
+    /// Fixes dropped by the physical speed bound (teleports).
+    pub dropped_outliers: u64,
+}
+
+impl CleaningReport {
+    /// Metric names for the preprocessing counters, in report order.
+    /// These are **counters, not histograms**: `stage.preprocess` is a
+    /// sub-span of the episode stage, so it has no latency histogram of
+    /// its own and the `stage.*.secs` schema stays exactly [`Stage::ALL`].
+    pub const METRICS: [&'static str; 6] = [
+        "stage.preprocess.records",
+        "stage.preprocess.kept",
+        "stage.preprocess.dropped",
+        "stage.preprocess.reordered",
+        "stage.preprocess.deduped",
+        "stage.preprocess.calls",
+    ];
+
+    /// Total fixes dropped outright (non-finite + conflicting +
+    /// speed-outlier); reordered and deduped fixes are repairs, not drops.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_nonfinite + self.dropped_conflicts + self.dropped_outliers
+    }
+
+    /// Accumulates `other` into `self` (fleet- or session-level totals).
+    pub fn merge(&mut self, other: &CleaningReport) {
+        self.input += other.input;
+        self.kept += other.kept;
+        self.dropped_nonfinite += other.dropped_nonfinite;
+        self.reordered += other.reordered;
+        self.deduped += other.deduped;
+        self.dropped_conflicts += other.dropped_conflicts;
+        self.dropped_outliers += other.dropped_outliers;
+    }
+
+    /// The change from `earlier` (a previous snapshot of a cumulative
+    /// report) to `self`, saturating at zero per field.
+    pub fn delta_since(&self, earlier: &CleaningReport) -> CleaningReport {
+        CleaningReport {
+            input: self.input.saturating_sub(earlier.input),
+            kept: self.kept.saturating_sub(earlier.kept),
+            dropped_nonfinite: self
+                .dropped_nonfinite
+                .saturating_sub(earlier.dropped_nonfinite),
+            reordered: self.reordered.saturating_sub(earlier.reordered),
+            deduped: self.deduped.saturating_sub(earlier.deduped),
+            dropped_conflicts: self
+                .dropped_conflicts
+                .saturating_sub(earlier.dropped_conflicts),
+            dropped_outliers: self
+                .dropped_outliers
+                .saturating_sub(earlier.dropped_outliers),
+        }
+    }
+}
+
 /// Span-style hooks fired around each pipeline stage. Implementations
 /// must be cheap and thread-safe: the batch pool fires them from every
 /// worker concurrently.
@@ -115,6 +196,14 @@ pub trait PipelineObserver: Send + Sync {
     /// A stage finished: it processed `records` records in
     /// `elapsed_secs` wall-clock seconds.
     fn on_stage_end(&self, stage: Stage, trajectory_id: u64, records: usize, elapsed_secs: f64);
+
+    /// The preprocessing sub-stage cleaned a feed for `trajectory_id`
+    /// (0 from the streaming annotator, which has no trajectory identity).
+    /// Fires before the episode stage span; default is a no-op so
+    /// existing observers are unaffected.
+    fn on_preprocess(&self, trajectory_id: u64, report: &CleaningReport) {
+        let _ = (trajectory_id, report);
+    }
 }
 
 /// An observer that discards every event (useful as a default and in
@@ -140,6 +229,7 @@ struct StageMetrics {
 pub struct MetricsObserver {
     registry: Arc<MetricsRegistry>,
     stages: [StageMetrics; 4],
+    preprocess: [Arc<Counter>; 6],
 }
 
 impl MetricsObserver {
@@ -151,7 +241,12 @@ impl MetricsObserver {
             records: registry.counter(s.records_metric()),
             calls: registry.counter(s.calls_metric()),
         });
-        Self { registry, stages }
+        let preprocess = CleaningReport::METRICS.map(|name| registry.counter(name));
+        Self {
+            registry,
+            stages,
+            preprocess,
+        }
     }
 
     /// The registry this observer reports into.
@@ -166,6 +261,16 @@ impl PipelineObserver for MetricsObserver {
         m.secs.record(elapsed_secs);
         m.records.add(records as u64);
         m.calls.inc();
+    }
+
+    fn on_preprocess(&self, _trajectory_id: u64, report: &CleaningReport) {
+        let [records, kept, dropped, reordered, deduped, calls] = &self.preprocess;
+        records.add(report.input);
+        kept.add(report.kept);
+        dropped.add(report.dropped());
+        reordered.add(report.reordered);
+        deduped.add(report.deduped);
+        calls.inc();
     }
 }
 
@@ -210,5 +315,49 @@ mod tests {
     fn null_observer_is_a_no_op() {
         NullObserver.on_stage_start(Stage::Episode, 1);
         NullObserver.on_stage_end(Stage::Episode, 1, 10, 0.1);
+        NullObserver.on_preprocess(1, &CleaningReport::default());
+    }
+
+    #[test]
+    fn cleaning_report_merge_delta_and_metrics() {
+        let a = CleaningReport {
+            input: 100,
+            kept: 90,
+            dropped_nonfinite: 4,
+            reordered: 7,
+            deduped: 3,
+            dropped_conflicts: 2,
+            dropped_outliers: 1,
+        };
+        assert_eq!(a.dropped(), 7);
+        assert_eq!(a.kept + a.dropped() + a.deduped, a.input);
+
+        let mut total = CleaningReport::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.input, 200);
+        assert_eq!(total.delta_since(&a), a);
+        assert_eq!(a.delta_since(&total), CleaningReport::default());
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = MetricsObserver::new(registry.clone());
+        // preprocess counters are registered up front, and stay counters:
+        // the stage.* histogram set must remain exactly Stage::ALL
+        let snap = registry.snapshot();
+        for name in CleaningReport::METRICS {
+            assert_eq!(snap.counter(name), 0, "{name} not pre-registered");
+            assert!(
+                snap.histogram(name).is_none(),
+                "{name} must not be a histogram"
+            );
+        }
+        obs.on_preprocess(3, &a);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stage.preprocess.records"), 100);
+        assert_eq!(snap.counter("stage.preprocess.kept"), 90);
+        assert_eq!(snap.counter("stage.preprocess.dropped"), 7);
+        assert_eq!(snap.counter("stage.preprocess.reordered"), 7);
+        assert_eq!(snap.counter("stage.preprocess.deduped"), 3);
+        assert_eq!(snap.counter("stage.preprocess.calls"), 1);
     }
 }

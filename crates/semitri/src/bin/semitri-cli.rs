@@ -6,7 +6,7 @@
 //! and answers queries against it.
 //!
 //! ```text
-//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics]
+//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC]
 //! semitri-cli info <store.stlog>
 //! semitri-cli objects <store.stlog>
 //! semitri-cli show <store.stlog> <trajectory_id>
@@ -23,7 +23,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics]\n  \
+        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC]\n    \
+         (SPEC: comma-separated faults, e.g. dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5)\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
          semitri-cli show <store.stlog> <trajectory_id>\n  \
          semitri-cli query-mode <store.stlog> <mode>\n  \
@@ -54,6 +55,17 @@ fn parse_category(s: &str) -> Option<PoiCategory> {
 /// Prints the per-layer latency/count breakdown (paper Fig. 17) followed by
 /// the raw metric snapshot as JSON lines.
 fn print_metrics(summary: &BatchSummary) {
+    let m = &summary.metrics;
+    if m.counter("stage.preprocess.calls") > 0 {
+        println!(
+            "preprocessing: {} fixes in, {} kept, {} dropped, {} reordered, {} deduped",
+            m.counter("stage.preprocess.records"),
+            m.counter("stage.preprocess.kept"),
+            m.counter("stage.preprocess.dropped"),
+            m.counter("stage.preprocess.reordered"),
+            m.counter("stage.preprocess.deduped"),
+        );
+    }
     println!("per-layer breakdown (latencies in ms):");
     println!(
         "  {:<10} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -84,6 +96,7 @@ fn generate(
     days: usize,
     threads: Option<usize>,
     metrics: bool,
+    faults: Option<&str>,
 ) -> Result<(), ExitCode> {
     let (dataset, vehicle) = match preset {
         "taxis" => (lausanne_taxis(days, seed), true),
@@ -120,8 +133,38 @@ fn generate(
     if let Some(n) = threads {
         annotator = annotator.with_threads(n);
     }
-    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
-    let batch = annotator.annotate_all(&raws);
+    let batch = match faults {
+        Some(spec) => {
+            // degrade each track with the seeded injector, then annotate
+            // through the untrusted-feed path (preprocessing + per-slot
+            // failure isolation)
+            let injector = FaultInjector::from_spec(seed, spec).map_err(|e| {
+                eprintln!("bad --faults spec: {e}");
+                ExitCode::from(2)
+            })?;
+            let feeds: Vec<GpsFeed> = dataset
+                .tracks
+                .iter()
+                .map(|t| {
+                    GpsFeed::new(
+                        t.object_id,
+                        t.trajectory_id,
+                        injector.apply_stream(t.trajectory_id, &t.records),
+                    )
+                })
+                .collect();
+            let degraded: usize = feeds.iter().map(|f| f.records.len()).sum();
+            println!(
+                "injected faults [{spec}]: {} fixes after degradation",
+                degraded
+            );
+            annotator.annotate_feeds(&feeds)
+        }
+        None => {
+            let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+            annotator.annotate_all(&raws)
+        }
+    };
     println!(
         "annotated with {} worker(s): {} records in {:.2}s ({:.0} records/s)",
         batch.summary.threads,
@@ -168,11 +211,18 @@ fn run() -> Result<(), ExitCode> {
             // optional --threads N / --metrics flags anywhere among them
             let mut threads = None;
             let mut metrics = false;
+            let mut faults = None;
             let mut positional = Vec::new();
             let mut rest = it;
             while let Some(arg) = rest.next() {
                 if arg == "--metrics" {
                     metrics = true;
+                } else if arg == "--faults" {
+                    let Some(spec) = rest.next() else {
+                        eprintln!("--faults needs a spec (e.g. dropout=0.1,stuck=0.03)");
+                        return Err(ExitCode::from(2));
+                    };
+                    faults = Some(spec);
                 } else if arg == "--threads" {
                     let Some(n) = rest.next().and_then(|s| s.parse::<usize>().ok()) else {
                         eprintln!("--threads needs a positive integer");
@@ -192,7 +242,7 @@ fn run() -> Result<(), ExitCode> {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(42);
             let days = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-            generate(preset, path, seed, days, threads, metrics)
+            generate(preset, path, seed, days, threads, metrics, faults)
         }
         Some("info") => {
             let Some(path) = it.next() else {

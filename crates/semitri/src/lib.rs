@@ -67,13 +67,14 @@ pub mod prelude {
     };
     pub use semitri_core::{
         Annotation, AnnotationValue, BatchAnnotator, BatchOutput, BatchSummary, GlobalMapMatcher,
-        LatencyProfile, MatchParams, ModeInferencer, PipelineConfig, PipelineError, PipelineOutput,
-        PlaceKind, PlaceRef, PointAnnotator, RegionAnnotator, SeMiTri, SemanticTuple, SemitriError,
-        StageSummary, StructuredSemanticTrajectory,
+        LatencyProfile, MatchParams, ModeInferencer, PipelineConfig, PipelineError,
+        PipelineErrorKind, PipelineOutput, PlaceKind, PlaceRef, PointAnnotator, Preprocessor,
+        RegionAnnotator, SeMiTri, SemanticTuple, SemitriError, StageSummary,
+        StructuredSemanticTrajectory,
     };
     pub use semitri_obs::{
-        Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
-        MetricsSnapshot, NullObserver, PipelineObserver, Stage,
+        CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver,
+        MetricsRegistry, MetricsSnapshot, NullObserver, PipelineObserver, Stage,
     };
 
     pub use semitri_data::presets::{
@@ -81,8 +82,9 @@ pub mod prelude {
     };
     pub use semitri_data::sim::{SimConfig, SimulatedTrack, TripSimulator, TruthPoint};
     pub use semitri_data::{
-        City, CityConfig, GpsRecord, LanduseCategory, LanduseGrid, LanduseGroup, NamedRegion, Poi,
-        PoiCategory, PoiSet, RawTrajectory, RoadClass, RoadNetwork, RoadSegment, TransportMode,
+        City, CityConfig, Fault, FaultInjector, FeedError, GpsFeed, GpsRecord, LanduseCategory,
+        LanduseGrid, LanduseGroup, NamedRegion, Poi, PoiCategory, PoiSet, RawTrajectory, RoadClass,
+        RoadNetwork, RoadSegment, TransportMode,
     };
     pub use semitri_episodes::{
         DensityPolicy, Episode, EpisodeKind, EpisodeStats, SegmentationPolicy,

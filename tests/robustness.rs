@@ -1,0 +1,294 @@
+//! Property harness: every annotation path must survive degraded GPS
+//! feeds produced by the seeded [`FaultInjector`].
+//!
+//! The strategies below draw random fault stacks (dropout, noise bursts,
+//! teleports, duplicate/conflicting timestamps, out-of-order delivery,
+//! stuck clocks, non-finite coordinates, resampling) and apply them to a
+//! plausible random walk. The invariants checked:
+//!
+//! * the sequential path ([`SeMiTri::try_annotate_feed`]) never panics;
+//!   on success its episodes exactly partition the cleaned record range,
+//!   the cleaned trajectory is strictly time-increasing, and the
+//!   [`CleaningReport`] accounting identity holds;
+//! * the batch path agrees with the sequential path slot for slot, and a
+//!   feed that is irrecoverable sequentially fails its batch slot with
+//!   [`PipelineErrorKind::MalformedFeed`] without poisoning the batch;
+//! * the streaming path accepts the same feeds push by push, keeps its
+//!   accepted records strictly ordered, and its emitted episodes exactly
+//!   partition `[0, record_count())`;
+//! * the injector itself is a pure function of `(seed, faults, input)`.
+
+use proptest::prelude::*;
+use semitri::core::line::matcher::MatchParams;
+use semitri::core::point::PointParams;
+use semitri::core::streaming::{StreamEvent, StreamingAnnotator};
+use semitri::prelude::*;
+use std::sync::OnceLock;
+
+fn city() -> &'static City {
+    static CITY: OnceLock<City> = OnceLock::new();
+    CITY.get_or_init(|| City::generate(CityConfig::default()))
+}
+
+fn semitri() -> &'static SeMiTri<'static> {
+    static PIPELINE: OnceLock<SeMiTri<'static>> = OnceLock::new();
+    PIPELINE.get_or_init(|| SeMiTri::new(city(), PipelineConfig::default()))
+}
+
+/// A plausible base feed: a bounded random walk at pedestrian-to-vehicle
+/// speeds with mildly irregular sampling, entirely inside the city.
+fn base_records_strategy() -> impl Strategy<Value = Vec<GpsRecord>> {
+    (
+        (1_000.0..7_000.0f64, 1_000.0..7_000.0f64),
+        proptest::collection::vec((-25.0..25.0f64, -25.0..25.0f64, 1.0..20.0f64), 20..160),
+    )
+        .prop_map(|((x0, y0), steps)| {
+            let (mut x, mut y, mut t) = (x0, y0, 28_800.0);
+            let mut records = Vec::with_capacity(steps.len() + 1);
+            records.push(GpsRecord::new(Point::new(x, y), Timestamp(t)));
+            for (dx, dy, dt) in steps {
+                x = (x + dx).clamp(200.0, 7_800.0);
+                y = (y + dy).clamp(200.0, 7_800.0);
+                t += dt;
+                records.push(GpsRecord::new(Point::new(x, y), Timestamp(t)));
+            }
+            records
+        })
+}
+
+fn fault_strategy() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0.0..0.4f64).prop_map(|rate| Fault::Dropout { rate }),
+        (1.0..40.0f64, 0.05..0.6f64).prop_map(|(sigma, rate)| Fault::Noise { sigma, rate }),
+        (1usize..5, 500.0..5_000.0f64)
+            .prop_map(|(count, distance)| Fault::Teleport { count, distance }),
+        (0.0..0.35f64).prop_map(|rate| Fault::Duplicate { rate }),
+        (0.0..0.25f64, 10.0..600.0f64)
+            .prop_map(|(rate, offset_m)| Fault::Conflict { rate, offset_m }),
+        (0.0..0.35f64).prop_map(|rate| Fault::OutOfOrder { rate }),
+        (0.0..0.3f64).prop_map(|rate| Fault::StuckClock { rate }),
+        (0.0..0.15f64).prop_map(|rate| Fault::NonFinite { rate }),
+        (4.0..45.0f64).prop_map(|interval| Fault::Resample { interval }),
+    ]
+}
+
+fn injector_strategy() -> impl Strategy<Value = FaultInjector> {
+    (
+        0u64..u64::MAX,
+        proptest::collection::vec(fault_strategy(), 0..4),
+    )
+        .prop_map(|(seed, faults)| {
+            faults
+                .into_iter()
+                .fold(FaultInjector::new(seed), |inj, f| inj.with(f))
+        })
+}
+
+/// NaN-tolerant record identity: `NonFinite` faults inject NaN, which is
+/// never `==` itself, so determinism is checked on the raw bit patterns.
+fn bit_patterns(records: &[GpsRecord]) -> Vec<(u64, u64, u64)> {
+    records
+        .iter()
+        .map(|r| (r.point.x.to_bits(), r.point.y.to_bits(), r.t.0.to_bits()))
+        .collect()
+}
+
+/// Episodes must exactly partition `[0, n)` in order.
+fn assert_partition(episodes: &[Episode], n: usize) -> Result<(), TestCaseError> {
+    let mut last_end = 0usize;
+    for ep in episodes {
+        prop_assert_eq!(ep.start, last_end, "episode gap/overlap at {}", ep.start);
+        prop_assert!(ep.end > ep.start, "empty episode at {}", ep.start);
+        last_end = ep.end;
+    }
+    prop_assert_eq!(last_end, n, "episodes do not cover the record range");
+    Ok(())
+}
+
+fn offline_report_holds(report: &CleaningReport) -> Result<(), TestCaseError> {
+    // offline preprocessing repairs reorderings (stable sort) rather than
+    // dropping them, so `reordered` does not appear in the partition
+    prop_assert_eq!(
+        report.input,
+        report.kept
+            + report.dropped_nonfinite
+            + report.deduped
+            + report.dropped_conflicts
+            + report.dropped_outliers
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sequential_path_survives_any_fault_stack(
+        base in base_records_strategy(),
+        injector in injector_strategy(),
+    ) {
+        let degraded = injector.apply(&base);
+        let feed = GpsFeed::new(1, 1, degraded.clone());
+
+        match semitri().try_annotate_feed(&feed) {
+            Ok(out) => {
+                let cleaned = out.cleaned.records();
+                prop_assert!(cleaned.iter().all(|r| r.is_finite()));
+                prop_assert!(cleaned.windows(2).all(|w| w[1].t.0 > w[0].t.0));
+                assert_partition(&out.episodes, cleaned.len())?;
+                offline_report_holds(&out.cleaning)?;
+                prop_assert_eq!(out.cleaning.input as usize, degraded.len());
+                prop_assert_eq!(out.cleaning.kept as usize, cleaned.len());
+            }
+            Err(FeedError::NoValidRecords { total }) => {
+                // only legal when the degradation wiped out every fix
+                prop_assert_eq!(total, degraded.len());
+                prop_assert!(degraded.iter().all(|r| !r.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_path_agrees_with_sequential(
+        bases in proptest::collection::vec(base_records_strategy(), 1..4),
+        injector in injector_strategy(),
+    ) {
+        let feeds: Vec<GpsFeed> = bases
+            .iter()
+            .enumerate()
+            .map(|(i, base)| {
+                let id = i as u64 + 1;
+                GpsFeed::new(id, id, injector.apply_stream(id, base))
+            })
+            .collect();
+
+        let batch = BatchAnnotator::new(semitri()).with_threads(2);
+        let out = batch.annotate_feeds(&feeds);
+        prop_assert_eq!(out.results.len(), feeds.len());
+
+        for (feed, slot) in feeds.iter().zip(&out.results) {
+            match (semitri().try_annotate_feed(feed), slot) {
+                (Ok(want), Ok(got)) => {
+                    prop_assert_eq!(got.cleaned.records(), want.cleaned.records());
+                    prop_assert_eq!(&got.episodes, &want.episodes);
+                    prop_assert_eq!(got.sst.len(), want.sst.len());
+                    prop_assert_eq!(got.cleaning, want.cleaning);
+                }
+                (Err(want), Err(got)) => {
+                    prop_assert_eq!(got.kind, PipelineErrorKind::MalformedFeed);
+                    prop_assert!(got.message.contains(&want.to_string()));
+                }
+                (want, got) => prop_assert!(
+                    false,
+                    "paths disagree for trajectory {}: sequential {:?}, batch {:?}",
+                    feed.trajectory_id,
+                    want.map(|_| "ok"),
+                    got.as_ref().map(|_| "ok")
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_path_survives_any_fault_stack(
+        base in base_records_strategy(),
+        injector in injector_strategy(),
+    ) {
+        let degraded = injector.apply(&base);
+
+        let mut stream = StreamingAnnotator::new(
+            city(),
+            VelocityPolicy::default(),
+            MatchParams::default(),
+            ModeInferencer::default(),
+            PointParams::default(),
+        );
+        let mut events = Vec::new();
+        for &r in &degraded {
+            events.extend(stream.push(r));
+        }
+        events.extend(stream.flush());
+
+        let report = *stream.cleaning_report();
+        prop_assert_eq!(report.input as usize, degraded.len());
+        prop_assert_eq!(report.kept as usize, stream.record_count());
+        // online cleaning cannot rewrite the past: reordered fixes are
+        // dropped, so they join the partition on the right-hand side
+        prop_assert_eq!(
+            report.input,
+            report.kept + report.dropped() + report.deduped + report.reordered
+        );
+
+        let episodes: Vec<Episode> = events
+            .into_iter()
+            .map(|e| match e {
+                StreamEvent::Move { episode, .. } | StreamEvent::Stop { episode, .. } => episode,
+            })
+            .collect();
+        assert_partition(&episodes, stream.record_count())?;
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_composition_is_stable(
+        base in base_records_strategy(),
+        injector in injector_strategy(),
+        extra in fault_strategy(),
+    ) {
+        prop_assert_eq!(
+            bit_patterns(&injector.apply(&base)),
+            bit_patterns(&injector.apply(&base))
+        );
+        // per-fault salted draws: composing another fault on top must not
+        // re-roll what the existing stack already produced upstream of it
+        let n_before = injector.faults().len();
+        let extended = injector.clone().with(extra);
+        prop_assert_eq!(extended.faults().len(), n_before + 1);
+        prop_assert_eq!(
+            bit_patterns(&extended.apply(&base)),
+            bit_patterns(&extended.apply(&base))
+        );
+    }
+}
+
+/// A feed whose every fix is corrupt is an error on the sequential path
+/// and a `MalformedFeed` slot on the batch path — never a panic or abort.
+#[test]
+fn irrecoverable_feed_fails_cleanly_on_every_path() {
+    let junk: Vec<GpsRecord> = (0..10)
+        .map(|i| GpsRecord::new(Point::new(f64::NAN, f64::INFINITY), Timestamp(i as f64)))
+        .collect();
+
+    let feed = GpsFeed::new(9, 9, junk.clone());
+    let err = semitri().try_annotate_feed(&feed).unwrap_err();
+    assert!(matches!(err, FeedError::NoValidRecords { total: 10 }));
+
+    let good = GpsFeed::new(
+        1,
+        1,
+        (0..60)
+            .map(|i| GpsRecord::new(Point::new(2_000.0 + i as f64, 2_000.0), Timestamp(i as f64)))
+            .collect(),
+    );
+    let out = BatchAnnotator::new(semitri())
+        .with_threads(2)
+        .annotate_feeds(&[good, feed]);
+    assert!(out.results[0].is_ok());
+    let slot = out.results[1].as_ref().unwrap_err();
+    assert_eq!(slot.kind, PipelineErrorKind::MalformedFeed);
+    assert_eq!(slot.trajectory_id, 9);
+
+    // streaming: the same junk is rejected at the door, fix by fix
+    let mut stream = StreamingAnnotator::new(
+        city(),
+        VelocityPolicy::default(),
+        MatchParams::default(),
+        ModeInferencer::default(),
+        PointParams::default(),
+    );
+    for &r in &junk {
+        assert!(stream.push(r).is_empty());
+    }
+    assert!(stream.flush().is_empty());
+    assert_eq!(stream.record_count(), 0);
+    assert_eq!(stream.cleaning_report().dropped_nonfinite, 10);
+}
