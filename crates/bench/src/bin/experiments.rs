@@ -5,13 +5,14 @@
 //! ```
 
 use semitri_bench::{
-    ablations, faults, fig10, fig11, fig12_13, fig14, fig15_16, fig17, fig9, tables, throughput,
-    Scale,
+    ablations, faults, fig10, fig11, fig12_13, fig14, fig15_16, fig17, fig9, hotpath, tables,
+    throughput, Scale,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|fig9|...|fig17|ablations|throughput|faults|all> [--scale N]"
+        "usage: experiments <table1|table2|fig9|...|fig17|ablations|throughput|faults|hotpath|all> \
+         [--scale N] [--quick] [--bench-json PATH]"
     );
     std::process::exit(2);
 }
@@ -22,6 +23,7 @@ fn main() {
         usage();
     }
     let mut scale = Scale(1);
+    let mut hotpath_opts = hotpath::HotpathOptions::default();
     let mut which: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -32,12 +34,18 @@ fn main() {
                 };
                 scale = Scale(v.max(1));
             }
+            "--quick" => hotpath_opts.quick = true,
+            "--bench-json" => {
+                let Some(p) = it.next() else { usage() };
+                hotpath_opts.json_path = Some(p);
+            }
             other => which.push(other.to_string()),
         }
     }
     if which.is_empty() {
         usage();
     }
+    let mut failed = false;
 
     for w in which {
         match w.as_str() {
@@ -55,7 +63,12 @@ fn main() {
             "ablations" => ablations::run(scale),
             "throughput" => throughput::run(scale),
             "faults" => faults::run(scale),
+            "hotpath" => failed |= !hotpath::run(scale, &hotpath_opts),
             "all" => {
+                // microbenchmarks first: they want the quiet heap a
+                // standalone `hotpath` run gets, not one pre-fragmented by
+                // fourteen experiments
+                failed |= !hotpath::run(scale, &hotpath_opts);
                 tables::table1(scale);
                 tables::table2(scale);
                 fig9::run(scale);
@@ -73,5 +86,8 @@ fn main() {
             }
             _ => usage(),
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -17,6 +17,7 @@ pub mod fig14;
 pub mod fig15_16;
 pub mod fig17;
 pub mod fig9;
+pub mod hotpath;
 pub mod tables;
 pub mod throughput;
 pub mod util;

@@ -52,7 +52,7 @@ pub use batch::{
     BatchAnnotator, BatchOutput, BatchSummary, PipelineError, PipelineErrorKind, StageSummary,
 };
 pub use error::SemitriError;
-pub use line::matcher::{GlobalMapMatcher, MatchParams, MatchedPoint};
+pub use line::matcher::{GlobalMapMatcher, MatchParams, MatchScratch, MatchedPoint};
 pub use line::mode::ModeInferencer;
 pub use model::{
     Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple, StructuredSemanticTrajectory,

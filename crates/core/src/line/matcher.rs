@@ -65,6 +65,70 @@ pub struct MatchedPoint {
     pub score: f64,
 }
 
+/// Reusable scratch memory for [`GlobalMapMatcher::match_records_with`].
+///
+/// Holds the flattened per-episode candidate arena, the epoch-stamped dense
+/// segment→slot map used to merge local scores in `O(W · C)`, the symmetric
+/// forward kernel-weight cache that computes each neighbor-pair weight once
+/// instead of twice, and the last-cell candidate cache that lets
+/// consecutive fixes in the same grid cell skip the R\*-tree query
+/// entirely. Create one per worker (or per
+/// trajectory) and thread it through every episode: after the first few
+/// calls the buffers reach steady-state capacity and matching performs no
+/// per-fix heap allocation.
+///
+/// A scratch may be freely reused across matchers and networks — every
+/// cached structure is either revalidated or rebuilt at the start of each
+/// call (the cell cache never outlives a single `match_records_with` call).
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Flattened candidate segment ids for every record of the episode.
+    cand_segs: Vec<SegmentId>,
+    /// Eq. 2 local scores, parallel to `cand_segs` (filled with raw Eq. 1
+    /// distances first, normalized in place).
+    cand_scores: Vec<f64>,
+    /// `offsets[i]..offsets[i + 1]` bounds record `i`'s candidate slice.
+    offsets: Vec<usize>,
+    /// Kernel weight of each neighbor `Q_k` for the current point `Q_0`,
+    /// written once during window expansion and read by the merge loop
+    /// (the naive path computes every neighbor distance twice and every
+    /// kernel weight from scratch).
+    w_buf: Vec<f64>,
+    /// Forward kernel-weight rows: `fwd_w[(k % stride) * stride + j]` holds
+    /// the weight of the pair `(Q_k, Q_{k+1+j})`, written while processing
+    /// fix `k`. The pair distance is bitwise symmetric, so a later fix's
+    /// *backward* expansion reuses the row instead of recomputing
+    /// distance + `exp` — halving the transcendental work without changing
+    /// a single result bit.
+    fwd_w: Vec<f64>,
+    /// Which fix owns each forward row (`usize::MAX` = none); revalidated
+    /// every call so rows never leak across episodes.
+    fwd_owner: Vec<usize>,
+    /// Number of weights stored in each forward row.
+    fwd_len: Vec<u32>,
+    /// Global-score accumulators for the current record's candidates.
+    acc: Vec<f64>,
+    /// Dense map: segment id → candidate slot of the current record.
+    slot: Vec<u32>,
+    /// Epoch stamp validating `slot` entries, so the map never needs a
+    /// per-record clear.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Grid cell (side = candidate radius) of the most recent fix.
+    cell: Option<(i64, i64)>,
+    /// Superset of segments within candidate reach of any point in `cell`,
+    /// with their bounding boxes so a per-fix pass can pre-filter with the
+    /// same cheap `bbox ∩ window` test the R\*-tree query would apply.
+    cell_segs: Vec<(Rect, SegmentId)>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The global map matcher of the Semantic Line Annotation Layer.
 ///
 /// ```
@@ -98,6 +162,14 @@ impl<'n> GlobalMapMatcher<'n> {
             params.candidate_radius_m > 0.0,
             "candidate radius must be positive"
         );
+        // An underflowing σ² turns the kernel exponent into `-0·∞ = NaN`,
+        // which `max_by` would silently treat as Equal; reject it up front.
+        let sigma = params.sigma_factor * params.radius_m;
+        assert!(
+            (1.0 / (2.0 * sigma * sigma)).is_finite(),
+            "sigma = {sigma} underflows the Gaussian kernel; \
+             increase radius_m or sigma_factor"
+        );
         let items = net
             .segments()
             .iter()
@@ -115,7 +187,224 @@ impl<'n> GlobalMapMatcher<'n> {
         self.params
     }
 
-    /// Candidate segments of one point with their Eq. 1 distances.
+    /// Appends the candidates of one fix (with raw Eq. 1 distances, before
+    /// the Eq. 2 normalization) to the scratch arena.
+    ///
+    /// Candidates come from the cell cache: the scratch remembers the grid
+    /// cell (side = candidate radius) of the previous fix together with the
+    /// superset of segments whose bounding boxes fall within candidate
+    /// reach of *any* point of that cell. Consecutive fixes in the same
+    /// cell — the overwhelmingly common case on a GPS track — skip the
+    /// R\*-tree entirely. A per-fix pass then applies the same
+    /// `bbox ∩ window(p)` test the tree query would, in the same traversal
+    /// order, so the expensive exact `d ≤ r` filter runs on precisely the
+    /// entry list a per-fix query would visit and results are identical.
+    fn push_candidates(&self, scratch: &mut MatchScratch, p: Point) {
+        let r = self.params.candidate_radius_m;
+        let key = ((p.x / r).floor() as i64, (p.y / r).floor() as i64);
+        if scratch.cell != Some(key) {
+            scratch.cell_segs.clear();
+            // tiny extra inflation absorbs the rounding of `p/r` at cell
+            // boundaries, keeping the superset property exact
+            let pad = r * (1.0 + 1e-9);
+            let cell_window = Rect::new(
+                key.0 as f64 * r,
+                key.1 as f64 * r,
+                (key.0 + 1) as f64 * r,
+                (key.1 + 1) as f64 * r,
+            )
+            .inflate(pad);
+            let segs = &mut scratch.cell_segs;
+            self.index
+                .for_each_in(&cell_window, |rect, &seg_id| segs.push((*rect, seg_id)));
+            scratch.cell = Some(key);
+        }
+        let window = Rect::from_point(p).inflate(r);
+        for &(rect, seg_id) in &scratch.cell_segs {
+            if !rect.intersects(&window) {
+                continue;
+            }
+            let d = self.net.segment(seg_id).geometry.distance_to_point(p);
+            if d <= r {
+                scratch.cand_segs.push(seg_id);
+                scratch.cand_scores.push(d);
+            }
+        }
+    }
+
+    /// Matches a sequence of records (one move episode) to road segments,
+    /// threading caller-owned scratch memory so the hot path performs no
+    /// per-fix heap allocation. Returns one entry per record; `None` where
+    /// no candidate segment was within reach.
+    ///
+    /// Produces results identical to [`Self::match_records_naive`] (the
+    /// property suite asserts exact agreement); only the cost model
+    /// changes: the Eqs. 3–4 merge runs in `O(W · C)` per fix via an
+    /// epoch-stamped dense slot map instead of the `O(W · C²)` nested scan,
+    /// kernel weights are computed once per *pair* (the symmetric
+    /// forward-row cache) instead of twice per fix, and candidate selection
+    /// reuses the per-cell cache in `scratch`.
+    pub fn match_records_with(
+        &self,
+        scratch: &mut MatchScratch,
+        records: &[GpsRecord],
+    ) -> Vec<Option<MatchedPoint>> {
+        let n = records.len();
+
+        // Algorithm 2 lines 5–9: per-point candidates + local scores,
+        // flattened into the scratch arena. The cell cache is only trusted
+        // within this call, so a scratch can hop between matchers safely.
+        scratch.cell = None;
+        scratch.cand_segs.clear();
+        scratch.cand_scores.clear();
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
+        for rec in records {
+            let start = scratch.cand_segs.len();
+            self.push_candidates(scratch, rec.point);
+            let ds = &mut scratch.cand_scores[start..];
+            if !ds.is_empty() {
+                // Eq. 2 in place: d → d_min / d, with the exact-hit floor
+                let d_min = ds.iter().copied().fold(f64::INFINITY, f64::min).max(1e-6);
+                for d in ds {
+                    *d = d_min / (*d).max(1e-6);
+                }
+            }
+            scratch.offsets.push(scratch.cand_segs.len());
+        }
+
+        let radius = self.params.radius_m;
+        let sigma = self.params.sigma_factor * radius;
+        let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+
+        scratch.slot.resize(self.net.segments().len(), 0);
+        scratch.stamp.resize(self.net.segments().len(), 0);
+        scratch.w_buf.clear();
+        scratch.w_buf.resize(n, 0.0);
+        // Forward-row cache geometry: a backward neighbor is at most
+        // `max_neighbors` fixes behind, so a ring of that many rows suffices
+        // (capped so a huge cap cannot balloon the scratch — misses beyond
+        // the ring just recompute).
+        let stride = self.params.max_neighbors.clamp(1, 64);
+        scratch.fwd_w.resize(stride * stride, 0.0);
+        scratch.fwd_owner.clear();
+        scratch.fwd_owner.resize(stride, usize::MAX);
+        scratch.fwd_len.resize(stride, 0);
+
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let (ci0, ci1) = (scratch.offsets[i], scratch.offsets[i + 1]);
+            if ci0 == ci1 {
+                out.push(None);
+                continue;
+            }
+            let p0 = records[i].point;
+
+            // neighbor window (Algorithm 2 line 11): expand both ways while
+            // within the global-view radius R, caching each neighbor's
+            // kernel weight for the merge loop below. `d(Q_0, Q_0)` is an
+            // exact 0, so Q_0's own weight is exactly `exp(-0) = 1`.
+            scratch.w_buf[i] = 1.0;
+            let mut lo = i;
+            while lo > 0 && i - lo < self.params.max_neighbors {
+                let k = lo - 1;
+                let row = k % stride;
+                let off = i - k - 1;
+                if scratch.fwd_owner[row] == k && off < scratch.fwd_len[row] as usize {
+                    // the pair distance is bitwise symmetric, so fix k's
+                    // forward pass already produced this exact weight — and
+                    // its presence in the row proves d(Q_k, Q_0) < R
+                    scratch.w_buf[k] = scratch.fwd_w[row * stride + off];
+                } else {
+                    let d = records[k].point.distance(p0);
+                    if d >= radius {
+                        break;
+                    }
+                    scratch.w_buf[k] = (-d * d * inv_two_sigma_sq).exp();
+                }
+                lo = k;
+            }
+            let row = i % stride;
+            scratch.fwd_owner[row] = i;
+            let mut hi = i;
+            while hi + 1 < n && hi - i < self.params.max_neighbors {
+                let d = records[hi + 1].point.distance(p0);
+                if d >= radius {
+                    break;
+                }
+                hi += 1;
+                let w = (-d * d * inv_two_sigma_sq).exp();
+                scratch.w_buf[hi] = w;
+                let off = hi - i - 1;
+                if off < stride {
+                    scratch.fwd_w[row * stride + off] = w;
+                }
+            }
+            scratch.fwd_len[row] = (hi - i).min(stride) as u32;
+
+            // map Q_i's candidate segments to dense accumulator slots; the
+            // epoch stamp invalidates the previous record's entries without
+            // touching the whole table
+            scratch.epoch = match scratch.epoch.checked_add(1) {
+                Some(e) => e,
+                None => {
+                    scratch.stamp.fill(0);
+                    1
+                }
+            };
+            scratch.acc.clear();
+            scratch.acc.resize(ci1 - ci0, 0.0);
+            for (j, &seg) in scratch.cand_segs[ci0..ci1].iter().enumerate() {
+                scratch.slot[seg as usize] = j as u32;
+                scratch.stamp[seg as usize] = scratch.epoch;
+            }
+
+            // Eqs. 3–4: kernel-weighted merge of neighbor local scores.
+            // Accumulation visits neighbors in ascending k for every slot,
+            // matching the naive path's float-addition order exactly.
+            // Zipped slices keep the inner loop free of bounds checks.
+            let epoch = scratch.epoch;
+            let (stamp, slot, acc) = (&scratch.stamp, &scratch.slot, &mut scratch.acc);
+            let mut weight_sum = 0.0;
+            for k in lo..=hi {
+                let w = scratch.w_buf[k];
+                weight_sum += w;
+                let (k0, k1) = (scratch.offsets[k], scratch.offsets[k + 1]);
+                for (&seg, &ls) in scratch.cand_segs[k0..k1]
+                    .iter()
+                    .zip(&scratch.cand_scores[k0..k1])
+                {
+                    let seg = seg as usize;
+                    if stamp[seg] == epoch {
+                        acc[slot[seg] as usize] += w * ls;
+                    }
+                }
+            }
+            assert!(
+                weight_sum > 0.0,
+                "kernel weight sum must be positive (sigma = {sigma}), \
+                 got {weight_sum} at record {i}"
+            );
+
+            let (best_seg, best_score) = scratch.cand_segs[ci0..ci1]
+                .iter()
+                .zip(&scratch.acc)
+                .map(|(&s, &acc)| (s, acc / weight_sum))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("candidates nonempty");
+
+            let snapped = self.net.segment(best_seg).geometry.closest_point(p0);
+            out.push(Some(MatchedPoint {
+                segment: best_seg,
+                snapped,
+                score: best_score,
+            }));
+        }
+        out
+    }
+
+    /// Candidate segments of one point with their Eq. 1 distances (used by
+    /// the naive reference path).
     fn candidates(&self, p: Point) -> Vec<(SegmentId, f64)> {
         let window = Rect::from_point(p).inflate(self.params.candidate_radius_m);
         let mut out = Vec::new();
@@ -149,7 +438,24 @@ impl<'n> GlobalMapMatcher<'n> {
     /// Matches a sequence of records (one move episode) to road segments.
     /// Returns one entry per record; `None` where no candidate segment was
     /// within reach.
+    ///
+    /// Convenience wrapper allocating a fresh [`MatchScratch`] per call;
+    /// batch callers should hold a scratch and use
+    /// [`Self::match_records_with`] instead.
     pub fn match_records(&self, records: &[GpsRecord]) -> Vec<Option<MatchedPoint>> {
+        let mut scratch = MatchScratch::new();
+        self.match_records_with(&mut scratch, records)
+    }
+
+    /// The direct, paper-literal formulation of Algorithm 2: per-fix
+    /// R\*-tree queries, per-fix `Vec`s and an `O(W · C²)` nested scan for
+    /// the Eqs. 3–4 merge.
+    ///
+    /// Retained as the correctness oracle for the optimized kernel (the
+    /// property suite asserts [`Self::match_records_with`] agrees exactly)
+    /// and as the baseline the `hotpath` benchmark measures speedups
+    /// against. Not for production use.
+    pub fn match_records_naive(&self, records: &[GpsRecord]) -> Vec<Option<MatchedPoint>> {
         let n = records.len();
         // per-point candidate local scores (Algorithm 2 lines 5–9)
         let local: Vec<Vec<(SegmentId, f64)>> =
@@ -204,6 +510,11 @@ impl<'n> GlobalMapMatcher<'n> {
                     }
                 }
             }
+            assert!(
+                weight_sum > 0.0,
+                "kernel weight sum must be positive (sigma = {sigma}), \
+                 got {weight_sum} at record {i}"
+            );
             let (best_seg, best_score) = scores
                 .iter()
                 .map(|&(s, acc)| (s, acc / weight_sum))
@@ -378,6 +689,65 @@ mod tests {
         let acc = GlobalMapMatcher::accuracy(&matches, &truth);
         assert!((acc - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(GlobalMapMatcher::accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn single_fix_episode_scores_one_with_unit_weight() {
+        // one fix: the neighbor window is {Q_0} with kernel weight
+        // exp(0) = 1, so weight_sum is exactly 1 and no NaN can reach the
+        // argmax (regression guard for the silent NaN-as-Equal ordering)
+        let net = parallel_net();
+        let m = GlobalMapMatcher::new(&net, MatchParams::default());
+        let recs = vec![GpsRecord::new(Point::new(100.0, 3.0), Timestamp(0.0))];
+        let mm = m.match_records(&recs)[0].expect("matched");
+        assert_eq!(net.segment(mm.segment).name, "south");
+        assert!((mm.score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflows the Gaussian kernel")]
+    fn degenerate_sigma_is_rejected_up_front() {
+        let net = parallel_net();
+        let _ = GlobalMapMatcher::new(
+            &net,
+            MatchParams {
+                radius_m: 1e-200,
+                sigma_factor: 1e-200,
+                ..MatchParams::default()
+            },
+        );
+    }
+
+    #[test]
+    fn optimized_agrees_with_naive_on_dense_same_cell_track() {
+        // 1 m spacing keeps long runs of fixes inside one candidate-radius
+        // cell, exercising the cache-hit path; the wobble crosses between
+        // the parallel streets so candidate sets vary per fix
+        let net = parallel_net();
+        let m = GlobalMapMatcher::new(&net, MatchParams::default());
+        let recs: Vec<GpsRecord> = (0..200)
+            .map(|i| {
+                let wobble = ((i * 7) % 23) as f64 - 11.0;
+                GpsRecord::new(
+                    Point::new(10.0 + i as f64, 3.0 + wobble),
+                    Timestamp(i as f64),
+                )
+            })
+            .collect();
+        assert_eq!(m.match_records(&recs), m.match_records_naive(&recs));
+    }
+
+    #[test]
+    fn scratch_reuse_across_episodes_matches_fresh_scratch() {
+        let net = parallel_net();
+        let m = GlobalMapMatcher::new(&net, MatchParams::default());
+        let mut scratch = MatchScratch::new();
+        let a = track_along(2.0, &[0.0; 30]);
+        let b = track_along(38.0, &[1.0; 30]);
+        let ra = m.match_records_with(&mut scratch, &a);
+        let rb = m.match_records_with(&mut scratch, &b);
+        assert_eq!(ra, m.match_records_naive(&a));
+        assert_eq!(rb, m.match_records_naive(&b));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! structured semantic trajectory, measuring per-layer latency as the
 //! paper does in Fig. 17.
 
-use crate::line::matcher::{GlobalMapMatcher, MatchParams};
+use crate::line::matcher::{GlobalMapMatcher, MatchParams, MatchScratch};
 use crate::line::mode::ModeInferencer;
 use crate::line::{group_matches, RouteEntry};
 use crate::model::{Annotation, AnnotationValue, SemanticTuple, StructuredSemanticTrajectory};
@@ -295,13 +295,16 @@ impl<'c> SeMiTri<'c> {
         let t0 = Instant::now();
         let mut move_routes = Vec::new();
         let mut move_records = 0usize;
+        // one scratch arena per trajectory, threaded through every move
+        // episode so the matching hot path performs no per-fix allocation
+        let mut scratch = MatchScratch::new();
         for (idx, ep) in episodes.iter().enumerate() {
             if ep.kind != EpisodeKind::Move {
                 continue;
             }
             let slice = &cleaned.records()[ep.start..ep.end];
             move_records += slice.len();
-            let matches = self.matcher.match_records(slice);
+            let matches = self.matcher.match_records_with(&mut scratch, slice);
             let mut entries = group_matches(slice, &matches);
             self.config
                 .mode

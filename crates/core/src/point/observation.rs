@@ -26,7 +26,10 @@ pub const CATEGORY_COUNT: usize = 5;
 /// The observation model over a POI source.
 #[derive(Debug, Clone)]
 pub struct PoiObservationModel {
-    grid: GridIndex<(u64, PoiCategory)>,
+    /// Grid items carry `(poi id, position in the source `PoiSet`,
+    /// category)`; the stored position makes resolving a winning POI O(1)
+    /// instead of a linear scan over the whole set.
+    grid: GridIndex<(u64, u32, PoiCategory)>,
     /// Precomputed `Pr(grid_jk | C_i)` rows, one per grid cell
     /// (unnormalized likelihoods; Viterbi only needs proportionality).
     cell_rows: Vec<[f64; CATEGORY_COUNT]>,
@@ -53,8 +56,8 @@ impl PoiObservationModel {
             "parameters must be positive"
         );
         let mut grid = GridIndex::new(bounds, cell_size);
-        for p in pois.pois() {
-            grid.insert(p.point, (p.id, p.category));
+        for (i, p) in pois.pois().iter().enumerate() {
+            grid.insert(p.point, (p.id, i as u32, p.category));
         }
         let mut cell_rows = vec![[FLOOR; CATEGORY_COUNT]; grid.nx() * grid.ny()];
         for row in 0..grid.ny() {
@@ -73,12 +76,12 @@ impl PoiObservationModel {
 
     /// Lemma 1: per-category Gaussian sums at `p` over neighboring POIs.
     fn gaussian_row(
-        grid: &GridIndex<(u64, PoiCategory)>,
+        grid: &GridIndex<(u64, u32, PoiCategory)>,
         p: Point,
         radius: f64,
     ) -> [f64; CATEGORY_COUNT] {
         let mut row = [FLOOR; CATEGORY_COUNT];
-        grid.for_each_within(p, radius, |q, &(_, cat)| {
+        grid.for_each_within(p, radius, |q, &(_, _, cat)| {
             let sigma = cat.sigma();
             let d_sq = p.distance_sq(q);
             // 2-D isotropic Gaussian density (the 1/2πσ² normalization
@@ -112,18 +115,24 @@ impl PoiObservationModel {
         p: Point,
         cat: PoiCategory,
     ) -> Option<&'p Poi> {
-        let mut best: Option<(f64, u64)> = None;
+        let mut best: Option<(f64, u64, u32)> = None;
         self.grid
-            .for_each_within(p, self.neighbor_radius, |q, &(id, c)| {
+            .for_each_within(p, self.neighbor_radius, |q, &(id, idx, c)| {
                 if c == cat {
                     let d = p.distance_sq(q);
-                    if best.is_none_or(|(bd, _)| d < bd) {
-                        best = Some((d, id));
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, id, idx));
                     }
                 }
             });
-        let (_, id) = best?;
-        pois.pois().iter().find(|poi| poi.id == id)
+        let (_, id, idx) = best?;
+        // O(1) resolution via the indexed position; the id check (and the
+        // linear fallback) keeps the lookup correct when the caller passes
+        // a different `PoiSet` than the one the model was built from
+        pois.pois()
+            .get(idx as usize)
+            .filter(|poi| poi.id == id)
+            .or_else(|| pois.pois().iter().find(|poi| poi.id == id))
     }
 
     /// Number of grid cells of the discretization.

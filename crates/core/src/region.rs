@@ -10,14 +10,18 @@ use crate::model::{PlaceKind, PlaceRef};
 use semitri_data::{LanduseCategory, LanduseGrid, NamedRegion, RawTrajectory};
 use semitri_episodes::Episode;
 use semitri_geo::{Point, Polygon, Rect, TimeSpan};
-use semitri_index::RStarTree;
+use semitri_index::{RStarTree, RangeScratch};
+use std::sync::Arc;
 
 /// A region entry in the annotator's source: rectangular (landuse cells)
 /// or polygonal (free-form OSM-style regions).
+///
+/// The label is interned (`Arc<str>`): all landuse cells of one category
+/// share a single allocation instead of one `format!` string per cell.
 #[derive(Debug, Clone)]
 struct RegionEntry {
     id: u64,
-    label: String,
+    label: Arc<str>,
     category: Option<LanduseCategory>,
     polygon: Option<Polygon>,
     rect: Rect,
@@ -105,11 +109,17 @@ impl RegionAnnotator {
     /// Builds the layer over a landuse grid (bulk-loaded R\*-tree over all
     /// cells, as in the paper's Swisstopo experiments).
     pub fn from_landuse(grid: &LanduseGrid) -> Self {
+        // one interned label per category (17 allocations total) instead of
+        // one `format!` call per cell (hundreds of thousands on city grids)
+        let labels: Vec<Arc<str>> = LanduseCategory::ALL
+            .iter()
+            .map(|c| Arc::from(format!("{} [{}]", c.label(), c.code())))
+            .collect();
         let entries = grid
             .cells()
             .map(|c| RegionEntry {
                 id: c.id,
-                label: format!("{} [{}]", c.category.label(), c.category.code()),
+                label: Arc::clone(&labels[c.category.ordinal()]),
                 category: Some(c.category),
                 polygon: None,
                 rect: c.rect,
@@ -125,7 +135,7 @@ impl RegionAnnotator {
             .iter()
             .map(|r| RegionEntry {
                 id: r.id,
-                label: r.name.clone(),
+                label: Arc::from(r.name.as_str()),
                 category: None,
                 polygon: Some(r.polygon.clone()),
                 rect: r.bbox(),
@@ -147,13 +157,23 @@ impl RegionAnnotator {
     /// The most specific (smallest-area) region containing `p`.
     pub fn region_at(&self, p: Point) -> Option<PlaceRef> {
         self.entry_at(p)
-            .map(|e| PlaceRef::new(PlaceKind::Region, e.id, e.label.clone()))
+            .map(|e| PlaceRef::new(PlaceKind::Region, e.id, &*e.label))
     }
 
     fn entry_at(&self, p: Point) -> Option<&RegionEntry> {
+        self.entry_at_with(&mut RangeScratch::new(), p)
+    }
+
+    /// Point-in-region lookup threading a reusable traversal stack, so a
+    /// whole-trajectory join performs no per-record allocation.
+    fn entry_at_with<'t>(
+        &'t self,
+        scratch: &mut RangeScratch<'t, RegionEntry>,
+        p: Point,
+    ) -> Option<&'t RegionEntry> {
         let probe = Rect::from_point(p);
         let mut best: Option<&RegionEntry> = None;
-        self.tree.for_each_in(&probe, |_, e| {
+        self.tree.for_each_in_with(scratch, &probe, |_, e| {
             if e.contains(p) && best.is_none_or(|b| e.area() < b.area()) {
                 best = Some(e);
             }
@@ -170,8 +190,9 @@ impl RegionAnnotator {
     pub fn annotate_trajectory(&self, traj: &RawTrajectory) -> Vec<RegionTuple> {
         let records = traj.records();
         let mut out: Vec<RegionTuple> = Vec::new();
+        let mut scratch = RangeScratch::new();
         for (i, r) in records.iter().enumerate() {
-            let Some(entry) = self.entry_at(r.point) else {
+            let Some(entry) = self.entry_at_with(&mut scratch, r.point) else {
                 continue;
             };
             // merge into the previous tuple when it references the same
@@ -192,7 +213,7 @@ impl RegionAnnotator {
                 }
             }
             out.push(RegionTuple {
-                place: PlaceRef::new(PlaceKind::Region, entry.id, entry.label.clone()),
+                place: PlaceRef::new(PlaceKind::Region, entry.id, &*entry.label),
                 category: entry.category,
                 span: TimeSpan::new(r.t, r.t),
                 start: i,
@@ -213,11 +234,12 @@ impl RegionAnnotator {
             semitri_episodes::EpisodeKind::Move => {
                 let _ = traj;
                 let mut out = Vec::new();
-                self.tree.for_each_in(&episode.bbox, |_, e| {
-                    if e.intersects(&episode.bbox) {
-                        out.push(PlaceRef::new(PlaceKind::Region, e.id, e.label.clone()));
-                    }
-                });
+                self.tree
+                    .for_each_in_with(&mut RangeScratch::new(), &episode.bbox, |_, e| {
+                        if e.intersects(&episode.bbox) {
+                            out.push(PlaceRef::new(PlaceKind::Region, e.id, &*e.label));
+                        }
+                    });
                 out.sort_by_key(|p| p.id);
                 out
             }
@@ -227,9 +249,13 @@ impl RegionAnnotator {
     /// Per-record landuse categories (used by the analytics layer for the
     /// Fig. 9 / Fig. 14 distributions). `None` for uncovered records.
     pub fn categories_for(&self, traj: &RawTrajectory) -> Vec<Option<LanduseCategory>> {
+        let mut scratch = RangeScratch::new();
         traj.records()
             .iter()
-            .map(|r| self.entry_at(r.point).and_then(|e| e.category))
+            .map(|r| {
+                self.entry_at_with(&mut scratch, r.point)
+                    .and_then(|e| e.category)
+            })
             .collect()
     }
 }

@@ -90,6 +90,9 @@ pub struct StreamingAnnotator<'c> {
     /// Stage observer fired as episodes close (same schema as the batch
     /// pipeline's, so live and offline runs report identically).
     observer: Option<Arc<dyn PipelineObserver>>,
+    /// Reusable matcher arena: a long-lived stream annotates every move
+    /// episode without per-fix heap allocation.
+    match_scratch: crate::line::matcher::MatchScratch,
 }
 
 impl<'c> StreamingAnnotator<'c> {
@@ -119,6 +122,7 @@ impl<'c> StreamingAnnotator<'c> {
             forward: None,
             stop_centers: Vec::new(),
             observer: None,
+            match_scratch: crate::line::matcher::MatchScratch::new(),
         }
     }
 
@@ -340,7 +344,9 @@ impl<'c> StreamingAnnotator<'c> {
             EpisodeKind::Move => {
                 let t0 = Instant::now();
                 let slice = &self.records[start..end];
-                let matches = self.matcher.match_records(slice);
+                let matches = self
+                    .matcher
+                    .match_records_with(&mut self.match_scratch, slice);
                 let mut route = group_matches(slice, &matches);
                 self.mode.annotate(&self.city.roads, slice, &mut route);
                 self.observe(Stage::Line, n_records, t0.elapsed().as_secs_f64());

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use semitri_core::line::baseline::{BaselineMetric, NearestSegmentMatcher};
 use semitri_core::point::hmm::Hmm;
-use semitri_core::{GlobalMapMatcher, MatchParams};
+use semitri_core::{GlobalMapMatcher, MatchParams, MatchScratch};
 use semitri_data::road::RoadClass;
 use semitri_data::{GpsRecord, RoadNetwork};
 use semitri_geo::{Point, Timestamp};
@@ -57,8 +57,102 @@ fn records_strategy() -> impl Strategy<Value = Vec<GpsRecord>> {
     })
 }
 
+/// A dense walk: short steps keep long runs of fixes inside one
+/// candidate-radius grid cell, so the optimized matcher's last-cell
+/// candidate cache is hit on almost every fix.
+fn dense_track_strategy() -> impl Strategy<Value = Vec<GpsRecord>> {
+    (
+        (0.0..1_400.0f64, 0.0..900.0f64),
+        proptest::collection::vec((-8.0..8.0f64, -8.0..8.0f64), 2..80),
+    )
+        .prop_map(|((x0, y0), steps)| {
+            let (mut x, mut y) = (x0, y0);
+            steps
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dx, dy))| {
+                    x += dx;
+                    y += dy;
+                    GpsRecord::new(Point::new(x, y), Timestamp(i as f64 * 2.0))
+                })
+                .collect()
+        })
+}
+
+/// The oracle shared by the matcher-identity properties: the optimized
+/// scratch-arena kernel must reproduce the naive paper-literal path
+/// *exactly* — same matched segment, snapped point and score within 1e-12
+/// (they are bitwise-identical by construction; the epsilon only guards
+/// against legitimate future reformulations).
+fn assert_matches_naive(
+    matcher: &GlobalMapMatcher<'_>,
+    scratch: &mut MatchScratch,
+    recs: &[GpsRecord],
+) -> Result<(), TestCaseError> {
+    let naive = matcher.match_records_naive(recs);
+    let fast = matcher.match_records_with(scratch, recs);
+    prop_assert_eq!(naive.len(), fast.len());
+    for (i, (a, b)) in naive.iter().zip(&fast).enumerate() {
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.segment, b.segment, "segment diverged at record {}", i);
+                prop_assert!(
+                    a.snapped.distance(b.snapped) <= 1e-12,
+                    "snap diverged at record {}: {:?} vs {:?}",
+                    i,
+                    a.snapped,
+                    b.snapped
+                );
+                prop_assert!(
+                    (a.score - b.score).abs() <= 1e-12,
+                    "score diverged at record {}: {} vs {}",
+                    i,
+                    a.score,
+                    b.score
+                );
+            }
+            (a, b) => prop_assert!(false, "coverage diverged at record {i}: {a:?} vs {b:?}"),
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimized_matcher_is_result_identical_to_naive(
+        net in network_strategy(),
+        recs in records_strategy(),
+        radius_m in 10.0..80.0f64,
+        sigma_factor in 0.25..2.0f64,
+        candidate_radius_m in 30.0..160.0f64,
+    ) {
+        let params = MatchParams {
+            radius_m,
+            sigma_factor,
+            candidate_radius_m,
+            ..MatchParams::default()
+        };
+        let matcher = GlobalMapMatcher::new(&net, params);
+        let mut scratch = MatchScratch::new();
+        assert_matches_naive(&matcher, &mut scratch, &recs)?;
+    }
+
+    #[test]
+    fn cell_cached_path_agrees_with_uncached_on_dense_tracks(
+        net in network_strategy(),
+        tracks in proptest::collection::vec(dense_track_strategy(), 1..4),
+    ) {
+        // one scratch reused across every track: cache hits dominate
+        // within a track, and stale state must never leak across tracks
+        let matcher = GlobalMapMatcher::new(&net, MatchParams::default());
+        let mut scratch = MatchScratch::new();
+        for recs in &tracks {
+            assert_matches_naive(&matcher, &mut scratch, recs)?;
+        }
+    }
 
     #[test]
     fn global_matcher_output_invariants(net in network_strategy(), recs in records_strategy()) {

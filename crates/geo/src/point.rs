@@ -27,6 +27,7 @@ impl Point {
 
     /// Euclidean distance to `other` in meters.
     #[inline]
+    #[must_use]
     pub fn distance(&self, other: Point) -> f64 {
         self.distance_sq(other).sqrt()
     }
@@ -34,6 +35,7 @@ impl Point {
     /// Squared Euclidean distance to `other`; cheaper than [`Point::distance`]
     /// when only comparisons are needed.
     #[inline]
+    #[must_use]
     pub fn distance_sq(&self, other: Point) -> f64 {
         let dx = self.x - other.x;
         let dy = self.y - other.y;

@@ -60,14 +60,22 @@ impl Polyline {
     /// Minimum Equation-(1) distance from `q` to any segment of the chain.
     /// Returns `f64::INFINITY` for an empty polyline and the point distance
     /// for a single-vertex polyline.
+    ///
+    /// This is the per-candidate kernel of global map matching, so it takes
+    /// one square root total (of the minimum squared distance) instead of
+    /// one per chain segment; `sqrt` is monotone and correctly rounded, so
+    /// the result is bit-identical to the naive per-segment formulation.
+    #[inline]
+    #[must_use]
     pub fn distance_to_point(&self, q: Point) -> f64 {
         match self.vertices.len() {
             0 => f64::INFINITY,
             1 => self.vertices[0].distance(q),
             _ => self
                 .segments()
-                .map(|s| s.distance_to_point(q))
-                .fold(f64::INFINITY, f64::min),
+                .map(|s| s.distance_sq_to_point(q))
+                .fold(f64::INFINITY, f64::min)
+                .sqrt(),
         }
     }
 

@@ -73,8 +73,18 @@ impl Segment {
     /// crossings, because projections falling outside the segment fall back
     /// to the endpoint distance.
     #[inline]
+    #[must_use]
     pub fn distance_to_point(&self, q: Point) -> f64 {
         q.distance(self.closest_point(q))
+    }
+
+    /// Squared Equation-(1) distance. Skips the `sqrt` for callers that only
+    /// compare distances or take a single root at the end (the polyline
+    /// min-distance kernel evaluated once per candidate per GPS fix).
+    #[inline]
+    #[must_use]
+    pub fn distance_sq_to_point(&self, q: Point) -> f64 {
+        q.distance_sq(self.closest_point(q))
     }
 
     /// Pure perpendicular distance from `q` to the *infinite line* through

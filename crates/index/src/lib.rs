@@ -27,4 +27,4 @@ pub mod grid;
 pub mod rstar;
 
 pub use grid::GridIndex;
-pub use rstar::{RStarParams, RStarTree};
+pub use rstar::{RStarParams, RStarTree, RangeScratch};

@@ -99,6 +99,37 @@ enum InsertOutcome<T> {
     Reinsert(Vec<Entry<T>>),
 }
 
+/// A reusable traversal stack for [`RStarTree::for_each_in_with`].
+///
+/// The annotation hot paths issue one range query per GPS fix; allocating a
+/// traversal structure per query would dominate small-window queries. A
+/// `RangeScratch` is created once per batch of queries (it borrows the tree
+/// for `'t`, so it cannot outlive or dangle into it) and its backing stack
+/// is reused across queries, making every query after the first
+/// allocation-free.
+#[derive(Debug)]
+pub struct RangeScratch<'t, T> {
+    stack: Vec<&'t Node<T>>,
+}
+
+impl<T> Default for RangeScratch<'_, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RangeScratch<'_, T> {
+    /// Creates an empty scratch stack (no allocation until first use).
+    pub fn new() -> Self {
+        Self { stack: Vec::new() }
+    }
+
+    /// Stack slots currently reserved (diagnostics/tests).
+    pub fn capacity(&self) -> usize {
+        self.stack.capacity()
+    }
+}
+
 /// An R\*-tree mapping bounding rectangles to items of type `T`.
 ///
 /// ```
@@ -298,6 +329,44 @@ impl<T> RStarTree<T> {
             }
         }
         rec(&self.root, query, &mut f);
+    }
+
+    /// [`RStarTree::for_each_in`] threading a caller-owned traversal stack,
+    /// so repeated range queries against the same tree perform no heap
+    /// allocation once the stack has warmed up (the annotation hot paths
+    /// issue one query per GPS fix).
+    ///
+    /// Items are visited in exactly the same order as [`RStarTree::for_each_in`]
+    /// (depth-first, children in node order), so the two paths are
+    /// interchangeable even for order-sensitive callers.
+    pub fn for_each_in_with<'t>(
+        &'t self,
+        scratch: &mut RangeScratch<'t, T>,
+        query: &Rect,
+        mut f: impl FnMut(&'t Rect, &'t T),
+    ) {
+        scratch.stack.clear();
+        scratch.stack.push(&self.root);
+        while let Some(node) = scratch.stack.pop() {
+            match node {
+                Node::Leaf(es) => {
+                    for e in es {
+                        if e.rect.intersects(query) {
+                            f(&e.rect, &e.item);
+                        }
+                    }
+                }
+                Node::Internal(cs) => {
+                    // push in reverse so the pop order matches the
+                    // recursive depth-first visit order
+                    for c in cs.iter().rev() {
+                        if c.rect.intersects(query) {
+                            scratch.stack.push(&c.node);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Number of items whose rectangle intersects `query`.
@@ -1108,6 +1177,52 @@ mod tests {
             got.sort_unstable();
             assert_eq!(expected, got, "probe {probe}");
         }
+    }
+
+    #[test]
+    fn for_each_in_with_matches_recursive_order_exactly() {
+        // deterministic pseudo-random rects via an LCG, no rand dependency
+        let mut state = 0xBEEFu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let mut tree = RStarTree::new();
+        for id in 0..800 {
+            let x = next() * 900.0;
+            let y = next() * 900.0;
+            tree.insert(Rect::new(x, y, x + next() * 15.0, y + next() * 15.0), id);
+        }
+        let mut scratch = RangeScratch::new();
+        for probe in 0..40 {
+            let x = probe as f64 * 21.0;
+            let q = Rect::new(x, x * 0.8, x + 55.0, x * 0.8 + 70.0);
+            let mut recursive: Vec<i32> = Vec::new();
+            tree.for_each_in(&q, |_, &id| recursive.push(id));
+            let mut iterative: Vec<i32> = Vec::new();
+            tree.for_each_in_with(&mut scratch, &q, |_, &id| iterative.push(id));
+            // identical items in the identical visit order
+            assert_eq!(recursive, iterative, "probe {probe}");
+        }
+        // the reused scratch warmed up once and stays allocated
+        assert!(scratch.capacity() > 0);
+    }
+
+    #[test]
+    fn for_each_in_with_on_empty_and_single() {
+        let tree: RStarTree<u8> = RStarTree::new();
+        let mut scratch = RangeScratch::new();
+        let mut n = 0;
+        tree.for_each_in_with(&mut scratch, &Rect::new(0.0, 0.0, 1.0, 1.0), |_, _| n += 1);
+        assert_eq!(n, 0);
+
+        let mut tree = RStarTree::new();
+        tree.insert(pt_rect(0.5, 0.5), 1u8);
+        let mut scratch = RangeScratch::new();
+        tree.for_each_in_with(&mut scratch, &Rect::new(0.0, 0.0, 1.0, 1.0), |_, _| n += 1);
+        assert_eq!(n, 1);
     }
 
     #[test]

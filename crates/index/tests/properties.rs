@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use semitri_geo::{Point, Rect};
-use semitri_index::{GridIndex, RStarParams, RStarTree};
+use semitri_index::{GridIndex, RStarParams, RStarTree, RangeScratch};
 
 fn rect_strategy() -> impl Strategy<Value = Rect> {
     (
@@ -38,6 +38,31 @@ proptest! {
         expected.sort_unstable();
         got.sort_unstable();
         prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn rtree_scratch_query_is_order_identical(
+        rects in proptest::collection::vec(rect_strategy(), 1..250),
+        queries in proptest::collection::vec(rect_strategy(), 1..8),
+    ) {
+        // both insertion-built and bulk-loaded trees: the scratch-threaded
+        // iterative traversal must visit the same items in the same order
+        // as the recursive one, with the scratch reused across queries
+        let mut inc = RStarTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            inc.insert(*r, i);
+        }
+        let bulk = RStarTree::bulk_load(rects.iter().cloned().enumerate().map(|(i, r)| (r, i)).collect());
+        for tree in [&inc, &bulk] {
+            let mut scratch = RangeScratch::new();
+            for q in &queries {
+                let mut recursive: Vec<usize> = Vec::new();
+                tree.for_each_in(q, |_, &i| recursive.push(i));
+                let mut iterative: Vec<usize> = Vec::new();
+                tree.for_each_in_with(&mut scratch, q, |_, &i| iterative.push(i));
+                prop_assert_eq!(recursive, iterative);
+            }
+        }
     }
 
     #[test]

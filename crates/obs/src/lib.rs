@@ -16,6 +16,32 @@
 //!   so all three report the *same* per-layer schema;
 //! * [`MetricsObserver`] — the canonical observer routing stage spans
 //!   into a registry.
+//!
+//! ## Allocation discipline of the observed stages
+//!
+//! The spans this crate times wrap the pipeline's hot paths, which are
+//! engineered to perform **no per-record heap allocation** once their
+//! caller-owned scratch buffers reach steady state — so a latency
+//! histogram here measures the kernels, not the allocator:
+//!
+//! * **Episode** — cleaning and segmentation walk the record slice with
+//!   index cursors (no temporary per-fix collections); allocations happen
+//!   per trajectory for the output buffers.
+//! * **Region** — the Algorithm 1 landuse join runs R\*-tree lookups
+//!   through a reusable traversal stack (`RangeScratch`); labels are
+//!   interned `Arc<str>`s cloned by reference count, never re-formatted.
+//! * **Line** — map matching threads a `MatchScratch` arena (candidate
+//!   buffers, epoch-stamped slot map, kernel-weight rows, cell cache)
+//!   through every episode; per-fix work is pure arithmetic over those
+//!   buffers.
+//! * **Point** — POI grid lookups are closure-based with no temporary
+//!   collections; the Viterbi trellis is sized per *stop* (episode
+//!   granularity), never per record.
+//!
+//! Per-*episode* and per-*trajectory* outputs (the annotation vectors
+//! themselves) still allocate — they are the result, not the hot path.
+//! The `hotpath` benchmark in `semitri-bench` tracks the per-unit cost of
+//! each stage kernel and fails CI if the matcher regresses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -68,12 +68,20 @@ fn print_metrics(summary: &BatchSummary) {
     }
     println!("per-layer breakdown (latencies in ms):");
     println!(
-        "  {:<10} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "layer", "calls", "records", "min", "mean", "p50", "p95", "p99", "max"
+        "  {:<10} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "layer", "calls", "records", "min", "mean", "p50", "p95", "p99", "max", "records/s"
     );
     for (stage, s) in summary.stages() {
+        // per-layer throughput over the stage's own busy time (sum of
+        // span latencies), the same normalization the hotpath bench uses
+        let busy_secs = s.count as f64 * s.mean;
+        let rate = if busy_secs > 0.0 {
+            s.records as f64 / busy_secs
+        } else {
+            0.0
+        };
         println!(
-            "  {:<10} {:>7} {:>10} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            "  {:<10} {:>7} {:>10} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>12.0}",
             stage.id(),
             s.count,
             s.records,
@@ -83,6 +91,7 @@ fn print_metrics(summary: &BatchSummary) {
             s.p95 * 1e3,
             s.p99 * 1e3,
             s.max * 1e3,
+            rate,
         );
     }
     println!("metrics (json lines):");

@@ -67,7 +67,7 @@ pub mod prelude {
     };
     pub use semitri_core::{
         Annotation, AnnotationValue, BatchAnnotator, BatchOutput, BatchSummary, GlobalMapMatcher,
-        LatencyProfile, MatchParams, ModeInferencer, PipelineConfig, PipelineError,
+        LatencyProfile, MatchParams, MatchScratch, ModeInferencer, PipelineConfig, PipelineError,
         PipelineErrorKind, PipelineOutput, PlaceKind, PlaceRef, PointAnnotator, Preprocessor,
         RegionAnnotator, SeMiTri, SemanticTuple, SemitriError, StageSummary,
         StructuredSemanticTrajectory,
