@@ -9,7 +9,7 @@
 use super::matcher::MatchedPoint;
 use semitri_data::road::SegmentId;
 use semitri_data::{GpsRecord, RoadNetwork};
-use semitri_geo::{Point, Rect};
+use semitri_geo::Point;
 use semitri_index::RStarTree;
 
 /// Distance metric used by [`NearestSegmentMatcher`].
@@ -65,20 +65,23 @@ impl<'n> NearestSegmentMatcher<'n> {
         records
             .iter()
             .map(|r| {
-                let window = Rect::from_point(r.point).inflate(self.candidate_radius_m);
                 let mut best: Option<(SegmentId, f64)> = None;
-                self.index.for_each_in(&window, |_, &seg| {
-                    // candidate gate always uses the Eq. 1 distance so both
-                    // metrics see the same candidate set
-                    let gate = self.net.segment(seg).geometry.distance_to_point(r.point);
-                    if gate > self.candidate_radius_m {
-                        return;
-                    }
-                    let d = self.distance(seg, r.point);
-                    if best.is_none_or(|(_, bd)| d < bd) {
-                        best = Some((seg, d));
-                    }
-                });
+                // streaming radius query (bbox-distance prefilter, a lower
+                // bound on the Eq. 1 gate below — same surviving candidates)
+                let radius = self.candidate_radius_m;
+                self.index
+                    .for_each_within_radius(r.point, radius, |_, &seg| {
+                        // candidate gate always uses the Eq. 1 distance so both
+                        // metrics see the same candidate set
+                        let gate = self.net.segment(seg).geometry.distance_to_point(r.point);
+                        if gate > radius {
+                            return;
+                        }
+                        let d = self.distance(seg, r.point);
+                        if best.is_none_or(|(_, bd)| d < bd) {
+                            best = Some((seg, d));
+                        }
+                    });
                 best.map(|(seg, d)| MatchedPoint {
                     segment: seg,
                     snapped: self.net.segment(seg).geometry.closest_point(r.point),

@@ -11,7 +11,6 @@
 use super::matcher::MatchedPoint;
 use semitri_data::road::SegmentId;
 use semitri_data::{GpsRecord, RoadNetwork};
-use semitri_geo::Rect;
 use semitri_index::RStarTree;
 
 /// Parameters of the incremental matcher.
@@ -71,24 +70,29 @@ impl<'n> IncrementalMatcher<'n> {
         let mut out: Vec<Option<MatchedPoint>> = Vec::with_capacity(records.len());
         let mut prev: Option<SegmentId> = None;
         for r in records {
-            let window = Rect::from_point(r.point).inflate(self.params.candidate_radius_m);
             let mut best: Option<(SegmentId, f64)> = None;
-            self.index.for_each_in(&window, |_, &seg| {
-                let d = self.net.segment(seg).geometry.distance_to_point(r.point);
-                if d > self.params.candidate_radius_m {
-                    return;
-                }
-                // proximity score with a topological bonus
-                let mut score = 1.0 / (1.0 + d);
-                if let Some(p) = prev {
-                    if self.connected(p, seg) {
-                        score *= self.params.connectivity_bonus;
+            // streaming radius query: the bbox-distance prefilter is a lower
+            // bound on the exact Eq. 1 distance, so the gate below sees a
+            // (possibly smaller) superset of the surviving candidates and
+            // the result is unchanged
+            let radius = self.params.candidate_radius_m;
+            self.index
+                .for_each_within_radius(r.point, radius, |_, &seg| {
+                    let d = self.net.segment(seg).geometry.distance_to_point(r.point);
+                    if d > radius {
+                        return;
                     }
-                }
-                if best.is_none_or(|(_, bs)| score > bs) {
-                    best = Some((seg, score));
-                }
-            });
+                    // proximity score with a topological bonus
+                    let mut score = 1.0 / (1.0 + d);
+                    if let Some(p) = prev {
+                        if self.connected(p, seg) {
+                            score *= self.params.connectivity_bonus;
+                        }
+                    }
+                    if best.is_none_or(|(_, bs)| score > bs) {
+                        best = Some((seg, score));
+                    }
+                });
             match best {
                 Some((seg, score)) => {
                     prev = Some(seg);

@@ -21,7 +21,7 @@
 use semitri_data::road::SegmentId;
 use semitri_data::{GpsRecord, RoadNetwork};
 use semitri_geo::{Point, Rect};
-use semitri_index::RStarTree;
+use semitri_index::{FrozenRStarTree, FrozenRangeScratch, IndexMode, RStarTree};
 
 /// Parameters of the global map-matching algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +120,9 @@ pub struct MatchScratch {
     /// with their bounding boxes so a per-fix pass can pre-filter with the
     /// same cheap `bbox ∩ window` test the R\*-tree query would apply.
     cell_segs: Vec<(Rect, SegmentId)>,
+    /// Traversal stack for the frozen segment index (index-based, so the
+    /// scratch stays lifetime-free and embeddable in long-lived state).
+    tree_stack: FrozenRangeScratch,
 }
 
 impl MatchScratch {
@@ -148,14 +151,45 @@ impl MatchScratch {
 /// ```
 pub struct GlobalMapMatcher<'n> {
     net: &'n RoadNetwork,
-    index: RStarTree<SegmentId>,
+    index: SegmentIndex,
     params: MatchParams,
+}
+
+/// The candidate-selection backend: built once per road network and read
+/// once per cell-cache refill, so the frozen snapshot is the default; the
+/// dynamic tree stays selectable as the identity oracle.
+#[derive(Debug, Clone)]
+enum SegmentIndex {
+    Dynamic(RStarTree<SegmentId>),
+    Frozen(Box<FrozenRStarTree<SegmentId>>),
+}
+
+impl SegmentIndex {
+    /// Visits every segment bbox intersecting `query` — identical results
+    /// in identical order on both backends. The stack is only touched by
+    /// the frozen side (the dynamic tree recurses on the program stack).
+    fn for_each_in_with_stack(
+        &self,
+        stack: &mut FrozenRangeScratch,
+        query: &Rect,
+        f: impl FnMut(&Rect, &SegmentId),
+    ) {
+        match self {
+            SegmentIndex::Dynamic(t) => t.for_each_in(query, f),
+            SegmentIndex::Frozen(t) => t.for_each_in_with(stack, query, f),
+        }
+    }
 }
 
 impl<'n> GlobalMapMatcher<'n> {
     /// Builds the matcher over a road network (bulk-loads an R\*-tree over
-    /// the segment bounding boxes).
+    /// the segment bounding boxes and freezes it into the flat snapshot).
     pub fn new(net: &'n RoadNetwork, params: MatchParams) -> Self {
+        Self::with_index_mode(net, params, IndexMode::Frozen)
+    }
+
+    /// [`GlobalMapMatcher::new`] with an explicit index backend.
+    pub fn with_index_mode(net: &'n RoadNetwork, params: MatchParams, mode: IndexMode) -> Self {
         assert!(params.radius_m > 0.0, "radius must be positive");
         assert!(params.sigma_factor > 0.0, "sigma factor must be positive");
         assert!(
@@ -175,9 +209,13 @@ impl<'n> GlobalMapMatcher<'n> {
             .iter()
             .map(|s| (s.geometry.bbox(), s.id))
             .collect();
+        let tree = RStarTree::bulk_load(items);
         Self {
             net,
-            index: RStarTree::bulk_load(items),
+            index: match mode {
+                IndexMode::Frozen => SegmentIndex::Frozen(Box::new(tree.freeze())),
+                IndexMode::Dynamic => SegmentIndex::Dynamic(tree),
+            },
             params,
         }
     }
@@ -215,8 +253,11 @@ impl<'n> GlobalMapMatcher<'n> {
             )
             .inflate(pad);
             let segs = &mut scratch.cell_segs;
-            self.index
-                .for_each_in(&cell_window, |rect, &seg_id| segs.push((*rect, seg_id)));
+            self.index.for_each_in_with_stack(
+                &mut scratch.tree_stack,
+                &cell_window,
+                |rect, &seg_id| segs.push((*rect, seg_id)),
+            );
             scratch.cell = Some(key);
         }
         let window = Rect::from_point(p).inflate(r);
@@ -408,12 +449,13 @@ impl<'n> GlobalMapMatcher<'n> {
     fn candidates(&self, p: Point) -> Vec<(SegmentId, f64)> {
         let window = Rect::from_point(p).inflate(self.params.candidate_radius_m);
         let mut out = Vec::new();
-        self.index.for_each_in(&window, |_, &seg_id| {
-            let d = self.net.segment(seg_id).geometry.distance_to_point(p);
-            if d <= self.params.candidate_radius_m {
-                out.push((seg_id, d));
-            }
-        });
+        self.index
+            .for_each_in_with_stack(&mut FrozenRangeScratch::new(), &window, |_, &seg_id| {
+                let d = self.net.segment(seg_id).geometry.distance_to_point(p);
+                if d <= self.params.candidate_radius_m {
+                    out.push((seg_id, d));
+                }
+            });
         out
     }
 
@@ -735,6 +777,28 @@ mod tests {
             })
             .collect();
         assert_eq!(m.match_records(&recs), m.match_records_naive(&recs));
+    }
+
+    #[test]
+    fn frozen_and_dynamic_backends_produce_identical_matches() {
+        let net = parallel_net();
+        let frozen = GlobalMapMatcher::new(&net, MatchParams::default());
+        let dynamic =
+            GlobalMapMatcher::with_index_mode(&net, MatchParams::default(), IndexMode::Dynamic);
+        let recs: Vec<GpsRecord> = (0..150)
+            .map(|i| {
+                let wobble = ((i * 11) % 29) as f64 - 14.0;
+                GpsRecord::new(
+                    Point::new(5.0 + i as f64 * 3.0, 3.0 + wobble),
+                    Timestamp(i as f64),
+                )
+            })
+            .collect();
+        assert_eq!(frozen.match_records(&recs), dynamic.match_records(&recs));
+        assert_eq!(
+            frozen.match_records_naive(&recs),
+            dynamic.match_records_naive(&recs)
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::preprocess::Preprocessor;
 use crate::region::{RegionAnnotator, RegionTuple};
 use semitri_data::{City, FeedError, GpsFeed, GpsRecord, RawTrajectory};
 use semitri_episodes::{Episode, EpisodeKind, SegmentationPolicy, VelocityPolicy};
+use semitri_index::IndexMode;
 use semitri_obs::{CleaningReport, PipelineObserver, Stage};
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +49,11 @@ pub struct PipelineConfig {
     pub mode: ModeInferencer,
     /// Point-layer parameters.
     pub point_params: PointParams,
+    /// Spatial-index backend for every annotation layer. The default
+    /// ([`IndexMode::Frozen`]) builds each R\*-tree once and freezes it
+    /// into the flat cache-packed snapshot; results are identical to the
+    /// dynamic backend byte for byte (the integration suite asserts it).
+    pub index_mode: IndexMode,
 }
 
 impl Default for PipelineConfig {
@@ -58,6 +64,7 @@ impl Default for PipelineConfig {
             match_params: MatchParams::default(),
             mode: ModeInferencer::default(),
             point_params: PointParams::default(),
+            index_mode: IndexMode::Frozen,
         }
     }
 }
@@ -149,10 +156,13 @@ impl<'c> SeMiTri<'c> {
     /// and the POIs of `city`. The point layer is skipped when the city
     /// has no POIs (the paper's sparse-Lausanne situation, §5.3).
     pub fn new(city: &'c City, config: PipelineConfig) -> Self {
-        let region = RegionAnnotator::from_landuse(&city.landuse);
-        let named = RegionAnnotator::from_named_regions(&city.regions);
-        let matcher = GlobalMapMatcher::new(&city.roads, config.match_params);
-        let point = PointAnnotator::new(&city.pois, city.bounds(), config.point_params).ok();
+        let mode = config.index_mode;
+        let region = RegionAnnotator::from_landuse_with(&city.landuse, mode);
+        let named = RegionAnnotator::from_named_regions_with(&city.regions, mode);
+        let matcher = GlobalMapMatcher::with_index_mode(&city.roads, config.match_params, mode);
+        let point =
+            PointAnnotator::with_index_mode(&city.pois, city.bounds(), config.point_params, mode)
+                .ok();
         Self {
             city,
             region,

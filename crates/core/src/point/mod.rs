@@ -15,9 +15,10 @@ pub mod observation;
 use crate::error::SemitriError;
 use crate::model::{PlaceKind, PlaceRef};
 use hmm::Hmm;
-use observation::{PoiObservationModel, CATEGORY_COUNT};
+use observation::{PoiLookupScratch, PoiObservationModel, CATEGORY_COUNT};
 use semitri_data::{PoiCategory, PoiSet};
 use semitri_geo::{Point, Rect};
+use semitri_index::IndexMode;
 
 /// The result for one stop: the inferred category and, when resolvable,
 /// the exact POI behind the stop.
@@ -91,6 +92,20 @@ impl PointAnnotator {
     /// # Errors
     /// Returns [`SemitriError::NoPoiData`] for an empty POI set.
     pub fn new(pois: &PoiSet, bounds: Rect, params: PointParams) -> Result<Self, SemitriError> {
+        Self::with_index_mode(pois, bounds, params, IndexMode::Frozen)
+    }
+
+    /// [`PointAnnotator::new`] with an explicit backend for the POI
+    /// resolution index.
+    ///
+    /// # Errors
+    /// Returns [`SemitriError::NoPoiData`] for an empty POI set.
+    pub fn with_index_mode(
+        pois: &PoiSet,
+        bounds: Rect,
+        params: PointParams,
+        mode: IndexMode,
+    ) -> Result<Self, SemitriError> {
         if pois.is_empty() {
             return Err(SemitriError::NoPoiData);
         }
@@ -99,8 +114,13 @@ impl PointAnnotator {
         let pi: Vec<f64> = hist.iter().map(|&c| c as f64 / total as f64).collect();
         let a = Hmm::default_transitions(CATEGORY_COUNT);
         let hmm = Hmm::new(&pi, &a).expect("consistent dimensions");
-        let model =
-            PoiObservationModel::new(pois, bounds, params.cell_size_m, params.neighbor_radius_m);
+        let model = PoiObservationModel::with_index_mode(
+            pois,
+            bounds,
+            params.cell_size_m,
+            params.neighbor_radius_m,
+            mode,
+        );
         Ok(Self {
             model,
             hmm,
@@ -182,13 +202,16 @@ impl PointAnnotator {
             })
             .collect();
         let (path, _) = self.hmm.viterbi(&b).expect("rows are CATEGORY_COUNT wide");
+        // one kNN heap for the whole stop sequence: POI resolution then
+        // performs no per-stop allocation
+        let mut scratch = PoiLookupScratch::new();
         path.iter()
             .zip(stop_centers)
             .map(|(&state, &center)| {
                 let category = PoiCategory::ALL[state];
                 let poi = self
                     .model
-                    .nearest_of_category(&self.pois, center, category)
+                    .nearest_of_category_with(&mut scratch, &self.pois, center, category)
                     .map(|p| PlaceRef::new(PlaceKind::Point, p.id, p.name.clone()));
                 StopAnnotation { category, poi }
             })

@@ -18,10 +18,38 @@
 
 use semitri_data::{Poi, PoiCategory, PoiSet};
 use semitri_geo::{Point, Rect};
-use semitri_index::GridIndex;
+use semitri_index::{
+    FrozenNearestScratch, FrozenRStarTree, GridIndex, IndexMode, NearestScratch, RStarTree,
+};
 
 /// Number of POI categories (the Milan taxonomy of Fig. 5).
 pub const CATEGORY_COUNT: usize = 5;
+
+/// One indexed POI: position, id, slot in the source `PoiSet`, category.
+type PoiItem = (Point, u64, u32, PoiCategory);
+
+/// The POI-resolution backend: a point R\*-tree queried by best-first kNN
+/// with a category-filtered distance. Built once, read once per stop, so
+/// the frozen snapshot is the default.
+#[derive(Debug, Clone)]
+enum PoiIndex {
+    Dynamic(RStarTree<PoiItem>),
+    Frozen(Box<FrozenRStarTree<PoiItem>>),
+}
+
+/// Reusable kNN heap storage for [`PoiObservationModel::nearest_of_category_with`]
+/// (only the active backend's buffer ever warms up).
+#[derive(Debug, Default)]
+pub(crate) struct PoiLookupScratch<'t> {
+    dynamic: NearestScratch<'t, PoiItem>,
+    frozen: FrozenNearestScratch,
+}
+
+impl PoiLookupScratch<'_> {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The observation model over a POI source.
 #[derive(Debug, Clone)]
@@ -30,6 +58,9 @@ pub struct PoiObservationModel {
     /// category)`; the stored position makes resolving a winning POI O(1)
     /// instead of a linear scan over the whole set.
     grid: GridIndex<(u64, u32, PoiCategory)>,
+    /// R\*-tree over the same POIs, used for the per-stop nearest-POI
+    /// resolution via best-first kNN (frozen by default).
+    lookup: PoiIndex,
     /// Precomputed `Pr(grid_jk | C_i)` rows, one per grid cell
     /// (unnormalized likelihoods; Viterbi only needs proportionality).
     cell_rows: Vec<[f64; CATEGORY_COUNT]>,
@@ -50,6 +81,18 @@ impl PoiObservationModel {
     /// # Panics
     /// Panics if `pois` is empty or the parameters are non-positive.
     pub fn new(pois: &PoiSet, bounds: Rect, cell_size: f64, neighbor_radius: f64) -> Self {
+        Self::with_index_mode(pois, bounds, cell_size, neighbor_radius, IndexMode::Frozen)
+    }
+
+    /// [`PoiObservationModel::new`] with an explicit backend for the
+    /// nearest-POI resolution index.
+    pub fn with_index_mode(
+        pois: &PoiSet,
+        bounds: Rect,
+        cell_size: f64,
+        neighbor_radius: f64,
+        mode: IndexMode,
+    ) -> Self {
         assert!(!pois.is_empty(), "observation model needs at least one POI");
         assert!(
             cell_size > 0.0 && neighbor_radius > 0.0,
@@ -59,6 +102,22 @@ impl PoiObservationModel {
         for (i, p) in pois.pois().iter().enumerate() {
             grid.insert(p.point, (p.id, i as u32, p.category));
         }
+        let tree = RStarTree::bulk_load(
+            pois.pois()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    (
+                        Rect::from_point(p.point),
+                        (p.point, p.id, i as u32, p.category),
+                    )
+                })
+                .collect(),
+        );
+        let lookup = match mode {
+            IndexMode::Frozen => PoiIndex::Frozen(Box::new(tree.freeze())),
+            IndexMode::Dynamic => PoiIndex::Dynamic(tree),
+        };
         let mut cell_rows = vec![[FLOOR; CATEGORY_COUNT]; grid.nx() * grid.ny()];
         for row in 0..grid.ny() {
             for col in 0..grid.nx() {
@@ -69,6 +128,7 @@ impl PoiObservationModel {
         }
         Self {
             grid,
+            lookup,
             cell_rows,
             neighbor_radius,
         }
@@ -115,17 +175,45 @@ impl PoiObservationModel {
         p: Point,
         cat: PoiCategory,
     ) -> Option<&'p Poi> {
-        let mut best: Option<(f64, u64, u32)> = None;
-        self.grid
-            .for_each_within(p, self.neighbor_radius, |q, &(id, idx, c)| {
-                if c == cat {
-                    let d = p.distance_sq(q);
-                    if best.is_none_or(|(bd, _, _)| d < bd) {
-                        best = Some((d, id, idx));
-                    }
-                }
-            });
-        let (_, id, idx) = best?;
+        self.nearest_of_category_with(&mut PoiLookupScratch::new(), pois, p, cat)
+    }
+
+    /// [`PoiObservationModel::nearest_of_category`] threading a reusable
+    /// kNN heap, so a whole fleet's stop resolution performs no per-stop
+    /// allocation.
+    ///
+    /// Best-first k=1 search with a category-filtered exact distance
+    /// (`∞` for other categories — an admissible bound, since `∞`
+    /// dominates every bbox estimate), then the neighbor-radius gate the
+    /// paper's "neighboring POIs" definition requires.
+    pub(crate) fn nearest_of_category_with<'t, 'p>(
+        &'t self,
+        scratch: &mut PoiLookupScratch<'t>,
+        pois: &'p PoiSet,
+        p: Point,
+        cat: PoiCategory,
+    ) -> Option<&'p Poi> {
+        let dist = |item: &PoiItem| {
+            if item.3 == cat {
+                item.0.distance(p)
+            } else {
+                f64::INFINITY
+            }
+        };
+        let best = match &self.lookup {
+            PoiIndex::Dynamic(t) => t
+                .nearest_by_with(&mut scratch.dynamic, p, 1, dist)
+                .first()
+                .map(|&(d, &(_, id, idx, _))| (d, id, idx)),
+            PoiIndex::Frozen(t) => t
+                .nearest_by_with(&mut scratch.frozen, p, 1, dist)
+                .first()
+                .map(|&(d, &(_, id, idx, _))| (d, id, idx)),
+        };
+        let (d, id, idx) = best?;
+        if d > self.neighbor_radius {
+            return None;
+        }
         // O(1) resolution via the indexed position; the id check (and the
         // linear fallback) keeps the lookup correct when the caller passes
         // a different `PoiSet` than the one the model was built from
@@ -256,6 +344,44 @@ mod tests {
         assert!(m
             .nearest_of_category(&pois, Point::new(203.0, 503.0), PoiCategory::ItemSale)
             .is_none());
+    }
+
+    #[test]
+    fn nearest_of_category_agrees_with_brute_force_on_both_backends() {
+        let (pois, bounds) = two_cluster_set();
+        let frozen = PoiObservationModel::new(&pois, bounds, 50.0, 150.0);
+        let dynamic =
+            PoiObservationModel::with_index_mode(&pois, bounds, 50.0, 150.0, IndexMode::Dynamic);
+        let mut scratch_f = PoiLookupScratch::new();
+        let mut scratch_d = PoiLookupScratch::new();
+        for i in 0..40 {
+            let p = Point::new((i * 37 % 100) as f64 * 10.0, (i * 53 % 100) as f64 * 10.0);
+            for cat in [
+                PoiCategory::Feedings,
+                PoiCategory::ItemSale,
+                PoiCategory::Services,
+            ] {
+                let brute = pois
+                    .pois()
+                    .iter()
+                    .filter(|poi| poi.category == cat && poi.point.distance(p) <= 150.0)
+                    .min_by(|a, b| {
+                        a.point
+                            .distance(p)
+                            .partial_cmp(&b.point.distance(p))
+                            .unwrap()
+                    })
+                    .map(|poi| poi.id);
+                let f = frozen
+                    .nearest_of_category_with(&mut scratch_f, &pois, p, cat)
+                    .map(|poi| poi.id);
+                let d = dynamic
+                    .nearest_of_category_with(&mut scratch_d, &pois, p, cat)
+                    .map(|poi| poi.id);
+                assert_eq!(f, brute, "probe {i} cat {cat:?}");
+                assert_eq!(d, brute, "probe {i} cat {cat:?}");
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::model::{PlaceKind, PlaceRef};
 use semitri_data::{LanduseCategory, LanduseGrid, NamedRegion, RawTrajectory};
 use semitri_episodes::Episode;
 use semitri_geo::{Point, Polygon, Rect, TimeSpan};
-use semitri_index::{RStarTree, RangeScratch};
+use semitri_index::{FrozenRStarTree, FrozenRangeScratch, IndexMode, RStarTree, RangeScratch};
 use std::sync::Arc;
 
 /// A region entry in the annotator's source: rectangular (landuse cells)
@@ -95,20 +95,78 @@ impl RegionTuple {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RegionAnnotator {
-    tree: RStarTree<RegionEntry>,
+    tree: RegionIndex,
+}
+
+/// The region tree backend: the layer is built once per city and queried
+/// per record, so the cache-packed frozen snapshot is the default; the
+/// dynamic tree is kept selectable as the identity oracle.
+#[derive(Debug, Clone)]
+enum RegionIndex {
+    Dynamic(RStarTree<RegionEntry>),
+    Frozen(Box<FrozenRStarTree<RegionEntry>>),
+}
+
+impl RegionIndex {
+    fn len(&self) -> usize {
+        match self {
+            RegionIndex::Dynamic(t) => t.len(),
+            RegionIndex::Frozen(t) => t.len(),
+        }
+    }
+
+    /// Visits every entry intersecting `query` — identical results in
+    /// identical order on both backends.
+    fn for_each_in_with<'t>(
+        &'t self,
+        scratch: &mut RegionScratch<'t>,
+        query: &Rect,
+        mut f: impl FnMut(&'t RegionEntry),
+    ) {
+        match self {
+            RegionIndex::Dynamic(t) => t.for_each_in_with(&mut scratch.dynamic, query, |_, e| f(e)),
+            RegionIndex::Frozen(t) => t.for_each_in_with(&mut scratch.frozen, query, |_, e| f(e)),
+        }
+    }
+}
+
+/// Reusable traversal state for either backend (only the active side's
+/// buffer ever warms up).
+struct RegionScratch<'t> {
+    dynamic: RangeScratch<'t, RegionEntry>,
+    frozen: FrozenRangeScratch,
+}
+
+impl RegionScratch<'_> {
+    fn new() -> Self {
+        Self {
+            dynamic: RangeScratch::new(),
+            frozen: FrozenRangeScratch::new(),
+        }
+    }
 }
 
 impl RegionAnnotator {
-    fn from_entries(entries: Vec<RegionEntry>) -> Self {
+    fn from_entries(entries: Vec<RegionEntry>, mode: IndexMode) -> Self {
         let items = entries.into_iter().map(|e| (e.rect, e)).collect();
+        let tree = RStarTree::bulk_load(items);
         Self {
-            tree: RStarTree::bulk_load(items),
+            tree: match mode {
+                IndexMode::Frozen => RegionIndex::Frozen(Box::new(tree.freeze())),
+                IndexMode::Dynamic => RegionIndex::Dynamic(tree),
+            },
         }
     }
 
     /// Builds the layer over a landuse grid (bulk-loaded R\*-tree over all
-    /// cells, as in the paper's Swisstopo experiments).
+    /// cells, as in the paper's Swisstopo experiments), frozen into the
+    /// flat snapshot.
     pub fn from_landuse(grid: &LanduseGrid) -> Self {
+        Self::from_landuse_with(grid, IndexMode::Frozen)
+    }
+
+    /// [`RegionAnnotator::from_landuse`] with an explicit index backend.
+    pub fn from_landuse_with(grid: &LanduseGrid, mode: IndexMode) -> Self {
         // one interned label per category (17 allocations total) instead of
         // one `format!` call per cell (hundreds of thousands on city grids)
         let labels: Vec<Arc<str>> = LanduseCategory::ALL
@@ -125,12 +183,19 @@ impl RegionAnnotator {
                 rect: c.rect,
             })
             .collect();
-        Self::from_entries(entries)
+        Self::from_entries(entries, mode)
     }
 
     /// Builds the layer over free-form named regions (campus, recreation
-    /// areas — the paper's OpenStreetMap examples).
+    /// areas — the paper's OpenStreetMap examples), frozen into the flat
+    /// snapshot.
     pub fn from_named_regions(regions: &[NamedRegion]) -> Self {
+        Self::from_named_regions_with(regions, IndexMode::Frozen)
+    }
+
+    /// [`RegionAnnotator::from_named_regions`] with an explicit index
+    /// backend.
+    pub fn from_named_regions_with(regions: &[NamedRegion], mode: IndexMode) -> Self {
         let entries = regions
             .iter()
             .map(|r| RegionEntry {
@@ -141,7 +206,7 @@ impl RegionAnnotator {
                 rect: r.bbox(),
             })
             .collect();
-        Self::from_entries(entries)
+        Self::from_entries(entries, mode)
     }
 
     /// Number of indexed regions.
@@ -151,7 +216,7 @@ impl RegionAnnotator {
 
     /// `true` when no regions are indexed.
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.tree.len() == 0
     }
 
     /// The most specific (smallest-area) region containing `p`.
@@ -161,19 +226,19 @@ impl RegionAnnotator {
     }
 
     fn entry_at(&self, p: Point) -> Option<&RegionEntry> {
-        self.entry_at_with(&mut RangeScratch::new(), p)
+        self.entry_at_with(&mut RegionScratch::new(), p)
     }
 
     /// Point-in-region lookup threading a reusable traversal stack, so a
     /// whole-trajectory join performs no per-record allocation.
     fn entry_at_with<'t>(
         &'t self,
-        scratch: &mut RangeScratch<'t, RegionEntry>,
+        scratch: &mut RegionScratch<'t>,
         p: Point,
     ) -> Option<&'t RegionEntry> {
         let probe = Rect::from_point(p);
         let mut best: Option<&RegionEntry> = None;
-        self.tree.for_each_in_with(scratch, &probe, |_, e| {
+        self.tree.for_each_in_with(scratch, &probe, |e| {
             if e.contains(p) && best.is_none_or(|b| e.area() < b.area()) {
                 best = Some(e);
             }
@@ -190,7 +255,7 @@ impl RegionAnnotator {
     pub fn annotate_trajectory(&self, traj: &RawTrajectory) -> Vec<RegionTuple> {
         let records = traj.records();
         let mut out: Vec<RegionTuple> = Vec::new();
-        let mut scratch = RangeScratch::new();
+        let mut scratch = RegionScratch::new();
         for (i, r) in records.iter().enumerate() {
             let Some(entry) = self.entry_at_with(&mut scratch, r.point) else {
                 continue;
@@ -235,7 +300,7 @@ impl RegionAnnotator {
                 let _ = traj;
                 let mut out = Vec::new();
                 self.tree
-                    .for_each_in_with(&mut RangeScratch::new(), &episode.bbox, |_, e| {
+                    .for_each_in_with(&mut RegionScratch::new(), &episode.bbox, |e| {
                         if e.intersects(&episode.bbox) {
                             out.push(PlaceRef::new(PlaceKind::Region, e.id, &*e.label));
                         }
@@ -249,7 +314,7 @@ impl RegionAnnotator {
     /// Per-record landuse categories (used by the analytics layer for the
     /// Fig. 9 / Fig. 14 distributions). `None` for uncovered records.
     pub fn categories_for(&self, traj: &RawTrajectory) -> Vec<Option<LanduseCategory>> {
-        let mut scratch = RangeScratch::new();
+        let mut scratch = RegionScratch::new();
         traj.records()
             .iter()
             .map(|r| {

@@ -19,12 +19,20 @@
 //!   loading for the million-cell landuse grids.
 //! * [`GridIndex`] — a flat uniform grid over point items with
 //!   radius/cell queries.
+//! * [`FrozenRStarTree`] — an immutable cache-packed snapshot of the
+//!   R\*-tree (flat BFS node arena, CSR child ranges, SoA bounding-box
+//!   arrays, contiguous leaf-entry slab) whose range and kNN results are
+//!   bit-identical — values *and* visit order — to the dynamic tree's.
+//!   The annotation pipeline builds each index once per city and reads it
+//!   millions of times, so [`IndexMode::Frozen`] is the default backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frozen;
 pub mod grid;
 pub mod rstar;
 
+pub use frozen::{FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, IndexMode};
 pub use grid::GridIndex;
-pub use rstar::{RStarParams, RStarTree, RangeScratch};
+pub use rstar::{NearestScratch, RStarParams, RStarTree, RangeScratch};

@@ -63,19 +63,19 @@ impl RStarParams {
 }
 
 #[derive(Debug, Clone)]
-struct Entry<T> {
-    rect: Rect,
-    item: T,
+pub(crate) struct Entry<T> {
+    pub(crate) rect: Rect,
+    pub(crate) item: T,
 }
 
 #[derive(Debug, Clone)]
-struct Child<T> {
-    rect: Rect,
-    node: Box<Node<T>>,
+pub(crate) struct Child<T> {
+    pub(crate) rect: Rect,
+    pub(crate) node: Box<Node<T>>,
 }
 
 #[derive(Debug, Clone)]
-enum Node<T> {
+pub(crate) enum Node<T> {
     Leaf(Vec<Entry<T>>),
     Internal(Vec<Child<T>>),
 }
@@ -130,6 +130,83 @@ impl<T> RangeScratch<'_, T> {
     }
 }
 
+/// Best-first search candidate: an unexpanded subtree (priced at its
+/// bounding-box lower bound) or an exact item.
+enum Cand<'a, T> {
+    Node(&'a Node<T>),
+    Item(&'a T),
+}
+
+/// Min-heap entry of the best-first nearest-neighbor search. Ordering
+/// compares the distance *only* (reversed, because [`BinaryHeap`] is a
+/// max-heap); ties are `Equal`, so pop order among equal distances is
+/// decided purely by the heap's deterministic internal layout — the
+/// property the frozen tree relies on to reproduce result order exactly.
+struct HeapEntry<'a, T> {
+    dist: f64,
+    cand: Cand<'a, T>,
+}
+
+impl<T> PartialEq for HeapEntry<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<T> Eq for HeapEntry<'_, T> {}
+impl<T> PartialOrd for HeapEntry<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we need min-first
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Reusable heap storage for [`RStarTree::nearest_by_with`].
+///
+/// The point layer resolves one POI per stop; allocating a fresh
+/// [`BinaryHeap`] per query would dominate small lookups. The scratch
+/// keeps the heap's backing buffer alive between calls (it borrows the
+/// tree for `'t`, like [`RangeScratch`]), so every query after the first
+/// is allocation-free.
+pub struct NearestScratch<'t, T> {
+    heap_buf: Vec<HeapEntry<'t, T>>,
+}
+
+impl<T> Default for NearestScratch<'_, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for NearestScratch<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NearestScratch")
+            .field("capacity", &self.heap_buf.capacity())
+            .finish()
+    }
+}
+
+impl<T> NearestScratch<'_, T> {
+    /// Creates an empty scratch (no allocation until first use).
+    pub fn new() -> Self {
+        Self {
+            heap_buf: Vec::new(),
+        }
+    }
+
+    /// Heap slots currently reserved (diagnostics/tests).
+    pub fn capacity(&self) -> usize {
+        self.heap_buf.capacity()
+    }
+}
+
 /// An R\*-tree mapping bounding rectangles to items of type `T`.
 ///
 /// ```
@@ -149,6 +226,10 @@ pub struct RStarTree<T> {
     len: usize,
     height: usize, // 1 = root is a leaf
     params: RStarParams,
+    /// Bounding box of the whole tree, maintained eagerly (union on
+    /// insert, recomputed from the root on removal) so [`RStarTree::bbox`]
+    /// is O(1) for the setup/validation paths that call it repeatedly.
+    root_bbox: Rect,
 }
 
 impl<T> Default for RStarTree<T> {
@@ -174,7 +255,26 @@ impl<T> RStarTree<T> {
             len: 0,
             height: 1,
             params,
+            root_bbox: Rect::EMPTY,
         }
+    }
+
+    /// The root node (test-internal: the cached-bbox oracle walks it).
+    #[cfg(test)]
+    pub(crate) fn root(&self) -> &Node<T> {
+        &self.root
+    }
+
+    /// Consumes the tree into `(root, len, height, bbox)` for freezing.
+    pub(crate) fn into_parts(self) -> (Node<T>, usize, usize, Rect) {
+        (self.root, self.len, self.height, self.root_bbox)
+    }
+
+    /// Freezes the tree into its immutable, cache-packed snapshot (see
+    /// [`FrozenRStarTree`](crate::FrozenRStarTree)): same items, same
+    /// query results in the same order, flat arena storage.
+    pub fn freeze(self) -> crate::frozen::FrozenRStarTree<T> {
+        crate::frozen::FrozenRStarTree::from_dynamic(self)
     }
 
     /// Number of stored items.
@@ -197,8 +297,11 @@ impl<T> RStarTree<T> {
     }
 
     /// Bounding box of the whole tree ([`Rect::EMPTY`] when empty).
+    ///
+    /// O(1): the box is cached and maintained across inserts and removals
+    /// instead of re-folding the root's children on every call.
     pub fn bbox(&self) -> Rect {
-        self.root.bbox()
+        self.root_bbox
     }
 
     /// Inserts an item with its bounding rectangle.
@@ -213,6 +316,9 @@ impl<T> RStarTree<T> {
         );
         self.insert_entry(Entry { rect, item }, true);
         self.len += 1;
+        // the tree bbox is exactly the union of every stored rectangle, so
+        // one union keeps the cache exact without touching the root node
+        self.root_bbox = self.root_bbox.union(&rect);
     }
 
     fn insert_entry(&mut self, entry: Entry<T>, allow_reinsert: bool) {
@@ -386,44 +492,31 @@ impl<T> RStarTree<T> {
         &'a self,
         p: Point,
         k: usize,
-        mut dist: impl FnMut(&'a T) -> f64,
+        dist: impl FnMut(&'a T) -> f64,
     ) -> Vec<(f64, &'a T)> {
+        self.nearest_by_with(&mut NearestScratch::new(), p, k, dist)
+    }
+
+    /// [`RStarTree::nearest_by`] reusing a caller-owned heap buffer, so
+    /// repeated queries (one POI lookup per stop in the point layer)
+    /// allocate nothing once the heap has warmed up. Results — values *and*
+    /// order — are identical to [`RStarTree::nearest_by`].
+    pub fn nearest_by_with<'t>(
+        &'t self,
+        scratch: &mut NearestScratch<'t, T>,
+        p: Point,
+        k: usize,
+        mut dist: impl FnMut(&'t T) -> f64,
+    ) -> Vec<(f64, &'t T)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
 
         // Best-first search over a min-heap of (lower-bound distance, node),
-        // interleaved with exact item candidates.
-        enum Cand<'a, T> {
-            Node(&'a Node<T>),
-            Item(&'a T),
-        }
-        struct HeapEntry<'a, T> {
-            dist: f64,
-            cand: Cand<'a, T>,
-        }
-        impl<T> PartialEq for HeapEntry<'_, T> {
-            fn eq(&self, other: &Self) -> bool {
-                self.dist == other.dist
-            }
-        }
-        impl<T> Eq for HeapEntry<'_, T> {}
-        impl<T> PartialOrd for HeapEntry<'_, T> {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl<T> Ord for HeapEntry<'_, T> {
-            fn cmp(&self, other: &Self) -> Ordering {
-                // reversed: BinaryHeap is a max-heap, we need min-first
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .unwrap_or(Ordering::Equal)
-            }
-        }
-
-        let mut heap = BinaryHeap::new();
+        // interleaved with exact item candidates. The heap adopts the
+        // scratch buffer (empty, so heapify is free) and returns it below.
+        scratch.heap_buf.clear();
+        let mut heap = BinaryHeap::from(std::mem::take(&mut scratch.heap_buf));
         heap.push(HeapEntry {
             dist: 0.0,
             cand: Cand::Node(&self.root),
@@ -459,19 +552,35 @@ impl<T> RStarTree<T> {
                 }
             }
         }
+        let mut buf = heap.into_vec();
+        buf.clear();
+        scratch.heap_buf = buf;
         out
+    }
+
+    /// Visits every item whose bounding rectangle lies within `radius` of
+    /// `p` (coarse, bbox-level filter — the caller refines with exact
+    /// geometry), without materializing a `Vec`.
+    pub fn for_each_within_radius<'a>(
+        &'a self,
+        p: Point,
+        radius: f64,
+        mut f: impl FnMut(&'a Rect, &'a T),
+    ) {
+        let window = Rect::from_point(p).inflate(radius);
+        self.for_each_in(&window, |r, t| {
+            if r.distance_to_point(p) <= radius {
+                f(r, t);
+            }
+        });
     }
 
     /// All items whose bounding rectangle lies within `radius` of `p`
     /// (coarse, bbox-level filter). The caller refines with exact geometry.
+    /// Iterating callers should prefer [`RStarTree::for_each_within_radius`].
     pub fn within_radius(&self, p: Point, radius: f64) -> Vec<(&Rect, &T)> {
-        let window = Rect::from_point(p).inflate(radius);
         let mut out = Vec::new();
-        self.for_each_in(&window, |r, t| {
-            if r.distance_to_point(p) <= radius {
-                out.push((r, t));
-            }
-        });
+        self.for_each_within_radius(p, radius, |r, t| out.push((r, t)));
         out
     }
 
@@ -568,11 +677,13 @@ impl<T> RStarTree<T> {
             Some(only) => *only.node, // single leaf
             None => Node::Leaf(Vec::new()),
         };
+        let root_bbox = root.bbox();
         Self {
             root,
             len,
             height,
             params,
+            root_bbox,
         }
     }
 
@@ -601,6 +712,9 @@ impl<T> RStarTree<T> {
                 _ => break,
             }
         }
+        // a removal can shrink the bbox anywhere, so recompute from the
+        // root's child rects (O(M) — still far cheaper than the removal)
+        self.root_bbox = self.root.bbox();
         Some(item)
     }
 
@@ -719,6 +833,9 @@ impl<T> RStarTree<T> {
         if let Some(d) = leaf_depth {
             assert_eq!(d, self.height, "height bookkeeping wrong");
         }
+        // the cached bbox must match the fold exactly (unions of the same
+        // rect set are order-independent min/max, so bitwise equality holds)
+        assert_eq!(self.root_bbox, self.root.bbox(), "cached root bbox stale");
         let mut counted = 0;
         self.for_each_in(&self.bbox().inflate(1.0), |_, _| counted += 1);
         if !self.is_empty() {
@@ -1223,6 +1340,67 @@ mod tests {
         let mut scratch = RangeScratch::new();
         tree.for_each_in_with(&mut scratch, &Rect::new(0.0, 0.0, 1.0, 1.0), |_, _| n += 1);
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn cached_bbox_tracks_inserts_and_removals_exactly() {
+        // regression: bbox() is now a cached field — it must stay bitwise
+        // equal to the root fold through every mutation path (insert with
+        // forced reinsertion, bulk load, removal with condensation)
+        let mut t = RStarTree::new();
+        assert!(t.bbox().is_empty());
+        let items: Vec<(Rect, u32)> = (0..150)
+            .map(|i| {
+                let x = ((i * 67) % 97) as f64 * 11.0;
+                let y = ((i * 29) % 83) as f64 * 7.0;
+                (Rect::new(x, y, x + 5.0, y + 3.0), i)
+            })
+            .collect();
+        for &(r, v) in &items {
+            t.insert(r, v);
+            assert_eq!(t.bbox(), t.root().bbox(), "after inserting {v}");
+        }
+        let bulk = RStarTree::bulk_load(items.clone());
+        assert_eq!(bulk.bbox(), bulk.root().bbox());
+        assert_eq!(bulk.bbox(), t.bbox());
+        // removing the extreme item must shrink the cached bbox too
+        for &(r, v) in items.iter().step_by(7) {
+            assert_eq!(t.remove_one(&r, |&x| x == v), Some(v));
+            assert_eq!(t.bbox(), t.root().bbox(), "after removing {v}");
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn nearest_by_with_reuses_heap_and_matches_nearest_by() {
+        let mut tree = RStarTree::new();
+        for i in 0..500u32 {
+            let p = Point::new(((i * 13) % 101) as f64 * 9.0, ((i * 7) % 89) as f64 * 9.0);
+            tree.insert(Rect::from_point(p), (i, p));
+        }
+        let mut scratch = NearestScratch::new();
+        for probe in 0..25 {
+            let p = Point::new(probe as f64 * 37.0, probe as f64 * 29.0);
+            let plain = tree.nearest_by(p, 5, |&(_, q)| q.distance(p));
+            let reused = tree.nearest_by_with(&mut scratch, p, 5, |&(_, q)| q.distance(p));
+            // identical values in the identical order
+            assert_eq!(plain, reused, "probe {probe}");
+        }
+        assert!(scratch.capacity() > 0, "heap buffer retained across calls");
+    }
+
+    #[test]
+    fn for_each_within_radius_streams_same_set_as_within_radius() {
+        let mut tree = RStarTree::new();
+        for i in 0..200 {
+            tree.insert(pt_rect((i % 20) as f64 * 4.0, (i / 20) as f64 * 4.0), i);
+        }
+        let p = Point::new(31.0, 17.0);
+        let collected = tree.within_radius(p, 13.0);
+        let mut streamed = Vec::new();
+        tree.for_each_within_radius(p, 13.0, |r, t| streamed.push((r, t)));
+        assert_eq!(collected, streamed);
+        assert!(!streamed.is_empty());
     }
 
     #[test]

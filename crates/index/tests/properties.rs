@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use semitri_geo::{Point, Rect};
-use semitri_index::{GridIndex, RStarParams, RStarTree, RangeScratch};
+use semitri_index::{
+    FrozenNearestScratch, FrozenRangeScratch, GridIndex, RStarParams, RStarTree, RangeScratch,
+};
 
 fn rect_strategy() -> impl Strategy<Value = Rect> {
     (
@@ -131,6 +133,100 @@ proptest! {
         for (g, e) in got.iter().zip(&expected) {
             prop_assert!((g.0 - e).abs() < 1e-9, "got {} expected {}", g.0, e);
         }
+    }
+
+    #[test]
+    fn frozen_range_is_result_and_order_identical(
+        rects in proptest::collection::vec(rect_strategy(), 1..250),
+        queries in proptest::collection::vec(rect_strategy(), 1..8),
+    ) {
+        // the frozen snapshot must reproduce the dynamic tree's range
+        // results bit for bit — the same items in the same visit order —
+        // for trees built by incremental insert AND by STR bulk load,
+        // including a tree that has seen removals before freezing
+        let mut inc = RStarTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            inc.insert(*r, i);
+        }
+        let bulk = RStarTree::bulk_load(
+            rects.iter().cloned().enumerate().map(|(i, r)| (r, i)).collect(),
+        );
+        let mut pruned = inc.clone();
+        for (i, r) in rects.iter().enumerate().step_by(3) {
+            pruned.remove_one(r, |&v| v == i);
+        }
+        for tree in [inc, bulk, pruned] {
+            let frozen = tree.clone().freeze();
+            prop_assert_eq!(frozen.len(), tree.len());
+            prop_assert_eq!(frozen.height(), tree.height());
+            prop_assert_eq!(frozen.bbox(), tree.bbox());
+            let mut scratch = FrozenRangeScratch::new();
+            for q in &queries {
+                let mut dynamic: Vec<usize> = Vec::new();
+                tree.for_each_in(q, |_, &i| dynamic.push(i));
+                let mut snap: Vec<usize> = Vec::new();
+                frozen.for_each_in_with(&mut scratch, q, |_, &i| snap.push(i));
+                prop_assert_eq!(dynamic, snap);
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_knn_is_result_and_order_identical(
+        pts in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 1..150),
+        probes in proptest::collection::vec((-600.0..600.0f64, -600.0..600.0f64), 1..6),
+        k in 1usize..8,
+    ) {
+        // best-first kNN must pop candidates in the same order through the
+        // frozen heap as through the dynamic one — including equal-distance
+        // ties, which both sides break by identical push sequence
+        let mut inc = RStarTree::new();
+        for &(x, y) in &pts {
+            let p = Point::new(x, y);
+            inc.insert(Rect::from_point(p), p);
+        }
+        let bulk = RStarTree::bulk_load(
+            pts.iter()
+                .map(|&(x, y)| (Rect::from_point(Point::new(x, y)), Point::new(x, y)))
+                .collect(),
+        );
+        for tree in [inc, bulk] {
+            let frozen = tree.clone().freeze();
+            let mut scratch = FrozenNearestScratch::new();
+            for &(px, py) in &probes {
+                let probe = Point::new(px, py);
+                let dynamic: Vec<(f64, Point)> = tree
+                    .nearest_by(probe, k, |q| q.distance(probe))
+                    .into_iter()
+                    .map(|(d, &p)| (d, p))
+                    .collect();
+                let snap: Vec<(f64, Point)> = frozen
+                    .nearest_by_with(&mut scratch, probe, k, |q| q.distance(probe))
+                    .into_iter()
+                    .map(|(d, &p)| (d, p))
+                    .collect();
+                prop_assert_eq!(dynamic, snap);
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_within_radius_is_identical(
+        pts in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..150),
+        probe in (0.0..1000.0f64, 0.0..1000.0f64),
+        radius in 0.0..300.0f64,
+    ) {
+        let probe = Point::new(probe.0, probe.1);
+        let mut tree = RStarTree::new();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            tree.insert(Rect::from_point(Point::new(x, y)), i);
+        }
+        let frozen = tree.clone().freeze();
+        let mut dynamic: Vec<usize> = Vec::new();
+        tree.for_each_within_radius(probe, radius, |_, &i| dynamic.push(i));
+        let mut snap: Vec<usize> = Vec::new();
+        frozen.for_each_within_radius(probe, radius, |_, &i| snap.push(i));
+        prop_assert_eq!(dynamic, snap);
     }
 
     #[test]

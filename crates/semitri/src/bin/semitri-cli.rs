@@ -6,7 +6,7 @@
 //! and answers queries against it.
 //!
 //! ```text
-//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC]
+//! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index]
 //! semitri-cli info <store.stlog>
 //! semitri-cli objects <store.stlog>
 //! semitri-cli show <store.stlog> <trajectory_id>
@@ -23,8 +23,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC]\n    \
-         (SPEC: comma-separated faults, e.g. dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5)\n  \
+        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index]\n    \
+         (SPEC: comma-separated faults, e.g. dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5;\n     \
+         --dynamic-index queries the pointer-based R*-trees instead of the frozen snapshots — same output, oracle/debug use)\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
          semitri-cli show <store.stlog> <trajectory_id>\n  \
          semitri-cli query-mode <store.stlog> <mode>\n  \
@@ -98,15 +99,28 @@ fn print_metrics(summary: &BatchSummary) {
     print!("{}", summary.metrics.to_json_lines());
 }
 
+/// Flags of the `generate` subcommand that tune how the fleet is
+/// annotated rather than what is generated.
+struct GenerateOptions<'a> {
+    threads: Option<usize>,
+    metrics: bool,
+    faults: Option<&'a str>,
+    index_mode: IndexMode,
+}
+
 fn generate(
     preset: &str,
     path: &str,
     seed: u64,
     days: usize,
-    threads: Option<usize>,
-    metrics: bool,
-    faults: Option<&str>,
+    opts: &GenerateOptions,
 ) -> Result<(), ExitCode> {
+    let GenerateOptions {
+        threads,
+        metrics,
+        faults,
+        index_mode,
+    } = *opts;
     let (dataset, vehicle) = match preset {
         "taxis" => (lausanne_taxis(days, seed), true),
         "milan" => (milan_cars(20, days, seed), true),
@@ -129,10 +143,14 @@ fn generate(
                 ..ModeInferencer::default()
             },
             policy: Box::new(VelocityPolicy::vehicles()),
+            index_mode,
             ..PipelineConfig::default()
         }
     } else {
-        PipelineConfig::default()
+        PipelineConfig {
+            index_mode,
+            ..PipelineConfig::default()
+        }
     };
     let semitri = SeMiTri::new(&dataset.city, config);
     let store = open(path)?;
@@ -221,11 +239,14 @@ fn run() -> Result<(), ExitCode> {
             let mut threads = None;
             let mut metrics = false;
             let mut faults = None;
+            let mut index_mode = IndexMode::Frozen;
             let mut positional = Vec::new();
             let mut rest = it;
             while let Some(arg) = rest.next() {
                 if arg == "--metrics" {
                     metrics = true;
+                } else if arg == "--dynamic-index" {
+                    index_mode = IndexMode::Dynamic;
                 } else if arg == "--faults" {
                     let Some(spec) = rest.next() else {
                         eprintln!("--faults needs a spec (e.g. dropout=0.1,stuck=0.03)");
@@ -251,7 +272,18 @@ fn run() -> Result<(), ExitCode> {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(42);
             let days = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-            generate(preset, path, seed, days, threads, metrics, faults)
+            generate(
+                preset,
+                path,
+                seed,
+                days,
+                &GenerateOptions {
+                    threads,
+                    metrics,
+                    faults,
+                    index_mode,
+                },
+            )
         }
         Some("info") => {
             let Some(path) = it.next() else {

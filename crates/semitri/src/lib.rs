@@ -72,6 +72,10 @@ pub mod prelude {
         RegionAnnotator, SeMiTri, SemanticTuple, SemitriError, StageSummary,
         StructuredSemanticTrajectory,
     };
+    pub use semitri_index::{
+        FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, GridIndex, IndexMode,
+        NearestScratch, RStarParams, RStarTree, RangeScratch,
+    };
     pub use semitri_obs::{
         CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver,
         MetricsRegistry, MetricsSnapshot, NullObserver, PipelineObserver, Stage,

@@ -1,0 +1,123 @@
+//! Frozen-vs-dynamic backend identity, end to end.
+//!
+//! The frozen R*-tree snapshot promises *bit-identical* query results —
+//! values and visit order — to the dynamic tree it was built from. The
+//! index-level property suite proves that per query; this suite proves the
+//! consequence the pipeline relies on: annotating a whole fleet through
+//! `IndexMode::Frozen` (the default) produces byte-identical semantic
+//! output to `IndexMode::Dynamic` across every layer, sequentially and
+//! through the multi-threaded batch engine.
+
+use semitri::prelude::*;
+
+fn config(mode: IndexMode, vehicles: bool) -> PipelineConfig {
+    let base = if vehicles {
+        PipelineConfig {
+            mode: ModeInferencer {
+                allow_car: true,
+                ..ModeInferencer::default()
+            },
+            policy: Box::new(VelocityPolicy::vehicles()),
+            ..PipelineConfig::default()
+        }
+    } else {
+        PipelineConfig::default()
+    };
+    PipelineConfig {
+        index_mode: mode,
+        ..base
+    }
+}
+
+/// The semantic payload of one output, rendered for comparison — every
+/// field except the wall-clock latency profile (timings differ run to
+/// run; everything else must not differ by a byte).
+fn semantic_repr(out: &PipelineOutput) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        out.cleaned.records(),
+        out.episodes,
+        out.region_tuples,
+        out.move_routes,
+        out.stop_annotations,
+        out.sst,
+        out.cleaning,
+    )
+}
+
+#[test]
+fn sequential_annotation_is_identical_across_backends() {
+    let dataset = lausanne_taxis(1, 99);
+    let frozen = SeMiTri::new(&dataset.city, config(IndexMode::Frozen, true));
+    let dynamic = SeMiTri::new(&dataset.city, config(IndexMode::Dynamic, true));
+    assert!(!dataset.tracks.is_empty());
+    for track in &dataset.tracks {
+        let raw = track.to_raw();
+        let f = frozen.annotate(&raw);
+        let d = dynamic.annotate(&raw);
+        assert_eq!(
+            semantic_repr(&f),
+            semantic_repr(&d),
+            "trajectory {} diverged between backends",
+            track.trajectory_id
+        );
+    }
+}
+
+#[test]
+fn multimodal_fleet_is_identical_across_backends() {
+    // pedestrians exercise the point layer (stops + POI resolution) much
+    // harder than taxis do
+    let dataset = smartphone_users(2, 2, 7);
+    let frozen = SeMiTri::new(&dataset.city, config(IndexMode::Frozen, false));
+    let dynamic = SeMiTri::new(&dataset.city, config(IndexMode::Dynamic, false));
+    let mut stops_seen = 0usize;
+    for track in &dataset.tracks {
+        let raw = track.to_raw();
+        let f = frozen.annotate(&raw);
+        let d = dynamic.annotate(&raw);
+        stops_seen += f.stop_annotations.len();
+        assert_eq!(semantic_repr(&f), semantic_repr(&d));
+    }
+    assert!(stops_seen > 0, "fixture must exercise the point layer");
+}
+
+#[test]
+fn batch_engine_is_identical_across_backends_and_threads() {
+    let dataset = lausanne_taxis(1, 42);
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+    let frozen = SeMiTri::new(&dataset.city, config(IndexMode::Frozen, true));
+    let dynamic = SeMiTri::new(&dataset.city, config(IndexMode::Dynamic, true));
+    let f = BatchAnnotator::new(&frozen)
+        .with_threads(4)
+        .annotate_all(&raws);
+    let d = BatchAnnotator::new(&dynamic)
+        .with_threads(1)
+        .annotate_all(&raws);
+    assert_eq!(f.results.len(), d.results.len());
+    for (i, (rf, rd)) in f.results.iter().zip(&d.results).enumerate() {
+        let (of, od) = (rf.as_ref().unwrap(), rd.as_ref().unwrap());
+        assert_eq!(semantic_repr(of), semantic_repr(od), "slot {i} diverged");
+    }
+}
+
+#[test]
+fn streaming_annotator_agrees_with_frozen_batch_regions() {
+    // the streaming annotator builds its own (frozen) indexes; feeding it
+    // a track must produce stop/move events, proving the frozen read path
+    // works incrementally too
+    let dataset = smartphone_users(1, 1, 3);
+    let mut streamer = semitri::core::StreamingAnnotator::new(
+        &dataset.city,
+        VelocityPolicy::default(),
+        MatchParams::default(),
+        ModeInferencer::default(),
+        semitri::core::point::PointParams::default(),
+    );
+    let mut events = 0usize;
+    for rec in &dataset.tracks[0].records {
+        events += streamer.push(*rec).len();
+    }
+    events += streamer.flush().len();
+    assert!(events > 0, "stream produced no episodes");
+}
