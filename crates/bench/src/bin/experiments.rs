@@ -5,13 +5,13 @@
 //! ```
 
 use semitri_bench::{
-    ablations, faults, fig10, fig11, fig12_13, fig14, fig15_16, fig17, fig9, hotpath, tables,
-    throughput, Scale,
+    ablations, faults, fig10, fig11, fig12_13, fig14, fig15_16, fig17, fig9, hotpath, server_load,
+    tables, throughput, Scale,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|fig9|...|fig17|ablations|throughput|faults|hotpath|all> \
+        "usage: experiments <table1|table2|fig9|...|fig17|ablations|throughput|faults|hotpath|server-load|all> \
          [--scale N] [--quick] [--bench-json PATH]"
     );
     std::process::exit(2);
@@ -24,6 +24,7 @@ fn main() {
     }
     let mut scale = Scale(1);
     let mut hotpath_opts = hotpath::HotpathOptions::default();
+    let mut server_load_opts = server_load::ServerLoadOptions::default();
     let mut which: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -34,10 +35,14 @@ fn main() {
                 };
                 scale = Scale(v.max(1));
             }
-            "--quick" => hotpath_opts.quick = true,
+            "--quick" => {
+                hotpath_opts.quick = true;
+                server_load_opts.quick = true;
+            }
             "--bench-json" => {
                 let Some(p) = it.next() else { usage() };
-                hotpath_opts.json_path = Some(p);
+                hotpath_opts.json_path = Some(p.clone());
+                server_load_opts.json_path = Some(p);
             }
             other => which.push(other.to_string()),
         }
@@ -64,6 +69,7 @@ fn main() {
             "throughput" => throughput::run(scale),
             "faults" => faults::run(scale),
             "hotpath" => failed |= !hotpath::run(scale, &hotpath_opts),
+            "server-load" => failed |= !server_load::run(scale, &server_load_opts),
             "all" => {
                 // microbenchmarks first: they want the quiet heap a
                 // standalone `hotpath` run gets, not one pre-fragmented by

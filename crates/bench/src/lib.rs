@@ -18,6 +18,7 @@ pub mod fig15_16;
 pub mod fig17;
 pub mod fig9;
 pub mod hotpath;
+pub mod server_load;
 pub mod tables;
 pub mod throughput;
 pub mod util;

@@ -1,0 +1,257 @@
+//! `server-load` — throughput/latency harness for the annotation server.
+//!
+//! Boots a real `semitri-server` on an ephemeral port (taxis preset,
+//! seed 42 — the same pipeline `semitri-cli serve taxis` builds) and
+//! drives it with keep-alive HTTP clients issuing `POST /annotate` with a
+//! pre-rendered JSON-lines feed, at 1, 4, 16 and 64 concurrent clients.
+//! Requests/s and the p50/p99 request latency per level are printed as
+//! greppable `BENCH_server` lines and, with `--bench-json PATH`, written
+//! as JSON (`BENCH_server.json` is the tracked baseline at the repo
+//! root).
+//!
+//! The server uses a thread-per-connection model, so the harness sizes
+//! the worker pool to the highest concurrency level — the experiment
+//! measures pipeline and protocol throughput, not accept starvation.
+
+use crate::Scale;
+use semitri::prelude::*;
+use semitri::server::{wake_workers, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+/// Options parsed from the experiment driver's command line.
+#[derive(Debug, Default)]
+pub struct ServerLoadOptions {
+    /// Shrink the feed and request counts for a CI smoke run.
+    pub quick: bool,
+    /// Write the results as JSON to this path.
+    pub json_path: Option<String>,
+}
+
+/// One concurrency level's measurements.
+struct LevelResult {
+    clients: usize,
+    requests: usize,
+    wall_secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+impl LevelResult {
+    fn rps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.requests as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample, in ms.
+fn percentile_ms(sorted_secs: &[f64], q: f64) -> f64 {
+    if sorted_secs.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_secs.len() as f64).ceil() as usize).clamp(1, sorted_secs.len());
+    sorted_secs[rank - 1] * 1e3
+}
+
+/// Issues one `POST /annotate` on an established keep-alive connection
+/// and returns the request latency in seconds. Panics on any protocol
+/// error — a load run with failed requests is not a measurement.
+fn one_request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request_bytes: &[u8],
+) -> f64 {
+    let t0 = Instant::now();
+    stream.write_all(request_bytes).expect("request write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(
+        line.starts_with("HTTP/1.1 200"),
+        "non-200 under load: {line:?}"
+    );
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        if header == "\r\n" {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("response body");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs one concurrency level: `clients` threads, each issuing
+/// `per_client` keep-alive requests.
+fn run_level(
+    addr: SocketAddr,
+    request_bytes: &[u8],
+    clients: usize,
+    per_client: usize,
+) -> LevelResult {
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = fan_out(clients, |_| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        (0..per_client)
+            .map(|_| one_request(&mut stream, &mut reader, request_bytes))
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LevelResult {
+        clients,
+        requests: latencies.len(),
+        wall_secs,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
+    }
+}
+
+/// Runs `f` on `n` scoped threads and collects the results in thread
+/// order.
+fn fan_out<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n).map(|i| scope.spawn(move || f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+fn render_json(results: &[LevelResult], quick: bool, scale: usize, feed_fixes: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"server_load\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str("  \"endpoint\": \"POST /annotate\",\n");
+    out.push_str(&format!("  \"feed_fixes\": {feed_fixes},\n"));
+    out.push_str("  \"levels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}{}\n",
+            r.clients,
+            r.requests,
+            r.rps(),
+            r.p50_ms,
+            r.p99_ms,
+            r.max_ms,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the load harness. Returns `false` only when the JSON output could
+/// not be written — protocol failures panic, because a partially failed
+/// load run must not masquerade as a measurement.
+pub fn run(scale: Scale, opts: &ServerLoadOptions) -> bool {
+    println!("== server-load: POST /annotate throughput/latency ==");
+    let levels: &[usize] = if opts.quick { &[1, 4] } else { &[1, 4, 16, 64] };
+    let per_client = scale.apply(if opts.quick { 10 } else { 100 });
+
+    // the same pipeline construction as `semitri-cli serve taxis 42`
+    let dataset = lausanne_taxis(1, 42);
+    let track = &dataset.tracks[0];
+    let mut feed = format!(
+        "{{\"object_id\":{},\"trajectory_id\":{}}}\n",
+        track.object_id, track.trajectory_id
+    );
+    let fixes = if opts.quick {
+        track.records.len().min(200)
+    } else {
+        track.records.len()
+    };
+    for r in &track.records[..fixes] {
+        feed.push_str(&format!(
+            "{{\"x\":{},\"y\":{},\"t\":{}}}\n",
+            r.point.x, r.point.y, r.t.0
+        ));
+    }
+    let request_bytes = format!(
+        "POST /annotate HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n{feed}",
+        feed.len()
+    )
+    .into_bytes();
+
+    let config = PipelineConfig {
+        mode: ModeInferencer {
+            allow_car: true,
+            ..ModeInferencer::default()
+        },
+        policy: Box::new(VelocityPolicy::vehicles()),
+        ..PipelineConfig::default()
+    };
+    let pipeline = SeMiTri::new(&dataset.city, config);
+    // thread-per-connection: one worker per concurrent client, plus one
+    let workers = levels.iter().copied().max().unwrap_or(1) + 1;
+    let server = Server::new(
+        pipeline,
+        VelocityPolicy::vehicles(),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+
+    let mut results = Vec::new();
+    std::thread::scope(|scope| {
+        let server = &server;
+        let shutdown = &shutdown;
+        let handle = scope.spawn(move || server.run(listener, shutdown));
+        for &clients in levels {
+            let r = run_level(addr, &request_bytes, clients, per_client);
+            println!(
+                "BENCH_server clients={} requests={} rps={:.1} p50_ms={:.3} p99_ms={:.3} max_ms={:.3}",
+                r.clients,
+                r.requests,
+                r.rps(),
+                r.p50_ms,
+                r.p99_ms,
+                r.max_ms,
+            );
+            results.push(r);
+        }
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        wake_workers(addr, workers);
+        handle.join().expect("server thread").expect("server run");
+    });
+
+    if let Some(path) = &opts.json_path {
+        let json = render_json(&results, opts.quick, scale.0, fixes);
+        match std::fs::write(path, json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => {
+                eprintln!("  failed to write {path}: {e}");
+                return false;
+            }
+        }
+    }
+    true
+}

@@ -78,8 +78,13 @@ pub struct MatchedPoint {
 /// per-fix heap allocation.
 ///
 /// A scratch may be freely reused across matchers and networks — every
-/// cached structure is either revalidated or rebuilt at the start of each
-/// call (the cell cache never outlives a single `match_records_with` call).
+/// cached structure is either revalidated or rebuilt before it is read.
+/// The cell cache persists across `match_records_with` calls (a long-lived
+/// streaming session keeps paying for it otherwise) but is keyed on the
+/// owning matcher's unique fingerprint: handing the scratch to a matcher
+/// with a different configuration, index backend or network invalidates
+/// the cache instead of replaying a stale candidate list whose radius or
+/// segment set no longer applies.
 #[derive(Debug, Default)]
 pub struct MatchScratch {
     /// Flattened candidate segment ids for every record of the episode.
@@ -114,6 +119,9 @@ pub struct MatchScratch {
     /// per-record clear.
     stamp: Vec<u32>,
     epoch: u32,
+    /// Fingerprint of the matcher whose cell cache is loaded (`0` = none:
+    /// matcher fingerprints start at 1).
+    cell_owner: u64,
     /// Grid cell (side = candidate radius) of the most recent fix.
     cell: Option<(i64, i64)>,
     /// Superset of segments within candidate reach of any point in `cell`,
@@ -153,7 +161,14 @@ pub struct GlobalMapMatcher<'n> {
     net: &'n RoadNetwork,
     index: SegmentIndex,
     params: MatchParams,
+    /// Process-unique id keying scratch caches to this matcher instance
+    /// (configuration + network + index backend), never 0.
+    fingerprint: u64,
 }
+
+/// Source of matcher fingerprints. Starts at 1 so the `MatchScratch`
+/// default of 0 can never collide with a real matcher.
+static NEXT_FINGERPRINT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// The candidate-selection backend: built once per road network and read
 /// once per cell-cache refill, so the frozen snapshot is the default; the
@@ -217,6 +232,7 @@ impl<'n> GlobalMapMatcher<'n> {
                 IndexMode::Dynamic => SegmentIndex::Dynamic(tree),
             },
             params,
+            fingerprint: NEXT_FINGERPRINT.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -293,9 +309,16 @@ impl<'n> GlobalMapMatcher<'n> {
         let n = records.len();
 
         // Algorithm 2 lines 5–9: per-point candidates + local scores,
-        // flattened into the scratch arena. The cell cache is only trusted
-        // within this call, so a scratch can hop between matchers safely.
-        scratch.cell = None;
+        // flattened into the scratch arena. The cell cache persists across
+        // calls while this matcher owns it (back-to-back episodes of a
+        // streaming session usually resume in the same cell); any other
+        // matcher's cache — a different radius, network or index backend —
+        // is discarded, not replayed.
+        if scratch.cell_owner != self.fingerprint {
+            scratch.cell = None;
+            scratch.cell_segs.clear();
+            scratch.cell_owner = self.fingerprint;
+        }
         scratch.cand_segs.clear();
         scratch.cand_scores.clear();
         scratch.offsets.clear();
@@ -812,6 +835,54 @@ mod tests {
         let rb = m.match_records_with(&mut scratch, &b);
         assert_eq!(ra, m.match_records_naive(&a));
         assert_eq!(rb, m.match_records_naive(&b));
+        // the cell cache now persists across calls: replaying episode `a`
+        // with the (possibly warm) cache must still be exact
+        assert_eq!(m.match_records_with(&mut scratch, &a), ra);
+    }
+
+    #[test]
+    fn one_scratch_alternating_two_matcher_configs_stays_exact() {
+        // Regression: the cell cache is keyed on the owning matcher. A
+        // server reuses scratches across sessions whose matchers differ in
+        // candidate radius / sigma / index backend; replaying matcher A's
+        // cached candidate list under matcher B's radius would silently
+        // drop (or invent) candidates. Alternate two configs — same cells,
+        // different radii and backends — through ONE scratch and demand
+        // exact agreement with each matcher's naive oracle every time.
+        let net = parallel_net();
+        let wide = GlobalMapMatcher::new(&net, MatchParams::default());
+        let narrow = GlobalMapMatcher::with_index_mode(
+            &net,
+            MatchParams {
+                radius_m: 12.0,
+                sigma_factor: 0.4,
+                candidate_radius_m: 25.0,
+                max_neighbors: 16,
+            },
+            IndexMode::Dynamic,
+        );
+        let mut scratch = MatchScratch::new();
+        let tracks = [
+            track_along(2.0, &[0.0; 25]),
+            track_along(38.0, &[1.5; 25]),
+            track_along(5.0, &[-2.0; 25]),
+        ];
+        for round in 0..3 {
+            for (ti, t) in tracks.iter().enumerate() {
+                let got_wide = wide.match_records_with(&mut scratch, t);
+                assert_eq!(
+                    got_wide,
+                    wide.match_records_naive(t),
+                    "wide config poisoned by narrow cache (round {round}, track {ti})"
+                );
+                let got_narrow = narrow.match_records_with(&mut scratch, t);
+                assert_eq!(
+                    got_narrow,
+                    narrow.match_records_naive(t),
+                    "narrow config poisoned by wide cache (round {round}, track {ti})"
+                );
+            }
+        }
     }
 
     #[test]

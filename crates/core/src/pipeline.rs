@@ -204,6 +204,16 @@ impl<'c> SeMiTri<'c> {
         }
     }
 
+    /// The city this pipeline annotates against.
+    pub fn city(&self) -> &'c City {
+        self.city
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
     /// The landuse region annotator (exposed for analytics).
     pub fn region_annotator(&self) -> &RegionAnnotator {
         &self.region

@@ -19,7 +19,7 @@
 use crate::line::matcher::GlobalMapMatcher;
 use crate::line::mode::ModeInferencer;
 use crate::line::{group_matches, RouteEntry};
-use crate::pipeline::CleanConfig;
+use crate::pipeline::{CleanConfig, SeMiTri};
 use crate::point::{PointAnnotator, StopAnnotation};
 use crate::region::RegionAnnotator;
 use semitri_data::{City, GpsRecord, PoiCategory};
@@ -55,13 +55,61 @@ pub enum StreamEvent {
 /// transition (GPS wander inside a building shouldn't end the stop).
 const MOVE_CONFIRM_SECS: f64 = 30.0;
 
+/// The annotation machinery a streaming session runs on: either built
+/// and owned by this annotator (the historical shape — every spatial
+/// index constructed per instance) or borrowed from a long-lived
+/// [`SeMiTri`] pipeline, so a server hosting thousands of sessions
+/// builds the frozen indexes once and shares them by reference.
+// the size gap vs the 8-byte Shared variant is fine: an annotator holds
+// exactly one Engine, and server sessions all use Shared
+#[allow(clippy::large_enum_variant)]
+enum Engine<'c> {
+    /// Indexes owned by this annotator.
+    Owned {
+        region: RegionAnnotator,
+        matcher: GlobalMapMatcher<'c>,
+        point: Option<PointAnnotator>,
+        mode: ModeInferencer,
+    },
+    /// Indexes borrowed from a shared pipeline (`SeMiTri` is
+    /// `&`-shareable; the batch pool already relies on that).
+    Shared(&'c SeMiTri<'c>),
+}
+
+impl<'c> Engine<'c> {
+    fn region(&self) -> &RegionAnnotator {
+        match self {
+            Engine::Owned { region, .. } => region,
+            Engine::Shared(s) => s.region_annotator(),
+        }
+    }
+
+    fn matcher(&self) -> &GlobalMapMatcher<'c> {
+        match self {
+            Engine::Owned { matcher, .. } => matcher,
+            Engine::Shared(s) => s.matcher(),
+        }
+    }
+
+    fn point(&self) -> Option<&PointAnnotator> {
+        match self {
+            Engine::Owned { point, .. } => point.as_ref(),
+            Engine::Shared(s) => s.point_annotator(),
+        }
+    }
+
+    fn mode(&self) -> ModeInferencer {
+        match self {
+            Engine::Owned { mode, .. } => *mode,
+            Engine::Shared(s) => s.config().mode,
+        }
+    }
+}
+
 /// Incremental stop/move/annotate engine over a live GPS feed.
 pub struct StreamingAnnotator<'c> {
     city: &'c City,
-    region: RegionAnnotator,
-    matcher: GlobalMapMatcher<'c>,
-    point: Option<PointAnnotator>,
-    mode: ModeInferencer,
+    engine: Engine<'c>,
     policy: VelocityPolicy,
     /// Online cleaning parameters (speed bound; smoothing is offline-only
     /// and ignored here — a causal annotator cannot smooth with future
@@ -87,6 +135,12 @@ pub struct StreamingAnnotator<'c> {
     forward: Option<Vec<f64>>,
     /// Stops closed so far (centers), for the final Viterbi pass.
     stop_centers: Vec<Point>,
+    /// Set by the first [`StreamingAnnotator::flush`]: the session has
+    /// terminal semantics — further flushes are defined no-ops and
+    /// further pushes are rejected (counted, never ingested).
+    finished: bool,
+    /// Fixes refused because they arrived after the terminal flush.
+    rejected_after_finish: u64,
     /// Stage observer fired as episodes close (same schema as the batch
     /// pipeline's, so live and offline runs report identically).
     observer: Option<Arc<dyn PipelineObserver>>,
@@ -110,14 +164,44 @@ impl<'c> StreamingAnnotator<'c> {
         point_params: crate::point::PointParams,
     ) -> Self {
         let point = PointAnnotator::new(&city.pois, city.bounds(), point_params).ok();
+        Self::with_engine(
+            city,
+            Engine::Owned {
+                region: RegionAnnotator::from_landuse(&city.landuse),
+                matcher: GlobalMapMatcher::new(&city.roads, match_params),
+                point,
+                mode,
+            },
+            policy,
+            CleanConfig::default(),
+        )
+    }
+
+    /// Builds a streaming annotator that *borrows* a shared [`SeMiTri`]
+    /// pipeline's spatial indexes instead of constructing its own — the
+    /// session shape for a long-running server, where per-user sessions
+    /// must cost per-user state (records, episode cursors, one matcher
+    /// scratch), not a rebuild of every frozen index. Cleaning and mode
+    /// parameters come from the pipeline's configuration; the stage
+    /// observer is *not* inherited (install one with
+    /// [`StreamingAnnotator::with_observer`] if per-session spans are
+    /// wanted — a server typically observes at the shared pipeline level).
+    pub fn over(pipeline: &'c SeMiTri<'c>, policy: VelocityPolicy) -> Self {
+        let clean = pipeline.config().clean;
+        Self::with_engine(pipeline.city(), Engine::Shared(pipeline), policy, clean)
+    }
+
+    fn with_engine(
+        city: &'c City,
+        engine: Engine<'c>,
+        policy: VelocityPolicy,
+        clean: CleanConfig,
+    ) -> Self {
         Self {
             city,
-            region: RegionAnnotator::from_landuse(&city.landuse),
-            matcher: GlobalMapMatcher::new(&city.roads, match_params),
-            point,
-            mode,
+            engine,
             policy,
-            clean: CleanConfig::default(),
+            clean,
             cleaning: CleaningReport::default(),
             cleaning_reported: CleaningReport::default(),
             records: Vec::new(),
@@ -126,6 +210,8 @@ impl<'c> StreamingAnnotator<'c> {
             contrary_since: None,
             forward: None,
             stop_centers: Vec::new(),
+            finished: false,
+            rejected_after_finish: 0,
             observer: None,
             match_scratch: crate::line::matcher::MatchScratch::new(),
         }
@@ -164,6 +250,19 @@ impl<'c> StreamingAnnotator<'c> {
         &self.cleaning
     }
 
+    /// Whether the terminal [`StreamingAnnotator::flush`] has run. A
+    /// finished session accepts no further fixes and flushes to nothing.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Fixes refused because they were pushed after the terminal flush
+    /// (these never enter the cleaning report: they were not cleaned,
+    /// they were refused).
+    pub fn rejected_after_finish(&self) -> u64 {
+        self.rejected_after_finish
+    }
+
     fn observe(&self, stage: Stage, records: usize, secs: f64) {
         if let Some(obs) = &self.observer {
             // the streaming annotator has no trajectory id until the feed
@@ -182,6 +281,13 @@ impl<'c> StreamingAnnotator<'c> {
     /// (counted as `reordered`) instead of repaired. Rejections never
     /// panic and never corrupt the open episode.
     pub fn push(&mut self, record: GpsRecord) -> Vec<StreamEvent> {
+        if self.finished {
+            // terminal semantics: a flushed session is closed, not
+            // half-open — silently reopening it would emit episodes with
+            // indexes overlapping the flushed ones
+            self.rejected_after_finish += 1;
+            return Vec::new();
+        }
         self.cleaning.input += 1;
         if !record.is_finite() {
             self.cleaning.dropped_nonfinite += 1;
@@ -286,7 +392,19 @@ impl<'c> StreamingAnnotator<'c> {
     /// final event. Also reports the cleaning work done since the last
     /// flush through the observer's `on_preprocess` hook (trajectory id
     /// 0, like every streaming span).
+    ///
+    /// The first flush is **terminal**: it marks the session finished
+    /// (see [`StreamingAnnotator::is_finished`]), after which further
+    /// flushes are defined no-ops returning no events and reporting no
+    /// duplicate cleaning delta, and further pushes are rejected. An
+    /// empty session flushes to an empty-but-valid result: no events,
+    /// a zeroed cleaning report, and a [`StreamingAnnotator::finalize`]
+    /// that decodes zero stops.
     pub fn flush(&mut self) -> Vec<StreamEvent> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
         if let Some(obs) = &self.observer {
             let delta = self.cleaning.delta_since(&self.cleaning_reported);
             if delta != CleaningReport::default() {
@@ -295,25 +413,26 @@ impl<'c> StreamingAnnotator<'c> {
         }
         self.cleaning_reported = self.cleaning;
         let n = self.records.len();
+        // the open cursor advances to the end of the accepted records in
+        // every exit path: no later call may see a stale episode start
+        let start = self.open_start;
+        self.open_start = n;
         let Some(kind) = self.open_kind.take() else {
             return Vec::new();
         };
-        if self.open_start >= n {
+        if start >= n {
             return Vec::new();
         }
         // a final stop shorter than the minimum is demoted to a move, as
         // the batch policy does; the trailing records are never dropped
         let kind = if kind == EpisodeKind::Stop
-            && self.records[n - 1].t.since(self.records[self.open_start].t)
-                < self.policy.min_stop_secs
+            && self.records[n - 1].t.since(self.records[start].t) < self.policy.min_stop_secs
         {
             EpisodeKind::Move
         } else {
             kind
         };
-        self.close_episode(kind, self.open_start, n)
-            .into_iter()
-            .collect()
+        self.close_episode(kind, start, n).into_iter().collect()
     }
 
     fn episode(&self, kind: EpisodeKind, start: usize, end: usize) -> Episode {
@@ -350,19 +469,22 @@ impl<'c> StreamingAnnotator<'c> {
                 let t0 = Instant::now();
                 let slice = &self.records[start..end];
                 let matches = self
-                    .matcher
+                    .engine
+                    .matcher()
                     .match_records_with(&mut self.match_scratch, slice);
                 let mut route = group_matches(slice, &matches);
-                self.mode.annotate(&self.city.roads, slice, &mut route);
+                self.engine
+                    .mode()
+                    .annotate(&self.city.roads, slice, &mut route);
                 self.observe(Stage::Line, n_records, t0.elapsed().as_secs_f64());
                 Some(StreamEvent::Move { episode, route })
             }
             EpisodeKind::Stop => {
                 let t0 = Instant::now();
-                let region = self.region.region_at(episode.center);
+                let region = self.engine.region().region_at(episode.center);
                 self.observe(Stage::Region, n_records, t0.elapsed().as_secs_f64());
                 let t0 = Instant::now();
-                let annotation = match &self.point {
+                let annotation = match self.engine.point() {
                     Some(point) => {
                         let (ann, forward) =
                             point.annotate_stop_online(episode.center, self.forward.as_deref());
@@ -389,7 +511,7 @@ impl<'c> StreamingAnnotator<'c> {
     /// returning the smoothed annotations (what the batch pipeline would
     /// have produced). The online estimates are causal; these are not.
     pub fn finalize(&self) -> Vec<StopAnnotation> {
-        match &self.point {
+        match self.engine.point() {
             Some(point) => point.annotate_stops(&self.stop_centers),
             None => Vec::new(),
         }
@@ -721,5 +843,108 @@ mod tests {
         // needs two records), so flush has nothing to close
         let events = stream.flush();
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn flush_is_terminal_second_flush_noop_and_push_rejected() {
+        let city = city();
+        let track = day_track(&city);
+        let mut stream = annotator(&city);
+        for &r in &track.records {
+            stream.push(r);
+        }
+        assert!(!stream.is_finished());
+        stream.flush();
+        assert!(stream.is_finished());
+        let records_at_flush = stream.record_count();
+        let report_at_flush = *stream.cleaning_report();
+
+        // a second flush is a defined no-op: no events, no state change
+        assert!(stream.flush().is_empty());
+        assert_eq!(*stream.cleaning_report(), report_at_flush);
+
+        // pushes after the terminal flush are refused, not ingested: the
+        // record range and the cleaning report stay exactly as flushed
+        let last_t = track.records.last().unwrap().t.0;
+        for i in 0..5 {
+            let late = GpsRecord::new(
+                Point::new(1_000.0 + i as f64, 1_000.0),
+                Timestamp(last_t + 60.0 + i as f64),
+            );
+            assert!(stream.push(late).is_empty());
+        }
+        assert_eq!(stream.rejected_after_finish(), 5);
+        assert_eq!(stream.record_count(), records_at_flush);
+        assert_eq!(*stream.cleaning_report(), report_at_flush);
+        assert!(stream.flush().is_empty());
+    }
+
+    #[test]
+    fn empty_session_flush_is_valid_and_zeroed() {
+        let city = city();
+        let mut stream = annotator(&city);
+        let events = stream.flush();
+        assert!(events.is_empty());
+        assert!(stream.is_finished());
+        assert_eq!(*stream.cleaning_report(), CleaningReport::default());
+        assert_eq!(stream.record_count(), 0);
+        // finalize on an empty session is a valid empty decode
+        assert!(stream.finalize().is_empty());
+    }
+
+    #[test]
+    fn cleaning_delta_not_double_counted_across_flushes() {
+        use semitri_obs::{MetricsObserver, MetricsRegistry};
+        let city = city();
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut stream =
+            annotator(&city).with_observer(Arc::new(MetricsObserver::new(registry.clone())));
+        stream.push(GpsRecord::new(Point::new(10.0, 10.0), Timestamp(0.0)));
+        stream.push(GpsRecord::new(Point::new(f64::NAN, 10.0), Timestamp(1.0)));
+        stream.flush();
+        let first = registry.snapshot();
+        assert_eq!(first.counter("stage.preprocess.records"), 2);
+        assert_eq!(first.counter("stage.preprocess.dropped"), 1);
+        // repeated flushes (and rejected late pushes) must not re-report
+        // the same delta or invent a new one
+        stream.push(GpsRecord::new(Point::new(11.0, 10.0), Timestamp(2.0)));
+        stream.flush();
+        stream.flush();
+        let again = registry.snapshot();
+        assert_eq!(again.counter("stage.preprocess.records"), 2);
+        assert_eq!(again.counter("stage.preprocess.dropped"), 1);
+        assert_eq!(again.counter("stage.preprocess.calls"), 1);
+        assert_eq!(stream.rejected_after_finish(), 1);
+    }
+
+    #[test]
+    fn shared_engine_session_matches_owned_engine_exactly() {
+        use crate::pipeline::{PipelineConfig, SeMiTri};
+        let city = city();
+        let track = day_track(&city);
+
+        let mut owned = annotator(&city);
+        let mut owned_events = Vec::new();
+        for &r in &track.records {
+            owned_events.extend(owned.push(r));
+        }
+        owned_events.extend(owned.flush());
+
+        // same city, same parameters, but every index borrowed from one
+        // shared pipeline — the server's per-user session shape
+        let pipeline = SeMiTri::new(&city, PipelineConfig::default());
+        let mut shared = StreamingAnnotator::over(&pipeline, VelocityPolicy::default());
+        let mut shared_events = Vec::new();
+        for &r in &track.records {
+            shared_events.extend(shared.push(r));
+        }
+        shared_events.extend(shared.flush());
+
+        assert_eq!(owned_events.len(), shared_events.len());
+        for (a, b) in owned_events.iter().zip(&shared_events) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        assert_eq!(owned.finalize(), shared.finalize());
+        assert_eq!(owned.cleaning_report(), shared.cleaning_report());
     }
 }

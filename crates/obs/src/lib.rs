@@ -15,7 +15,9 @@
 //!   the sequential pipeline, the streaming annotator and the batch pool,
 //!   so all three report the *same* per-layer schema;
 //! * [`MetricsObserver`] — the canonical observer routing stage spans
-//!   into a registry.
+//!   into a registry;
+//! * [`ServerMetrics`] — pre-resolved handles for the `server.*` schema
+//!   reported by the `semitri-server` annotation server.
 //!
 //! ## Allocation discipline of the observed stages
 //!
@@ -48,9 +50,11 @@
 
 mod histogram;
 mod registry;
+mod server;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use server::ServerMetrics;
 
 use std::sync::Arc;
 

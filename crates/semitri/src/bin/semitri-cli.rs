@@ -7,6 +7,8 @@
 //!
 //! ```text
 //! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index]
+//! semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N]
+//! semitri-cli annotate <taxis|milan|phones> [seed]       (feed JSON lines on stdin)
 //! semitri-cli info <store.stlog>
 //! semitri-cli objects <store.stlog>
 //! semitri-cli show <store.stlog> <trajectory_id>
@@ -16,16 +18,24 @@
 //! semitri-cli export-kml <store.stlog> <trajectory_id> <out.kml>
 //! semitri-cli compact <store.stlog>
 //! ```
+//!
+//! `serve` and `annotate` share one pipeline construction per preset, so
+//! an HTTP `POST /annotate` response is byte-identical to `annotate` on
+//! the same feed — the server integration suite asserts exactly that.
 
 use semitri::prelude::*;
+use semitri::server::{wire, ServeConfig, Server};
 use semitri::store::export::{kml_document, sst_kml};
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index]\n    \
          (SPEC: comma-separated faults, e.g. dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5;\n     \
          --dynamic-index queries the pointer-based R*-trees instead of the frozen snapshots — same output, oracle/debug use)\n  \
+         semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N]\n  \
+         semitri-cli annotate <taxis|milan|phones> [seed]   (feed JSON lines on stdin)\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
          semitri-cli show <store.stlog> <trajectory_id>\n  \
          semitri-cli query-mode <store.stlog> <mode>\n  \
@@ -97,6 +107,95 @@ fn print_metrics(summary: &BatchSummary) {
     }
     println!("metrics (json lines):");
     print!("{}", summary.metrics.to_json_lines());
+}
+
+/// Builds the (city, pipeline config, streaming policy) for a dataset
+/// preset. `serve` and `annotate` both go through here so the served
+/// `/annotate` output is byte-identical to the CLI output for the same
+/// preset and seed.
+fn preset_pipeline(
+    preset: &str,
+    seed: u64,
+) -> Result<(City, PipelineConfig, VelocityPolicy), ExitCode> {
+    let (dataset, vehicle) = match preset {
+        "taxis" => (lausanne_taxis(1, seed), true),
+        "milan" => (milan_cars(20, 1, seed), true),
+        "phones" => (smartphone_users(6, 1, seed), false),
+        _ => {
+            eprintln!("unknown preset {preset:?} (taxis|milan|phones)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let policy = if vehicle {
+        VelocityPolicy::vehicles()
+    } else {
+        VelocityPolicy::default()
+    };
+    let config = if vehicle {
+        PipelineConfig {
+            mode: ModeInferencer {
+                allow_car: true,
+                ..ModeInferencer::default()
+            },
+            policy: Box::new(policy),
+            ..PipelineConfig::default()
+        }
+    } else {
+        PipelineConfig::default()
+    };
+    Ok((dataset.city, config, policy))
+}
+
+/// `semitri-cli serve`: stand up the annotation server and block.
+fn serve(preset: &str, addr: &str, seed: u64, workers: Option<usize>) -> Result<(), ExitCode> {
+    let (city, config, policy) = preset_pipeline(preset, seed)?;
+    let pipeline = SeMiTri::new(&city, config);
+    let mut serve_config = ServeConfig::default();
+    if let Some(n) = workers {
+        serve_config.workers = n;
+    }
+    let server = Server::new(pipeline, policy, serve_config);
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        ExitCode::FAILURE
+    })?;
+    let bound = listener.local_addr().map_err(|e| {
+        eprintln!("cannot resolve bound address: {e}");
+        ExitCode::FAILURE
+    })?;
+    // scripts (CI smoke, load tests) wait for this line before curling
+    println!("semitri-server listening on http://{bound} (preset {preset}, seed {seed})");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let shutdown = AtomicBool::new(false);
+    server.run(listener, &shutdown).map_err(|e| {
+        eprintln!("server error: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `semitri-cli annotate`: the offline twin of `POST /annotate`. Reads a
+/// JSON-lines feed from stdin and writes exactly the server's response
+/// body to stdout — nothing else touches stdout, byte identity depends
+/// on it.
+fn annotate(preset: &str, seed: u64) -> Result<(), ExitCode> {
+    let (city, config, _) = preset_pipeline(preset, seed)?;
+    let pipeline = SeMiTri::new(&city, config);
+    let mut body = String::new();
+    std::io::Read::read_to_string(&mut std::io::stdin(), &mut body).map_err(|e| {
+        eprintln!("cannot read stdin: {e}");
+        ExitCode::FAILURE
+    })?;
+    let feed = wire::parse_feed(&body).map_err(|e| {
+        eprintln!("bad feed: {e}");
+        ExitCode::from(2)
+    })?;
+    let out = pipeline.try_annotate_feed(&feed).map_err(|e| {
+        eprintln!("annotation failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    print!("{}", wire::encode_output(&out));
+    Ok(())
 }
 
 /// Flags of the `generate` subcommand that tune how the fleet is
@@ -284,6 +383,39 @@ fn run() -> Result<(), ExitCode> {
                     index_mode,
                 },
             )
+        }
+        Some("serve") => {
+            let Some(preset) = it.next() else {
+                return Err(usage());
+            };
+            let mut workers = None;
+            let mut positional = Vec::new();
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                if arg == "--workers" {
+                    let Some(n) = rest.next().and_then(|s| s.parse::<usize>().ok()) else {
+                        eprintln!("--workers needs a positive integer");
+                        return Err(ExitCode::from(2));
+                    };
+                    if n == 0 {
+                        eprintln!("--workers needs a positive integer");
+                        return Err(ExitCode::from(2));
+                    }
+                    workers = Some(n);
+                } else {
+                    positional.push(arg);
+                }
+            }
+            let addr = positional.first().copied().unwrap_or("127.0.0.1:8355");
+            let seed = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+            serve(preset, addr, seed, workers)
+        }
+        Some("annotate") => {
+            let Some(preset) = it.next() else {
+                return Err(usage());
+            };
+            let seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+            annotate(preset, seed)
         }
         Some("info") => {
             let Some(path) = it.next() else {

@@ -43,7 +43,9 @@
 //!   latency histograms and the [`PipelineObserver`](obs::PipelineObserver)
 //!   stage-tracing hooks shared by every annotation path;
 //! * [`analytics`] — the Semantic Trajectory Analytics Layer;
-//! * [`store`] — the embedded Semantic Trajectory Store and KML export.
+//! * [`store`] — the embedded Semantic Trajectory Store and KML export;
+//! * [`server`] — the sharded HTTP/1.1 + JSON-lines annotation server
+//!   (`semitri-cli serve`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +57,7 @@ pub use semitri_episodes as episodes;
 pub use semitri_geo as geo;
 pub use semitri_index as index;
 pub use semitri_obs as obs;
+pub use semitri_server as server;
 pub use semitri_store as store;
 
 /// One-stop imports for typical use of the framework.

@@ -1,0 +1,388 @@
+//! # semitri-server — the sharded annotation server
+//!
+//! ROADMAP item 1: "millions of users means a resident process". This
+//! crate turns the batch/CLI-only SeMiTri pipeline into a long-running
+//! HTTP/1.1 + JSON-lines service over `std::net::TcpListener` — hand
+//! rolled because crates.io (and therefore tokio) is unreachable from
+//! the build environment. The design follows the read-mostly shape of
+//! transit backends like Catenary's birch server: one immutable
+//! [`SeMiTri`] pipeline (frozen spatial indexes, `&`-shareable) behind a
+//! pool of blocking worker threads, with the only mutable state — the
+//! per-user streaming sessions — sharded by user-id hash behind
+//! per-shard locks.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Body | Meaning |
+//! |---|---|---|
+//! | `POST /annotate` | JSON-lines feed | full-trajectory annotation through [`SeMiTri::try_annotate_feed`] |
+//! | `POST /session/{user}/push` | JSON-lines fixes | incremental annotation in `{user}`'s streaming session |
+//! | `POST /session/{user}/flush` | empty | close the session: final events + cleaning report |
+//! | `GET /metrics` | — | `semitri-obs` registry snapshot as JSON lines |
+//! | `GET /healthz` | — | liveness probe |
+//!
+//! ## Fault containment
+//!
+//! Every request body is parsed under hard limits (see [`http`]); a
+//! panic while handling a request is caught at the request boundary,
+//! answered with a 500 and counted in `server.responses_5xx` — a
+//! poisoned trajectory must not take the worker (or any other user's
+//! session) down with it. Backpressure is a bounded per-session queue:
+//! pushes beyond [`SessionLimits::max_session_records`] get HTTP 429
+//! until the session flushes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod sessions;
+pub mod wire;
+
+use http::{HttpError, NextRequest, Request};
+use semitri_core::streaming::StreamingAnnotator;
+use semitri_core::SeMiTri;
+use semitri_episodes::VelocityPolicy;
+use semitri_obs::{MetricsRegistry, ServerMetrics};
+use sessions::{SessionLimits, SessionTable};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads (each runs its own accept loop on a cloned
+    /// listener handle; the kernel load-balances `accept`).
+    pub workers: usize,
+    /// Session sharding and backpressure bounds.
+    pub sessions: SessionLimits,
+    /// Hard cap on request bodies, bytes.
+    pub max_body_bytes: usize,
+    /// Socket read timeout — bounds how long a slow or dead peer can pin
+    /// a worker between bytes.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            sessions: SessionLimits::default(),
+            max_body_bytes: 16 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One response, before serialization.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    fn error(status: u16, msg: &str) -> Self {
+        let mut body = String::from("{\"type\":\"error\",\"status\":");
+        body.push_str(&status.to_string());
+        body.push_str(",\"message\":");
+        // reuse the wire escaper so error bodies are valid JSON too
+        body.push_str(&wire_escape(msg));
+        body.push_str("}\n");
+        Self::json(status, body)
+    }
+}
+
+fn wire_escape(s: &str) -> String {
+    let mut out = String::new();
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The annotation server: a shared pipeline plus request handling state.
+pub struct Server<'c> {
+    pipeline: SeMiTri<'c>,
+    policy: VelocityPolicy,
+    registry: Arc<MetricsRegistry>,
+    metrics: ServerMetrics,
+    config: ServeConfig,
+}
+
+impl<'c> Server<'c> {
+    /// Builds a server around a pipeline. The pipeline gets a
+    /// [`semitri_obs::MetricsObserver`] installed into the server's
+    /// registry, so `/metrics` exposes the per-layer `stage.*` schema
+    /// next to the `server.*` schema.
+    pub fn new(mut pipeline: SeMiTri<'c>, policy: VelocityPolicy, config: ServeConfig) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        pipeline.set_observer(Some(Arc::new(semitri_obs::MetricsObserver::new(
+            registry.clone(),
+        ))));
+        let metrics = ServerMetrics::new(&registry);
+        Self {
+            pipeline,
+            policy,
+            registry,
+            metrics,
+            config,
+        }
+    }
+
+    /// The metrics registry `/metrics` snapshots.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves `listener` until `shutdown` turns true, blocking the
+    /// calling thread. Workers block in `accept`, so after setting the
+    /// flag call [`wake_workers`] (or connect once per worker) to
+    /// unblock them.
+    pub fn run(&self, listener: TcpListener, shutdown: &AtomicBool) -> std::io::Result<()> {
+        let sessions = SessionTable::new(self.config.sessions);
+        let workers = self.config.workers.max(1);
+        let result = crossbeam::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..workers {
+                let listener = listener.try_clone()?;
+                let sessions = &sessions;
+                scope.spawn(move |_| {
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if shutdown.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                self.metrics.connections.inc();
+                                self.handle_connection(stream, sessions);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            Ok(())
+        })
+        .expect("server worker panicked outside the request boundary");
+        result
+    }
+
+    /// Serves one connection: a keep-alive loop of request → response.
+    fn handle_connection<'s>(&'s self, stream: TcpStream, sessions: &SessionTable<'s>) {
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.read_timeout));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        loop {
+            let request = match http::read_request(&mut reader, self.config.max_body_bytes) {
+                Ok(NextRequest::Closed) => return,
+                Ok(NextRequest::Request(r)) => r,
+                Err(HttpError::Disconnected) => return,
+                Err(HttpError::BadRequest(msg)) => {
+                    // un-parseable connection state: answer and close
+                    self.metrics.requests.inc();
+                    self.metrics.count_response(400);
+                    let resp = Response::error(400, msg);
+                    let _ = http::write_response(
+                        &mut writer,
+                        resp.status,
+                        resp.content_type,
+                        &resp.body,
+                        false,
+                    );
+                    return;
+                }
+                Err(HttpError::PayloadTooLarge) => {
+                    self.metrics.requests.inc();
+                    self.metrics.count_response(413);
+                    let resp = Response::error(413, "request body exceeds the configured cap");
+                    let _ = http::write_response(
+                        &mut writer,
+                        resp.status,
+                        resp.content_type,
+                        &resp.body,
+                        false,
+                    );
+                    return;
+                }
+            };
+            self.metrics.requests.inc();
+            let t0 = Instant::now();
+            // the request boundary is the fault domain: a panic in the
+            // pipeline answers 500 and closes this connection, the worker
+            // and every other session live on
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| self.handle_request(&request, sessions)));
+            let (response, keep_alive) = match outcome {
+                Ok(r) => (r, request.keep_alive),
+                Err(_) => (
+                    Response::error(500, "internal error while annotating this request"),
+                    false,
+                ),
+            };
+            self.metrics.request_secs.record(t0.elapsed().as_secs_f64());
+            self.metrics.count_response(response.status);
+            if http::write_response(
+                &mut writer,
+                response.status,
+                response.content_type,
+                &response.body,
+                keep_alive,
+            )
+            .is_err()
+                || !keep_alive
+            {
+                return;
+            }
+        }
+    }
+
+    /// Routes one parsed request.
+    fn handle_request<'s>(&'s self, req: &Request, sessions: &SessionTable<'s>) -> Response {
+        let segments: Vec<&str> = req.path.trim_start_matches('/').split('/').collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Response {
+                status: 200,
+                content_type: "text/plain",
+                body: b"ok\n".to_vec(),
+            },
+            ("GET", ["metrics"]) => Response::json(200, self.registry.snapshot().to_json_lines()),
+            ("POST", ["annotate"]) => self.annotate(&req.body),
+            (method, ["session", user, action @ ("push" | "flush")]) if !user.is_empty() => {
+                if method != "POST" {
+                    return Response::error(405, "session endpoints are POST-only");
+                }
+                match *action {
+                    "push" => self.session_push(user, &req.body, sessions),
+                    _ => self.session_flush(user, sessions),
+                }
+            }
+            (_, ["healthz" | "metrics" | "annotate"]) => {
+                Response::error(405, "method not allowed on this resource")
+            }
+            _ => Response::error(404, "no such resource"),
+        }
+    }
+
+    /// `POST /annotate`: one-shot full-trajectory annotation.
+    fn annotate(&self, body: &[u8]) -> Response {
+        let t0 = Instant::now();
+        let Ok(text) = std::str::from_utf8(body) else {
+            return Response::error(422, "body is not UTF-8");
+        };
+        let feed = match wire::parse_feed(text) {
+            Ok(f) => f,
+            Err(e) => return Response::error(422, &e.to_string()),
+        };
+        let out = match self.pipeline.try_annotate_feed(&feed) {
+            Ok(o) => o,
+            Err(e) => return Response::error(422, &e.to_string()),
+        };
+        let body = wire::encode_output(&out);
+        self.metrics
+            .annotate_secs
+            .record(t0.elapsed().as_secs_f64());
+        Response::json(200, body)
+    }
+
+    /// `POST /session/{user}/push`.
+    fn session_push<'s>(
+        &'s self,
+        user: &str,
+        body: &[u8],
+        sessions: &SessionTable<'s>,
+    ) -> Response {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return Response::error(422, "body is not UTF-8");
+        };
+        let records = match wire::parse_records(text) {
+            Ok(r) => r,
+            Err(e) => return Response::error(422, &e.to_string()),
+        };
+        let pipeline = &self.pipeline;
+        let policy = self.policy;
+        match sessions.push(user, &records, || {
+            StreamingAnnotator::over(pipeline, policy)
+        }) {
+            Ok(result) => {
+                if result.created {
+                    self.metrics.sessions.add(1);
+                    self.metrics.sessions_opened.inc();
+                }
+                if !result.evicted.is_empty() {
+                    self.metrics.sessions.add(-(result.evicted.len() as i64));
+                    self.metrics
+                        .sessions_evicted
+                        .add(result.evicted.len() as u64);
+                }
+                Response::json(200, wire::encode_events(&result.events))
+            }
+            Err(_rejected) => {
+                self.metrics.backpressure_rejections.inc();
+                Response::error(
+                    429,
+                    "session queue bound exceeded; flush the session or push less per request",
+                )
+            }
+        }
+    }
+
+    /// `POST /session/{user}/flush`.
+    fn session_flush<'s>(&'s self, user: &str, sessions: &SessionTable<'s>) -> Response {
+        match sessions.flush(user) {
+            Some(result) => {
+                self.metrics.sessions.add(-1);
+                self.metrics.sessions_flushed.inc();
+                Response::json(
+                    200,
+                    wire::encode_flush(&result.events, &result.cleaning, result.records),
+                )
+            }
+            None => Response::error(
+                404,
+                "no such session (never pushed, already flushed, or evicted)",
+            ),
+        }
+    }
+}
+
+/// Unblocks up to `workers` threads parked in `accept` after a shutdown
+/// flag flip, by opening (and immediately dropping) that many
+/// connections. Connection errors are ignored — a worker that already
+/// exited needs no wake.
+pub fn wake_workers(addr: SocketAddr, workers: usize) {
+    for _ in 0..workers {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    }
+}

@@ -1,0 +1,301 @@
+//! Sharded per-user streaming sessions with LRU eviction and bounded
+//! queues.
+//!
+//! Sessions are partitioned across shards by a hash of the user id, so
+//! concurrent pushes for different users contend only within a shard
+//! while the spatial indexes stay shared (one `SeMiTri` serves every
+//! session by reference). Each shard is a plain mutex-guarded map: the
+//! work done under the lock is the incremental annotation of one push,
+//! which is exactly the work that must be serialized per user anyway.
+
+use semitri_core::streaming::{StreamEvent, StreamingAnnotator};
+use semitri_data::GpsRecord;
+use semitri_obs::CleaningReport;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Capacity and backpressure bounds for the session table.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLimits {
+    /// Shard count (sessions hash-partition across these).
+    pub shards: usize,
+    /// Maximum live sessions across all shards; beyond it the
+    /// least-recently-used session *in the new session's shard* is
+    /// evicted.
+    pub max_sessions: usize,
+    /// Maximum fixes accepted in a single push request.
+    pub max_push_records: usize,
+    /// Maximum fixes a session may accumulate before it must flush
+    /// (bounds the per-session record buffer — the server's backpressure
+    /// signal, surfaced as HTTP 429).
+    pub max_session_records: usize,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            max_sessions: 4_096,
+            max_push_records: 20_000,
+            max_session_records: 200_000,
+        }
+    }
+}
+
+struct Session<'c> {
+    annotator: StreamingAnnotator<'c>,
+    /// Monotonic touch tick for LRU ordering.
+    last_used: u64,
+    /// Fixes pushed into this session so far (accepted or not — this
+    /// bounds buffered work, so it counts what arrived).
+    pushed: usize,
+}
+
+struct Shard<'c> {
+    sessions: HashMap<String, Session<'c>>,
+}
+
+/// Why a push was refused (the server answers HTTP 429 for both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRejected {
+    /// A single push exceeded [`SessionLimits::max_push_records`].
+    PushTooLarge,
+    /// Accepting the push would exceed
+    /// [`SessionLimits::max_session_records`]; the session must flush.
+    SessionFull,
+}
+
+/// What a push did.
+pub struct PushResult {
+    /// Events emitted by the annotator for these fixes.
+    pub events: Vec<StreamEvent>,
+    /// Whether this push created the session.
+    pub created: bool,
+    /// User ids of sessions evicted to make room (LRU within the shard).
+    pub evicted: Vec<String>,
+}
+
+/// What a flush returned.
+pub struct FlushResult {
+    /// Final events (the open episode closing, usually).
+    pub events: Vec<StreamEvent>,
+    /// The session's cumulative cleaning report.
+    pub cleaning: CleaningReport,
+    /// Accepted records over the session's lifetime.
+    pub records: usize,
+}
+
+/// The sharded session table.
+pub struct SessionTable<'c> {
+    shards: Vec<Mutex<Shard<'c>>>,
+    limits: SessionLimits,
+    /// Sessions a shard may hold before evicting (global cap spread
+    /// evenly; at least 1).
+    per_shard_cap: usize,
+    tick: AtomicU64,
+}
+
+impl<'c> SessionTable<'c> {
+    /// An empty table with the given bounds.
+    pub fn new(limits: SessionLimits) -> Self {
+        let shards = limits.shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        sessions: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard_cap: (limits.max_sessions / shards).max(1),
+            limits,
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured bounds.
+    pub fn limits(&self) -> &SessionLimits {
+        &self.limits
+    }
+
+    /// Shard index for a user id (stable across calls).
+    pub fn shard_of(&self, user: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        user.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Live session count (sums shard sizes; momentarily stale under
+    /// concurrent churn, exact when quiesced).
+    pub fn live(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).sessions.len())
+            .sum()
+    }
+
+    /// Pushes `records` into `user`'s session, creating it with `make`
+    /// if absent. Returns [`PushRejected`] when a queue bound is exceeded
+    /// — the fixes are *not* ingested and the session is untouched
+    /// (including not created).
+    pub fn push(
+        &self,
+        user: &str,
+        records: &[GpsRecord],
+        make: impl FnOnce() -> StreamingAnnotator<'c>,
+    ) -> Result<PushResult, PushRejected> {
+        if records.len() > self.limits.max_push_records {
+            return Err(PushRejected::PushTooLarge);
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[self.shard_of(user)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(session) = shard.sessions.get(user) {
+            if session.pushed + records.len() > self.limits.max_session_records {
+                return Err(PushRejected::SessionFull);
+            }
+        } else if records.len() > self.limits.max_session_records {
+            return Err(PushRejected::SessionFull);
+        }
+        let created = !shard.sessions.contains_key(user);
+        let session = shard
+            .sessions
+            .entry(user.to_string())
+            .or_insert_with(|| Session {
+                annotator: make(),
+                last_used: tick,
+                pushed: 0,
+            });
+        session.last_used = tick;
+        session.pushed += records.len();
+        let mut events = Vec::new();
+        for &r in records {
+            events.extend(session.annotator.push(r));
+        }
+        let mut evicted = Vec::new();
+        while shard.sessions.len() > self.per_shard_cap {
+            // evict the least-recently-used session that is not the one
+            // just touched; O(shard size), and shards are small by cap
+            let victim = shard
+                .sessions
+                .iter()
+                .filter(|(k, _)| k.as_str() != user)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    shard.sessions.remove(&k);
+                    evicted.push(k);
+                }
+                None => break,
+            }
+        }
+        Ok(PushResult {
+            events,
+            created,
+            evicted,
+        })
+    }
+
+    /// Flushes and removes `user`'s session. `None` if it does not exist
+    /// (never created, already flushed, or evicted). The streaming
+    /// annotator's flush is terminal, so removal *is* the natural
+    /// lifecycle: a later push for the same user starts a fresh session.
+    pub fn flush(&self, user: &str) -> Option<FlushResult> {
+        let mut shard = self.shards[self.shard_of(user)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut session = shard.sessions.remove(user)?;
+        drop(shard); // annotate the final episode outside the shard lock
+        let events = session.annotator.flush();
+        Some(FlushResult {
+            events,
+            cleaning: *session.annotator.cleaning_report(),
+            records: session.annotator.record_count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_core::{PipelineConfig, SeMiTri};
+    use semitri_data::{City, CityConfig};
+    use semitri_episodes::VelocityPolicy;
+    use semitri_geo::{Point, Rect, Timestamp};
+
+    fn small_city() -> City {
+        City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, 2_000.0, 2_000.0),
+            poi_count: 50,
+            region_count: 2,
+            seed: 5,
+            ..CityConfig::default()
+        })
+    }
+
+    fn fix(i: usize) -> GpsRecord {
+        GpsRecord::new(
+            Point::new(100.0 + i as f64, 100.0),
+            Timestamp(i as f64 * 8.0),
+        )
+    }
+
+    #[test]
+    fn lru_eviction_is_per_shard_and_bounded() {
+        let city = small_city();
+        let pipeline = SeMiTri::new(&city, PipelineConfig::default());
+        let table = SessionTable::new(SessionLimits {
+            shards: 2,
+            max_sessions: 4,
+            ..SessionLimits::default()
+        });
+        let mut live = 0usize;
+        let mut evicted_total = 0usize;
+        for u in 0..20 {
+            let user = format!("user-{u}");
+            let r = table
+                .push(&user, &[fix(0), fix(1)], || {
+                    StreamingAnnotator::over(&pipeline, VelocityPolicy::default())
+                })
+                .unwrap();
+            assert!(r.created);
+            live += 1;
+            live -= r.evicted.len();
+            evicted_total += r.evicted.len();
+        }
+        assert_eq!(table.live(), live);
+        assert!(table.live() <= 4);
+        assert_eq!(live + evicted_total, 20);
+    }
+
+    #[test]
+    fn push_bounds_reject_without_side_effects() {
+        let city = small_city();
+        let pipeline = SeMiTri::new(&city, PipelineConfig::default());
+        let table = SessionTable::new(SessionLimits {
+            shards: 1,
+            max_sessions: 8,
+            max_push_records: 4,
+            max_session_records: 6,
+        });
+        let mk = || StreamingAnnotator::over(&pipeline, VelocityPolicy::default());
+        // oversized single push: rejected, session not created
+        let big: Vec<GpsRecord> = (0..5).map(fix).collect();
+        assert!(table.push("a", &big, mk).is_err());
+        assert_eq!(table.live(), 0);
+        // cumulative bound: 4 then 3 would exceed 6
+        assert!(table.push("a", &big[..4], mk).is_ok());
+        assert!(table.push("a", &big[..3], mk).is_err());
+        assert_eq!(table.live(), 1);
+        // a flush drains it, and a fresh session is allowed again
+        assert!(table.flush("a").is_some());
+        assert!(table.flush("a").is_none());
+        assert_eq!(table.live(), 0);
+        assert!(table.push("a", &big[..3], mk).is_ok());
+    }
+}

@@ -1,0 +1,402 @@
+//! The JSON-lines wire format.
+//!
+//! Hand-rolled for the same reason the store's binary codec is (see
+//! `semitri-store`): the schema is small and fixed, crates.io is out of
+//! reach, and keeping the format inspectable beats pulling a JSON stack.
+//! One JSON object per line, flat scalar fields only on input.
+//!
+//! **Request body** (`POST /annotate`, `POST /session/{user}/push`):
+//!
+//! ```text
+//! {"object_id":7,"trajectory_id":1}      <- optional header, first line
+//! {"x":1200.0,"y":1400.0,"t":28800.0}    <- one line per GPS fix
+//! ```
+//!
+//! Coordinates are meters in the city's local projection, `t` is unix
+//! seconds — the same convention as the CSV reader in `semitri-data`.
+//!
+//! **Response body**: one `{"type":...}` object per line; `summary` +
+//! `tuple` lines for a full annotation, `move`/`stop` event lines for
+//! streaming pushes, `cleaning` + `end` for a flush. Everything the
+//! server emits goes through [`encode_output`] / [`encode_events`] /
+//! [`encode_flush`], and the CLI `annotate` subcommand prints through
+//! the same functions — byte-identical output is a design invariant the
+//! integration suite asserts, not an accident.
+
+use semitri_core::streaming::StreamEvent;
+use semitri_core::PipelineOutput;
+use semitri_data::{GpsFeed, GpsRecord};
+use semitri_geo::{Point, Timestamp};
+use semitri_obs::CleaningReport;
+use std::fmt;
+
+/// A malformed request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(line: usize, msg: impl Into<String>) -> WireError {
+    WireError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Splits one flat JSON object into `(key, raw value token)` pairs.
+/// Accepts exactly the subset the wire format uses: string keys without
+/// escapes, scalar values (numbers, `true`/`false`/`null`, escape-free
+/// strings). Anything nested is a syntax error.
+fn parse_flat_object(line: &str) -> Result<Vec<(&str, &str)>, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or("expected a {...} object")?;
+    let mut pairs = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // key
+        rest = rest.strip_prefix('"').ok_or("expected a quoted key")?;
+        let kq = rest.find('"').ok_or("unterminated key")?;
+        let key = &rest[..kq];
+        rest = rest[kq + 1..].trim_start();
+        rest = rest.strip_prefix(':').ok_or("expected ':' after key")?;
+        rest = rest.trim_start();
+        // value token: a quoted string or a bare scalar up to ',' / end
+        let value;
+        if let Some(vr) = rest.strip_prefix('"') {
+            let vq = vr.find('"').ok_or("unterminated string value")?;
+            value = &vr[..vq];
+            rest = vr[vq + 1..].trim_start();
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            value = rest[..end].trim();
+            if value.is_empty() {
+                return Err("empty value".to_string());
+            }
+            if value.contains(['{', '[', '"']) {
+                return Err("nested values are not part of the wire format".to_string());
+            }
+            rest = &rest[end..];
+        }
+        pairs.push((key, value));
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            if rest.is_empty() {
+                return Err("trailing comma".to_string());
+            }
+        } else if !rest.is_empty() {
+            return Err("expected ',' between fields".to_string());
+        }
+    }
+    Ok(pairs)
+}
+
+fn field_f64(pairs: &[(&str, &str)], key: &str) -> Option<Result<f64, String>> {
+    pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| {
+        v.parse::<f64>()
+            .map_err(|_| format!("field '{key}' is not a number: {v:?}"))
+    })
+}
+
+fn field_u64(pairs: &[(&str, &str)], key: &str) -> Option<Result<u64, String>> {
+    pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| {
+        v.parse::<u64>()
+            .map_err(|_| format!("field '{key}' is not an unsigned integer: {v:?}"))
+    })
+}
+
+fn parse_fix(pairs: &[(&str, &str)], line_no: usize) -> Result<GpsRecord, WireError> {
+    let get = |key: &str| -> Result<f64, WireError> {
+        field_f64(pairs, key)
+            .ok_or_else(|| err(line_no, format!("fix is missing field '{key}'")))?
+            .map_err(|m| err(line_no, m))
+    };
+    let x = get("x")?;
+    let y = get("y")?;
+    let t = get("t")?;
+    Ok(GpsRecord::new(Point::new(x, y), Timestamp(t)))
+}
+
+/// Parses a feed body: an optional `object_id`/`trajectory_id` header
+/// line followed by one fix per line. Blank lines are ignored.
+pub fn parse_feed(body: &str) -> Result<GpsFeed, WireError> {
+    let mut object_id = 0u64;
+    let mut trajectory_id = 0u64;
+    let mut records = Vec::new();
+    let mut saw_any = false;
+    for (i, raw) in body.lines().enumerate() {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_flat_object(raw).map_err(|m| err(line_no, m))?;
+        let is_header = pairs
+            .iter()
+            .any(|(k, _)| *k == "object_id" || *k == "trajectory_id");
+        if is_header {
+            if saw_any {
+                return Err(err(line_no, "header must be the first line"));
+            }
+            if let Some(v) = field_u64(&pairs, "object_id") {
+                object_id = v.map_err(|m| err(line_no, m))?;
+            }
+            if let Some(v) = field_u64(&pairs, "trajectory_id") {
+                trajectory_id = v.map_err(|m| err(line_no, m))?;
+            }
+            saw_any = true;
+            continue;
+        }
+        records.push(parse_fix(&pairs, line_no)?);
+        saw_any = true;
+    }
+    if !saw_any {
+        return Err(err(1, "empty body"));
+    }
+    Ok(GpsFeed::new(object_id, trajectory_id, records))
+}
+
+/// Parses a push body: fixes only (a header line, if present, is
+/// validated and ignored — the session identity lives in the URL).
+pub fn parse_records(body: &str) -> Result<Vec<GpsRecord>, WireError> {
+    Ok(parse_feed(body)?.records)
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON-safe float rendering (JSON has no Infinity/NaN literals; the
+/// pipeline never emits them, but the encoder must not either).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_cleaning(out: &mut String, c: &CleaningReport) {
+    out.push_str(&format!(
+        "\"input\":{},\"kept\":{},\"dropped\":{},\"reordered\":{},\"deduped\":{}",
+        c.input,
+        c.kept,
+        c.dropped(),
+        c.reordered,
+        c.deduped
+    ));
+}
+
+/// Renders a full pipeline output (`POST /annotate` and the CLI
+/// `annotate` subcommand) as JSON lines: one `summary` line, then one
+/// `tuple` line per SST tuple.
+pub fn encode_output(out: &PipelineOutput) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\"type\":\"summary\",\"object_id\":{},\"trajectory_id\":{},",
+        out.sst.object_id, out.sst.trajectory_id
+    ));
+    push_cleaning(&mut s, &out.cleaning);
+    s.push_str(&format!(
+        ",\"episodes\":{},\"tuples\":{}}}\n",
+        out.episodes.len(),
+        out.sst.len()
+    ));
+    for tuple in &out.sst.tuples {
+        s.push_str("{\"type\":\"tuple\",\"place\":");
+        match &tuple.place {
+            Some(p) => {
+                push_json_str(&mut s, &p.label);
+                s.push_str(&format!(",\"place_kind\":\"{}\"", p.kind.label()));
+                s.push_str(&format!(",\"place_id\":{}", p.id));
+            }
+            None => s.push_str("null,\"place_kind\":null,\"place_id\":null"),
+        }
+        s.push_str(&format!(
+            ",\"t_in\":{},\"t_out\":{},\"annotations\":[",
+            json_f64(tuple.span.start.0),
+            json_f64(tuple.span.end.0)
+        ));
+        for (i, a) in tuple.annotations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"key\":");
+            push_json_str(&mut s, &a.key);
+            s.push_str(",\"value\":");
+            match &a.value {
+                semitri_core::AnnotationValue::Mode(m) => push_json_str(&mut s, m.label()),
+                semitri_core::AnnotationValue::Activity(c) => push_json_str(&mut s, c.label()),
+                semitri_core::AnnotationValue::Text(t) => push_json_str(&mut s, t),
+                semitri_core::AnnotationValue::Number(n) => s.push_str(&json_f64(*n)),
+            }
+            s.push('}');
+        }
+        s.push_str("]}\n");
+    }
+    s
+}
+
+/// Renders streaming events (`POST /session/{user}/push` responses).
+pub fn encode_events(events: &[StreamEvent]) -> String {
+    let mut s = String::new();
+    for e in events {
+        match e {
+            StreamEvent::Move { episode, route } => {
+                s.push_str(&format!(
+                    "{{\"type\":\"move\",\"start\":{},\"end\":{},\"t_in\":{},\"t_out\":{},\"entries\":{}}}\n",
+                    episode.start,
+                    episode.end,
+                    json_f64(episode.span.start.0),
+                    json_f64(episode.span.end.0),
+                    route.len()
+                ));
+            }
+            StreamEvent::Stop {
+                episode,
+                annotation,
+                region,
+            } => {
+                s.push_str(&format!(
+                    "{{\"type\":\"stop\",\"start\":{},\"end\":{},\"t_in\":{},\"t_out\":{},\"category\":",
+                    episode.start,
+                    episode.end,
+                    json_f64(episode.span.start.0),
+                    json_f64(episode.span.end.0)
+                ));
+                push_json_str(&mut s, annotation.category.label());
+                s.push_str(",\"region\":");
+                match region {
+                    Some(r) => push_json_str(&mut s, &r.label),
+                    None => s.push_str("null"),
+                }
+                s.push_str("}\n");
+            }
+        }
+    }
+    s
+}
+
+/// Renders a flush response: the final events, the session's cumulative
+/// cleaning report, and a terminal `end` line.
+pub fn encode_flush(events: &[StreamEvent], cleaning: &CleaningReport, records: usize) -> String {
+    let mut s = encode_events(events);
+    s.push_str("{\"type\":\"cleaning\",");
+    push_cleaning(&mut s, cleaning);
+    s.push_str("}\n");
+    s.push_str(&format!("{{\"type\":\"end\",\"records\":{records}}}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_roundtrip_with_header() {
+        let body = "{\"object_id\":7,\"trajectory_id\":3}\n\
+                    {\"x\":1.5,\"y\":-2.25,\"t\":100}\n\
+                    \n\
+                    {\"x\":2.5, \"y\":0, \"t\":108.5}\n";
+        let feed = parse_feed(body).unwrap();
+        assert_eq!(feed.object_id, 7);
+        assert_eq!(feed.trajectory_id, 3);
+        assert_eq!(feed.records.len(), 2);
+        assert_eq!(feed.records[0].point, Point::new(1.5, -2.25));
+        assert_eq!(feed.records[1].t.0, 108.5);
+    }
+
+    #[test]
+    fn feed_without_header_defaults_ids() {
+        let feed = parse_feed("{\"x\":0,\"y\":0,\"t\":1}\n").unwrap();
+        assert_eq!(feed.object_id, 0);
+        assert_eq!(feed.trajectory_id, 0);
+        assert_eq!(feed.records.len(), 1);
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_with_line_numbers() {
+        for (body, want_line) in [
+            ("", 1),
+            ("not json", 1),
+            ("{\"x\":0,\"y\":0,\"t\":1}\n{\"x\":}", 2),
+            ("{\"x\":0,\"y\":0}\n", 1),                // missing t
+            ("{\"x\":0,\"y\":0,\"t\":\"noon\"}\n", 1), // t not a number
+            ("{\"x\":0,\"y\":0,\"t\":1}\n{\"object_id\":1}", 2), // late header
+            ("{\"object_id\":-1}", 1),                 // negative id
+            ("{\"x\":[1],\"y\":0,\"t\":1}", 1),        // nested value
+            ("{\"x\":0,\"y\":0,\"t\":1,}", 1),         // trailing comma
+        ] {
+            let e = parse_feed(body).unwrap_err();
+            assert_eq!(e.line, want_line, "{body:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn encoded_lines_are_json_objects() {
+        use semitri_core::point::StopAnnotation;
+        use semitri_core::streaming::StreamEvent;
+        use semitri_data::PoiCategory;
+        use semitri_episodes::{Episode, EpisodeKind};
+        use semitri_geo::{Rect, TimeSpan};
+        let episode = Episode {
+            kind: EpisodeKind::Stop,
+            start: 0,
+            end: 4,
+            span: TimeSpan::new(Timestamp(0.0), Timestamp(30.0)),
+            bbox: Rect::new(0.0, 0.0, 1.0, 1.0),
+            center: Point::new(0.5, 0.5),
+        };
+        let events = vec![StreamEvent::Stop {
+            episode,
+            annotation: StopAnnotation {
+                category: PoiCategory::Services,
+                poi: None,
+            },
+            region: None,
+        }];
+        let body = encode_flush(&events, &CleaningReport::default(), 4);
+        assert_eq!(body.lines().count(), 3);
+        for line in body.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(body.contains("\"type\":\"stop\""));
+        assert!(body.contains("\"type\":\"cleaning\""));
+        assert!(body.ends_with("{\"type\":\"end\",\"records\":4}\n"));
+    }
+}
