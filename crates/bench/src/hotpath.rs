@@ -266,6 +266,72 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
     results.push(dyn_range);
     results.push(frz_range);
 
+    // --- precomputed oracle: O(1) slab lookup vs the frozen tree walk ---
+    // The oracle is built over the very same frozen tree with the query
+    // radius of the range workload above, so both legs of the pair answer
+    // the identical candidate question on the identical probes — the ratio
+    // is purely slab-lookup vs tree-walk. The frozen leg re-runs here
+    // (interleaved with the oracle leg) rather than borrowing the earlier
+    // pair's timing, keeping the ratio immune to drift between blocks.
+    let seg_oracle = CellOracle::build(&frozen_seg_tree, 60.0, 60.0, DEFAULT_ORACLE_MARGIN_M);
+    let arena = OracleArena {
+        cells: seg_oracle.cell_count(),
+        slots: seg_oracle.slot_count(),
+        arena_bytes: seg_oracle.arena_bytes(),
+        bytes_per_cell: seg_oracle.bytes_per_cell(),
+    };
+    // sanity outside the timed region: both legs count the same hits
+    {
+        let (mut via_oracle, mut via_tree) = (0usize, 0usize);
+        for &p in &dense_probes {
+            let window = Rect::from_point(p).inflate(60.0);
+            let (rects, items) = seg_oracle.candidates(p).expect("probes are in bounds");
+            for (r, &id) in rects.iter().zip(items) {
+                if r.intersects(&window) {
+                    via_oracle += id as usize & 1;
+                }
+            }
+            frozen_seg_tree.for_each_in_with(&mut frozen_range_scratch, &window, |_, &id| {
+                via_tree += id as usize & 1
+            });
+        }
+        assert_eq!(via_oracle, via_tree, "oracle/tree candidate sets diverged");
+    }
+    let (oracle_cand, frz_range_ref) = bench_pair(
+        "oracle_candidates",
+        "frozen_rtree_range_ref",
+        "query",
+        samples,
+        || {
+            let mut hits = 0usize;
+            for &p in &dense_probes {
+                let window = Rect::from_point(p).inflate(60.0);
+                if let Some((rects, items)) = seg_oracle.candidates(p) {
+                    for (r, &id) in rects.iter().zip(items) {
+                        if r.intersects(&window) {
+                            hits += id as usize & 1;
+                        }
+                    }
+                }
+            }
+            black_box(hits);
+            dense_probes.len()
+        },
+        || {
+            let mut hits = 0usize;
+            for &p in &dense_probes {
+                let window = Rect::from_point(p).inflate(60.0);
+                frozen_seg_tree.for_each_in_with(&mut frozen_range_scratch, &window, |_, &id| {
+                    hits += id as usize & 1
+                });
+            }
+            black_box(hits);
+            dense_probes.len()
+        },
+    );
+    results.push(oracle_cand);
+    results.push(frz_range_ref);
+
     // kNN is benched in the point layer's shape — k nearest POI centers
     // under plain point distance (the per-stop retrieval of Algorithm 2) —
     // so the pair measures the index traversal and heap, not the segment
@@ -380,6 +446,7 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
         frozen_range_vs_dynamic: ns_of("rtree_range") / ns_of("frozen_rtree_range"),
         frozen_knn_vs_dynamic: ns_of("rtree_knn") / ns_of("frozen_rtree_knn"),
         frozen_pipeline_vs_dynamic: ns_of("pipeline_annotate_dynamic") / ns_of("pipeline_annotate"),
+        oracle_vs_frozen_range: ns_of("frozen_rtree_range_ref") / ns_of("oracle_candidates"),
     };
     let e2e_records_per_sec = 1e9 / ns_of("pipeline_annotate");
     // regression marker: no paired kernel may run >10% slower than its
@@ -416,13 +483,21 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
         "  frozen pipeline speedup vs dynamic indexes: {:.2}x",
         speedups.frozen_pipeline_vs_dynamic
     );
+    println!(
+        "  oracle candidate slab speedup vs frozen rtree_range: {:.2}x",
+        speedups.oracle_vs_frozen_range
+    );
+    println!(
+        "  oracle arena: {} cells, {} slots, {} bytes ({:.1} bytes/cell)",
+        arena.cells, arena.slots, arena.arena_bytes, arena.bytes_per_cell
+    );
     println!("  end-to-end pipeline: {e2e_records_per_sec:.0} records/s");
     if regression {
         println!("  REGRESSION: a tracked kernel is >10% slower than its paired reference");
     }
 
     if let Some(path) = &opts.json_path {
-        let json = render_json(&results, opts.quick, scale.0, &speedups, regression);
+        let json = render_json(&results, opts.quick, scale.0, &speedups, &arena, regression);
         match std::fs::write(path, json) {
             Ok(()) => println!("  wrote {path}"),
             Err(e) => {
@@ -444,6 +519,18 @@ struct Speedups {
     frozen_knn_vs_dynamic: f64,
     /// Frozen-index pipeline (the default) vs a dynamic-index pipeline.
     frozen_pipeline_vs_dynamic: f64,
+    /// Precomputed per-cell candidate slab vs the frozen tree walk it
+    /// replaces, measured interleaved on identical probes and windows.
+    oracle_vs_frozen_range: f64,
+}
+
+/// Memory cost of the precomputed oracle arena, reported alongside the
+/// throughput numbers so the space/time trade stays visible in CI.
+struct OracleArena {
+    cells: usize,
+    slots: usize,
+    arena_bytes: usize,
+    bytes_per_cell: f64,
 }
 
 impl Speedups {
@@ -455,6 +542,7 @@ impl Speedups {
             self.frozen_range_vs_dynamic,
             self.frozen_knn_vs_dynamic,
             self.frozen_pipeline_vs_dynamic,
+            self.oracle_vs_frozen_range,
         ]
         .iter()
         .any(|s| s.is_nan() || *s < 0.9)
@@ -467,6 +555,7 @@ fn render_json(
     quick: bool,
     scale: usize,
     speedups: &Speedups,
+    arena: &OracleArena,
     regression: bool,
 ) -> String {
     let mut out = String::from("{\n");
@@ -503,6 +592,20 @@ fn render_json(
         "  \"frozen_pipeline_speedup_vs_dynamic\": {:.2},\n",
         speedups.frozen_pipeline_vs_dynamic
     ));
+    out.push_str(&format!(
+        "  \"oracle_candidates_speedup_vs_frozen_range\": {:.2},\n",
+        speedups.oracle_vs_frozen_range
+    ));
+    out.push_str(&format!("  \"oracle_cells\": {},\n", arena.cells));
+    out.push_str(&format!("  \"oracle_slots\": {},\n", arena.slots));
+    out.push_str(&format!(
+        "  \"oracle_arena_bytes\": {},\n",
+        arena.arena_bytes
+    ));
+    out.push_str(&format!(
+        "  \"oracle_bytes_per_cell\": {:.1},\n",
+        arena.bytes_per_cell
+    ));
     out.push_str(&format!("  \"regression\": {regression}\n"));
     out.push_str("}\n");
     out
@@ -532,12 +635,24 @@ mod tests {
             frozen_range_vs_dynamic: 1.4,
             frozen_knn_vs_dynamic: 1.1,
             frozen_pipeline_vs_dynamic: 1.0,
+            oracle_vs_frozen_range: 3.2,
         };
-        let s = render_json(&rs, true, 1, &speedups, false);
+        let arena = OracleArena {
+            cells: 4489,
+            slots: 60000,
+            arena_bytes: 2_000_000,
+            bytes_per_cell: 445.5,
+        };
+        let s = render_json(&rs, true, 1, &speedups, &arena, false);
         assert!(s.contains("\"match_records_speedup_vs_naive\": 2.50"));
         assert!(s.contains("\"frozen_rtree_range_speedup_vs_dynamic\": 1.40"));
         assert!(s.contains("\"frozen_rtree_knn_speedup_vs_dynamic\": 1.10"));
         assert!(s.contains("\"frozen_pipeline_speedup_vs_dynamic\": 1.00"));
+        assert!(s.contains("\"oracle_candidates_speedup_vs_frozen_range\": 3.20"));
+        assert!(s.contains("\"oracle_cells\": 4489"));
+        assert!(s.contains("\"oracle_slots\": 60000"));
+        assert!(s.contains("\"oracle_arena_bytes\": 2000000"));
+        assert!(s.contains("\"oracle_bytes_per_cell\": 445.5"));
         assert!(s.contains("\"median_ns_per_unit\": 12.3"));
         assert!(s.ends_with("}\n"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
@@ -550,6 +665,7 @@ mod tests {
             frozen_range_vs_dynamic: 1.4,
             frozen_knn_vs_dynamic: 1.1,
             frozen_pipeline_vs_dynamic: 0.95,
+            oracle_vs_frozen_range: 3.0,
         };
         assert!(!ok.any_regressed());
         let slow_frozen = Speedups {
@@ -562,5 +678,10 @@ mod tests {
             ..ok
         };
         assert!(missing_kernel.any_regressed());
+        let slow_oracle = Speedups {
+            oracle_vs_frozen_range: 0.5,
+            ..ok
+        };
+        assert!(slow_oracle.any_regressed());
     }
 }

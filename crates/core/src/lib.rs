@@ -61,7 +61,7 @@ pub use pipeline::{LatencyProfile, PipelineConfig, PipelineOutput, SeMiTri};
 pub use point::PointAnnotator;
 pub use preprocess::Preprocessor;
 pub use region::{RegionAnnotator, RegionTuple};
-pub use semitri_index::IndexMode;
+pub use semitri_index::{IndexMode, OracleMode};
 pub use semitri_obs::{
     CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
     MetricsSnapshot, NullObserver, PipelineObserver, Stage,

@@ -21,7 +21,9 @@
 use semitri_data::road::SegmentId;
 use semitri_data::{GpsRecord, RoadNetwork};
 use semitri_geo::{Point, Rect};
-use semitri_index::{FrozenRStarTree, FrozenRangeScratch, IndexMode, RStarTree};
+use semitri_index::{
+    CellOracle, FrozenRStarTree, FrozenRangeScratch, IndexMode, OracleMode, RStarTree,
+};
 
 /// Parameters of the global map-matching algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +130,15 @@ pub struct MatchScratch {
     /// with their bounding boxes so a per-fix pass can pre-filter with the
     /// same cheap `bbox ∩ window` test the R\*-tree query would apply.
     cell_segs: Vec<(Rect, SegmentId)>,
+    /// Memo of the last oracle lookup: the nominal rectangle of the served
+    /// cell plus its CSR slab range in the owning matcher's oracle arena.
+    /// A fix inside the rectangle reuses the range without re-locating.
+    /// The range indexes a *specific* arena, so this is covered by the
+    /// same `cell_owner` fingerprint guard as the cell cache: any other
+    /// matcher's hint — a different arena, or one whose oracle was rebuilt
+    /// (a rebuild always mints a new matcher, hence a new fingerprint) —
+    /// is discarded, never replayed.
+    oracle_hint: Option<(Rect, u32, u32)>,
     /// Traversal stack for the frozen segment index (index-based, so the
     /// scratch stays lifetime-free and embeddable in long-lived state).
     tree_stack: FrozenRangeScratch,
@@ -160,9 +171,12 @@ impl MatchScratch {
 pub struct GlobalMapMatcher<'n> {
     net: &'n RoadNetwork,
     index: SegmentIndex,
+    /// Precomputed per-cell candidate slabs (the default). `None` when
+    /// [`OracleMode::Disabled`]: every cell-cache refill walks the tree.
+    oracle: Option<CellOracle<SegmentId>>,
     params: MatchParams,
     /// Process-unique id keying scratch caches to this matcher instance
-    /// (configuration + network + index backend), never 0.
+    /// (configuration + network + index backend + oracle arena), never 0.
     fingerprint: u64,
 }
 
@@ -203,8 +217,26 @@ impl<'n> GlobalMapMatcher<'n> {
         Self::with_index_mode(net, params, IndexMode::Frozen)
     }
 
-    /// [`GlobalMapMatcher::new`] with an explicit index backend.
+    /// [`GlobalMapMatcher::new`] with an explicit index backend (keeps the
+    /// default precomputed oracle).
     pub fn with_index_mode(net: &'n RoadNetwork, params: MatchParams, mode: IndexMode) -> Self {
+        Self::with_modes(net, params, mode, OracleMode::default())
+    }
+
+    /// [`GlobalMapMatcher::new`] with explicit index and oracle backends.
+    ///
+    /// With [`OracleMode::Precomputed`] the per-cell candidate slabs are
+    /// materialized once here (grid pitch = query radius = the candidate
+    /// radius); under [`IndexMode::Dynamic`] the oracle is built from a
+    /// frozen snapshot of the same tree, whose visit order is bit-identical
+    /// to the dynamic tree's, so the arena is byte-identical across
+    /// backends and the identity contract holds for both.
+    pub fn with_modes(
+        net: &'n RoadNetwork,
+        params: MatchParams,
+        mode: IndexMode,
+        oracle_mode: OracleMode,
+    ) -> Self {
         assert!(params.radius_m > 0.0, "radius must be positive");
         assert!(params.sigma_factor > 0.0, "sigma factor must be positive");
         assert!(
@@ -225,15 +257,48 @@ impl<'n> GlobalMapMatcher<'n> {
             .map(|s| (s.geometry.bbox(), s.id))
             .collect();
         let tree = RStarTree::bulk_load(items);
+        let r = params.candidate_radius_m;
+        // Cells a third of the candidate radius: the per-cell catchment —
+        // and with it the slab every fix filters — shrinks from (3r)² to
+        // (r/3 + 2r)² of bounding boxes, roughly halving the per-fix scan.
+        // The lazy cell cache could never afford cells this small (each
+        // cell change walked the tree); precomputed slabs make the refill
+        // free, trading arena memory for it. Candidate identity is
+        // independent of the cell size — the per-fix window/distance
+        // filter does the selecting; cells only bound the superset.
+        let build = |frozen: &FrozenRStarTree<SegmentId>| match oracle_mode {
+            OracleMode::Precomputed { margin_m } => {
+                Some(CellOracle::build(frozen, r / 3.0, r, margin_m))
+            }
+            OracleMode::Disabled => None,
+        };
+        let (index, oracle) = match mode {
+            IndexMode::Frozen => {
+                let frozen = Box::new(tree.freeze());
+                let oracle = build(&frozen);
+                (SegmentIndex::Frozen(frozen), oracle)
+            }
+            IndexMode::Dynamic => {
+                let oracle = if matches!(oracle_mode, OracleMode::Disabled) {
+                    None
+                } else {
+                    build(&tree.clone().freeze())
+                };
+                (SegmentIndex::Dynamic(tree), oracle)
+            }
+        };
         Self {
             net,
-            index: match mode {
-                IndexMode::Frozen => SegmentIndex::Frozen(Box::new(tree.freeze())),
-                IndexMode::Dynamic => SegmentIndex::Dynamic(tree),
-            },
+            index,
+            oracle,
             params,
             fingerprint: NEXT_FINGERPRINT.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// The precomputed oracle, when enabled (for memory reporting).
+    pub fn oracle(&self) -> Option<&CellOracle<SegmentId>> {
+        self.oracle.as_ref()
     }
 
     /// The parameters in effect.
@@ -244,17 +309,63 @@ impl<'n> GlobalMapMatcher<'n> {
     /// Appends the candidates of one fix (with raw Eq. 1 distances, before
     /// the Eq. 2 normalization) to the scratch arena.
     ///
-    /// Candidates come from the cell cache: the scratch remembers the grid
-    /// cell (side = candidate radius) of the previous fix together with the
-    /// superset of segments whose bounding boxes fall within candidate
-    /// reach of *any* point of that cell. Consecutive fixes in the same
-    /// cell — the overwhelmingly common case on a GPS track — skip the
-    /// R\*-tree entirely. A per-fix pass then applies the same
-    /// `bbox ∩ window(p)` test the tree query would, in the same traversal
-    /// order, so the expensive exact `d ≤ r` filter runs on precisely the
-    /// entry list a per-fix query would visit and results are identical.
+    /// With the precomputed oracle (the default), the candidate superset is
+    /// an O(1) CSR slab lookup: the fix's grid cell indexes a list gathered
+    /// at build time by one frozen range query over the cell's catchment
+    /// window, preserved in tree visit order. The per-fix pass applies the
+    /// same `bbox ∩ window(p)` prefilter and exact `d ≤ r` test a direct
+    /// tree query would, on a superset list in the same traversal order —
+    /// so the selected candidates and their order are bitwise identical to
+    /// the tree path's. Fixes beyond the oracle's precompute margin (and
+    /// non-finite fixes) fall back to the tree path below.
+    ///
+    /// Without the oracle, candidates come from the cell cache: the scratch
+    /// remembers the grid cell (side = candidate radius) of the previous
+    /// fix together with the superset of segments whose bounding boxes fall
+    /// within candidate reach of *any* point of that cell. Consecutive
+    /// fixes in the same cell — the overwhelmingly common case on a GPS
+    /// track — skip the R\*-tree entirely; the same prefilter argument
+    /// makes the results identical.
     fn push_candidates(&self, scratch: &mut MatchScratch, p: Point) {
         let r = self.params.candidate_radius_m;
+        if let Some(oracle) = &self.oracle {
+            // hint memo: a fix inside the last served cell's nominal
+            // rectangle is provably covered by that cell's catchment
+            // window (catchment ⊇ rect + query-radius pad), so the stored
+            // slab range applies without re-locating
+            let range = match scratch.oracle_hint {
+                Some((rect, s, e))
+                    if p.x >= rect.min_x
+                        && p.x < rect.max_x
+                        && p.y >= rect.min_y
+                        && p.y < rect.max_y =>
+                {
+                    Some((s, e))
+                }
+                _ => oracle.locate(p).map(|cell| {
+                    let (s, e) = oracle.range(cell);
+                    scratch.oracle_hint = Some((oracle.cell_rect(cell), s, e));
+                    (s, e)
+                }),
+            };
+            if let Some((s, e)) = range {
+                let (rects, items) = oracle.slab(s, e);
+                let window = Rect::from_point(p).inflate(r);
+                for (rect, &seg_id) in rects.iter().zip(items) {
+                    if !rect.intersects(&window) {
+                        continue;
+                    }
+                    let d = self.net.segment(seg_id).geometry.distance_to_point(p);
+                    if d <= r {
+                        scratch.cand_segs.push(seg_id);
+                        scratch.cand_scores.push(d);
+                    }
+                }
+                return;
+            }
+            // beyond the precompute margin: the tree path is the oracle's
+            // own fallback contract
+        }
         let key = ((p.x / r).floor() as i64, (p.y / r).floor() as i64);
         if scratch.cell != Some(key) {
             scratch.cell_segs.clear();
@@ -317,6 +428,9 @@ impl<'n> GlobalMapMatcher<'n> {
         if scratch.cell_owner != self.fingerprint {
             scratch.cell = None;
             scratch.cell_segs.clear();
+            // the oracle hint indexes the owner's arena — a foreign hint's
+            // slab range would be meaningless (or out of bounds) here
+            scratch.oracle_hint = None;
             scratch.cell_owner = self.fingerprint;
         }
         scratch.cand_segs.clear();
@@ -465,6 +579,30 @@ impl<'n> GlobalMapMatcher<'n> {
             }));
         }
         out
+    }
+
+    /// Candidate segments of one point with their raw Eq. 1 distances, as
+    /// selected by the production hot path (oracle slab when enabled and
+    /// in reach, cell cache otherwise). Exposed so tests can assert the
+    /// candidate *set and order* — not just the final matches — against
+    /// [`Self::candidates_at_via_tree`]. Allocates; not for the hot path.
+    pub fn candidates_at(&self, p: Point) -> Vec<(SegmentId, f64)> {
+        let mut scratch = MatchScratch::new();
+        scratch.cell_owner = self.fingerprint;
+        self.push_candidates(&mut scratch, p);
+        scratch
+            .cand_segs
+            .iter()
+            .copied()
+            .zip(scratch.cand_scores.iter().copied())
+            .collect()
+    }
+
+    /// Candidate segments of one point via a direct per-fix tree query —
+    /// the reference [`Self::candidates_at`] must reproduce bitwise, in
+    /// the same order.
+    pub fn candidates_at_via_tree(&self, p: Point) -> Vec<(SegmentId, f64)> {
+        self.candidates(p)
     }
 
     /// Candidate segments of one point with their Eq. 1 distances (used by
@@ -882,6 +1020,142 @@ mod tests {
                     "narrow config poisoned by wide cache (round {round}, track {ti})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_tree_at_and_beyond_the_bounds() {
+        // Regression (grid border clamping): fixes exactly on
+        // `bounds.max_x/max_y` floor into grid index nx/ny and rely on the
+        // clamp into the border cell; fixes beyond the bounds clamp too
+        // and must still see every candidate the tree sees, because the
+        // border catchments were inflated by the margin. Sweep probes on,
+        // inside and beyond every border and demand candidate-list
+        // identity (set AND order) plus full-match agreement with naive.
+        let net = parallel_net();
+        let m = GlobalMapMatcher::new(&net, MatchParams::default());
+        let b = {
+            let mut b = Rect::EMPTY;
+            for s in net.segments() {
+                b = b.union(&s.geometry.bbox());
+            }
+            b
+        };
+        let margin = semitri_index::DEFAULT_ORACLE_MARGIN_M;
+        let mut probes = vec![
+            Point::new(b.max_x, b.max_y),
+            Point::new(b.max_x, b.min_y),
+            Point::new(b.min_x, b.max_y),
+            Point::new(b.min_x, b.min_y),
+            Point::new(b.max_x + 50.0, 3.0),
+            Point::new(b.min_x - 50.0, 3.0),
+            Point::new(250.0, b.max_y + 50.0),
+            Point::new(250.0, b.min_y - 50.0),
+            Point::new(b.max_x + margin, b.max_y + margin),
+            // beyond the margin: served by the tree fallback
+            Point::new(b.max_x + margin + 10.0, 3.0),
+            Point::new(0.0, 5_000.0),
+        ];
+        for i in 0..40 {
+            probes.push(Point::new(
+                -60.0 + i as f64 * 16.0,
+                -210.0 + i as f64 * 12.0,
+            ));
+        }
+        for p in &probes {
+            assert_eq!(
+                m.candidates_at(*p),
+                m.candidates_at_via_tree(*p),
+                "candidate identity at {p:?}"
+            );
+        }
+        let recs: Vec<GpsRecord> = probes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| GpsRecord::new(p, Timestamp(i as f64)))
+            .collect();
+        assert_eq!(m.match_records(&recs), m.match_records_naive(&recs));
+    }
+
+    #[test]
+    fn one_scratch_alternating_oracle_arenas_stays_exact() {
+        // Regression (scratch/oracle epoch aliasing): the oracle hint in
+        // the scratch stores a slab range into one matcher's arena.
+        // Replaying it under a matcher with a different arena — different
+        // radius, disabled oracle, dynamic backend — would read the wrong
+        // (or no) slab. The fingerprint guard must invalidate it; demand
+        // exact agreement with each matcher's naive oracle every round.
+        let net = parallel_net();
+        let oracle_wide = GlobalMapMatcher::new(&net, MatchParams::default());
+        let oracle_narrow = GlobalMapMatcher::with_modes(
+            &net,
+            MatchParams {
+                radius_m: 12.0,
+                sigma_factor: 0.4,
+                candidate_radius_m: 25.0,
+                max_neighbors: 16,
+            },
+            IndexMode::Frozen,
+            OracleMode::Precomputed { margin_m: 40.0 },
+        );
+        let no_oracle = GlobalMapMatcher::with_modes(
+            &net,
+            MatchParams::default(),
+            IndexMode::Frozen,
+            OracleMode::Disabled,
+        );
+        let dynamic_oracle = GlobalMapMatcher::with_modes(
+            &net,
+            MatchParams::default(),
+            IndexMode::Dynamic,
+            OracleMode::default(),
+        );
+        let matchers = [&oracle_wide, &oracle_narrow, &no_oracle, &dynamic_oracle];
+        let mut scratch = MatchScratch::new();
+        let tracks = [
+            track_along(2.0, &[0.0; 25]),
+            track_along(38.0, &[1.5; 25]),
+            // wanders past the margin of the narrow oracle
+            track_along(5.0, &[-300.0; 25]),
+        ];
+        for round in 0..3 {
+            for (ti, t) in tracks.iter().enumerate() {
+                for (mi, m) in matchers.iter().enumerate() {
+                    assert_eq!(
+                        m.match_records_with(&mut scratch, t),
+                        m.match_records_naive(t),
+                        "matcher {mi} poisoned by a foreign oracle hint \
+                         (round {round}, track {ti})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_oracle_and_default_produce_identical_matches() {
+        let net = parallel_net();
+        let with = GlobalMapMatcher::new(&net, MatchParams::default());
+        let without = GlobalMapMatcher::with_modes(
+            &net,
+            MatchParams::default(),
+            IndexMode::Frozen,
+            OracleMode::Disabled,
+        );
+        assert!(with.oracle().is_some());
+        assert!(without.oracle().is_none());
+        let recs: Vec<GpsRecord> = (0..150)
+            .map(|i| {
+                let wobble = ((i * 11) % 29) as f64 - 14.0;
+                GpsRecord::new(
+                    Point::new(5.0 + i as f64 * 3.0, 3.0 + wobble),
+                    Timestamp(i as f64),
+                )
+            })
+            .collect();
+        assert_eq!(with.match_records(&recs), without.match_records(&recs));
+        for p in recs.iter().map(|r| r.point) {
+            assert_eq!(with.candidates_at(p), without.candidates_at(p));
         }
     }
 

@@ -14,7 +14,7 @@ use crate::preprocess::Preprocessor;
 use crate::region::{RegionAnnotator, RegionTuple};
 use semitri_data::{City, FeedError, GpsFeed, GpsRecord, RawTrajectory};
 use semitri_episodes::{Episode, EpisodeKind, SegmentationPolicy, VelocityPolicy};
-use semitri_index::IndexMode;
+use semitri_index::{IndexMode, OracleMode};
 use semitri_obs::{CleaningReport, PipelineObserver, Stage};
 use std::sync::Arc;
 use std::time::Instant;
@@ -54,6 +54,14 @@ pub struct PipelineConfig {
     /// into the flat cache-packed snapshot; results are identical to the
     /// dynamic backend byte for byte (the integration suite asserts it).
     pub index_mode: IndexMode,
+    /// Precomputed per-cell candidate oracle for the line and point
+    /// layers. The default ([`OracleMode::Precomputed`]) materializes the
+    /// per-grid-cell candidate slabs at build time, turning the per-fix
+    /// candidate query into an O(1) slab lookup; results are identical to
+    /// the tree path byte for byte (the integration suite asserts it).
+    /// [`OracleMode::Disabled`] trades that throughput back for the arena
+    /// memory.
+    pub oracle_mode: OracleMode,
 }
 
 impl Default for PipelineConfig {
@@ -65,6 +73,7 @@ impl Default for PipelineConfig {
             mode: ModeInferencer::default(),
             point_params: PointParams::default(),
             index_mode: IndexMode::Frozen,
+            oracle_mode: OracleMode::default(),
         }
     }
 }
@@ -157,12 +166,19 @@ impl<'c> SeMiTri<'c> {
     /// has no POIs (the paper's sparse-Lausanne situation, §5.3).
     pub fn new(city: &'c City, config: PipelineConfig) -> Self {
         let mode = config.index_mode;
+        let oracle_mode = config.oracle_mode;
         let region = RegionAnnotator::from_landuse_with(&city.landuse, mode);
         let named = RegionAnnotator::from_named_regions_with(&city.regions, mode);
-        let matcher = GlobalMapMatcher::with_index_mode(&city.roads, config.match_params, mode);
-        let point =
-            PointAnnotator::with_index_mode(&city.pois, city.bounds(), config.point_params, mode)
-                .ok();
+        let matcher =
+            GlobalMapMatcher::with_modes(&city.roads, config.match_params, mode, oracle_mode);
+        let point = PointAnnotator::with_modes(
+            &city.pois,
+            city.bounds(),
+            config.point_params,
+            mode,
+            oracle_mode,
+        )
+        .ok();
         Self {
             city,
             region,

@@ -18,7 +18,7 @@ use hmm::Hmm;
 use observation::{PoiLookupScratch, PoiObservationModel, CATEGORY_COUNT};
 use semitri_data::{PoiCategory, PoiSet};
 use semitri_geo::{Point, Rect};
-use semitri_index::IndexMode;
+use semitri_index::{IndexMode, OracleMode};
 
 /// The result for one stop: the inferred category and, when resolvable,
 /// the exact POI behind the stop.
@@ -96,7 +96,7 @@ impl PointAnnotator {
     }
 
     /// [`PointAnnotator::new`] with an explicit backend for the POI
-    /// resolution index.
+    /// resolution index (keeps the default shortlist oracle).
     ///
     /// # Errors
     /// Returns [`SemitriError::NoPoiData`] for an empty POI set.
@@ -106,6 +106,20 @@ impl PointAnnotator {
         params: PointParams,
         mode: IndexMode,
     ) -> Result<Self, SemitriError> {
+        Self::with_modes(pois, bounds, params, mode, OracleMode::default())
+    }
+
+    /// [`PointAnnotator::new`] with explicit index and oracle backends.
+    ///
+    /// # Errors
+    /// Returns [`SemitriError::NoPoiData`] for an empty POI set.
+    pub fn with_modes(
+        pois: &PoiSet,
+        bounds: Rect,
+        params: PointParams,
+        mode: IndexMode,
+        oracle_mode: OracleMode,
+    ) -> Result<Self, SemitriError> {
         if pois.is_empty() {
             return Err(SemitriError::NoPoiData);
         }
@@ -114,12 +128,13 @@ impl PointAnnotator {
         let pi: Vec<f64> = hist.iter().map(|&c| c as f64 / total as f64).collect();
         let a = Hmm::default_transitions(CATEGORY_COUNT);
         let hmm = Hmm::new(&pi, &a).expect("consistent dimensions");
-        let model = PoiObservationModel::with_index_mode(
+        let model = PoiObservationModel::with_modes(
             pois,
             bounds,
             params.cell_size_m,
             params.neighbor_radius_m,
             mode,
+            oracle_mode,
         );
         Ok(Self {
             model,

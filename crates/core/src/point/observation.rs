@@ -19,14 +19,15 @@
 use semitri_data::{Poi, PoiCategory, PoiSet};
 use semitri_geo::{Point, Rect};
 use semitri_index::{
-    FrozenNearestScratch, FrozenRStarTree, GridIndex, IndexMode, NearestScratch, RStarTree,
+    CellOracle, FrozenNearestScratch, FrozenRStarTree, GridIndex, IndexMode, NearestScratch,
+    OracleMode, RStarTree,
 };
 
 /// Number of POI categories (the Milan taxonomy of Fig. 5).
 pub const CATEGORY_COUNT: usize = 5;
 
 /// One indexed POI: position, id, slot in the source `PoiSet`, category.
-type PoiItem = (Point, u64, u32, PoiCategory);
+pub type PoiItem = (Point, u64, u32, PoiCategory);
 
 /// The POI-resolution backend: a point R\*-tree queried by best-first kNN
 /// with a category-filtered distance. Built once, read once per stop, so
@@ -61,6 +62,13 @@ pub struct PoiObservationModel {
     /// R\*-tree over the same POIs, used for the per-stop nearest-POI
     /// resolution via best-first kNN (frozen by default).
     lookup: PoiIndex,
+    /// Precomputed per-cell nearest-POI shortlists (the default): every POI
+    /// within `neighbor_radius` of any point of a cell is in that cell's
+    /// slab, so a stop's category argmin scans a short list instead of
+    /// walking the kNN heap. Exact-distance ties (and stops beyond the
+    /// precompute margin) fall back to the tree so results stay bitwise
+    /// identical to the heap path.
+    oracle: Option<CellOracle<PoiItem>>,
     /// Precomputed `Pr(grid_jk | C_i)` rows, one per grid cell
     /// (unnormalized likelihoods; Viterbi only needs proportionality).
     cell_rows: Vec<[f64; CATEGORY_COUNT]>,
@@ -85,13 +93,36 @@ impl PoiObservationModel {
     }
 
     /// [`PoiObservationModel::new`] with an explicit backend for the
-    /// nearest-POI resolution index.
+    /// nearest-POI resolution index (keeps the default shortlist oracle).
     pub fn with_index_mode(
         pois: &PoiSet,
         bounds: Rect,
         cell_size: f64,
         neighbor_radius: f64,
         mode: IndexMode,
+    ) -> Self {
+        Self::with_modes(
+            pois,
+            bounds,
+            cell_size,
+            neighbor_radius,
+            mode,
+            OracleMode::default(),
+        )
+    }
+
+    /// [`PoiObservationModel::new`] with explicit index and oracle
+    /// backends. The shortlist oracle is gathered from a frozen snapshot
+    /// in both index modes (frozen and dynamic visit orders are
+    /// bit-identical), with grid pitch and query radius both equal to
+    /// `neighbor_radius`.
+    pub fn with_modes(
+        pois: &PoiSet,
+        bounds: Rect,
+        cell_size: f64,
+        neighbor_radius: f64,
+        mode: IndexMode,
+        oracle_mode: OracleMode,
     ) -> Self {
         assert!(!pois.is_empty(), "observation model needs at least one POI");
         assert!(
@@ -114,9 +145,29 @@ impl PoiObservationModel {
                 })
                 .collect(),
         );
-        let lookup = match mode {
-            IndexMode::Frozen => PoiIndex::Frozen(Box::new(tree.freeze())),
-            IndexMode::Dynamic => PoiIndex::Dynamic(tree),
+        let build = |frozen: &FrozenRStarTree<PoiItem>| match oracle_mode {
+            OracleMode::Precomputed { margin_m } => Some(CellOracle::build(
+                frozen,
+                neighbor_radius,
+                neighbor_radius,
+                margin_m,
+            )),
+            OracleMode::Disabled => None,
+        };
+        let (lookup, oracle) = match mode {
+            IndexMode::Frozen => {
+                let frozen = Box::new(tree.freeze());
+                let oracle = build(&frozen);
+                (PoiIndex::Frozen(frozen), oracle)
+            }
+            IndexMode::Dynamic => {
+                let oracle = if matches!(oracle_mode, OracleMode::Disabled) {
+                    None
+                } else {
+                    build(&tree.clone().freeze())
+                };
+                (PoiIndex::Dynamic(tree), oracle)
+            }
         };
         let mut cell_rows = vec![[FLOOR; CATEGORY_COUNT]; grid.nx() * grid.ny()];
         for row in 0..grid.ny() {
@@ -129,9 +180,16 @@ impl PoiObservationModel {
         Self {
             grid,
             lookup,
+            oracle,
             cell_rows,
             neighbor_radius,
         }
+    }
+
+    /// The precomputed shortlist oracle, when enabled (for memory
+    /// reporting).
+    pub fn oracle(&self) -> Option<&CellOracle<PoiItem>> {
+        self.oracle.as_ref()
     }
 
     /// Lemma 1: per-category Gaussian sums at `p` over neighboring POIs.
@@ -193,6 +251,52 @@ impl PoiObservationModel {
         p: Point,
         cat: PoiCategory,
     ) -> Option<&'p Poi> {
+        // Shortlist fast path. Agreement with the heap path, case by case:
+        // the cell slab contains every POI within `neighbor_radius` of `p`
+        // (the catchment window covers `p ± radius`, POI rects are
+        // degenerate points, and L∞ ≤ L2), so (a) no in-radius POI of the
+        // category in the slab ⇒ none exists ⇒ the heap's best is either
+        // ∞-distance or gated out — `None` both ways; (b) a unique minimum
+        // ⇒ it is the global category argmin (anything outside the slab is
+        // strictly farther than the radius) — exactly the heap's answer;
+        // (c) an exact-distance tie ⇒ the heap's traversal order picks the
+        // winner, so fall through to the real heap for bitwise identity.
+        if let Some(oracle) = &self.oracle {
+            if let Some((_, items)) = oracle.candidates(p) {
+                let mut best: Option<(f64, u64, u32)> = None;
+                let mut tied = false;
+                for &(q, id, idx, c) in items {
+                    if c != cat {
+                        continue;
+                    }
+                    let d = q.distance(p);
+                    if d > self.neighbor_radius {
+                        continue;
+                    }
+                    if let Some((bd, _, _)) = best {
+                        if d < bd {
+                            best = Some((d, id, idx));
+                            tied = false;
+                        } else if d == bd {
+                            tied = true;
+                        }
+                    } else {
+                        best = Some((d, id, idx));
+                    }
+                }
+                match best {
+                    None => return None,
+                    Some((_, id, idx)) if !tied => {
+                        return pois
+                            .pois()
+                            .get(idx as usize)
+                            .filter(|poi| poi.id == id)
+                            .or_else(|| pois.pois().iter().find(|poi| poi.id == id));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
         let dist = |item: &PoiItem| {
             if item.3 == cat {
                 item.0.distance(p)
@@ -382,6 +486,90 @@ mod tests {
                 assert_eq!(d, brute, "probe {i} cat {cat:?}");
             }
         }
+    }
+
+    #[test]
+    fn shortlist_oracle_agrees_with_the_heap_path_everywhere() {
+        let (pois, bounds) = two_cluster_set();
+        let with = PoiObservationModel::new(&pois, bounds, 50.0, 150.0);
+        let without = PoiObservationModel::with_modes(
+            &pois,
+            bounds,
+            50.0,
+            150.0,
+            IndexMode::Frozen,
+            OracleMode::Disabled,
+        );
+        assert!(with.oracle().is_some());
+        assert!(without.oracle().is_none());
+        let mut s1 = PoiLookupScratch::new();
+        let mut s2 = PoiLookupScratch::new();
+        // probes across the bounds, beyond them (margin + fallback), and
+        // exactly on POI positions
+        let mut probes: Vec<Point> = (0..60)
+            .map(|i| {
+                Point::new(
+                    (i * 37 % 120) as f64 * 12.0 - 100.0,
+                    (i * 53 % 120) as f64 * 12.0 - 100.0,
+                )
+            })
+            .collect();
+        probes.extend(pois.pois().iter().map(|p| p.point));
+        probes.push(Point::new(5_000.0, 5_000.0));
+        for (i, &p) in probes.iter().enumerate() {
+            for cat in [
+                PoiCategory::Feedings,
+                PoiCategory::ItemSale,
+                PoiCategory::Services,
+            ] {
+                assert_eq!(
+                    with.nearest_of_category_with(&mut s1, &pois, p, cat)
+                        .map(|poi| poi.id),
+                    without
+                        .nearest_of_category_with(&mut s2, &pois, p, cat)
+                        .map(|poi| poi.id),
+                    "probe {i} cat {cat:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_distance_tie_falls_back_to_the_heap_order() {
+        // two Feedings POIs equidistant from the probe: the shortlist must
+        // not pick on its own — the heap's traversal order is the contract
+        let bounds = Rect::new(0.0, 0.0, 400.0, 400.0);
+        let pois = PoiSet::new(vec![
+            Poi {
+                id: 7,
+                point: Point::new(100.0, 200.0),
+                category: PoiCategory::Feedings,
+                name: "left".to_string(),
+            },
+            Poi {
+                id: 9,
+                point: Point::new(300.0, 200.0),
+                category: PoiCategory::Feedings,
+                name: "right".to_string(),
+            },
+        ]);
+        let p = Point::new(200.0, 200.0);
+        let with = PoiObservationModel::new(&pois, bounds, 50.0, 150.0);
+        let without = PoiObservationModel::with_modes(
+            &pois,
+            bounds,
+            50.0,
+            150.0,
+            IndexMode::Frozen,
+            OracleMode::Disabled,
+        );
+        assert_eq!(
+            with.nearest_of_category(&pois, p, PoiCategory::Feedings)
+                .map(|poi| poi.id),
+            without
+                .nearest_of_category(&pois, p, PoiCategory::Feedings)
+                .map(|poi| poi.id),
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use semitri_core::line::baseline::{BaselineMetric, NearestSegmentMatcher};
 use semitri_core::point::hmm::Hmm;
-use semitri_core::{GlobalMapMatcher, MatchParams, MatchScratch};
+use semitri_core::{GlobalMapMatcher, IndexMode, MatchParams, MatchScratch, OracleMode};
 use semitri_data::road::RoadClass;
 use semitri_data::{GpsRecord, RoadNetwork};
 use semitri_geo::{Point, Timestamp};
@@ -11,9 +11,16 @@ use semitri_geo::{Point, Timestamp};
 /// A small random road network: a chain plus random chords (always
 /// connected, no zero-length edges).
 fn network_strategy() -> impl Strategy<Value = RoadNetwork> {
+    network_strategy_with(3..15)
+}
+
+/// [`network_strategy`] with a caller-chosen node-count range — the city
+/// density axis of the oracle sweep.
+fn network_strategy_with(nodes: std::ops::Range<usize>) -> impl Strategy<Value = RoadNetwork> {
+    let max_chord = nodes.end - 1;
     (
-        proptest::collection::vec((0.0..1_000.0f64, 0.0..1_000.0f64), 3..15),
-        proptest::collection::vec((0usize..14, 0usize..14), 0..8),
+        proptest::collection::vec((0.0..1_000.0f64, 0.0..1_000.0f64), nodes),
+        proptest::collection::vec((0usize..max_chord, 0usize..max_chord), 0..8),
     )
         .prop_map(|(mut nodes_xy, chords)| {
             // spread nodes so no two coincide
@@ -152,6 +159,42 @@ proptest! {
         for recs in &tracks {
             assert_matches_naive(&matcher, &mut scratch, recs)?;
         }
+    }
+
+    #[test]
+    fn oracle_frozen_naive_triple_agreement(
+        net in network_strategy_with(3..30),
+        recs in records_strategy(),
+        margin_m in 0.0..400.0f64,
+        candidate_radius_m in 30.0..160.0f64,
+    ) {
+        // Sweep precompute margin × candidate cutoff × city density and
+        // demand the full identity triple: the oracle slab path, the pure
+        // frozen-tree path and the naive paper-literal path agree on the
+        // per-fix candidate set AND its order, and on the final matched
+        // path. Record coordinates reach 1600 m while margins stop at
+        // 400 m, so the beyond-margin tree fallback is exercised too.
+        let params = MatchParams { candidate_radius_m, ..MatchParams::default() };
+        let with_oracle = GlobalMapMatcher::with_modes(
+            &net, params, IndexMode::Frozen, OracleMode::Precomputed { margin_m },
+        );
+        let tree_only = GlobalMapMatcher::with_modes(
+            &net, params, IndexMode::Frozen, OracleMode::Disabled,
+        );
+        for r in &recs {
+            let cands = with_oracle.candidates_at(r.point);
+            prop_assert_eq!(&cands, &with_oracle.candidates_at_via_tree(r.point));
+            prop_assert_eq!(&cands, &tree_only.candidates_at(r.point));
+        }
+        // one scratch across both matchers: the fingerprint guard must
+        // keep the differently-built oracles from aliasing
+        let mut scratch = MatchScratch::new();
+        assert_matches_naive(&with_oracle, &mut scratch, &recs)?;
+        assert_matches_naive(&tree_only, &mut scratch, &recs)?;
+        prop_assert_eq!(
+            with_oracle.match_records(&recs),
+            tree_only.match_records(&recs)
+        );
     }
 
     #[test]

@@ -31,8 +31,10 @@
 
 pub mod frozen;
 pub mod grid;
+pub mod oracle;
 pub mod rstar;
 
 pub use frozen::{FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, IndexMode};
 pub use grid::GridIndex;
+pub use oracle::{CellOracle, OracleMode, DEFAULT_ORACLE_MARGIN_M};
 pub use rstar::{NearestScratch, RStarParams, RStarTree, RangeScratch};

@@ -1,0 +1,516 @@
+//! A precomputed per-cell matching oracle over a frozen R\*-tree.
+//!
+//! The annotation hot paths ask the segment/POI indexes the *same shape*
+//! of question millions of times: "every item whose box intersects a
+//! fixed-radius window around this point". PR 4's last-cell candidate
+//! cache showed that consecutive GPS fixes overwhelmingly reuse one grid
+//! cell's answer; [`CellOracle`] takes the next step and materializes the
+//! answer for **every** cell at build time, so the per-fix query becomes
+//! an O(1) slab lookup instead of a tree walk:
+//!
+//! * a uniform grid is laid over the frozen tree's bounding box;
+//! * for each cell, the frozen tree is queried once with the cell's
+//!   *catchment window* — the cell rectangle inflated by the query
+//!   radius — and the hits are appended to one contiguous slab;
+//! * cells index the slab through CSR `u32` offsets, so a lookup is two
+//!   loads and a slice.
+//!
+//! **Order identity.** Each per-cell list is gathered by a single frozen
+//! range query, so it preserves the tree's depth-first visit order. For a
+//! point `p` in the cell, the per-point window `p ± r` is contained in
+//! the catchment window, and an entry's box intersecting the sub-window
+//! implies every ancestor box does too — so filtering the cell list with
+//! the per-point `bbox ∩ window(p)` test yields *exactly* the entries a
+//! direct per-point tree query would visit, in the same order. Readers
+//! that apply that filter (the map matcher does) are bitwise
+//! result-identical to the tree path; the unit tests and the core
+//! property suite assert it.
+//!
+//! **Clamped border cells.** Real feeds contain fixes outside the indexed
+//! area (GPS noise at the city edge, tracks leaving the map). A plain
+//! grid would clamp them into a border cell whose catchment was computed
+//! for in-bounds points only, silently dropping candidates the tree path
+//! would find. The oracle instead extends every border cell's catchment
+//! *outward* by a configurable margin and answers [`None`] for points
+//! beyond it — the caller falls back to the tree for those, keeping the
+//! identity contract exact everywhere.
+
+use crate::frozen::{FrozenRStarTree, FrozenRangeScratch};
+use semitri_geo::{Point, Rect};
+
+/// Margin (meters) beyond the indexed bounds within which the default
+/// oracle still answers; farther fixes fall back to the tree path.
+pub const DEFAULT_ORACLE_MARGIN_M: f64 = 250.0;
+
+/// Whether a read path precomputes its per-cell candidate oracle.
+///
+/// Sibling of [`IndexMode`](crate::IndexMode): the pipeline's indexes are
+/// write-once/read-millions, so precomputing is the default; disabling it
+/// keeps the pure frozen/dynamic tree path, which doubles as the identity
+/// oracle in tests and saves the arena memory on tiny deployments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OracleMode {
+    /// Materialize per-cell candidate slabs at build time (default).
+    /// Points up to `margin_m` meters outside the indexed bounds are
+    /// served by the (margin-inflated) border cells; farther points fall
+    /// back to the tree.
+    Precomputed {
+        /// Out-of-bounds catchment of the border cells, meters (≥ 0).
+        margin_m: f64,
+    },
+    /// No precomputation: every query walks the frozen/dynamic tree.
+    Disabled,
+}
+
+impl Default for OracleMode {
+    fn default() -> Self {
+        Self::Precomputed {
+            margin_m: DEFAULT_ORACLE_MARGIN_M,
+        }
+    }
+}
+
+/// The precomputed per-cell candidate arena. Build once next to the
+/// [`FrozenRStarTree`] it answers for, share freely across threads
+/// (`&self` reads only).
+///
+/// ```
+/// use semitri_geo::{Point, Rect};
+/// use semitri_index::{CellOracle, RStarTree};
+///
+/// let mut tree = RStarTree::new();
+/// tree.insert(Rect::new(10.0, 10.0, 20.0, 20.0), 7u32);
+/// let frozen = tree.freeze();
+/// let oracle = CellOracle::build(&frozen, 50.0, 50.0, 100.0);
+/// let (rects, items) = oracle.candidates(Point::new(15.0, 15.0)).unwrap();
+/// assert_eq!(items, &[7]);
+/// assert_eq!(rects[0], Rect::new(10.0, 10.0, 20.0, 20.0));
+/// // far outside bounds + margin: the caller falls back to the tree
+/// assert!(oracle.candidates(Point::new(5_000.0, 5_000.0)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellOracle<T> {
+    /// Grid bounds = the frozen tree's bounding box at build time.
+    bounds: Rect,
+    /// Side length of the square grid cells.
+    cell_size: f64,
+    /// Query radius the catchment windows were inflated by.
+    query_radius: f64,
+    /// Out-of-bounds acceptance margin of the border cells.
+    margin: f64,
+    nx: usize,
+    ny: usize,
+    /// CSR offsets into the slabs, `nx * ny + 1` entries (row-major
+    /// cells); `offsets[c]..offsets[c + 1]` is cell `c`'s slice.
+    offsets: Vec<u32>,
+    /// Entry rectangles, one contiguous slab (cell after cell), in the
+    /// frozen tree's depth-first visit order per cell.
+    rects: Vec<Rect>,
+    /// Entry items, parallel to `rects`.
+    items: Vec<T>,
+}
+
+impl<T: Copy> CellOracle<T> {
+    /// Materializes the oracle: one frozen range query per grid cell,
+    /// appended into the CSR slabs.
+    ///
+    /// `cell_size` is the grid pitch, `query_radius` the per-point window
+    /// radius the readers will filter with (each catchment window is the
+    /// cell inflated by `query_radius · (1 + 1e-9)`, the same boundary
+    /// pad the matcher's cell cache uses), and `margin` the out-of-bounds
+    /// reach of the border cells.
+    ///
+    /// An empty tree yields an oracle that answers [`None`] everywhere.
+    ///
+    /// # Panics
+    /// Panics when `cell_size`/`query_radius` are not positive finite,
+    /// `margin` is negative or non-finite, or the arena would exceed
+    /// `u32::MAX` entries.
+    pub fn build(
+        tree: &FrozenRStarTree<T>,
+        cell_size: f64,
+        query_radius: f64,
+        margin: f64,
+    ) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "oracle cell size must be positive"
+        );
+        assert!(
+            query_radius > 0.0 && query_radius.is_finite(),
+            "oracle query radius must be positive"
+        );
+        assert!(
+            margin >= 0.0 && margin.is_finite(),
+            "oracle margin must be non-negative"
+        );
+        let bounds = tree.bbox();
+        if tree.is_empty() || bounds.is_empty() {
+            return Self {
+                bounds: Rect::EMPTY,
+                cell_size,
+                query_radius,
+                margin,
+                nx: 0,
+                ny: 0,
+                offsets: vec![0],
+                rects: Vec::new(),
+                items: Vec::new(),
+            };
+        }
+        let nx = (bounds.width() / cell_size).ceil().max(1.0) as usize;
+        let ny = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+        // the tiny extra inflation absorbs floating-point rounding in the
+        // clamped cell assignment, keeping catchment ⊇ window(p) exact for
+        // every p the cell can be asked about
+        let pad = query_radius * (1.0 + 1e-9);
+        let mut offsets = Vec::with_capacity(nx * ny + 1);
+        offsets.push(0u32);
+        let mut rects = Vec::new();
+        let mut items = Vec::new();
+        let mut stack = FrozenRangeScratch::new();
+        for row in 0..ny {
+            for col in 0..nx {
+                // nominal cell rectangle, border cells extended outward by
+                // the margin so clamped out-of-bounds points stay covered
+                let mut cat = Self::nominal_rect(bounds, cell_size, nx, ny, col, row);
+                if col == 0 {
+                    cat.min_x -= margin;
+                }
+                if col + 1 == nx {
+                    cat.max_x += margin;
+                }
+                if row == 0 {
+                    cat.min_y -= margin;
+                }
+                if row + 1 == ny {
+                    cat.max_y += margin;
+                }
+                let window = cat.inflate(pad);
+                tree.for_each_in_with(&mut stack, &window, |r, t| {
+                    rects.push(*r);
+                    items.push(*t);
+                });
+                assert!(
+                    items.len() <= u32::MAX as usize,
+                    "oracle arena exceeds u32 offsets"
+                );
+                offsets.push(items.len() as u32);
+            }
+        }
+        Self {
+            bounds,
+            cell_size,
+            query_radius,
+            margin,
+            nx,
+            ny,
+            offsets,
+            rects,
+            items,
+        }
+    }
+
+    /// The nominal (unextended, unpadded) rectangle of cell `(col, row)`.
+    /// Computed from the cell indices by multiplication — not by
+    /// accumulation — so every caller sees the same bit pattern.
+    fn nominal_rect(
+        bounds: Rect,
+        cell_size: f64,
+        nx: usize,
+        ny: usize,
+        col: usize,
+        row: usize,
+    ) -> Rect {
+        debug_assert!(col < nx && row < ny);
+        Rect::new(
+            bounds.min_x + col as f64 * cell_size,
+            bounds.min_y + row as f64 * cell_size,
+            bounds.min_x + (col + 1) as f64 * cell_size,
+            bounds.min_y + (row + 1) as f64 * cell_size,
+        )
+    }
+
+    /// The row-major index of the cell serving `p`, or [`None`] when the
+    /// oracle cannot answer: the point lies beyond `bounds + margin`, is
+    /// non-finite, or the oracle is empty. Out-of-bounds points within
+    /// the margin clamp into the border cells (whose catchments were
+    /// built to cover them); a point exactly on `bounds.max_x/max_y`
+    /// floors to index `nx`/`ny` and relies on the same clamp.
+    #[inline]
+    pub fn locate(&self, p: Point) -> Option<usize> {
+        if self.nx == 0 {
+            return None;
+        }
+        // written so NaN fails: the tree path is the only one that can
+        // reproduce the tree's NaN-window semantics
+        let in_reach = p.x >= self.bounds.min_x - self.margin
+            && p.x <= self.bounds.max_x + self.margin
+            && p.y >= self.bounds.min_y - self.margin
+            && p.y <= self.bounds.max_y + self.margin;
+        if !in_reach {
+            return None;
+        }
+        let cx = ((p.x - self.bounds.min_x) / self.cell_size).floor();
+        let cy = ((p.y - self.bounds.min_y) / self.cell_size).floor();
+        let col = (cx.max(0.0) as usize).min(self.nx - 1);
+        let row = (cy.max(0.0) as usize).min(self.ny - 1);
+        Some(row * self.nx + col)
+    }
+
+    /// The nominal rectangle of cell `cell` (for hint caches: any point
+    /// inside it is provably served by this cell's slab).
+    #[inline]
+    pub fn cell_rect(&self, cell: usize) -> Rect {
+        Self::nominal_rect(
+            self.bounds,
+            self.cell_size,
+            self.nx,
+            self.ny,
+            cell % self.nx,
+            cell / self.nx,
+        )
+    }
+
+    /// The CSR slab range of cell `cell`.
+    #[inline]
+    pub fn range(&self, cell: usize) -> (u32, u32) {
+        (self.offsets[cell], self.offsets[cell + 1])
+    }
+
+    /// The slab slices for a range previously returned by
+    /// [`CellOracle::range`].
+    #[inline]
+    pub fn slab(&self, start: u32, end: u32) -> (&[Rect], &[T]) {
+        let (s, e) = (start as usize, end as usize);
+        (&self.rects[s..e], &self.items[s..e])
+    }
+
+    /// The candidate list serving `p`: every item of the frozen tree
+    /// whose box intersects `p ± query_radius` is in the returned slices
+    /// (a superset, in tree visit order — filter with the per-point
+    /// window to reproduce a direct query exactly). [`None`] means the
+    /// point is beyond the precompute margin: fall back to the tree.
+    #[inline]
+    pub fn candidates(&self, p: Point) -> Option<(&[Rect], &[T])> {
+        let cell = self.locate(p)?;
+        let (s, e) = self.range(cell);
+        Some(self.slab(s, e))
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Total slab entries across all cells (each tree item appears once
+    /// per catchment window covering it).
+    pub fn slot_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Query radius the oracle was built for.
+    pub fn query_radius(&self) -> f64 {
+        self.query_radius
+    }
+
+    /// Out-of-bounds acceptance margin.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Heap bytes of the arena (CSR offsets + both slabs) — the memory
+    /// half of the memory/throughput trade, reported by the hotpath
+    /// bench.
+    pub fn arena_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.rects.len() * std::mem::size_of::<Rect>()
+            + self.items.len() * std::mem::size_of::<T>()
+    }
+
+    /// Arena bytes per grid cell (0 for an empty oracle).
+    pub fn bytes_per_cell(&self) -> f64 {
+        if self.cell_count() == 0 {
+            return 0.0;
+        }
+        self.arena_bytes() as f64 / self.cell_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rstar::RStarTree;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        }
+    }
+
+    fn random_frozen(seed: u64, n: usize) -> FrozenRStarTree<usize> {
+        let mut next = lcg(seed);
+        let mut tree = RStarTree::new();
+        for id in 0..n {
+            let x = next() * 900.0;
+            let y = next() * 600.0;
+            tree.insert(Rect::new(x, y, x + next() * 25.0, y + next() * 25.0), id);
+        }
+        tree.freeze()
+    }
+
+    /// The per-point filtered view of the oracle's cell list: the exact
+    /// sequence a reader on the hot path produces.
+    fn filtered(oracle: &CellOracle<usize>, p: Point, r: f64) -> Option<Vec<usize>> {
+        let (rects, items) = oracle.candidates(p)?;
+        let window = Rect::from_point(p).inflate(r);
+        Some(
+            rects
+                .iter()
+                .zip(items)
+                .filter(|(rect, _)| rect.intersects(&window))
+                .map(|(_, &id)| id)
+                .collect(),
+        )
+    }
+
+    /// A direct per-point frozen-tree query — the reference the oracle
+    /// must reproduce bitwise (same hits, same visit order).
+    fn tree_query(tree: &FrozenRStarTree<usize>, p: Point, r: f64) -> Vec<usize> {
+        let window = Rect::from_point(p).inflate(r);
+        let mut out = Vec::new();
+        tree.for_each_in(&window, |_, &id| out.push(id));
+        out
+    }
+
+    #[test]
+    fn freeze_order_identity_on_random_probes() {
+        let tree = random_frozen(0xF00D, 700);
+        for &radius in &[20.0, 60.0, 130.0] {
+            let oracle = CellOracle::build(&tree, radius, radius, 200.0);
+            let mut next = lcg(0xCAFE);
+            let mut nonempty = 0usize;
+            for _ in 0..300 {
+                let p = Point::new(next() * 1_000.0 - 50.0, next() * 700.0 - 50.0);
+                let got = filtered(&oracle, p, radius).expect("within margin");
+                let want = tree_query(&tree, p, radius);
+                assert_eq!(got, want, "probe {p:?} radius {radius}");
+                nonempty += usize::from(!want.is_empty());
+            }
+            assert!(nonempty > 50, "probes must hit the tree");
+        }
+    }
+
+    #[test]
+    fn cell_size_decoupled_from_query_radius_stays_identical() {
+        let tree = random_frozen(0xA11CE, 400);
+        let oracle = CellOracle::build(&tree, 37.0, 80.0, 50.0);
+        let mut next = lcg(7);
+        for _ in 0..200 {
+            let p = Point::new(next() * 950.0, next() * 650.0);
+            assert_eq!(
+                filtered(&oracle, p, 80.0).unwrap(),
+                tree_query(&tree, p, 80.0)
+            );
+        }
+    }
+
+    #[test]
+    fn border_clamping_covers_out_of_bounds_fixes() {
+        // Regression (grid border clamping): fixes beyond bounds.max_x /
+        // max_y clamp into the last row/column, whose catchments must have
+        // been inflated by the margin — otherwise the oracle silently
+        // drops candidates the tree finds near the border.
+        let tree = random_frozen(0xB0DE, 500);
+        let b = tree.bbox();
+        let (r, margin) = (60.0, 150.0);
+        let oracle = CellOracle::build(&tree, r, r, margin);
+        let probes = [
+            // exactly on the max corner: floor((max - min) / cell) lands
+            // at index nx and relies on the clamp
+            Point::new(b.max_x, b.max_y),
+            Point::new(b.max_x, b.min_y),
+            Point::new(b.min_x, b.max_y),
+            // beyond every side, within the margin
+            Point::new(b.max_x + margin * 0.99, b.max_y * 0.5),
+            Point::new(b.min_x - margin * 0.99, b.max_y * 0.5),
+            Point::new(b.max_x * 0.5, b.max_y + margin * 0.99),
+            Point::new(b.max_x * 0.5, b.min_y - margin * 0.99),
+            // the far corner of the margin halo
+            Point::new(b.max_x + margin, b.max_y + margin),
+        ];
+        let mut hits = 0usize;
+        for p in probes {
+            let got = filtered(&oracle, p, r).expect("within margin");
+            let want = tree_query(&tree, p, r);
+            assert_eq!(got, want, "probe {p:?}");
+            hits += usize::from(!want.is_empty());
+        }
+        assert!(hits > 0, "border probes must reach real candidates");
+        // beyond the margin the oracle refuses and the caller falls back
+        assert!(oracle
+            .candidates(Point::new(b.max_x + margin * 1.01, b.max_y))
+            .is_none());
+        assert!(oracle.candidates(Point::new(f64::NAN, 100.0)).is_none());
+    }
+
+    #[test]
+    fn hint_rect_serves_the_same_slab() {
+        let tree = random_frozen(0x51DE, 300);
+        let oracle = CellOracle::build(&tree, 45.0, 45.0, 0.0);
+        let mut next = lcg(99);
+        for _ in 0..200 {
+            let p = Point::new(next() * 900.0, next() * 600.0);
+            let Some(cell) = oracle.locate(p) else {
+                continue;
+            };
+            let rect = oracle.cell_rect(cell);
+            // the hint contract: a point strictly inside the nominal rect
+            // locates to a cell whose slab filters identically
+            if p.x >= rect.min_x && p.x < rect.max_x && p.y >= rect.min_y && p.y < rect.max_y {
+                let (s, e) = oracle.range(cell);
+                let (rects, items) = oracle.slab(s, e);
+                let (r2, i2) = oracle.candidates(p).unwrap();
+                assert_eq!(rects.len(), r2.len());
+                assert_eq!(items, i2);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_answers_none_everywhere() {
+        let tree: FrozenRStarTree<usize> = RStarTree::new().freeze();
+        let oracle = CellOracle::build(&tree, 10.0, 10.0, 100.0);
+        assert!(oracle.candidates(Point::ORIGIN).is_none());
+        assert_eq!(oracle.cell_count(), 0);
+        assert_eq!(oracle.slot_count(), 0);
+        assert_eq!(oracle.bytes_per_cell(), 0.0);
+        assert_eq!(oracle.arena_bytes(), std::mem::size_of::<u32>());
+    }
+
+    #[test]
+    fn memory_report_is_consistent() {
+        let tree = random_frozen(3, 250);
+        let oracle = CellOracle::build(&tree, 60.0, 60.0, 100.0);
+        assert!(oracle.cell_count() > 0);
+        assert!(oracle.slot_count() >= tree.len());
+        let expected = oracle.offsets.len() * 4
+            + oracle.slot_count() * (std::mem::size_of::<Rect>() + std::mem::size_of::<usize>());
+        assert_eq!(oracle.arena_bytes(), expected);
+        assert!(oracle.bytes_per_cell() > 0.0);
+    }
+
+    #[test]
+    fn default_mode_is_precomputed_with_the_documented_margin() {
+        match OracleMode::default() {
+            OracleMode::Precomputed { margin_m } => {
+                assert_eq!(margin_m, DEFAULT_ORACLE_MARGIN_M)
+            }
+            OracleMode::Disabled => panic!("default must precompute"),
+        }
+    }
+}

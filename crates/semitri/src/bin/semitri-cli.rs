@@ -31,10 +31,11 @@ use std::sync::atomic::AtomicBool;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index]\n    \
+        "usage:\n  semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index] [--no-oracle]\n    \
          (SPEC: comma-separated faults, e.g. dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5;\n     \
-         --dynamic-index queries the pointer-based R*-trees instead of the frozen snapshots — same output, oracle/debug use)\n  \
-         semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N]\n  \
+         --dynamic-index queries the pointer-based R*-trees instead of the frozen snapshots — same output, oracle/debug use;\n     \
+         --no-oracle skips the precomputed per-cell candidate slabs and walks the trees per query — same output, saves the arena memory)\n  \
+         semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N] [--no-oracle]\n  \
          semitri-cli annotate <taxis|milan|phones> [seed]   (feed JSON lines on stdin)\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
          semitri-cli show <store.stlog> <trajectory_id>\n  \
@@ -147,8 +148,17 @@ fn preset_pipeline(
 }
 
 /// `semitri-cli serve`: stand up the annotation server and block.
-fn serve(preset: &str, addr: &str, seed: u64, workers: Option<usize>) -> Result<(), ExitCode> {
-    let (city, config, policy) = preset_pipeline(preset, seed)?;
+fn serve(
+    preset: &str,
+    addr: &str,
+    seed: u64,
+    workers: Option<usize>,
+    oracle_mode: OracleMode,
+) -> Result<(), ExitCode> {
+    let (city, mut config, policy) = preset_pipeline(preset, seed)?;
+    // the oracle is a pure query-plan change — `/annotate` responses stay
+    // byte-identical to `semitri-cli annotate` either way
+    config.oracle_mode = oracle_mode;
     let pipeline = SeMiTri::new(&city, config);
     let mut serve_config = ServeConfig::default();
     if let Some(n) = workers {
@@ -205,6 +215,7 @@ struct GenerateOptions<'a> {
     metrics: bool,
     faults: Option<&'a str>,
     index_mode: IndexMode,
+    oracle_mode: OracleMode,
 }
 
 fn generate(
@@ -219,6 +230,7 @@ fn generate(
         metrics,
         faults,
         index_mode,
+        oracle_mode,
     } = *opts;
     let (dataset, vehicle) = match preset {
         "taxis" => (lausanne_taxis(days, seed), true),
@@ -243,11 +255,13 @@ fn generate(
             },
             policy: Box::new(VelocityPolicy::vehicles()),
             index_mode,
+            oracle_mode,
             ..PipelineConfig::default()
         }
     } else {
         PipelineConfig {
             index_mode,
+            oracle_mode,
             ..PipelineConfig::default()
         }
     };
@@ -339,6 +353,7 @@ fn run() -> Result<(), ExitCode> {
             let mut metrics = false;
             let mut faults = None;
             let mut index_mode = IndexMode::Frozen;
+            let mut oracle_mode = OracleMode::default();
             let mut positional = Vec::new();
             let mut rest = it;
             while let Some(arg) = rest.next() {
@@ -346,6 +361,8 @@ fn run() -> Result<(), ExitCode> {
                     metrics = true;
                 } else if arg == "--dynamic-index" {
                     index_mode = IndexMode::Dynamic;
+                } else if arg == "--no-oracle" {
+                    oracle_mode = OracleMode::Disabled;
                 } else if arg == "--faults" {
                     let Some(spec) = rest.next() else {
                         eprintln!("--faults needs a spec (e.g. dropout=0.1,stuck=0.03)");
@@ -381,6 +398,7 @@ fn run() -> Result<(), ExitCode> {
                     metrics,
                     faults,
                     index_mode,
+                    oracle_mode,
                 },
             )
         }
@@ -389,6 +407,7 @@ fn run() -> Result<(), ExitCode> {
                 return Err(usage());
             };
             let mut workers = None;
+            let mut oracle_mode = OracleMode::default();
             let mut positional = Vec::new();
             let mut rest = it;
             while let Some(arg) = rest.next() {
@@ -402,13 +421,15 @@ fn run() -> Result<(), ExitCode> {
                         return Err(ExitCode::from(2));
                     }
                     workers = Some(n);
+                } else if arg == "--no-oracle" {
+                    oracle_mode = OracleMode::Disabled;
                 } else {
                     positional.push(arg);
                 }
             }
             let addr = positional.first().copied().unwrap_or("127.0.0.1:8355");
             let seed = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
-            serve(preset, addr, seed, workers)
+            serve(preset, addr, seed, workers, oracle_mode)
         }
         Some("annotate") => {
             let Some(preset) = it.next() else {

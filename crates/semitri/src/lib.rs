@@ -76,8 +76,9 @@ pub mod prelude {
         StructuredSemanticTrajectory,
     };
     pub use semitri_index::{
-        FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, GridIndex, IndexMode,
-        NearestScratch, RStarParams, RStarTree, RangeScratch,
+        CellOracle, FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, GridIndex,
+        IndexMode, NearestScratch, OracleMode, RStarParams, RStarTree, RangeScratch,
+        DEFAULT_ORACLE_MARGIN_M,
     };
     pub use semitri_obs::{
         CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver,

@@ -11,6 +11,10 @@
 use semitri::prelude::*;
 
 fn config(mode: IndexMode, vehicles: bool) -> PipelineConfig {
+    config_with_oracle(mode, OracleMode::default(), vehicles)
+}
+
+fn config_with_oracle(mode: IndexMode, oracle: OracleMode, vehicles: bool) -> PipelineConfig {
     let base = if vehicles {
         PipelineConfig {
             mode: ModeInferencer {
@@ -25,6 +29,7 @@ fn config(mode: IndexMode, vehicles: bool) -> PipelineConfig {
     };
     PipelineConfig {
         index_mode: mode,
+        oracle_mode: oracle,
         ..base
     }
 }
@@ -80,6 +85,43 @@ fn multimodal_fleet_is_identical_across_backends() {
         assert_eq!(semantic_repr(&f), semantic_repr(&d));
     }
     assert!(stops_seen > 0, "fixture must exercise the point layer");
+}
+
+#[test]
+fn index_and_oracle_mode_matrix_is_identical_end_to_end() {
+    // The full backend matrix: {frozen, dynamic} × {precomputed oracle
+    // (default margin), tight-margin oracle, oracle disabled}. Every
+    // combination must produce byte-identical semantic output — the
+    // oracle is a pure query-plan change. The tight 60 m margin forces
+    // real beyond-margin tree fallbacks on tracks leaving the city core.
+    let dataset = smartphone_users(2, 1, 5);
+    let modes = [IndexMode::Frozen, IndexMode::Dynamic];
+    let oracles = [
+        OracleMode::default(),
+        OracleMode::Precomputed { margin_m: 60.0 },
+        OracleMode::Disabled,
+    ];
+    let mut pipelines = Vec::new();
+    for &mode in &modes {
+        for &oracle in &oracles {
+            pipelines.push(SeMiTri::new(
+                &dataset.city,
+                config_with_oracle(mode, oracle, false),
+            ));
+        }
+    }
+    for track in &dataset.tracks {
+        let raw = track.to_raw();
+        let reference = semantic_repr(&pipelines[0].annotate(&raw));
+        for (i, p) in pipelines.iter().enumerate().skip(1) {
+            assert_eq!(
+                reference,
+                semantic_repr(&p.annotate(&raw)),
+                "trajectory {} diverged in matrix cell {i}",
+                track.trajectory_id
+            );
+        }
+    }
 }
 
 #[test]
