@@ -434,6 +434,9 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
     results.push(frz_e2e);
     results.push(dyn_e2e);
 
+    // --- generation swaps: annotation throughput while publishes land ---
+    let swaps = swap_sweep(city, &raws, if opts.quick { 1 } else { 2 });
+
     let ns_of = |name: &str| {
         results
             .iter()
@@ -492,12 +495,23 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
         arena.cells, arena.slots, arena.arena_bytes, arena.bytes_per_cell
     );
     println!("  end-to-end pipeline: {e2e_records_per_sec:.0} records/s");
+    println!(
+        "  generation swaps: {} publishes, median rebuild {:.1} ms, \
+         annotate {:.0} rec/s idle vs {:.0} rec/s under publishes ({:.2}x)",
+        swaps.publishes,
+        swaps.rebuild_ms_median,
+        swaps.idle_records_per_sec,
+        swaps.contended_records_per_sec,
+        swaps.throughput_ratio(),
+    );
     if regression {
         println!("  REGRESSION: a tracked kernel is >10% slower than its paired reference");
     }
 
     if let Some(path) = &opts.json_path {
-        let json = render_json(&results, opts.quick, scale.0, &speedups, &arena, regression);
+        let json = render_json(
+            &results, opts.quick, scale.0, &speedups, &arena, &swaps, regression,
+        );
         match std::fs::write(path, json) {
             Ok(()) => println!("  wrote {path}"),
             Err(e) => {
@@ -507,6 +521,86 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
         }
     }
     !regression
+}
+
+/// The update-rate sweep: fleet-annotation throughput with the mutation
+/// log idle versus with a publisher thread rebuilding and swapping
+/// generations back to back, plus the rebuild cost itself. The ratio is
+/// the tentpole claim in one number — publishes must not pause readers —
+/// but it is reported, not gated: on a small runner the rebuild thread
+/// legitimately competes for cores with the annotation thread.
+struct SwapSweep {
+    publishes: usize,
+    rebuild_ms_median: f64,
+    idle_records_per_sec: f64,
+    contended_records_per_sec: f64,
+}
+
+impl SwapSweep {
+    fn throughput_ratio(&self) -> f64 {
+        if self.idle_records_per_sec > 0.0 {
+            self.contended_records_per_sec / self.idle_records_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Annotates the fleet `passes` times on a [`LiveSeMiTri`], once with no
+/// publisher and once with a thread submitting one POI per publish and
+/// swapping generations continuously (at least one swap lands even if
+/// annotation finishes first).
+fn swap_sweep(city: &City, raws: &[RawTrajectory], passes: usize) -> SwapSweep {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let live = LiveSeMiTri::new(city.clone(), PipelineConfig::default, None);
+    let annotate_fleet = |live: &LiveSeMiTri| {
+        let mut n = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            for raw in raws {
+                n += raw.len();
+                black_box(live.annotate(raw));
+            }
+        }
+        n as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let idle_records_per_sec = annotate_fleet(&live);
+
+    let stop = AtomicBool::new(false);
+    let center = city.bounds().center();
+    let (contended_records_per_sec, rebuild_ms) = std::thread::scope(|scope| {
+        let publisher = scope.spawn(|| {
+            let mut ms = Vec::new();
+            let mut i = 0u64;
+            loop {
+                live.submit(Mutation::AddPoi {
+                    point: Point::new(center.x + (i % 97) as f64, center.y - (i % 89) as f64),
+                    category: PoiCategory::Feedings,
+                    name: format!("sweep poi {i}"),
+                })
+                .expect("in-bounds poi");
+                let t0 = Instant::now();
+                black_box(live.publish());
+                ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                i += 1;
+                if stop.load(Ordering::Relaxed) {
+                    return ms;
+                }
+            }
+        });
+        let rps = annotate_fleet(&live);
+        stop.store(true, Ordering::Relaxed);
+        (rps, publisher.join().expect("publisher thread"))
+    });
+
+    SwapSweep {
+        publishes: rebuild_ms.len(),
+        rebuild_ms_median: median(rebuild_ms),
+        idle_records_per_sec,
+        contended_records_per_sec,
+    }
 }
 
 /// The paired-kernel speedup ratios the regression marker watches.
@@ -550,12 +644,14 @@ impl Speedups {
 }
 
 /// Renders the results document by hand (no JSON dependency in-tree).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     results: &[KernelResult],
     quick: bool,
     scale: usize,
     speedups: &Speedups,
     arena: &OracleArena,
+    swaps: &SwapSweep,
     regression: bool,
 ) -> String {
     let mut out = String::from("{\n");
@@ -606,6 +702,23 @@ fn render_json(
         "  \"oracle_bytes_per_cell\": {:.1},\n",
         arena.bytes_per_cell
     ));
+    out.push_str(&format!("  \"swap_publishes\": {},\n", swaps.publishes));
+    out.push_str(&format!(
+        "  \"swap_rebuild_ms_median\": {:.1},\n",
+        swaps.rebuild_ms_median
+    ));
+    out.push_str(&format!(
+        "  \"swap_idle_records_per_sec\": {:.0},\n",
+        swaps.idle_records_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"swap_contended_records_per_sec\": {:.0},\n",
+        swaps.contended_records_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"swap_throughput_ratio\": {:.2},\n",
+        swaps.throughput_ratio()
+    ));
     out.push_str(&format!("  \"regression\": {regression}\n"));
     out.push_str("}\n");
     out
@@ -643,7 +756,13 @@ mod tests {
             arena_bytes: 2_000_000,
             bytes_per_cell: 445.5,
         };
-        let s = render_json(&rs, true, 1, &speedups, &arena, false);
+        let swaps = SwapSweep {
+            publishes: 12,
+            rebuild_ms_median: 87.5,
+            idle_records_per_sec: 1_000_000.0,
+            contended_records_per_sec: 900_000.0,
+        };
+        let s = render_json(&rs, true, 1, &speedups, &arena, &swaps, false);
         assert!(s.contains("\"match_records_speedup_vs_naive\": 2.50"));
         assert!(s.contains("\"frozen_rtree_range_speedup_vs_dynamic\": 1.40"));
         assert!(s.contains("\"frozen_rtree_knn_speedup_vs_dynamic\": 1.10"));
@@ -653,6 +772,9 @@ mod tests {
         assert!(s.contains("\"oracle_slots\": 60000"));
         assert!(s.contains("\"oracle_arena_bytes\": 2000000"));
         assert!(s.contains("\"oracle_bytes_per_cell\": 445.5"));
+        assert!(s.contains("\"swap_publishes\": 12"));
+        assert!(s.contains("\"swap_rebuild_ms_median\": 87.5"));
+        assert!(s.contains("\"swap_throughput_ratio\": 0.90"));
         assert!(s.contains("\"median_ns_per_unit\": 12.3"));
         assert!(s.ends_with("}\n"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());

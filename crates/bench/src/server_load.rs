@@ -197,7 +197,7 @@ pub fn run(scale: Scale, opts: &ServerLoadOptions) -> bool {
     )
     .into_bytes();
 
-    let config = PipelineConfig {
+    let make_config = || PipelineConfig {
         mode: ModeInferencer {
             allow_car: true,
             ..ModeInferencer::default()
@@ -205,11 +205,11 @@ pub fn run(scale: Scale, opts: &ServerLoadOptions) -> bool {
         policy: Box::new(VelocityPolicy::vehicles()),
         ..PipelineConfig::default()
     };
-    let pipeline = SeMiTri::new(&dataset.city, config);
     // thread-per-connection: one worker per concurrent client, plus one
     let workers = levels.iter().copied().max().unwrap_or(1) + 1;
     let server = Server::new(
-        pipeline,
+        dataset.city.clone(),
+        make_config,
         VelocityPolicy::vehicles(),
         ServeConfig {
             workers,

@@ -16,12 +16,7 @@ use std::sync::Arc;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Best-of-`reps` batch run at one pool size.
-fn best_run(
-    semitri: &SeMiTri<'_>,
-    raws: &[RawTrajectory],
-    threads: usize,
-    reps: usize,
-) -> BatchOutput {
+fn best_run(semitri: &SeMiTri, raws: &[RawTrajectory], threads: usize, reps: usize) -> BatchOutput {
     let mut best: Option<BatchOutput> = None;
     for _ in 0..reps {
         let out = semitri.annotate_batch(raws, threads);

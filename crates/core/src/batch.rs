@@ -239,15 +239,15 @@ impl BatchOutput {
 /// let out = BatchAnnotator::new(&semitri).with_threads(4).annotate_all(&batch);
 /// println!("{:.0} records/s", out.summary.records_per_sec);
 /// ```
-pub struct BatchAnnotator<'s, 'c> {
-    semitri: &'s SeMiTri<'c>,
+pub struct BatchAnnotator<'s> {
+    semitri: &'s SeMiTri,
     threads: usize,
     registry: Option<Arc<MetricsRegistry>>,
 }
 
-impl<'s, 'c> BatchAnnotator<'s, 'c> {
+impl<'s> BatchAnnotator<'s> {
     /// Builds a pool over `semitri` sized to the machine's parallelism.
-    pub fn new(semitri: &'s SeMiTri<'c>) -> Self {
+    pub fn new(semitri: &'s SeMiTri) -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -469,7 +469,7 @@ impl<'s, 'c> BatchAnnotator<'s, 'c> {
     }
 }
 
-impl<'c> SeMiTri<'c> {
+impl SeMiTri {
     /// Annotates a batch of trajectories over `threads` shared workers.
     /// Convenience for [`BatchAnnotator`] with an explicit pool size.
     pub fn annotate_batch(&self, batch: &[RawTrajectory], threads: usize) -> BatchOutput {

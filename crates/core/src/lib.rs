@@ -41,6 +41,7 @@
 pub mod batch;
 pub mod error;
 pub mod line;
+pub mod live;
 pub mod model;
 pub mod pipeline;
 pub mod point;
@@ -54,6 +55,7 @@ pub use batch::{
 pub use error::SemitriError;
 pub use line::matcher::{GlobalMapMatcher, MatchParams, MatchScratch, MatchedPoint};
 pub use line::mode::ModeInferencer;
+pub use live::{LiveSeMiTri, Mutation, PublishOutcome};
 pub use model::{
     Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple, StructuredSemanticTrajectory,
 };
@@ -61,7 +63,9 @@ pub use pipeline::{LatencyProfile, PipelineConfig, PipelineOutput, SeMiTri};
 pub use point::PointAnnotator;
 pub use preprocess::Preprocessor;
 pub use region::{RegionAnnotator, RegionTuple};
-pub use semitri_index::{IndexMode, OracleMode};
+pub use semitri_index::{
+    Generation, GenerationHandle, GenerationId, IndexMode, OracleMode, SnapshotSet,
+};
 pub use semitri_obs::{
     CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
     MetricsSnapshot, NullObserver, PipelineObserver, Stage,

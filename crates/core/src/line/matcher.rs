@@ -22,8 +22,9 @@ use semitri_data::road::SegmentId;
 use semitri_data::{GpsRecord, RoadNetwork};
 use semitri_geo::{Point, Rect};
 use semitri_index::{
-    CellOracle, FrozenRStarTree, FrozenRangeScratch, IndexMode, OracleMode, RStarTree,
+    CellOracle, FrozenRStarTree, FrozenRangeScratch, IndexMode, OracleMode, RStarTree, SnapshotSet,
 };
+use std::sync::Arc;
 
 /// Parameters of the global map-matching algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -168,8 +169,8 @@ impl MatchScratch {
 /// let matches = matcher.match_records(&records);
 /// assert!(matches.iter().all(|m| m.is_some()));
 /// ```
-pub struct GlobalMapMatcher<'n> {
-    net: &'n RoadNetwork,
+pub struct GlobalMapMatcher {
+    net: Arc<RoadNetwork>,
     index: SegmentIndex,
     /// Precomputed per-cell candidate slabs (the default). `None` when
     /// [`OracleMode::Disabled`]: every cell-cache refill walks the tree.
@@ -210,16 +211,24 @@ impl SegmentIndex {
     }
 }
 
-impl<'n> GlobalMapMatcher<'n> {
+impl GlobalMapMatcher {
     /// Builds the matcher over a road network (bulk-loads an R\*-tree over
     /// the segment bounding boxes and freezes it into the flat snapshot).
-    pub fn new(net: &'n RoadNetwork, params: MatchParams) -> Self {
+    ///
+    /// Accepts either an `Arc<RoadNetwork>` (shared with a snapshot
+    /// generation, no copy) or `&RoadNetwork` (cloned into a fresh `Arc`
+    /// for callers that keep ownership).
+    pub fn new(net: impl Into<Arc<RoadNetwork>>, params: MatchParams) -> Self {
         Self::with_index_mode(net, params, IndexMode::Frozen)
     }
 
     /// [`GlobalMapMatcher::new`] with an explicit index backend (keeps the
     /// default precomputed oracle).
-    pub fn with_index_mode(net: &'n RoadNetwork, params: MatchParams, mode: IndexMode) -> Self {
+    pub fn with_index_mode(
+        net: impl Into<Arc<RoadNetwork>>,
+        params: MatchParams,
+        mode: IndexMode,
+    ) -> Self {
         Self::with_modes(net, params, mode, OracleMode::default())
     }
 
@@ -232,11 +241,12 @@ impl<'n> GlobalMapMatcher<'n> {
     /// to the dynamic tree's, so the arena is byte-identical across
     /// backends and the identity contract holds for both.
     pub fn with_modes(
-        net: &'n RoadNetwork,
+        net: impl Into<Arc<RoadNetwork>>,
         params: MatchParams,
         mode: IndexMode,
         oracle_mode: OracleMode,
     ) -> Self {
+        let net = net.into();
         assert!(params.radius_m > 0.0, "radius must be positive");
         assert!(params.sigma_factor > 0.0, "sigma factor must be positive");
         assert!(
@@ -266,23 +276,23 @@ impl<'n> GlobalMapMatcher<'n> {
         // free, trading arena memory for it. Candidate identity is
         // independent of the cell size — the per-fix window/distance
         // filter does the selecting; cells only bound the superset.
-        let build = |frozen: &FrozenRStarTree<SegmentId>| match oracle_mode {
-            OracleMode::Precomputed { margin_m } => {
-                Some(CellOracle::build(frozen, r / 3.0, r, margin_m))
-            }
-            OracleMode::Disabled => None,
-        };
         let (index, oracle) = match mode {
             IndexMode::Frozen => {
-                let frozen = Box::new(tree.freeze());
-                let oracle = build(&frozen);
+                // one generation of the segment read path = one SnapshotSet:
+                // the frozen tree and its oracle arena are built together so
+                // they always describe the same world
+                let (frozen, oracle) =
+                    SnapshotSet::build(&tree, r / 3.0, r, oracle_mode).into_parts();
                 (SegmentIndex::Frozen(frozen), oracle)
             }
             IndexMode::Dynamic => {
-                let oracle = if matches!(oracle_mode, OracleMode::Disabled) {
-                    None
-                } else {
-                    build(&tree.clone().freeze())
+                let oracle = match oracle_mode {
+                    OracleMode::Disabled => None,
+                    _ => {
+                        SnapshotSet::build(&tree, r / 3.0, r, oracle_mode)
+                            .into_parts()
+                            .1
+                    }
                 };
                 (SegmentIndex::Dynamic(tree), oracle)
             }
@@ -304,6 +314,13 @@ impl<'n> GlobalMapMatcher<'n> {
     /// The parameters in effect.
     pub fn params(&self) -> MatchParams {
         self.params
+    }
+
+    /// The road network this matcher matches against (the snapshot the
+    /// matcher was built from — under generation swaps this can lag the
+    /// live world until the next publish).
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
     }
 
     /// Appends the candidates of one fix (with raw Eq. 1 distances, before

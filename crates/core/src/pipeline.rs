@@ -150,21 +150,30 @@ impl PipelineOutput {
 }
 
 /// The SeMiTri middleware bound to one city's geographic sources.
-pub struct SeMiTri<'c> {
-    city: &'c City,
+///
+/// The pipeline owns its city snapshot behind an `Arc`: one `SeMiTri` is
+/// one immutable annotation world, shareable across worker threads and
+/// swappable as a whole by the generation layer (`LiveSeMiTri`).
+pub struct SeMiTri {
+    city: Arc<City>,
     region: RegionAnnotator,
     named: RegionAnnotator,
-    matcher: GlobalMapMatcher<'c>,
+    matcher: GlobalMapMatcher,
     point: Option<PointAnnotator>,
     config: PipelineConfig,
     observer: Option<Arc<dyn PipelineObserver>>,
 }
 
-impl<'c> SeMiTri<'c> {
+impl SeMiTri {
     /// Builds the middleware: indexes the landuse grid, the road network
     /// and the POIs of `city`. The point layer is skipped when the city
     /// has no POIs (the paper's sparse-Lausanne situation, §5.3).
-    pub fn new(city: &'c City, config: PipelineConfig) -> Self {
+    ///
+    /// Accepts either an `Arc<City>` (shared, no copy — the generation
+    /// layer's path) or `&City` (cloned into a fresh `Arc` for callers
+    /// that keep ownership).
+    pub fn new(city: impl Into<Arc<City>>, config: PipelineConfig) -> Self {
+        let city = city.into();
         let mode = config.index_mode;
         let oracle_mode = config.oracle_mode;
         let region = RegionAnnotator::from_landuse_with(&city.landuse, mode);
@@ -221,8 +230,8 @@ impl<'c> SeMiTri<'c> {
     }
 
     /// The city this pipeline annotates against.
-    pub fn city(&self) -> &'c City {
-        self.city
+    pub fn city(&self) -> &City {
+        &self.city
     }
 
     /// The configuration in effect.
@@ -241,7 +250,7 @@ impl<'c> SeMiTri<'c> {
     }
 
     /// The map matcher (exposed for benchmarks).
-    pub fn matcher(&self) -> &GlobalMapMatcher<'c> {
+    pub fn matcher(&self) -> &GlobalMapMatcher {
         &self.matcher
     }
 

@@ -22,10 +22,11 @@ use crate::line::{group_matches, RouteEntry};
 use crate::pipeline::{CleanConfig, SeMiTri};
 use crate::point::{PointAnnotator, StopAnnotation};
 use crate::region::RegionAnnotator;
-use semitri_data::{City, GpsRecord, PoiCategory};
+use semitri_data::{City, GpsRecord, PoiCategory, RoadNetwork};
 use semitri_episodes::clean::COLOCATED_EPS_M;
 use semitri_episodes::{Episode, EpisodeKind, VelocityPolicy};
 use semitri_geo::{Point, Rect, TimeSpan};
+use semitri_index::{Generation, GenerationHandle, GenerationId};
 use semitri_obs::{CleaningReport, PipelineObserver, Stage};
 use std::sync::Arc;
 use std::time::Instant;
@@ -57,23 +58,34 @@ const MOVE_CONFIRM_SECS: f64 = 30.0;
 
 /// The annotation machinery a streaming session runs on: either built
 /// and owned by this annotator (the historical shape — every spatial
-/// index constructed per instance) or borrowed from a long-lived
-/// [`SeMiTri`] pipeline, so a server hosting thousands of sessions
-/// builds the frozen indexes once and shares them by reference.
-// the size gap vs the 8-byte Shared variant is fine: an annotator holds
-// exactly one Engine, and server sessions all use Shared
+/// index constructed per instance), borrowed from a long-lived
+/// [`SeMiTri`] pipeline so a server hosting thousands of sessions
+/// builds the frozen indexes once and shares them by reference, or
+/// pinned to a [`GenerationHandle`] so live updates swap in underneath
+/// the session at episode boundaries.
+// the size gap vs the pointer-sized Shared/Live variants is fine: an
+// annotator holds exactly one Engine, and server sessions never use Owned
 #[allow(clippy::large_enum_variant)]
 enum Engine<'c> {
     /// Indexes owned by this annotator.
     Owned {
         region: RegionAnnotator,
-        matcher: GlobalMapMatcher<'c>,
+        matcher: GlobalMapMatcher,
         point: Option<PointAnnotator>,
         mode: ModeInferencer,
     },
     /// Indexes borrowed from a shared pipeline (`SeMiTri` is
     /// `&`-shareable; the batch pool already relies on that).
-    Shared(&'c SeMiTri<'c>),
+    Shared(&'c SeMiTri),
+    /// Indexes resolved through a generation handle. The session holds a
+    /// pin on one generation; [`StreamingAnnotator::push`] re-pins at
+    /// episode-open boundaries, so an in-flight episode always finishes
+    /// on the generation it started on and the *next* episode picks up
+    /// whatever a concurrent publish installed.
+    Live {
+        handle: Arc<GenerationHandle<SeMiTri>>,
+        pinned: Arc<Generation<SeMiTri>>,
+    },
 }
 
 impl<'c> Engine<'c> {
@@ -81,13 +93,15 @@ impl<'c> Engine<'c> {
         match self {
             Engine::Owned { region, .. } => region,
             Engine::Shared(s) => s.region_annotator(),
+            Engine::Live { pinned, .. } => pinned.snapshot().region_annotator(),
         }
     }
 
-    fn matcher(&self) -> &GlobalMapMatcher<'c> {
+    fn matcher(&self) -> &GlobalMapMatcher {
         match self {
             Engine::Owned { matcher, .. } => matcher,
             Engine::Shared(s) => s.matcher(),
+            Engine::Live { pinned, .. } => pinned.snapshot().matcher(),
         }
     }
 
@@ -95,6 +109,7 @@ impl<'c> Engine<'c> {
         match self {
             Engine::Owned { point, .. } => point.as_ref(),
             Engine::Shared(s) => s.point_annotator(),
+            Engine::Live { pinned, .. } => pinned.snapshot().point_annotator(),
         }
     }
 
@@ -102,13 +117,21 @@ impl<'c> Engine<'c> {
         match self {
             Engine::Owned { mode, .. } => *mode,
             Engine::Shared(s) => s.config().mode,
+            Engine::Live { pinned, .. } => pinned.snapshot().config().mode,
+        }
+    }
+
+    fn roads(&self) -> &RoadNetwork {
+        match self {
+            Engine::Owned { matcher, .. } => matcher.network(),
+            Engine::Shared(s) => &s.city().roads,
+            Engine::Live { pinned, .. } => &pinned.snapshot().city().roads,
         }
     }
 }
 
 /// Incremental stop/move/annotate engine over a live GPS feed.
 pub struct StreamingAnnotator<'c> {
-    city: &'c City,
     engine: Engine<'c>,
     policy: VelocityPolicy,
     /// Online cleaning parameters (speed bound; smoothing is offline-only
@@ -157,7 +180,7 @@ impl<'c> StreamingAnnotator<'c> {
     /// the same backend the batch pipeline defaults to — so a long-lived
     /// stream pays the dynamic tree's pointer chasing zero times.
     pub fn new(
-        city: &'c City,
+        city: &City,
         policy: VelocityPolicy,
         match_params: crate::line::matcher::MatchParams,
         mode: ModeInferencer,
@@ -165,7 +188,6 @@ impl<'c> StreamingAnnotator<'c> {
     ) -> Self {
         let point = PointAnnotator::new(&city.pois, city.bounds(), point_params).ok();
         Self::with_engine(
-            city,
             Engine::Owned {
                 region: RegionAnnotator::from_landuse(&city.landuse),
                 matcher: GlobalMapMatcher::new(&city.roads, match_params),
@@ -186,19 +208,29 @@ impl<'c> StreamingAnnotator<'c> {
     /// observer is *not* inherited (install one with
     /// [`StreamingAnnotator::with_observer`] if per-session spans are
     /// wanted — a server typically observes at the shared pipeline level).
-    pub fn over(pipeline: &'c SeMiTri<'c>, policy: VelocityPolicy) -> Self {
+    pub fn over(pipeline: &'c SeMiTri, policy: VelocityPolicy) -> Self {
         let clean = pipeline.config().clean;
-        Self::with_engine(pipeline.city(), Engine::Shared(pipeline), policy, clean)
+        Self::with_engine(Engine::Shared(pipeline), policy, clean)
     }
 
-    fn with_engine(
-        city: &'c City,
-        engine: Engine<'c>,
+    /// Builds a streaming annotator over a [`GenerationHandle`] — the
+    /// session shape for a server that accepts live map updates. The
+    /// current generation is pinned immediately; each episode-open
+    /// boundary re-pins, so episodes in flight when a publish lands
+    /// finish on the generation they started on while the next episode
+    /// sees the new world. Cleaning and mode parameters follow the
+    /// pinned pipeline's configuration (re-read at each re-pin).
+    pub fn live(
+        handle: Arc<GenerationHandle<SeMiTri>>,
         policy: VelocityPolicy,
-        clean: CleanConfig,
-    ) -> Self {
+    ) -> StreamingAnnotator<'static> {
+        let pinned = handle.pin();
+        let clean = pinned.snapshot().config().clean;
+        StreamingAnnotator::with_engine(Engine::Live { handle, pinned }, policy, clean)
+    }
+
+    fn with_engine(engine: Engine<'c>, policy: VelocityPolicy, clean: CleanConfig) -> Self {
         Self {
-            city,
             engine,
             policy,
             clean,
@@ -261,6 +293,30 @@ impl<'c> StreamingAnnotator<'c> {
     /// they were refused).
     pub fn rejected_after_finish(&self) -> u64 {
         self.rejected_after_finish
+    }
+
+    /// The generation this session is currently pinned to, when it runs
+    /// over a [`GenerationHandle`] (`None` for owned or shared engines).
+    pub fn generation_id(&self) -> Option<GenerationId> {
+        match &self.engine {
+            Engine::Live { pinned, .. } => Some(pinned.id()),
+            _ => None,
+        }
+    }
+
+    /// Re-pins a live engine to the handle's current generation (no-op
+    /// for owned/shared engines). Called exactly at episode-open
+    /// boundaries: an episode is annotated wholly on one generation, and
+    /// cross-generation scratch reuse is already guarded by the matcher
+    /// fingerprint in `MatchScratch`.
+    fn repin(&mut self) {
+        if let Engine::Live { handle, pinned } = &mut self.engine {
+            let fresh = handle.pin();
+            if fresh.id() != pinned.id() {
+                self.clean = fresh.snapshot().config().clean;
+                *pinned = fresh;
+            }
+        }
     }
 
     fn observe(&self, stage: Stage, records: usize, secs: f64) {
@@ -338,6 +394,8 @@ impl<'c> StreamingAnnotator<'c> {
 
         match self.open_kind {
             None => {
+                // first episode opens: pin the generation it will run on
+                self.repin();
                 self.open_kind = Some(kind);
                 Vec::new()
             }
@@ -380,6 +438,9 @@ impl<'c> StreamingAnnotator<'c> {
                 // episode: close [open_start, flip_start) and reopen at
                 // flip_start, so consecutive episodes share no record
                 let closed = self.close_episode(open, self.open_start, flip_start);
+                // the closing episode ran on the old pin; the episode
+                // opening at flip_start runs on whatever is current now
+                self.repin();
                 self.open_start = flip_start;
                 self.open_kind = Some(kind);
                 self.contrary_since = None;
@@ -475,7 +536,7 @@ impl<'c> StreamingAnnotator<'c> {
                 let mut route = group_matches(slice, &matches);
                 self.engine
                     .mode()
-                    .annotate(&self.city.roads, slice, &mut route);
+                    .annotate(self.engine.roads(), slice, &mut route);
                 self.observe(Stage::Line, n_records, t0.elapsed().as_secs_f64());
                 Some(StreamEvent::Move { episode, route })
             }

@@ -92,7 +92,7 @@ fn dense_track_strategy() -> impl Strategy<Value = Vec<GpsRecord>> {
 /// (they are bitwise-identical by construction; the epsilon only guards
 /// against legitimate future reformulations).
 fn assert_matches_naive(
-    matcher: &GlobalMapMatcher<'_>,
+    matcher: &GlobalMapMatcher,
     scratch: &mut MatchScratch,
     recs: &[GpsRecord],
 ) -> Result<(), TestCaseError> {

@@ -55,6 +55,15 @@ pub struct City {
     pub regions: Vec<NamedRegion>,
 }
 
+/// Snapshot conversion: the pipeline owns its city behind an `Arc` so
+/// generation swaps can retire and replace it without lifetimes; borrowing
+/// callers keep working by cloning into a fresh `Arc` at construction.
+impl From<&City> for std::sync::Arc<City> {
+    fn from(city: &City) -> Self {
+        std::sync::Arc::new(city.clone())
+    }
+}
+
 impl City {
     /// Generates a complete city from the config. Deterministic.
     pub fn generate(config: CityConfig) -> Self {

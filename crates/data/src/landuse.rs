@@ -300,6 +300,16 @@ impl LanduseGrid {
         self.cell((row * self.nx + col) as u64).expect("in range")
     }
 
+    /// Reclassifies the cell containing `p` (clamped to the border cells
+    /// like [`LanduseGrid::cell_at`]) and returns the cell id. Used by the
+    /// live-update path; readers only observe the revision through the next
+    /// published snapshot generation.
+    pub fn set_category_at(&mut self, p: Point, category: LanduseCategory) -> u64 {
+        let id = self.cell_at(p).id;
+        self.categories[id as usize] = category;
+        id
+    }
+
     /// Iterates over all cells.
     pub fn cells(&self) -> impl Iterator<Item = LanduseCell> + '_ {
         (0..self.categories.len() as u64).map(move |id| self.cell(id).expect("in range"))

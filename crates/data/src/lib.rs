@@ -47,6 +47,6 @@ pub use fault::{Fault, FaultInjector};
 pub use gps::{FeedError, GpsFeed, GpsRecord, RawTrajectory};
 pub use landuse::{LanduseCategory, LanduseCell, LanduseGrid, LanduseGroup};
 pub use poi::{Poi, PoiCategory, PoiSet};
-pub use region::NamedRegion;
+pub use region::{NamedRegion, RegionKind};
 pub use road::{RoadClass, RoadNetwork, RoadSegment, TransportMode};
 pub use sim::{SimulatedTrack, TruthPoint};

@@ -96,6 +96,24 @@ impl PoiSet {
         Self { pois }
     }
 
+    /// Adds a POI with a fresh id (one past the current maximum) and
+    /// returns that id. Used by the live-update path; readers only observe
+    /// the addition through the next published snapshot generation.
+    pub fn push(&mut self, point: Point, category: PoiCategory, name: String) -> u64 {
+        assert!(
+            point.x.is_finite() && point.y.is_finite(),
+            "POI coordinates must be finite"
+        );
+        let id = self.pois.iter().map(|p| p.id + 1).max().unwrap_or(0);
+        self.pois.push(Poi {
+            id,
+            point,
+            category,
+            name,
+        });
+        id
+    }
+
     /// Generates `total` POIs over `bounds` with the Milan category mix.
     ///
     /// Spatial layout: a configurable number of urban clusters (2-D

@@ -142,6 +142,15 @@ pub struct RoadNetwork {
     adjacency: Vec<Vec<(SegmentId, NodeId)>>,
 }
 
+/// Snapshot conversion: annotators own their network behind an `Arc` so
+/// generation swaps can retire and replace it without lifetimes; borrowing
+/// callers keep working by cloning into a fresh `Arc` at construction.
+impl From<&RoadNetwork> for std::sync::Arc<RoadNetwork> {
+    fn from(net: &RoadNetwork) -> Self {
+        std::sync::Arc::new(net.clone())
+    }
+}
+
 /// A route through the network: an ordered list of segment ids plus the
 /// traversal geometry.
 #[derive(Debug, Clone)]
@@ -206,6 +215,59 @@ impl RoadNetwork {
             segments,
             adjacency,
         }
+    }
+
+    /// Adds a node (crossing / station) and returns its id. The node is
+    /// isolated until an edge references it.
+    ///
+    /// # Panics
+    /// Panics on non-finite coordinates.
+    pub fn add_node(&mut self, p: Point) -> NodeId {
+        assert!(
+            p.x.is_finite() && p.y.is_finite(),
+            "node coordinates must be finite"
+        );
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(p);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds a segment between two existing nodes, maintaining the adjacency
+    /// lists, and returns its id.
+    ///
+    /// # Panics
+    /// Panics on dangling node references, self-loops or zero-length edges
+    /// — the same invariants [`RoadNetwork::new`] enforces.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: RoadClass,
+        bus_route: bool,
+        name: String,
+    ) -> SegmentId {
+        let (f, t) = (from as usize, to as usize);
+        assert!(
+            f < self.nodes.len() && t < self.nodes.len(),
+            "dangling node id"
+        );
+        assert_ne!(f, t, "self-loop edge");
+        let geometry = Segment::new(self.nodes[f], self.nodes[t]);
+        assert!(geometry.length() > 0.0, "zero-length edge");
+        let id = self.segments.len() as SegmentId;
+        self.segments.push(RoadSegment {
+            id,
+            from,
+            to,
+            geometry,
+            class,
+            bus_route,
+            name,
+        });
+        self.adjacency[f].push((id, to));
+        self.adjacency[t].push((id, from));
+        id
     }
 
     /// All nodes.

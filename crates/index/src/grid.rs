@@ -74,16 +74,44 @@ impl<T> GridIndex<T> {
         self.len == 0
     }
 
-    /// The `(col, row)` cell coordinates of `p`, clamped to the grid — points
-    /// outside the bounds land in the nearest border cell, so every valid
-    /// query maps somewhere deterministic.
+    /// The `(col, row)` cell coordinates of `p`, clamped to the grid.
+    ///
+    /// The contract mirrors `CellOracle::locate`'s clamp step so the two
+    /// discretizations agree at the edges:
+    ///
+    /// * **interior** points map to the cell containing them, with cell
+    ///   `c` owning the half-open span `[c·size, (c+1)·size)`;
+    /// * points **on the max bound** (and any finite point beyond any
+    ///   bound) clamp to the nearest border cell, so every finite query
+    ///   maps somewhere deterministic;
+    /// * **non-finite** coordinates are a caller bug and panic — without
+    ///   the check, `f64::max(NaN, 0.0)` silently collapses NaN to cell
+    ///   `(0, 0)`, indexing garbage instead of surfacing the bad input.
+    ///   Callers holding untrusted points should use
+    ///   [`GridIndex::try_cell_of`].
+    ///
+    /// # Panics
+    /// Panics when either coordinate of `p` is NaN or infinite.
     #[inline]
     pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        self.try_cell_of(p)
+            .expect("cannot map a non-finite point to a grid cell")
+    }
+
+    /// [`GridIndex::cell_of`] for untrusted input: `None` when either
+    /// coordinate is NaN or infinite, instead of panicking. This is the
+    /// same rejection `CellOracle::locate` applies (its in-reach test is
+    /// written so NaN fails it), expressed as an `Option`.
+    #[inline]
+    pub fn try_cell_of(&self, p: Point) -> Option<(usize, usize)> {
+        if !p.is_finite() {
+            return None;
+        }
         let cx = ((p.x - self.bounds.min_x) / self.cell_size).floor();
         let cy = ((p.y - self.bounds.min_y) / self.cell_size).floor();
         let cx = (cx.max(0.0) as usize).min(self.nx - 1);
         let cy = (cy.max(0.0) as usize).min(self.ny - 1);
-        (cx, cy)
+        Some((cx, cy))
     }
 
     /// Flat index of a cell; used as the discretization key of the HMM
@@ -120,7 +148,10 @@ impl<T> GridIndex<T> {
     /// Visits every item within `radius` meters of `p` (exact point
     /// distance; only the covered cells are scanned).
     pub fn for_each_within<'a>(&'a self, p: Point, radius: f64, mut f: impl FnMut(Point, &'a T)) {
-        assert!(radius >= 0.0, "radius must be non-negative");
+        assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "radius must be non-negative and finite"
+        );
         let (c0x, c0y) = self.cell_of(Point::new(p.x - radius, p.y - radius));
         let (c1x, c1y) = self.cell_of(Point::new(p.x + radius, p.y + radius));
         let r_sq = radius * radius;
@@ -184,6 +215,58 @@ mod tests {
         assert_eq!(g.cell_of(Point::new(100.0, 100.0)), (9, 9));
         // outside: clamped
         assert_eq!(g.cell_of(Point::new(-50.0, 500.0)), (0, 9));
+    }
+
+    #[test]
+    fn cell_of_boundary_contract_is_half_open_then_clamped() {
+        let g = grid();
+        // interior cell boundaries are half-open: an exact multiple of the
+        // cell size belongs to the upper cell …
+        assert_eq!(g.cell_of(Point::new(10.0, 0.0)), (1, 0));
+        assert_eq!(g.cell_of(Point::new(90.0, 90.0)), (9, 9));
+        // … except on the max bound, where there is no upper cell and the
+        // point clamps into the last one (CellOracle::locate's clamp)
+        assert_eq!(g.cell_of(Point::new(100.0, 50.0)), (9, 5));
+        assert_eq!(g.cell_of(Point::new(50.0, 100.0)), (5, 9));
+        // the min bound belongs to cell 0 outright
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), (0, 0));
+        // just inside the max bound is still the last cell
+        let eps = 100.0 - f64::EPSILON * 100.0;
+        assert_eq!(g.cell_of(Point::new(eps, eps)), (9, 9));
+    }
+
+    #[test]
+    fn try_cell_of_rejects_non_finite_and_matches_cell_of_elsewhere() {
+        let g = grid();
+        assert_eq!(g.try_cell_of(Point::new(f64::NAN, 5.0)), None);
+        assert_eq!(g.try_cell_of(Point::new(5.0, f64::NAN)), None);
+        assert_eq!(g.try_cell_of(Point::new(f64::INFINITY, 5.0)), None);
+        assert_eq!(g.try_cell_of(Point::new(5.0, f64::NEG_INFINITY)), None);
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(-3.0, 55.5),
+            Point::new(1e12, -1e12),
+        ] {
+            assert_eq!(g.try_cell_of(p), Some(g.cell_of(p)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn cell_of_panics_on_nan_instead_of_aliasing_cell_zero() {
+        grid().cell_of(Point::new(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn max_bound_insert_and_query_roundtrip() {
+        let mut g = grid();
+        // an item exactly on the max corner is stored in the last cell and
+        // found again by cell and by radius probes from inside and outside
+        g.insert(Point::new(100.0, 100.0), 7);
+        assert_eq!(g.in_cell(Point::new(100.0, 100.0)).len(), 1);
+        assert_eq!(g.within(Point::new(99.0, 99.0), 2.0).len(), 1);
+        assert_eq!(g.within(Point::new(101.0, 101.0), 2.0).len(), 1);
     }
 
     #[test]

@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod frozen;
+pub mod generation;
 pub mod grid;
 pub mod oracle;
 pub mod rstar;
 
 pub use frozen::{FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, IndexMode};
+pub use generation::{Generation, GenerationHandle, GenerationId, SnapshotSet};
 pub use grid::GridIndex;
 pub use oracle::{CellOracle, OracleMode, DEFAULT_ORACLE_MARGIN_M};
 pub use rstar::{NearestScratch, RStarParams, RStarTree, RangeScratch};

@@ -36,14 +36,24 @@ pub struct ServerMetrics {
     pub sessions_flushed: Arc<Counter>,
     /// `server.sessions_evicted` — sessions dropped by LRU pressure.
     pub sessions_evicted: Arc<Counter>,
+    /// `server.evicted_records` — accepted records that were inside
+    /// sessions when LRU pressure closed them (their final episodes are
+    /// annotated at eviction, not dropped).
+    pub evicted_records: Arc<Counter>,
     /// `server.backpressure_rejections` — pushes refused because a queue
     /// bound was hit (HTTP 429).
     pub backpressure_rejections: Arc<Counter>,
+    /// `server.generation` — id of the snapshot generation currently
+    /// serving reads (bumps on every `/admin/update` publish).
+    pub generation: Arc<Gauge>,
+    /// `server.updates_applied` — mutations folded into published
+    /// generations over the server's lifetime.
+    pub updates_applied: Arc<Counter>,
 }
 
 impl ServerMetrics {
     /// Every counter/gauge name in the schema, in report order.
-    pub const COUNTERS_AND_GAUGES: [&'static str; 10] = [
+    pub const COUNTERS_AND_GAUGES: [&'static str; 13] = [
         "server.connections",
         "server.requests",
         "server.responses_2xx",
@@ -53,7 +63,10 @@ impl ServerMetrics {
         "server.sessions_opened",
         "server.sessions_flushed",
         "server.sessions_evicted",
+        "server.evicted_records",
         "server.backpressure_rejections",
+        "server.generation",
+        "server.updates_applied",
     ];
 
     /// Every histogram name in the schema.
@@ -74,7 +87,10 @@ impl ServerMetrics {
             sessions_opened: registry.counter("server.sessions_opened"),
             sessions_flushed: registry.counter("server.sessions_flushed"),
             sessions_evicted: registry.counter("server.sessions_evicted"),
+            evicted_records: registry.counter("server.evicted_records"),
             backpressure_rejections: registry.counter("server.backpressure_rejections"),
+            generation: registry.gauge("server.generation"),
+            updates_applied: registry.counter("server.updates_applied"),
         }
     }
 

@@ -110,14 +110,9 @@ fn print_metrics(summary: &BatchSummary) {
     print!("{}", summary.metrics.to_json_lines());
 }
 
-/// Builds the (city, pipeline config, streaming policy) for a dataset
-/// preset. `serve` and `annotate` both go through here so the served
-/// `/annotate` output is byte-identical to the CLI output for the same
-/// preset and seed.
-fn preset_pipeline(
-    preset: &str,
-    seed: u64,
-) -> Result<(City, PipelineConfig, VelocityPolicy), ExitCode> {
+/// Builds the city and streaming policy of a dataset preset, plus the
+/// vehicle flag that parameterizes the pipeline configuration.
+fn preset_city(preset: &str, seed: u64) -> Result<(City, bool, VelocityPolicy), ExitCode> {
     let (dataset, vehicle) = match preset {
         "taxis" => (lausanne_taxis(1, seed), true),
         "milan" => (milan_cars(20, 1, seed), true),
@@ -132,19 +127,31 @@ fn preset_pipeline(
     } else {
         VelocityPolicy::default()
     };
-    let config = if vehicle {
+    Ok((dataset.city, vehicle, policy))
+}
+
+/// The pipeline configuration of a preset. `serve` hands this to the
+/// server as a *factory* (generation rebuilds construct a fresh config
+/// per publish — the boxed segmentation policy is not `Clone`), and
+/// `annotate` calls it once; both paths produce identical configs, so a
+/// served `/annotate` response is byte-identical to the CLI output.
+fn preset_config(vehicle: bool, oracle_mode: OracleMode) -> PipelineConfig {
+    let mut config = if vehicle {
         PipelineConfig {
             mode: ModeInferencer {
                 allow_car: true,
                 ..ModeInferencer::default()
             },
-            policy: Box::new(policy),
+            policy: Box::new(VelocityPolicy::vehicles()),
             ..PipelineConfig::default()
         }
     } else {
         PipelineConfig::default()
     };
-    Ok((dataset.city, config, policy))
+    // the oracle is a pure query-plan change — `/annotate` responses stay
+    // byte-identical to `semitri-cli annotate` either way
+    config.oracle_mode = oracle_mode;
+    config
 }
 
 /// `semitri-cli serve`: stand up the annotation server and block.
@@ -155,16 +162,17 @@ fn serve(
     workers: Option<usize>,
     oracle_mode: OracleMode,
 ) -> Result<(), ExitCode> {
-    let (city, mut config, policy) = preset_pipeline(preset, seed)?;
-    // the oracle is a pure query-plan change — `/annotate` responses stay
-    // byte-identical to `semitri-cli annotate` either way
-    config.oracle_mode = oracle_mode;
-    let pipeline = SeMiTri::new(&city, config);
+    let (city, vehicle, policy) = preset_city(preset, seed)?;
     let mut serve_config = ServeConfig::default();
     if let Some(n) = workers {
         serve_config.workers = n;
     }
-    let server = Server::new(pipeline, policy, serve_config);
+    let server = Server::new(
+        city,
+        move || preset_config(vehicle, oracle_mode),
+        policy,
+        serve_config,
+    );
     let listener = std::net::TcpListener::bind(addr).map_err(|e| {
         eprintln!("cannot bind {addr}: {e}");
         ExitCode::FAILURE
@@ -189,8 +197,8 @@ fn serve(
 /// body to stdout — nothing else touches stdout, byte identity depends
 /// on it.
 fn annotate(preset: &str, seed: u64) -> Result<(), ExitCode> {
-    let (city, config, _) = preset_pipeline(preset, seed)?;
-    let pipeline = SeMiTri::new(&city, config);
+    let (city, vehicle, _) = preset_city(preset, seed)?;
+    let pipeline = SeMiTri::new(city, preset_config(vehicle, OracleMode::default()));
     let mut body = String::new();
     std::io::Read::read_to_string(&mut std::io::stdin(), &mut body).map_err(|e| {
         eprintln!("cannot read stdin: {e}");

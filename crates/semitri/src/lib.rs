@@ -70,15 +70,15 @@ pub mod prelude {
     };
     pub use semitri_core::{
         Annotation, AnnotationValue, BatchAnnotator, BatchOutput, BatchSummary, GlobalMapMatcher,
-        LatencyProfile, MatchParams, MatchScratch, ModeInferencer, PipelineConfig, PipelineError,
-        PipelineErrorKind, PipelineOutput, PlaceKind, PlaceRef, PointAnnotator, Preprocessor,
-        RegionAnnotator, SeMiTri, SemanticTuple, SemitriError, StageSummary,
-        StructuredSemanticTrajectory,
+        LatencyProfile, LiveSeMiTri, MatchParams, MatchScratch, ModeInferencer, Mutation,
+        PipelineConfig, PipelineError, PipelineErrorKind, PipelineOutput, PlaceKind, PlaceRef,
+        PointAnnotator, Preprocessor, PublishOutcome, RegionAnnotator, SeMiTri, SemanticTuple,
+        SemitriError, StageSummary, StructuredSemanticTrajectory,
     };
     pub use semitri_index::{
-        CellOracle, FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, GridIndex,
-        IndexMode, NearestScratch, OracleMode, RStarParams, RStarTree, RangeScratch,
-        DEFAULT_ORACLE_MARGIN_M,
+        CellOracle, FrozenNearestScratch, FrozenRStarTree, FrozenRangeScratch, Generation,
+        GenerationHandle, GenerationId, GridIndex, IndexMode, NearestScratch, OracleMode,
+        RStarParams, RStarTree, RangeScratch, SnapshotSet, DEFAULT_ORACLE_MARGIN_M,
     };
     pub use semitri_obs::{
         CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver,
@@ -91,8 +91,8 @@ pub mod prelude {
     pub use semitri_data::sim::{SimConfig, SimulatedTrack, TripSimulator, TruthPoint};
     pub use semitri_data::{
         City, CityConfig, Fault, FaultInjector, FeedError, GpsFeed, GpsRecord, LanduseCategory,
-        LanduseGrid, LanduseGroup, NamedRegion, Poi, PoiCategory, PoiSet, RawTrajectory, RoadClass,
-        RoadNetwork, RoadSegment, TransportMode,
+        LanduseGrid, LanduseGroup, NamedRegion, Poi, PoiCategory, PoiSet, RawTrajectory,
+        RegionKind, RoadClass, RoadNetwork, RoadSegment, TransportMode,
     };
     pub use semitri_episodes::{
         DensityPolicy, Episode, EpisodeKind, EpisodeStats, SegmentationPolicy,

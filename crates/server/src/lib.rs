@@ -5,21 +5,24 @@
 //! HTTP/1.1 + JSON-lines service over `std::net::TcpListener` — hand
 //! rolled because crates.io (and therefore tokio) is unreachable from
 //! the build environment. The design follows the read-mostly shape of
-//! transit backends like Catenary's birch server: one immutable
-//! [`SeMiTri`] pipeline (frozen spatial indexes, `&`-shareable) behind a
-//! pool of blocking worker threads, with the only mutable state — the
-//! per-user streaming sessions — sharded by user-id hash behind
-//! per-shard locks.
+//! transit backends like Catenary's birch server: an immutable snapshot
+//! pipeline (frozen spatial indexes, `&`-shareable) behind a pool of
+//! blocking worker threads, with the mutable state sharded or swapped:
+//! per-user streaming sessions hash-partition behind per-shard locks,
+//! and map updates go through a [`LiveSeMiTri`] generation swap — a
+//! rebuild freezes generation `N+1` off to the side while every reader
+//! keeps annotating on its pinned generation `N`.
 //!
 //! ## Endpoints
 //!
 //! | Endpoint | Body | Meaning |
 //! |---|---|---|
-//! | `POST /annotate` | JSON-lines feed | full-trajectory annotation through [`SeMiTri::try_annotate_feed`] |
+//! | `POST /annotate` | JSON-lines feed | full-trajectory annotation, pinned to one generation |
 //! | `POST /session/{user}/push` | JSON-lines fixes | incremental annotation in `{user}`'s streaming session |
 //! | `POST /session/{user}/flush` | empty | close the session: final events + cleaning report |
-//! | `GET /metrics` | — | `semitri-obs` registry snapshot as JSON lines |
-//! | `GET /healthz` | — | liveness probe |
+//! | `POST /admin/update` | JSON-lines mutations | publish map edits as the next snapshot generation |
+//! | `GET /metrics` | — | `semitri-obs` registry snapshot as JSON lines (includes `server.generation`) |
+//! | `GET /healthz` | — | liveness probe (`ok gen=<generation>`) |
 //!
 //! ## Fault containment
 //!
@@ -39,8 +42,8 @@ pub mod sessions;
 pub mod wire;
 
 use http::{HttpError, NextRequest, Request};
-use semitri_core::streaming::StreamingAnnotator;
-use semitri_core::SeMiTri;
+use semitri_core::{LiveSeMiTri, PipelineConfig};
+use semitri_data::City;
 use semitri_episodes::VelocityPolicy;
 use semitri_obs::{MetricsRegistry, ServerMetrics};
 use sessions::{SessionLimits, SessionTable};
@@ -124,33 +127,48 @@ fn wire_escape(s: &str) -> String {
     out
 }
 
-/// The annotation server: a shared pipeline plus request handling state.
-pub struct Server<'c> {
-    pipeline: SeMiTri<'c>,
+/// The annotation server: a live (generation-swapped) pipeline plus
+/// request handling state.
+pub struct Server {
+    live: LiveSeMiTri,
     policy: VelocityPolicy,
     registry: Arc<MetricsRegistry>,
     metrics: ServerMetrics,
     config: ServeConfig,
 }
 
-impl<'c> Server<'c> {
-    /// Builds a server around a pipeline. The pipeline gets a
-    /// [`semitri_obs::MetricsObserver`] installed into the server's
-    /// registry, so `/metrics` exposes the per-layer `stage.*` schema
-    /// next to the `server.*` schema.
-    pub fn new(mut pipeline: SeMiTri<'c>, policy: VelocityPolicy, config: ServeConfig) -> Self {
+impl Server {
+    /// Builds a server around a city and a pipeline-config factory (the
+    /// config holds a boxed segmentation policy and is not `Clone`, so
+    /// generation rebuilds need a factory, not a value). Every
+    /// generation's pipeline gets a [`semitri_obs::MetricsObserver`]
+    /// installed into the server's registry, so `/metrics` exposes the
+    /// per-layer `stage.*` schema next to the `server.*` schema across
+    /// generation swaps.
+    pub fn new(
+        city: City,
+        make_config: impl Fn() -> PipelineConfig + Send + Sync + 'static,
+        policy: VelocityPolicy,
+        config: ServeConfig,
+    ) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
-        pipeline.set_observer(Some(Arc::new(semitri_obs::MetricsObserver::new(
-            registry.clone(),
-        ))));
+        let observer = Arc::new(semitri_obs::MetricsObserver::new(registry.clone()));
+        let live = LiveSeMiTri::new(city, make_config, Some(observer));
         let metrics = ServerMetrics::new(&registry);
+        metrics.generation.set(live.current_id().0 as i64);
         Self {
-            pipeline,
+            live,
             policy,
             registry,
             metrics,
             config,
         }
+    }
+
+    /// The live pipeline handle (for tests and embedding callers that
+    /// want to publish updates without going through HTTP).
+    pub fn live(&self) -> &LiveSeMiTri {
+        &self.live
     }
 
     /// The metrics registry `/metrics` snapshots.
@@ -196,7 +214,7 @@ impl<'c> Server<'c> {
     }
 
     /// Serves one connection: a keep-alive loop of request → response.
-    fn handle_connection<'s>(&'s self, stream: TcpStream, sessions: &SessionTable<'s>) {
+    fn handle_connection(&self, stream: TcpStream, sessions: &SessionTable<'static>) {
         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
         let _ = stream.set_write_timeout(Some(self.config.read_timeout));
         let Ok(read_half) = stream.try_clone() else {
@@ -269,16 +287,17 @@ impl<'c> Server<'c> {
     }
 
     /// Routes one parsed request.
-    fn handle_request<'s>(&'s self, req: &Request, sessions: &SessionTable<'s>) -> Response {
+    fn handle_request(&self, req: &Request, sessions: &SessionTable<'static>) -> Response {
         let segments: Vec<&str> = req.path.trim_start_matches('/').split('/').collect();
         match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["healthz"]) => Response {
                 status: 200,
                 content_type: "text/plain",
-                body: b"ok\n".to_vec(),
+                body: format!("ok gen={}\n", self.live.current_id()).into_bytes(),
             },
             ("GET", ["metrics"]) => Response::json(200, self.registry.snapshot().to_json_lines()),
             ("POST", ["annotate"]) => self.annotate(&req.body),
+            ("POST", ["admin", "update"]) => self.admin_update(&req.body),
             (method, ["session", user, action @ ("push" | "flush")]) if !user.is_empty() => {
                 if method != "POST" {
                     return Response::error(405, "session endpoints are POST-only");
@@ -288,11 +307,40 @@ impl<'c> Server<'c> {
                     _ => self.session_flush(user, sessions),
                 }
             }
-            (_, ["healthz" | "metrics" | "annotate"]) => {
+            (_, ["healthz" | "metrics" | "annotate"]) | (_, ["admin", "update"]) => {
                 Response::error(405, "method not allowed on this resource")
             }
             _ => Response::error(404, "no such resource"),
         }
+    }
+
+    /// `POST /admin/update`: queues map mutations and publishes them as
+    /// the next snapshot generation. The rebuild happens on this request
+    /// thread; annotation on the other workers keeps reading the old
+    /// generation until the final pointer swap.
+    fn admin_update(&self, body: &[u8]) -> Response {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return Response::error(422, "body is not UTF-8");
+        };
+        let mutations = match wire::parse_mutations(text) {
+            Ok(m) => m,
+            Err(e) => return Response::error(422, &e.to_string()),
+        };
+        for m in mutations {
+            if let Err(msg) = self.live.submit(m) {
+                return Response::error(422, &msg);
+            }
+        }
+        let outcome = self.live.publish();
+        self.metrics.generation.set(outcome.generation.0 as i64);
+        self.metrics.updates_applied.add(outcome.applied as u64);
+        Response::json(
+            200,
+            format!(
+                "{{\"type\":\"update\",\"generation\":{},\"applied\":{}}}\n",
+                outcome.generation, outcome.applied
+            ),
+        )
     }
 
     /// `POST /annotate`: one-shot full-trajectory annotation.
@@ -305,7 +353,7 @@ impl<'c> Server<'c> {
             Ok(f) => f,
             Err(e) => return Response::error(422, &e.to_string()),
         };
-        let out = match self.pipeline.try_annotate_feed(&feed) {
+        let out = match self.live.try_annotate_feed(&feed) {
             Ok(o) => o,
             Err(e) => return Response::error(422, &e.to_string()),
         };
@@ -317,12 +365,7 @@ impl<'c> Server<'c> {
     }
 
     /// `POST /session/{user}/push`.
-    fn session_push<'s>(
-        &'s self,
-        user: &str,
-        body: &[u8],
-        sessions: &SessionTable<'s>,
-    ) -> Response {
+    fn session_push(&self, user: &str, body: &[u8], sessions: &SessionTable<'static>) -> Response {
         let Ok(text) = std::str::from_utf8(body) else {
             return Response::error(422, "body is not UTF-8");
         };
@@ -330,11 +373,7 @@ impl<'c> Server<'c> {
             Ok(r) => r,
             Err(e) => return Response::error(422, &e.to_string()),
         };
-        let pipeline = &self.pipeline;
-        let policy = self.policy;
-        match sessions.push(user, &records, || {
-            StreamingAnnotator::over(pipeline, policy)
-        }) {
+        match sessions.push(user, &records, || self.live.streaming(self.policy)) {
             Ok(result) => {
                 if result.created {
                     self.metrics.sessions.add(1);
@@ -345,6 +384,9 @@ impl<'c> Server<'c> {
                     self.metrics
                         .sessions_evicted
                         .add(result.evicted.len() as u64);
+                    self.metrics
+                        .evicted_records
+                        .add(result.evicted.iter().map(|e| e.records as u64).sum());
                 }
                 Response::json(200, wire::encode_events(&result.events))
             }
@@ -359,7 +401,7 @@ impl<'c> Server<'c> {
     }
 
     /// `POST /session/{user}/flush`.
-    fn session_flush<'s>(&'s self, user: &str, sessions: &SessionTable<'s>) -> Response {
+    fn session_flush(&self, user: &str, sessions: &SessionTable<'static>) -> Response {
         match sessions.flush(user) {
             Some(result) => {
                 self.metrics.sessions.add(-1);

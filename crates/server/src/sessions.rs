@@ -68,14 +68,30 @@ pub enum PushRejected {
     SessionFull,
 }
 
+/// A session closed by LRU pressure rather than an explicit flush. The
+/// in-flight episode state is *not* dropped: the annotator's terminal
+/// flush runs at eviction (outside the shard lock), so the open episode
+/// is annotated and accounted for exactly as an explicit flush would.
+pub struct EvictedSession {
+    /// The evicted user id.
+    pub user: String,
+    /// Final events from the terminal flush of the evicted session.
+    pub events: Vec<StreamEvent>,
+    /// The evicted session's cumulative cleaning report.
+    pub cleaning: CleaningReport,
+    /// Accepted records over the evicted session's lifetime.
+    pub records: usize,
+}
+
 /// What a push did.
 pub struct PushResult {
     /// Events emitted by the annotator for these fixes.
     pub events: Vec<StreamEvent>,
     /// Whether this push created the session.
     pub created: bool,
-    /// User ids of sessions evicted to make room (LRU within the shard).
-    pub evicted: Vec<String>,
+    /// Sessions evicted to make room (LRU within the shard), with the
+    /// results of their terminal flushes.
+    pub evicted: Vec<EvictedSession>,
 }
 
 /// What a flush returned.
@@ -176,7 +192,7 @@ impl<'c> SessionTable<'c> {
         for &r in records {
             events.extend(session.annotator.push(r));
         }
-        let mut evicted = Vec::new();
+        let mut victims: Vec<(String, Session<'c>)> = Vec::new();
         while shard.sessions.len() > self.per_shard_cap {
             // evict the least-recently-used session that is not the one
             // just touched; O(shard size), and shards are small by cap
@@ -188,12 +204,29 @@ impl<'c> SessionTable<'c> {
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(k) => {
-                    shard.sessions.remove(&k);
-                    evicted.push(k);
+                    let session = shard.sessions.remove(&k).expect("victim chosen from map");
+                    victims.push((k, session));
                 }
                 None => break,
             }
         }
+        // terminal-flush the victims *outside* the shard lock: closing an
+        // open episode runs real annotation work (map matching, HMM), and
+        // an eviction must neither stall the shard nor silently drop the
+        // episode state the victim had in flight
+        drop(shard);
+        let evicted = victims
+            .into_iter()
+            .map(|(user, mut session)| {
+                let events = session.annotator.flush();
+                EvictedSession {
+                    user,
+                    events,
+                    cleaning: *session.annotator.cleaning_report(),
+                    records: session.annotator.record_count(),
+                }
+            })
+            .collect();
         Ok(PushResult {
             events,
             created,
@@ -297,5 +330,59 @@ mod tests {
         assert!(table.flush("a").is_none());
         assert_eq!(table.live(), 0);
         assert!(table.push("a", &big[..3], mk).is_ok());
+    }
+
+    #[test]
+    fn eviction_flushes_state_and_recreation_pins_the_current_generation() {
+        use semitri_core::{GenerationId, LiveSeMiTri, Mutation};
+
+        let live = LiveSeMiTri::new(small_city(), PipelineConfig::default, None);
+        let table = SessionTable::new(SessionLimits {
+            shards: 1,
+            max_sessions: 1,
+            ..SessionLimits::default()
+        });
+        let mk = || live.streaming(VelocityPolicy::default());
+        let fixes: Vec<GpsRecord> = (0..6).map(fix).collect();
+
+        // user a opens a session on generation 0, then b's arrival evicts
+        // it: the in-flight episode state must be terminal-flushed, not
+        // silently dropped
+        table.push("a", &fixes, mk).unwrap();
+        let r = table.push("b", &fixes, mk).unwrap();
+        assert_eq!(r.evicted.len(), 1);
+        assert_eq!(r.evicted[0].user, "a");
+        assert_eq!(r.evicted[0].records, 6, "evicted episode state dropped");
+        assert_eq!(r.evicted[0].cleaning.kept, 6);
+
+        // a publish lands between the eviction and a's return
+        live.submit(Mutation::AddPoi {
+            point: Point::new(110.0, 105.0),
+            category: semitri_data::PoiCategory::Feedings,
+            name: "mid-churn poi".into(),
+        })
+        .unwrap();
+        assert_eq!(live.publish().generation, GenerationId(1));
+
+        // a's next push recreates the session; it must pin the current
+        // generation, not resurrect the evicted session's stale pin —
+        // its output must agree byte for byte with a fresh annotator
+        // built after the publish and fed identically
+        let r = table.push("a", &fixes, mk).unwrap();
+        assert!(r.created, "evicted session resurrected instead of fresh");
+        let flushed = table.flush("a").unwrap();
+
+        let mut fresh = live.streaming(VelocityPolicy::default());
+        assert_eq!(fresh.generation_id(), Some(GenerationId(1)));
+        let mut fresh_events = Vec::new();
+        for &f in &fixes {
+            fresh_events.extend(fresh.push(f));
+        }
+        fresh_events.extend(fresh.flush());
+
+        let mut got = crate::wire::encode_events(&r.events);
+        got.push_str(&crate::wire::encode_events(&flushed.events));
+        assert_eq!(got, crate::wire::encode_events(&fresh_events));
+        assert_eq!(flushed.records, 6);
     }
 }

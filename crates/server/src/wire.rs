@@ -24,9 +24,9 @@
 //! integration suite asserts, not an accident.
 
 use semitri_core::streaming::StreamEvent;
-use semitri_core::PipelineOutput;
-use semitri_data::{GpsFeed, GpsRecord};
-use semitri_geo::{Point, Timestamp};
+use semitri_core::{Mutation, PipelineOutput};
+use semitri_data::{GpsFeed, GpsRecord, LanduseCategory, PoiCategory, RegionKind, RoadClass};
+use semitri_geo::{Point, Rect, Timestamp};
 use semitri_obs::CleaningReport;
 use std::fmt;
 
@@ -173,6 +173,118 @@ pub fn parse_feed(body: &str) -> Result<GpsFeed, WireError> {
 /// validated and ignored — the session identity lives in the URL).
 pub fn parse_records(body: &str) -> Result<Vec<GpsRecord>, WireError> {
     Ok(parse_feed(body)?.records)
+}
+
+fn field_str<'a>(pairs: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn road_class(label: &str) -> Option<RoadClass> {
+    [
+        RoadClass::Highway,
+        RoadClass::Street,
+        RoadClass::Path,
+        RoadClass::Rail,
+    ]
+    .into_iter()
+    .find(|c| c.label() == label)
+}
+
+fn region_kind(label: &str) -> Option<RegionKind> {
+    [
+        RegionKind::Campus,
+        RegionKind::Recreation,
+        RegionKind::Market,
+        RegionKind::Residential,
+    ]
+    .into_iter()
+    .find(|k| k.label() == label)
+}
+
+/// Parses a `POST /admin/update` body: one mutation per line, each a
+/// flat JSON object selected by its `op` field.
+///
+/// ```text
+/// {"op":"add_road","x1":100,"y1":100,"x2":300,"y2":100,"class":"street","bus":false,"name":"New St"}
+/// {"op":"add_poi","x":150,"y":150,"category":"feedings","name":"New Cafe"}
+/// {"op":"set_landuse","x":50,"y":50,"category":"lake"}
+/// {"op":"add_region","name":"New Campus","kind":"campus","min_x":0,"min_y":0,"max_x":500,"max_y":500}
+/// ```
+///
+/// `class` defaults to `street`, `bus` to `false`, names to `""`;
+/// category/kind labels are the same strings the annotation output uses.
+pub fn parse_mutations(body: &str) -> Result<Vec<Mutation>, WireError> {
+    let mut out = Vec::new();
+    for (i, raw) in body.lines().enumerate() {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_flat_object(raw).map_err(|m| err(line_no, m))?;
+        let get = |key: &str| -> Result<f64, WireError> {
+            field_f64(&pairs, key)
+                .ok_or_else(|| err(line_no, format!("mutation is missing field '{key}'")))?
+                .map_err(|m| err(line_no, m))
+        };
+        let op = field_str(&pairs, "op")
+            .ok_or_else(|| err(line_no, "mutation is missing field 'op'"))?;
+        let mutation = match op {
+            "add_road" => {
+                let class_label = field_str(&pairs, "class").unwrap_or("street");
+                let class = road_class(class_label)
+                    .ok_or_else(|| err(line_no, format!("unknown road class {class_label:?}")))?;
+                let bus_route = matches!(field_str(&pairs, "bus"), Some("true"));
+                Mutation::AddRoad {
+                    from: Point::new(get("x1")?, get("y1")?),
+                    to: Point::new(get("x2")?, get("y2")?),
+                    class,
+                    bus_route,
+                    name: field_str(&pairs, "name").unwrap_or("").to_string(),
+                }
+            }
+            "add_poi" => {
+                let label = field_str(&pairs, "category").unwrap_or("unknown");
+                let category = PoiCategory::ALL
+                    .into_iter()
+                    .find(|c| c.label() == label)
+                    .ok_or_else(|| err(line_no, format!("unknown poi category {label:?}")))?;
+                Mutation::AddPoi {
+                    point: Point::new(get("x")?, get("y")?),
+                    category,
+                    name: field_str(&pairs, "name").unwrap_or("").to_string(),
+                }
+            }
+            "set_landuse" => {
+                let label = field_str(&pairs, "category")
+                    .ok_or_else(|| err(line_no, "mutation is missing field 'category'"))?;
+                let category = LanduseCategory::ALL
+                    .into_iter()
+                    .find(|c| c.label() == label || c.code() == label)
+                    .ok_or_else(|| err(line_no, format!("unknown landuse category {label:?}")))?;
+                Mutation::SetLanduse {
+                    at: Point::new(get("x")?, get("y")?),
+                    category,
+                }
+            }
+            "add_region" => {
+                let kind_label = field_str(&pairs, "kind").unwrap_or("campus");
+                let kind = region_kind(kind_label)
+                    .ok_or_else(|| err(line_no, format!("unknown region kind {kind_label:?}")))?;
+                Mutation::AddRegion {
+                    name: field_str(&pairs, "name").unwrap_or("").to_string(),
+                    kind,
+                    bounds: Rect::new(get("min_x")?, get("min_y")?, get("max_x")?, get("max_y")?),
+                }
+            }
+            other => return Err(err(line_no, format!("unknown mutation op {other:?}"))),
+        };
+        mutation.validate().map_err(|m| err(line_no, m))?;
+        out.push(mutation);
+    }
+    if out.is_empty() {
+        return Err(err(1, "empty update body"));
+    }
+    Ok(out)
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -398,5 +510,65 @@ mod tests {
         assert!(body.contains("\"type\":\"stop\""));
         assert!(body.contains("\"type\":\"cleaning\""));
         assert!(body.ends_with("{\"type\":\"end\",\"records\":4}\n"));
+    }
+
+    #[test]
+    fn mutation_batches_parse_with_defaults() {
+        let body = concat!(
+            "{\"op\":\"add_road\",\"x1\":0,\"y1\":0,\"x2\":100,\"y2\":0}\n",
+            "{\"op\":\"add_poi\",\"x\":5,\"y\":5,\"category\":\"item sale\",\"name\":\"kiosk\"}\n",
+            "{\"op\":\"set_landuse\",\"x\":1,\"y\":1,\"category\":\"4.13\"}\n",
+            "{\"op\":\"add_region\",\"name\":\"yard\",\"kind\":\"market\",",
+            "\"min_x\":0,\"min_y\":0,\"max_x\":50,\"max_y\":50}\n",
+        );
+        let muts = parse_mutations(body).unwrap();
+        assert_eq!(muts.len(), 4);
+        assert!(matches!(
+            &muts[0],
+            Mutation::AddRoad {
+                class: semitri_data::RoadClass::Street,
+                bus_route: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &muts[1],
+            Mutation::AddPoi {
+                category: semitri_data::PoiCategory::ItemSale,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &muts[2],
+            Mutation::SetLanduse {
+                category: semitri_data::LanduseCategory::Lake,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &muts[3],
+            Mutation::AddRegion {
+                kind: semitri_data::RegionKind::Market,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn hostile_mutation_bodies_are_rejected_whole() {
+        assert!(parse_mutations("").is_err());
+        assert!(parse_mutations("{\"op\":\"drop_tables\"}\n").is_err());
+        // a degenerate road fails validation at parse time
+        assert!(
+            parse_mutations("{\"op\":\"add_road\",\"x1\":1,\"y1\":1,\"x2\":1,\"y2\":1}\n").is_err()
+        );
+        // non-finite coordinates are rejected
+        assert!(parse_mutations("{\"op\":\"add_poi\",\"x\":\"nan\",\"y\":0}\n").is_err());
+        // one bad line poisons the batch even when others are fine
+        let mixed = concat!(
+            "{\"op\":\"add_poi\",\"x\":5,\"y\":5}\n",
+            "{\"op\":\"set_landuse\",\"x\":1,\"y\":1,\"category\":\"no such\"}\n",
+        );
+        assert!(parse_mutations(mixed).is_err());
     }
 }

@@ -73,8 +73,27 @@ pub struct Decoder<R: Read> {
 }
 
 /// Upper bound accepted for any decoded length prefix; guards against
-/// allocating gigabytes on a corrupt file.
+/// declaring gigabytes on a corrupt file.
 const MAX_LEN: u32 = 256 * 1024 * 1024;
+
+/// Upper bound on what a decoder *pre-allocates* from an untrusted
+/// length prefix. A prefix under [`MAX_LEN`] is well-formed, but the
+/// bytes it promises may simply not exist (truncated or corrupt input),
+/// so allocation beyond this bound must be earned by data actually read.
+const MAX_PREALLOC_BYTES: usize = 64 * 1024;
+
+/// Initial capacity to reserve for a decoded sequence whose length
+/// prefix claims `len` elements of roughly `elem_size` bytes each.
+///
+/// The prefix is untrusted: reserving `len * elem_size` up front would
+/// let a 5-byte corrupt file demand a multi-gigabyte allocation. The
+/// returned capacity is capped at [`MAX_PREALLOC_BYTES`]; a genuinely
+/// long sequence grows the vector organically as elements decode (and
+/// each element decode consumes input, so memory stays proportional to
+/// real data).
+pub fn seq_capacity(len: usize, elem_size: usize) -> usize {
+    len.min(MAX_PREALLOC_BYTES / elem_size.max(1))
+}
 
 impl<R: Read> Decoder<R> {
     /// Wraps a source.
@@ -112,9 +131,15 @@ impl<R: Read> Decoder<R> {
 
     /// Reads a length-prefixed UTF-8 string.
     ///
+    /// The length prefix is untrusted, so at most [`MAX_PREALLOC_BYTES`]
+    /// are pre-allocated up front; the rest of the buffer grows only as
+    /// bytes actually arrive. A prefix promising more bytes than the
+    /// source holds fails with [`io::ErrorKind::UnexpectedEof`] after
+    /// reading (and allocating) only what was really there.
+    ///
     /// # Errors
     /// Fails with [`io::ErrorKind::InvalidData`] on oversized prefixes or
-    /// invalid UTF-8.
+    /// invalid UTF-8, [`io::ErrorKind::UnexpectedEof`] on truncation.
     pub fn string(&mut self) -> io::Result<String> {
         let len = self.u32()?;
         if len > MAX_LEN {
@@ -123,13 +148,27 @@ impl<R: Read> Decoder<R> {
                 "string length prefix too large",
             ));
         }
-        let mut buf = vec![0u8; len as usize];
-        self.source.read_exact(&mut buf)?;
+        let mut buf = Vec::with_capacity((len as usize).min(MAX_PREALLOC_BYTES));
+        let read = self
+            .source
+            .by_ref()
+            .take(u64::from(len))
+            .read_to_end(&mut buf)?;
+        if read != len as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "string shorter than its length prefix",
+            ));
+        }
         String::from_utf8(buf)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8"))
     }
 
     /// Reads a sequence length prefix.
+    ///
+    /// The returned length is *declared*, not verified — callers must
+    /// size their initial allocation with [`seq_capacity`], never with
+    /// `Vec::with_capacity(len)` directly.
     ///
     /// # Errors
     /// Fails with [`io::ErrorKind::InvalidData`] on oversized prefixes.

@@ -12,7 +12,7 @@
 //!   flushed with `sync_data`, reproducing the realistic "storing
 //!   dominates computing" latency profile of Fig. 17.
 
-use crate::codec::{Decoder, Encoder};
+use crate::codec::{seq_capacity, Decoder, Encoder};
 use parking_lot::Mutex;
 use semitri_core::model::{
     Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple, StructuredSemanticTrajectory,
@@ -608,7 +608,8 @@ fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
                 let trajectory_id = dec.u64()?;
                 let object_id = dec.u64()?;
                 let n = dec.seq_len()?;
-                let mut tuples = Vec::with_capacity(n);
+                let mut tuples =
+                    Vec::with_capacity(seq_capacity(n, std::mem::size_of::<SemanticTuple>()));
                 for _ in 0..n {
                     let place = match dec.u8()? {
                         0 => None,
@@ -633,7 +634,8 @@ fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
                         return Err(StoreError::Corrupt("tuple span reversed".to_string()));
                     }
                     let n_ann = dec.seq_len()?;
-                    let mut annotations = Vec::with_capacity(n_ann);
+                    let mut annotations =
+                        Vec::with_capacity(seq_capacity(n_ann, std::mem::size_of::<Annotation>()));
                     for _ in 0..n_ann {
                         let key = dec.string()?;
                         let value = match dec.u8()? {

@@ -163,3 +163,184 @@ fn streaming_annotator_agrees_with_frozen_batch_regions() {
     events += streamer.flush().len();
     assert!(events > 0, "stream produced no episodes");
 }
+
+/// The corner of the city farthest from every fix of `raw`, inset from
+/// the boundary so landuse cells and region rectangles around it stay
+/// inside the city. Returns `(corner, min_distance_to_track)`.
+fn farthest_corner(bounds: &Rect, raw: &RawTrajectory) -> (Point, f64) {
+    let inset = 60.0;
+    let corners = [
+        Point::new(bounds.min_x + inset, bounds.min_y + inset),
+        Point::new(bounds.max_x - inset, bounds.min_y + inset),
+        Point::new(bounds.min_x + inset, bounds.max_y - inset),
+        Point::new(bounds.max_x - inset, bounds.max_y - inset),
+    ];
+    corners
+        .into_iter()
+        .map(|c| {
+            let d = raw
+                .records()
+                .iter()
+                .map(|r| r.point.distance(c))
+                .fold(f64::INFINITY, f64::min);
+            (c, d)
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
+}
+
+/// Map edits clustered around `at`, none of which can perturb annotation
+/// far away: a disconnected road segment, a landuse recategorization of
+/// one cell, and a named region. (Deliberately no `AddPoi` — POIs enter
+/// the *global* category prior of the point layer's HMM, so a new POI
+/// anywhere may legally shift stop inference everywhere.)
+fn local_mutations(at: Point, current_landuse: LanduseCategory) -> Vec<Mutation> {
+    let relabel = if current_landuse == LanduseCategory::Lake {
+        LanduseCategory::Glacier
+    } else {
+        LanduseCategory::Lake
+    };
+    vec![
+        Mutation::AddRoad {
+            from: at,
+            to: Point::new(at.x - 400.0, at.y),
+            class: RoadClass::Street,
+            bus_route: false,
+            name: "swap lane".into(),
+        },
+        Mutation::SetLanduse {
+            at,
+            category: relabel,
+        },
+        Mutation::AddRegion {
+            name: "swap yard".into(),
+            kind: RegionKind::Market,
+            bounds: Rect::new(at.x - 150.0, at.y - 150.0, at.x + 150.0, at.y + 150.0),
+        },
+    ]
+}
+
+/// A synthetic trajectory dwelling at `at` for twenty minutes — long
+/// enough for any segmentation policy to cut a stop episode there.
+fn dwell_at(at: Point, object_id: u64) -> RawTrajectory {
+    let records: Vec<GpsRecord> = (0..40)
+        .map(|i| {
+            let jitter = (i % 3) as f64 * 1.5;
+            GpsRecord::new(
+                Point::new(at.x + jitter, at.y - jitter),
+                Timestamp(8.0 * 3_600.0 + i as f64 * 30.0),
+            )
+        })
+        .collect();
+    RawTrajectory::new(object_id, object_id, records)
+}
+
+/// The tentpole generation-swap property, across the full annotation
+/// matrix: {sequential, batch, streaming × swap-mid-feed} × {oracle
+/// enabled, oracle disabled}.
+///
+/// The edits are clustered in the city corner farthest from the probe
+/// trajectory, so generations N and N+1 must agree byte-for-byte on the
+/// probe — which is exactly what lets a mid-feed swap promise anything:
+/// a trajectory annotated *across* the swap must equal one annotated
+/// wholly on generation N+1 once the swap quiesces. A second trajectory
+/// dwelling inside the edited corner proves the swap is real (its
+/// annotation differs between generations).
+#[test]
+fn annotation_across_a_generation_swap_matches_pure_next_generation() {
+    for oracle in [OracleMode::default(), OracleMode::Disabled] {
+        let dataset = lausanne_taxis(1, 42);
+        let probe = dataset.tracks[0].to_raw();
+        let (far, clearance) = farthest_corner(&dataset.city.bounds(), &probe);
+        assert!(
+            clearance > 1_500.0,
+            "probe track comes within {clearance:.0} m of every corner; \
+             the locality argument needs a clear corner"
+        );
+        let dwell = dwell_at(far, 9_001);
+        let landuse_before = dataset.city.landuse.cell_at(far).category;
+
+        let live = LiveSeMiTri::new(
+            dataset.city.clone(),
+            move || config_with_oracle(IndexMode::Frozen, oracle, true),
+            None,
+        );
+        let pin0 = live.pin();
+        assert_eq!(pin0.id(), GenerationId(0));
+        let sequential_gen0 = semantic_repr(&live.annotate(&probe));
+
+        // a streaming session opened on generation 0, swapped mid-feed
+        let mut across = live.streaming(VelocityPolicy::vehicles());
+        assert_eq!(across.generation_id(), Some(GenerationId(0)));
+        let records = probe.records();
+        let mid = records.len() / 2;
+        let mut across_events = Vec::new();
+        for r in &records[..mid] {
+            across_events.extend(across.push(*r));
+        }
+        for m in local_mutations(far, landuse_before) {
+            live.submit(m).unwrap();
+        }
+        let outcome = live.publish(); // the swap lands mid-feed
+        assert_eq!(outcome.generation, GenerationId(1));
+        assert_eq!(outcome.applied, 3);
+        for r in &records[mid..] {
+            across_events.extend(across.push(*r));
+        }
+        across_events.extend(across.flush());
+        assert_eq!(
+            across.generation_id(),
+            Some(GenerationId(1)),
+            "an episode opened after the swap must pin generation 1"
+        );
+
+        // quiesced references, wholly on generation N+1
+        let pin1 = live.pin();
+        assert_eq!(pin1.id(), GenerationId(1));
+        let pure1 = pin1.snapshot();
+
+        // sequential: across-publish annotate == pure-N+1 == pre-swap
+        let sequential_gen1 = semantic_repr(&live.annotate(&probe));
+        assert_eq!(sequential_gen1, semantic_repr(&pure1.annotate(&probe)));
+        assert_eq!(
+            sequential_gen0, sequential_gen1,
+            "edits {clearance:.0} m away must not perturb the probe"
+        );
+
+        // batch: pinned once for the whole batch, equal to pure N+1
+        let batch = live.annotate_batch(std::slice::from_ref(&probe), 2);
+        let pure_batch = pure1.annotate_batch(std::slice::from_ref(&probe), 1);
+        for (a, b) in batch.results.iter().zip(&pure_batch.results) {
+            assert_eq!(
+                semantic_repr(a.as_ref().unwrap()),
+                semantic_repr(b.as_ref().unwrap())
+            );
+        }
+
+        // streaming: the swapped-mid-feed session's event stream equals a
+        // session run wholly on generation N+1
+        let mut fresh = live.streaming(VelocityPolicy::vehicles());
+        assert_eq!(fresh.generation_id(), Some(GenerationId(1)));
+        let mut fresh_events = Vec::new();
+        for r in records {
+            fresh_events.extend(fresh.push(*r));
+        }
+        fresh_events.extend(fresh.flush());
+        assert_eq!(
+            format!("{across_events:?}"),
+            format!("{fresh_events:?}"),
+            "streaming across the swap diverged from pure generation 1 \
+             (oracle {oracle:?})"
+        );
+
+        // the swap was real: inside the edited corner the generations
+        // disagree (old pins keep the old world, new pins see the edits)
+        let dwell0 = semantic_repr(&pin0.snapshot().annotate(&dwell));
+        let dwell1 = semantic_repr(&pure1.annotate(&dwell));
+        assert_ne!(
+            dwell0, dwell1,
+            "mutations at the far corner must change annotation there"
+        );
+        assert!(!pure1.annotate(&dwell).stop_annotations.is_empty());
+    }
+}

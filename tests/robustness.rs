@@ -30,8 +30,8 @@ fn city() -> &'static City {
     CITY.get_or_init(|| City::generate(CityConfig::default()))
 }
 
-fn semitri() -> &'static SeMiTri<'static> {
-    static PIPELINE: OnceLock<SeMiTri<'static>> = OnceLock::new();
+fn semitri() -> &'static SeMiTri {
+    static PIPELINE: OnceLock<SeMiTri> = OnceLock::new();
     PIPELINE.get_or_init(|| SeMiTri::new(city(), PipelineConfig::default()))
 }
 

@@ -25,10 +25,10 @@ static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 /// Boots a `taxis`-preset (seed 42) server on an ephemeral port — the
 /// same pipeline construction as `semitri-cli serve taxis`, which is what
 /// byte-identity with `semitri-cli annotate taxis` depends on. Leaks the
-/// city and server: tests are short-lived processes.
+/// server: tests are short-lived processes.
 fn boot(limits: SessionLimits) -> SocketAddr {
-    let city: &'static City = Box::leak(Box::new(lausanne_taxis(1, 42).city));
-    let config = PipelineConfig {
+    let city = lausanne_taxis(1, 42).city;
+    let make_config = || PipelineConfig {
         mode: ModeInferencer {
             allow_car: true,
             ..ModeInferencer::default()
@@ -36,9 +36,9 @@ fn boot(limits: SessionLimits) -> SocketAddr {
         policy: Box::new(VelocityPolicy::vehicles()),
         ..PipelineConfig::default()
     };
-    let pipeline = SeMiTri::new(city, config);
-    let server: &'static Server<'static> = Box::leak(Box::new(Server::new(
-        pipeline,
+    let server: &'static Server = Box::leak(Box::new(Server::new(
+        city,
+        make_config,
         VelocityPolicy::vehicles(),
         ServeConfig {
             workers: 2,
@@ -222,12 +222,14 @@ fn malformed_and_truncated_requests_never_poison_a_worker() {
     // wrong methods / unknown paths → 405 / 404
     assert_eq!(request(addr, "POST", "/healthz", "").0, 405);
     assert_eq!(request(addr, "GET", "/annotate", "").0, 405);
+    assert_eq!(request(addr, "GET", "/admin/update", "").0, 405);
     assert_eq!(request(addr, "GET", "/no/such/path", "").0, 404);
     assert_eq!(request(addr, "PATCH", "/session/alice", "").0, 404);
 
     // after all of the above, the workers still serve real traffic
     let (status, body) = request(addr, "GET", "/healthz", "");
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200);
+    assert!(body.starts_with("ok gen="), "{body}");
     let dataset = lausanne_taxis(1, 42);
     let (status, body) = request(addr, "POST", "/annotate", &feed_body(&dataset.tracks[0]));
     assert_eq!(status, 200, "{body}");
@@ -330,8 +332,9 @@ fn keep_alive_roundtrip(
     reader: &mut std::io::BufReader<TcpStream>,
 ) -> std::io::Result<String> {
     stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")?;
-    // read status line + headers, then the fixed 3-byte body
+    // read status line + headers, then a Content-Length-delimited body
     let mut head = String::new();
+    let mut content_length = 0usize;
     loop {
         let mut line = String::new();
         if std::io::BufRead::read_line(reader, &mut line)? == 0 {
@@ -340,15 +343,23 @@ fn keep_alive_roundtrip(
                 "connection closed mid-response",
             ));
         }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v;
+        }
         let done = line == "\r\n";
         head.push_str(&line);
         if done {
             break;
         }
     }
-    let mut body = [0u8; 3];
+    let mut body = vec![0u8; content_length];
     std::io::Read::read_exact(reader, &mut body)?;
-    assert_eq!(&body, b"ok\n");
+    assert!(body.starts_with(b"ok gen="), "{:?}", body);
     Ok(head)
 }
 
@@ -380,4 +391,40 @@ fn keep_alive_serves_multiple_requests_on_one_connection() {
         }
         break;
     }
+}
+
+#[test]
+fn admin_update_swaps_generations_without_downtime() {
+    let addr = boot(SessionLimits::default());
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok gen=0\n"));
+
+    // a malformed mutation body is rejected without publishing anything
+    let (status, _) = request(addr, "POST", "/admin/update", "this is not a mutation\n");
+    assert_eq!(status, 422);
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok gen=0\n"));
+
+    // a real mutation batch publishes generation 1
+    let update = concat!(
+        "{\"op\":\"add_poi\",\"x\":3000,\"y\":3000,\"category\":\"item sale\",\"name\":\"kiosk\"}\n",
+        "{\"op\":\"add_road\",\"x1\":2800,\"y1\":2800,\"x2\":3200,\"y2\":2800,\"class\":\"street\"}\n",
+    );
+    let (status, body) = request(addr, "POST", "/admin/update", update);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":1"), "{body}");
+    assert!(body.contains("\"applied\":2"), "{body}");
+
+    // the new generation is visible on every surface
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok gen=1\n"));
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(metric(&metrics, "server.generation"), 1);
+    assert_eq!(metric(&metrics, "server.updates_applied"), 2);
+
+    // annotation keeps working against the swapped-in generation
+    let dataset = lausanne_taxis(1, 42);
+    let (status, body) = request(addr, "POST", "/annotate", &feed_body(&dataset.tracks[0]));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"type\":\"summary\""));
 }

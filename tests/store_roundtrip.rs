@@ -111,3 +111,79 @@ fn kml_export_of_annotated_day() {
     // modes from the line layer appear in descriptions
     assert!(doc.contains("mode="), "no mode annotations in:\n{doc}");
 }
+
+#[test]
+fn hostile_length_prefixes_fail_without_overallocating() {
+    use semitri::store::codec::Decoder;
+
+    // a 4-byte prefix promising ~200 MB over a 3-byte payload: the
+    // decoder must fail with UnexpectedEof after reading the 3 real
+    // bytes, not pre-allocate the promised 200 MB
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&200_000_000u32.to_le_bytes());
+    hostile.extend_from_slice(b"abc");
+    let mut dec = Decoder::new(hostile.as_slice());
+    let err = dec.string().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+    // prefixes past the hard cap are rejected before any read at all
+    let mut absurd = Vec::new();
+    absurd.extend_from_slice(&u32::MAX.to_le_bytes());
+    let mut dec = Decoder::new(absurd.as_slice());
+    let err = dec.string().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn corrupt_durable_log_is_rejected_on_replay() {
+    let dataset = lausanne_taxis(1, 11);
+    let semitri = SeMiTri::new(&dataset.city, PipelineConfig::default());
+    let path = temp_path("corrupt.stlog");
+    let _ = std::fs::remove_file(&path);
+    {
+        let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        let track = &dataset.tracks[0];
+        let out = semitri.annotate(&track.to_raw());
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: track.trajectory_id,
+                object_id: track.object_id,
+                record_count: out.cleaned.len() as u64,
+            })
+            .unwrap();
+        store.put_sst(&out.sst).unwrap();
+    }
+
+    let pristine = std::fs::read(&path).unwrap();
+    assert!(pristine.len() > 64, "log unexpectedly small");
+
+    // truncation mid-record: replay must error, not panic or hang
+    std::fs::write(&path, &pristine[..pristine.len() - 7]).unwrap();
+    assert!(SemanticTrajectoryStore::open_durable(&path).is_err());
+
+    // hostile appended record: an SST record whose tuple-count prefix
+    // claims 200 million entries backed by zero bytes. Replay must fail
+    // cleanly (an error, quickly) instead of pre-allocating what the
+    // prefix claims — this is the regression for the untrusted-length
+    // `Vec::with_capacity` in the SST replay path
+    let mut corrupt = pristine.clone();
+    corrupt.push(3); // REC_SST
+    corrupt.extend_from_slice(&77u64.to_le_bytes()); // trajectory id
+    corrupt.extend_from_slice(&77u64.to_le_bytes()); // object id
+    corrupt.extend_from_slice(&200_000_000u32.to_le_bytes()); // tuple count
+    std::fs::write(&path, &corrupt).unwrap();
+    assert!(SemanticTrajectoryStore::open_durable(&path).is_err());
+
+    // an unknown record tag is rejected as corruption
+    let mut unknown = pristine.clone();
+    unknown.push(0xfe);
+    std::fs::write(&path, &unknown).unwrap();
+    assert!(SemanticTrajectoryStore::open_durable(&path).is_err());
+
+    // the pristine bytes still replay
+    std::fs::write(&path, &pristine).unwrap();
+    let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+    let (n_traj, _, n_sst) = store.counts();
+    assert_eq!((n_traj, n_sst), (1, 1));
+    std::fs::remove_file(&path).unwrap();
+}
