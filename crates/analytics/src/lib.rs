@@ -12,7 +12,9 @@
 //!   Equation 8 (Fig. 11);
 //! * [`compression`] — storage compression of the semantic representation
 //!   (the paper's 99.7% claim);
-//! * [`latency`] — aggregation of per-layer pipeline latencies (Fig. 17).
+//! * [`latency`] — aggregation of per-layer pipeline latencies (Fig. 17);
+//! * [`raster`] — city-scale density grids burned from annotated
+//!   trajectories, split by mode, road class and landuse category.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod landuse;
 pub mod latency;
 pub mod mobility;
 pub mod patterns;
+pub mod raster;
 pub mod similarity;
 
 pub use classify::{trajectory_category, CategoryShares};
@@ -37,4 +40,5 @@ pub use landuse::LanduseDistribution;
 pub use latency::LatencySummary;
 pub use mobility::{radius_of_gyration, MobilitySummary, ModeShares};
 pub use patterns::{mine_sequences, symbols_of, SequencePattern, SymbolKind};
+pub use raster::{burn_all, RasterConfig, RasterGrid, RasterLayer};
 pub use similarity::{edit_distance, lcss_similarity, semantic_similarity};

@@ -1,0 +1,517 @@
+//! City-scale raster analytics: burning annotated trajectories into
+//! per-category density grids.
+//!
+//! The paper's Analytics Layer aggregates structured semantic
+//! trajectories into city-wide figures; this module adds the spatial
+//! counterpart — a uniform grid over the city bounds whose cells count
+//! how many annotated GPS fixes fell inside them, split by transport
+//! mode (Line layer), matched road class (Line layer) and landuse
+//! category (Region layer), plus an unconditional total layer.
+//!
+//! Burning is embarrassingly parallel: [`burn_all`] hands each worker
+//! its own private [`RasterGrid`] tile accumulator and merges the tiles
+//! at the end. Cell counts are `u64` sums, so the merged grid is
+//! bit-identical no matter how the corpus was sharded — a one-thread and
+//! a sixteen-thread burn of the same outputs produce equal grids.
+
+use semitri_core::PipelineOutput;
+use semitri_data::road::RoadClass;
+use semitri_data::{LanduseCategory, RoadNetwork, TransportMode};
+use semitri_geo::{Point, Rect};
+
+/// Number of transport-mode layers (one per [`TransportMode::ALL`]).
+pub const MODE_LAYERS: usize = TransportMode::ALL.len();
+/// Number of road-class layers (one per [`RoadClass`] variant).
+pub const CLASS_LAYERS: usize = 4;
+/// Number of landuse layers (one per [`LanduseCategory::ALL`]).
+pub const LANDUSE_LAYERS: usize = LanduseCategory::ALL.len();
+/// Total layer count: the unconditional total plus every category layer.
+pub const LAYERS: usize = 1 + MODE_LAYERS + CLASS_LAYERS + LANDUSE_LAYERS;
+
+/// One plane of the raster stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RasterLayer {
+    /// Every cleaned GPS fix, regardless of annotation.
+    Total,
+    /// Fixes of move episodes whose route entry inferred this mode.
+    Mode(TransportMode),
+    /// Fixes of move episodes matched to a segment of this class.
+    Class(RoadClass),
+    /// Fixes covered by a region tuple of this landuse category.
+    Landuse(LanduseCategory),
+}
+
+impl RasterLayer {
+    /// Plane index in the grid's layer-major count arena.
+    pub fn index(self) -> usize {
+        match self {
+            RasterLayer::Total => 0,
+            RasterLayer::Mode(m) => {
+                1 + TransportMode::ALL
+                    .iter()
+                    .position(|&x| x == m)
+                    .expect("mode in ALL")
+            }
+            RasterLayer::Class(c) => {
+                let idx = match c {
+                    RoadClass::Highway => 0,
+                    RoadClass::Street => 1,
+                    RoadClass::Path => 2,
+                    RoadClass::Rail => 3,
+                };
+                1 + MODE_LAYERS + idx
+            }
+            RasterLayer::Landuse(c) => 1 + MODE_LAYERS + CLASS_LAYERS + c.ordinal(),
+        }
+    }
+}
+
+/// Geometry of a raster grid: the covered bounds and the square cell side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RasterConfig {
+    /// Area covered by the grid (typically the city bounds). Fixes outside
+    /// are counted in [`RasterGrid::dropped`], never burned.
+    pub bounds: Rect,
+    /// Cell side in meters.
+    pub cell_m: f64,
+}
+
+/// A stack of [`LAYERS`] density planes over a uniform grid.
+///
+/// Counts are plain `u64` sums, so [`RasterGrid::merge`] is commutative
+/// and associative: per-thread tile accumulators can be combined in any
+/// order without changing a single cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasterGrid {
+    bounds: Rect,
+    cell_m: f64,
+    nx: usize,
+    ny: usize,
+    /// Layer-major: `counts[layer * nx * ny + iy * nx + ix]`.
+    counts: Vec<u64>,
+    dropped: u64,
+}
+
+impl RasterGrid {
+    /// Creates an empty grid.
+    ///
+    /// # Panics
+    /// Panics when `cell_m` is not a positive finite number or the bounds
+    /// are empty.
+    pub fn new(config: RasterConfig) -> Self {
+        assert!(
+            config.cell_m.is_finite() && config.cell_m > 0.0,
+            "raster cell size must be positive"
+        );
+        assert!(!config.bounds.is_empty(), "raster bounds must be non-empty");
+        let nx = ((config.bounds.width() / config.cell_m).ceil() as usize).max(1);
+        let ny = ((config.bounds.height() / config.cell_m).ceil() as usize).max(1);
+        Self {
+            bounds: config.bounds,
+            cell_m: config.cell_m,
+            nx,
+            ny,
+            counts: vec![0; LAYERS * nx * ny],
+            dropped: 0,
+        }
+    }
+
+    /// The geometry this grid was built with.
+    pub fn config(&self) -> RasterConfig {
+        RasterConfig {
+            bounds: self.bounds,
+            cell_m: self.cell_m,
+        }
+    }
+
+    /// Grid dimensions `(nx, ny)` in cells.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Fixes that fell outside the bounds and were not burned.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Cell coordinates of a point, or `None` outside the bounds. Points
+    /// exactly on the max edge clamp into the last row/column, so the
+    /// bounds are covered edge to edge.
+    pub fn cell_of(&self, p: Point) -> Option<(usize, usize)> {
+        if !self.bounds.contains_point(p) {
+            return None;
+        }
+        let ix = (((p.x - self.bounds.min_x) / self.cell_m) as usize).min(self.nx - 1);
+        let iy = (((p.y - self.bounds.min_y) / self.cell_m) as usize).min(self.ny - 1);
+        Some((ix, iy))
+    }
+
+    /// Count of one layer at cell `(ix, iy)`.
+    pub fn count(&self, layer: RasterLayer, ix: usize, iy: usize) -> u64 {
+        assert!(ix < self.nx && iy < self.ny, "cell out of range");
+        self.counts[layer.index() * self.nx * self.ny + iy * self.nx + ix]
+    }
+
+    /// Sum of one layer over every cell.
+    pub fn layer_total(&self, layer: RasterLayer) -> u64 {
+        self.plane(layer).iter().sum()
+    }
+
+    /// Number of cells with a non-zero count in one layer.
+    pub fn nonzero_cells(&self, layer: RasterLayer) -> usize {
+        self.plane(layer).iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The `k` densest cells of a layer as `(ix, iy, count)`, heaviest
+    /// first; ties break by `(iy, ix)` so the ranking is deterministic.
+    pub fn top_cells(&self, layer: RasterLayer, k: usize) -> Vec<(usize, usize, u64)> {
+        let mut rows: Vec<(usize, usize, u64)> = self
+            .plane(layer)
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i % self.nx, i / self.nx, c))
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then((a.1, a.0).cmp(&(b.1, b.0))));
+        rows.truncate(k);
+        rows
+    }
+
+    fn plane(&self, layer: RasterLayer) -> &[u64] {
+        let n = self.nx * self.ny;
+        let base = layer.index() * n;
+        &self.counts[base..base + n]
+    }
+
+    #[inline]
+    fn bump(&mut self, layer_idx: usize, ix: usize, iy: usize) {
+        self.counts[layer_idx * self.nx * self.ny + iy * self.nx + ix] += 1;
+    }
+
+    /// Burns one annotated trajectory into the grid:
+    ///
+    /// * every cleaned fix increments [`RasterLayer::Total`];
+    /// * every fix of a matched route entry increments the entry
+    ///   segment's [`RasterLayer::Class`] plane and, when a mode was
+    ///   inferred, the [`RasterLayer::Mode`] plane;
+    /// * every fix of a categorized region tuple increments the
+    ///   [`RasterLayer::Landuse`] plane.
+    ///
+    /// `net` must be the road network the trajectory was matched against
+    /// (route entries carry segment ids into it).
+    pub fn burn(&mut self, out: &PipelineOutput, net: &RoadNetwork) {
+        let records = out.cleaned.records();
+        for r in records {
+            match self.cell_of(r.point) {
+                Some((ix, iy)) => self.bump(RasterLayer::Total.index(), ix, iy),
+                None => self.dropped += 1,
+            }
+        }
+        for (ep_idx, entries) in &out.move_routes {
+            let ep = &out.episodes[*ep_idx];
+            let slice = &records[ep.start..ep.end];
+            for e in entries {
+                let class_idx = RasterLayer::Class(net.segment(e.segment).class).index();
+                let mode_idx = e.mode.map(|m| RasterLayer::Mode(m).index());
+                for r in &slice[e.start..e.end] {
+                    let Some((ix, iy)) = self.cell_of(r.point) else {
+                        continue;
+                    };
+                    self.bump(class_idx, ix, iy);
+                    if let Some(mi) = mode_idx {
+                        self.bump(mi, ix, iy);
+                    }
+                }
+            }
+        }
+        for t in &out.region_tuples {
+            let Some(cat) = t.category else { continue };
+            let layer_idx = RasterLayer::Landuse(cat).index();
+            for r in &records[t.start..t.end] {
+                if let Some((ix, iy)) = self.cell_of(r.point) {
+                    self.bump(layer_idx, ix, iy);
+                }
+            }
+        }
+    }
+
+    /// Adds another tile accumulator into this one, cell by cell.
+    ///
+    /// # Panics
+    /// Panics when the grids were built with different geometry.
+    pub fn merge(&mut self, other: &RasterGrid) {
+        assert!(
+            self.config() == other.config(),
+            "merging rasters of different geometry"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.dropped += other.dropped;
+    }
+}
+
+/// Burns a corpus of annotated trajectories on up to `threads` workers,
+/// each filling a private tile accumulator, and merges the tiles.
+///
+/// The result is bit-identical for every thread count (merging is a sum
+/// of `u64` planes), so callers can scale the worker pool to the machine
+/// without perturbing analytics output.
+pub fn burn_all(
+    config: RasterConfig,
+    outputs: &[PipelineOutput],
+    net: &RoadNetwork,
+    threads: usize,
+) -> RasterGrid {
+    let threads = threads.clamp(1, outputs.len().max(1));
+    if threads <= 1 {
+        let mut g = RasterGrid::new(config);
+        for out in outputs {
+            g.burn(out, net);
+        }
+        return g;
+    }
+    let chunk = outputs.len().div_ceil(threads);
+    let tiles: Vec<RasterGrid> = std::thread::scope(|s| {
+        let handles: Vec<_> = outputs
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut g = RasterGrid::new(config);
+                    for out in c {
+                        g.burn(out, net);
+                    }
+                    g
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("raster worker panicked"))
+            .collect()
+    });
+    let mut merged = RasterGrid::new(config);
+    for t in &tiles {
+        merged.merge(t);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semitri_core::line::RouteEntry;
+    use semitri_core::model::{PlaceKind, PlaceRef};
+    use semitri_core::{
+        CleaningReport, LatencyProfile, PipelineConfig, RegionTuple, SeMiTri,
+        StructuredSemanticTrajectory,
+    };
+    use semitri_data::sim::{SimConfig, TripSimulator};
+    use semitri_data::{City, CityConfig, GpsRecord, RawTrajectory};
+    use semitri_episodes::{Episode, EpisodeKind};
+    use semitri_geo::{TimeSpan, Timestamp};
+
+    fn grid_100() -> RasterGrid {
+        RasterGrid::new(RasterConfig {
+            bounds: Rect::new(0.0, 0.0, 100.0, 100.0),
+            cell_m: 10.0,
+        })
+    }
+
+    /// A hand-built output: 4 fixes on a straight line, one move episode
+    /// covering all of them matched to segment 0, region tuples covering
+    /// the first half as Building and leaving the rest uncategorized.
+    fn tiny_output(net: &RoadNetwork) -> PipelineOutput {
+        let recs: Vec<GpsRecord> = (0..4)
+            .map(|i| GpsRecord::new(Point::new(5.0 + 10.0 * i as f64, 5.0), Timestamp(i as f64)))
+            .collect();
+        let span = TimeSpan::new(Timestamp(0.0), Timestamp(3.0));
+        let bbox = Rect::covering(recs.iter().map(|r| r.point));
+        let episode = Episode {
+            kind: EpisodeKind::Move,
+            start: 0,
+            end: 4,
+            span,
+            bbox,
+            center: bbox.center(),
+        };
+        let entry = RouteEntry {
+            segment: 0,
+            span,
+            start: 0,
+            end: 4,
+            mode: Some(TransportMode::Car),
+        };
+        let tuple = RegionTuple {
+            place: PlaceRef::new(PlaceKind::Region, 0, "cell"),
+            category: Some(LanduseCategory::Building),
+            span: TimeSpan::new(Timestamp(0.0), Timestamp(1.0)),
+            start: 0,
+            end: 2,
+        };
+        let _ = net; // geometry only matters through segment 0's class
+        PipelineOutput {
+            cleaned: RawTrajectory::new(1, 1, recs),
+            episodes: vec![episode],
+            region_tuples: vec![tuple],
+            move_routes: vec![(0, vec![entry])],
+            stop_annotations: vec![],
+            sst: StructuredSemanticTrajectory::default(),
+            latency: LatencyProfile::default(),
+            cleaning: CleaningReport::default(),
+        }
+    }
+
+    fn tiny_net() -> RoadNetwork {
+        RoadNetwork::new(
+            vec![Point::new(0.0, 5.0), Point::new(100.0, 5.0)],
+            vec![(0, 1, RoadClass::Street, false, "main".to_string())],
+        )
+    }
+
+    #[test]
+    fn layer_indexes_are_dense_and_unique() {
+        let mut seen = vec![false; LAYERS];
+        let mut mark = |l: RasterLayer| {
+            let i = l.index();
+            assert!(!seen[i], "layer index {i} reused");
+            seen[i] = true;
+        };
+        mark(RasterLayer::Total);
+        for m in TransportMode::ALL {
+            mark(RasterLayer::Mode(m));
+        }
+        for c in [
+            RoadClass::Highway,
+            RoadClass::Street,
+            RoadClass::Path,
+            RoadClass::Rail,
+        ] {
+            mark(RasterLayer::Class(c));
+        }
+        for c in LanduseCategory::ALL {
+            mark(RasterLayer::Landuse(c));
+        }
+        assert!(seen.into_iter().all(|s| s), "layer index has holes");
+    }
+
+    #[test]
+    fn burn_counts_every_layer_as_documented() {
+        let net = tiny_net();
+        let mut g = grid_100();
+        g.burn(&tiny_output(&net), &net);
+        assert_eq!(g.layer_total(RasterLayer::Total), 4);
+        assert_eq!(g.layer_total(RasterLayer::Mode(TransportMode::Car)), 4);
+        assert_eq!(g.layer_total(RasterLayer::Class(RoadClass::Street)), 4);
+        assert_eq!(
+            g.layer_total(RasterLayer::Landuse(LanduseCategory::Building)),
+            2
+        );
+        assert_eq!(g.layer_total(RasterLayer::Mode(TransportMode::Walk)), 0);
+        assert_eq!(g.dropped(), 0);
+        // fixes at x = 5, 15, 25, 35 land in distinct 10 m columns of row 0
+        for i in 0..4 {
+            assert_eq!(g.count(RasterLayer::Total, i, 0), 1);
+        }
+        assert_eq!(g.nonzero_cells(RasterLayer::Total), 4);
+        assert_eq!(
+            g.top_cells(RasterLayer::Total, 2),
+            vec![(0, 0, 1), (1, 0, 1)]
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_fixes_are_dropped_not_burned() {
+        let net = tiny_net();
+        let mut g = RasterGrid::new(RasterConfig {
+            bounds: Rect::new(0.0, 0.0, 20.0, 20.0),
+            cell_m: 10.0,
+        });
+        // fixes at x = 5, 15 are in bounds; 25, 35 fall outside
+        g.burn(&tiny_output(&net), &net);
+        assert_eq!(g.layer_total(RasterLayer::Total), 2);
+        assert_eq!(g.dropped(), 2);
+        assert_eq!(g.layer_total(RasterLayer::Class(RoadClass::Street)), 2);
+    }
+
+    #[test]
+    fn max_edge_points_clamp_into_the_last_cell() {
+        let g = grid_100();
+        assert_eq!(g.cell_of(Point::new(100.0, 100.0)), Some((9, 9)));
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), Some((0, 0)));
+        assert_eq!(g.cell_of(Point::new(100.1, 50.0)), None);
+        assert_eq!(g.cell_of(Point::new(-0.1, 50.0)), None);
+    }
+
+    #[test]
+    fn merge_is_element_wise_addition() {
+        let net = tiny_net();
+        let out = tiny_output(&net);
+        let mut a = grid_100();
+        a.burn(&out, &net);
+        let mut b = grid_100();
+        b.burn(&out, &net);
+        b.burn(&out, &net);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.layer_total(RasterLayer::Total), 12);
+        assert_eq!(merged.count(RasterLayer::Total, 0, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = grid_100();
+        let b = RasterGrid::new(RasterConfig {
+            bounds: Rect::new(0.0, 0.0, 100.0, 100.0),
+            cell_m: 25.0,
+        });
+        a.merge(&b);
+    }
+
+    #[test]
+    fn parallel_burn_is_bit_identical_to_serial() {
+        let city = City::generate(CityConfig {
+            bounds: Rect::new(0.0, 0.0, 4_000.0, 4_000.0),
+            poi_count: 200,
+            region_count: 3,
+            seed: 11,
+            ..CityConfig::default()
+        });
+        let semitri = SeMiTri::new(&city, PipelineConfig::default());
+        let outputs: Vec<PipelineOutput> = (0..6)
+            .map(|i| {
+                let mut sim = TripSimulator::new(
+                    &city.roads,
+                    SimConfig {
+                        sampling_interval: 5.0,
+                        ..SimConfig::default()
+                    },
+                    100 + i,
+                    Point::new(800.0 + 300.0 * i as f64, 900.0),
+                    Timestamp(8.0 * 3_600.0),
+                );
+                sim.dwell(600.0, true, None);
+                sim.travel_to(Point::new(3_200.0, 3_000.0), TransportMode::Car);
+                sim.dwell(600.0, true, None);
+                semitri.annotate(&sim.finish(i, i).to_raw())
+            })
+            .collect();
+        let config = RasterConfig {
+            bounds: city.bounds(),
+            cell_m: 50.0,
+        };
+        let serial = burn_all(config, &outputs, &city.roads, 1);
+        let parallel = burn_all(config, &outputs, &city.roads, 4);
+        assert_eq!(serial, parallel);
+        // the corpus actually hit the grid: every cleaned fix of every
+        // trajectory is inside the city bounds
+        let fixes: u64 = outputs.iter().map(|o| o.cleaned.len() as u64).sum();
+        assert_eq!(
+            serial.layer_total(RasterLayer::Total) + serial.dropped(),
+            fixes
+        );
+        assert!(serial.layer_total(RasterLayer::Total) > 0);
+        assert!(serial.nonzero_cells(RasterLayer::Total) > 1);
+    }
+}

@@ -25,6 +25,7 @@
 use crate::util::{header, Table};
 use crate::Scale;
 use semitri::core::point::PointParams;
+use semitri::geo::{weight_lanes, KernelMode, Segment, SegmentLanes};
 use semitri::index::RStarTree;
 use semitri::prelude::*;
 use std::hint::black_box;
@@ -371,6 +372,171 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
     results.push(dyn_knn);
     results.push(frz_knn);
 
+    // --- frozen range: the production dispatch vs the scalar reference ---
+    // Same tree, same probes, same windows. The paired leg runs
+    // `for_each_in_with`, the compile-time dispatch the matcher actually
+    // calls (lane masks on ≥AVX targets, the scalar loops at the SSE2
+    // baseline) — the 0.9x marker guards the production path against its
+    // retained reference on whatever target CI builds for. The raw 8-wide
+    // mask-then-resolve body is additionally reported unpaired
+    // (`frozen_range_lanes_forced`) so narrow-SIMD targets still surface
+    // its true cost without tripping the marker on a dispatch that never
+    // selects it there.
+    let mut lane_range_scratch = FrozenRangeScratch::new();
+    let mut scalar_range_scratch = FrozenRangeScratch::new();
+    // Two probe sweeps per sample: one sweep is only a few hundred
+    // microseconds, and this pair's legs are identical code on non-AVX
+    // targets, so jitter is all that separates them from a 1.00 ratio.
+    const RANGE_PASSES: usize = 2;
+    let (frz_lanes, frz_scalar) = bench_pair(
+        "frozen_range_lanes",
+        "frozen_range_scalar",
+        "query",
+        samples,
+        || {
+            let mut hits = 0usize;
+            for _ in 0..RANGE_PASSES {
+                for &p in &dense_probes {
+                    let window = Rect::from_point(p).inflate(60.0);
+                    frozen_seg_tree.for_each_in_with(&mut lane_range_scratch, &window, |_, &id| {
+                        hits += id as usize & 1
+                    });
+                }
+            }
+            black_box(hits);
+            RANGE_PASSES * dense_probes.len()
+        },
+        || {
+            let mut hits = 0usize;
+            for _ in 0..RANGE_PASSES {
+                for &p in &dense_probes {
+                    let window = Rect::from_point(p).inflate(60.0);
+                    frozen_seg_tree.for_each_in_scalar_with(
+                        &mut scalar_range_scratch,
+                        &window,
+                        |_, &id| hits += id as usize & 1,
+                    );
+                }
+            }
+            black_box(hits);
+            RANGE_PASSES * dense_probes.len()
+        },
+    );
+    results.push(frz_lanes);
+    results.push(frz_scalar);
+    results.push(bench("frozen_range_lanes_forced", "query", samples, || {
+        let mut hits = 0usize;
+        for _ in 0..RANGE_PASSES {
+            for &p in &dense_probes {
+                let window = Rect::from_point(p).inflate(60.0);
+                frozen_seg_tree.for_each_in_lanes_with(
+                    &mut lane_range_scratch,
+                    &window,
+                    |_, &id| hits += id as usize & 1,
+                );
+            }
+        }
+        black_box(hits);
+        RANGE_PASSES * dense_probes.len()
+    }));
+
+    // --- Eq. 1 batched distances: SegmentLanes slab vs scalar Segment ---
+    // The whole downtown segment set as one SoA slab, probed by the dense
+    // walk fixes — the matcher's candidate-distance shape at its widest.
+    let seg_slab = {
+        let mut l = SegmentLanes::new();
+        for s in downtown.roads.segments() {
+            l.push(s.geometry);
+        }
+        l
+    };
+    let scalar_segs: Vec<Segment> = downtown
+        .roads
+        .segments()
+        .iter()
+        .map(|s| s.geometry)
+        .collect();
+    let slab_probes: Vec<Point> = dense_probes.iter().copied().step_by(4).collect();
+    let mut batch_dist_out: Vec<f64> = Vec::new();
+    let mut scalar_dist_out: Vec<f64> = Vec::new();
+    let (dist_batch, dist_scalar) = bench_pair(
+        "segment_distance_batch",
+        "segment_distance_scalar",
+        "distance",
+        samples,
+        || {
+            let mut acc = 0.0f64;
+            for &p in &slab_probes {
+                seg_slab.distances_to_point(p, &mut batch_dist_out);
+                acc += batch_dist_out[0];
+            }
+            black_box(acc);
+            slab_probes.len() * seg_slab.len()
+        },
+        || {
+            let mut acc = 0.0f64;
+            for &p in &slab_probes {
+                scalar_dist_out.clear();
+                scalar_dist_out.extend(scalar_segs.iter().map(|s| s.distance_to_point(p)));
+                acc += scalar_dist_out[0];
+            }
+            black_box(acc);
+            slab_probes.len() * scalar_segs.len()
+        },
+    );
+    results.push(dist_batch);
+    results.push(dist_scalar);
+
+    // --- Eq. 4 weight rows: chunked lane kernel vs the libm exp loop ---
+    // Neighbor distances sweep the kernel's real operating range [0, R];
+    // the lane leg runs KernelMode::Fast (the vectorizable polynomial with
+    // the documented EXP_FAST_REL_TOL bound), the scalar leg is the naive
+    // per-pair `(-d²·inv2σ²).exp()` the matcher used to emit. The Exact
+    // lane mode is reported unpaired — it calls the same libm exp per
+    // element, so its value is the bit-identity, not throughput.
+    let weight_d: Vec<f64> = (0..4096).map(|i| 30.0 * (i as f64 / 4095.0)).collect();
+    let mut w_out = vec![0.0f64; weight_d.len()];
+    let mut w_out_scalar = vec![0.0f64; weight_d.len()];
+    let inv_two_sigma_sq = {
+        let sigma = 0.5 * 30.0;
+        1.0 / (2.0 * sigma * sigma)
+    };
+    // Enough passes that one sample runs ~1 ms: a 4096-element row is only
+    // ~15 µs of work, and scheduler jitter on that scale dominated the
+    // pair ratio.
+    const WEIGHT_PASSES: usize = 64;
+    let (w_rows, w_scalar) = bench_pair(
+        "kernel_weight_rows",
+        "kernel_weight_scalar",
+        "weight",
+        samples,
+        || {
+            for _ in 0..WEIGHT_PASSES {
+                weight_lanes(&weight_d, inv_two_sigma_sq, KernelMode::Fast, &mut w_out);
+                black_box(&w_out);
+            }
+            WEIGHT_PASSES * weight_d.len()
+        },
+        || {
+            for _ in 0..WEIGHT_PASSES {
+                for (o, &d) in w_out_scalar.iter_mut().zip(&weight_d) {
+                    *o = (-d * d * inv_two_sigma_sq).exp();
+                }
+                black_box(&w_out_scalar);
+            }
+            WEIGHT_PASSES * weight_d.len()
+        },
+    );
+    results.push(w_rows);
+    results.push(w_scalar);
+    results.push(bench("kernel_weight_rows_exact", "weight", samples, || {
+        for _ in 0..WEIGHT_PASSES {
+            weight_lanes(&weight_d, inv_two_sigma_sq, KernelMode::Exact, &mut w_out);
+            black_box(&w_out);
+        }
+        WEIGHT_PASSES * weight_d.len()
+    }));
+
     let probes: Vec<Point> = raws
         .iter()
         .flat_map(|r| r.records())
@@ -434,6 +600,52 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
     results.push(frz_e2e);
     results.push(dyn_e2e);
 
+    // --- raster burn: per-thread tile accumulators vs one serial grid ---
+    // The city-scale aggregation workload: the annotated fleet burned into
+    // the 27-layer density stack. The tiled leg shards the corpus across
+    // workers (each filling a private grid, merged at the end — the
+    // result is bit-identical to serial by u64-sum commutativity); quick
+    // mode pins both legs to one worker, since on a 2-trajectory smoke
+    // corpus thread spawns would dominate the measurement.
+    let outputs: Vec<PipelineOutput> = raws.iter().map(|raw| semitri.annotate(raw)).collect();
+    let burned_fixes: usize = outputs.iter().map(|o| o.cleaned.len()).sum();
+    let raster_cfg = RasterConfig {
+        bounds: city.bounds(),
+        cell_m: 50.0,
+    };
+    let burn_threads = if opts.quick {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(4)
+    };
+    // Several burns per sample so one sample is long enough that scheduler
+    // jitter stays well inside the 10% regression margin (one burn of a
+    // scale-1 corpus is only a few hundred microseconds).
+    const BURN_PASSES: usize = 4;
+    let (burn_tiles, burn_serial) = bench_pair(
+        "raster_burn",
+        "raster_burn_serial",
+        "fix",
+        samples,
+        || {
+            for _ in 0..BURN_PASSES {
+                black_box(burn_all(raster_cfg, &outputs, &city.roads, burn_threads));
+            }
+            BURN_PASSES * burned_fixes
+        },
+        || {
+            for _ in 0..BURN_PASSES {
+                black_box(burn_all(raster_cfg, &outputs, &city.roads, 1));
+            }
+            BURN_PASSES * burned_fixes
+        },
+    );
+    results.push(burn_tiles);
+    results.push(burn_serial);
+
     // --- generation swaps: annotation throughput while publishes land ---
     let swaps = swap_sweep(city, &raws, if opts.quick { 1 } else { 2 });
 
@@ -450,8 +662,14 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
         frozen_knn_vs_dynamic: ns_of("rtree_knn") / ns_of("frozen_rtree_knn"),
         frozen_pipeline_vs_dynamic: ns_of("pipeline_annotate_dynamic") / ns_of("pipeline_annotate"),
         oracle_vs_frozen_range: ns_of("frozen_rtree_range_ref") / ns_of("oracle_candidates"),
+        frozen_range_lanes_vs_scalar: ns_of("frozen_range_scalar") / ns_of("frozen_range_lanes"),
+        segment_distance_batch_vs_scalar: ns_of("segment_distance_scalar")
+            / ns_of("segment_distance_batch"),
+        kernel_weight_rows_vs_scalar: ns_of("kernel_weight_scalar") / ns_of("kernel_weight_rows"),
+        raster_burn_vs_serial: ns_of("raster_burn_serial") / ns_of("raster_burn"),
     };
     let e2e_records_per_sec = 1e9 / ns_of("pipeline_annotate");
+    let raster_fixes_per_sec = 1e9 / ns_of("raster_burn");
     // regression marker: no paired kernel may run >10% slower than its
     // reference on the same inputs (NaN — a missing kernel — also trips
     // it): the optimized matcher vs the paper-literal reference, and each
@@ -491,6 +709,22 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
         speedups.oracle_vs_frozen_range
     );
     println!(
+        "  frozen_range_lanes speedup vs scalar loops: {:.2}x",
+        speedups.frozen_range_lanes_vs_scalar
+    );
+    println!(
+        "  segment_distance_batch speedup vs scalar segments: {:.2}x",
+        speedups.segment_distance_batch_vs_scalar
+    );
+    println!(
+        "  kernel_weight_rows speedup vs scalar exp loop: {:.2}x",
+        speedups.kernel_weight_rows_vs_scalar
+    );
+    println!(
+        "  raster_burn tiled speedup vs serial grid: {:.2}x ({burn_threads} worker(s), {:.0} fixes/s)",
+        speedups.raster_burn_vs_serial, raster_fixes_per_sec
+    );
+    println!(
         "  oracle arena: {} cells, {} slots, {} bytes ({:.1} bytes/cell)",
         arena.cells, arena.slots, arena.arena_bytes, arena.bytes_per_cell
     );
@@ -510,7 +744,15 @@ pub fn run(scale: Scale, opts: &HotpathOptions) -> bool {
 
     if let Some(path) = &opts.json_path {
         let json = render_json(
-            &results, opts.quick, scale.0, &speedups, &arena, &swaps, regression,
+            &results,
+            opts.quick,
+            scale.0,
+            &speedups,
+            &arena,
+            &swaps,
+            raster_fixes_per_sec,
+            burn_threads,
+            regression,
         );
         match std::fs::write(path, json) {
             Ok(()) => println!("  wrote {path}"),
@@ -616,6 +858,17 @@ struct Speedups {
     /// Precomputed per-cell candidate slab vs the frozen tree walk it
     /// replaces, measured interleaved on identical probes and windows.
     oracle_vs_frozen_range: f64,
+    /// Chunked 8-wide mask-then-resolve range scan vs the retained scalar
+    /// reference loops on the same frozen tree.
+    frozen_range_lanes_vs_scalar: f64,
+    /// Batched SoA point-segment distance slab vs per-segment scalar calls.
+    segment_distance_batch_vs_scalar: f64,
+    /// Chunked Eq. 4 weight lanes (`KernelMode::Fast`) vs the naive libm
+    /// exp loop.
+    kernel_weight_rows_vs_scalar: f64,
+    /// Tiled multi-worker raster burn vs one serial grid over the same
+    /// corpus (both legs produce bit-identical grids).
+    raster_burn_vs_serial: f64,
 }
 
 /// Memory cost of the precomputed oracle arena, reported alongside the
@@ -637,6 +890,10 @@ impl Speedups {
             self.frozen_knn_vs_dynamic,
             self.frozen_pipeline_vs_dynamic,
             self.oracle_vs_frozen_range,
+            self.frozen_range_lanes_vs_scalar,
+            self.segment_distance_batch_vs_scalar,
+            self.kernel_weight_rows_vs_scalar,
+            self.raster_burn_vs_serial,
         ]
         .iter()
         .any(|s| s.is_nan() || *s < 0.9)
@@ -652,6 +909,8 @@ fn render_json(
     speedups: &Speedups,
     arena: &OracleArena,
     swaps: &SwapSweep,
+    raster_fixes_per_sec: f64,
+    raster_threads: usize,
     regression: bool,
 ) -> String {
     let mut out = String::from("{\n");
@@ -692,6 +951,26 @@ fn render_json(
         "  \"oracle_candidates_speedup_vs_frozen_range\": {:.2},\n",
         speedups.oracle_vs_frozen_range
     ));
+    out.push_str(&format!(
+        "  \"frozen_range_lanes_speedup_vs_scalar\": {:.2},\n",
+        speedups.frozen_range_lanes_vs_scalar
+    ));
+    out.push_str(&format!(
+        "  \"segment_distance_batch_speedup_vs_scalar\": {:.2},\n",
+        speedups.segment_distance_batch_vs_scalar
+    ));
+    out.push_str(&format!(
+        "  \"kernel_weight_rows_speedup_vs_scalar\": {:.2},\n",
+        speedups.kernel_weight_rows_vs_scalar
+    ));
+    out.push_str(&format!(
+        "  \"raster_burn_speedup_vs_serial\": {:.2},\n",
+        speedups.raster_burn_vs_serial
+    ));
+    out.push_str(&format!(
+        "  \"raster_burn_fixes_per_sec\": {raster_fixes_per_sec:.0},\n"
+    ));
+    out.push_str(&format!("  \"raster_burn_threads\": {raster_threads},\n"));
     out.push_str(&format!("  \"oracle_cells\": {},\n", arena.cells));
     out.push_str(&format!("  \"oracle_slots\": {},\n", arena.slots));
     out.push_str(&format!(
@@ -749,6 +1028,10 @@ mod tests {
             frozen_knn_vs_dynamic: 1.1,
             frozen_pipeline_vs_dynamic: 1.0,
             oracle_vs_frozen_range: 3.2,
+            frozen_range_lanes_vs_scalar: 1.6,
+            segment_distance_batch_vs_scalar: 2.1,
+            kernel_weight_rows_vs_scalar: 3.5,
+            raster_burn_vs_serial: 1.9,
         };
         let arena = OracleArena {
             cells: 4489,
@@ -762,12 +1045,28 @@ mod tests {
             idle_records_per_sec: 1_000_000.0,
             contended_records_per_sec: 900_000.0,
         };
-        let s = render_json(&rs, true, 1, &speedups, &arena, &swaps, false);
+        let s = render_json(
+            &rs,
+            true,
+            1,
+            &speedups,
+            &arena,
+            &swaps,
+            1_234_567.0,
+            4,
+            false,
+        );
         assert!(s.contains("\"match_records_speedup_vs_naive\": 2.50"));
         assert!(s.contains("\"frozen_rtree_range_speedup_vs_dynamic\": 1.40"));
         assert!(s.contains("\"frozen_rtree_knn_speedup_vs_dynamic\": 1.10"));
         assert!(s.contains("\"frozen_pipeline_speedup_vs_dynamic\": 1.00"));
         assert!(s.contains("\"oracle_candidates_speedup_vs_frozen_range\": 3.20"));
+        assert!(s.contains("\"frozen_range_lanes_speedup_vs_scalar\": 1.60"));
+        assert!(s.contains("\"segment_distance_batch_speedup_vs_scalar\": 2.10"));
+        assert!(s.contains("\"kernel_weight_rows_speedup_vs_scalar\": 3.50"));
+        assert!(s.contains("\"raster_burn_speedup_vs_serial\": 1.90"));
+        assert!(s.contains("\"raster_burn_fixes_per_sec\": 1234567"));
+        assert!(s.contains("\"raster_burn_threads\": 4"));
         assert!(s.contains("\"oracle_cells\": 4489"));
         assert!(s.contains("\"oracle_slots\": 60000"));
         assert!(s.contains("\"oracle_arena_bytes\": 2000000"));
@@ -788,6 +1087,10 @@ mod tests {
             frozen_knn_vs_dynamic: 1.1,
             frozen_pipeline_vs_dynamic: 0.95,
             oracle_vs_frozen_range: 3.0,
+            frozen_range_lanes_vs_scalar: 1.6,
+            segment_distance_batch_vs_scalar: 2.1,
+            kernel_weight_rows_vs_scalar: 3.5,
+            raster_burn_vs_serial: 1.9,
         };
         assert!(!ok.any_regressed());
         let slow_frozen = Speedups {
@@ -805,5 +1108,15 @@ mod tests {
             ..ok
         };
         assert!(slow_oracle.any_regressed());
+        let slow_lanes = Speedups {
+            frozen_range_lanes_vs_scalar: 0.7,
+            ..ok
+        };
+        assert!(slow_lanes.any_regressed());
+        let slow_raster = Speedups {
+            raster_burn_vs_serial: 0.85,
+            ..ok
+        };
+        assert!(slow_raster.any_regressed());
     }
 }

@@ -63,11 +63,12 @@ pub use pipeline::{LatencyProfile, PipelineConfig, PipelineOutput, SeMiTri};
 pub use point::PointAnnotator;
 pub use preprocess::Preprocessor;
 pub use region::{RegionAnnotator, RegionTuple};
+pub use semitri_geo::{KernelMode, EXP_FAST_REL_TOL};
 pub use semitri_index::{
     Generation, GenerationHandle, GenerationId, IndexMode, OracleMode, SnapshotSet,
 };
 pub use semitri_obs::{
     CleaningReport, Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry,
-    MetricsSnapshot, NullObserver, PipelineObserver, Stage,
+    MetricsSnapshot, NullObserver, PipelineObserver, Stage, KERNEL_FALLBACK_METRIC,
 };
 pub use streaming::{StreamEvent, StreamingAnnotator};

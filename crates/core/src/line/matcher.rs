@@ -20,7 +20,7 @@
 
 use semitri_data::road::SegmentId;
 use semitri_data::{GpsRecord, RoadNetwork};
-use semitri_geo::{Point, Rect};
+use semitri_geo::{exp_fast, KernelMode, Point, Rect, SegmentLanes, LANES};
 use semitri_index::{
     CellOracle, FrozenRStarTree, FrozenRangeScratch, IndexMode, OracleMode, RStarTree, SnapshotSet,
 };
@@ -44,6 +44,14 @@ pub struct MatchParams {
     /// Hard cap on neighbors considered on each side of the current point
     /// (guards against degenerate dense clusters).
     pub max_neighbors: usize,
+    /// How the Eq. 4 kernel weights are evaluated.
+    /// [`KernelMode::Exact`] (default) is bit-identical to
+    /// [`GlobalMapMatcher::match_records_naive`]; [`KernelMode::Fast`]
+    /// swaps the libm `exp` for the vectorizable polynomial
+    /// [`semitri_geo::exp_fast`], bounding the per-weight (and therefore
+    /// per-score) deviation by [`semitri_geo::EXP_FAST_REL_TOL`] —
+    /// candidate identity and the radius cut stay exact either way.
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for MatchParams {
@@ -53,6 +61,7 @@ impl Default for MatchParams {
             sigma_factor: 0.5,
             candidate_radius_m: 60.0,
             max_neighbors: 32,
+            kernel_mode: KernelMode::Exact,
         }
     }
 }
@@ -143,12 +152,38 @@ pub struct MatchScratch {
     /// Traversal stack for the frozen segment index (index-based, so the
     /// scratch stays lifetime-free and embeddable in long-lived state).
     tree_stack: FrozenRangeScratch,
+    /// SoA gather of one fix's window-passing candidate geometries, the
+    /// input slab of the batched Eq. 1 lane kernel.
+    seg_lanes: SegmentLanes,
+    /// Candidate segment ids parallel to `seg_lanes`.
+    pending: Vec<SegmentId>,
+    /// Lane-kernel Eq. 1 distances parallel to `pending`.
+    dist_buf: Vec<f64>,
+    /// Number of backward-expansion kernel weights recomputed because the
+    /// symmetric forward-row cache missed (row evicted from the ring or
+    /// the pair beyond the row stride). Every recompute produces the exact
+    /// bits the cached row held — the regression tests assert it — so this
+    /// counts wasted transcendental work, not drift.
+    kernel_fallback: u64,
 }
 
 impl MatchScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Forward-row cache-miss recomputations since the last
+    /// [`MatchScratch::take_kernel_fallbacks`] (observability: surfaced as
+    /// the `stage.line.kernel_fallback` counter by the pipeline).
+    pub fn kernel_fallbacks(&self) -> u64 {
+        self.kernel_fallback
+    }
+
+    /// Returns the fallback count and resets it, so per-trajectory
+    /// reporting doesn't double-count a reused scratch.
+    pub fn take_kernel_fallbacks(&mut self) -> u64 {
+        std::mem::take(&mut self.kernel_fallback)
     }
 }
 
@@ -368,11 +403,24 @@ impl GlobalMapMatcher {
             if let Some((s, e)) = range {
                 let (rects, items) = oracle.slab(s, e);
                 let window = Rect::from_point(p).inflate(r);
+                // two passes: gather the window-passing candidates into the
+                // SoA slab in tree order, batch-evaluate Eq. 1 with the
+                // lane kernel (bit-identical per element to
+                // `distance_to_point`), then apply the exact `d <= r` cut
+                // in the same order the scalar loop would
+                scratch.pending.clear();
+                scratch.seg_lanes.clear();
                 for (rect, &seg_id) in rects.iter().zip(items) {
                     if !rect.intersects(&window) {
                         continue;
                     }
-                    let d = self.net.segment(seg_id).geometry.distance_to_point(p);
+                    scratch.pending.push(seg_id);
+                    scratch.seg_lanes.push(self.net.segment(seg_id).geometry);
+                }
+                scratch
+                    .seg_lanes
+                    .distances_to_point(p, &mut scratch.dist_buf);
+                for (&seg_id, &d) in scratch.pending.iter().zip(&scratch.dist_buf) {
                     if d <= r {
                         scratch.cand_segs.push(seg_id);
                         scratch.cand_scores.push(d);
@@ -405,11 +453,20 @@ impl GlobalMapMatcher {
             scratch.cell = Some(key);
         }
         let window = Rect::from_point(p).inflate(r);
+        // same gather → lane kernel → ordered cut as the oracle path
+        scratch.pending.clear();
+        scratch.seg_lanes.clear();
         for &(rect, seg_id) in &scratch.cell_segs {
             if !rect.intersects(&window) {
                 continue;
             }
-            let d = self.net.segment(seg_id).geometry.distance_to_point(p);
+            scratch.pending.push(seg_id);
+            scratch.seg_lanes.push(self.net.segment(seg_id).geometry);
+        }
+        scratch
+            .seg_lanes
+            .distances_to_point(p, &mut scratch.dist_buf);
+        for (&seg_id, &d) in scratch.pending.iter().zip(&scratch.dist_buf) {
             if d <= r {
                 scratch.cand_segs.push(seg_id);
                 scratch.cand_scores.push(d);
@@ -471,6 +528,15 @@ impl GlobalMapMatcher {
         let radius = self.params.radius_m;
         let sigma = self.params.sigma_factor * radius;
         let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+        let kernel_mode = self.params.kernel_mode;
+        // one expression for every Eq. 4 weight in this call — forward
+        // rows, backward fallback recomputes and lane chunks all evaluate
+        // the identical chain, so a cache hit and its recompute are
+        // bit-equal in either mode
+        let kernel_w = |d: f64| match kernel_mode {
+            KernelMode::Exact => (-d * d * inv_two_sigma_sq).exp(),
+            KernelMode::Fast => exp_fast(-d * d * inv_two_sigma_sq),
+        };
 
         scratch.slot.resize(self.net.segments().len(), 0);
         scratch.stamp.resize(self.net.segments().len(), 0);
@@ -515,27 +581,56 @@ impl GlobalMapMatcher {
                     if d >= radius {
                         break;
                     }
-                    scratch.w_buf[k] = (-d * d * inv_two_sigma_sq).exp();
+                    // cache miss (row evicted or pair beyond the stride):
+                    // recompute the weight — same expression, same bits as
+                    // the row would have held — and count the wasted exp
+                    scratch.kernel_fallback += 1;
+                    scratch.w_buf[k] = kernel_w(d);
                 }
                 lo = k;
             }
+            // forward expansion in 8-wide chunks: a block of neighbor
+            // distances is computed as one lane pass (the same
+            // `records[k].point.distance(p0)` chain per element), the
+            // radius cut is resolved after the block in ascending order —
+            // so the accepted prefix, every distance and every weight stay
+            // bit-identical to the one-at-a-time loop, which computed `d`
+            // then broke at the first `d >= radius` exactly like the cut
+            // below. Distances past the cut are speculative and discarded.
             let row = i % stride;
             scratch.fwd_owner[row] = i;
-            let mut hi = i;
-            while hi + 1 < n && hi - i < self.params.max_neighbors {
-                let d = records[hi + 1].point.distance(p0);
-                if d >= radius {
+            let limit = (n - 1 - i).min(self.params.max_neighbors);
+            let mut taken = 0usize;
+            while taken < limit {
+                let block = (limit - taken).min(LANES);
+                let mut dbuf = [0.0f64; LANES];
+                for t in 0..block {
+                    let q = records[i + 1 + taken + t].point;
+                    let dx = q.x - p0.x;
+                    let dy = q.y - p0.y;
+                    dbuf[t] = (dx * dx + dy * dy).sqrt();
+                }
+                let cut = dbuf[..block]
+                    .iter()
+                    .position(|&d| d >= radius)
+                    .unwrap_or(block);
+                // Eq. 4 weight row for the accepted prefix, as chunked
+                // `(-d²·inv2σ²).exp()` lanes
+                for (t, &d) in dbuf.iter().enumerate().take(cut) {
+                    let w = kernel_w(d);
+                    scratch.w_buf[i + 1 + taken + t] = w;
+                    let off = taken + t;
+                    if off < stride {
+                        scratch.fwd_w[row * stride + off] = w;
+                    }
+                }
+                taken += cut;
+                if cut < block {
                     break;
                 }
-                hi += 1;
-                let w = (-d * d * inv_two_sigma_sq).exp();
-                scratch.w_buf[hi] = w;
-                let off = hi - i - 1;
-                if off < stride {
-                    scratch.fwd_w[row * stride + off] = w;
-                }
             }
-            scratch.fwd_len[row] = (hi - i).min(stride) as u32;
+            let hi = i + taken;
+            scratch.fwd_len[row] = taken.min(stride) as u32;
 
             // map Q_i's candidate segments to dense accumulator slots; the
             // epoch stamp invalidates the previous record's entries without
@@ -1013,6 +1108,7 @@ mod tests {
                 sigma_factor: 0.4,
                 candidate_radius_m: 25.0,
                 max_neighbors: 16,
+                kernel_mode: KernelMode::Exact,
             },
             IndexMode::Dynamic,
         );
@@ -1111,6 +1207,7 @@ mod tests {
                 sigma_factor: 0.4,
                 candidate_radius_m: 25.0,
                 max_neighbors: 16,
+                kernel_mode: KernelMode::Exact,
             },
             IndexMode::Frozen,
             OracleMode::Precomputed { margin_m: 40.0 },
@@ -1184,5 +1281,108 @@ mod tests {
         let recs = vec![GpsRecord::new(Point::new(540.0, 3.0), Timestamp(0.0))];
         let mm = m.match_records(&recs)[0].expect("matched");
         assert!(mm.snapped.x <= 500.0 + 1e-9);
+    }
+
+    #[test]
+    fn forward_row_cache_miss_recomputes_bit_identical_weight() {
+        // zigzag along "south": P1 is outside radius of P0, so P0's forward
+        // expansion cuts immediately (fwd_len = 0), but P2 sits within
+        // radius of both — P2's backward expansion reaches P0 and must take
+        // the recompute fallback instead of reading a cached row
+        let net = parallel_net();
+        let params = MatchParams {
+            radius_m: 60.0,
+            ..MatchParams::default()
+        };
+        let m = GlobalMapMatcher::new(&net, params);
+        let recs = vec![
+            GpsRecord::new(Point::new(0.0, 2.0), Timestamp(0.0)),
+            GpsRecord::new(Point::new(100.0, 2.0), Timestamp(1.0)),
+            GpsRecord::new(Point::new(50.0, 2.0), Timestamp(2.0)),
+        ];
+        let mut scratch = MatchScratch::new();
+        let got = m.match_records_with(&mut scratch, &recs);
+        assert!(
+            scratch.kernel_fallbacks() > 0,
+            "the (P2, P0) pair must miss the forward-row cache"
+        );
+        // the fallback recompute is bit-identical to the oracle, which
+        // derives every weight from the forward orientation
+        assert_eq!(got, m.match_records_naive(&recs));
+        // draining the counter resets it
+        assert!(scratch.take_kernel_fallbacks() > 0);
+        assert_eq!(scratch.kernel_fallbacks(), 0);
+
+        // the identity the fallback relies on, checked bitwise: the pair
+        // distance (and therefore the kernel weight) is symmetric because
+        // (-dx)·(-dx) rounds exactly like dx·dx
+        let (a, b) = (recs[0].point, recs[2].point);
+        let k = {
+            let sigma = params.radius_m * params.sigma_factor;
+            1.0 / (2.0 * sigma * sigma)
+        };
+        let w_fwd = {
+            let (dx, dy) = (b.x - a.x, b.y - a.y);
+            let d = (dx * dx + dy * dy).sqrt();
+            (-d * d * k).exp()
+        };
+        let w_bwd = {
+            let (dx, dy) = (a.x - b.x, a.y - b.y);
+            let d = (dx * dx + dy * dy).sqrt();
+            (-d * d * k).exp()
+        };
+        assert_eq!(w_fwd.to_bits(), w_bwd.to_bits());
+    }
+
+    #[test]
+    fn smooth_track_never_misses_the_forward_row_cache() {
+        // monotone dense track: every backward pair was already visited by
+        // the owner's forward expansion, so the fallback never fires
+        let net = parallel_net();
+        let m = GlobalMapMatcher::new(&net, MatchParams::default());
+        let recs = track_along(2.0, &[0.0; 40]);
+        let mut scratch = MatchScratch::new();
+        let _ = m.match_records_with(&mut scratch, &recs);
+        assert_eq!(scratch.kernel_fallbacks(), 0);
+    }
+
+    #[test]
+    fn fast_kernel_mode_stays_within_documented_tolerance() {
+        let net = parallel_net();
+        let exact = GlobalMapMatcher::new(&net, MatchParams::default());
+        let fast = GlobalMapMatcher::new(
+            &net,
+            MatchParams {
+                kernel_mode: KernelMode::Fast,
+                ..MatchParams::default()
+            },
+        );
+        let recs: Vec<GpsRecord> = (0..200)
+            .map(|i| {
+                let wobble = ((i * 7) % 23) as f64 - 11.0;
+                GpsRecord::new(
+                    Point::new(10.0 + i as f64, 3.0 + wobble),
+                    Timestamp(i as f64),
+                )
+            })
+            .collect();
+        let me = exact.match_records(&recs);
+        let mf = fast.match_records(&recs);
+        assert_eq!(me.len(), mf.len());
+        for (e, f) in me.iter().zip(&mf) {
+            let (e, f) = (e.expect("matched"), f.expect("matched"));
+            // candidate selection and the radius cut are mode-independent;
+            // only the Eq. 4 weights (hence scores) may drift, and scores
+            // are weighted means of values in [0, 1], so a relative weight
+            // error of EXP_FAST_REL_TOL perturbs a score by O(tol)
+            assert_eq!(e.segment, f.segment);
+            assert_eq!(e.snapped, f.snapped);
+            assert!(
+                (e.score - f.score).abs() <= 16.0 * semitri_geo::EXP_FAST_REL_TOL,
+                "score drift {} vs {}",
+                e.score,
+                f.score
+            );
+        }
     }
 }

@@ -15,7 +15,7 @@ use crate::region::{RegionAnnotator, RegionTuple};
 use semitri_data::{City, FeedError, GpsFeed, GpsRecord, RawTrajectory};
 use semitri_episodes::{Episode, EpisodeKind, SegmentationPolicy, VelocityPolicy};
 use semitri_index::{IndexMode, OracleMode};
-use semitri_obs::{CleaningReport, PipelineObserver, Stage};
+use semitri_obs::{CleaningReport, PipelineObserver, Stage, KERNEL_FALLBACK_METRIC};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -358,6 +358,12 @@ impl SeMiTri {
         }
         latency.map_match_secs = t0.elapsed().as_secs_f64();
         self.stage_end(Stage::Line, tid, move_records, latency.map_match_secs);
+        let fallbacks = scratch.take_kernel_fallbacks();
+        if fallbacks > 0 {
+            if let Some(obs) = &self.observer {
+                obs.on_counter(KERNEL_FALLBACK_METRIC, fallbacks);
+            }
+        }
 
         // --- Semantic Point Annotation Layer (Algorithm 3) ---
         self.stage_start(Stage::Point, tid);
@@ -770,5 +776,30 @@ mod tests {
         for (_, ann) in &out.stop_annotations {
             assert!(PoiCategory::ALL.contains(&ann.category));
         }
+    }
+
+    #[test]
+    fn kernel_fallback_counter_reaches_the_metrics_registry() {
+        use semitri_obs::{MetricsObserver, MetricsRegistry};
+        let city = small_city();
+        let registry = Arc::new(MetricsRegistry::new());
+        let semitri = SeMiTri::new(&city, PipelineConfig::default())
+            .with_observer(Arc::new(MetricsObserver::new(registry.clone())));
+        // zigzag move: +50 m then -25 m per second. Every even fix's
+        // forward expansion cuts at the 50 m hop (>= default radius 30),
+        // yet the next fixes stay within radius of it backwards — forcing
+        // forward-row cache misses that the Line stage must report
+        let mut recs = Vec::new();
+        let mut x = 100.0;
+        for i in 0..60 {
+            recs.push(GpsRecord::new(Point::new(x, 2_500.0), Timestamp(i as f64)));
+            x += if i % 2 == 0 { 50.0 } else { -25.0 };
+        }
+        let _ = semitri.annotate(&RawTrajectory::new(1, 1, recs));
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter(KERNEL_FALLBACK_METRIC) > 0,
+            "Line stage did not report kernel fallbacks"
+        );
     }
 }

@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 use semitri_core::line::baseline::{BaselineMetric, NearestSegmentMatcher};
 use semitri_core::point::hmm::Hmm;
-use semitri_core::{GlobalMapMatcher, IndexMode, MatchParams, MatchScratch, OracleMode};
+use semitri_core::{
+    GlobalMapMatcher, IndexMode, KernelMode, MatchParams, MatchScratch, OracleMode,
+    EXP_FAST_REL_TOL,
+};
 use semitri_data::road::RoadClass;
 use semitri_data::{GpsRecord, RoadNetwork};
 use semitri_geo::{Point, Timestamp};
@@ -195,6 +198,46 @@ proptest! {
             with_oracle.match_records(&recs),
             tree_only.match_records(&recs)
         );
+    }
+
+    #[test]
+    fn fast_kernel_mode_scores_stay_within_tolerance(
+        net in network_strategy(),
+        recs in records_strategy(),
+        radius_m in 10.0..80.0f64,
+        sigma_factor in 0.25..2.0f64,
+    ) {
+        // KernelMode::Fast swaps the libm exp for exp_fast in the Eq. 4
+        // weights only — candidate selection and the radius cut are
+        // mode-independent, so coverage must agree record-for-record and
+        // the winning global score may drift by at most O(EXP_FAST_REL_TOL):
+        // scores are weighted means of local scores in [0, 1] whose weights
+        // each carry <= EXP_FAST_REL_TOL relative error (the max over
+        // candidates is 1-Lipschitz in that perturbation, so the bound
+        // survives even an argmax flip between near-tied candidates).
+        let exact = GlobalMapMatcher::new(&net, MatchParams {
+            radius_m, sigma_factor, ..MatchParams::default()
+        });
+        let fast = GlobalMapMatcher::new(&net, MatchParams {
+            radius_m, sigma_factor, kernel_mode: KernelMode::Fast,
+            ..MatchParams::default()
+        });
+        let me = exact.match_records(&recs);
+        let mf = fast.match_records(&recs);
+        prop_assert_eq!(me.len(), mf.len());
+        for (i, (a, b)) in me.iter().zip(&mf).enumerate() {
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert!(
+                        (a.score - b.score).abs() <= 16.0 * EXP_FAST_REL_TOL,
+                        "score drift at record {}: exact {} vs fast {}",
+                        i, a.score, b.score
+                    );
+                }
+                (a, b) => prop_assert!(false, "coverage diverged at record {i}: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! Fixed-width lane-wise kernels for the hot annotation loops.
+//!
+//! The map-matching layer evaluates the paper's Equation (1) point–segment
+//! distance once per candidate per GPS fix, and the Equation (4) kernel
+//! weight `exp(-d²/2σ²)` once per neighbor pair. Both loops are pure
+//! element-wise arithmetic, so instead of calling [`Segment`] methods one
+//! candidate at a time this module restructures them into fixed-width
+//! chunked passes over structure-of-arrays coordinate lanes: each 8-wide
+//! chunk is a `[f64; 8]` subslice processed by a branchless body that the
+//! stable-Rust autovectorizer can lower to packed SIMD, with a scalar
+//! remainder tail.
+//!
+//! # Bit-identity contract
+//!
+//! Every lane kernel in this module performs *exactly* the per-element
+//! arithmetic of the scalar reference it replaces, in the same order, with
+//! no reassociation: chunking only changes which elements are in flight
+//! together, never the expression evaluated for any one element. The
+//! property tests in this module (and the matcher's oracle tests) enforce
+//! bit-identity against [`Segment::distance_to_point`] /
+//! [`Segment::distance_sq_to_point`] across chunk widths, slab lengths and
+//! remainder tails.
+//!
+//! Where reassociation or a faster `exp` *does* pay, the deviation is gated
+//! behind [`KernelMode::Fast`], which is opt-in ([`KernelMode::Exact`] is
+//! the default) and carries a documented relative tolerance
+//! ([`EXP_FAST_REL_TOL`]).
+
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// Lane width of the chunked kernels: 8 × f64 = one AVX-512 register or two
+/// AVX2 registers, and a comfortable unroll for SSE2. The width is a
+/// compile-time constant so LLVM sees fixed-trip-count inner loops.
+pub const LANES: usize = 8;
+
+/// Selects how the Equation (4) kernel weights `exp(-d²/2σ²)` are
+/// evaluated.
+///
+/// * [`KernelMode::Exact`] (default) calls the libm-correct [`f64::exp`]
+///   per lane — bit-identical to the scalar matcher and to
+///   `match_records_naive`.
+/// * [`KernelMode::Fast`] uses the branchless polynomial [`exp_fast`],
+///   which vectorizes but deviates from [`f64::exp`] by at most
+///   [`EXP_FAST_REL_TOL`] relative error. Candidate *identity* never
+///   changes (distances and the radius cut stay exact); only the weights,
+///   and therefore tie-breaks between near-equal scores, can move within
+///   the tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Bit-identical weights via [`f64::exp`] (the default).
+    #[default]
+    Exact,
+    /// Vectorizable polynomial weights within [`EXP_FAST_REL_TOL`].
+    Fast,
+}
+
+/// Maximum relative error of [`exp_fast`] against [`f64::exp`] over the
+/// kernel-weight domain `x ∈ [-708, 0]`.
+///
+/// Error budget: rounding `x·log₂e` once costs up to `|x|·log₂e` ulps
+/// carried into the reduced argument (≤ 1.1e-13 relative at the `-708`
+/// clamp edge, proportionally less for the small `|x|` the Equation-4
+/// weights actually produce), the degree-10 Taylor truncation on
+/// `|r| ≤ ln2/2` adds ≤ 3.1e-13, and the Horner-chain rounding is in the
+/// low 1e-15s — comfortably inside 5e-13 with margin. The property test
+/// `exp_fast_within_tolerance` sweeps the domain and asserts the bound.
+pub const EXP_FAST_REL_TOL: f64 = 5e-13;
+
+/// Branchless `eˣ` suitable for autovectorization.
+///
+/// Classical base-2 evaluation: `x` is clamped to `[-708, 708]`, the
+/// base-2 exponent `y = x·log₂e` is split as `y = n + f` with
+/// `n = round(y)` and `|f| ≤ ½` (the split subtraction is exact, so the
+/// only reduction error is the one rounding of `x·log₂e` itself), `eʳ`
+/// with `r = f·ln2` is a degree-10 Horner polynomial, and the `2ⁿ` scale
+/// is assembled by exponent-field bit manipulation. Every step is a
+/// select or straight-line arithmetic — no table loads, no branches, and
+/// (crucially for the x86-64 SSE2 baseline, which has no packed `round`
+/// or packed `f64→i64` conversion) no libm `round()` call and no
+/// float→int cast: rounding rides the "shifter" trick of adding and
+/// subtracting `1.5·2⁵²`, which leaves the rounded integer both as an
+/// exact f64 and in the low mantissa bits of the shifted sum — so LLVM
+/// can lower an 8-wide chunk of calls to packed SIMD.
+///
+/// Accuracy: within [`EXP_FAST_REL_TOL`] of [`f64::exp`] on `[-708, 0]`
+/// (the Equation-4 weight domain; weights take `x = -d²/2σ² ≤ 0`). NaN
+/// propagates; inputs below `-708` clamp to `exp(-708) ≈ 3e-308` rather
+/// than flushing through the subnormal range.
+#[inline]
+#[must_use]
+pub fn exp_fast(x: f64) -> f64 {
+    // 1.5·2⁵²: adding it pushes x·log₂e into the range where f64 spacing
+    // is exactly 1, so the FPU's round-to-nearest does the rounding;
+    // subtracting it back recovers the rounded value exactly.
+    const SHIFTER: f64 = 6_755_399_441_055_744.0;
+    let x = x.clamp(-708.0, 708.0);
+    let y = x * std::f64::consts::LOG2_E;
+    let j = y + SHIFTER;
+    let n = j - SHIFTER;
+    // Exact by Sterbenz (n is within a factor of two of y), so no
+    // two-part Cody–Waite chain is needed: the only reduction error is
+    // the rounding already inside `y`, which EXP_FAST_REL_TOL budgets.
+    let f = y - n;
+    let r = f * std::f64::consts::LN_2;
+    // e^r via Horner over 1/k!. |r| <= ln2/2 bounds the degree-10
+    // truncation by r¹¹/11!·e^{ln2/2} ≈ 3.1e-13 relative.
+    let p = 2.755_731_922_398_589e-7; // 1/10!
+    let p = p * r + 2.755_731_922_398_589_3e-6; // 1/9!
+    let p = p * r + 2.480_158_730_158_73e-5; // 1/8!
+    let p = p * r + 1.984_126_984_126_984e-4; // 1/7!
+    let p = p * r + 1.388_888_888_888_889e-3; // 1/6!
+    let p = p * r + 8.333_333_333_333_333e-3; // 1/5!
+    let p = p * r + 4.166_666_666_666_666_4e-2; // 1/4!
+    let p = p * r + 1.666_666_666_666_666_6e-1; // 1/3!
+    let p = p * r + 0.5;
+    let p = p * r + 1.0;
+    let p = p * r + 1.0;
+    // 2^n assembled in the exponent field. The low 52 mantissa bits of `j`
+    // hold `2⁵¹ + n` (n in [-1022, 1022] after the clamp, so no wrap and
+    // the biased exponent stays in (0, 2047) — always a normal number).
+    // Reading n back out of `j`'s bits avoids the f64→i64 conversion,
+    // which has no packed SSE2 form and would block vectorization.
+    const MANTISSA: u64 = (1 << 52) - 1;
+    let n_biased = (j.to_bits() & MANTISSA)
+        .wrapping_sub(1 << 51)
+        .wrapping_add(1023);
+    let scale = f64::from_bits(n_biased << 52);
+    p * scale
+}
+
+/// Evaluates the Equation (4) kernel weights `out[i] = exp(-d[i]²·k)` with
+/// `k = 1/2σ²`, in 8-wide chunks.
+///
+/// Under [`KernelMode::Exact`] the per-element expression is literally
+/// `(-d * d * inv_two_sigma_sq).exp()` — the same chain the scalar matcher
+/// and `match_records_naive` evaluate — so results are bit-identical.
+/// Under [`KernelMode::Fast`] the `exp` is [`exp_fast`] within
+/// [`EXP_FAST_REL_TOL`].
+///
+/// # Panics
+///
+/// Panics if `out.len() != d.len()`.
+pub fn weight_lanes(d: &[f64], inv_two_sigma_sq: f64, mode: KernelMode, out: &mut [f64]) {
+    assert_eq!(d.len(), out.len(), "weight_lanes length mismatch");
+    let chunks = d.len() / LANES * LANES;
+    for base in (0..chunks).step_by(LANES) {
+        let dc: &[f64; LANES] = d[base..base + LANES].try_into().unwrap();
+        let oc: &mut [f64; LANES] = (&mut out[base..base + LANES]).try_into().unwrap();
+        match mode {
+            KernelMode::Exact => {
+                for i in 0..LANES {
+                    oc[i] = (-dc[i] * dc[i] * inv_two_sigma_sq).exp();
+                }
+            }
+            KernelMode::Fast => {
+                for i in 0..LANES {
+                    oc[i] = exp_fast(-dc[i] * dc[i] * inv_two_sigma_sq);
+                }
+            }
+        }
+    }
+    for i in chunks..d.len() {
+        out[i] = match mode {
+            KernelMode::Exact => (-d[i] * d[i] * inv_two_sigma_sq).exp(),
+            KernelMode::Fast => exp_fast(-d[i] * d[i] * inv_two_sigma_sq),
+        };
+    }
+}
+
+/// A structure-of-arrays slab of segments, the input layout of the batched
+/// point–segment distance kernel.
+///
+/// The matcher gathers one candidate slab per GPS fix into a reused
+/// `SegmentLanes` scratch (endpoint coordinates split into four coordinate
+/// lanes), then evaluates Equation (1) for the whole slab in one chunked
+/// pass instead of one [`Segment::distance_to_point`] call per candidate.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentLanes {
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
+}
+
+/// The per-element Equation (1) body, generic over the chunk width so the
+/// property tests can sweep widths; the public entry points instantiate
+/// `W = LANES`. The arithmetic chain — `project_param`, select on the
+/// degenerate segment, `clamp`, `lerp` (which recomputes the deltas, as
+/// [`Point::lerp`] does), squared distance — mirrors
+/// [`Segment::distance_sq_to_point`] expression for expression, so each
+/// element is bit-identical to the scalar reference.
+#[inline(always)]
+fn eq1_distance_sq_chunk<const W: usize>(
+    ax: &[f64; W],
+    ay: &[f64; W],
+    bx: &[f64; W],
+    by: &[f64; W],
+    qx: f64,
+    qy: f64,
+    out: &mut [f64; W],
+) {
+    for i in 0..W {
+        let abx = bx[i] - ax[i];
+        let aby = by[i] - ay[i];
+        let len_sq = abx * abx + aby * aby;
+        // fdiv is speculation-safe: divide unconditionally, select away the
+        // degenerate-segment lane afterwards (same value as the scalar
+        // early-return since the selected operand is untouched).
+        let t_raw = ((qx - ax[i]) * abx + (qy - ay[i]) * aby) / len_sq;
+        let t = if len_sq == 0.0 { 0.0 } else { t_raw };
+        let t = t.clamp(0.0, 1.0);
+        let cx = ax[i] + (bx[i] - ax[i]) * t;
+        let cy = ay[i] + (by[i] - ay[i]) * t;
+        let dx = qx - cx;
+        let dy = qy - cy;
+        out[i] = dx * dx + dy * dy;
+    }
+}
+
+/// Chunked Equation (1) squared distances at an arbitrary width, shared by
+/// the `W = LANES` public path and the width-sweeping property tests.
+fn distances_sq_impl<const W: usize>(lanes: &SegmentLanes, q: Point, out: &mut Vec<f64>) {
+    let n = lanes.len();
+    out.clear();
+    out.resize(n, 0.0);
+    let chunks = n / W * W;
+    for base in (0..chunks).step_by(W) {
+        let ax: &[f64; W] = lanes.ax[base..base + W].try_into().unwrap();
+        let ay: &[f64; W] = lanes.ay[base..base + W].try_into().unwrap();
+        let bx: &[f64; W] = lanes.bx[base..base + W].try_into().unwrap();
+        let by: &[f64; W] = lanes.by[base..base + W].try_into().unwrap();
+        let oc: &mut [f64; W] = (&mut out[base..base + W]).try_into().unwrap();
+        eq1_distance_sq_chunk(ax, ay, bx, by, q.x, q.y, oc);
+    }
+    // Remainder tail: the scalar reference itself, element by element.
+    for (i, o) in out.iter_mut().enumerate().skip(chunks) {
+        *o = lanes.segment(i).distance_sq_to_point(q);
+    }
+}
+
+impl SegmentLanes {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes all segments, keeping the lane allocations.
+    pub fn clear(&mut self) {
+        self.ax.clear();
+        self.ay.clear();
+        self.bx.clear();
+        self.by.clear();
+    }
+
+    /// Appends a segment to the slab.
+    pub fn push(&mut self, s: Segment) {
+        self.ax.push(s.a.x);
+        self.ay.push(s.a.y);
+        self.bx.push(s.b.x);
+        self.by.push(s.b.y);
+    }
+
+    /// Number of segments in the slab.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ax.len()
+    }
+
+    /// `true` if the slab holds no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ax.is_empty()
+    }
+
+    /// Reassembles the `i`-th segment (tail path and tests).
+    #[must_use]
+    pub fn segment(&self, i: usize) -> Segment {
+        Segment::new(
+            Point::new(self.ax[i], self.ay[i]),
+            Point::new(self.bx[i], self.by[i]),
+        )
+    }
+
+    /// Squared Equation (1) distance from `q` to every segment in the slab,
+    /// evaluated in 8-wide chunks. `out` is cleared and resized; each
+    /// element is bit-identical to
+    /// [`Segment::distance_sq_to_point`]`(q)` on the corresponding segment.
+    pub fn distances_sq_to_point(&self, q: Point, out: &mut Vec<f64>) {
+        distances_sq_impl::<LANES>(self, q, out);
+    }
+
+    /// Equation (1) distance (with the root) from `q` to every segment,
+    /// bit-identical per element to [`Segment::distance_to_point`]`(q)`.
+    ///
+    /// The root is taken in a second lane pass over the squared distances:
+    /// `sqrt` is correctly rounded, so `d_sq.sqrt()` equals the scalar
+    /// chain's final `sqrt` bit for bit.
+    pub fn distances_to_point(&self, q: Point, out: &mut Vec<f64>) {
+        self.distances_sq_to_point(q, out);
+        let chunks = out.len() / LANES * LANES;
+        for base in (0..chunks).step_by(LANES) {
+            let oc: &mut [f64; LANES] = (&mut out[base..base + LANES]).try_into().unwrap();
+            for v in oc.iter_mut() {
+                *v = v.sqrt();
+            }
+        }
+        for v in &mut out[chunks..] {
+            *v = v.sqrt();
+        }
+    }
+
+    /// Width-`W` variant of [`SegmentLanes::distances_sq_to_point`], used
+    /// by the chunk-width × slab-length × tail property matrix.
+    pub fn distances_sq_to_point_width<const W: usize>(&self, q: Point, out: &mut Vec<f64>) {
+        distances_sq_impl::<W>(self, q, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn slab(n: usize, salt: f64) -> SegmentLanes {
+        let mut lanes = SegmentLanes::new();
+        for i in 0..n {
+            let f = i as f64;
+            lanes.push(Segment::new(
+                Point::new(f * 13.7 - salt, (f * 7.3).sin() * 500.0),
+                Point::new(f * 13.7 + 90.0, (f * 3.1).cos() * 500.0 + salt),
+            ));
+        }
+        lanes
+    }
+
+    #[test]
+    fn batched_distances_match_scalar_bitwise() {
+        let lanes = slab(37, 4.25); // 4 full chunks + tail of 5
+        let q = Point::new(123.5, -42.0);
+        let mut d = Vec::new();
+        let mut d_sq = Vec::new();
+        lanes.distances_to_point(q, &mut d);
+        lanes.distances_sq_to_point(q, &mut d_sq);
+        for i in 0..lanes.len() {
+            let s = lanes.segment(i);
+            assert_eq!(d[i].to_bits(), s.distance_to_point(q).to_bits(), "lane {i}");
+            assert_eq!(d_sq[i].to_bits(), s.distance_sq_to_point(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn degenerate_segment_lane_matches_scalar() {
+        let mut lanes = SegmentLanes::new();
+        for _ in 0..9 {
+            lanes.push(Segment::new(Point::new(3.0, 4.0), Point::new(3.0, 4.0)));
+        }
+        let q = Point::new(0.0, 0.0);
+        let mut d = Vec::new();
+        lanes.distances_to_point(q, &mut d);
+        for v in d {
+            assert_eq!(v.to_bits(), 5.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn weight_lanes_exact_matches_naive_expression() {
+        let d: Vec<f64> = (0..21).map(|i| i as f64 * 1.3).collect();
+        let k = 1.0 / (2.0 * 4.8 * 4.8);
+        let mut w = vec![0.0; d.len()];
+        weight_lanes(&d, k, KernelMode::Exact, &mut w);
+        for (i, &di) in d.iter().enumerate() {
+            let naive = (-di * di * k).exp();
+            assert_eq!(w[i].to_bits(), naive.to_bits(), "weight {i}");
+        }
+    }
+
+    #[test]
+    fn exp_fast_spot_checks() {
+        for &x in &[0.0f64, -1.0, -0.5, -10.0, -100.0, -700.0, -0.001] {
+            let exact = x.exp();
+            let fast = exp_fast(x);
+            assert!(
+                (fast - exact).abs() <= EXP_FAST_REL_TOL * exact,
+                "x={x}: fast={fast:e} exact={exact:e}"
+            );
+        }
+        assert_eq!(exp_fast(0.0), 1.0);
+        assert!(exp_fast(f64::NAN).is_nan());
+        // below the clamp: pinned at exp(-708), never subnormal-flushed
+        assert!(exp_fast(-1.0e9) > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Chunk width × slab length × remainder tail: every width agrees
+        /// bitwise with the scalar reference on every element, including
+        /// tails of every residue class.
+        #[test]
+        fn chunked_kernel_bitwise_identity_matrix(
+            n in 0usize..40,
+            coords in proptest::collection::vec(-5000.0f64..5000.0, 0..164),
+            qx in -5000.0f64..5000.0,
+            qy in -5000.0f64..5000.0,
+        ) {
+            let mut lanes = SegmentLanes::new();
+            for i in 0..n {
+                let c = |j: usize| coords.get((i * 4 + j) % coords.len().max(1)).copied().unwrap_or(0.0);
+                lanes.push(Segment::new(Point::new(c(0), c(1)), Point::new(c(2), c(3))));
+            }
+            let q = Point::new(qx, qy);
+            let reference: Vec<f64> =
+                (0..n).map(|i| lanes.segment(i).distance_sq_to_point(q)).collect();
+            let mut out = Vec::new();
+            macro_rules! check_width {
+                ($w:literal) => {
+                    lanes.distances_sq_to_point_width::<$w>(q, &mut out);
+                    prop_assert_eq!(out.len(), n);
+                    for i in 0..n {
+                        prop_assert_eq!(out[i].to_bits(), reference[i].to_bits());
+                    }
+                };
+            }
+            check_width!(1);
+            check_width!(2);
+            check_width!(4);
+            check_width!(8);
+            check_width!(16);
+        }
+
+        /// `KernelMode::Fast` weights stay within the documented tolerance
+        /// of the exact weights over the full kernel domain.
+        #[test]
+        fn exp_fast_within_tolerance(x in -708.0f64..0.0) {
+            let exact = x.exp();
+            let fast = exp_fast(x);
+            prop_assert!(
+                (fast - exact).abs() <= EXP_FAST_REL_TOL * exact,
+                "x={} fast={:e} exact={:e}", x, fast, exact
+            );
+        }
+
+        /// Fast-mode weight rows deviate from exact rows by at most the
+        /// documented relative tolerance, element-wise, plus the
+        /// `exp(-708)` absolute floor in the clamp region (inputs below
+        /// -708 clamp instead of underflowing — both weights are zero for
+        /// all scoring purposes there).
+        #[test]
+        fn fast_weight_rows_bounded(
+            d in proptest::collection::vec(0.0f64..500.0, 0..40),
+            sigma in 0.5f64..60.0,
+        ) {
+            let k = 1.0 / (2.0 * sigma * sigma);
+            let floor = exp_fast(-708.0); // the clamp output itself
+            let mut exact = vec![0.0; d.len()];
+            let mut fast = vec![0.0; d.len()];
+            weight_lanes(&d, k, KernelMode::Exact, &mut exact);
+            weight_lanes(&d, k, KernelMode::Fast, &mut fast);
+            for i in 0..d.len() {
+                prop_assert!(
+                    (fast[i] - exact[i]).abs() <= EXP_FAST_REL_TOL * exact[i] + floor,
+                    "d={} k={} x={} exact={:e} fast={:e}",
+                    d[i], k, -d[i] * d[i] * k, exact[i], fast[i]
+                );
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lanes;
 pub mod point;
 pub mod polygon;
 pub mod polyline;
@@ -33,6 +34,7 @@ pub mod rect;
 pub mod segment;
 pub mod time;
 
+pub use lanes::{exp_fast, weight_lanes, KernelMode, SegmentLanes, EXP_FAST_REL_TOL, LANES};
 pub use point::{GeoPoint, Point};
 pub use polygon::Polygon;
 pub use polyline::Polyline;

@@ -234,7 +234,23 @@ pub trait PipelineObserver: Send + Sync {
     fn on_preprocess(&self, trajectory_id: u64, report: &CleaningReport) {
         let _ = (trajectory_id, report);
     }
+
+    /// A stage reported an auxiliary named counter (e.g.
+    /// [`KERNEL_FALLBACK_METRIC`], the matcher's forward-row cache-miss
+    /// recomputations). `name` is a `'static` metric name from this
+    /// crate's schema constants; default is a no-op so existing observers
+    /// are unaffected. Zero deltas may be skipped by callers.
+    fn on_counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
 }
+
+/// Counter metric: kernel weights the matcher recomputed because the
+/// symmetric forward-row cache missed (ring eviction or pair beyond the
+/// row stride). High values mean the `max_neighbors` stride is too small
+/// for the data's neighbor density — wasted `exp` calls, never drift (the
+/// recompute is bit-identical to the cached row).
+pub const KERNEL_FALLBACK_METRIC: &str = "stage.line.kernel_fallback";
 
 /// An observer that discards every event (useful as a default and in
 /// benchmarks isolating observer overhead).
@@ -302,6 +318,12 @@ impl PipelineObserver for MetricsObserver {
         deduped.add(report.deduped);
         calls.inc();
     }
+
+    fn on_counter(&self, name: &'static str, delta: u64) {
+        // auxiliary counters are rare (once per trajectory, not per fix),
+        // so the registry lookup here is off the hot path
+        self.registry.counter(name).add(delta);
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +368,21 @@ mod tests {
         NullObserver.on_stage_start(Stage::Episode, 1);
         NullObserver.on_stage_end(Stage::Episode, 1, 10, 0.1);
         NullObserver.on_preprocess(1, &CleaningReport::default());
+        NullObserver.on_counter(KERNEL_FALLBACK_METRIC, 3);
+    }
+
+    #[test]
+    fn auxiliary_counters_accumulate_through_on_counter() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = MetricsObserver::new(registry.clone());
+        obs.on_counter(KERNEL_FALLBACK_METRIC, 5);
+        obs.on_counter(KERNEL_FALLBACK_METRIC, 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(KERNEL_FALLBACK_METRIC), 7);
+        assert!(
+            snap.histogram(KERNEL_FALLBACK_METRIC).is_none(),
+            "auxiliary counter must not be a histogram"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index]
+//! semitri-cli raster <taxis|milan|phones> [seed] [days] [--cell M] [--threads N] [--top K]
 //! semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N]
 //! semitri-cli annotate <taxis|milan|phones> [seed]       (feed JSON lines on stdin)
 //! semitri-cli info <store.stlog>
@@ -35,6 +36,8 @@ fn usage() -> ExitCode {
          (SPEC: comma-separated faults, e.g. dropout=0.1,noise=25,teleport=3,dup=0.05,conflict=0.02,swap=0.05,stuck=0.03,nan=0.01,resample=5;\n     \
          --dynamic-index queries the pointer-based R*-trees instead of the frozen snapshots — same output, oracle/debug use;\n     \
          --no-oracle skips the precomputed per-cell candidate slabs and walks the trees per query — same output, saves the arena memory)\n  \
+         semitri-cli raster <taxis|milan|phones> [seed] [days] [--cell M] [--threads N] [--top K]\n    \
+         (annotates the preset fleet and burns it into per-mode / per-road-class / per-landuse density grids)\n  \
          semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N] [--no-oracle]\n  \
          semitri-cli annotate <taxis|milan|phones> [seed]   (feed JSON lines on stdin)\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
@@ -347,6 +350,114 @@ fn generate(
     Ok(())
 }
 
+/// `raster`: generate a preset fleet, annotate it on the shared worker
+/// pool, and burn the annotated corpus into per-mode / per-road-class /
+/// per-landuse-category density grids over the city bounds. Burning uses
+/// one private tile accumulator per worker, merged at the end — the grid
+/// is bit-identical for every worker count.
+fn raster(
+    preset: &str,
+    seed: u64,
+    days: usize,
+    cell_m: f64,
+    threads: Option<usize>,
+    top: usize,
+) -> Result<(), ExitCode> {
+    let (dataset, vehicle) = match preset {
+        "taxis" => (lausanne_taxis(days, seed), true),
+        "milan" => (milan_cars(20, days, seed), true),
+        "phones" => (smartphone_users(6, days, seed), false),
+        _ => {
+            eprintln!("unknown preset {preset:?} (taxis|milan|phones)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let config = if vehicle {
+        PipelineConfig {
+            mode: ModeInferencer {
+                allow_car: true,
+                ..ModeInferencer::default()
+            },
+            policy: Box::new(VelocityPolicy::vehicles()),
+            ..PipelineConfig::default()
+        }
+    } else {
+        PipelineConfig::default()
+    };
+    let semitri = SeMiTri::new(&dataset.city, config);
+    let mut annotator = BatchAnnotator::new(&semitri);
+    if let Some(n) = threads {
+        annotator = annotator.with_threads(n);
+    }
+    let raws: Vec<RawTrajectory> = dataset.tracks.iter().map(|t| t.to_raw()).collect();
+    let batch = annotator.annotate_all(&raws);
+    println!(
+        "annotated '{}' with {} worker(s): {} records in {:.2}s ({:.0} records/s)",
+        dataset.name,
+        batch.summary.threads,
+        batch.summary.records,
+        batch.summary.wall_secs,
+        batch.summary.records_per_sec
+    );
+    for err in batch.errors() {
+        eprintln!("warning: {err}");
+    }
+    let workers = threads.unwrap_or(batch.summary.threads).max(1);
+    let outputs: Vec<PipelineOutput> = batch.results.into_iter().filter_map(Result::ok).collect();
+    let grid_config = RasterConfig {
+        bounds: dataset.city.bounds(),
+        cell_m,
+    };
+    let t0 = std::time::Instant::now();
+    let grid = burn_all(grid_config, &outputs, &dataset.city.roads, workers);
+    let secs = t0.elapsed().as_secs_f64();
+    let (nx, ny) = grid.dims();
+    let burned = grid.layer_total(RasterLayer::Total);
+    let rate = if secs > 0.0 {
+        burned as f64 / secs
+    } else {
+        0.0
+    };
+    println!(
+        "raster {nx}x{ny} cells of {cell_m} m: burned {burned} fixes ({} out of bounds) on {workers} worker(s) in {secs:.3}s ({rate:.0} fixes/s)",
+        grid.dropped()
+    );
+    println!("  {:<32} {:>10} {:>8}", "layer", "fixes", "cells");
+    let row = |name: String, layer: RasterLayer| {
+        let total = grid.layer_total(layer);
+        if total > 0 {
+            println!(
+                "  {:<32} {:>10} {:>8}",
+                name,
+                total,
+                grid.nonzero_cells(layer)
+            );
+        }
+    };
+    row("total".to_string(), RasterLayer::Total);
+    for m in TransportMode::ALL {
+        row(format!("mode/{}", m.label()), RasterLayer::Mode(m));
+    }
+    for c in [
+        RoadClass::Highway,
+        RoadClass::Street,
+        RoadClass::Path,
+        RoadClass::Rail,
+    ] {
+        row(format!("class/{}", c.label()), RasterLayer::Class(c));
+    }
+    for c in LanduseCategory::ALL {
+        row(format!("landuse/{}", c.label()), RasterLayer::Landuse(c));
+    }
+    if top > 0 {
+        println!("top {top} cells (total layer):");
+        for (ix, iy, n) in grid.top_cells(RasterLayer::Total, top) {
+            println!("  ({ix:>4},{iy:>4}) {n}");
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
@@ -409,6 +520,53 @@ fn run() -> Result<(), ExitCode> {
                     oracle_mode,
                 },
             )
+        }
+        Some("raster") => {
+            let Some(preset) = it.next() else {
+                return Err(usage());
+            };
+            let mut threads = None;
+            let mut cell_m = 50.0;
+            let mut top = 5usize;
+            let mut positional = Vec::new();
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                if arg == "--threads" {
+                    let Some(n) = rest.next().and_then(|s| s.parse::<usize>().ok()) else {
+                        eprintln!("--threads needs a positive integer");
+                        return Err(ExitCode::from(2));
+                    };
+                    if n == 0 {
+                        eprintln!("--threads needs a positive integer");
+                        return Err(ExitCode::from(2));
+                    }
+                    threads = Some(n);
+                } else if arg == "--cell" {
+                    let Some(v) = rest.next().and_then(|s| s.parse::<f64>().ok()) else {
+                        eprintln!("--cell needs a size in meters");
+                        return Err(ExitCode::from(2));
+                    };
+                    if !(v.is_finite() && v > 0.0) {
+                        eprintln!("--cell needs a positive size in meters");
+                        return Err(ExitCode::from(2));
+                    }
+                    cell_m = v;
+                } else if arg == "--top" {
+                    let Some(k) = rest.next().and_then(|s| s.parse::<usize>().ok()) else {
+                        eprintln!("--top needs a cell count");
+                        return Err(ExitCode::from(2));
+                    };
+                    top = k;
+                } else {
+                    positional.push(arg);
+                }
+            }
+            let seed = positional
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            let days = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+            raster(preset, seed, days, cell_m, threads, top)
         }
         Some("serve") => {
             let Some(preset) = it.next() else {

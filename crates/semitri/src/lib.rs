@@ -63,10 +63,10 @@ pub use semitri_store as store;
 /// One-stop imports for typical use of the framework.
 pub mod prelude {
     pub use semitri_analytics::{
-        dbscan_stops, mine_sequences, radius_of_gyration, symbols_of, trajectory_category,
-        CategoryShares, CompressionStats, DbscanParams, LanduseDistribution, LatencySummary,
-        LengthDistribution, MobilitySummary, ModeShares, SequencePattern, StopCluster, SymbolKind,
-        UserEpisodeCounts,
+        burn_all, dbscan_stops, mine_sequences, radius_of_gyration, symbols_of,
+        trajectory_category, CategoryShares, CompressionStats, DbscanParams, LanduseDistribution,
+        LatencySummary, LengthDistribution, MobilitySummary, ModeShares, RasterConfig, RasterGrid,
+        RasterLayer, SequencePattern, StopCluster, SymbolKind, UserEpisodeCounts,
     };
     pub use semitri_core::{
         Annotation, AnnotationValue, BatchAnnotator, BatchOutput, BatchSummary, GlobalMapMatcher,

@@ -150,6 +150,54 @@ fn generate_with_metrics_prints_per_layer_breakdown() {
 }
 
 #[test]
+fn raster_burns_density_grids_for_a_preset() {
+    let out = cli()
+        .args([
+            "raster",
+            "phones",
+            "7",
+            "1",
+            "--cell",
+            "100",
+            "--threads",
+            "2",
+            "--top",
+            "3",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("raster "), "{stdout}");
+    assert!(stdout.contains("burned "), "{stdout}");
+    // the unconditional layer is always present, and at least one mode and
+    // one landuse layer got fixes on a healthy preset
+    assert!(
+        stdout.lines().any(|l| l.trim_start().starts_with("total")),
+        "{stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.trim_start().starts_with("mode/")),
+        "{stdout}"
+    );
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.trim_start().starts_with("landuse/")),
+        "{stdout}"
+    );
+    assert!(stdout.contains("top 3 cells"), "{stdout}");
+
+    // unknown preset is a usage error
+    let out = cli().args(["raster", "nope"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = cli().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
