@@ -40,5 +40,5 @@ pub use landuse::LanduseDistribution;
 pub use latency::LatencySummary;
 pub use mobility::{radius_of_gyration, MobilitySummary, ModeShares};
 pub use patterns::{mine_sequences, symbols_of, SequencePattern, SymbolKind};
-pub use raster::{burn_all, RasterConfig, RasterGrid, RasterLayer};
+pub use raster::{burn_all, effective_workers, RasterConfig, RasterGrid, RasterLayer};
 pub use similarity::{edit_distance, lcss_similarity, semantic_similarity};

@@ -251,13 +251,46 @@ impl RasterGrid {
     }
 }
 
+/// Minimum cleaned fixes each worker must have to justify its spawn.
+///
+/// Burning a fix is tens of nanoseconds of arithmetic, while spawning a
+/// thread plus merging its 27-plane tile costs tens of microseconds; on
+/// a small corpus the tiled path loses to plain serial burning. Below
+/// this per-worker load [`burn_all`] sheds workers (down to fully
+/// serial) rather than paying overhead it cannot amortize.
+pub const MIN_FIXES_PER_WORKER: usize = 50_000;
+
+/// Workers [`burn_all`] will actually use for a corpus and a requested
+/// thread count: capped by the trajectory count and by
+/// [`MIN_FIXES_PER_WORKER`] cleaned fixes of load per worker.
+pub fn effective_workers(outputs: &[PipelineOutput], threads: usize) -> usize {
+    let fixes: usize = outputs.iter().map(|o| o.cleaned.len()).sum();
+    threads
+        .min(outputs.len())
+        .min((fixes / MIN_FIXES_PER_WORKER).max(1))
+        .max(1)
+}
+
 /// Burns a corpus of annotated trajectories on up to `threads` workers,
 /// each filling a private tile accumulator, and merges the tiles.
 ///
-/// The result is bit-identical for every thread count (merging is a sum
-/// of `u64` planes), so callers can scale the worker pool to the machine
-/// without perturbing analytics output.
+/// The worker count is auto-capped by [`effective_workers`]: a corpus
+/// too small to amortize thread spawns burns serially even when more
+/// threads were offered. The result is bit-identical for every thread
+/// count (merging is a sum of `u64` planes), so callers can scale the
+/// worker pool to the machine without perturbing analytics output.
 pub fn burn_all(
+    config: RasterConfig,
+    outputs: &[PipelineOutput],
+    net: &RoadNetwork,
+    threads: usize,
+) -> RasterGrid {
+    burn_exact(config, outputs, net, effective_workers(outputs, threads))
+}
+
+/// Burns with exactly `threads` workers, no load-based shedding —
+/// the tiled machinery behind [`burn_all`].
+fn burn_exact(
     config: RasterConfig,
     outputs: &[PipelineOutput],
     net: &RoadNetwork,
@@ -470,6 +503,29 @@ mod tests {
     }
 
     #[test]
+    fn small_corpora_shed_workers_to_serial() {
+        let net = tiny_net();
+        let outputs: Vec<PipelineOutput> = (0..8).map(|_| tiny_output(&net)).collect();
+        // 8 trajectories × 4 fixes is far below the per-worker threshold
+        assert_eq!(effective_workers(&outputs, 8), 1);
+        assert_eq!(effective_workers(&[], 4), 1);
+        // a corpus with two workers' worth of fixes gets exactly two
+        let big: Vec<PipelineOutput> = (0..4).map(|_| tiny_output(&net)).collect();
+        let per_out = big[0].cleaned.len();
+        let want = (4 * per_out) / MIN_FIXES_PER_WORKER; // 0 → clamped to 1
+        assert_eq!(effective_workers(&big, 16), want.max(1));
+        // dispatch shedding never changes the result
+        let config = RasterConfig {
+            bounds: Rect::new(0.0, 0.0, 100.0, 100.0),
+            cell_m: 10.0,
+        };
+        assert_eq!(
+            burn_all(config, &outputs, &net, 8),
+            burn_all(config, &outputs, &net, 1)
+        );
+    }
+
+    #[test]
     fn parallel_burn_is_bit_identical_to_serial() {
         let city = City::generate(CityConfig {
             bounds: Rect::new(0.0, 0.0, 4_000.0, 4_000.0),
@@ -501,8 +557,9 @@ mod tests {
             bounds: city.bounds(),
             cell_m: 50.0,
         };
-        let serial = burn_all(config, &outputs, &city.roads, 1);
-        let parallel = burn_all(config, &outputs, &city.roads, 4);
+        // bypass load-based shedding so four workers genuinely spawn
+        let serial = burn_exact(config, &outputs, &city.roads, 1);
+        let parallel = burn_exact(config, &outputs, &city.roads, 4);
         assert_eq!(serial, parallel);
         // the corpus actually hit the grid: every cleaned fix of every
         // trajectory is inside the city bounds

@@ -19,6 +19,7 @@ pub mod fig17;
 pub mod fig9;
 pub mod hotpath;
 pub mod server_load;
+pub mod store;
 pub mod tables;
 pub mod throughput;
 pub mod util;

@@ -31,6 +31,24 @@ pub enum RoadClass {
 }
 
 impl RoadClass {
+    /// Every class, in a stable order ([`RoadClass::ordinal`] indexes it).
+    pub const ALL: [RoadClass; 4] = [
+        RoadClass::Highway,
+        RoadClass::Street,
+        RoadClass::Path,
+        RoadClass::Rail,
+    ];
+
+    /// Dense index of this class within [`RoadClass::ALL`].
+    pub fn ordinal(&self) -> usize {
+        match self {
+            RoadClass::Highway => 0,
+            RoadClass::Street => 1,
+            RoadClass::Path => 2,
+            RoadClass::Rail => 3,
+        }
+    }
+
     /// Short display label used in experiment tables.
     pub fn label(&self) -> &'static str {
         match self {

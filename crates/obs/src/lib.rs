@@ -17,7 +17,10 @@
 //! * [`MetricsObserver`] — the canonical observer routing stage spans
 //!   into a registry;
 //! * [`ServerMetrics`] — pre-resolved handles for the `server.*` schema
-//!   reported by the `semitri-server` annotation server.
+//!   reported by the `semitri-server` annotation server;
+//! * [`StoreMetrics`] — pre-resolved handles for the `store.*` schema
+//!   published from the columnar trajectory store's own counters
+//!   (compression ratios, block-skip hit rates, query counts).
 //!
 //! ## Allocation discipline of the observed stages
 //!
@@ -51,10 +54,12 @@
 mod histogram;
 mod registry;
 mod server;
+mod store;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use server::ServerMetrics;
+pub use store::StoreMetrics;
 
 use std::sync::Arc;
 

@@ -8,7 +8,7 @@
 //! ```text
 //! semitri-cli generate <taxis|milan|phones> <store.stlog> [seed] [days] [--threads N] [--metrics] [--faults SPEC] [--dynamic-index]
 //! semitri-cli raster <taxis|milan|phones> [seed] [days] [--cell M] [--threads N] [--top K]
-//! semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N]
+//! semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N] [--store <store.stlog>]
 //! semitri-cli annotate <taxis|milan|phones> [seed]       (feed JSON lines on stdin)
 //! semitri-cli info <store.stlog>
 //! semitri-cli objects <store.stlog>
@@ -16,6 +16,7 @@
 //! semitri-cli query-mode <store.stlog> <walk|bicycle|bus|metro|car>
 //! semitri-cli query-activity <store.stlog> <services|feedings|item-sale|person-life|unknown>
 //! semitri-cli stats <store.stlog>
+//! semitri-cli olap <store.stlog> [top]
 //! semitri-cli export-kml <store.stlog> <trajectory_id> <out.kml>
 //! semitri-cli compact <store.stlog>
 //! ```
@@ -38,13 +39,14 @@ fn usage() -> ExitCode {
          --no-oracle skips the precomputed per-cell candidate slabs and walks the trees per query — same output, saves the arena memory)\n  \
          semitri-cli raster <taxis|milan|phones> [seed] [days] [--cell M] [--threads N] [--top K]\n    \
          (annotates the preset fleet and burns it into per-mode / per-road-class / per-landuse density grids)\n  \
-         semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N] [--no-oracle]\n  \
+         semitri-cli serve <taxis|milan|phones> [addr] [seed] [--workers N] [--no-oracle] [--store <store.stlog>]\n  \
          semitri-cli annotate <taxis|milan|phones> [seed]   (feed JSON lines on stdin)\n  \
          semitri-cli info <store.stlog>\n  semitri-cli objects <store.stlog>\n  \
          semitri-cli show <store.stlog> <trajectory_id>\n  \
          semitri-cli query-mode <store.stlog> <mode>\n  \
          semitri-cli query-activity <store.stlog> <category>\n  \
          semitri-cli stats <store.stlog>\n  \
+         semitri-cli olap <store.stlog> [top]   (warehouse aggregates over the compressed columns)\n  \
          semitri-cli export-kml <store.stlog> <trajectory_id> <out.kml>\n  \
          semitri-cli compact <store.stlog>"
     );
@@ -164,18 +166,26 @@ fn serve(
     seed: u64,
     workers: Option<usize>,
     oracle_mode: OracleMode,
+    store_path: Option<&str>,
 ) -> Result<(), ExitCode> {
     let (city, vehicle, policy) = preset_city(preset, seed)?;
     let mut serve_config = ServeConfig::default();
     if let Some(n) = workers {
         serve_config.workers = n;
     }
-    let server = Server::new(
+    let mut server = Server::new(
         city,
         move || preset_config(vehicle, oracle_mode),
         policy,
         serve_config,
     );
+    if let Some(path) = store_path {
+        // write-through: every annotated feed is persisted columnar and
+        // the store.* schema joins /metrics
+        let store = open(path)?;
+        server = server.with_store(std::sync::Arc::new(store));
+        println!("write-through store: {path}");
+    }
     let listener = std::net::TcpListener::bind(addr).map_err(|e| {
         eprintln!("cannot bind {addr}: {e}");
         ExitCode::FAILURE
@@ -330,23 +340,26 @@ fn generate(
         print_metrics(&batch.summary);
     }
 
-    for (track, result) in dataset.tracks.iter().zip(&batch.results) {
+    for result in &batch.results {
         let Ok(out) = result else { continue };
-        store
-            .put_trajectory(TrajectoryMeta {
-                trajectory_id: track.trajectory_id,
-                object_id: track.object_id,
-                record_count: out.cleaned.len() as u64,
-            })
-            .and_then(|_| store.put_episodes(track.trajectory_id, &out.episodes))
-            .and_then(|_| store.put_sst(&out.sst))
-            .map_err(|e| {
-                eprintln!("store write failed: {e}");
-                ExitCode::FAILURE
-            })?;
+        // end-to-end columnar ingest: metadata, compressed fixes,
+        // episode ranges, and the SST with derived layer rows
+        store.put_annotated(out, &dataset.city.roads).map_err(|e| {
+            eprintln!("store write failed: {e}");
+            ExitCode::FAILURE
+        })?;
     }
     let (t, e, s) = store.counts();
+    let m = store.metrics();
     println!("stored {t} trajectories, {e} episodes, {s} semantic trajectories → {path}");
+    println!(
+        "  fix columns: {} fixes in {} blocks, {:.2} bytes/fix ({} → {} bytes)",
+        m.fix_count,
+        m.fix_blocks,
+        m.bytes_per_fix(),
+        m.fix_raw_bytes,
+        m.fix_compressed_bytes
+    );
     Ok(())
 }
 
@@ -574,6 +587,7 @@ fn run() -> Result<(), ExitCode> {
             };
             let mut workers = None;
             let mut oracle_mode = OracleMode::default();
+            let mut store_path = None;
             let mut positional = Vec::new();
             let mut rest = it;
             while let Some(arg) = rest.next() {
@@ -589,13 +603,19 @@ fn run() -> Result<(), ExitCode> {
                     workers = Some(n);
                 } else if arg == "--no-oracle" {
                     oracle_mode = OracleMode::Disabled;
+                } else if arg == "--store" {
+                    let Some(path) = rest.next() else {
+                        eprintln!("--store needs a log path");
+                        return Err(ExitCode::from(2));
+                    };
+                    store_path = Some(path);
                 } else {
                     positional.push(arg);
                 }
             }
             let addr = positional.first().copied().unwrap_or("127.0.0.1:8355");
             let seed = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
-            serve(preset, addr, seed, workers, oracle_mode)
+            serve(preset, addr, seed, workers, oracle_mode, store_path)
         }
         Some("annotate") => {
             let Some(preset) = it.next() else {
@@ -692,6 +712,56 @@ fn run() -> Result<(), ExitCode> {
             for c in PoiCategory::ALL {
                 println!("  {:<12} {}", c.label(), stats.activity(c));
             }
+            Ok(())
+        }
+        Some("olap") => {
+            let Some(path) = it.next() else {
+                return Err(usage());
+            };
+            let top = it.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+            let store = open(path)?;
+            // warehouse aggregates, scanned over the compressed columns
+            let stops = store.stops_per_landuse_hour();
+            println!("stops per landuse category (hourly total):");
+            for c in LanduseCategory::ALL {
+                let total: u64 = (0..24).map(|h| stops.get(c, h)).sum();
+                if total > 0 {
+                    let peak = (0..24).max_by_key(|&h| stops.get(c, h)).unwrap_or(0);
+                    println!("  {:<16} {total:>6} (peak hour {peak:02})", c.label());
+                }
+            }
+            let share = store.mode_share_by_road_class();
+            println!("mode share by road class (record-weighted):");
+            for class in RoadClass::ALL {
+                let row: u64 = TransportMode::ALL
+                    .iter()
+                    .map(|&m| share.get(class, m))
+                    .sum();
+                if row == 0 {
+                    continue;
+                }
+                print!("  {:<8}", class.label());
+                for m in TransportMode::ALL {
+                    let pct = 100.0 * share.get(class, m) as f64 / row as f64;
+                    print!(" {}={pct:.0}%", m.label());
+                }
+                println!();
+            }
+            println!("top {top} POIs by stop visits:");
+            for v in store.top_poi_visits(top) {
+                println!(
+                    "  {:<24} {} visits (place {})",
+                    v.label, v.visits, v.place_id
+                );
+            }
+            let m = store.metrics();
+            println!(
+                "scan stats: {} fixes at {:.2} bytes/fix, {} live tuples, block-skip rate {:.0}%",
+                m.fix_count,
+                m.bytes_per_fix(),
+                m.live_tuples,
+                100.0 * m.block_skip_rate()
+            );
             Ok(())
         }
         Some("export-kml") => {

@@ -63,7 +63,7 @@ pub use semitri_store as store;
 /// One-stop imports for typical use of the framework.
 pub mod prelude {
     pub use semitri_analytics::{
-        burn_all, dbscan_stops, mine_sequences, radius_of_gyration, symbols_of,
+        burn_all, dbscan_stops, effective_workers, mine_sequences, radius_of_gyration, symbols_of,
         trajectory_category, CategoryShares, CompressionStats, DbscanParams, LanduseDistribution,
         LatencySummary, LengthDistribution, MobilitySummary, ModeShares, RasterConfig, RasterGrid,
         RasterLayer, SequencePattern, StopCluster, SymbolKind, UserEpisodeCounts,

@@ -45,7 +45,8 @@ use http::{HttpError, NextRequest, Request};
 use semitri_core::{LiveSeMiTri, PipelineConfig};
 use semitri_data::City;
 use semitri_episodes::VelocityPolicy;
-use semitri_obs::{MetricsRegistry, ServerMetrics};
+use semitri_obs::{MetricsRegistry, ServerMetrics, StoreMetrics};
+use semitri_store::SemanticTrajectoryStore;
 use sessions::{SessionLimits, SessionTable};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -135,6 +136,7 @@ pub struct Server {
     registry: Arc<MetricsRegistry>,
     metrics: ServerMetrics,
     config: ServeConfig,
+    store: Option<(Arc<SemanticTrajectoryStore>, StoreMetrics)>,
 }
 
 impl Server {
@@ -162,7 +164,25 @@ impl Server {
             registry,
             metrics,
             config,
+            store: None,
         }
+    }
+
+    /// Attaches a write-through trajectory store: every successful
+    /// `POST /annotate` is also persisted end to end (compressed fixes,
+    /// episode ranges, SST with derived layer rows), and `/metrics`
+    /// grows the `store.*` schema published from the store's counters.
+    /// Store write latency is recorded in `store.query_secs`.
+    pub fn with_store(mut self, store: Arc<SemanticTrajectoryStore>) -> Self {
+        let metrics = StoreMetrics::new(&self.registry);
+        store.publish_metrics(&metrics);
+        self.store = Some((store, metrics));
+        self
+    }
+
+    /// The attached write-through store, if any.
+    pub fn store(&self) -> Option<&Arc<SemanticTrajectoryStore>> {
+        self.store.as_ref().map(|(s, _)| s)
     }
 
     /// The live pipeline handle (for tests and embedding callers that
@@ -295,7 +315,14 @@ impl Server {
                 content_type: "text/plain",
                 body: format!("ok gen={}\n", self.live.current_id()).into_bytes(),
             },
-            ("GET", ["metrics"]) => Response::json(200, self.registry.snapshot().to_json_lines()),
+            ("GET", ["metrics"]) => {
+                // refresh the store.* gauges so the scrape sees current
+                // compression and block-skip state
+                if let Some((store, m)) = &self.store {
+                    store.publish_metrics(m);
+                }
+                Response::json(200, self.registry.snapshot().to_json_lines())
+            }
             ("POST", ["annotate"]) => self.annotate(&req.body),
             ("POST", ["admin", "update"]) => self.admin_update(&req.body),
             (method, ["session", user, action @ ("push" | "flush")]) if !user.is_empty() => {
@@ -353,10 +380,20 @@ impl Server {
             Ok(f) => f,
             Err(e) => return Response::error(422, &e.to_string()),
         };
-        let out = match self.live.try_annotate_feed(&feed) {
+        // pin once so annotation and the write-through store ingest see
+        // the same generation's road network
+        let pin = self.live.pin();
+        let out = match pin.snapshot().try_annotate_feed(&feed) {
             Ok(o) => o,
             Err(e) => return Response::error(422, &e.to_string()),
         };
+        if let Some((store, m)) = &self.store {
+            let t_store = Instant::now();
+            if let Err(e) = store.put_annotated(&out, &pin.snapshot().city().roads) {
+                return Response::error(500, &format!("store write failed: {e}"));
+            }
+            m.query_secs.record(t_store.elapsed().as_secs_f64());
+        }
         let body = wire::encode_output(&out);
         self.metrics
             .annotate_secs

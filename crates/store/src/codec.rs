@@ -58,6 +58,26 @@ impl<W: Write> Encoder<W> {
         self.sink.write_all(v.as_bytes())
     }
 
+    /// Writes a length-prefixed byte blob.
+    ///
+    /// # Errors
+    /// Fails with [`io::ErrorKind::InvalidInput`] for blobs longer than
+    /// `u32::MAX` bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> io::Result<()> {
+        let len: u32 = v
+            .len()
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "blob too long"))?;
+        self.u32(len)?;
+        self.sink.write_all(v)
+    }
+
+    /// Writes bytes verbatim, with no framing — for payloads that carry
+    /// their own (e.g. a pre-encoded record body).
+    pub fn raw(&mut self, v: &[u8]) -> io::Result<()> {
+        self.sink.write_all(v)
+    }
+
     /// Writes a sequence length prefix.
     pub fn seq_len(&mut self, len: usize) -> io::Result<()> {
         let len: u32 = len
@@ -162,6 +182,35 @@ impl<R: Read> Decoder<R> {
         }
         String::from_utf8(buf)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8"))
+    }
+
+    /// Reads a length-prefixed byte blob (see [`Encoder::bytes`]); the
+    /// same untrusted-prefix rules as [`Decoder::string`] apply.
+    ///
+    /// # Errors
+    /// Fails with [`io::ErrorKind::InvalidData`] on oversized prefixes,
+    /// [`io::ErrorKind::UnexpectedEof`] on truncation.
+    pub fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.u32()?;
+        if len > MAX_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "blob length prefix too large",
+            ));
+        }
+        let mut buf = Vec::with_capacity((len as usize).min(MAX_PREALLOC_BYTES));
+        let read = self
+            .source
+            .by_ref()
+            .take(u64::from(len))
+            .read_to_end(&mut buf)?;
+        if read != len as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "blob shorter than its length prefix",
+            ));
+        }
+        Ok(buf)
     }
 
     /// Reads a sequence length prefix.

@@ -1,0 +1,496 @@
+//! Fix-column blocks: the compressed columnar layout for raw GPS fixes.
+//!
+//! Fixes are stored per trajectory in blocks of up to [`BLOCK_LEN`]
+//! records. Within a block each column compresses independently:
+//!
+//! * **timestamps** — millisecond fixed point, first value + first delta
+//!   as zigzag varints, then delta-of-delta residuals PFOR-bitpacked (a
+//!   metronomic 1 Hz feed packs to ~0 bits/fix). If any timestamp does
+//!   not survive the millisecond quantization *bit-exactly*, the whole
+//!   column falls back to raw `f64` bits — decoded timestamps are always
+//!   identical to what was stored.
+//! * **positions** — centimeter fixed point (`round(x·100)`), first
+//!   value as zigzag varint, then deltas PFOR-bitpacked. This is the one
+//!   deliberately lossy column: decoded coordinates differ from the
+//!   input by at most half the quantum (5 mm). Non-finite or
+//!   out-of-range coordinates fall back to raw `f64` bits for the axis.
+//!
+//! Every in-memory block carries a summary (count, time min/max, bbox)
+//! so scans can skip whole blocks without touching the payload. The
+//! summary is derivable, so the serialized form carries only count and
+//! flags — loaders re-derive the rest while validating the columns.
+
+use crate::column::{pfor_decode, pfor_encode, read_varint, unzigzag, write_varint, zigzag};
+use semitri_data::GpsRecord;
+use semitri_geo::{Point, Rect, Timestamp};
+use std::io::{self, Read};
+
+/// Maximum fixes per block.
+pub const BLOCK_LEN: usize = 256;
+
+/// Position quantum in meters (centimeter fixed point).
+pub const POSITION_QUANTUM: f64 = 0.01;
+
+/// Bytes a fix occupies in the uncompressed row layout (`t, x, y` as
+/// `f64` — what [`crate::SemanticTrajectoryStore`] kept per record
+/// before the columnar engine).
+pub const ROW_FIX_BYTES: usize = 24;
+
+const FLAG_TIME_RAW: u8 = 1;
+const FLAG_X_RAW: u8 = 2;
+const FLAG_Y_RAW: u8 = 4;
+
+/// Largest |coordinate| (meters) eligible for fixed-point encoding; past
+/// this the centimeter grid itself loses integer exactness.
+const MAX_FIXED_COORD: f64 = 1.0e12;
+/// Largest |timestamp| (seconds) eligible for millisecond fixed point.
+const MAX_FIXED_TIME: f64 = 1.0e14;
+
+/// One encoded block of fixes plus its scan summary.
+#[derive(Debug, Clone)]
+pub struct FixBlock {
+    /// Fix count (1 ..= [`BLOCK_LEN`]).
+    pub count: u32,
+    /// Earliest timestamp in the block.
+    pub t_min: Timestamp,
+    /// Latest timestamp in the block.
+    pub t_max: Timestamp,
+    /// Bounding box of the block's positions.
+    pub bbox: Rect,
+    /// Compressed payload (summary + columns), self-contained.
+    pub bytes: Vec<u8>,
+}
+
+impl FixBlock {
+    /// Encodes one block from `fixes` (at most [`BLOCK_LEN`] records).
+    ///
+    /// # Panics
+    /// Panics when `fixes` is empty or longer than [`BLOCK_LEN`].
+    pub fn encode(fixes: &[GpsRecord]) -> Self {
+        assert!(!fixes.is_empty() && fixes.len() <= BLOCK_LEN);
+        let count = fixes.len() as u32;
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        let mut bbox = Rect::EMPTY;
+        for f in fixes {
+            t_min = t_min.min(f.t.0);
+            t_max = t_max.max(f.t.0);
+            bbox.expand_to(f.point);
+        }
+
+        let mut flags = 0u8;
+        let mut out = Vec::with_capacity(fixes.len() * 4 + 64);
+
+        // --- timestamp column ---
+        let ts: Vec<f64> = fixes.iter().map(|f| f.t.0).collect();
+        let ms = quantize_exact(&ts, 1_000.0, MAX_FIXED_TIME);
+        let time_payload = match &ms {
+            Some(ms) => encode_fixed_series(ms, true),
+            None => {
+                flags |= FLAG_TIME_RAW;
+                raw_f64(&ts)
+            }
+        };
+
+        // --- position columns ---
+        let xs: Vec<f64> = fixes.iter().map(|f| f.point.x).collect();
+        let ys: Vec<f64> = fixes.iter().map(|f| f.point.y).collect();
+        let x_payload = match quantize(&xs, 100.0, MAX_FIXED_COORD) {
+            Some(cm) => encode_fixed_series(&cm, false),
+            None => {
+                flags |= FLAG_X_RAW;
+                raw_f64(&xs)
+            }
+        };
+        let y_payload = match quantize(&ys, 100.0, MAX_FIXED_COORD) {
+            Some(cm) => encode_fixed_series(&cm, false),
+            None => {
+                flags |= FLAG_Y_RAW;
+                raw_f64(&ys)
+            }
+        };
+
+        // header: count u16 LE, flags u8. The min/max time and bbox
+        // summaries are fully derivable from the columns, so they are
+        // kept in memory for block skipping but never serialized —
+        // `from_bytes` decodes every column for validation anyway and
+        // re-derives them for free.
+        out.extend_from_slice(&(count as u16).to_le_bytes());
+        out.push(flags);
+        out.extend_from_slice(&time_payload);
+        out.extend_from_slice(&x_payload);
+        out.extend_from_slice(&y_payload);
+
+        Self {
+            count,
+            t_min: Timestamp(t_min),
+            t_max: Timestamp(t_max),
+            bbox,
+            bytes: out,
+        }
+    }
+
+    /// Parses a payload produced by [`FixBlock::encode`], validating the
+    /// framing and re-deriving the summary fields from the decoded
+    /// columns (summaries are never serialized — see [`FixBlock::encode`]).
+    ///
+    /// # Errors
+    /// Fails on truncated or malformed payloads.
+    pub fn from_bytes(bytes: Vec<u8>) -> io::Result<Self> {
+        let mut src = bytes.as_slice();
+        let count = read_header(&mut src)?;
+        if count == 0 || count as usize > BLOCK_LEN {
+            return Err(bad("fix block count out of range"));
+        }
+        // decode fully once: validates the columns and yields the fixes
+        // the summaries are derived from
+        let mut block = Self {
+            count,
+            t_min: Timestamp(f64::INFINITY),
+            t_max: Timestamp(f64::NEG_INFINITY),
+            bbox: Rect::EMPTY,
+            bytes,
+        };
+        let mut scratch = Vec::with_capacity(count as usize);
+        block.decode(&mut scratch)?;
+        for f in &scratch {
+            block.t_min = Timestamp(block.t_min.0.min(f.t.0));
+            block.t_max = Timestamp(block.t_max.0.max(f.t.0));
+            block.bbox.expand_to(f.point);
+        }
+        Ok(block)
+    }
+
+    /// Appends the block's fixes to `out`.
+    ///
+    /// # Errors
+    /// Fails on truncated or malformed payloads.
+    pub fn decode(&self, out: &mut Vec<GpsRecord>) -> io::Result<()> {
+        let mut src = self.bytes.as_slice();
+        let count = read_header(&mut src)? as usize;
+        let flags = self.bytes[2];
+        let ts = decode_column(&mut src, count, flags & FLAG_TIME_RAW != 0, 1_000.0, true)?;
+        let xs = decode_column(&mut src, count, flags & FLAG_X_RAW != 0, 100.0, false)?;
+        let ys = decode_column(&mut src, count, flags & FLAG_Y_RAW != 0, 100.0, false)?;
+        out.reserve(count);
+        for i in 0..count {
+            out.push(GpsRecord::new(Point::new(xs[i], ys[i]), Timestamp(ts[i])));
+        }
+        Ok(())
+    }
+
+    /// Encoded payload size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_header(src: &mut &[u8]) -> io::Result<u32> {
+    let mut h = [0u8; 3];
+    src.read_exact(&mut h)?;
+    Ok(u32::from(u16::from_le_bytes([h[0], h[1]])))
+}
+
+/// Quantizes `values` by `scale`, returning `None` when any value is
+/// non-finite or out of fixed-point range.
+fn quantize(values: &[f64], scale: f64, max_abs: f64) -> Option<Vec<i64>> {
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        if !v.is_finite() || v.abs() > max_abs {
+            return None;
+        }
+        out.push((v * scale).round() as i64);
+    }
+    Some(out)
+}
+
+/// Like [`quantize`] but additionally requires the quantization to be
+/// bit-exact invertible (`(q as f64) / scale == v`): used for the
+/// timestamp column's losslessness guarantee.
+fn quantize_exact(values: &[f64], scale: f64, max_abs: f64) -> Option<Vec<i64>> {
+    let q = quantize(values, scale, max_abs)?;
+    for (&v, &qi) in values.iter().zip(&q) {
+        if (qi as f64 / scale).to_bits() != v.to_bits() {
+            return None;
+        }
+    }
+    Some(q)
+}
+
+/// Encodes a quantized series: first value (zigzag varint), then either
+/// delta-of-delta (`dod = true`, timestamps) or plain delta residuals
+/// PFOR-bitpacked.
+fn encode_fixed_series(q: &[i64], dod: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(q.len() * 2 + 16);
+    write_varint(&mut out, zigzag(q[0]));
+    if q.len() == 1 {
+        return out;
+    }
+    let mut residuals = Vec::with_capacity(q.len() - 1);
+    if dod {
+        let first_delta = q[1].wrapping_sub(q[0]);
+        write_varint(&mut out, zigzag(first_delta));
+        let mut prev_delta = first_delta;
+        for w in q.windows(2).skip(1) {
+            let delta = w[1].wrapping_sub(w[0]);
+            residuals.push(zigzag(delta.wrapping_sub(prev_delta)));
+            prev_delta = delta;
+        }
+    } else {
+        for w in q.windows(2) {
+            residuals.push(zigzag(w[1].wrapping_sub(w[0])));
+        }
+    }
+    out.extend_from_slice(&pfor_encode(&residuals));
+    out
+}
+
+fn decode_fixed_series(src: &mut impl Read, count: usize, dod: bool) -> io::Result<Vec<i64>> {
+    let mut out = Vec::with_capacity(count);
+    let first = unzigzag(read_varint(src)?);
+    out.push(first);
+    if count == 1 {
+        return Ok(out);
+    }
+    let n_residuals;
+    let mut prev_delta = 0i64;
+    if dod {
+        prev_delta = unzigzag(read_varint(src)?);
+        out.push(first.wrapping_add(prev_delta));
+        n_residuals = count - 2;
+        if count == 2 {
+            return Ok(out);
+        }
+    } else {
+        n_residuals = count - 1;
+    }
+    let mut residuals = Vec::with_capacity(n_residuals);
+    pfor_decode(src, n_residuals, &mut residuals)?;
+    for r in residuals {
+        let last = *out.last().expect("nonempty");
+        let next = if dod {
+            prev_delta = prev_delta.wrapping_add(unzigzag(r));
+            last.wrapping_add(prev_delta)
+        } else {
+            last.wrapping_add(unzigzag(r))
+        };
+        out.push(next);
+    }
+    Ok(out)
+}
+
+fn raw_f64(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_column(
+    src: &mut impl Read,
+    count: usize,
+    raw: bool,
+    scale: f64,
+    dod: bool,
+) -> io::Result<Vec<f64>> {
+    if raw {
+        let mut out = Vec::with_capacity(count);
+        let mut b = [0u8; 8];
+        for _ in 0..count {
+            src.read_exact(&mut b)?;
+            out.push(f64::from_le_bytes(b));
+        }
+        Ok(out)
+    } else {
+        let q = decode_fixed_series(src, count, dod)?;
+        Ok(q.into_iter().map(|v| v as f64 / scale).collect())
+    }
+}
+
+/// Per-trajectory compressed fix storage with running compression stats.
+#[derive(Debug, Default)]
+pub struct FixColumnStore {
+    /// `(trajectory_id, block)` in append order; a trajectory's blocks
+    /// are contiguous per `append` call and time-ordered within a call.
+    blocks: Vec<(u64, FixBlock)>,
+    fix_count: u64,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+}
+
+impl FixColumnStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `fixes` into blocks appended under `trajectory_id`,
+    /// returning the new blocks for durable logging.
+    pub fn append(&mut self, trajectory_id: u64, fixes: &[GpsRecord]) -> Vec<FixBlock> {
+        let mut added = Vec::with_capacity(fixes.len().div_ceil(BLOCK_LEN));
+        for chunk in fixes.chunks(BLOCK_LEN) {
+            let block = FixBlock::encode(chunk);
+            self.push_block(trajectory_id, block.clone());
+            added.push(block);
+        }
+        added
+    }
+
+    /// Registers an already-encoded block (durable replay path).
+    pub fn push_block(&mut self, trajectory_id: u64, block: FixBlock) {
+        self.fix_count += u64::from(block.count);
+        self.raw_bytes += u64::from(block.count) * ROW_FIX_BYTES as u64;
+        self.compressed_bytes += block.bytes.len() as u64;
+        self.blocks.push((trajectory_id, block));
+    }
+
+    /// Decodes every fix of one trajectory, in storage order.
+    ///
+    /// # Errors
+    /// Fails when a stored payload is corrupt.
+    pub fn fixes_of(&self, trajectory_id: u64) -> io::Result<Vec<GpsRecord>> {
+        let mut out = Vec::new();
+        for (tid, block) in &self.blocks {
+            if *tid == trajectory_id {
+                block.decode(&mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterates all blocks (trajectory id + block).
+    pub fn blocks(&self) -> impl Iterator<Item = &(u64, FixBlock)> {
+        self.blocks.iter()
+    }
+
+    /// Total stored fixes.
+    pub fn fix_count(&self) -> u64 {
+        self.fix_count
+    }
+
+    /// Block count.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes the fixes would occupy in the row layout.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Bytes of compressed payload actually held.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, x: f64, y: f64) -> GpsRecord {
+        GpsRecord::new(Point::new(x, y), Timestamp(t))
+    }
+
+    #[test]
+    fn metronomic_block_is_tiny() {
+        // 1 Hz fleet feed, car at ~10 m/s: the target regime for the
+        // ≤ 4 bytes/fix acceptance bar.
+        let fixes: Vec<GpsRecord> = (0..256)
+            .map(|i| {
+                rec(
+                    1_000.0 + i as f64,
+                    500.0 + i as f64 * 9.7,
+                    800.0 - i as f64 * 3.1,
+                )
+            })
+            .collect();
+        let block = FixBlock::encode(&fixes);
+        assert!(
+            block.encoded_bytes() <= 4 * fixes.len(),
+            "{} bytes for {} fixes",
+            block.encoded_bytes(),
+            fixes.len()
+        );
+        let mut out = Vec::new();
+        block.decode(&mut out).unwrap();
+        assert_eq!(out.len(), fixes.len());
+        for (a, b) in fixes.iter().zip(&out) {
+            assert_eq!(a.t.0.to_bits(), b.t.0.to_bits(), "timestamps exact");
+            assert!((a.point.x - b.point.x).abs() <= POSITION_QUANTUM / 2.0 + 1e-9);
+            assert!((a.point.y - b.point.y).abs() <= POSITION_QUANTUM / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn jittered_timestamps_fall_back_to_raw_and_stay_exact() {
+        let fixes: Vec<GpsRecord> = (0..100)
+            .map(|i| rec(1_000.0 + i as f64 * 1.000_000_1, i as f64, -(i as f64)))
+            .collect();
+        let block = FixBlock::encode(&fixes);
+        let mut out = Vec::new();
+        block.decode(&mut out).unwrap();
+        for (a, b) in fixes.iter().zip(&out) {
+            assert_eq!(a.t.0.to_bits(), b.t.0.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_positions_fall_back_to_raw() {
+        let mut fixes: Vec<GpsRecord> = (0..10).map(|i| rec(i as f64, i as f64, 0.0)).collect();
+        fixes[3].point.x = f64::NAN;
+        fixes[7].point.y = f64::INFINITY;
+        let block = FixBlock::encode(&fixes);
+        let mut out = Vec::new();
+        block.decode(&mut out).unwrap();
+        assert!(out[3].point.x.is_nan());
+        assert_eq!(out[7].point.y, f64::INFINITY);
+        assert_eq!(out[5].point.x, 5.0);
+    }
+
+    #[test]
+    fn summaries_cover_block() {
+        let fixes: Vec<GpsRecord> = (0..50)
+            .map(|i| rec(10.0 + i as f64, i as f64 * 2.0, 100.0 - i as f64))
+            .collect();
+        let block = FixBlock::encode(&fixes);
+        assert_eq!(block.t_min.0, 10.0);
+        assert_eq!(block.t_max.0, 59.0);
+        assert_eq!(block.bbox.min_x, 0.0);
+        assert_eq!(block.bbox.max_x, 98.0);
+        // from_bytes re-derives the same summary
+        let parsed = FixBlock::from_bytes(block.bytes.clone()).unwrap();
+        assert_eq!(parsed.count, 50);
+        assert_eq!(parsed.t_min.0, 10.0);
+        assert_eq!(parsed.bbox.max_y, 100.0);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let fixes: Vec<GpsRecord> = (0..30).map(|i| rec(i as f64, i as f64, i as f64)).collect();
+        let block = FixBlock::encode(&fixes);
+        let mut cut = block.bytes.clone();
+        cut.truncate(cut.len() - 4);
+        assert!(FixBlock::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn store_appends_and_reads_back() {
+        let mut store = FixColumnStore::new();
+        let fixes: Vec<GpsRecord> = (0..600)
+            .map(|i| rec(i as f64, i as f64 * 1.5, i as f64 * -0.5))
+            .collect();
+        let blocks = store.append(7, &fixes);
+        assert_eq!(blocks.len(), 3); // 256 + 256 + 88
+        store.append(8, &fixes[..10]);
+        let back = store.fixes_of(7).unwrap();
+        assert_eq!(back.len(), 600);
+        assert_eq!(store.fix_count(), 610);
+        assert!(store.compressed_bytes() < store.raw_bytes() / 4);
+    }
+}

@@ -2,30 +2,51 @@
 //!
 //! Tables mirror the paper's PostGIS schema (§5.1): trajectory metadata,
 //! stop/move episodes and the final structured semantic trajectories,
-//! queryable by object, time range and space (an R\*-tree over episode
-//! bounding boxes plays the role of the GiST index).
+//! queryable by object, time range and space.
+//!
+//! Since the columnar engine landed, the in-memory layout is
+//! warehouse-style rather than row-structs:
+//!
+//! * raw GPS fixes compress into [`crate::fixcol`] blocks
+//!   (delta-of-delta timestamps, centimeter fixed-point positions,
+//!   per-block min/max + bbox summaries);
+//! * episodes live in plain columns with per-block summaries, and time /
+//!   rect queries skip whole blocks the summary rules out;
+//! * semantic-tuple annotation layers live in the bitpacked
+//!   [`crate::matrix::SemanticMatrix`] streams, with the full SST body
+//!   retained as a compact codec blob for exact reconstruction;
+//! * warehouse aggregates ([`crate::olap`]) scan the compressed columns
+//!   directly.
 //!
 //! Two write modes:
 //!
 //! * **in-memory** — everything lives in the process;
 //! * **durable** — every write batch is also appended to a log file and
 //!   flushed with `sync_data`, reproducing the realistic "storing
-//!   dominates computing" latency profile of Fig. 17.
+//!   dominates computing" latency profile of Fig. 17. Version-1 logs
+//!   (the row-format era) still replay.
 
 use crate::codec::{seq_capacity, Decoder, Encoder};
+use crate::column::PackedVec;
+use crate::fixcol::{FixBlock, FixColumnStore, BLOCK_LEN};
+use crate::matrix::{SemanticMatrix, TupleLayers};
+use crate::olap::{LanduseHourCounts, ModeShareByClass, PoiVisit};
 use parking_lot::Mutex;
 use semitri_core::model::{
     Annotation, AnnotationValue, PlaceKind, PlaceRef, SemanticTuple, StructuredSemanticTrajectory,
 };
-use semitri_data::{PoiCategory, TransportMode};
+use semitri_core::pipeline::PipelineOutput;
+use semitri_data::{
+    GpsRecord, LanduseCategory, PoiCategory, RoadClass, RoadNetwork, TransportMode,
+};
 use semitri_episodes::{Episode, EpisodeKind};
 use semitri_geo::{Rect, TimeSpan, Timestamp};
-use semitri_index::RStarTree;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Store errors.
 #[derive(Debug)]
@@ -36,6 +57,13 @@ pub enum StoreError {
     Corrupt(String),
     /// A write referenced a trajectory that was never registered.
     UnknownTrajectory(u64),
+    /// A layered write's per-tuple rows did not align with the SST.
+    LayerMismatch {
+        /// Tuples in the SST.
+        expected: usize,
+        /// Layer rows supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -45,6 +73,9 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(m) => write!(f, "corrupt store log: {m}"),
             StoreError::UnknownTrajectory(id) => {
                 write!(f, "unknown trajectory id {id}")
+            }
+            StoreError::LayerMismatch { expected, got } => {
+                write!(f, "layer rows misaligned: {got} rows for {expected} tuples")
             }
         }
     }
@@ -69,7 +100,8 @@ pub struct TrajectoryMeta {
     pub record_count: u64,
 }
 
-/// Episode row: a stop/move episode of a stored trajectory.
+/// Episode row: a stop/move episode of a stored trajectory, materialized
+/// from the episode columns on demand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredEpisode {
     /// Owning trajectory.
@@ -85,19 +117,268 @@ pub struct StoredEpisode {
 }
 
 const MAGIC: u32 = 0x5357_5254; // "SWRT"
-const VERSION: u8 = 1;
+/// Current log version (2 = columnar records).
+const VERSION: u8 = 2;
 
 const REC_META: u8 = 1;
+/// v1 single-episode record (replayed, no longer written).
 const REC_EPISODE: u8 = 2;
 const REC_SST: u8 = 3;
+/// v2: one compressed fix-column block.
+const REC_FIXBLOCK: u8 = 4;
+/// v2: per-tuple layer rows for a trajectory's SST.
+const REC_LAYERS: u8 = 5;
+/// v2: episode batch with record ranges.
+const REC_EPISODES2: u8 = 6;
+
+/// Largest fix-block payload the replay path will accept; an honest
+/// block is ≤ ~6.5 KiB even with every column in raw-f64 fallback.
+const MAX_FIXBLOCK_BYTES: usize = 64 * 1024;
+
+/// Episodes per column block (one scan-skip summary each).
+const EP_BLOCK: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct EpSummary {
+    t_min: f64,
+    t_max: f64,
+    bbox: Rect,
+}
+
+/// Plain columns over all stored episodes, with one min/max summary per
+/// [`EP_BLOCK`] rows for block skipping.
+struct EpisodeColumns {
+    traj: Vec<u64>,
+    index: Vec<u32>,
+    kind: PackedVec,
+    t_start: Vec<f64>,
+    t_end: Vec<f64>,
+    min_x: Vec<f64>,
+    min_y: Vec<f64>,
+    max_x: Vec<f64>,
+    max_y: Vec<f64>,
+    rec_start: Vec<u32>,
+    rec_end: Vec<u32>,
+    summaries: Vec<EpSummary>,
+}
+
+impl Default for EpisodeColumns {
+    fn default() -> Self {
+        Self {
+            traj: Vec::new(),
+            index: Vec::new(),
+            kind: PackedVec::new(1),
+            t_start: Vec::new(),
+            t_end: Vec::new(),
+            min_x: Vec::new(),
+            min_y: Vec::new(),
+            max_x: Vec::new(),
+            max_y: Vec::new(),
+            rec_start: Vec::new(),
+            rec_end: Vec::new(),
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl EpisodeColumns {
+    fn len(&self) -> usize {
+        self.traj.len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        traj: u64,
+        index: u32,
+        kind: EpisodeKind,
+        span: TimeSpan,
+        bbox: Rect,
+        rec_start: u32,
+        rec_end: u32,
+    ) {
+        if self.len() % EP_BLOCK == 0 {
+            self.summaries.push(EpSummary {
+                t_min: f64::INFINITY,
+                t_max: f64::NEG_INFINITY,
+                bbox: Rect::EMPTY,
+            });
+        }
+        let s = self.summaries.last_mut().expect("summary pushed");
+        s.t_min = s.t_min.min(span.start.0);
+        s.t_max = s.t_max.max(span.end.0);
+        if !bbox.is_empty() {
+            s.bbox = s.bbox.union(&bbox);
+        }
+        self.traj.push(traj);
+        self.index.push(index);
+        self.kind.push(match kind {
+            EpisodeKind::Stop => 0,
+            EpisodeKind::Move => 1,
+        });
+        self.t_start.push(span.start.0);
+        self.t_end.push(span.end.0);
+        self.min_x.push(bbox.min_x);
+        self.min_y.push(bbox.min_y);
+        self.max_x.push(bbox.max_x);
+        self.max_y.push(bbox.max_y);
+        self.rec_start.push(rec_start);
+        self.rec_end.push(rec_end);
+    }
+
+    fn row(&self, i: usize) -> StoredEpisode {
+        StoredEpisode {
+            trajectory_id: self.traj[i],
+            index: self.index[i],
+            kind: if self.kind.get(i) == 0 {
+                EpisodeKind::Stop
+            } else {
+                EpisodeKind::Move
+            },
+            span: TimeSpan::new(Timestamp(self.t_start[i]), Timestamp(self.t_end[i])),
+            bbox: Rect {
+                min_x: self.min_x[i],
+                min_y: self.min_y[i],
+                max_x: self.max_x[i],
+                max_y: self.max_y[i],
+            },
+        }
+    }
+
+    /// Visits rows overlapping the time window in storage order,
+    /// returning `(blocks checked, blocks skipped)`.
+    fn for_each_in_time(&self, window: &TimeSpan, mut f: impl FnMut(StoredEpisode)) -> (u64, u64) {
+        let mut checked = 0u64;
+        let mut skipped = 0u64;
+        for (bi, s) in self.summaries.iter().enumerate() {
+            checked += 1;
+            if s.t_min > window.end.0 || s.t_max < window.start.0 {
+                skipped += 1;
+                continue;
+            }
+            let lo = bi * EP_BLOCK;
+            let hi = (lo + EP_BLOCK).min(self.len());
+            for i in lo..hi {
+                if self.t_start[i] <= window.end.0 && window.start.0 <= self.t_end[i] {
+                    f(self.row(i));
+                }
+            }
+        }
+        (checked, skipped)
+    }
+
+    /// Visits rows whose bbox intersects the window in storage order,
+    /// returning `(blocks checked, blocks skipped)`.
+    fn for_each_in_rect(&self, window: &Rect, mut f: impl FnMut(StoredEpisode)) -> (u64, u64) {
+        let mut checked = 0u64;
+        let mut skipped = 0u64;
+        for (bi, s) in self.summaries.iter().enumerate() {
+            checked += 1;
+            if !s.bbox.intersects(window) {
+                skipped += 1;
+                continue;
+            }
+            let lo = bi * EP_BLOCK;
+            let hi = (lo + EP_BLOCK).min(self.len());
+            for i in lo..hi {
+                if self.min_x[i] <= window.max_x
+                    && window.min_x <= self.max_x[i]
+                    && self.min_y[i] <= window.max_y
+                    && window.min_y <= self.max_y[i]
+                    && self.min_x[i] <= self.max_x[i]
+                    && self.min_y[i] <= self.max_y[i]
+                {
+                    f(self.row(i));
+                }
+            }
+        }
+        (checked, skipped)
+    }
+}
 
 #[derive(Default)]
 struct Inner {
     metas: HashMap<u64, TrajectoryMeta>,
-    episodes: Vec<StoredEpisode>,
-    /// spatial index over episode bboxes → index into `episodes`
-    spatial: RStarTree<usize>,
-    ssts: HashMap<u64, StructuredSemanticTrajectory>,
+    episodes: EpisodeColumns,
+    fixes: FixColumnStore,
+    matrix: SemanticMatrix,
+}
+
+#[derive(Default)]
+struct Counters {
+    time_queries: AtomicU64,
+    rect_queries: AtomicU64,
+    olap_queries: AtomicU64,
+    blocks_checked: AtomicU64,
+    blocks_skipped: AtomicU64,
+}
+
+/// Point-in-time view of the store's storage and query counters —
+/// polled by `semitri-obs` for the `store.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreMetricsSnapshot {
+    /// Registered trajectories.
+    pub trajectories: u64,
+    /// Stored episodes.
+    pub episodes: u64,
+    /// Stored (alive) semantic trajectories.
+    pub ssts: u64,
+    /// Raw GPS fixes held in fix-column blocks.
+    pub fix_count: u64,
+    /// Fix-column blocks written.
+    pub fix_blocks: u64,
+    /// Bytes the fixes would occupy in the row layout.
+    pub fix_raw_bytes: u64,
+    /// Bytes of compressed fix payload actually held.
+    pub fix_compressed_bytes: u64,
+    /// Alive semantic tuples in the matrix.
+    pub live_tuples: u64,
+    /// Tombstoned tuples awaiting compaction.
+    pub dead_tuples: u64,
+    /// Bits held by the bitpacked label streams.
+    pub label_bits: u64,
+    /// Time-window episode queries served.
+    pub time_queries: u64,
+    /// Spatial episode queries served.
+    pub rect_queries: u64,
+    /// OLAP aggregate scans served.
+    pub olap_queries: u64,
+    /// Episode blocks examined by queries.
+    pub ep_blocks_checked: u64,
+    /// Episode blocks skipped via their min/max summary.
+    pub ep_blocks_skipped: u64,
+    /// Durable log size in bytes (0 when in-memory).
+    pub log_bytes: u64,
+}
+
+impl StoreMetricsSnapshot {
+    /// Compressed bytes per stored fix (0 when no fixes are stored).
+    pub fn bytes_per_fix(&self) -> f64 {
+        if self.fix_count == 0 {
+            0.0
+        } else {
+            self.fix_compressed_bytes as f64 / self.fix_count as f64
+        }
+    }
+
+    /// Label-stream bytes per alive tuple (all layers together).
+    pub fn label_bytes_per_tuple(&self) -> f64 {
+        let tuples = self.live_tuples + self.dead_tuples;
+        if tuples == 0 {
+            0.0
+        } else {
+            self.label_bits as f64 / 8.0 / tuples as f64
+        }
+    }
+
+    /// Fraction of examined episode blocks skipped via summaries.
+    pub fn block_skip_rate(&self) -> f64 {
+        if self.ep_blocks_checked == 0 {
+            0.0
+        } else {
+            self.ep_blocks_skipped as f64 / self.ep_blocks_checked as f64
+        }
+    }
 }
 
 /// The embedded semantic trajectory store.
@@ -118,6 +399,7 @@ pub struct SemanticTrajectoryStore {
     inner: Mutex<Inner>,
     log: Option<Mutex<BufWriter<File>>>,
     path: Option<PathBuf>,
+    counters: Counters,
 }
 
 impl SemanticTrajectoryStore {
@@ -127,11 +409,13 @@ impl SemanticTrajectoryStore {
             inner: Mutex::new(Inner::default()),
             log: None,
             path: None,
+            counters: Counters::default(),
         }
     }
 
     /// Opens (or creates) a durable store backed by a synced log file.
-    /// Existing contents are replayed into memory.
+    /// Existing contents are replayed into memory; version-1 (row
+    /// format) logs migrate transparently.
     ///
     /// # Errors
     /// Fails on I/O errors or a corrupt log.
@@ -152,6 +436,7 @@ impl SemanticTrajectoryStore {
             inner: Mutex::new(inner),
             log: Some(Mutex::new(BufWriter::new(file))),
             path: Some(path),
+            counters: Counters::default(),
         })
     }
 
@@ -191,21 +476,26 @@ impl SemanticTrajectoryStore {
         Ok(())
     }
 
-    /// Stores the stop/move episodes of a registered trajectory.
+    fn require_trajectory(&self, trajectory_id: u64) -> Result<(), StoreError> {
+        if !self.inner.lock().metas.contains_key(&trajectory_id) {
+            return Err(StoreError::UnknownTrajectory(trajectory_id));
+        }
+        Ok(())
+    }
+
+    /// Stores the stop/move episodes of a registered trajectory,
+    /// including each episode's record range (the CSR episode →
+    /// record-range index).
     ///
     /// # Errors
     /// Fails when the trajectory is unknown or on log I/O errors.
     pub fn put_episodes(&self, trajectory_id: u64, episodes: &[Episode]) -> Result<(), StoreError> {
-        {
-            let inner = self.inner.lock();
-            if !inner.metas.contains_key(&trajectory_id) {
-                return Err(StoreError::UnknownTrajectory(trajectory_id));
-            }
-        }
+        self.require_trajectory(trajectory_id)?;
         self.append(|enc| {
+            enc.u8(REC_EPISODES2)?;
+            enc.u64(trajectory_id)?;
+            enc.seq_len(episodes.len())?;
             for (i, e) in episodes.iter().enumerate() {
-                enc.u8(REC_EPISODE)?;
-                enc.u64(trajectory_id)?;
                 enc.u32(i as u32)?;
                 enc.u8(match e.kind {
                     EpisodeKind::Stop => 0,
@@ -217,45 +507,148 @@ impl SemanticTrajectoryStore {
                 enc.f64(e.bbox.min_y)?;
                 enc.f64(e.bbox.max_x)?;
                 enc.f64(e.bbox.max_y)?;
+                enc.u32(e.start.min(u32::MAX as usize) as u32)?;
+                enc.u32(e.end.min(u32::MAX as usize) as u32)?;
             }
             Ok(())
         })?;
         let mut inner = self.inner.lock();
         for (i, e) in episodes.iter().enumerate() {
-            let row = StoredEpisode {
+            inner.episodes.push(
                 trajectory_id,
-                index: i as u32,
-                kind: e.kind,
-                span: e.span,
-                bbox: e.bbox,
-            };
-            let idx = inner.episodes.len();
-            if !row.bbox.is_empty() {
-                inner.spatial.insert(row.bbox, idx);
-            }
-            inner.episodes.push(row);
+                i as u32,
+                e.kind,
+                e.span,
+                e.bbox,
+                e.start.min(u32::MAX as usize) as u32,
+                e.end.min(u32::MAX as usize) as u32,
+            );
         }
         Ok(())
     }
 
-    /// Stores a structured semantic trajectory (replacing any previous one
-    /// for the same id).
+    /// Stores a trajectory's raw GPS fixes in compressed fix-column
+    /// blocks. Timestamps round-trip exactly; positions round-trip to
+    /// within [`crate::fixcol::POSITION_QUANTUM`]`/2`.
+    ///
+    /// # Errors
+    /// Fails when the trajectory is unknown or on log I/O errors.
+    pub fn put_fixes(&self, trajectory_id: u64, fixes: &[GpsRecord]) -> Result<(), StoreError> {
+        if fixes.is_empty() {
+            return Ok(());
+        }
+        self.require_trajectory(trajectory_id)?;
+        let blocks: Vec<FixBlock> = fixes.chunks(BLOCK_LEN).map(FixBlock::encode).collect();
+        self.append(|enc| {
+            for b in &blocks {
+                enc.u8(REC_FIXBLOCK)?;
+                enc.u64(trajectory_id)?;
+                enc.bytes(&b.bytes)?;
+            }
+            Ok(())
+        })?;
+        let mut inner = self.inner.lock();
+        for b in blocks {
+            inner.fixes.push_block(trajectory_id, b);
+        }
+        Ok(())
+    }
+
+    /// Decodes a trajectory's stored fixes, in storage order.
+    ///
+    /// # Errors
+    /// Fails when a stored block is corrupt.
+    pub fn get_fixes(&self, trajectory_id: u64) -> Result<Vec<GpsRecord>, StoreError> {
+        Ok(self.inner.lock().fixes.fixes_of(trajectory_id)?)
+    }
+
+    /// Stores a structured semantic trajectory (replacing any previous
+    /// one for the same id). Annotation layers derive from the tuples
+    /// alone; use [`SemanticTrajectoryStore::put_sst_with_layers`] or
+    /// [`SemanticTrajectoryStore::put_annotated`] to attach road-class /
+    /// landuse labels and record counts.
     ///
     /// # Errors
     /// Fails when the trajectory is unknown or on log I/O errors.
     pub fn put_sst(&self, sst: &StructuredSemanticTrajectory) -> Result<(), StoreError> {
-        {
-            let inner = self.inner.lock();
-            if !inner.metas.contains_key(&sst.trajectory_id) {
-                return Err(StoreError::UnknownTrajectory(sst.trajectory_id));
-            }
+        self.put_sst_inner(sst, None)
+    }
+
+    /// Stores a structured semantic trajectory together with explicit
+    /// per-tuple layer rows (episode kind, road class, landuse, record
+    /// count) for the compressed semantic matrix.
+    ///
+    /// # Errors
+    /// Fails when the trajectory is unknown, the layers are misaligned,
+    /// or on log I/O errors.
+    pub fn put_sst_with_layers(
+        &self,
+        sst: &StructuredSemanticTrajectory,
+        layers: &[TupleLayers],
+    ) -> Result<(), StoreError> {
+        if layers.len() != sst.tuples.len() {
+            return Err(StoreError::LayerMismatch {
+                expected: sst.tuples.len(),
+                got: layers.len(),
+            });
         }
-        self.append(|enc| encode_sst(enc, sst))?;
-        self.inner
-            .lock()
-            .ssts
-            .insert(sst.trajectory_id, sst.clone());
+        self.put_sst_inner(sst, Some(layers))
+    }
+
+    fn put_sst_inner(
+        &self,
+        sst: &StructuredSemanticTrajectory,
+        layers: Option<&[TupleLayers]>,
+    ) -> Result<(), StoreError> {
+        self.require_trajectory(sst.trajectory_id)?;
+        let mut blob = Vec::new();
+        {
+            let mut enc = Encoder::new(&mut blob);
+            encode_sst_body(&mut enc, sst)?;
+        }
+        self.append(|enc| {
+            enc.u8(REC_SST)?;
+            enc.raw(&blob)?;
+            if let Some(layers) = layers {
+                enc.u8(REC_LAYERS)?;
+                enc.u64(sst.trajectory_id)?;
+                enc.seq_len(layers.len())?;
+                for l in layers {
+                    encode_layer_row(enc, l)?;
+                }
+            }
+            Ok(())
+        })?;
+        let default_layers;
+        let layers = match layers {
+            Some(l) => l,
+            None => {
+                default_layers = default_layer_rows(sst);
+                &default_layers
+            }
+        };
+        self.inner.lock().matrix.insert(sst, layers, blob);
         Ok(())
+    }
+
+    /// Ingests one pipeline output end to end: metadata, compressed
+    /// fixes, episodes with record ranges, and the SST with per-tuple
+    /// layer rows derived from the pipeline's matched routes and region
+    /// tuples (see [`derive_tuple_layers`]).
+    ///
+    /// # Errors
+    /// Fails on log I/O errors.
+    pub fn put_annotated(&self, out: &PipelineOutput, net: &RoadNetwork) -> Result<(), StoreError> {
+        let records = out.cleaned.records();
+        self.put_trajectory(TrajectoryMeta {
+            trajectory_id: out.cleaned.trajectory_id,
+            object_id: out.cleaned.object_id,
+            record_count: records.len() as u64,
+        })?;
+        self.put_fixes(out.cleaned.trajectory_id, records)?;
+        self.put_episodes(out.cleaned.trajectory_id, &out.episodes)?;
+        let layers = derive_tuple_layers(out, net);
+        self.put_sst_with_layers(&out.sst, &layers)
     }
 
     /// Fetches trajectory metadata.
@@ -271,9 +664,13 @@ impl SemanticTrajectoryStore {
         out
     }
 
-    /// Fetches a stored structured semantic trajectory.
+    /// Fetches a stored structured semantic trajectory, reconstructed
+    /// from its codec blob.
     pub fn get_sst(&self, trajectory_id: u64) -> Option<StructuredSemanticTrajectory> {
-        self.inner.lock().ssts.get(&trajectory_id).cloned()
+        let inner = self.inner.lock();
+        let blob = inner.matrix.blob_of(trajectory_id)?;
+        let mut dec = Decoder::new(blob);
+        decode_sst_body(&mut dec).ok()
     }
 
     /// All trajectory ids of one moving object, sorted.
@@ -289,75 +686,94 @@ impl SemanticTrajectoryStore {
         ids
     }
 
-    /// Episodes overlapping a time window.
-    pub fn episodes_in_time(&self, window: TimeSpan) -> Vec<StoredEpisode> {
-        let inner = self.inner.lock();
-        inner
-            .episodes
-            .iter()
-            .filter(|e| e.span.overlaps(&window))
-            .cloned()
-            .collect()
+    fn note_blocks(&self, counts: (u64, u64)) {
+        self.counters
+            .blocks_checked
+            .fetch_add(counts.0, Ordering::Relaxed);
+        self.counters
+            .blocks_skipped
+            .fetch_add(counts.1, Ordering::Relaxed);
     }
 
-    /// Episodes whose bounding box intersects a spatial window (served by
-    /// the R\*-tree).
-    pub fn episodes_in_rect(&self, window: &Rect) -> Vec<StoredEpisode> {
-        let inner = self.inner.lock();
-        let mut out: Vec<StoredEpisode> = inner
-            .spatial
-            .query(window)
-            .into_iter()
-            .map(|(_, &idx)| inner.episodes[idx].clone())
-            .collect();
-        out.sort_by_key(|e| (e.trajectory_id, e.index));
+    /// Episodes overlapping a time window.
+    pub fn episodes_in_time(&self, window: TimeSpan) -> Vec<StoredEpisode> {
+        let mut out = Vec::new();
+        self.episodes_in_time_with(window, &mut out);
         out
+    }
+
+    /// Like [`SemanticTrajectoryStore::episodes_in_time`], reusing a
+    /// caller-owned buffer (cleared first) so repeated queries do not
+    /// allocate.
+    pub fn episodes_in_time_with(&self, window: TimeSpan, out: &mut Vec<StoredEpisode>) {
+        out.clear();
+        self.for_each_episode_in_time(window, |e| out.push(e.clone()));
+    }
+
+    /// Visits episodes overlapping a time window in storage order
+    /// without materializing a result vector.
+    pub fn for_each_episode_in_time(&self, window: TimeSpan, mut f: impl FnMut(&StoredEpisode)) {
+        self.counters.time_queries.fetch_add(1, Ordering::Relaxed);
+        if window.end.0 < window.start.0 {
+            return; // degenerate (inverted) window matches nothing
+        }
+        let inner = self.inner.lock();
+        let counts = inner.episodes.for_each_in_time(&window, |e| f(&e));
+        drop(inner);
+        self.note_blocks(counts);
+    }
+
+    /// Episodes whose bounding box intersects a spatial window (served
+    /// by the block-skip scan over the episode columns), sorted by
+    /// `(trajectory, index)`.
+    pub fn episodes_in_rect(&self, window: &Rect) -> Vec<StoredEpisode> {
+        let mut out = Vec::new();
+        self.episodes_in_rect_with(window, &mut out);
+        out
+    }
+
+    /// Like [`SemanticTrajectoryStore::episodes_in_rect`], reusing a
+    /// caller-owned buffer (cleared first).
+    pub fn episodes_in_rect_with(&self, window: &Rect, out: &mut Vec<StoredEpisode>) {
+        out.clear();
+        self.for_each_episode_in_rect(window, |e| out.push(e.clone()));
+        out.sort_by_key(|e| (e.trajectory_id, e.index));
+    }
+
+    /// Visits episodes intersecting a spatial window in storage order
+    /// without materializing a result vector.
+    pub fn for_each_episode_in_rect(&self, window: &Rect, mut f: impl FnMut(&StoredEpisode)) {
+        self.counters.rect_queries.fetch_add(1, Ordering::Relaxed);
+        if window.is_empty() {
+            return; // degenerate window matches nothing
+        }
+        let inner = self.inner.lock();
+        let counts = inner.episodes.for_each_in_rect(window, |e| f(&e));
+        drop(inner);
+        self.note_blocks(counts);
     }
 
     /// Counts: `(trajectories, episodes, ssts)`.
     pub fn counts(&self) -> (usize, usize, usize) {
         let inner = self.inner.lock();
-        (inner.metas.len(), inner.episodes.len(), inner.ssts.len())
+        (
+            inner.metas.len(),
+            inner.episodes.len(),
+            inner.matrix.sst_count(),
+        )
     }
 
     /// Trajectory ids whose semantic trajectory contains at least one
-    /// tuple annotated with the given transport mode, sorted.
+    /// tuple annotated with the given transport mode, sorted. Scans the
+    /// bitpacked mode stream.
     pub fn ssts_with_mode(&self, mode: TransportMode) -> Vec<u64> {
-        let inner = self.inner.lock();
-        let mut ids: Vec<u64> = inner
-            .ssts
-            .values()
-            .filter(|sst| {
-                sst.tuples.iter().any(|t| {
-                    t.annotations
-                        .iter()
-                        .any(|a| matches!(a.value, AnnotationValue::Mode(m) if m == mode))
-                })
-            })
-            .map(|sst| sst.trajectory_id)
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.inner.lock().matrix.ssts_with_mode(mode)
     }
 
-    /// Trajectory ids whose semantic trajectory contains at least one stop
-    /// annotated with the given activity category, sorted.
+    /// Trajectory ids whose semantic trajectory contains at least one
+    /// stop annotated with the given activity category, sorted.
     pub fn ssts_with_activity(&self, cat: PoiCategory) -> Vec<u64> {
-        let inner = self.inner.lock();
-        let mut ids: Vec<u64> = inner
-            .ssts
-            .values()
-            .filter(|sst| {
-                sst.tuples.iter().any(|t| {
-                    t.annotations
-                        .iter()
-                        .any(|a| matches!(a.value, AnnotationValue::Activity(c) if c == cat))
-                })
-            })
-            .map(|sst| sst.trajectory_id)
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.inner.lock().matrix.ssts_with_activity(cat)
     }
 
     /// Aggregate annotation statistics over all stored semantic
@@ -365,31 +781,79 @@ impl SemanticTrajectoryStore {
     /// category — the "aggregative information" the paper's Analytics
     /// Layer persists in the store.
     pub fn annotation_statistics(&self) -> AnnotationStats {
+        self.inner.lock().matrix.annotation_statistics()
+    }
+
+    /// OLAP: stop tuples per landuse category per hour of day, scanned
+    /// from the compressed kind/landuse streams and the span column.
+    pub fn stops_per_landuse_hour(&self) -> LanduseHourCounts {
+        self.counters.olap_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().matrix.stops_per_landuse_hour()
+    }
+
+    /// OLAP: record-weighted transport-mode share per road class.
+    pub fn mode_share_by_road_class(&self) -> ModeShareByClass {
+        self.counters.olap_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().matrix.mode_share_by_road_class()
+    }
+
+    /// OLAP: top-`n` POIs ranked by stop-tuple visits.
+    pub fn top_poi_visits(&self, n: usize) -> Vec<PoiVisit> {
+        self.counters.olap_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().matrix.top_poi_visits(n)
+    }
+
+    /// Publishes the current counters into the `store.*` gauge schema —
+    /// called by the annotation server right before a `/metrics` scrape
+    /// so the storage engine reports next to the pipeline stages.
+    pub fn publish_metrics(&self, m: &semitri_obs::StoreMetrics) {
+        let s = self.metrics();
+        m.trajectories.set(s.trajectories as i64);
+        m.episodes.set(s.episodes as i64);
+        m.ssts.set(s.ssts as i64);
+        m.fix_count.set(s.fix_count as i64);
+        m.fix_blocks.set(s.fix_blocks as i64);
+        m.fix_raw_bytes.set(s.fix_raw_bytes as i64);
+        m.fix_compressed_bytes.set(s.fix_compressed_bytes as i64);
+        m.live_tuples.set(s.live_tuples as i64);
+        m.dead_tuples.set(s.dead_tuples as i64);
+        m.label_bits.set(s.label_bits as i64);
+        m.time_queries.set(s.time_queries as i64);
+        m.rect_queries.set(s.rect_queries as i64);
+        m.olap_queries.set(s.olap_queries as i64);
+        m.ep_blocks_checked.set(s.ep_blocks_checked as i64);
+        m.ep_blocks_skipped.set(s.ep_blocks_skipped as i64);
+        m.log_bytes.set(s.log_bytes as i64);
+    }
+
+    /// Current storage/query counters.
+    pub fn metrics(&self) -> StoreMetricsSnapshot {
         let inner = self.inner.lock();
-        let mut stats = AnnotationStats::default();
-        for sst in inner.ssts.values() {
-            for t in &sst.tuples {
-                for a in &t.annotations {
-                    match a.value {
-                        AnnotationValue::Mode(m) => {
-                            stats.mode_tuples[mode_code(m) as usize] += 1;
-                        }
-                        AnnotationValue::Activity(c) => {
-                            stats.activity_tuples[c.ordinal()] += 1;
-                        }
-                        _ => {}
-                    }
-                }
-            }
+        StoreMetricsSnapshot {
+            trajectories: inner.metas.len() as u64,
+            episodes: inner.episodes.len() as u64,
+            ssts: inner.matrix.sst_count() as u64,
+            fix_count: inner.fixes.fix_count(),
+            fix_blocks: inner.fixes.block_count() as u64,
+            fix_raw_bytes: inner.fixes.raw_bytes(),
+            fix_compressed_bytes: inner.fixes.compressed_bytes(),
+            live_tuples: inner.matrix.live_tuples() as u64,
+            dead_tuples: inner.matrix.dead_tuples() as u64,
+            label_bits: inner.matrix.label_bits(),
+            time_queries: self.counters.time_queries.load(Ordering::Relaxed),
+            rect_queries: self.counters.rect_queries.load(Ordering::Relaxed),
+            olap_queries: self.counters.olap_queries.load(Ordering::Relaxed),
+            ep_blocks_checked: self.counters.blocks_checked.load(Ordering::Relaxed),
+            ep_blocks_skipped: self.counters.blocks_skipped.load(Ordering::Relaxed),
+            log_bytes: self.log_size().unwrap_or(0),
         }
-        stats
     }
 }
 
 impl SemanticTrajectoryStore {
     /// Rewrites the durable log to contain exactly the current state
-    /// (dropping superseded SST versions), atomically replacing the file.
-    /// No-op for in-memory stores.
+    /// (dropping superseded SST versions), atomically replacing the
+    /// file. No-op for in-memory stores.
     ///
     /// # Errors
     /// Fails on I/O errors; the original log is left untouched on failure.
@@ -415,23 +879,53 @@ impl SemanticTrajectoryStore {
                     enc.u64(m.object_id)?;
                     enc.u64(m.record_count)?;
                 }
-                for e in &inner.episodes {
-                    enc.u8(REC_EPISODE)?;
-                    enc.u64(e.trajectory_id)?;
-                    enc.u32(e.index)?;
-                    enc.u8(match e.kind {
-                        EpisodeKind::Stop => 0,
-                        EpisodeKind::Move => 1,
-                    })?;
-                    enc.f64(e.span.start.0)?;
-                    enc.f64(e.span.end.0)?;
-                    enc.f64(e.bbox.min_x)?;
-                    enc.f64(e.bbox.min_y)?;
-                    enc.f64(e.bbox.max_x)?;
-                    enc.f64(e.bbox.max_y)?;
+                // episode batches: one record per contiguous trajectory run
+                let eps = &inner.episodes;
+                let mut i = 0usize;
+                while i < eps.len() {
+                    let traj = eps.traj[i];
+                    let mut j = i;
+                    while j < eps.len() && eps.traj[j] == traj {
+                        j += 1;
+                    }
+                    enc.u8(REC_EPISODES2)?;
+                    enc.u64(traj)?;
+                    enc.seq_len(j - i)?;
+                    for k in i..j {
+                        enc.u32(eps.index[k])?;
+                        enc.u8(eps.kind.get(k) as u8)?;
+                        enc.f64(eps.t_start[k])?;
+                        enc.f64(eps.t_end[k])?;
+                        enc.f64(eps.min_x[k])?;
+                        enc.f64(eps.min_y[k])?;
+                        enc.f64(eps.max_x[k])?;
+                        enc.f64(eps.max_y[k])?;
+                        enc.u32(eps.rec_start[k])?;
+                        enc.u32(eps.rec_end[k])?;
+                    }
+                    i = j;
                 }
-                for sst in inner.ssts.values() {
-                    encode_sst(&mut enc, sst)?;
+                for (traj, block) in inner.fixes.blocks() {
+                    enc.u8(REC_FIXBLOCK)?;
+                    enc.u64(*traj)?;
+                    enc.bytes(&block.bytes)?;
+                }
+                let mut ids: Vec<u64> = inner.matrix.trajectory_ids().collect();
+                ids.sort_unstable();
+                for id in ids {
+                    let Some(blob) = inner.matrix.blob_of(id) else {
+                        continue;
+                    };
+                    enc.u8(REC_SST)?;
+                    enc.raw(blob)?;
+                    if let Some(layers) = inner.matrix.layers_of(id) {
+                        enc.u8(REC_LAYERS)?;
+                        enc.u64(id)?;
+                        enc.seq_len(layers.len())?;
+                        for l in &layers {
+                            encode_layer_row(&mut enc, l)?;
+                        }
+                    }
                 }
             }
             writer.flush()?;
@@ -452,6 +946,75 @@ impl SemanticTrajectoryStore {
         let path = self.path.as_ref()?;
         std::fs::metadata(path).ok().map(|m| m.len())
     }
+}
+
+/// Default layer rows for an SST stored without pipeline context.
+fn default_layer_rows(sst: &StructuredSemanticTrajectory) -> Vec<TupleLayers> {
+    sst.tuples.iter().map(TupleLayers::derive_default).collect()
+}
+
+/// Derives per-tuple layer rows from a pipeline output: aligns each SST
+/// tuple with its source episode (stop tuples map 1:1; move tuples map
+/// one-per-mode-leg), takes the episode kind and the tuple's record
+/// range, the road class of the leg's dominant matched segment, and the
+/// dominant landuse category under the covered records.
+pub fn derive_tuple_layers(out: &PipelineOutput, net: &RoadNetwork) -> Vec<TupleLayers> {
+    const EPS: f64 = 1e-6;
+    let mut layers = Vec::with_capacity(out.sst.tuples.len());
+    let mut ep_idx = 0usize;
+    for t in &out.sst.tuples {
+        while ep_idx + 1 < out.episodes.len()
+            && t.span.end.0 > out.episodes[ep_idx].span.end.0 + EPS
+        {
+            ep_idx += 1;
+        }
+        let Some(ep) = out.episodes.get(ep_idx) else {
+            layers.push(TupleLayers::derive_default(t));
+            continue;
+        };
+        let mut rec_lo = ep.start;
+        let mut rec_hi = ep.end;
+        let mut road_class = None;
+        if ep.kind == EpisodeKind::Move {
+            let entries = out
+                .move_routes
+                .iter()
+                .find(|(i, _)| *i == ep_idx)
+                .map(|(_, e)| e.as_slice())
+                .unwrap_or(&[]);
+            let leg: Vec<_> = entries
+                .iter()
+                .filter(|e| {
+                    e.span.start.0 >= t.span.start.0 - EPS && e.span.end.0 <= t.span.end.0 + EPS
+                })
+                .collect();
+            if let Some(longest) = leg.iter().max_by_key(|e| e.end - e.start) {
+                road_class = Some(net.segment(longest.segment).class);
+                let lo = leg.iter().map(|e| e.start).min().expect("leg nonempty");
+                let hi = leg.iter().map(|e| e.end).max().expect("leg nonempty");
+                rec_lo = ep.start + lo;
+                rec_hi = (ep.start + hi).min(ep.end);
+            }
+        }
+        // dominant landuse category by record overlap with the region
+        // tuples (Algorithm 1 output)
+        let mut best: Option<(usize, LanduseCategory)> = None;
+        for rt in &out.region_tuples {
+            let Some(cat) = rt.category else { continue };
+            let lo = rt.start.max(rec_lo);
+            let hi = rt.end.min(rec_hi);
+            if hi > lo && best.is_none_or(|(b, _)| hi - lo > b) {
+                best = Some((hi - lo, cat));
+            }
+        }
+        layers.push(TupleLayers {
+            kind: ep.kind,
+            road_class,
+            landuse: best.map(|(_, c)| c),
+            records: rec_hi.saturating_sub(rec_lo).min(u32::MAX as usize) as u32,
+        });
+    }
+    layers
 }
 
 /// Aggregate tuple counts per annotation value.
@@ -476,8 +1039,54 @@ impl AnnotationStats {
     }
 }
 
-fn encode_sst(enc: &mut Encoder<impl Write>, sst: &StructuredSemanticTrajectory) -> io::Result<()> {
-    enc.u8(REC_SST)?;
+fn encode_layer_row(enc: &mut Encoder<impl Write>, l: &TupleLayers) -> io::Result<()> {
+    enc.u8(match l.kind {
+        EpisodeKind::Stop => 0,
+        EpisodeKind::Move => 1,
+    })?;
+    enc.u8(l.road_class.map_or(0, |c| c.ordinal() as u8 + 1))?;
+    enc.u8(l.landuse.map_or(0, |c| c.ordinal() as u8 + 1))?;
+    enc.u32(l.records)
+}
+
+fn decode_layer_row(dec: &mut Decoder<impl io::Read>) -> Result<TupleLayers, StoreError> {
+    let kind = match dec.u8()? {
+        0 => EpisodeKind::Stop,
+        1 => EpisodeKind::Move,
+        k => return Err(StoreError::Corrupt(format!("bad layer kind {k}"))),
+    };
+    let road_class = match dec.u8()? {
+        0 => None,
+        c => Some(
+            RoadClass::ALL
+                .get(c as usize - 1)
+                .copied()
+                .ok_or_else(|| StoreError::Corrupt(format!("bad road class {c}")))?,
+        ),
+    };
+    let landuse = match dec.u8()? {
+        0 => None,
+        c => Some(
+            LanduseCategory::ALL
+                .get(c as usize - 1)
+                .copied()
+                .ok_or_else(|| StoreError::Corrupt(format!("bad landuse {c}")))?,
+        ),
+    };
+    let records = dec.u32()?;
+    Ok(TupleLayers {
+        kind,
+        road_class,
+        landuse,
+        records,
+    })
+}
+
+/// Encodes everything of an SST record after the `REC_SST` tag.
+fn encode_sst_body(
+    enc: &mut Encoder<impl Write>,
+    sst: &StructuredSemanticTrajectory,
+) -> io::Result<()> {
     enc.u64(sst.trajectory_id)?;
     enc.u64(sst.object_id)?;
     enc.seq_len(sst.tuples.len())?;
@@ -523,6 +1132,69 @@ fn encode_sst(enc: &mut Encoder<impl Write>, sst: &StructuredSemanticTrajectory)
     Ok(())
 }
 
+/// Decodes an SST record body (everything after the `REC_SST` tag).
+fn decode_sst_body(
+    dec: &mut Decoder<impl io::Read>,
+) -> Result<StructuredSemanticTrajectory, StoreError> {
+    let trajectory_id = dec.u64()?;
+    let object_id = dec.u64()?;
+    let n = dec.seq_len()?;
+    let mut tuples = Vec::with_capacity(seq_capacity(n, std::mem::size_of::<SemanticTuple>()));
+    for _ in 0..n {
+        let place = match dec.u8()? {
+            0 => None,
+            1 => {
+                let kind = match dec.u8()? {
+                    0 => PlaceKind::Region,
+                    1 => PlaceKind::Line,
+                    2 => PlaceKind::Point,
+                    k => return Err(StoreError::Corrupt(format!("bad place kind {k}"))),
+                };
+                let id = dec.u64()?;
+                let label = dec.string()?;
+                Some(PlaceRef::new(kind, id, label))
+            }
+            k => return Err(StoreError::Corrupt(format!("bad place tag {k}"))),
+        };
+        let start = dec.f64()?;
+        let end = dec.f64()?;
+        if end < start {
+            return Err(StoreError::Corrupt("tuple span reversed".to_string()));
+        }
+        let n_ann = dec.seq_len()?;
+        let mut annotations =
+            Vec::with_capacity(seq_capacity(n_ann, std::mem::size_of::<Annotation>()));
+        for _ in 0..n_ann {
+            let key = dec.string()?;
+            let value = match dec.u8()? {
+                0 => AnnotationValue::Mode(mode_from(dec.u8()?)?),
+                1 => {
+                    let ord = dec.u8()? as usize;
+                    let cat = PoiCategory::ALL
+                        .get(ord)
+                        .copied()
+                        .ok_or_else(|| StoreError::Corrupt(format!("bad category {ord}")))?;
+                    AnnotationValue::Activity(cat)
+                }
+                2 => AnnotationValue::Text(dec.string()?),
+                3 => AnnotationValue::Number(dec.f64()?),
+                k => return Err(StoreError::Corrupt(format!("bad annotation tag {k}"))),
+            };
+            annotations.push(Annotation::new(key, value));
+        }
+        tuples.push(SemanticTuple {
+            place,
+            span: TimeSpan::new(Timestamp(start), Timestamp(end)),
+            annotations,
+        });
+    }
+    Ok(StructuredSemanticTrajectory {
+        object_id,
+        trajectory_id,
+        tuples,
+    })
+}
+
 fn mode_code(m: TransportMode) -> u8 {
     TransportMode::ALL
         .iter()
@@ -547,7 +1219,7 @@ fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
         return Err(StoreError::Corrupt("bad magic".to_string()));
     }
     let version = dec.u8()?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(StoreError::Corrupt(format!(
             "unsupported version {version}"
         )));
@@ -573,6 +1245,7 @@ fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
                 );
             }
             REC_EPISODE => {
+                // v1 single-episode record: no record range was stored
                 let trajectory_id = dec.u64()?;
                 let index = dec.u32()?;
                 let kind = match dec.u8()? {
@@ -591,84 +1264,82 @@ fn replay(path: &Path, inner: &mut Inner) -> Result<(), StoreError> {
                     max_x: dec.f64()?,
                     max_y: dec.f64()?,
                 };
-                let row = StoredEpisode {
+                inner.episodes.push(
                     trajectory_id,
                     index,
                     kind,
-                    span: TimeSpan::new(Timestamp(start), Timestamp(end)),
+                    TimeSpan::new(Timestamp(start), Timestamp(end)),
                     bbox,
-                };
-                let idx = inner.episodes.len();
-                if !row.bbox.is_empty() {
-                    inner.spatial.insert(row.bbox, idx);
-                }
-                inner.episodes.push(row);
+                    0,
+                    0,
+                );
             }
-            REC_SST => {
+            REC_EPISODES2 => {
                 let trajectory_id = dec.u64()?;
-                let object_id = dec.u64()?;
                 let n = dec.seq_len()?;
-                let mut tuples =
-                    Vec::with_capacity(seq_capacity(n, std::mem::size_of::<SemanticTuple>()));
                 for _ in 0..n {
-                    let place = match dec.u8()? {
-                        0 => None,
-                        1 => {
-                            let kind = match dec.u8()? {
-                                0 => PlaceKind::Region,
-                                1 => PlaceKind::Line,
-                                2 => PlaceKind::Point,
-                                k => {
-                                    return Err(StoreError::Corrupt(format!("bad place kind {k}")))
-                                }
-                            };
-                            let id = dec.u64()?;
-                            let label = dec.string()?;
-                            Some(PlaceRef::new(kind, id, label))
-                        }
-                        k => return Err(StoreError::Corrupt(format!("bad place tag {k}"))),
+                    let index = dec.u32()?;
+                    let kind = match dec.u8()? {
+                        0 => EpisodeKind::Stop,
+                        1 => EpisodeKind::Move,
+                        k => return Err(StoreError::Corrupt(format!("bad episode kind {k}"))),
                     };
                     let start = dec.f64()?;
                     let end = dec.f64()?;
                     if end < start {
-                        return Err(StoreError::Corrupt("tuple span reversed".to_string()));
+                        return Err(StoreError::Corrupt("episode span reversed".to_string()));
                     }
-                    let n_ann = dec.seq_len()?;
-                    let mut annotations =
-                        Vec::with_capacity(seq_capacity(n_ann, std::mem::size_of::<Annotation>()));
-                    for _ in 0..n_ann {
-                        let key = dec.string()?;
-                        let value = match dec.u8()? {
-                            0 => AnnotationValue::Mode(mode_from(dec.u8()?)?),
-                            1 => {
-                                let ord = dec.u8()? as usize;
-                                let cat = PoiCategory::ALL.get(ord).copied().ok_or_else(|| {
-                                    StoreError::Corrupt(format!("bad category {ord}"))
-                                })?;
-                                AnnotationValue::Activity(cat)
-                            }
-                            2 => AnnotationValue::Text(dec.string()?),
-                            3 => AnnotationValue::Number(dec.f64()?),
-                            k => {
-                                return Err(StoreError::Corrupt(format!("bad annotation tag {k}")))
-                            }
-                        };
-                        annotations.push(Annotation::new(key, value));
-                    }
-                    tuples.push(SemanticTuple {
-                        place,
-                        span: TimeSpan::new(Timestamp(start), Timestamp(end)),
-                        annotations,
-                    });
-                }
-                inner.ssts.insert(
-                    trajectory_id,
-                    StructuredSemanticTrajectory {
-                        object_id,
+                    let bbox = Rect {
+                        min_x: dec.f64()?,
+                        min_y: dec.f64()?,
+                        max_x: dec.f64()?,
+                        max_y: dec.f64()?,
+                    };
+                    let rec_start = dec.u32()?;
+                    let rec_end = dec.u32()?;
+                    inner.episodes.push(
                         trajectory_id,
-                        tuples,
-                    },
-                );
+                        index,
+                        kind,
+                        TimeSpan::new(Timestamp(start), Timestamp(end)),
+                        bbox,
+                        rec_start,
+                        rec_end,
+                    );
+                }
+            }
+            REC_SST => {
+                let sst = decode_sst_body(&mut dec)?;
+                let mut blob = Vec::new();
+                {
+                    let mut enc = Encoder::new(&mut blob);
+                    encode_sst_body(&mut enc, &sst)?;
+                }
+                let layers = default_layer_rows(&sst);
+                inner.matrix.insert(&sst, &layers, blob);
+            }
+            REC_LAYERS => {
+                let trajectory_id = dec.u64()?;
+                let n = dec.seq_len()?;
+                let mut layers = Vec::with_capacity(seq_capacity(n, 8));
+                for _ in 0..n {
+                    layers.push(decode_layer_row(&mut dec)?);
+                }
+                if !inner.matrix.patch_layers(trajectory_id, &layers) {
+                    return Err(StoreError::Corrupt(format!(
+                        "layer record for missing/mismatched sst {trajectory_id}"
+                    )));
+                }
+            }
+            REC_FIXBLOCK => {
+                let trajectory_id = dec.u64()?;
+                let bytes = dec.bytes()?;
+                if bytes.len() > MAX_FIXBLOCK_BYTES {
+                    return Err(StoreError::Corrupt("oversized fix block".to_string()));
+                }
+                let block = FixBlock::from_bytes(bytes)
+                    .map_err(|e| StoreError::Corrupt(format!("bad fix block: {e}")))?;
+                inner.fixes.push_block(trajectory_id, block);
             }
             t => return Err(StoreError::Corrupt(format!("unknown record tag {t}"))),
         }
@@ -750,6 +1421,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, StoreError::UnknownTrajectory(99)));
         assert!(store.put_sst(&sample_sst(99)).is_err());
+        assert!(store
+            .put_fixes(99, &[GpsRecord::new(Point::ORIGIN, Timestamp(0.0))])
+            .is_err());
     }
 
     #[test]
@@ -779,6 +1453,64 @@ mod tests {
         let in_space = store.episodes_in_rect(&Rect::new(400.0, 0.0, 600.0, 10.0));
         assert_eq!(in_space.len(), 1);
         assert_eq!(in_space[0].kind, EpisodeKind::Move);
+    }
+
+    #[test]
+    fn degenerate_windows_return_empty_without_scanning() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 10,
+            })
+            .unwrap();
+        store
+            .put_episodes(1, &[episode(EpisodeKind::Stop, 0.0, 100.0, 0.0)])
+            .unwrap();
+        let before = store.metrics().ep_blocks_checked;
+        // inverted time window (constructed literally — TimeSpan::new
+        // would reject it)
+        let inverted = TimeSpan {
+            start: Timestamp(50.0),
+            end: Timestamp(10.0),
+        };
+        assert!(store.episodes_in_time(inverted).is_empty());
+        assert!(store.episodes_in_rect(&Rect::EMPTY).is_empty());
+        assert_eq!(
+            store.metrics().ep_blocks_checked,
+            before,
+            "degenerate windows must not touch blocks"
+        );
+    }
+
+    #[test]
+    fn scratch_variants_reuse_buffer() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 10,
+            })
+            .unwrap();
+        store
+            .put_episodes(
+                1,
+                &[
+                    episode(EpisodeKind::Stop, 0.0, 100.0, 0.0),
+                    episode(EpisodeKind::Move, 100.0, 200.0, 500.0),
+                ],
+            )
+            .unwrap();
+        let mut buf = Vec::new();
+        store.episodes_in_time_with(TimeSpan::new(Timestamp(0.0), Timestamp(50.0)), &mut buf);
+        assert_eq!(buf.len(), 1);
+        store.episodes_in_time_with(TimeSpan::new(Timestamp(0.0), Timestamp(300.0)), &mut buf);
+        assert_eq!(buf.len(), 2, "buffer cleared between queries");
+        let mut n = 0usize;
+        store.for_each_episode_in_rect(&Rect::new(-1.0, -1.0, 2_000.0, 20.0), |_| n += 1);
+        assert_eq!(n, 2);
     }
 
     #[test]
@@ -822,6 +1554,46 @@ mod tests {
     }
 
     #[test]
+    fn durable_fixes_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("semitri-store-f-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fixes.stlog");
+        let _ = std::fs::remove_file(&path);
+
+        let fixes: Vec<GpsRecord> = (0..700)
+            .map(|i| {
+                GpsRecord::new(
+                    Point::new(i as f64 * 2.5, 1_000.0 - i as f64),
+                    Timestamp(i as f64),
+                )
+            })
+            .collect();
+        {
+            let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+            store
+                .put_trajectory(TrajectoryMeta {
+                    trajectory_id: 3,
+                    object_id: 1,
+                    record_count: fixes.len() as u64,
+                })
+                .unwrap();
+            store.put_fixes(3, &fixes).unwrap();
+        }
+        let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        let back = store.get_fixes(3).unwrap();
+        assert_eq!(back.len(), fixes.len());
+        for (a, b) in fixes.iter().zip(&back) {
+            assert_eq!(a.t.0.to_bits(), b.t.0.to_bits(), "timestamps exact");
+            assert!((a.point.x - b.point.x).abs() <= 0.005 + 1e-9);
+            assert!((a.point.y - b.point.y).abs() <= 0.005 + 1e-9);
+        }
+        let m = store.metrics();
+        assert_eq!(m.fix_count, 700);
+        assert!(m.fix_compressed_bytes < m.fix_raw_bytes / 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn corrupt_log_detected() {
         let dir = std::env::temp_dir().join(format!("semitri-store-c-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -849,6 +1621,55 @@ mod tests {
         v2.tuples.truncate(1);
         store.put_sst(&v2).unwrap();
         assert_eq!(store.get_sst(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn layer_mismatch_rejected() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 1,
+            })
+            .unwrap();
+        let err = store.put_sst_with_layers(&sample_sst(1), &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::LayerMismatch {
+                expected: 3,
+                got: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn block_skipping_observed_on_disjoint_windows() {
+        let store = SemanticTrajectoryStore::in_memory();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 10,
+            })
+            .unwrap();
+        // two full blocks: first covers t∈[0,512), second t∈[512,1024)
+        let eps: Vec<Episode> = (0..512)
+            .map(|i| {
+                episode(
+                    EpisodeKind::Stop,
+                    i as f64 * 2.0,
+                    i as f64 * 2.0 + 1.0,
+                    i as f64,
+                )
+            })
+            .collect();
+        store.put_episodes(1, &eps).unwrap();
+        let hits = store.episodes_in_time(TimeSpan::new(Timestamp(900.0), Timestamp(901.0)));
+        assert!(!hits.is_empty());
+        let m = store.metrics();
+        assert_eq!(m.ep_blocks_checked, 2);
+        assert_eq!(m.ep_blocks_skipped, 1, "first block skipped by summary");
     }
 }
 
@@ -903,6 +1724,33 @@ mod compaction_tests {
         assert_eq!(reopened.counts().0, 1);
 
         let _ = Point::ORIGIN;
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstoned_tuples() {
+        let dir = std::env::temp_dir().join(format!("semitri-compact-t-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.stlog");
+        let _ = std::fs::remove_file(&path);
+
+        let store = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        store
+            .put_trajectory(TrajectoryMeta {
+                trajectory_id: 1,
+                object_id: 1,
+                record_count: 100,
+            })
+            .unwrap();
+        for k in 1..=5 {
+            store.put_sst(&sample_sst(1, k)).unwrap();
+        }
+        assert!(store.metrics().dead_tuples > 0);
+        store.compact().unwrap();
+        drop(store);
+        let reopened = SemanticTrajectoryStore::open_durable(&path).unwrap();
+        assert_eq!(reopened.metrics().dead_tuples, 0);
+        assert_eq!(reopened.get_sst(1).unwrap().len(), 5);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -984,5 +1832,19 @@ mod annotation_query_tests {
         let store = SemanticTrajectoryStore::in_memory();
         let stats = store.annotation_statistics();
         assert_eq!(stats, AnnotationStats::default());
+    }
+
+    #[test]
+    fn olap_poi_ranks_and_default_layers() {
+        let store = store_with(&[
+            sst(1, TransportMode::Metro, PoiCategory::Feedings),
+            sst(2, TransportMode::Walk, PoiCategory::ItemSale),
+        ]);
+        // both SSTs stop at POI id=3 labeled "poi"
+        let ranks = store.top_poi_visits(5);
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(ranks[0].place_id, 3);
+        assert_eq!(ranks[0].visits, 2);
+        assert_eq!(ranks[0].label, "poi");
     }
 }
